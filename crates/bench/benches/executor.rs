@@ -1,0 +1,78 @@
+//! Criterion benches for the event-accurate executor and the profiler:
+//! the cost of "running" an experiment end to end, and SHA/Hyperband
+//! specification generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rb_bench::tables::{e2e_cloud, physics_for, search_space};
+use rb_core::Prng;
+use rb_exec::{ExecOptions, Executor};
+use rb_hpo::{hyperband_brackets, ShaParams};
+use rb_profile::{profile_training, ProfilerConfig};
+use rb_scaling::AnalyticScaling;
+use rb_sim::AllocationPlan;
+
+fn bench_execute_table2_workload(c: &mut Criterion) {
+    let task = rb_train::task::resnet101_cifar10();
+    let physics = physics_for(&task, 1024, 4);
+    let spec = ShaParams::new(32, 1, 50).with_eta(3).generate().unwrap();
+    let plan = AllocationPlan::new(vec![32, 20, 12, 8]);
+    let space = search_space();
+    let configs = space.sample_n(32, &mut Prng::seed_from_u64(3));
+    let mut group = c.benchmark_group("executor");
+    group.sample_size(20);
+    group.bench_function("table2_workload", |b| {
+        b.iter(|| {
+            Executor::new(
+                spec.clone(),
+                plan.clone(),
+                task.clone(),
+                physics.clone(),
+                e2e_cloud(),
+            )
+            .unwrap()
+            .with_options(ExecOptions {
+                seed: 11,
+                ..ExecOptions::default()
+            })
+            .run(&configs)
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_profiler(c: &mut Criterion) {
+    let task = rb_train::task::resnet101_cifar10();
+    let truth = AnalyticScaling::for_arch(&task.arch, 1024, 4);
+    c.bench_function("profile_training_32_gpus", |b| {
+        b.iter(|| {
+            profile_training(
+                &truth,
+                49,
+                5.0,
+                &ProfilerConfig {
+                    max_gpus: 32,
+                    ..ProfilerConfig::default()
+                },
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_spec_generation(c: &mut Criterion) {
+    c.bench_function("sha_generate_512", |b| {
+        b.iter(|| ShaParams::new(512, 4, 4096).generate().unwrap())
+    });
+    c.bench_function("hyperband_brackets_r81", |b| {
+        b.iter(|| hyperband_brackets(1, 81, 3).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_execute_table2_workload,
+    bench_profiler,
+    bench_spec_generation
+);
+criterion_main!(benches);

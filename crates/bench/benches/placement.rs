@@ -1,0 +1,60 @@
+//! Criterion benches for the placement controller under churn: fresh
+//! placement, stage-to-stage reallocation, and scale-down bin-packing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rb_core::TrialId;
+use rb_placement::{ClusterState, PlacementController};
+use std::collections::BTreeMap;
+
+fn allocs(n: u64, gpus: u32) -> BTreeMap<TrialId, u32> {
+    (0..n).map(|i| (TrialId::new(i), gpus)).collect()
+}
+
+fn bench_fresh_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("place_fresh");
+    for n in [32u64, 128, 512] {
+        let cluster = ClusterState::with_n_nodes(n as u32 / 4 + 1, 4);
+        let map = allocs(n, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut pc = PlacementController::new();
+                pc.update(&map, &cluster).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_reallocation(c: &mut Criterion) {
+    // Stage transition: 128 one-GPU trials shrink to 64 two-GPU trials.
+    let cluster = ClusterState::with_n_nodes(33, 4);
+    let before = allocs(128, 1);
+    let after = allocs(64, 2);
+    c.bench_function("reallocate_128_to_64", |b| {
+        b.iter(|| {
+            let mut pc = PlacementController::new();
+            pc.update(&before, &cluster).unwrap();
+            pc.update(&after, &cluster).unwrap()
+        })
+    });
+}
+
+fn bench_scale_down(c: &mut Criterion) {
+    let cluster = ClusterState::with_n_nodes(32, 4);
+    let map = allocs(64, 1); // half-full cluster
+    c.bench_function("bin_pack_scale_down_16_nodes", |b| {
+        b.iter(|| {
+            let mut pc = PlacementController::new();
+            pc.update(&map, &cluster).unwrap();
+            pc.plan_scale_down(&cluster, 16).unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fresh_placement,
+    bench_reallocation,
+    bench_scale_down
+);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benches for the three planners (static sweep, naive-elastic
+//! sweep, RubberBand greedy descent) on the paper's workload sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rb_bench::{fig_cloud, synthetic_rn50};
+use rb_core::SimDuration;
+use rb_hpo::ShaParams;
+use rb_planner::{plan_with_policy, PlannerConfig, Policy};
+use rb_sim::{SimConfig, Simulator};
+
+fn sim(n_samples: u32) -> Simulator {
+    Simulator::new(synthetic_rn50(512, 4.0, 1.0), fig_cloud(15.0)).with_config(SimConfig {
+        samples: n_samples,
+        seed: 7,
+        sync_overhead_secs: 1.0,
+    })
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let deadline = SimDuration::from_mins(20);
+    let mut group = c.benchmark_group("plan");
+    group.sample_size(10);
+    for n in [64u32, 256] {
+        let spec = ShaParams::new(n, 4, 508).generate().unwrap();
+        let s = sim(10);
+        for policy in [Policy::Static, Policy::NaiveElastic, Policy::RubberBand] {
+            group.bench_with_input(BenchmarkId::new(policy.to_string(), n), &n, |b, _| {
+                b.iter(|| {
+                    plan_with_policy(policy, &s, &spec, deadline, &PlannerConfig::default())
+                        .unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion benches for the execution-model hot path: DAG construction
+//! and Monte-Carlo prediction. Planning runs thousands of predictions per
+//! job, so this is the planner's unit of work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rb_bench::{fig_cloud, synthetic_rn50};
+use rb_core::Prng;
+use rb_hpo::ShaParams;
+use rb_sim::{AllocationPlan, ExecDag, SimConfig, Simulator};
+
+fn bench_dag_build(c: &mut Criterion) {
+    let model = synthetic_rn50(512, 4.0, 1.0);
+    let cloud = fig_cloud(15.0);
+    let mut group = c.benchmark_group("dag_build");
+    for n in [64u32, 256, 512] {
+        let spec = ShaParams::new(n, 4, 508).generate().unwrap();
+        let plan = AllocationPlan::flat(n, spec.num_stages());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| ExecDag::build(&spec, &plan, &model, &cloud, 1.0).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let model = synthetic_rn50(512, 4.0, 1.0);
+    let cloud = fig_cloud(15.0);
+    let mut group = c.benchmark_group("predict_20_samples");
+    for n in [64u32, 256] {
+        let spec = ShaParams::new(n, 4, 508).generate().unwrap();
+        let plan = AllocationPlan::flat(n, spec.num_stages());
+        let sim = Simulator::new(model.clone(), cloud.clone());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| sim.predict(&spec, &plan).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_sample_run(c: &mut Criterion) {
+    let model = synthetic_rn50(512, 4.0, 1.0);
+    let cloud = fig_cloud(15.0);
+    let spec = ShaParams::new(256, 4, 508).generate().unwrap();
+    let plan = AllocationPlan::flat(256, spec.num_stages());
+    let sim = Simulator::new(model, cloud).with_config(SimConfig::default());
+    let dag = ExecDag::build(&spec, &plan, sim.model(), sim.cloud(), 1.0).unwrap();
+    let mut rng = Prng::seed_from_u64(1);
+    c.bench_function("sample_run_256_trials", |b| {
+        b.iter(|| sim.sample_run(&dag, &mut rng))
+    });
+}
+
+criterion_group!(benches, bench_dag_build, bench_predict, bench_sample_run);
+criterion_main!(benches);

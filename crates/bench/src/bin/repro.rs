@@ -1,0 +1,253 @@
+//! Regenerates every table and figure of the paper's evaluation (§6).
+//!
+//! Usage:
+//!
+//! ```text
+//! repro <artifact>...        # fig4 fig9 fig10 fig11 fig12 table1 table2 table3 table4
+//! repro all                  # everything (several minutes in release mode)
+//! repro quick                # reduced sweeps for a fast smoke run
+//! ```
+
+use rb_bench::csv;
+use rb_bench::ext;
+use rb_bench::figures::{self};
+use rb_bench::tables::{self};
+use rb_core::SimDuration;
+use std::path::{Path, PathBuf};
+
+fn fig4(csv_dir: Option<&Path>) {
+    let rows = figures::fig4(&[1, 2, 4, 8, 16]);
+    figures::print_fig4(&rows);
+    if let Some(dir) = csv_dir {
+        csv::export_fig4(dir, &rows).unwrap_or_else(|e| eprintln!("{e}"));
+    }
+}
+
+fn fig9(quick: bool, csv_dir: Option<&Path>) {
+    let sigmas: Vec<f64> = if quick {
+        vec![1.0, 4.0, 10.0]
+    } else {
+        (1..=10).map(f64::from).collect()
+    };
+    let rows = figures::fig9(&sigmas, SimDuration::from_mins(20));
+    figures::print_fig9(&rows);
+    if let Some(dir) = csv_dir {
+        csv::export_fig9(dir, &rows).unwrap_or_else(|e| eprintln!("{e}"));
+    }
+}
+
+fn fig10(quick: bool, csv_dir: Option<&Path>) {
+    let prices: &[f64] = if quick {
+        &[0.0, 0.04, 0.16]
+    } else {
+        &[0.0, 0.01, 0.02, 0.04, 0.08, 0.16]
+    };
+    for (name, gb) in [("ImageNet", 150.0), ("CIFAR-10", 0.15)] {
+        let rows = figures::fig10(gb, prices, SimDuration::from_mins(20));
+        figures::print_fig10(name, gb, &rows);
+        if let Some(dir) = csv_dir {
+            csv::export_fig10(dir, name, &rows).unwrap_or_else(|e| eprintln!("{e}"));
+        }
+        println!();
+    }
+}
+
+fn fig11(quick: bool, csv_dir: Option<&Path>) {
+    let ks: &[u32] = if quick {
+        &[16, 64, 256]
+    } else {
+        &[16, 32, 64, 128, 256, 512]
+    };
+    for (name, key, per_function) in [
+        ("pay-per-instance", "per_instance", false),
+        ("pay-per-function", "per_function", true),
+    ] {
+        let rows = figures::fig11(ks, per_function, SimDuration::from_mins(20));
+        figures::print_fig11(name, &rows);
+        if let Some(dir) = csv_dir {
+            csv::export_fig11(dir, key, &rows).unwrap_or_else(|e| eprintln!("{e}"));
+        }
+        println!();
+    }
+}
+
+fn fig12(quick: bool, csv_dir: Option<&Path>) {
+    let deadlines: Vec<u64> = if quick {
+        vec![90, 120, 160]
+    } else {
+        (9..=16).map(|d| d * 10).collect()
+    };
+    for init in [1.0, 10.0, 100.0] {
+        let rows = figures::fig12(init, &deadlines);
+        figures::print_fig12(init, &rows);
+        if let Some(dir) = csv_dir {
+            csv::export_fig12(dir, init, &rows).unwrap_or_else(|e| eprintln!("{e}"));
+        }
+        println!();
+    }
+}
+
+fn seeds(quick: bool) -> Vec<u64> {
+    if quick {
+        vec![1]
+    } else {
+        vec![1, 2, 3]
+    }
+}
+
+fn table1(quick: bool) {
+    match tables::table1(&seeds(quick)) {
+        Ok(rows) => tables::print_table1(&rows),
+        Err(e) => eprintln!("table1 failed: {e}"),
+    }
+}
+
+fn table2_and_3(quick: bool) {
+    let deadlines: &[u64] = &[20, 30, 40];
+    match tables::table2(deadlines, &seeds(quick)) {
+        Ok(rows) => {
+            tables::print_table2(&rows);
+            println!();
+            match tables::table3(&rows) {
+                Some(schedule) => tables::print_table3(&schedule),
+                None => eprintln!("table3: no feasible RubberBand plan"),
+            }
+        }
+        Err(e) => eprintln!("table2 failed: {e}"),
+    }
+}
+
+fn table4(quick: bool) {
+    match tables::table4(&seeds(quick)) {
+        Ok(rows) => tables::print_table4(&rows),
+        Err(e) => eprintln!("table4 failed: {e}"),
+    }
+}
+
+fn ext_spot(quick: bool) {
+    let rates: &[f64] = if quick {
+        &[0.2, 2.0]
+    } else {
+        &[0.1, 0.2, 0.5, 1.0, 2.0, 4.0]
+    };
+    match ext::ext_spot(rates, 1) {
+        Ok((od, rows)) => ext::print_ext_spot(&od, &rows),
+        Err(e) => eprintln!("ext-spot failed: {e}"),
+    }
+}
+
+fn ext_budget(quick: bool) {
+    let budgets: &[f64] = if quick {
+        &[7.0, 20.0]
+    } else {
+        &[6.5, 7.0, 8.0, 10.0, 15.0, 25.0, 50.0]
+    };
+    match ext::ext_budget(budgets) {
+        Ok(rows) => ext::print_ext_budget(&rows),
+        Err(e) => eprintln!("ext-budget failed: {e}"),
+    }
+}
+
+fn ext_asha(_quick: bool) {
+    match ext::ext_asha(20, 1) {
+        Ok(rows) => ext::print_ext_asha(20, &rows),
+        Err(e) => eprintln!("ext-asha failed: {e}"),
+    }
+}
+
+fn ext_instances(_quick: bool) {
+    match ext::ext_instances(30) {
+        Ok(rows) => ext::print_ext_instances(30, &rows),
+        Err(e) => eprintln!("ext-instances failed: {e}"),
+    }
+}
+
+fn ablations() {
+    let d = rb_core::SimDuration::from_mins(20);
+    match ext::ablation_warm_starts(d) {
+        Ok(rows) => ext::print_ablation("warm-start multipliers (SHA(64,4,508), 20 min)", &rows),
+        Err(e) => eprintln!("ablation failed: {e}"),
+    }
+    println!();
+    match ext::ablation_instance_jump(d) {
+        Ok(rows) => ext::print_ablation(
+            "instance-boundary jump candidate (SHA(512,4,508), 20 min)",
+            &rows,
+        ),
+        Err(e) => eprintln!("ablation failed: {e}"),
+    }
+    println!();
+    match ext::ablation_mc_samples(d) {
+        Ok(rows) => ext::print_ablation(
+            "Monte-Carlo samples vs plan quality (scored at 200 samples)",
+            &rows,
+        ),
+        Err(e) => eprintln!("ablation failed: {e}"),
+    }
+    println!();
+    match ext::ablation_warm_pool(1) {
+        Ok(rows) => ext::print_warm_pool(&rows),
+        Err(e) => eprintln!("ablation failed: {e}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!(
+            "usage: repro [quick] [--csv] <fig4|fig9|fig10|fig11|fig12|table1|table2|table3|table4|ext-spot|ext-budget|ext-asha|ext-instances|ablations|all>..."
+        );
+        std::process::exit(2);
+    }
+    let quick = args.iter().any(|a| a == "quick");
+    let csv_dir: Option<PathBuf> = args
+        .iter()
+        .any(|a| a == "--csv")
+        .then(|| PathBuf::from("repro_out"));
+    let mut artifacts: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|&a| a != "quick" && a != "--csv")
+        .collect();
+    if artifacts.is_empty() || artifacts.contains(&"all") {
+        artifacts = vec![
+            "fig4",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "table1",
+            "table2",
+            "table4",
+            "ext-spot",
+            "ext-budget",
+            "ext-asha",
+            "ext-instances",
+            "ablations",
+        ];
+    }
+    for (i, artifact) in artifacts.iter().enumerate() {
+        if i > 0 {
+            println!("\n{}\n", "=".repeat(72));
+        }
+        match *artifact {
+            "fig4" => fig4(csv_dir.as_deref()),
+            "fig9" => fig9(quick, csv_dir.as_deref()),
+            "fig10" => fig10(quick, csv_dir.as_deref()),
+            "fig11" => fig11(quick, csv_dir.as_deref()),
+            "fig12" => fig12(quick, csv_dir.as_deref()),
+            "table1" => table1(quick),
+            "table2" | "table3" => table2_and_3(quick),
+            "table4" => table4(quick),
+            "ext-spot" => ext_spot(quick),
+            "ext-budget" => ext_budget(quick),
+            "ext-asha" => ext_asha(quick),
+            "ext-instances" => ext_instances(quick),
+            "ablations" => ablations(),
+            other => {
+                eprintln!("unknown artifact `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+}

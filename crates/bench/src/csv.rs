@@ -1,0 +1,166 @@
+//! Minimal CSV export for figure data (no external dependencies).
+//!
+//! `repro --csv` writes each figure's series to `repro_out/*.csv` so the
+//! plots can be regenerated with any plotting tool.
+
+use crate::figures::{Fig10Row, Fig11Row, Fig12Row, Fig4Row, Fig9Row};
+use rb_core::{RbError, Result};
+use std::io::Write as _;
+use std::path::Path;
+
+fn fmt_opt(v: Option<f64>) -> String {
+    v.map(|x| format!("{x:.6}")).unwrap_or_default()
+}
+
+/// Writes one CSV file, creating parent directories as needed.
+///
+/// # Errors
+///
+/// Returns [`RbError::Execution`] on I/O failure.
+pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<String>]) -> Result<()> {
+    let io_err = |e: std::io::Error| RbError::Execution(format!("csv {}: {e}", path.display()));
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).map_err(io_err)?;
+    }
+    let mut f = std::fs::File::create(path).map_err(io_err)?;
+    writeln!(f, "{}", header.join(",")).map_err(io_err)?;
+    for row in rows {
+        debug_assert_eq!(row.len(), header.len(), "ragged CSV row");
+        writeln!(f, "{}", row.join(",")).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Exports Fig. 4 (one row per model × GPU count).
+pub fn export_fig4(dir: &Path, rows: &[Fig4Row]) -> Result<()> {
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .flat_map(|r| {
+            r.speedups
+                .iter()
+                .map(move |&(g, s)| vec![r.model.to_string(), g.to_string(), format!("{s:.4}")])
+        })
+        .collect();
+    write_csv(&dir.join("fig4.csv"), &["model", "gpus", "speedup"], &data)
+}
+
+/// Exports Fig. 9.
+pub fn export_fig9(dir: &Path, rows: &[Fig9Row]) -> Result<()> {
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.1}", r.sigma),
+                fmt_opt(r.static_per_instance),
+                fmt_opt(r.static_per_function),
+                fmt_opt(r.elastic_per_instance),
+                fmt_opt(r.elastic_per_function),
+            ]
+        })
+        .collect();
+    write_csv(
+        &dir.join("fig9.csv"),
+        &[
+            "sigma_secs",
+            "static_per_instance",
+            "static_per_function",
+            "elastic_per_instance",
+            "elastic_per_function",
+        ],
+        &data,
+    )
+}
+
+/// Exports one Fig. 10 panel.
+pub fn export_fig10(dir: &Path, dataset: &str, rows: &[Fig10Row]) -> Result<()> {
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.4}", r.price_per_gb),
+                fmt_opt(r.static_cost),
+                fmt_opt(r.elastic_cost),
+            ]
+        })
+        .collect();
+    write_csv(
+        &dir.join(format!(
+            "fig10_{}.csv",
+            dataset.to_lowercase().replace('-', "")
+        )),
+        &["price_per_gb", "static_cost", "elastic_cost"],
+        &data,
+    )
+}
+
+/// Exports one Fig. 11 panel.
+pub fn export_fig11(dir: &Path, billing: &str, rows: &[Fig11Row]) -> Result<()> {
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.trials.to_string(),
+                fmt_opt(r.static_cost),
+                fmt_opt(r.elastic_cost),
+            ]
+        })
+        .collect();
+    write_csv(
+        &dir.join(format!("fig11_{billing}.csv")),
+        &["trials", "static_cost", "elastic_cost"],
+        &data,
+    )
+}
+
+/// Exports one Fig. 12 panel.
+pub fn export_fig12(dir: &Path, init_secs: f64, rows: &[Fig12Row]) -> Result<()> {
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.deadline_mins.to_string(),
+                fmt_opt(r.static_cost),
+                fmt_opt(r.elastic_cost),
+            ]
+        })
+        .collect();
+    write_csv(
+        &dir.join(format!("fig12_init{init_secs:.0}s.csv")),
+        &["deadline_mins", "static_cost", "elastic_cost"],
+        &data,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures;
+    use rb_core::SimDuration;
+
+    #[test]
+    fn csv_round_trips_fig4() {
+        let dir = std::env::temp_dir().join("rb_csv_test");
+        let rows = figures::fig4(&[1, 2]);
+        export_fig4(&dir, &rows).unwrap();
+        let text = std::fs::read_to_string(dir.join("fig4.csv")).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "model,gpus,speedup");
+        // One row per model × GPU count, plus the header.
+        assert_eq!(lines.len(), 1 + 2 * rb_scaling::zoo::ZOO.len());
+        assert!(lines[1].starts_with("ResNet-50,1,1.0000"));
+    }
+
+    #[test]
+    fn csv_handles_missing_values() {
+        let dir = std::env::temp_dir().join("rb_csv_test2");
+        let rows = vec![figures::Fig11Row {
+            trials: 64,
+            static_cost: Some(7.1),
+            elastic_cost: None,
+        }];
+        export_fig11(&dir, "per_instance", &rows).unwrap();
+        let text = std::fs::read_to_string(dir.join("fig11_per_instance.csv")).unwrap();
+        assert!(text.contains("64,7.100000,\n"));
+        let _ = SimDuration::ZERO;
+    }
+}

@@ -1,0 +1,15 @@
+//! The reproduction harness: one function per figure/table of the paper's
+//! evaluation (§6), shared by the `repro` binary and the test suite.
+//!
+//! Every experiment returns structured rows (so tests can assert the
+//! *shape* of each result) and can render itself as the text table the
+//! binary prints. Paper parameters are the defaults; tests may scale the
+//! workloads down.
+
+pub mod common;
+pub mod csv;
+pub mod ext;
+pub mod figures;
+pub mod tables;
+
+pub use common::{fig_cloud, policy_prediction, synthetic_rn50};

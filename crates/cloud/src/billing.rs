@@ -1,0 +1,257 @@
+//! The billing meter: converts resource usage into exact dollar amounts.
+//!
+//! The meter is deliberately dumb — it records *what happened* (instance
+//! lifetimes, data ingress, function executions) and prices the record under
+//! a [`CloudPricing`] profile on demand. This lets the same execution trace
+//! be priced under per-instance and per-function billing, which is exactly
+//! the comparison Fig. 9 and Fig. 11 make.
+
+use crate::pricing::{BillingModel, CloudPricing};
+use rb_core::{Cost, InstanceId, SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// One function execution: `gpus` GPUs busy for `duration`.
+///
+/// Under per-function billing these records *are* the compute bill; under
+/// per-instance billing they are ignored (lifetimes are billed instead) but
+/// remain useful for utilization accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UsageRecord {
+    /// GPUs used by the function.
+    pub gpus: u32,
+    /// How long the function ran.
+    pub duration: SimDuration,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Lifetime {
+    started: SimTime,
+    stopped: Option<SimTime>,
+}
+
+/// Accumulates billable events during an execution.
+#[derive(Debug, Clone, Default)]
+pub struct BillingMeter {
+    lifetimes: BTreeMap<InstanceId, Lifetime>,
+    usage: Vec<UsageRecord>,
+    ingress_gb: f64,
+}
+
+impl BillingMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        BillingMeter::default()
+    }
+
+    /// Records that billing for `id` begins at `t` (the instant the provider
+    /// hands over the instance; initialization time is billed, as on EC2).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the instance was already started.
+    pub fn instance_started(&mut self, id: InstanceId, t: SimTime) {
+        let prev = self.lifetimes.insert(
+            id,
+            Lifetime {
+                started: t,
+                stopped: None,
+            },
+        );
+        debug_assert!(prev.is_none(), "instance {id} started twice");
+    }
+
+    /// Records that `id` was terminated at `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the instance is unknown or already stopped.
+    pub fn instance_stopped(&mut self, id: InstanceId, t: SimTime) {
+        let life = self
+            .lifetimes
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("instance {id} stopped but never started"));
+        debug_assert!(life.stopped.is_none(), "instance {id} stopped twice");
+        debug_assert!(t >= life.started, "instance {id} stopped before start");
+        life.stopped = Some(t);
+    }
+
+    /// Records a function execution (used for per-function compute billing
+    /// and utilization statistics).
+    pub fn record_usage(&mut self, rec: UsageRecord) {
+        self.usage.push(rec);
+    }
+
+    /// Records `gb` gigabytes of ingress data movement.
+    pub fn record_ingress(&mut self, gb: f64) {
+        debug_assert!(gb >= 0.0);
+        self.ingress_gb += gb;
+    }
+
+    /// Total ingress volume recorded, in GB.
+    pub fn ingress_gb(&self) -> f64 {
+        self.ingress_gb
+    }
+
+    /// Number of instances ever started.
+    pub fn instances_started(&self) -> usize {
+        self.lifetimes.len()
+    }
+
+    /// Total GPU-seconds of recorded function usage.
+    pub fn busy_gpu_seconds(&self) -> f64 {
+        self.usage
+            .iter()
+            .map(|u| u.gpus as f64 * u.duration.as_secs_f64())
+            .sum()
+    }
+
+    /// Total instance-seconds held (instances still open are charged up to
+    /// `now`).
+    pub fn held_instance_seconds(&self, now: SimTime) -> f64 {
+        self.lifetimes
+            .values()
+            .map(|l| (l.stopped.unwrap_or(now) - l.started).as_secs_f64())
+            .sum()
+    }
+
+    /// Cluster-level GPU utilization in `[0, 1]`: busy GPU-time over held
+    /// GPU-time. Returns `None` when nothing was held.
+    pub fn utilization(&self, now: SimTime, gpus_per_instance: u32) -> Option<f64> {
+        let held = self.held_instance_seconds(now) * f64::from(gpus_per_instance);
+        if held <= 0.0 {
+            return None;
+        }
+        Some((self.busy_gpu_seconds() / held).min(1.0))
+    }
+
+    /// The compute bill under `pricing`, charging open instances up to `now`.
+    pub fn compute_cost(&self, pricing: &CloudPricing, now: SimTime) -> Cost {
+        match pricing.billing {
+            BillingModel::PerInstance { .. } => self
+                .lifetimes
+                .values()
+                .map(|l| pricing.instance_charge(l.stopped.unwrap_or(now) - l.started))
+                .sum(),
+            BillingModel::PerFunction => self
+                .usage
+                .iter()
+                .map(|u| pricing.function_charge(u.gpus, u.duration))
+                .sum(),
+        }
+    }
+
+    /// The data-movement bill under `pricing`.
+    pub fn data_cost(&self, pricing: &CloudPricing) -> Cost {
+        pricing.ingress_charge(self.ingress_gb)
+    }
+
+    /// The complete bill: compute plus data.
+    pub fn total_cost(&self, pricing: &CloudPricing, now: SimTime) -> Cost {
+        self.compute_cost(pricing, now) + self.data_cost(pricing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::P3_8XLARGE;
+
+    fn pricing() -> CloudPricing {
+        CloudPricing::on_demand(P3_8XLARGE)
+    }
+
+    #[test]
+    fn per_instance_bill_sums_lifetimes() {
+        let mut m = BillingMeter::new();
+        m.instance_started(InstanceId::new(0), SimTime::ZERO);
+        m.instance_stopped(InstanceId::new(0), SimTime::from_secs(3600));
+        m.instance_started(InstanceId::new(1), SimTime::from_secs(100));
+        m.instance_stopped(InstanceId::new(1), SimTime::from_secs(1900));
+        let bill = m.compute_cost(&pricing(), SimTime::from_secs(3600));
+        // 1 h + 0.5 h = 1.5 × hourly.
+        assert_eq!(bill, P3_8XLARGE.on_demand_hourly * 3 / 2);
+    }
+
+    #[test]
+    fn open_instances_billed_to_now() {
+        let mut m = BillingMeter::new();
+        m.instance_started(InstanceId::new(0), SimTime::ZERO);
+        let bill = m.compute_cost(&pricing(), SimTime::from_secs(7200));
+        assert_eq!(bill, P3_8XLARGE.on_demand_hourly * 2);
+    }
+
+    #[test]
+    fn minimum_charge_applies_per_instance() {
+        let mut m = BillingMeter::new();
+        m.instance_started(InstanceId::new(0), SimTime::ZERO);
+        m.instance_stopped(InstanceId::new(0), SimTime::from_secs(5));
+        let bill = m.compute_cost(&pricing(), SimTime::from_secs(5));
+        assert_eq!(
+            bill,
+            pricing()
+                .instance_hourly()
+                .per_hour_for(SimDuration::from_secs(60))
+        );
+    }
+
+    #[test]
+    fn per_function_bill_ignores_lifetimes() {
+        let mut m = BillingMeter::new();
+        m.instance_started(InstanceId::new(0), SimTime::ZERO);
+        m.instance_stopped(InstanceId::new(0), SimTime::from_secs(3600));
+        m.record_usage(UsageRecord {
+            gpus: 4,
+            duration: SimDuration::from_secs(1800),
+        });
+        let p = pricing().with_per_function_billing();
+        // 4 GPUs × 0.5 h = half the instance hourly price.
+        assert_eq!(
+            m.compute_cost(&p, SimTime::from_secs(3600)),
+            P3_8XLARGE.on_demand_hourly / 2
+        );
+    }
+
+    #[test]
+    fn data_cost_accumulates_ingress() {
+        let mut m = BillingMeter::new();
+        m.record_ingress(150.0);
+        m.record_ingress(150.0);
+        let p = pricing().with_data_price(Cost::from_dollars(0.01));
+        assert_eq!(m.data_cost(&p), Cost::from_dollars(3.0));
+        assert_eq!(m.ingress_gb(), 300.0);
+    }
+
+    #[test]
+    fn utilization_ratio() {
+        let mut m = BillingMeter::new();
+        m.instance_started(InstanceId::new(0), SimTime::ZERO);
+        m.instance_stopped(InstanceId::new(0), SimTime::from_secs(100));
+        // 4-GPU instance held 100 s = 400 GPU-s; 200 GPU-s busy → 50%.
+        m.record_usage(UsageRecord {
+            gpus: 2,
+            duration: SimDuration::from_secs(100),
+        });
+        let u = m.utilization(SimTime::from_secs(100), 4).unwrap();
+        assert!((u - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_none_when_nothing_held() {
+        let m = BillingMeter::new();
+        assert!(m.utilization(SimTime::ZERO, 4).is_none());
+    }
+
+    #[test]
+    fn total_is_compute_plus_data() {
+        let mut m = BillingMeter::new();
+        m.instance_started(InstanceId::new(0), SimTime::ZERO);
+        m.instance_stopped(InstanceId::new(0), SimTime::from_secs(3600));
+        m.record_ingress(100.0);
+        let p = pricing().with_data_price(Cost::from_dollars(0.02));
+        let now = SimTime::from_secs(3600);
+        assert_eq!(
+            m.total_cost(&p, now),
+            m.compute_cost(&p, now) + Cost::from_dollars(2.0)
+        );
+    }
+}

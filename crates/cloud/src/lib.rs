@@ -1,0 +1,25 @@
+//! A discrete-event cloud provider substrate.
+//!
+//! The RubberBand paper runs on AWS EC2 through Ray's autoscaler and boto.
+//! This crate replaces that stack with a simulated provider that exposes
+//! exactly the characteristics the paper models (§2.2, §4.1):
+//!
+//! * an **instance catalog** with per-hour on-demand and spot prices
+//!   ([`catalog`]),
+//! * a **billing model** — per-instance (per-second granularity, 60 s
+//!   minimum charge) or per-function — plus per-GB data-ingress pricing
+//!   ([`pricing`]),
+//! * a **provider** that services provisioning requests after a sampled
+//!   queuing delay and tracks the fleet ([`provider`]),
+//! * a **billing meter** that converts instance lifetimes, data transfers
+//!   and function-usage records into exact dollar amounts ([`billing`]).
+
+pub mod billing;
+pub mod catalog;
+pub mod pricing;
+pub mod provider;
+
+pub use billing::{BillingMeter, UsageRecord};
+pub use catalog::{InstanceType, PricingTier};
+pub use pricing::{BillingModel, CloudPricing};
+pub use provider::{InstanceState, ProviderConfig, SimProvider};

@@ -1,0 +1,188 @@
+//! Billing models and the cloud pricing profile.
+//!
+//! §4.1 of the paper identifies three cost-model parameters that change the
+//! optimal allocation plan: *compute price* (per allocable unit, per unit
+//! time), *billing granularity* (per-instance vs per-function), and *data
+//! price* (per GB of ingress). [`CloudPricing`] bundles all three.
+
+use crate::catalog::{InstanceType, PricingTier};
+use rb_core::{Cost, SimDuration};
+
+/// How compute time is converted into dollars.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BillingModel {
+    /// Traditional IaaS billing: every provisioned instance is charged for
+    /// its full lifetime at per-second granularity, with a minimum charge
+    /// (60 s on all major providers, §3). Idle time — e.g. an instance held
+    /// at a synchronization barrier waiting for stragglers — is still paid
+    /// for.
+    PerInstance {
+        /// Minimum billed duration per provisioned instance, in seconds.
+        minimum_secs: u64,
+    },
+    /// FaaS-style billing: only the resources actually used by a function
+    /// (here: a training task) are charged, for exactly the time the
+    /// function runs. Approximates the finer-grained offerings discussed in
+    /// §4.1; eliminates straggler-holding costs (Fig. 9).
+    PerFunction,
+}
+
+impl BillingModel {
+    /// The standard per-instance model: per-second billing, 60 s minimum.
+    pub const PER_INSTANCE: BillingModel = BillingModel::PerInstance { minimum_secs: 60 };
+
+    /// Returns true for the per-instance variant.
+    pub fn is_per_instance(&self) -> bool {
+        matches!(self, BillingModel::PerInstance { .. })
+    }
+
+    /// Applies the model's minimum-charge floor to a billable duration.
+    pub fn billable(&self, dur: SimDuration) -> SimDuration {
+        match *self {
+            BillingModel::PerInstance { minimum_secs } => {
+                dur.max(SimDuration::from_secs(minimum_secs))
+            }
+            BillingModel::PerFunction => dur,
+        }
+    }
+}
+
+/// The complete pricing profile of the target cloud.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CloudPricing {
+    /// The worker instance shape all trials run on. The paper assumes a
+    /// homogeneous, user-selected instance pool (§3, §4.4.1).
+    pub instance_type: InstanceType,
+    /// On-demand or spot pricing.
+    pub tier: PricingTier,
+    /// Per-instance or per-function billing.
+    pub billing: BillingModel,
+    /// Price per GB of ingress data movement (e.g. reading the training set
+    /// from object storage into each instance). Often zero within a region,
+    /// but treated as a parameter (§4.1, Fig. 10).
+    pub data_price_per_gb: Cost,
+}
+
+impl CloudPricing {
+    /// A pricing profile with per-instance billing and free data ingress —
+    /// the common case within one EC2 region.
+    pub fn on_demand(instance_type: InstanceType) -> Self {
+        CloudPricing {
+            instance_type,
+            tier: PricingTier::OnDemand,
+            billing: BillingModel::PER_INSTANCE,
+            data_price_per_gb: Cost::ZERO,
+        }
+    }
+
+    /// Switches to per-function billing.
+    pub fn with_per_function_billing(mut self) -> Self {
+        self.billing = BillingModel::PerFunction;
+        self
+    }
+
+    /// Sets the data ingress price per GB.
+    pub fn with_data_price(mut self, per_gb: Cost) -> Self {
+        self.data_price_per_gb = per_gb;
+        self
+    }
+
+    /// Switches to spot pricing.
+    pub fn with_spot(mut self) -> Self {
+        self.tier = PricingTier::Spot;
+        self
+    }
+
+    /// The hourly price of one instance.
+    pub fn instance_hourly(&self) -> Cost {
+        self.instance_type.hourly_price(self.tier)
+    }
+
+    /// The hourly price of one GPU's share of an instance.
+    pub fn gpu_hourly(&self) -> Cost {
+        self.instance_type.per_gpu_hourly(self.tier)
+    }
+
+    /// The charge for holding one instance for `dur` under per-instance
+    /// billing rules (per-second granularity, minimum charge applied).
+    pub fn instance_charge(&self, dur: SimDuration) -> Cost {
+        self.instance_hourly()
+            .per_hour_for(self.billing.billable(dur))
+    }
+
+    /// The charge for a function using `gpus` GPUs for `dur` under
+    /// per-function billing rules.
+    pub fn function_charge(&self, gpus: u32, dur: SimDuration) -> Cost {
+        (self.gpu_hourly() * u64::from(gpus)).per_hour_for(dur)
+    }
+
+    /// The one-time ingress charge for downloading `gb` gigabytes onto an
+    /// instance.
+    pub fn ingress_charge(&self, gb: f64) -> Cost {
+        self.data_price_per_gb.per_gb_for(gb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::P3_8XLARGE;
+
+    #[test]
+    fn minimum_charge_floor_applies_only_per_instance() {
+        let m = BillingModel::PER_INSTANCE;
+        assert_eq!(
+            m.billable(SimDuration::from_secs(10)),
+            SimDuration::from_secs(60)
+        );
+        assert_eq!(
+            m.billable(SimDuration::from_secs(120)),
+            SimDuration::from_secs(120)
+        );
+        let f = BillingModel::PerFunction;
+        assert_eq!(
+            f.billable(SimDuration::from_secs(10)),
+            SimDuration::from_secs(10)
+        );
+    }
+
+    #[test]
+    fn instance_charge_for_one_hour_is_list_price() {
+        let p = CloudPricing::on_demand(P3_8XLARGE);
+        assert_eq!(
+            p.instance_charge(SimDuration::from_hours(1)),
+            P3_8XLARGE.on_demand_hourly
+        );
+    }
+
+    #[test]
+    fn sub_minute_instances_pay_the_minimum() {
+        let p = CloudPricing::on_demand(P3_8XLARGE);
+        let one_sec = p.instance_charge(SimDuration::from_secs(1));
+        let one_min = p.instance_charge(SimDuration::from_secs(60));
+        assert_eq!(one_sec, one_min);
+    }
+
+    #[test]
+    fn function_charge_scales_with_gpus() {
+        let p = CloudPricing::on_demand(P3_8XLARGE).with_per_function_billing();
+        let h = SimDuration::from_hours(1);
+        assert_eq!(p.function_charge(4, h), P3_8XLARGE.on_demand_hourly);
+        assert_eq!(p.function_charge(2, h) * 2, p.function_charge(4, h));
+    }
+
+    #[test]
+    fn spot_profile_is_cheaper() {
+        let od = CloudPricing::on_demand(P3_8XLARGE);
+        let spot = CloudPricing::on_demand(P3_8XLARGE).with_spot();
+        assert!(spot.instance_hourly() < od.instance_hourly());
+    }
+
+    #[test]
+    fn ingress_charge_uses_data_price() {
+        let p = CloudPricing::on_demand(P3_8XLARGE).with_data_price(Cost::from_dollars(0.01));
+        assert_eq!(p.ingress_charge(150.0), Cost::from_dollars(1.50));
+        let free = CloudPricing::on_demand(P3_8XLARGE);
+        assert_eq!(free.ingress_charge(150.0), Cost::ZERO);
+    }
+}

@@ -1,0 +1,438 @@
+//! The simulated cloud provider.
+//!
+//! [`SimProvider`] services provisioning requests the way EC2 does from the
+//! job's point of view: a request is acknowledged immediately, and each
+//! instance becomes available after a *scaling latency* (provider queuing
+//! delay, §4.1) sampled per instance. The paper assumes requests are always
+//! eventually served (§3); a configurable fleet quota is still provided so
+//! tests can exercise the error path.
+
+use crate::billing::BillingMeter;
+use crate::catalog::InstanceType;
+use rb_core::ids::IdGen;
+use rb_core::{Distribution, InstanceId, Prng, RbError, Result, SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Lifecycle state of one instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstanceState {
+    /// Requested; becomes ready at the contained time.
+    Pending {
+        /// When the provider will hand over the instance.
+        ready_at: SimTime,
+    },
+    /// Handed over and billing; available to the job since the contained
+    /// time.
+    Running {
+        /// When the instance became ready.
+        since: SimTime,
+    },
+    /// Terminated at the contained time.
+    Terminated {
+        /// When the instance was released.
+        at: SimTime,
+    },
+}
+
+/// Static configuration of the simulated provider.
+#[derive(Debug, Clone)]
+pub struct ProviderConfig {
+    /// The (homogeneous) worker instance shape.
+    pub instance_type: InstanceType,
+    /// Scaling latency: seconds from request to hand-over, sampled per
+    /// instance.
+    pub provision_delay_secs: Distribution,
+    /// Maximum simultaneously non-terminated instances; `None` = unlimited
+    /// (the paper's assumption).
+    pub quota: Option<usize>,
+    /// Spot interruption rate per instance-hour (Poisson). Zero (the
+    /// default) models uninterruptible on-demand capacity; the paper
+    /// defers pre-emptible capacity, so this is an extension.
+    pub interruption_rate_per_hour: f64,
+}
+
+impl ProviderConfig {
+    /// A provider with a constant hand-over delay and no quota.
+    pub fn with_constant_delay(instance_type: InstanceType, delay: SimDuration) -> Self {
+        ProviderConfig {
+            instance_type,
+            provision_delay_secs: Distribution::Constant(delay.as_secs_f64()),
+            quota: None,
+            interruption_rate_per_hour: 0.0,
+        }
+    }
+}
+
+/// The simulated provider: owns the fleet, samples hand-over delays, and
+/// feeds the [`BillingMeter`].
+#[derive(Debug)]
+pub struct SimProvider {
+    config: ProviderConfig,
+    rng: Prng,
+    ids: IdGen<InstanceId>,
+    fleet: BTreeMap<InstanceId, InstanceState>,
+    /// Pre-sampled spot interruption instants (absent for on-demand or
+    /// when the rate is zero). Sampled at provisioning so results are
+    /// independent of query order.
+    preempt_at: BTreeMap<InstanceId, SimTime>,
+    meter: BillingMeter,
+}
+
+impl SimProvider {
+    /// Creates a provider with its own deterministic randomness stream.
+    pub fn new(config: ProviderConfig, seed: u64) -> Self {
+        SimProvider {
+            config,
+            rng: Prng::seed_from_u64(seed),
+            ids: IdGen::new(),
+            fleet: BTreeMap::new(),
+            preempt_at: BTreeMap::new(),
+            meter: BillingMeter::new(),
+        }
+    }
+
+    /// The configured instance shape.
+    pub fn instance_type(&self) -> &InstanceType {
+        &self.config.instance_type
+    }
+
+    /// Requests `n` instances at time `now`.
+    ///
+    /// Returns the instance ids and the time each becomes ready. Billing for
+    /// each instance starts at its ready time (as on EC2, where the billed
+    /// period starts when the instance enters the running state).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbError::Provider`] if the request would exceed the quota.
+    pub fn provision(&mut self, n: usize, now: SimTime) -> Result<Vec<(InstanceId, SimTime)>> {
+        if let Some(quota) = self.config.quota {
+            let live = self.live_count();
+            if live + n > quota {
+                return Err(RbError::Provider(format!(
+                    "quota exceeded: {live} live + {n} requested > {quota}"
+                )));
+            }
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let delay =
+                SimDuration::from_secs_f64(self.config.provision_delay_secs.sample(&mut self.rng));
+            let ready_at = now + delay;
+            let id = self.ids.next();
+            self.fleet.insert(id, InstanceState::Pending { ready_at });
+            if self.config.interruption_rate_per_hour > 0.0 {
+                let hours = Distribution::Exponential {
+                    rate: self.config.interruption_rate_per_hour,
+                }
+                .sample(&mut self.rng);
+                self.preempt_at
+                    .insert(id, ready_at + SimDuration::from_secs_f64(hours * 3600.0));
+            }
+            out.push((id, ready_at));
+        }
+        Ok(out)
+    }
+
+    /// Transitions every pending instance whose ready time has arrived to
+    /// `Running` and starts its billing. Returns the newly ready ids.
+    pub fn poll_ready(&mut self, now: SimTime) -> Vec<InstanceId> {
+        let mut ready = Vec::new();
+        for (&id, state) in self.fleet.iter_mut() {
+            if let InstanceState::Pending { ready_at } = *state {
+                if ready_at <= now {
+                    *state = InstanceState::Running { since: ready_at };
+                    self.meter.instance_started(id, ready_at);
+                    ready.push(id);
+                }
+            }
+        }
+        ready
+    }
+
+    /// Terminates a running instance at `now`, stopping its billing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbError::Provider`] if the instance is unknown, still
+    /// pending, or already terminated.
+    pub fn terminate(&mut self, id: InstanceId, now: SimTime) -> Result<()> {
+        match self.fleet.get_mut(&id) {
+            Some(state @ InstanceState::Running { .. }) => {
+                *state = InstanceState::Terminated { at: now };
+                self.meter.instance_stopped(id, now);
+                self.preempt_at.remove(&id);
+                Ok(())
+            }
+            Some(InstanceState::Pending { .. }) => Err(RbError::Provider(format!(
+                "cannot terminate {id}: still pending"
+            ))),
+            Some(InstanceState::Terminated { .. }) => Err(RbError::Provider(format!(
+                "cannot terminate {id}: already terminated"
+            ))),
+            None => Err(RbError::Provider(format!("unknown instance {id}"))),
+        }
+    }
+
+    /// Terminates every running instance at `now` (end-of-job cleanup).
+    pub fn terminate_all(&mut self, now: SimTime) {
+        let running: Vec<InstanceId> = self
+            .fleet
+            .iter()
+            .filter(|(_, s)| matches!(s, InstanceState::Running { .. }))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in running {
+            self.terminate(id, now)
+                .expect("running instance must terminate cleanly");
+        }
+    }
+
+    /// The instant at which the spot market will reclaim `id`, if it is
+    /// pre-emptible. Known to the simulation (not to a real tenant!) so
+    /// the executor can replay interruptions deterministically.
+    pub fn preemption_time(&self, id: InstanceId) -> Option<SimTime> {
+        self.preempt_at.get(&id).copied()
+    }
+
+    /// Reclaims a running spot instance at its sampled interruption time.
+    /// Billing stops at the interruption (interrupted partial periods are
+    /// not charged beyond it, as on EC2 spot).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbError::Provider`] if the instance is not running or
+    /// has no pending interruption.
+    pub fn preempt(&mut self, id: InstanceId) -> Result<SimTime> {
+        let at = self
+            .preempt_at
+            .get(&id)
+            .copied()
+            .ok_or_else(|| RbError::Provider(format!("{id} has no scheduled interruption")))?;
+        match self.fleet.get_mut(&id) {
+            Some(state @ InstanceState::Running { .. }) => {
+                *state = InstanceState::Terminated { at };
+                self.meter.instance_stopped(id, at);
+                self.preempt_at.remove(&id);
+                Ok(at)
+            }
+            other => Err(RbError::Provider(format!(
+                "cannot preempt {id}: state {other:?}"
+            ))),
+        }
+    }
+
+    /// Returns the state of an instance, if known.
+    pub fn state(&self, id: InstanceId) -> Option<InstanceState> {
+        self.fleet.get(&id).copied()
+    }
+
+    /// Number of instances currently running.
+    pub fn running_count(&self) -> usize {
+        self.fleet
+            .values()
+            .filter(|s| matches!(s, InstanceState::Running { .. }))
+            .count()
+    }
+
+    /// Number of instances pending or running.
+    pub fn live_count(&self) -> usize {
+        self.fleet
+            .values()
+            .filter(|s| !matches!(s, InstanceState::Terminated { .. }))
+            .count()
+    }
+
+    /// Ids of all currently running instances, in creation order.
+    pub fn running_ids(&self) -> Vec<InstanceId> {
+        self.fleet
+            .iter()
+            .filter(|(_, s)| matches!(s, InstanceState::Running { .. }))
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Read access to the billing meter.
+    pub fn meter(&self) -> &BillingMeter {
+        &self.meter
+    }
+
+    /// Mutable access to the billing meter (for recording usage and ingress
+    /// events that the provider itself does not observe).
+    pub fn meter_mut(&mut self) -> &mut BillingMeter {
+        &mut self.meter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::P3_8XLARGE;
+    use crate::pricing::CloudPricing;
+
+    fn provider(delay_secs: u64) -> SimProvider {
+        SimProvider::new(
+            ProviderConfig::with_constant_delay(
+                P3_8XLARGE.clone(),
+                SimDuration::from_secs(delay_secs),
+            ),
+            1,
+        )
+    }
+
+    #[test]
+    fn provision_then_poll_transitions_to_running() {
+        let mut p = provider(30);
+        let handles = p.provision(3, SimTime::ZERO).unwrap();
+        assert_eq!(handles.len(), 3);
+        for (_, ready) in &handles {
+            assert_eq!(*ready, SimTime::from_secs(30));
+        }
+        assert!(p.poll_ready(SimTime::from_secs(29)).is_empty());
+        assert_eq!(p.running_count(), 0);
+        let ready = p.poll_ready(SimTime::from_secs(30));
+        assert_eq!(ready.len(), 3);
+        assert_eq!(p.running_count(), 3);
+    }
+
+    #[test]
+    fn billing_starts_at_ready_not_request() {
+        let mut p = provider(60);
+        let (id, ready_at) = p.provision(1, SimTime::ZERO).unwrap()[0];
+        p.poll_ready(ready_at);
+        p.terminate(id, ready_at + SimDuration::from_hours(1))
+            .unwrap();
+        let bill = p.meter().compute_cost(
+            &CloudPricing::on_demand(P3_8XLARGE),
+            ready_at + SimDuration::from_hours(1),
+        );
+        // Exactly one hour billed despite the 60 s queue delay.
+        assert_eq!(bill, P3_8XLARGE.on_demand_hourly);
+    }
+
+    #[test]
+    fn terminate_pending_is_an_error() {
+        let mut p = provider(30);
+        let (id, _) = p.provision(1, SimTime::ZERO).unwrap()[0];
+        assert!(matches!(
+            p.terminate(id, SimTime::from_secs(1)),
+            Err(RbError::Provider(_))
+        ));
+    }
+
+    #[test]
+    fn double_terminate_is_an_error() {
+        let mut p = provider(0);
+        let (id, ready) = p.provision(1, SimTime::ZERO).unwrap()[0];
+        p.poll_ready(ready);
+        p.terminate(id, SimTime::from_secs(100)).unwrap();
+        assert!(p.terminate(id, SimTime::from_secs(200)).is_err());
+    }
+
+    #[test]
+    fn unknown_instance_is_an_error() {
+        let mut p = provider(0);
+        assert!(p.terminate(InstanceId::new(99), SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn quota_is_enforced() {
+        let mut cfg =
+            ProviderConfig::with_constant_delay(P3_8XLARGE.clone(), SimDuration::from_secs(1));
+        cfg.quota = Some(2);
+        let mut p = SimProvider::new(cfg, 1);
+        p.provision(2, SimTime::ZERO).unwrap();
+        assert!(p.provision(1, SimTime::ZERO).is_err());
+        // Terminating frees quota.
+        let ready = p.poll_ready(SimTime::from_secs(1));
+        p.terminate(ready[0], SimTime::from_secs(61)).unwrap();
+        assert!(p.provision(1, SimTime::from_secs(61)).is_ok());
+    }
+
+    #[test]
+    fn terminate_all_stops_every_running_instance() {
+        let mut p = provider(0);
+        p.provision(4, SimTime::ZERO).unwrap();
+        p.poll_ready(SimTime::ZERO);
+        p.terminate_all(SimTime::from_secs(120));
+        assert_eq!(p.running_count(), 0);
+        assert_eq!(p.live_count(), 0);
+    }
+
+    #[test]
+    fn stochastic_delays_are_deterministic_per_seed() {
+        let mk = || {
+            let cfg = ProviderConfig {
+                instance_type: P3_8XLARGE.clone(),
+                provision_delay_secs: Distribution::lognormal_from_moments(20.0, 10.0),
+                quota: None,
+                interruption_rate_per_hour: 0.0,
+            };
+            SimProvider::new(cfg, 42)
+        };
+        let mut a = mk();
+        let mut b = mk();
+        let ra = a.provision(5, SimTime::ZERO).unwrap();
+        let rb = b.provision(5, SimTime::ZERO).unwrap();
+        assert_eq!(ra, rb);
+        // And the delays actually vary across instances.
+        let distinct: std::collections::BTreeSet<_> = ra.iter().map(|(_, t)| *t).collect();
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn spot_interruptions_are_sampled_and_preemptable() {
+        let mut cfg =
+            ProviderConfig::with_constant_delay(P3_8XLARGE.clone(), SimDuration::from_secs(0));
+        cfg.interruption_rate_per_hour = 2.0;
+        let mut p = SimProvider::new(cfg, 9);
+        let handles = p.provision(4, SimTime::ZERO).unwrap();
+        p.poll_ready(SimTime::ZERO);
+        for (id, ready) in &handles {
+            let t = p.preemption_time(*id).expect("spot instances get a draw");
+            assert!(t >= *ready);
+        }
+        // Preempting stops billing at the sampled instant.
+        let (victim, _) = handles[0];
+        let at = p.preempt(victim).unwrap();
+        assert_eq!(p.preemption_time(victim), None);
+        assert!(matches!(
+            p.state(victim),
+            Some(InstanceState::Terminated { at: t }) if t == at
+        ));
+        // Double preemption fails.
+        assert!(p.preempt(victim).is_err());
+    }
+
+    #[test]
+    fn on_demand_instances_are_never_preempted() {
+        let mut p = provider(0);
+        let (id, _) = p.provision(1, SimTime::ZERO).unwrap()[0];
+        p.poll_ready(SimTime::ZERO);
+        assert_eq!(p.preemption_time(id), None);
+        assert!(p.preempt(id).is_err());
+    }
+
+    #[test]
+    fn terminate_clears_pending_interruption() {
+        let mut cfg =
+            ProviderConfig::with_constant_delay(P3_8XLARGE.clone(), SimDuration::from_secs(0));
+        cfg.interruption_rate_per_hour = 1.0;
+        let mut p = SimProvider::new(cfg, 3);
+        let (id, _) = p.provision(1, SimTime::ZERO).unwrap()[0];
+        p.poll_ready(SimTime::ZERO);
+        p.terminate(id, SimTime::from_secs(120)).unwrap();
+        assert_eq!(p.preemption_time(id), None);
+    }
+
+    #[test]
+    fn running_ids_in_creation_order() {
+        let mut p = provider(0);
+        let handles = p.provision(3, SimTime::ZERO).unwrap();
+        p.poll_ready(SimTime::ZERO);
+        assert_eq!(
+            p.running_ids(),
+            handles.iter().map(|(id, _)| *id).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! The shared error type.
+//!
+//! RubberBand is a library first: fallible operations return [`Result`]
+//! rather than panicking, per the Rust API guidelines. Variants are grouped
+//! by subsystem so callers can match on the class of failure without parsing
+//! strings.
+
+use std::fmt;
+
+/// Convenience alias used across all RubberBand crates.
+pub type Result<T, E = RbError> = std::result::Result<T, E>;
+
+/// Errors produced by RubberBand components.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RbError {
+    /// An experiment specification is malformed (empty, non-monotonic
+    /// trial counts, zero iterations, ...).
+    InvalidSpec(String),
+    /// A search-space definition or sampled configuration is invalid.
+    InvalidConfig(String),
+    /// An allocation plan is structurally invalid for its specification
+    /// (wrong length, zero allocation, unfair division, ...).
+    InvalidPlan(String),
+    /// No feasible plan exists within the time constraint.
+    Infeasible {
+        /// Human-readable description of the binding constraint.
+        reason: String,
+    },
+    /// The cloud provider could not satisfy a request.
+    Provider(String),
+    /// The placement controller could not place a trial.
+    Placement(String),
+    /// A runtime invariant was violated during execution.
+    Execution(String),
+    /// Profiling produced insufficient or inconsistent data.
+    Profiling(String),
+}
+
+impl fmt::Display for RbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RbError::InvalidSpec(m) => write!(f, "invalid experiment spec: {m}"),
+            RbError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            RbError::InvalidPlan(m) => write!(f, "invalid allocation plan: {m}"),
+            RbError::Infeasible { reason } => write!(f, "no feasible plan: {reason}"),
+            RbError::Provider(m) => write!(f, "cloud provider error: {m}"),
+            RbError::Placement(m) => write!(f, "placement error: {m}"),
+            RbError::Execution(m) => write!(f, "execution error: {m}"),
+            RbError::Profiling(m) => write!(f, "profiling error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_subsystem_and_message() {
+        let e = RbError::InvalidSpec("no stages".into());
+        assert_eq!(e.to_string(), "invalid experiment spec: no stages");
+        let e = RbError::Infeasible {
+            reason: "deadline 1s".into(),
+        };
+        assert!(e.to_string().contains("deadline 1s"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&RbError::Provider("quota".into()));
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the foundation types.
+
+use proptest::prelude::*;
+use rb_core::{Cost, Distribution, Prng, SimDuration, SimTime};
+
+proptest! {
+    /// Per-second billing is (approximately) additive in duration: billing
+    /// two spans separately differs from billing their union by at most
+    /// rounding (1 μ$ per charge).
+    #[test]
+    fn per_hour_billing_is_additive(
+        hourly_cents in 1i64..100_000,
+        a_ms in 0u64..10_000_000,
+        b_ms in 0u64..10_000_000,
+    ) {
+        let price = Cost::from_micros(hourly_cents * 10_000);
+        let split = price.per_hour_for(SimDuration::from_millis(a_ms))
+            + price.per_hour_for(SimDuration::from_millis(b_ms));
+        let joint = price.per_hour_for(SimDuration::from_millis(a_ms + b_ms));
+        prop_assert!((split - joint).as_micros().abs() <= 1);
+    }
+
+    /// Billing is monotone in duration and zero for zero time.
+    #[test]
+    fn per_hour_billing_is_monotone(
+        hourly_cents in 1i64..100_000,
+        a_ms in 0u64..10_000_000,
+        extra_ms in 0u64..10_000_000,
+    ) {
+        let price = Cost::from_micros(hourly_cents * 10_000);
+        let small = price.per_hour_for(SimDuration::from_millis(a_ms));
+        let big = price.per_hour_for(SimDuration::from_millis(a_ms + extra_ms));
+        prop_assert!(big >= small);
+        prop_assert_eq!(price.per_hour_for(SimDuration::ZERO), Cost::ZERO);
+    }
+
+    /// Dollars round-trip through micro-dollars at micro precision.
+    #[test]
+    fn cost_dollar_roundtrip(d in -1e7f64..1e7) {
+        let c = Cost::from_dollars(d);
+        prop_assert!((c.as_dollars() - d).abs() < 1e-6);
+    }
+
+    /// Time arithmetic round-trips.
+    #[test]
+    fn time_roundtrip(base_ms in 0u64..u64::MAX / 4, delta_ms in 0u64..u64::MAX / 4) {
+        let t = SimTime::from_millis(base_ms);
+        let d = SimDuration::from_millis(delta_ms);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert_eq!(t.saturating_since(t + d), SimDuration::ZERO);
+        prop_assert_eq!((t + d).saturating_since(t), d);
+    }
+
+    /// Latency distributions used by the execution model never produce
+    /// negative samples, and sampling is deterministic per seed.
+    #[test]
+    fn latency_distributions_are_nonnegative_and_deterministic(
+        seed in 0u64..10_000,
+        mean in 0.001f64..1000.0,
+        spread in 0.0f64..3.0,
+    ) {
+        for d in [
+            Distribution::Constant(mean),
+            Distribution::Uniform { lo: 0.0, hi: mean },
+            Distribution::normal(mean, spread * mean),
+            Distribution::lognormal_from_moments(mean, spread.max(1e-6) * mean),
+            Distribution::Exponential { rate: 1.0 / mean },
+            Distribution::ShiftedExponential { base: mean, rate: 1.0 / mean },
+        ] {
+            let mut a = Prng::seed_from_u64(seed);
+            let mut b = Prng::seed_from_u64(seed);
+            for _ in 0..32 {
+                let xa = d.sample(&mut a);
+                let xb = d.sample(&mut b);
+                prop_assert_eq!(xa, xb);
+                prop_assert!(xa >= 0.0, "{:?} sampled {}", d, xa);
+                prop_assert!(xa.is_finite());
+            }
+        }
+    }
+
+    /// `scaled(k)` scales samples of constant/uniform/normal families by
+    /// exactly k (same underlying uniforms).
+    #[test]
+    fn scaled_distribution_scales_samples(
+        seed in 0u64..10_000,
+        mean in 0.01f64..100.0,
+        k in 0.01f64..100.0,
+    ) {
+        for d in [
+            Distribution::Constant(mean),
+            Distribution::Uniform { lo: 0.0, hi: mean },
+            Distribution::normal(mean, mean / 10.0),
+        ] {
+            let s = d.scaled(k);
+            let mut a = Prng::seed_from_u64(seed);
+            let mut b = Prng::seed_from_u64(seed);
+            for _ in 0..16 {
+                let base = d.sample(&mut a);
+                let scaled = s.sample(&mut b);
+                prop_assert!((scaled - base * k).abs() <= 1e-9 * (1.0 + scaled.abs()));
+            }
+        }
+    }
+}

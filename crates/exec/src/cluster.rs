@@ -1,0 +1,466 @@
+//! The cluster manager (§5): elastic scaling against the simulated
+//! provider.
+//!
+//! Extends the provider with the job-side realities the paper models:
+//! after the provider hands an instance over (scaling latency), the
+//! instance still pays an *initialization latency* (dependency install,
+//! joining the cluster) and a one-time dataset download before trials can
+//! use it. Billing runs from hand-over to termination; the embedded
+//! [`BillingMeter`](rb_cloud::BillingMeter) is the source of truth for
+//! "real" cost columns.
+
+use rb_cloud::{ProviderConfig, SimProvider, UsageRecord};
+use rb_core::{Cost, InstanceId, NodeId, Prng, RbError, Result, SimDuration, SimTime};
+use rb_profile::CloudProfile;
+use std::collections::BTreeMap;
+
+/// A node still being initialized.
+#[derive(Debug, Clone, Copy)]
+struct PendingNode {
+    instance: InstanceId,
+    usable_at: SimTime,
+}
+
+/// A deprovision-deferred instance kept initialized for fast reattach.
+#[derive(Debug, Clone, Copy)]
+struct WarmNode {
+    node: NodeId,
+    instance: InstanceId,
+    /// The instance is released for real if not reused by this time.
+    expires_at: SimTime,
+}
+
+/// Elastic cluster of homogeneous GPU instances.
+#[derive(Debug)]
+pub struct ClusterManager {
+    provider: SimProvider,
+    cloud: CloudProfile,
+    rng: Prng,
+    pending: Vec<PendingNode>,
+    ready: BTreeMap<NodeId, InstanceId>,
+    /// Warm pool (§6.3.1 runs with "a warm pool of instances"): released
+    /// nodes are parked here — still billed — and reattached in
+    /// `warm_attach_secs` instead of a full provision+init cycle.
+    warm: Vec<WarmNode>,
+    warm_capacity: usize,
+    warm_hold: SimDuration,
+    warm_attach: SimDuration,
+}
+
+impl ClusterManager {
+    /// Creates a manager over a fresh provider.
+    pub fn new(cloud: CloudProfile, seed: u64) -> Self {
+        let provider = SimProvider::new(
+            ProviderConfig {
+                instance_type: cloud.pricing.instance_type.clone(),
+                provision_delay_secs: cloud.provision_delay.clone(),
+                quota: None,
+                interruption_rate_per_hour: cloud.spot_interruptions_per_hour,
+            },
+            seed ^ 0xC1A5_7E12,
+        );
+        ClusterManager {
+            provider,
+            cloud,
+            rng: Prng::seed_from_u64(seed ^ 0x11D0_77E5),
+            pending: Vec::new(),
+            ready: BTreeMap::new(),
+            warm: Vec::new(),
+            warm_capacity: 0,
+            warm_hold: SimDuration::ZERO,
+            warm_attach: SimDuration::from_secs(2),
+        }
+    }
+
+    /// Enables a warm pool: up to `capacity` released nodes are held
+    /// (billed) for `hold`, and reattach in `attach` instead of a full
+    /// provision + initialization cycle.
+    pub fn with_warm_pool(
+        mut self,
+        capacity: usize,
+        hold: SimDuration,
+        attach: SimDuration,
+    ) -> Self {
+        self.warm_capacity = capacity;
+        self.warm_hold = hold;
+        self.warm_attach = attach;
+        self
+    }
+
+    /// Releases warm nodes whose hold expired by `now` back to the
+    /// provider (their billing stops at expiry).
+    fn expire_warm(&mut self, now: SimTime) {
+        let mut keep = Vec::with_capacity(self.warm.len());
+        for w in self.warm.drain(..) {
+            if w.expires_at <= now {
+                self.provider
+                    .terminate(w.instance, w.expires_at)
+                    .expect("warm instance is running");
+            } else {
+                keep.push(w);
+            }
+        }
+        self.warm = keep;
+    }
+
+    /// Number of instances currently parked warm.
+    pub fn warm_count(&self) -> usize {
+        self.warm.len()
+    }
+
+    /// GPUs on each node.
+    pub fn gpus_per_node(&self) -> u32 {
+        self.cloud.gpus_per_instance()
+    }
+
+    /// Requests `k` new instances at `now`. Each becomes usable after its
+    /// provisioning delay plus a sampled initialization latency; its
+    /// dataset ingress is charged immediately on hand-over.
+    ///
+    /// # Errors
+    ///
+    /// Propagates provider errors (e.g. quota).
+    pub fn request_nodes(&mut self, k: usize, now: SimTime) -> Result<()> {
+        self.expire_warm(now);
+        // Reattach from the warm pool first (most recently parked first).
+        let mut k = k;
+        while k > 0 {
+            let Some(w) = self.warm.pop() else { break };
+            self.pending.push(PendingNode {
+                instance: w.instance,
+                usable_at: now + self.warm_attach,
+            });
+            k -= 1;
+        }
+        if k == 0 {
+            return Ok(());
+        }
+        let handles = self.provider.provision(k, now)?;
+        for (instance, ready_at) in handles {
+            let init = SimDuration::from_secs_f64(self.cloud.init_latency.sample(&mut self.rng));
+            self.provider
+                .meter_mut()
+                .record_ingress(self.cloud.dataset_gb);
+            self.pending.push(PendingNode {
+                instance,
+                usable_at: ready_at + init,
+            });
+        }
+        Ok(())
+    }
+
+    /// The instant every currently pending node becomes usable, if any
+    /// are pending. The executor's stage barrier waits for this.
+    pub fn pending_ready_time(&self) -> Option<SimTime> {
+        self.pending.iter().map(|p| p.usable_at).max()
+    }
+
+    /// Promotes pending nodes whose initialization finished by `now` into
+    /// the ready set. Returns the newly usable node ids.
+    pub fn absorb_ready(&mut self, now: SimTime) -> Vec<NodeId> {
+        // The provider marks hand-over (billing start) for anything whose
+        // provisioning completed; initialization may still be running.
+        self.provider.poll_ready(now);
+        let mut new_nodes = Vec::new();
+        let mut still_pending = Vec::new();
+        for p in self.pending.drain(..) {
+            if p.usable_at <= now {
+                let node = NodeId::new(p.instance.raw());
+                self.ready.insert(node, p.instance);
+                new_nodes.push(node);
+            } else {
+                still_pending.push(p);
+            }
+        }
+        self.pending = still_pending;
+        new_nodes
+    }
+
+    /// The usable nodes, in id order.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        self.ready.keys().copied().collect()
+    }
+
+    /// Number of usable nodes.
+    pub fn ready_count(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Number of requested-but-not-yet-usable nodes.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Terminates the given nodes at `now`, ending their billing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbError::Execution`] if a node is unknown; provider
+    /// errors propagate.
+    pub fn terminate_nodes(&mut self, nodes: &[NodeId], now: SimTime) -> Result<()> {
+        self.expire_warm(now);
+        for &node in nodes {
+            let instance = self
+                .ready
+                .remove(&node)
+                .ok_or_else(|| RbError::Execution(format!("terminating unknown node {node}")))?;
+            if self.warm.len() < self.warm_capacity {
+                // Park instead of releasing: stays billed, reattaches fast.
+                self.warm.push(WarmNode {
+                    node,
+                    instance,
+                    expires_at: now + self.warm_hold,
+                });
+            } else {
+                self.provider.terminate(instance, now)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Terminates everything at `now` (job teardown), including warm
+    /// nodes (billed up to `now` or their earlier expiry).
+    pub fn terminate_all(&mut self, now: SimTime) {
+        for w in std::mem::take(&mut self.warm) {
+            let at = now.min(w.expires_at);
+            let _ = w.node;
+            self.provider
+                .terminate(w.instance, at)
+                .expect("warm instance is running");
+        }
+        // Pending instances may still be mid-provisioning; release the
+        // ready ones and let any pending ones be cancelled by marking them
+        // ready first (their billing started at hand-over regardless).
+        self.provider
+            .poll_ready(now + SimDuration::from_hours(24 * 365));
+        self.provider.terminate_all(now.max(self.latest_handover()));
+        self.ready.clear();
+        self.pending.clear();
+    }
+
+    fn latest_handover(&self) -> SimTime {
+        self.pending
+            .iter()
+            .map(|p| p.usable_at)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// The instant the spot market will reclaim `node`, if pre-emptible
+    /// and still alive.
+    pub fn preemption_time(&self, node: NodeId) -> Option<SimTime> {
+        let instance = self.ready.get(&node)?;
+        self.provider.preemption_time(*instance)
+    }
+
+    /// Reclaims a spot node at its sampled interruption instant, stopping
+    /// its billing there and removing it from the ready set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbError::Execution`] for unknown nodes; provider errors
+    /// (already reclaimed, no interruption scheduled) propagate.
+    pub fn preempt_node(&mut self, node: NodeId) -> Result<SimTime> {
+        let instance = self
+            .ready
+            .remove(&node)
+            .ok_or_else(|| RbError::Execution(format!("preempting unknown node {node}")))?;
+        self.provider.preempt(instance)
+    }
+
+    /// Records a function-granularity usage event (for per-function
+    /// billing and utilization accounting).
+    pub fn record_usage(&mut self, gpus: u32, duration: SimDuration) {
+        self.provider
+            .meter_mut()
+            .record_usage(UsageRecord { gpus, duration });
+    }
+
+    /// The compute + data bill as of `now`, under the profile's billing
+    /// model.
+    pub fn total_cost(&self, now: SimTime) -> Cost {
+        self.provider.meter().total_cost(&self.cloud.pricing, now)
+    }
+
+    /// The compute-only bill as of `now`.
+    pub fn compute_cost(&self, now: SimTime) -> Cost {
+        self.provider.meter().compute_cost(&self.cloud.pricing, now)
+    }
+
+    /// The data-ingress bill.
+    pub fn data_cost(&self) -> Cost {
+        self.provider.meter().data_cost(&self.cloud.pricing)
+    }
+
+    /// Cluster GPU utilization (busy GPU-time / held GPU-time) as of `now`.
+    pub fn utilization(&self, now: SimTime) -> Option<f64> {
+        self.provider.meter().utilization(now, self.gpus_per_node())
+    }
+
+    /// Instances ever provisioned.
+    pub fn instances_provisioned(&self) -> usize {
+        self.provider.meter().instances_started()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rb_cloud::catalog::P3_8XLARGE;
+    use rb_cloud::CloudPricing;
+
+    fn cloud() -> CloudProfile {
+        CloudProfile::new(CloudPricing::on_demand(P3_8XLARGE))
+            .with_provision_delay(SimDuration::from_secs(15))
+            .with_init_latency(SimDuration::from_secs(15))
+    }
+
+    #[test]
+    fn nodes_become_usable_after_provision_plus_init() {
+        let mut cm = ClusterManager::new(cloud(), 1);
+        cm.request_nodes(2, SimTime::ZERO).unwrap();
+        assert_eq!(cm.pending_count(), 2);
+        assert_eq!(cm.pending_ready_time(), Some(SimTime::from_secs(30)));
+        assert!(cm.absorb_ready(SimTime::from_secs(29)).is_empty());
+        let nodes = cm.absorb_ready(SimTime::from_secs(30));
+        assert_eq!(nodes.len(), 2);
+        assert_eq!(cm.ready_count(), 2);
+        assert_eq!(cm.pending_count(), 0);
+    }
+
+    #[test]
+    fn billing_covers_init_but_not_queue_delay() {
+        let mut cm = ClusterManager::new(cloud(), 1);
+        cm.request_nodes(1, SimTime::ZERO).unwrap();
+        let t = SimTime::from_secs(30);
+        let nodes = cm.absorb_ready(t);
+        // Hold for 1 hour after becoming usable, then terminate.
+        let end = t + SimDuration::from_hours(1);
+        cm.terminate_nodes(&nodes, end).unwrap();
+        // Billed from hand-over (15 s) to end (3630 s): 3615 s.
+        let expect =
+            CloudPricing::on_demand(P3_8XLARGE).instance_charge(SimDuration::from_secs(3615));
+        assert_eq!(cm.compute_cost(end), expect);
+    }
+
+    #[test]
+    fn ingress_charged_per_instance() {
+        let mut cloud = cloud().with_dataset_gb(150.0);
+        cloud.pricing = cloud.pricing.with_data_price(Cost::from_dollars(0.01));
+        let mut cm = ClusterManager::new(cloud, 1);
+        cm.request_nodes(3, SimTime::ZERO).unwrap();
+        assert_eq!(cm.data_cost(), Cost::from_dollars(4.50));
+    }
+
+    #[test]
+    fn terminate_unknown_node_errors() {
+        let mut cm = ClusterManager::new(cloud(), 1);
+        assert!(cm
+            .terminate_nodes(&[NodeId::new(9)], SimTime::ZERO)
+            .is_err());
+    }
+
+    #[test]
+    fn usage_drives_per_function_cost_and_utilization() {
+        let mut profile = cloud();
+        profile.pricing = profile.pricing.with_per_function_billing();
+        let mut cm = ClusterManager::new(profile, 1);
+        cm.request_nodes(1, SimTime::ZERO).unwrap();
+        let t = SimTime::from_secs(30);
+        cm.absorb_ready(t);
+        cm.record_usage(2, SimDuration::from_secs(1800));
+        let end = t + SimDuration::from_secs(3600);
+        // Per-function: 2 GPUs × 0.5 h = a quarter of the 4-GPU instance
+        // hourly price.
+        assert_eq!(cm.compute_cost(end), P3_8XLARGE.on_demand_hourly / 4);
+        // Utilization: 3600 GPU-s busy of (3615 s × 4 GPUs) held.
+        let u = cm.utilization(end).unwrap();
+        assert!((u - 3600.0 / (3615.0 * 4.0)).abs() < 1e-9, "u = {u}");
+    }
+
+    #[test]
+    fn terminate_all_cleans_up() {
+        let mut cm = ClusterManager::new(cloud(), 1);
+        cm.request_nodes(2, SimTime::ZERO).unwrap();
+        cm.absorb_ready(SimTime::from_secs(30));
+        cm.request_nodes(1, SimTime::from_secs(40)).unwrap();
+        cm.terminate_all(SimTime::from_secs(100));
+        assert_eq!(cm.ready_count(), 0);
+        assert_eq!(cm.pending_count(), 0);
+        assert_eq!(cm.instances_provisioned(), 3);
+    }
+
+    #[test]
+    fn warm_pool_reattaches_quickly_and_keeps_billing() {
+        let mut cm = ClusterManager::new(cloud(), 1).with_warm_pool(
+            2,
+            SimDuration::from_secs(300),
+            SimDuration::from_secs(2),
+        );
+        cm.request_nodes(2, SimTime::ZERO).unwrap();
+        let nodes = cm.absorb_ready(SimTime::from_secs(30));
+        // Release both: they park warm instead of terminating.
+        cm.terminate_nodes(&nodes, SimTime::from_secs(100)).unwrap();
+        assert_eq!(cm.ready_count(), 0);
+        assert_eq!(cm.warm_count(), 2);
+        // Re-request within the hold: ready after 2 s, not 30 s.
+        cm.request_nodes(2, SimTime::from_secs(150)).unwrap();
+        assert_eq!(cm.pending_ready_time(), Some(SimTime::from_secs(152)));
+        cm.absorb_ready(SimTime::from_secs(152));
+        assert_eq!(cm.ready_count(), 2);
+        assert_eq!(cm.warm_count(), 0);
+        // No new instances were provisioned.
+        assert_eq!(cm.instances_provisioned(), 2);
+        // Billing covered the warm interval: both instances still open.
+        let end = SimTime::from_secs(252);
+        cm.terminate_all(end);
+        let expect =
+            CloudPricing::on_demand(P3_8XLARGE).instance_charge(SimDuration::from_secs(252 - 15));
+        assert_eq!(cm.compute_cost(end), expect * 2);
+    }
+
+    #[test]
+    fn warm_pool_expires_and_stops_billing() {
+        let mut cm = ClusterManager::new(cloud(), 1).with_warm_pool(
+            1,
+            SimDuration::from_secs(60),
+            SimDuration::from_secs(2),
+        );
+        cm.request_nodes(1, SimTime::ZERO).unwrap();
+        let nodes = cm.absorb_ready(SimTime::from_secs(30));
+        cm.terminate_nodes(&nodes, SimTime::from_secs(100)).unwrap();
+        // Past the hold: the next request provisions fresh capacity and the
+        // warm instance's billing stopped at its expiry (t=160).
+        cm.request_nodes(1, SimTime::from_secs(400)).unwrap();
+        assert_eq!(cm.warm_count(), 0);
+        assert_eq!(
+            cm.pending_ready_time(),
+            Some(SimTime::from_secs(430)),
+            "fresh provision pays the full 30 s"
+        );
+        let ready = cm.absorb_ready(SimTime::from_secs(430));
+        assert_eq!(cm.instances_provisioned(), 2);
+        cm.terminate_nodes(&ready, SimTime::from_secs(500)).unwrap();
+        // First instance billed 15..160 (145 s), second 415..500 (85 s)...
+        // but the second parks warm again (capacity 1), so bill to its end:
+        cm.terminate_all(SimTime::from_secs(520));
+        let pr = CloudPricing::on_demand(P3_8XLARGE);
+        let expect = pr.instance_charge(SimDuration::from_secs(145))
+            + pr.instance_charge(SimDuration::from_secs(520 - 415));
+        assert_eq!(cm.compute_cost(SimTime::from_secs(520)), expect);
+    }
+
+    #[test]
+    fn warm_capacity_is_respected() {
+        let mut cm = ClusterManager::new(cloud(), 1).with_warm_pool(
+            1,
+            SimDuration::from_secs(300),
+            SimDuration::from_secs(2),
+        );
+        cm.request_nodes(3, SimTime::ZERO).unwrap();
+        let nodes = cm.absorb_ready(SimTime::from_secs(30));
+        cm.terminate_nodes(&nodes, SimTime::from_secs(100)).unwrap();
+        // Only one fits the pool; the other two released for real.
+        assert_eq!(cm.warm_count(), 1);
+    }
+}

@@ -1,0 +1,943 @@
+//! The stage-by-stage execution engine (§5).
+//!
+//! The executor owns the control loop: per stage it scales the cluster to
+//! the plan's allocation, places (or migrates) trial workers, runs every
+//! trial for the stage's iterations with noisy per-iteration latencies,
+//! synchronizes, ranks trials and promotes the top performers. All time
+//! is virtual; all money flows through the cluster manager's billing
+//! meter. Noise streams are per-trial, so results are independent of
+//! scheduling order and bit-reproducible from the seed.
+
+use crate::cluster::ClusterManager;
+use crate::report::{ExecutionReport, ExecutionTrace, StageRecord, TraceEvent};
+use rb_core::{Distribution, Prng, RbError, Result, SimDuration, SimTime, TrialId};
+use rb_hpo::{select_survivors, Config, ExperimentSpec};
+use rb_placement::{scatter_placement, ClusterState, PlacementController, PlacementPlan};
+use rb_profile::{CloudProfile, ModelProfile};
+use rb_scaling::PlacementQuality;
+use rb_sim::AllocationPlan;
+use rb_train::checkpoint::CheckpointStore;
+use rb_train::{TaskModel, Trial, TrialStatus};
+use std::collections::BTreeMap;
+
+/// Executor knobs.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Root seed for all execution randomness.
+    pub seed: u64,
+    /// Barrier evaluation latency, in seconds.
+    pub sync_overhead_secs: f64,
+    /// Use the placement controller (§4.4). When false, workers are
+    /// scattered with no locality — the Table 1 ablation baseline.
+    pub use_placement_controller: bool,
+    /// Bandwidth for moving checkpoints during migration, in GB/s.
+    pub checkpoint_bw_gbps: f64,
+    /// Warm-pool capacity (§6.3.1 runs with a warm pool): released
+    /// instances up to this count stay billed for `warm_hold_secs` and
+    /// reattach in seconds instead of a provision + init cycle. Zero
+    /// disables the pool.
+    pub warm_pool: usize,
+    /// How long a warm instance is held before being released for real.
+    pub warm_hold_secs: f64,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            seed: 0x5EED,
+            sync_overhead_secs: 1.0,
+            use_placement_controller: true,
+            checkpoint_bw_gbps: 1.0,
+            warm_pool: 0,
+            warm_hold_secs: 300.0,
+        }
+    }
+}
+
+/// Executes one experiment specification under one allocation plan.
+#[derive(Debug)]
+pub struct Executor {
+    spec: ExperimentSpec,
+    plan: AllocationPlan,
+    task: TaskModel,
+    /// Ground-truth training physics (the executor's reality; the planner
+    /// sees only the *profiled* approximation of this).
+    physics: ModelProfile,
+    cloud: CloudProfile,
+    options: ExecOptions,
+}
+
+struct RunningTrial {
+    trial: Trial,
+    rng: Prng,
+    busy_secs: f64,
+    units_done: u64,
+}
+
+impl Executor {
+    /// Creates an executor with default options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbError::InvalidPlan`] if the plan does not match the
+    /// spec.
+    pub fn new(
+        spec: ExperimentSpec,
+        plan: AllocationPlan,
+        task: TaskModel,
+        physics: ModelProfile,
+        cloud: CloudProfile,
+    ) -> Result<Self> {
+        plan.validate(&spec)?;
+        Ok(Executor {
+            spec,
+            plan,
+            task,
+            physics,
+            cloud,
+            options: ExecOptions::default(),
+        })
+    }
+
+    /// Overrides the executor options.
+    pub fn with_options(mut self, options: ExecOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Runs the experiment over the given configurations (one per initial
+    /// trial) and returns the execution report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbError::InvalidConfig`] when fewer configurations than
+    /// initial trials are supplied; placement/provider/execution errors
+    /// propagate.
+    pub fn run(&self, configs: &[Config]) -> Result<ExecutionReport> {
+        let n = self.spec.initial_trials() as usize;
+        if configs.len() < n {
+            return Err(RbError::InvalidConfig(format!(
+                "spec needs {n} configs, got {}",
+                configs.len()
+            )));
+        }
+        let opts = &self.options;
+        let gpg = self.cloud.gpus_per_instance().max(1);
+        let mut cm = ClusterManager::new(self.cloud.clone(), opts.seed);
+        if opts.warm_pool > 0 {
+            cm = cm.with_warm_pool(
+                opts.warm_pool,
+                SimDuration::from_secs_f64(opts.warm_hold_secs),
+                SimDuration::from_secs(2),
+            );
+        }
+        let mut pc = PlacementController::new();
+        let mut store = CheckpointStore::new();
+
+        let mut trials: BTreeMap<TrialId, RunningTrial> = BTreeMap::new();
+        for (i, cfg) in configs.iter().take(n).enumerate() {
+            let id = TrialId::new(i as u64);
+            let trial_seed = opts.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            trials.insert(
+                id,
+                RunningTrial {
+                    trial: Trial::new(id, cfg.clone(), trial_seed),
+                    rng: Prng::seed_from_u64(trial_seed ^ 0x7A1A_11CE),
+                    busy_secs: 0.0,
+                    units_done: 0,
+                },
+            );
+        }
+        let mut live: Vec<TrialId> = trials.keys().copied().collect();
+        let mut now = SimTime::ZERO;
+        let mut stages = Vec::new();
+        let mut total_migrations = 0u32;
+        let mut total_preemptions = 0u32;
+        let mut trace = ExecutionTrace::default();
+
+        for stage in 0..self.spec.num_stages() {
+            let (stage_trials, units) = self.spec.get_stage(stage)?;
+            // The scheduler decides; the rest of the loop carries it out.
+            let schedule =
+                crate::scheduler::schedule_stage(&self.spec, &self.plan, stage, &live, gpg)?;
+            let needed = schedule.target_instances as usize;
+            let waves = schedule.waves;
+
+            // --- Cluster scaling ------------------------------------------------
+            let current = cm.ready_count();
+            if needed > current {
+                cm.request_nodes(needed - current, now)?;
+            }
+            let mut cluster = ClusterState::new(cm.nodes(), gpg);
+            let mut moved: Vec<TrialId> = Vec::new();
+            if needed < current {
+                let k = current - needed;
+                if opts.use_placement_controller && !pc.plan().is_empty() {
+                    // Bin-pack survivors off the victim nodes, then release.
+                    let allocations: BTreeMap<TrialId, u32> = live
+                        .iter()
+                        .map(|&t| (t, pc.plan().assigned_gpus(t).max(1)))
+                        .filter(|&(t, _)| pc.plan().get(t).is_some())
+                        .collect();
+                    pc.update(&allocations, &cluster)?;
+                    match pc.plan_scale_down(&cluster, k) {
+                        Ok((freed, relocated)) => {
+                            moved.extend(relocated);
+                            for nid in &freed {
+                                cluster.remove(*nid);
+                                trace.events.push(TraceEvent::NodeDown {
+                                    node: *nid,
+                                    at: now,
+                                    preempted: false,
+                                });
+                            }
+                            cm.terminate_nodes(&freed, now)?;
+                        }
+                        Err(_) => {
+                            // Bin-packing could not relocate (e.g. trials
+                            // spanning nodes). Preservation is best-effort
+                            // (§4.4): fall back to a full re-placement —
+                            // everything checkpoints at the barrier anyway.
+                            pc = PlacementController::new();
+                            let nodes = cm.nodes();
+                            let victims: Vec<_> = nodes[nodes.len() - k..].to_vec();
+                            for nid in &victims {
+                                cluster.remove(*nid);
+                                trace.events.push(TraceEvent::NodeDown {
+                                    node: *nid,
+                                    at: now,
+                                    preempted: false,
+                                });
+                            }
+                            cm.terminate_nodes(&victims, now)?;
+                            moved.extend(live.iter().copied());
+                        }
+                    }
+                } else {
+                    // Scatter baseline: drop the emptiest-by-id tail nodes.
+                    let nodes = cm.nodes();
+                    let victims: Vec<_> = nodes[nodes.len() - k..].to_vec();
+                    for nid in &victims {
+                        cluster.remove(*nid);
+                        trace.events.push(TraceEvent::NodeDown {
+                            node: *nid,
+                            at: now,
+                            preempted: false,
+                        });
+                    }
+                    cm.terminate_nodes(&victims, now)?;
+                }
+            }
+            if needed > current {
+                // Barrier: wait for the whole new cluster (§4.2 semantics).
+                if let Some(ready) = cm.pending_ready_time() {
+                    now = now.max(ready);
+                }
+                for nid in cm.absorb_ready(now) {
+                    cluster.add(nid);
+                    trace.events.push(TraceEvent::NodeUp { node: nid, at: now });
+                }
+            }
+
+            // --- Placement ------------------------------------------------------
+            // Wave-scheduled stages run single-GPU trials over the slots;
+            // a 1-GPU worker is trivially packed, so the controller is
+            // bypassed and trials rotate churn-free.
+            let placement: PlacementPlan;
+            let allocations = schedule.allocations.clone();
+            if waves {
+                let nodes = cluster.nodes().to_vec();
+                let mut p = PlacementPlan::new();
+                for (i, &t) in live.iter().enumerate() {
+                    let node = nodes[(i % schedule.slots as usize) % nodes.len()];
+                    p.assign(t, vec![rb_placement::Placement { node, gpus: 1 }]);
+                }
+                placement = p;
+            } else if opts.use_placement_controller {
+                let diff = pc.update(&allocations, &cluster)?;
+                moved.extend(diff.moved.iter().copied());
+                placement = pc.plan().clone();
+            } else {
+                placement = scatter_placement(&allocations, &cluster).ok_or_else(|| {
+                    RbError::Placement("scatter baseline: cluster too small".into())
+                })?;
+            }
+            moved.sort();
+            moved.dedup();
+            let stage_migrations = moved.len() as u32;
+            total_migrations += stage_migrations;
+            for &t in &moved {
+                trace
+                    .events
+                    .push(TraceEvent::Migration { trial: t, at: now });
+            }
+
+            // --- Training -------------------------------------------------------
+            let train_start = now;
+            let slots = schedule.slots as usize;
+            let mut slot_free: Vec<SimTime> = vec![train_start; slots.max(1)];
+            let mut stage_end = train_start;
+            let checkpoint_secs = |trial: TrialId, store: &CheckpointStore| -> f64 {
+                store
+                    .get(trial)
+                    .map(|ck| ck.total_bytes() as f64 / (opts.checkpoint_bw_gbps * 1e9))
+                    .unwrap_or(0.0)
+            };
+            // Spot interruption instants of the stage's nodes, captured
+            // up-front so that colocated trials observe the same event
+            // even after the first of them reclaims the node.
+            let node_preempt: BTreeMap<rb_core::NodeId, SimTime> = cluster
+                .nodes()
+                .iter()
+                .filter_map(|&n| cm.preemption_time(n).map(|t| (n, t)))
+                .collect();
+            for (wave_idx, &tid) in live.iter().enumerate() {
+                let slot = wave_idx % slots.max(1);
+                let mut start = slot_free[slot];
+                let rt = trials.get_mut(&tid).expect("live trial exists");
+                if rt.trial.status() != TrialStatus::Running {
+                    rt.trial.start()?;
+                }
+                let gpus = allocations[&tid];
+                // Without placement control, even single-GPU workers lose
+                // data locality and scheduler affinity (Table 1's 1-GPU
+                // rows differ); with it, quality comes from the plan.
+                let quality = if opts.use_placement_controller {
+                    placement
+                        .quality(tid, gpg)
+                        .unwrap_or(PlacementQuality::Packed)
+                } else {
+                    PlacementQuality::Scattered
+                };
+                let unit_mean = self.physics.unit_mean_secs(gpus, quality);
+                let dist = if self.physics.unit_noise_frac > 0.0 {
+                    Distribution::Normal {
+                        mean: unit_mean,
+                        std: self.physics.unit_noise_frac * unit_mean,
+                        floor: 0.05 * unit_mean,
+                    }
+                } else {
+                    Distribution::Constant(unit_mean)
+                };
+                let mut hosting: Vec<rb_core::NodeId> = placement
+                    .get(tid)
+                    .map(|cs| cs.iter().map(|p| p.node).collect())
+                    .unwrap_or_default();
+                let mut needs_fetch = stage > 0 || moved.contains(&tid);
+                // Attempt loop: a spot interruption of any hosting node
+                // loses the attempt's progress (checkpoints happen only at
+                // stage barriers); the trial restarts on a replacement.
+                let finish = loop {
+                    let mut work = self.physics.train_startup_secs;
+                    if needs_fetch {
+                        work += checkpoint_secs(tid, &store);
+                    }
+                    for _ in 0..units {
+                        work += dist.sample(&mut rt.rng);
+                    }
+                    let end = start + SimDuration::from_secs_f64(work);
+                    let preempt = hosting
+                        .iter()
+                        .filter_map(|n| {
+                            node_preempt
+                                .get(n)
+                                .copied()
+                                .or_else(|| cm.preemption_time(*n))
+                        })
+                        .filter(|&t| t > start && t < end)
+                        .min();
+                    let Some(cut) = preempt else {
+                        rt.busy_secs += work;
+                        cm.record_usage(gpus, SimDuration::from_secs_f64(work));
+                        trace.events.push(TraceEvent::TrialSegment {
+                            trial: tid,
+                            stage,
+                            start,
+                            end,
+                            gpus,
+                        });
+                        break end;
+                    };
+                    // Pay for the lost work, reclaim the dead node(s), and
+                    // bring up replacements.
+                    total_preemptions += 1;
+                    let lost = cut - start;
+                    rt.busy_secs += lost.as_secs_f64();
+                    cm.record_usage(gpus, lost);
+                    trace.events.push(TraceEvent::TrialSegment {
+                        trial: tid,
+                        stage,
+                        start,
+                        end: cut,
+                        gpus,
+                    });
+                    let dead: Vec<rb_core::NodeId> = hosting
+                        .iter()
+                        .copied()
+                        .filter(|n| {
+                            node_preempt
+                                .get(n)
+                                .copied()
+                                .or_else(|| cm.preemption_time(*n))
+                                .is_some_and(|t| t <= cut)
+                        })
+                        .collect();
+                    for n in &dead {
+                        // Colocated trials race to reclaim; losing is fine.
+                        if cm.preempt_node(*n).is_ok() {
+                            trace.events.push(TraceEvent::NodeDown {
+                                node: *n,
+                                at: cut,
+                                preempted: true,
+                            });
+                        }
+                        cluster.remove(*n);
+                        hosting.retain(|h| h != n);
+                    }
+                    cm.request_nodes(dead.len(), cut)?;
+                    let ready = cm.pending_ready_time().unwrap_or(cut);
+                    for n in cm.absorb_ready(ready) {
+                        cluster.add(n);
+                        hosting.push(n);
+                        trace.events.push(TraceEvent::NodeUp { node: n, at: ready });
+                    }
+                    start = cut.max(ready);
+                    needs_fetch = true;
+                };
+                rt.units_done += units;
+                for _ in 0..units {
+                    rt.trial.advance(&self.task, 1)?;
+                }
+                slot_free[slot] = finish;
+                stage_end = stage_end.max(finish);
+            }
+            // Idle spot nodes reclaimed before the barrier stop billing at
+            // their interruption instant and leave the cluster.
+            for node in cluster.nodes().to_vec() {
+                if cm.preemption_time(node).is_some_and(|t| t <= stage_end) {
+                    let _ = cm.preempt_node(node);
+                    cluster.remove(node);
+                }
+            }
+            now = stage_end + SimDuration::from_secs_f64(opts.sync_overhead_secs);
+            trace.events.push(TraceEvent::Barrier { stage, at: now });
+
+            // --- Synchronization barrier: rank, promote, terminate -------------
+            let results: Vec<(TrialId, f64)> = live
+                .iter()
+                .map(|&t| {
+                    let acc = trials[&t]
+                        .trial
+                        .latest_accuracy()
+                        .expect("trained trials have metrics");
+                    (t, acc)
+                })
+                .collect();
+            let keep = self
+                .spec
+                .get_stage(stage + 1)
+                .map(|(t, _)| t as usize)
+                .unwrap_or(0);
+            let survivors = select_survivors(&results, keep.max(1).min(live.len()));
+            let is_last = stage + 1 == self.spec.num_stages();
+            for &tid in &live {
+                let rt = trials.get_mut(&tid).expect("live trial exists");
+                if is_last || !survivors.contains(&tid) {
+                    // Completed survivors and terminated losers both stop.
+                    if is_last && survivors.contains(&tid) {
+                        rt.trial.complete()?;
+                    } else {
+                        rt.trial.terminate()?;
+                        store.evict(tid);
+                    }
+                } else {
+                    rt.trial.pause()?;
+                    store.save(&rt.trial, &self.task.arch);
+                    pc.confirm(tid);
+                }
+            }
+            stages.push(StageRecord {
+                stage,
+                train_start,
+                sync_end: now,
+                trials: stage_trials,
+                gpus_per_trial: schedule.allocations.values().next().copied().unwrap_or(1),
+                instances: needed as u32,
+                migrations: stage_migrations,
+            });
+            live = survivors;
+        }
+
+        // --- Teardown and report ------------------------------------------------
+        let jct = now - SimTime::ZERO;
+        let utilization = cm.utilization(now);
+        let compute_cost;
+        let data_cost;
+        {
+            cm.terminate_all(now);
+            compute_cost = cm.compute_cost(now);
+            data_cost = cm.data_cost();
+        }
+        let best_trial = *live
+            .first()
+            .ok_or_else(|| RbError::Execution("no surviving trial at job end".into()))?;
+        let best = &trials[&best_trial];
+        let batch = f64::from(self.physics.scaling.batch_size());
+        let trial_throughput: BTreeMap<TrialId, f64> = trials
+            .iter()
+            .filter(|(_, rt)| rt.busy_secs > 0.0 && rt.units_done > 0)
+            .map(|(&t, rt)| {
+                let samples = rt.units_done as f64 * self.physics.steps_per_iter as f64 * batch;
+                (t, samples / rt.busy_secs)
+            })
+            .collect();
+        Ok(ExecutionReport {
+            jct,
+            compute_cost,
+            data_cost,
+            best_trial,
+            best_config: best.trial.config.clone(),
+            best_accuracy: best.trial.latest_accuracy().expect("winner has metrics"),
+            stages,
+            migrations: total_migrations,
+            preemptions: total_preemptions,
+            instances_provisioned: cm.instances_provisioned(),
+            utilization,
+            trial_throughput,
+            trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rb_cloud::catalog::P3_8XLARGE;
+    use rb_cloud::CloudPricing;
+    use rb_hpo::{Dim, SearchSpace};
+    use rb_scaling::AnalyticScaling;
+    use rb_train::task::resnet101_cifar10;
+    use std::sync::Arc;
+
+    fn cloud() -> CloudProfile {
+        CloudProfile::new(CloudPricing::on_demand(P3_8XLARGE))
+            .with_provision_delay(SimDuration::from_secs(15))
+            .with_init_latency(SimDuration::from_secs(15))
+    }
+
+    fn physics(task: &TaskModel, batch: u32) -> ModelProfile {
+        let scaling = Arc::new(AnalyticScaling::for_arch(&task.arch, batch, 4));
+        let mut p =
+            ModelProfile::from_scaling(task.name, scaling, task.steps_per_iter(batch), 2.0, 0.02);
+        p.train_startup_secs = 2.0;
+        p
+    }
+
+    fn configs(n: usize, seed: u64) -> Vec<Config> {
+        let space = SearchSpace::new()
+            .add("lr", Dim::LogUniform { lo: 1e-3, hi: 1.0 })
+            .add("weight_decay", Dim::LogUniform { lo: 1e-5, hi: 1e-2 })
+            .build()
+            .unwrap();
+        space.sample_n(n, &mut Prng::seed_from_u64(seed))
+    }
+
+    fn small_spec() -> ExperimentSpec {
+        ExperimentSpec::from_stages(&[(8, 1), (4, 2), (2, 4), (1, 8)]).unwrap()
+    }
+
+    #[test]
+    fn end_to_end_run_produces_consistent_report() {
+        let task = resnet101_cifar10();
+        let exec = Executor::new(
+            small_spec(),
+            AllocationPlan::new(vec![8, 8, 8, 8]),
+            task.clone(),
+            physics(&task, 1024),
+            cloud(),
+        )
+        .unwrap();
+        let report = exec.run(&configs(8, 1)).unwrap();
+        assert_eq!(report.stages.len(), 4);
+        assert!(report.jct > SimDuration::ZERO);
+        assert!(report.compute_cost > rb_core::Cost::ZERO);
+        assert!(report.best_accuracy > 0.1, "better than chance");
+        // Stage timeline is monotone.
+        for w in report.stages.windows(2) {
+            assert!(w[1].train_start >= w[0].sync_end);
+        }
+        // The winner survived all stages: 1 + 2 + 4 + 8 = 15 units.
+        assert!(report.trial_throughput.contains_key(&report.best_trial));
+    }
+
+    #[test]
+    fn execution_is_deterministic_per_seed() {
+        let task = resnet101_cifar10();
+        let mk = || {
+            Executor::new(
+                small_spec(),
+                AllocationPlan::new(vec![8, 8, 4, 4]),
+                task.clone(),
+                physics(&task, 1024),
+                cloud(),
+            )
+            .unwrap()
+            .with_options(ExecOptions {
+                seed: 42,
+                ..ExecOptions::default()
+            })
+        };
+        let a = mk().run(&configs(8, 1)).unwrap();
+        let b = mk().run(&configs(8, 1)).unwrap();
+        assert_eq!(a.jct, b.jct);
+        assert_eq!(a.compute_cost, b.compute_cost);
+        assert_eq!(a.best_trial, b.best_trial);
+        assert_eq!(a.best_accuracy, b.best_accuracy);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let task = resnet101_cifar10();
+        let mk = |seed| {
+            Executor::new(
+                small_spec(),
+                AllocationPlan::new(vec![8, 8, 4, 4]),
+                task.clone(),
+                physics(&task, 1024),
+                cloud(),
+            )
+            .unwrap()
+            .with_options(ExecOptions {
+                seed,
+                ..ExecOptions::default()
+            })
+        };
+        let a = mk(1).run(&configs(8, 1)).unwrap();
+        let b = mk(2).run(&configs(8, 1)).unwrap();
+        assert_ne!(a.jct, b.jct);
+    }
+
+    #[test]
+    fn elastic_plan_is_cheaper_than_static_in_execution() {
+        // The headline end-to-end effect (Table 2), at miniature scale:
+        // shrinking with the trial count beats holding 2 instances.
+        let task = resnet101_cifar10();
+        let run = |plan: Vec<u32>| {
+            Executor::new(
+                small_spec(),
+                AllocationPlan::new(plan),
+                task.clone(),
+                physics(&task, 1024),
+                cloud(),
+            )
+            .unwrap()
+            .run(&configs(8, 1))
+            .unwrap()
+        };
+        let static_report = run(vec![8, 8, 8, 8]);
+        let elastic_report = run(vec![8, 8, 4, 4]);
+        assert!(
+            elastic_report.total_cost() < static_report.total_cost(),
+            "elastic {} vs static {}",
+            elastic_report.total_cost(),
+            static_report.total_cost()
+        );
+    }
+
+    #[test]
+    fn scale_down_releases_instances_and_migrates() {
+        let task = resnet101_cifar10();
+        let exec = Executor::new(
+            small_spec(),
+            AllocationPlan::new(vec![8, 4, 4, 4]),
+            task.clone(),
+            physics(&task, 1024),
+            cloud(),
+        )
+        .unwrap();
+        let report = exec.run(&configs(8, 1)).unwrap();
+        assert_eq!(report.stages[0].instances, 2);
+        assert_eq!(report.stages[1].instances, 1);
+        assert_eq!(report.instances_provisioned, 2);
+    }
+
+    #[test]
+    fn waves_run_when_gpus_are_scarce() {
+        let task = resnet101_cifar10();
+        // 2 GPUs for 8 trials in stage 0: four waves of two.
+        let exec = Executor::new(
+            small_spec(),
+            AllocationPlan::new(vec![2, 2, 2, 2]),
+            task.clone(),
+            physics(&task, 1024),
+            cloud(),
+        )
+        .unwrap();
+        let report = exec.run(&configs(8, 1)).unwrap();
+        assert_eq!(report.stages[0].gpus_per_trial, 1);
+        // Wave stages take roughly 4× the single-wave duration; just check
+        // the run completed with one instance.
+        assert_eq!(report.instances_provisioned, 1);
+    }
+
+    #[test]
+    fn too_few_configs_is_an_error() {
+        let task = resnet101_cifar10();
+        let exec = Executor::new(
+            small_spec(),
+            AllocationPlan::new(vec![8, 8, 8, 8]),
+            task.clone(),
+            physics(&task, 1024),
+            cloud(),
+        )
+        .unwrap();
+        assert!(matches!(
+            exec.run(&configs(3, 1)),
+            Err(RbError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn placement_ablation_slows_training() {
+        // Table 1's effect end-to-end: scattered workers pay degraded
+        // bandwidth, so the same plan takes longer and costs more.
+        let task = resnet101_cifar10();
+        let run = |use_placement| {
+            Executor::new(
+                ExperimentSpec::from_stages(&[(4, 2), (2, 4), (1, 8)]).unwrap(),
+                AllocationPlan::new(vec![8, 8, 8]),
+                task.clone(),
+                physics(&task, 1024),
+                cloud(),
+            )
+            .unwrap()
+            .with_options(ExecOptions {
+                use_placement_controller: use_placement,
+                ..ExecOptions::default()
+            })
+            .run(&configs(4, 1))
+            .unwrap()
+        };
+        let placed = run(true);
+        let scattered = run(false);
+        assert!(
+            scattered.jct > placed.jct,
+            "scattered {} !> placed {}",
+            scattered.jct,
+            placed.jct
+        );
+        assert!(scattered.mean_throughput().unwrap() < placed.mean_throughput().unwrap());
+    }
+
+    #[test]
+    fn per_function_billing_charges_less_than_per_instance_with_stragglers() {
+        let task = resnet101_cifar10();
+        let mut noisy = physics(&task, 1024);
+        noisy.unit_noise_frac = 0.6;
+        let run = |per_function: bool| {
+            let mut c = cloud();
+            if per_function {
+                c.pricing = c.pricing.with_per_function_billing();
+            }
+            Executor::new(
+                ExperimentSpec::from_stages(&[(8, 2), (4, 4)]).unwrap(),
+                AllocationPlan::new(vec![8, 4]),
+                task.clone(),
+                noisy.clone(),
+                c,
+            )
+            .unwrap()
+            .run(&configs(8, 3))
+            .unwrap()
+        };
+        let pi = run(false);
+        let pf = run(true);
+        assert!(
+            pf.compute_cost < pi.compute_cost,
+            "per-function {} !< per-instance {}",
+            pf.compute_cost,
+            pi.compute_cost
+        );
+    }
+
+    #[test]
+    fn accuracy_winner_has_good_learning_rate() {
+        // With enough trials, SHA should land near the response surface's
+        // optimum.
+        let task = resnet101_cifar10();
+        let spec = ExperimentSpec::from_stages(&[(16, 2), (8, 4), (4, 8), (1, 16)]).unwrap();
+        let exec = Executor::new(
+            spec,
+            AllocationPlan::new(vec![16, 16, 16, 8]),
+            task.clone(),
+            physics(&task, 1024),
+            cloud(),
+        )
+        .unwrap();
+        let report = exec.run(&configs(16, 7)).unwrap();
+        let lr = report.best_config.get_f64("lr").unwrap();
+        let dist = (lr / task.lr_opt).log10().abs();
+        assert!(
+            dist < 1.0,
+            "winner's lr {lr} is {dist} decades from optimal"
+        );
+        assert!(report.best_accuracy > 0.8);
+    }
+
+    #[test]
+    fn spot_interruptions_are_absorbed_and_counted() {
+        let task = resnet101_cifar10();
+        // Aggressive reclaim rate so a short job sees several interruptions.
+        let run = |rate: f64| {
+            let mut c = cloud().with_spot_interruptions(rate);
+            c.pricing = c.pricing.with_spot();
+            Executor::new(
+                small_spec(),
+                AllocationPlan::new(vec![8, 8, 4, 4]),
+                task.clone(),
+                physics(&task, 1024),
+                c,
+            )
+            .unwrap()
+            .with_options(ExecOptions {
+                seed: 21,
+                ..ExecOptions::default()
+            })
+            .run(&configs(8, 1))
+            .unwrap()
+        };
+        let calm = run(0.0);
+        let stormy = run(30.0);
+        assert_eq!(calm.preemptions, 0);
+        assert!(
+            stormy.preemptions > 0,
+            "expected interruptions at rate 30/h"
+        );
+        // Interruptions cost wall-clock time (lost work + re-provisioning).
+        assert!(stormy.jct > calm.jct);
+        // The tuning outcome is unaffected: learning curves depend only on
+        // (config, iterations, seed).
+        assert_eq!(stormy.best_trial, calm.best_trial);
+        assert_eq!(stormy.best_accuracy, calm.best_accuracy);
+    }
+
+    #[test]
+    fn spot_execution_is_deterministic() {
+        let task = resnet101_cifar10();
+        let run = || {
+            let mut c = cloud().with_spot_interruptions(20.0);
+            c.pricing = c.pricing.with_spot();
+            Executor::new(
+                small_spec(),
+                AllocationPlan::new(vec![8, 8, 4, 4]),
+                task.clone(),
+                physics(&task, 1024),
+                c,
+            )
+            .unwrap()
+            .with_options(ExecOptions {
+                seed: 4,
+                ..ExecOptions::default()
+            })
+            .run(&configs(8, 1))
+            .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.jct, b.jct);
+        assert_eq!(a.preemptions, b.preemptions);
+        assert_eq!(a.compute_cost, b.compute_cost);
+    }
+
+    #[test]
+    fn trace_invariants_hold() {
+        use crate::report::TraceEvent;
+        let task = resnet101_cifar10();
+        let report = Executor::new(
+            small_spec(),
+            AllocationPlan::new(vec![8, 8, 4, 4]),
+            task.clone(),
+            physics(&task, 1024),
+            cloud(),
+        )
+        .unwrap()
+        .run(&configs(8, 1))
+        .unwrap();
+        let trace = &report.trace;
+        // Every training segment is well-formed and inside the run.
+        let jct_end = rb_core::SimTime::ZERO + report.jct;
+        for (_, stage, start, end, gpus) in trace.segments() {
+            assert!(start < end, "empty segment");
+            assert!(end <= jct_end, "segment past JCT");
+            assert!(stage < 4);
+            assert!(gpus >= 1);
+        }
+        // Per-trial segments never overlap (a trial trains one place at a
+        // time).
+        use std::collections::BTreeMap;
+        let mut per_trial: BTreeMap<u64, Vec<(rb_core::SimTime, rb_core::SimTime)>> =
+            BTreeMap::new();
+        for (t, _, s, e, _) in trace.segments() {
+            per_trial.entry(t.raw()).or_default().push((s, e));
+        }
+        for (trial, mut segs) in per_trial {
+            segs.sort();
+            for w in segs.windows(2) {
+                assert!(w[0].1 <= w[1].0, "trial-{trial} segments overlap");
+            }
+        }
+        // Barriers are one per stage, strictly increasing, last one at JCT.
+        let barriers = trace.barriers();
+        assert_eq!(barriers.len(), 4);
+        for (i, w) in barriers.windows(2).enumerate() {
+            assert!(w[0].1 < w[1].1, "barriers out of order at {i}");
+        }
+        assert_eq!(barriers.last().unwrap().1, jct_end);
+        // Node lifecycle balances: ups == provisioned; downs ≤ ups.
+        let ups = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::NodeUp { .. }))
+            .count();
+        let downs = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::NodeDown { .. }))
+            .count();
+        assert_eq!(ups, report.instances_provisioned);
+        assert!(downs <= ups);
+        // Migration events match the report's counter.
+        let migs = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Migration { .. }))
+            .count();
+        assert_eq!(migs as u32, report.migrations);
+    }
+
+    #[test]
+    fn trace_busy_time_matches_recorded_usage() {
+        // The trace's GPU-seconds must equal what the billing meter saw
+        // (per-function billing bills exactly the traced segments).
+        let task = resnet101_cifar10();
+        let mut c = cloud();
+        c.pricing = c.pricing.with_per_function_billing();
+        let report = Executor::new(
+            small_spec(),
+            AllocationPlan::new(vec![8, 4, 4, 4]),
+            task.clone(),
+            physics(&task, 1024),
+            c.clone(),
+        )
+        .unwrap()
+        .run(&configs(8, 2))
+        .unwrap();
+        let traced_gpu_secs = report.trace.busy_gpu_seconds();
+        let billed = report.compute_cost.as_dollars();
+        let expected = c.pricing.gpu_hourly().as_dollars() * traced_gpu_secs / 3600.0;
+        assert!(
+            (billed - expected).abs() / expected < 0.01,
+            "billed {billed} vs traced {expected}"
+        );
+    }
+}

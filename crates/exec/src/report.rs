@@ -1,0 +1,285 @@
+//! Execution reports: what the paper's tables read off a run.
+
+use rb_core::{Cost, SimDuration, SimTime, TrialId};
+use rb_hpo::Config;
+use std::collections::BTreeMap;
+
+/// One observable event during execution, in virtual time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A node finished initialization and joined the cluster.
+    NodeUp {
+        /// The node.
+        node: rb_core::NodeId,
+        /// When it became usable.
+        at: SimTime,
+    },
+    /// A node left the cluster.
+    NodeDown {
+        /// The node.
+        node: rb_core::NodeId,
+        /// When it was released or reclaimed.
+        at: SimTime,
+        /// True when the spot market reclaimed it (vs a planned release).
+        preempted: bool,
+    },
+    /// A contiguous interval of one trial training on one allocation.
+    TrialSegment {
+        /// The trial.
+        trial: TrialId,
+        /// Stage index.
+        stage: usize,
+        /// Segment start.
+        start: SimTime,
+        /// Segment end.
+        end: SimTime,
+        /// GPUs used.
+        gpus: u32,
+    },
+    /// A trial's workers were torn down and recreated elsewhere.
+    Migration {
+        /// The trial.
+        trial: TrialId,
+        /// When the migration was initiated.
+        at: SimTime,
+    },
+    /// A stage's synchronization barrier completed.
+    Barrier {
+        /// Stage index.
+        stage: usize,
+        /// Barrier completion time.
+        at: SimTime,
+    },
+}
+
+/// The ordered event log of one execution (useful for visualization and
+/// for asserting runtime invariants in tests).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecutionTrace {
+    /// Events in emission order (non-decreasing per entity; globally the
+    /// stage structure orders them).
+    pub events: Vec<TraceEvent>,
+}
+
+impl ExecutionTrace {
+    /// All training segments, in emission order.
+    pub fn segments(&self) -> impl Iterator<Item = (&TrialId, usize, SimTime, SimTime, u32)> {
+        self.events.iter().filter_map(|e| match e {
+            TraceEvent::TrialSegment {
+                trial,
+                stage,
+                start,
+                end,
+                gpus,
+            } => Some((trial, *stage, *start, *end, *gpus)),
+            _ => None,
+        })
+    }
+
+    /// Total trained GPU-seconds across segments.
+    pub fn busy_gpu_seconds(&self) -> f64 {
+        self.segments()
+            .map(|(_, _, s, e, g)| (e - s).as_secs_f64() * f64::from(g))
+            .sum()
+    }
+
+    /// Barrier completion times, by stage order of emission.
+    pub fn barriers(&self) -> Vec<(usize, SimTime)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Barrier { stage, at } => Some((*stage, *at)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Timeline record for one executed stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageRecord {
+    /// Stage index.
+    pub stage: usize,
+    /// When the stage's trials actually began training (after any
+    /// scale-up barrier and migrations).
+    pub train_start: SimTime,
+    /// When the stage's synchronization barrier completed.
+    pub sync_end: SimTime,
+    /// Trials that ran.
+    pub trials: u32,
+    /// GPUs each trial received.
+    pub gpus_per_trial: u32,
+    /// Instances held during the stage.
+    pub instances: u32,
+    /// Trials whose workers had to be migrated at stage entry.
+    pub migrations: u32,
+}
+
+/// The outcome of one executed experiment.
+#[derive(Debug, Clone)]
+pub struct ExecutionReport {
+    /// Job completion time (the final barrier's finish).
+    pub jct: SimDuration,
+    /// Compute bill under the configured billing model.
+    pub compute_cost: Cost,
+    /// Data-ingress bill.
+    pub data_cost: Cost,
+    /// The winning trial.
+    pub best_trial: TrialId,
+    /// Its hyperparameter configuration.
+    pub best_config: Config,
+    /// Its final observed validation accuracy.
+    pub best_accuracy: f64,
+    /// Per-stage timeline.
+    pub stages: Vec<StageRecord>,
+    /// Total worker migrations performed.
+    pub migrations: u32,
+    /// Spot interruptions absorbed during execution (zero on on-demand
+    /// capacity).
+    pub preemptions: u32,
+    /// Instances provisioned over the job's lifetime.
+    pub instances_provisioned: usize,
+    /// Cluster GPU utilization over the run (busy / held), if anything
+    /// was held.
+    pub utilization: Option<f64>,
+    /// Mean training throughput per trial, in samples per second.
+    pub trial_throughput: BTreeMap<TrialId, f64>,
+    /// The ordered event log of the run.
+    pub trace: ExecutionTrace,
+}
+
+impl ExecutionReport {
+    /// Compute plus data cost.
+    pub fn total_cost(&self) -> Cost {
+        self.compute_cost + self.data_cost
+    }
+
+    /// Mean throughput across trials (Table 1's metric), if any trial
+    /// trained.
+    pub fn mean_throughput(&self) -> Option<f64> {
+        if self.trial_throughput.is_empty() {
+            return None;
+        }
+        Some(self.trial_throughput.values().sum::<f64>() / self.trial_throughput.len() as f64)
+    }
+}
+
+/// Renders the execution timeline as a text Gantt chart: one row per
+/// stage, bar length proportional to wall-clock duration, bar height
+/// (the digit) showing the instances held — a quick visual of the
+/// front-loaded shape elastic plans produce.
+///
+/// # Examples
+///
+/// ```text
+/// stage 0 |■■■■■■■■■■■■■■■■| 8 inst × 32 trials × 1 GPU   (00:58)
+/// stage 1 |■■■■■■■■■■|       5 inst × 10 trials × 2 GPUs  (02:31)
+/// ```
+pub fn render_timeline(report: &ExecutionReport, width: usize) -> String {
+    use std::fmt::Write as _;
+    let total = report.jct.as_secs_f64().max(1e-9);
+    let width = width.max(10);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "timeline ({} total, {} instances provisioned, {} migrations)",
+        report.jct, report.instances_provisioned, report.migrations
+    );
+    let mut prev_end = 0.0_f64;
+    for s in &report.stages {
+        let start = s.train_start.as_millis() as f64 / 1000.0;
+        let end = s.sync_end.as_millis() as f64 / 1000.0;
+        let lead = (((start - prev_end).max(0.0) / total) * width as f64).round() as usize;
+        let bar = ((((end - start) / total) * width as f64).round() as usize).max(1);
+        prev_end = end;
+        let _ = writeln!(
+            out,
+            "stage {:<2} {}{} {} inst x {} trials x {} GPU{} ({})",
+            s.stage,
+            " ".repeat(lead),
+            "#".repeat(bar),
+            s.instances,
+            s.trials,
+            s.gpus_per_trial,
+            if s.gpus_per_trial == 1 { "" } else { "s" },
+            rb_core::SimDuration::from_secs_f64(end - start),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_means() {
+        let mut tp = BTreeMap::new();
+        tp.insert(TrialId::new(0), 100.0);
+        tp.insert(TrialId::new(1), 300.0);
+        let r = ExecutionReport {
+            jct: SimDuration::from_secs(10),
+            compute_cost: Cost::from_dollars(2.0),
+            data_cost: Cost::from_dollars(0.5),
+            best_trial: TrialId::new(0),
+            best_config: Config::new(),
+            best_accuracy: 0.9,
+            stages: vec![],
+            migrations: 0,
+            preemptions: 0,
+            instances_provisioned: 1,
+            utilization: None,
+            trial_throughput: tp,
+            trace: ExecutionTrace::default(),
+        };
+        assert_eq!(r.total_cost(), Cost::from_dollars(2.5));
+        assert_eq!(r.mean_throughput(), Some(200.0));
+    }
+
+    #[test]
+    fn timeline_renders_one_row_per_stage() {
+        let r = ExecutionReport {
+            jct: SimDuration::from_secs(100),
+            compute_cost: Cost::ZERO,
+            data_cost: Cost::ZERO,
+            best_trial: TrialId::new(0),
+            best_config: Config::new(),
+            best_accuracy: 0.5,
+            stages: vec![
+                StageRecord {
+                    stage: 0,
+                    train_start: SimTime::from_secs(10),
+                    sync_end: SimTime::from_secs(50),
+                    trials: 8,
+                    gpus_per_trial: 1,
+                    instances: 2,
+                    migrations: 0,
+                },
+                StageRecord {
+                    stage: 1,
+                    train_start: SimTime::from_secs(50),
+                    sync_end: SimTime::from_secs(100),
+                    trials: 4,
+                    gpus_per_trial: 2,
+                    instances: 2,
+                    migrations: 4,
+                },
+            ],
+            migrations: 4,
+            preemptions: 0,
+            instances_provisioned: 2,
+            utilization: None,
+            trial_throughput: BTreeMap::new(),
+            trace: ExecutionTrace::default(),
+        };
+        let text = render_timeline(&r, 40);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "header + 2 stages");
+        assert!(lines[1].contains("stage 0"));
+        assert!(lines[1].contains("8 trials"));
+        assert!(lines[2].contains("2 GPUs"));
+        // Stage 1 covers half the job: its bar is about half the width.
+        let bar1 = lines[2].matches('#').count();
+        assert!((15..=25).contains(&bar1), "bar {bar1}");
+    }
+}

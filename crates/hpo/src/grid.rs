@@ -1,0 +1,188 @@
+//! Grid search: exhaustive enumeration of finite search spaces.
+//!
+//! The paper's Fig. 2 illustrates tuning as a grid over learning rate and
+//! weight decay. RubberBand is agnostic to the sampling method (§2); this
+//! module provides the grid counterpart to random sampling — enumerate
+//! every combination of a finite space, or discretize continuous
+//! dimensions first with [`linspace`]/[`logspace`].
+
+use crate::space::{Config, ConfigValue, Dim, SearchSpace};
+use rb_core::{RbError, Result};
+
+/// `n` evenly spaced values covering `[lo, hi]` inclusive.
+///
+/// # Panics
+///
+/// Panics if `n` is zero or the range is inverted.
+pub fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n > 0, "need at least one point");
+    assert!(lo <= hi, "inverted range");
+    if n == 1 {
+        return vec![(lo + hi) / 2.0];
+    }
+    (0..n)
+        .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+        .collect()
+}
+
+/// `n` log-evenly spaced values covering `[lo, hi]` inclusive — the usual
+/// grid for learning rates.
+///
+/// # Panics
+///
+/// Panics if `n` is zero, `lo` is not positive, or the range is inverted.
+pub fn logspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(lo > 0.0, "log grids need positive bounds");
+    linspace(lo.ln(), hi.ln(), n)
+        .into_iter()
+        .map(f64::exp)
+        .collect()
+}
+
+/// The finite set of values a dimension takes on a grid, or `None` for
+/// continuous dimensions.
+pub fn dim_grid_values(dim: &Dim) -> Option<Vec<ConfigValue>> {
+    match dim {
+        Dim::Choice(opts) => Some(
+            opts.iter()
+                .map(|o| ConfigValue::Choice(o.clone()))
+                .collect(),
+        ),
+        Dim::Int { lo, hi } => Some((*lo..=*hi).map(ConfigValue::Int).collect()),
+        Dim::QUniform { lo, hi, q } => {
+            let mut vals = Vec::new();
+            let mut k = (lo / q).ceil() as i64;
+            loop {
+                let v = k as f64 * q;
+                if v >= *hi {
+                    break;
+                }
+                if v >= *lo {
+                    vals.push(ConfigValue::Float(v));
+                }
+                k += 1;
+            }
+            Some(vals)
+        }
+        Dim::Uniform { .. } | Dim::LogUniform { .. } => None,
+    }
+}
+
+/// Enumerates every configuration of a finite space, in lexicographic
+/// order of its dimensions.
+///
+/// # Errors
+///
+/// Returns [`RbError::InvalidConfig`] if any dimension is continuous
+/// (discretize it first with [`linspace`]/[`logspace`] and
+/// [`Dim::Choice`]/[`Dim::QUniform`]) or if the grid would exceed
+/// `max_points`.
+pub fn enumerate_grid(space: &SearchSpace, max_points: usize) -> Result<Vec<Config>> {
+    let dims: Vec<(&str, Vec<ConfigValue>)> = space
+        .dims()
+        .map(|(name, dim)| {
+            dim_grid_values(dim)
+                .map(|vals| (name, vals))
+                .ok_or_else(|| {
+                    RbError::InvalidConfig(format!(
+                        "dim `{name}` is continuous; discretize it for grid search"
+                    ))
+                })
+        })
+        .collect::<Result<_>>()?;
+    let total: usize = dims.iter().map(|(_, v)| v.len().max(1)).product();
+    if total > max_points {
+        return Err(RbError::InvalidConfig(format!(
+            "grid has {total} points, cap is {max_points}"
+        )));
+    }
+    let mut grid = vec![Config::new()];
+    for (name, vals) in &dims {
+        if vals.is_empty() {
+            return Err(RbError::InvalidConfig(format!(
+                "dim `{name}` has no grid points"
+            )));
+        }
+        let mut next = Vec::with_capacity(grid.len() * vals.len());
+        for cfg in &grid {
+            for v in vals {
+                let mut c = cfg.clone();
+                c.set(name.to_string(), v.clone());
+                next.push(c);
+            }
+        }
+        grid = next;
+    }
+    Ok(grid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linspace_and_logspace_cover_endpoints() {
+        let xs = linspace(0.0, 1.0, 5);
+        assert_eq!(xs, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+        let ys = logspace(1e-4, 1e-1, 4);
+        assert!((ys[0] - 1e-4).abs() < 1e-12);
+        assert!((ys[3] - 1e-1).abs() < 1e-9);
+        // Log-even: constant ratio between neighbours.
+        let r0 = ys[1] / ys[0];
+        let r1 = ys[2] / ys[1];
+        assert!((r0 - r1).abs() < 1e-9);
+        assert_eq!(linspace(2.0, 4.0, 1), vec![3.0]);
+    }
+
+    #[test]
+    fn grid_enumerates_the_cartesian_product() {
+        let space = SearchSpace::new()
+            .add(
+                "lr",
+                Dim::Choice(vec!["0.01".into(), "0.1".into(), "1.0".into()]),
+            )
+            .add("layers", Dim::Int { lo: 1, hi: 2 })
+            .build()
+            .unwrap();
+        let grid = enumerate_grid(&space, 100).unwrap();
+        assert_eq!(grid.len(), 6);
+        // All distinct.
+        for i in 0..grid.len() {
+            for j in 0..i {
+                assert_ne!(grid[i], grid[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_dims_grid_correctly() {
+        let vals = dim_grid_values(&Dim::QUniform {
+            lo: 0.5,
+            hi: 2.0,
+            q: 0.5,
+        })
+        .unwrap();
+        let floats: Vec<f64> = vals.iter().map(|v| v.as_f64().unwrap()).collect();
+        assert_eq!(floats, vec![0.5, 1.0, 1.5]);
+    }
+
+    #[test]
+    fn continuous_dims_are_rejected() {
+        let space = SearchSpace::new()
+            .add("lr", Dim::LogUniform { lo: 1e-4, hi: 1e-1 })
+            .build()
+            .unwrap();
+        assert!(enumerate_grid(&space, 100).is_err());
+    }
+
+    #[test]
+    fn oversized_grids_are_rejected() {
+        let space = SearchSpace::new()
+            .add("a", Dim::Int { lo: 0, hi: 99 })
+            .add("b", Dim::Int { lo: 0, hi: 99 })
+            .build()
+            .unwrap();
+        assert!(enumerate_grid(&space, 1000).is_err());
+        assert!(enumerate_grid(&space, 10_000).is_ok());
+    }
+}

@@ -1,0 +1,23 @@
+//! Hyperparameter search: spaces, configurations, and early-stopping
+//! experiment specifications.
+//!
+//! RubberBand optimizes the *execution* of declaratively-specified
+//! early-stopping algorithms (§3.1). This crate provides:
+//!
+//! * [`space`] — search-space definitions and configuration sampling (the
+//!   user supplies these; RubberBand is agnostic to how the space is
+//!   designed, §2),
+//! * [`spec`] — the experiment specification API of Fig. 6: an ordered list
+//!   of `(num_trials, iters)` stages, known fully before runtime,
+//! * [`sha`] — Successive Halving and Hyperband generators that produce
+//!   those specifications, plus the end-of-stage promotion rule.
+
+pub mod grid;
+pub mod sha;
+pub mod space;
+pub mod spec;
+
+pub use grid::{enumerate_grid, linspace, logspace};
+pub use sha::{hyperband_brackets, select_survivors, ShaParams};
+pub use space::{Config, ConfigValue, Dim, SearchSpace};
+pub use spec::{ExperimentSpec, StageSpec};

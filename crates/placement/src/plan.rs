@@ -1,0 +1,361 @@
+//! Placement plans: trial → physical GPU assignments.
+
+use rb_core::{NodeId, TrialId};
+use rb_scaling::PlacementQuality;
+use std::collections::BTreeMap;
+
+/// One chunk of a trial's placement: `gpus` GPUs on `node`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// The machine hosting the chunk.
+    pub node: NodeId,
+    /// GPUs of that machine assigned to the trial.
+    pub gpus: u32,
+}
+
+/// The homogeneous cluster the controller places onto (§4.4.1 assumes all
+/// worker instances have the same number and type of GPUs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterState {
+    nodes: Vec<NodeId>,
+    gpus_per_node: u32,
+}
+
+impl ClusterState {
+    /// Creates a cluster of the given nodes, each with `gpus_per_node`
+    /// GPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpus_per_node` is zero.
+    pub fn new(nodes: Vec<NodeId>, gpus_per_node: u32) -> Self {
+        assert!(gpus_per_node > 0, "nodes must have GPUs");
+        ClusterState {
+            nodes,
+            gpus_per_node,
+        }
+    }
+
+    /// A cluster of `n` fresh nodes numbered 0..n.
+    pub fn with_n_nodes(n: u32, gpus_per_node: u32) -> Self {
+        ClusterState::new((0..u64::from(n)).map(NodeId::new).collect(), gpus_per_node)
+    }
+
+    /// The node ids, in stable order.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// GPUs per node.
+    pub fn gpus_per_node(&self) -> u32 {
+        self.gpus_per_node
+    }
+
+    /// Total GPUs in the cluster.
+    pub fn total_gpus(&self) -> u32 {
+        self.nodes.len() as u32 * self.gpus_per_node
+    }
+
+    /// True if `node` belongs to the cluster.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.nodes.contains(&node)
+    }
+
+    /// Removes a node (after deprovisioning).
+    pub fn remove(&mut self, node: NodeId) {
+        self.nodes.retain(|&n| n != node);
+    }
+
+    /// Adds a node (after provisioning).
+    pub fn add(&mut self, node: NodeId) {
+        debug_assert!(!self.contains(node), "node {node} added twice");
+        self.nodes.push(node);
+    }
+}
+
+/// The full mapping of trials to physical assignments.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlacementPlan {
+    assignments: BTreeMap<TrialId, Vec<Placement>>,
+}
+
+impl PlacementPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        PlacementPlan::default()
+    }
+
+    /// The placement chunks of `trial`, if placed.
+    pub fn get(&self, trial: TrialId) -> Option<&[Placement]> {
+        self.assignments.get(&trial).map(Vec::as_slice)
+    }
+
+    /// Total GPUs assigned to `trial`.
+    pub fn assigned_gpus(&self, trial: TrialId) -> u32 {
+        self.get(trial)
+            .map(|ps| ps.iter().map(|p| p.gpus).sum())
+            .unwrap_or(0)
+    }
+
+    /// Inserts or replaces a trial's assignment.
+    pub fn assign(&mut self, trial: TrialId, chunks: Vec<Placement>) {
+        debug_assert!(!chunks.is_empty(), "empty assignment for {trial}");
+        self.assignments.insert(trial, chunks);
+    }
+
+    /// Removes a trial's assignment, returning it if present.
+    pub fn remove(&mut self, trial: TrialId) -> Option<Vec<Placement>> {
+        self.assignments.remove(&trial)
+    }
+
+    /// Iterates over `(trial, chunks)` in trial order.
+    pub fn iter(&self) -> impl Iterator<Item = (TrialId, &[Placement])> {
+        self.assignments.iter().map(|(&t, v)| (t, v.as_slice()))
+    }
+
+    /// Trials currently placed.
+    pub fn trials(&self) -> Vec<TrialId> {
+        self.assignments.keys().copied().collect()
+    }
+
+    /// Number of placed trials.
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// True when nothing is placed.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+
+    /// GPUs used per node under this plan.
+    pub fn used_per_node(&self) -> BTreeMap<NodeId, u32> {
+        let mut used = BTreeMap::new();
+        for chunks in self.assignments.values() {
+            for p in chunks {
+                *used.entry(p.node).or_insert(0) += p.gpus;
+            }
+        }
+        used
+    }
+
+    /// Free GPUs per node of `cluster` (nodes with no assignment included).
+    pub fn free_per_node(&self, cluster: &ClusterState) -> BTreeMap<NodeId, u32> {
+        let used = self.used_per_node();
+        cluster
+            .nodes()
+            .iter()
+            .map(|&n| {
+                let u = used.get(&n).copied().unwrap_or(0);
+                (n, cluster.gpus_per_node().saturating_sub(u))
+            })
+            .collect()
+    }
+
+    /// True when no node is over-subscribed and every chunk sits on a
+    /// cluster node.
+    pub fn is_valid_for(&self, cluster: &ClusterState) -> bool {
+        let used = self.used_per_node();
+        used.iter()
+            .all(|(&n, &u)| cluster.contains(n) && u <= cluster.gpus_per_node())
+    }
+
+    /// The placement quality of a trial as seen by the communication model
+    /// (§2.1): packed when it occupies the minimal feasible number of
+    /// nodes, scattered otherwise.
+    pub fn quality(&self, trial: TrialId, gpus_per_node: u32) -> Option<PlacementQuality> {
+        let chunks = self.get(trial)?;
+        let total: u32 = chunks.iter().map(|p| p.gpus).sum();
+        let minimal = total.div_ceil(gpus_per_node.max(1)) as usize;
+        Some(if chunks.len() <= minimal {
+            PlacementQuality::Packed
+        } else {
+            PlacementQuality::Scattered
+        })
+    }
+}
+
+/// The placement-unaware baseline of Table 1: spread each trial's workers
+/// round-robin across all nodes, one GPU at a time, with no locality
+/// preference ("RubberBand delegates placement of workers to the
+/// underlying scheduler without indicating location preferences").
+///
+/// Returns `None` when the cluster lacks capacity.
+pub fn scatter_placement(
+    allocations: &BTreeMap<TrialId, u32>,
+    cluster: &ClusterState,
+) -> Option<PlacementPlan> {
+    let total: u32 = allocations.values().sum();
+    if total > cluster.total_gpus() {
+        return None;
+    }
+    let mut free: Vec<(NodeId, u32)> = cluster
+        .nodes()
+        .iter()
+        .map(|&n| (n, cluster.gpus_per_node()))
+        .collect();
+    let mut plan = PlacementPlan::new();
+    let mut cursor = 0usize;
+    for (&trial, &gpus) in allocations {
+        let mut chunks: BTreeMap<NodeId, u32> = BTreeMap::new();
+        let mut remaining = gpus;
+        while remaining > 0 {
+            // Round-robin over nodes with any free GPU.
+            let mut hops = 0;
+            while free[cursor % free.len()].1 == 0 {
+                cursor += 1;
+                hops += 1;
+                if hops > free.len() {
+                    return None;
+                }
+            }
+            let slot = cursor % free.len();
+            free[slot].1 -= 1;
+            *chunks.entry(free[slot].0).or_insert(0) += 1;
+            remaining -= 1;
+            cursor += 1;
+        }
+        plan.assign(
+            trial,
+            chunks
+                .into_iter()
+                .map(|(node, gpus)| Placement { node, gpus })
+                .collect(),
+        );
+    }
+    Some(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_accounting() {
+        let mut c = ClusterState::with_n_nodes(3, 4);
+        assert_eq!(c.total_gpus(), 12);
+        assert!(c.contains(NodeId::new(1)));
+        c.remove(NodeId::new(1));
+        assert!(!c.contains(NodeId::new(1)));
+        assert_eq!(c.total_gpus(), 8);
+        c.add(NodeId::new(7));
+        assert!(c.contains(NodeId::new(7)));
+    }
+
+    #[test]
+    fn plan_usage_and_validity() {
+        let cluster = ClusterState::with_n_nodes(2, 4);
+        let mut plan = PlacementPlan::new();
+        plan.assign(
+            TrialId::new(0),
+            vec![Placement {
+                node: NodeId::new(0),
+                gpus: 3,
+            }],
+        );
+        plan.assign(
+            TrialId::new(1),
+            vec![Placement {
+                node: NodeId::new(0),
+                gpus: 1,
+            }],
+        );
+        assert!(plan.is_valid_for(&cluster));
+        assert_eq!(plan.assigned_gpus(TrialId::new(0)), 3);
+        assert_eq!(plan.free_per_node(&cluster)[&NodeId::new(0)], 0);
+        assert_eq!(plan.free_per_node(&cluster)[&NodeId::new(1)], 4);
+        // Oversubscribe node 0.
+        plan.assign(
+            TrialId::new(2),
+            vec![Placement {
+                node: NodeId::new(0),
+                gpus: 1,
+            }],
+        );
+        assert!(!plan.is_valid_for(&cluster));
+    }
+
+    #[test]
+    fn quality_detects_scatter() {
+        let mut plan = PlacementPlan::new();
+        // 2 GPUs on one 4-GPU node: packed.
+        plan.assign(
+            TrialId::new(0),
+            vec![Placement {
+                node: NodeId::new(0),
+                gpus: 2,
+            }],
+        );
+        // 2 GPUs split across two nodes: scattered.
+        plan.assign(
+            TrialId::new(1),
+            vec![
+                Placement {
+                    node: NodeId::new(1),
+                    gpus: 1,
+                },
+                Placement {
+                    node: NodeId::new(2),
+                    gpus: 1,
+                },
+            ],
+        );
+        // 8 GPUs over two 4-GPU nodes: minimal, packed.
+        plan.assign(
+            TrialId::new(2),
+            vec![
+                Placement {
+                    node: NodeId::new(3),
+                    gpus: 4,
+                },
+                Placement {
+                    node: NodeId::new(4),
+                    gpus: 4,
+                },
+            ],
+        );
+        assert_eq!(
+            plan.quality(TrialId::new(0), 4),
+            Some(PlacementQuality::Packed)
+        );
+        assert_eq!(
+            plan.quality(TrialId::new(1), 4),
+            Some(PlacementQuality::Scattered)
+        );
+        assert_eq!(
+            plan.quality(TrialId::new(2), 4),
+            Some(PlacementQuality::Packed)
+        );
+        assert_eq!(plan.quality(TrialId::new(9), 4), None);
+    }
+
+    #[test]
+    fn scatter_baseline_spreads_workers() {
+        let cluster = ClusterState::with_n_nodes(4, 8);
+        let mut alloc = BTreeMap::new();
+        alloc.insert(TrialId::new(0), 4u32);
+        let plan = scatter_placement(&alloc, &cluster).unwrap();
+        // 4 GPUs round-robin over 4 nodes → 4 chunks of 1.
+        assert_eq!(plan.get(TrialId::new(0)).unwrap().len(), 4);
+        assert_eq!(
+            plan.quality(TrialId::new(0), 8),
+            Some(PlacementQuality::Scattered)
+        );
+    }
+
+    #[test]
+    fn scatter_respects_capacity() {
+        let cluster = ClusterState::with_n_nodes(2, 2);
+        let mut alloc = BTreeMap::new();
+        alloc.insert(TrialId::new(0), 2u32);
+        alloc.insert(TrialId::new(1), 1u32);
+        let plan = scatter_placement(&alloc, &cluster).unwrap();
+        assert!(plan.is_valid_for(&cluster));
+        assert_eq!(plan.assigned_gpus(TrialId::new(0)), 2);
+        // Exactly full still works; over capacity → None.
+        alloc.insert(TrialId::new(2), 1u32);
+        assert!(scatter_placement(&alloc, &cluster).is_some());
+        alloc.insert(TrialId::new(3), 1u32);
+        assert!(scatter_placement(&alloc, &cluster).is_none());
+    }
+}

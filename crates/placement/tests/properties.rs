@@ -1,0 +1,76 @@
+//! Property-based tests for the placement controller under churn.
+
+use proptest::prelude::*;
+use rb_core::TrialId;
+use rb_placement::{ClusterState, PlacementController};
+use std::collections::BTreeMap;
+
+fn allocations(gpus: &[u32]) -> BTreeMap<TrialId, u32> {
+    gpus.iter()
+        .enumerate()
+        .map(|(i, &g)| (TrialId::new(i as u64), g))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Two consecutive reallocations over a generous cluster always leave
+    /// a valid, complete, locality-preserving plan, and repeating the
+    /// same allocations is a no-op.
+    #[test]
+    fn controller_survives_reallocation_churn(
+        first in proptest::collection::vec(1u32..9, 1..10),
+        second in proptest::collection::vec(1u32..9, 1..10),
+    ) {
+        let gpn = 4u32;
+        let need = |v: &[u32]| v.iter().map(|a| a.div_ceil(gpn)).sum::<u32>();
+        let nodes = need(&first).max(need(&second)).max(1);
+        let cluster = ClusterState::with_n_nodes(nodes, gpn);
+        let mut pc = PlacementController::new();
+        pc.update(&allocations(&first), &cluster).unwrap();
+        let a2 = allocations(&second);
+        pc.update(&a2, &cluster).unwrap();
+        prop_assert!(pc.plan().is_valid_for(&cluster));
+        for (&t, &g) in &a2 {
+            prop_assert_eq!(pc.plan().assigned_gpus(t), g);
+            let chunks = pc.plan().get(t).unwrap();
+            prop_assert!(chunks.len() as u32 <= g.div_ceil(gpn), "scattered");
+        }
+        let diff = pc.update(&a2, &cluster).unwrap();
+        prop_assert!(diff.is_noop());
+    }
+
+    /// Scale-down either frees exactly the requested nodes while keeping
+    /// every trial placed, or refuses and leaves the plan untouched.
+    #[test]
+    fn scale_down_is_all_or_nothing(
+        allocs in proptest::collection::vec(1u32..5, 1..8),
+        extra_nodes in 0u32..4,
+        remove in 1usize..4,
+    ) {
+        let gpn = 4u32;
+        let nodes = allocs.iter().map(|a| a.div_ceil(gpn)).sum::<u32>() + extra_nodes;
+        let cluster = ClusterState::with_n_nodes(nodes.max(1), gpn);
+        let map = allocations(&allocs);
+        let mut pc = PlacementController::new();
+        pc.update(&map, &cluster).unwrap();
+        let before = pc.plan().clone();
+        match pc.plan_scale_down(&cluster, remove) {
+            Ok((freed, _moved)) => {
+                prop_assert_eq!(freed.len(), remove);
+                for (&t, &g) in &map {
+                    prop_assert_eq!(pc.plan().assigned_gpus(t), g);
+                    let chunks = pc.plan().get(t).unwrap();
+                    for c in chunks {
+                        prop_assert!(!freed.contains(&c.node), "trial on freed node");
+                    }
+                }
+                prop_assert!(pc.plan().is_valid_for(&cluster));
+            }
+            Err(_) => {
+                prop_assert_eq!(pc.plan(), &before);
+            }
+        }
+    }
+}

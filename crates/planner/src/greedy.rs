@@ -1,0 +1,382 @@
+//! The RubberBand greedy elastic planner (Algorithm 2, §4.3).
+//!
+//! Starting from a feasible warm-start plan, each step generates one
+//! candidate per stage by decrementing that stage's allocation to the next
+//! fair value, predicts each candidate's JCT and cost with the simulator,
+//! and keeps the candidate with the largest *cost-marginal benefit*
+//!
+//! ```text
+//! m_i = (C(a*) − C(a_i)) / (T(a_i) − T(a*))          (Eq. 1)
+//! ```
+//!
+//! until no candidate improves cost by at least δ or all candidates
+//! violate the deadline. Because steps only ever decrement, the warm start
+//! caps each stage's allocation; the search is therefore re-run from 1×,
+//! 2×, 3× the optimal static size and the cheapest result returned.
+
+use crate::static_planner::plan_static_optimal;
+use rb_core::{Cost, RbError, Result, SimDuration};
+use rb_hpo::ExperimentSpec;
+use rb_sim::{AllocationPlan, Prediction, Simulator};
+
+/// Tunables of the greedy planner.
+#[derive(Debug, Clone)]
+pub struct PlannerConfig {
+    /// Cap on GPUs per trial when sizing the static warm start.
+    pub max_gpus_per_trial: u32,
+    /// Warm-start multipliers applied to the optimal static size
+    /// ("e.g. 1x, 2x, 3x", §4.3).
+    pub warm_start_multipliers: Vec<u32>,
+    /// Minimum cost improvement per greedy step (δ).
+    pub improvement_threshold: Cost,
+    /// Also generate, per stage, the jump candidate that lands on the
+    /// next *instance boundary* (where per-instance cost actually
+    /// changes). Without it the ladder can stall on fragmentation
+    /// plateaus — ablated by `repro ablations`.
+    pub use_instance_jump: bool,
+    /// Hard cap on greedy iterations (defence against pathological
+    /// simulator outputs; generous relative to any fair ladder's length).
+    pub max_steps: usize,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            max_gpus_per_trial: 16,
+            warm_start_multipliers: vec![1, 2, 3],
+            improvement_threshold: Cost::from_dollars(0.01),
+            use_instance_jump: true,
+            max_steps: 10_000,
+        }
+    }
+}
+
+/// The planner's result: the chosen plan, its prediction, and the static
+/// baseline it improved upon.
+#[derive(Debug, Clone)]
+pub struct GreedyOutcome {
+    /// The selected elastic plan.
+    pub plan: AllocationPlan,
+    /// Its predicted JCT/cost.
+    pub prediction: Prediction,
+    /// The optimal static plan used as the 1× warm start.
+    pub static_plan: AllocationPlan,
+    /// The static plan's prediction (the baseline cost).
+    pub static_prediction: Prediction,
+    /// Greedy steps actually taken across all warm starts.
+    pub steps: usize,
+}
+
+/// Runs greedy descent from one warm start. Returns the improved plan,
+/// its prediction, and the steps taken.
+///
+/// # Errors
+///
+/// Propagates simulator errors. The warm start itself must be feasible;
+/// if it is not, it is returned unchanged (the caller decides what to do
+/// with an infeasible start).
+pub fn optimize_plan(
+    sim: &Simulator,
+    spec: &ExperimentSpec,
+    deadline: SimDuration,
+    warm_start: AllocationPlan,
+    config: &PlannerConfig,
+) -> Result<(AllocationPlan, Prediction, usize)> {
+    let mut best_plan = warm_start;
+    let mut best_pred = sim.predict(spec, &best_plan)?;
+    let mut steps = 0;
+    let gpg = sim.cloud().gpus_per_instance();
+    while steps < config.max_steps {
+        // Generate candidates per stage: the next fair decrement (§4.3)
+        // and, where different, the jump to the next instance boundary
+        // (where per-instance cost actually changes).
+        let mut chosen: Option<(AllocationPlan, Prediction, f64)> = None;
+        for i in 0..spec.num_stages() {
+            let trials = spec.get_stage(i)?.0;
+            let cur = best_plan.gpus(i);
+            let mut nexts = Vec::with_capacity(2);
+            if let Some(n) = AllocationPlan::decrement_fair(cur, trials) {
+                nexts.push(n);
+            }
+            if config.use_instance_jump {
+                if let Some(n) = AllocationPlan::decrement_to_fewer_instances(cur, trials, gpg) {
+                    if !nexts.contains(&n) {
+                        nexts.push(n);
+                    }
+                }
+            }
+            for next in nexts {
+                let mut cand = best_plan.clone();
+                cand.set_gpus(i, next);
+                let pred = sim.predict(spec, &cand)?;
+                if !pred.feasible(deadline) {
+                    continue;
+                }
+                let saved = best_pred.cost - pred.cost;
+                if saved < config.improvement_threshold {
+                    continue;
+                }
+                // Marginal benefit: cost saved per second of JCT given up.
+                // A candidate that saves cost without slowing the job down is
+                // infinitely good.
+                let dt = pred.jct.as_secs_f64() - best_pred.jct.as_secs_f64();
+                let m = if dt <= 0.0 {
+                    f64::INFINITY
+                } else {
+                    saved.as_dollars() / dt
+                };
+                let better = match &chosen {
+                    None => true,
+                    Some((_, _, best_m)) => m > *best_m,
+                };
+                if better {
+                    chosen = Some((cand, pred, m));
+                }
+            }
+        }
+        match chosen {
+            Some((plan, pred, _)) => {
+                best_plan = plan;
+                best_pred = pred;
+                steps += 1;
+            }
+            None => break,
+        }
+    }
+    Ok((best_plan, best_pred, steps))
+}
+
+/// The full RubberBand planning procedure: optimal static warm start,
+/// greedy descent from several warm-start scales, cheapest feasible result.
+///
+/// # Examples
+///
+/// ```
+/// use rb_planner::{plan_rubberband, PlannerConfig};
+/// use rb_sim::Simulator;
+/// use rb_profile::{CloudProfile, ModelProfile};
+/// use rb_cloud::{catalog::P3_8XLARGE, CloudPricing};
+/// use rb_core::SimDuration;
+/// use rb_hpo::ShaParams;
+/// use rb_scaling::{AnalyticScaling, zoo::RESNET50};
+/// use std::sync::Arc;
+///
+/// let spec = ShaParams::new(16, 2, 30).generate().unwrap();
+/// let model = ModelProfile::from_scaling(
+///     "rn50",
+///     Arc::new(AnalyticScaling::for_arch(&RESNET50, 512, 4)),
+///     5,
+///     2.0,
+///     0.0,
+/// );
+/// let cloud = CloudProfile::new(CloudPricing::on_demand(P3_8XLARGE));
+/// let sim = Simulator::new(model, cloud);
+/// let out =
+///     plan_rubberband(&sim, &spec, SimDuration::from_hours(1), &PlannerConfig::default())
+///         .unwrap();
+/// // Never worse than the optimal static allocation (§4.3).
+/// assert!(out.prediction.cost <= out.static_prediction.cost);
+/// ```
+///
+/// # Errors
+///
+/// Returns [`RbError::Infeasible`] when even the fastest static cluster
+/// misses the deadline; propagates simulator errors.
+pub fn plan_rubberband(
+    sim: &Simulator,
+    spec: &ExperimentSpec,
+    deadline: SimDuration,
+    config: &PlannerConfig,
+) -> Result<GreedyOutcome> {
+    let (static_plan, static_pred) =
+        plan_static_optimal(sim, spec, deadline, config.max_gpus_per_trial)?;
+    let mut best: Option<(AllocationPlan, Prediction)> = None;
+    let mut total_steps = 0;
+    for &mult in &config.warm_start_multipliers {
+        if mult == 0 {
+            continue;
+        }
+        let start =
+            AllocationPlan::flat(static_plan.gpus(0).saturating_mul(mult), spec.num_stages());
+        let start_pred = sim.predict(spec, &start)?;
+        if !start_pred.feasible(deadline) {
+            // A bigger static cluster that *misses* the deadline (e.g.
+            // overheads grow with size) is not a usable warm start.
+            continue;
+        }
+        let (plan, pred, steps) = optimize_plan(sim, spec, deadline, start, config)?;
+        total_steps += steps;
+        let better = match &best {
+            None => true,
+            Some((_, b)) => pred.cost < b.cost,
+        };
+        if better {
+            best = Some((plan, pred));
+        }
+    }
+    let (plan, prediction) = best.ok_or_else(|| RbError::Infeasible {
+        reason: "no feasible warm start".to_string(),
+    })?;
+    // Guarantee (§4.3): never worse than the optimal static allocation.
+    let (plan, prediction) = if prediction.cost <= static_pred.cost {
+        (plan, prediction)
+    } else {
+        (static_plan.clone(), static_pred)
+    };
+    Ok(GreedyOutcome {
+        plan,
+        prediction,
+        static_plan,
+        static_prediction: static_pred,
+        steps: total_steps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rb_cloud::catalog::P3_8XLARGE;
+    use rb_cloud::CloudPricing;
+    use rb_profile::{CloudProfile, ModelProfile};
+    use rb_scaling::zoo::RESNET50;
+    use rb_scaling::AnalyticScaling;
+    use rb_sim::SimConfig;
+    use std::sync::Arc;
+
+    /// A sublinear-scaling workload on 4-GPU instances — the regime where
+    /// elasticity pays.
+    fn sublinear_sim() -> Simulator {
+        let scaling = Arc::new(AnalyticScaling::for_arch(&RESNET50, 512, 4));
+        let model = ModelProfile::from_scaling("rn50", scaling, 10, 2.0, 0.0);
+        let cloud = CloudProfile::new(CloudPricing::on_demand(P3_8XLARGE))
+            .with_provision_delay(SimDuration::from_secs(15))
+            .with_init_latency(SimDuration::from_secs(15));
+        Simulator::new(model, cloud).with_config(SimConfig {
+            samples: 3,
+            seed: 11,
+            sync_overhead_secs: 1.0,
+        })
+    }
+
+    fn spec() -> ExperimentSpec {
+        ExperimentSpec::from_stages(&[(16, 4), (8, 8), (4, 16), (2, 32), (1, 64)]).unwrap()
+    }
+
+    #[test]
+    fn rubberband_never_beaten_by_static() {
+        let sim = sublinear_sim();
+        for deadline_mins in [30u64, 60, 120] {
+            let out = plan_rubberband(
+                &sim,
+                &spec(),
+                SimDuration::from_mins(deadline_mins),
+                &PlannerConfig::default(),
+            )
+            .unwrap();
+            assert!(
+                out.prediction.cost <= out.static_prediction.cost,
+                "deadline {deadline_mins}m: {} > static {}",
+                out.prediction.cost,
+                out.static_prediction.cost
+            );
+            assert!(out
+                .prediction
+                .feasible(SimDuration::from_mins(deadline_mins)));
+        }
+    }
+
+    #[test]
+    fn elastic_plan_shrinks_over_stages_for_sublinear_models() {
+        // A tight deadline (static optimum ≈ 4:13 at 16 GPUs) forces a
+        // large early cluster; the greedy planner should shed it in the
+        // late, low-parallelism stages.
+        let sim = sublinear_sim();
+        let out = plan_rubberband(
+            &sim,
+            &spec(),
+            SimDuration::from_secs(270),
+            &PlannerConfig::default(),
+        )
+        .unwrap();
+        let first = out.plan.gpus(0);
+        let last = out.plan.gpus(spec().num_stages() - 1);
+        assert!(last < first, "expected front-loaded plan, got {}", out.plan);
+        // And it should genuinely beat the static baseline.
+        assert!(
+            out.prediction.cost < out.static_prediction.cost,
+            "{} !< {}",
+            out.prediction.cost,
+            out.static_prediction.cost
+        );
+    }
+
+    #[test]
+    fn greedy_steps_respect_fairness_ladder() {
+        let sim = sublinear_sim();
+        let s = spec();
+        let out = plan_rubberband(
+            &sim,
+            &s,
+            SimDuration::from_mins(60),
+            &PlannerConfig::default(),
+        )
+        .unwrap();
+        assert!(out.plan.is_fair(&s), "{} is unfair", out.plan);
+    }
+
+    #[test]
+    fn optimize_never_increases_allocations() {
+        let sim = sublinear_sim();
+        let s = spec();
+        let start = AllocationPlan::flat(32, s.num_stages());
+        let (plan, _, _) = optimize_plan(
+            &sim,
+            &s,
+            SimDuration::from_hours(4),
+            start.clone(),
+            &PlannerConfig::default(),
+        )
+        .unwrap();
+        for i in 0..s.num_stages() {
+            assert!(plan.gpus(i) <= start.gpus(i));
+        }
+    }
+
+    #[test]
+    fn infeasible_deadline_propagates() {
+        let sim = sublinear_sim();
+        let err = plan_rubberband(
+            &sim,
+            &spec(),
+            SimDuration::from_secs(10),
+            &PlannerConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RbError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn tighter_deadlines_cost_more() {
+        let sim = sublinear_sim();
+        let cfg = PlannerConfig::default();
+        let loose = plan_rubberband(&sim, &spec(), SimDuration::from_mins(180), &cfg)
+            .unwrap()
+            .prediction
+            .cost;
+        let tight = plan_rubberband(&sim, &spec(), SimDuration::from_mins(25), &cfg)
+            .unwrap()
+            .prediction
+            .cost;
+        assert!(tight >= loose, "tight {tight} vs loose {loose}");
+    }
+
+    #[test]
+    fn planning_is_deterministic() {
+        let sim = sublinear_sim();
+        let cfg = PlannerConfig::default();
+        let a = plan_rubberband(&sim, &spec(), SimDuration::from_mins(60), &cfg).unwrap();
+        let b = plan_rubberband(&sim, &spec(), SimDuration::from_mins(60), &cfg).unwrap();
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(a.prediction, b.prediction);
+    }
+}

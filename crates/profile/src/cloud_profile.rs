@@ -1,0 +1,114 @@
+//! The fitted cloud profile.
+
+use rb_cloud::CloudPricing;
+use rb_core::{Distribution, SimDuration};
+
+/// Everything the planner/simulator knows about the target cloud: pricing
+/// plus the two provider-side latency distributions of §4.1 (scaling
+/// latency and instance initialization latency) and the per-instance data
+/// ingress volume.
+#[derive(Debug, Clone)]
+pub struct CloudProfile {
+    /// Instance type, billing model, tier, and data price.
+    pub pricing: CloudPricing,
+    /// Scaling latency: seconds from provisioning request to hand-over
+    /// (provider queuing delay).
+    pub provision_delay: Distribution,
+    /// Instance initialization latency: seconds to install dependencies
+    /// and join the cluster after hand-over.
+    pub init_latency: Distribution,
+    /// Gigabytes of training data each new instance downloads once.
+    pub dataset_gb: f64,
+    /// Spot interruption rate per instance-hour (extension; zero for
+    /// on-demand capacity and for the paper's experiments).
+    pub spot_interruptions_per_hour: f64,
+}
+
+impl CloudProfile {
+    /// A profile with constant provisioning/initialization latencies and no
+    /// data ingress.
+    pub fn new(pricing: CloudPricing) -> Self {
+        CloudProfile {
+            pricing,
+            provision_delay: Distribution::Constant(30.0),
+            init_latency: Distribution::Constant(60.0),
+            dataset_gb: 0.0,
+            spot_interruptions_per_hour: 0.0,
+        }
+    }
+
+    /// Sets a constant provisioning delay.
+    pub fn with_provision_delay(mut self, d: SimDuration) -> Self {
+        self.provision_delay = Distribution::Constant(d.as_secs_f64());
+        self
+    }
+
+    /// Sets a constant instance-initialization latency.
+    pub fn with_init_latency(mut self, d: SimDuration) -> Self {
+        self.init_latency = Distribution::Constant(d.as_secs_f64());
+        self
+    }
+
+    /// Sets the provisioning-delay distribution.
+    pub fn with_provision_delay_dist(mut self, d: Distribution) -> Self {
+        self.provision_delay = d;
+        self
+    }
+
+    /// Sets the init-latency distribution.
+    pub fn with_init_latency_dist(mut self, d: Distribution) -> Self {
+        self.init_latency = d;
+        self
+    }
+
+    /// Sets the per-instance dataset download volume (GB).
+    pub fn with_dataset_gb(mut self, gb: f64) -> Self {
+        debug_assert!(gb >= 0.0);
+        self.dataset_gb = gb;
+        self
+    }
+
+    /// Enables spot interruptions at `rate` reclaims per instance-hour.
+    pub fn with_spot_interruptions(mut self, rate: f64) -> Self {
+        debug_assert!(rate >= 0.0);
+        self.spot_interruptions_per_hour = rate;
+        self
+    }
+
+    /// Mean seconds from requesting an instance to it being usable:
+    /// provisioning plus initialization.
+    pub fn mean_scale_up_secs(&self) -> f64 {
+        self.provision_delay.mean() + self.init_latency.mean()
+    }
+
+    /// GPUs per instance (the allocable unit granularity).
+    pub fn gpus_per_instance(&self) -> u32 {
+        self.pricing.instance_type.gpus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rb_cloud::catalog::P3_8XLARGE;
+
+    #[test]
+    fn builder_chain_sets_fields() {
+        let p = CloudProfile::new(CloudPricing::on_demand(P3_8XLARGE))
+            .with_provision_delay(SimDuration::from_secs(15))
+            .with_init_latency(SimDuration::from_secs(15))
+            .with_dataset_gb(150.0);
+        assert_eq!(p.provision_delay.mean(), 15.0);
+        assert_eq!(p.init_latency.mean(), 15.0);
+        assert_eq!(p.dataset_gb, 150.0);
+        assert_eq!(p.mean_scale_up_secs(), 30.0);
+        assert_eq!(p.gpus_per_instance(), 4);
+    }
+
+    #[test]
+    fn stochastic_delays_supported() {
+        let p = CloudProfile::new(CloudPricing::on_demand(P3_8XLARGE))
+            .with_provision_delay_dist(Distribution::lognormal_from_moments(20.0, 8.0));
+        assert!((p.provision_delay.mean() - 20.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,23 @@
+//! Profiling: turning a training job and a cloud into model parameters.
+//!
+//! Before planning, RubberBand runs a short instrumentation step (§5):
+//! it trains the model at power-of-two GPU allocations, measures iteration
+//! latencies, fits a scaling function, and fits latency distributions for
+//! cloud operations. The planner and simulator consume only these fitted
+//! artifacts — never the ground truth — so planning quality honestly
+//! reflects profiling quality.
+//!
+//! * [`ModelProfile`] — fitted training-latency model: scaling function,
+//!   per-work-unit noise, startup overhead (checkpoint load + worker
+//!   connection establishment).
+//! * [`CloudProfile`] — pricing plus provisioning/initialization latency
+//!   distributions and per-instance dataset ingress volume.
+//! * [`profiler`] — the measurement procedure itself.
+
+pub mod cloud_profile;
+pub mod model_profile;
+pub mod profiler;
+
+pub use cloud_profile::CloudProfile;
+pub use model_profile::ModelProfile;
+pub use profiler::{profile_training, ProfileReport, ProfilerConfig};

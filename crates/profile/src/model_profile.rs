@@ -1,0 +1,189 @@
+//! The fitted training-latency profile.
+
+use rb_core::Distribution;
+use rb_scaling::{PlacementQuality, RescaledScaling, SharedScaling};
+use rb_train::TaskModel;
+use std::sync::Arc;
+
+/// Everything the planner/simulator knows about a model's training
+/// performance.
+///
+/// Latency for one *work unit* (one spec "iteration": a fixed block of
+/// samples followed by an evaluation) on `g` GPUs is
+/// `steps_per_iter · step_latency(g)`; a TRAIN task covering `k` units
+/// additionally pays a startup cost (checkpoint load, peer connection
+/// establishment — §4.1's "initial latency") and accumulates per-unit
+/// noise with variance growing linearly in `k`.
+#[derive(Debug, Clone)]
+pub struct ModelProfile {
+    /// Descriptive name (model / dataset / batch).
+    pub name: String,
+    /// Fitted per-step latency versus GPU count (packed placement).
+    pub scaling: SharedScaling,
+    /// SGD steps per spec work unit.
+    pub steps_per_iter: u64,
+    /// Per-TRAIN-task startup latency in seconds.
+    pub train_startup_secs: f64,
+    /// Coefficient of variation of one work unit's latency (σ/μ).
+    pub unit_noise_frac: f64,
+}
+
+impl ModelProfile {
+    /// Builds a profile directly from a scaling model (used by tests and
+    /// by experiments that posit latencies rather than measure them).
+    pub fn from_scaling(
+        name: impl Into<String>,
+        scaling: SharedScaling,
+        steps_per_iter: u64,
+        train_startup_secs: f64,
+        unit_noise_frac: f64,
+    ) -> Self {
+        assert!(steps_per_iter > 0, "work units must contain steps");
+        ModelProfile {
+            name: name.into(),
+            scaling,
+            steps_per_iter,
+            train_startup_secs,
+            unit_noise_frac,
+        }
+    }
+
+    /// Builds a synthetic profile where one work unit takes
+    /// `mean_unit_secs_at_1gpu` seconds on a single GPU and scales with
+    /// the relative shape of `reference` — the construction used by the
+    /// paper's simulated experiments ("training latency sampled from a
+    /// normal distribution with μ = 4 s", Fig. 9; "mean training latency
+    /// is 12 s", Fig. 12).
+    pub fn synthetic(
+        name: impl Into<String>,
+        reference: SharedScaling,
+        mean_unit_secs_at_1gpu: f64,
+        noise_std_secs: f64,
+    ) -> Self {
+        let pinned = Arc::new(RescaledScaling::pin_single_gpu_latency(
+            reference,
+            mean_unit_secs_at_1gpu,
+        ));
+        ModelProfile {
+            name: name.into(),
+            scaling: pinned,
+            steps_per_iter: 1,
+            train_startup_secs: 0.0,
+            unit_noise_frac: noise_std_secs / mean_unit_secs_at_1gpu,
+        }
+    }
+
+    /// Builds the ground-truth profile for a [`TaskModel`]: analytic
+    /// scaling at the given batch size and node shape, epoch-granularity
+    /// work units. (The honest path is to *profile* the task instead; see
+    /// [`crate::profiler::profile_training`].)
+    pub fn exact_for_task(task: &TaskModel, batch_size: u32, node_gpus: u32) -> Self {
+        let scaling: SharedScaling = Arc::new(rb_scaling::AnalyticScaling::for_arch(
+            &task.arch, batch_size, node_gpus,
+        ));
+        ModelProfile {
+            name: format!("{} (bs={batch_size})", task.name),
+            scaling,
+            steps_per_iter: task.steps_per_iter(batch_size),
+            train_startup_secs: 5.0,
+            unit_noise_frac: 0.03,
+        }
+    }
+
+    /// Mean seconds for one work unit on `gpus` GPUs.
+    pub fn unit_mean_secs(&self, gpus: u32, placement: PlacementQuality) -> f64 {
+        self.steps_per_iter as f64 * self.scaling.iter_latency_secs(gpus, placement)
+    }
+
+    /// The latency distribution of a TRAIN task covering `units` work
+    /// units on `gpus` GPUs: startup plus `units` noisy unit latencies
+    /// (independent noise ⇒ σ grows as √units).
+    pub fn train_task_dist(
+        &self,
+        units: u64,
+        gpus: u32,
+        placement: PlacementQuality,
+    ) -> Distribution {
+        let unit_mean = self.unit_mean_secs(gpus, placement);
+        let mean = self.train_startup_secs + units as f64 * unit_mean;
+        let std = self.unit_noise_frac * unit_mean * (units as f64).sqrt();
+        if std <= 0.0 {
+            Distribution::Constant(mean)
+        } else {
+            Distribution::Normal {
+                mean,
+                std,
+                floor: 0.0,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rb_core::Prng;
+    use rb_scaling::zoo::RESNET50;
+    use rb_scaling::AnalyticScaling;
+    use rb_train::task::resnet101_cifar10;
+
+    fn reference() -> SharedScaling {
+        Arc::new(AnalyticScaling::for_arch(&RESNET50, 512, 4))
+    }
+
+    #[test]
+    fn synthetic_profile_pins_unit_mean() {
+        let p = ModelProfile::synthetic("fig9", reference(), 4.0, 1.0);
+        assert!((p.unit_mean_secs(1, PlacementQuality::Packed) - 4.0).abs() < 1e-9);
+        // More GPUs, faster units — relative shape preserved.
+        assert!(
+            p.unit_mean_secs(4, PlacementQuality::Packed)
+                < p.unit_mean_secs(1, PlacementQuality::Packed)
+        );
+    }
+
+    #[test]
+    fn train_task_dist_mean_and_std() {
+        let p = ModelProfile::synthetic("fig9", reference(), 4.0, 1.0);
+        let d = p.train_task_dist(16, 1, PlacementQuality::Packed);
+        // Mean: 16 units × 4 s; std: 1 s × √16 = 4 s.
+        assert!((d.mean() - 64.0).abs() < 1e-9);
+        match d {
+            Distribution::Normal { std, .. } => assert!((std - 4.0).abs() < 1e-9),
+            other => panic!("expected normal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_noise_gives_constant_distribution() {
+        let p = ModelProfile::synthetic("det", reference(), 4.0, 0.0);
+        let d = p.train_task_dist(8, 2, PlacementQuality::Packed);
+        assert!(matches!(d, Distribution::Constant(_)));
+        let mut rng = Prng::seed_from_u64(0);
+        assert_eq!(d.sample(&mut rng), d.mean());
+    }
+
+    #[test]
+    fn startup_is_charged_once_per_task() {
+        let mut p = ModelProfile::synthetic("s", reference(), 4.0, 0.0);
+        p.train_startup_secs = 10.0;
+        let one = p.train_task_dist(1, 1, PlacementQuality::Packed).mean();
+        let four = p.train_task_dist(4, 1, PlacementQuality::Packed).mean();
+        assert!((one - 14.0).abs() < 1e-9);
+        assert!((four - 26.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_for_task_uses_epoch_steps() {
+        let task = resnet101_cifar10();
+        let p = ModelProfile::exact_for_task(&task, 1024, 4);
+        assert_eq!(p.steps_per_iter, 49);
+        assert!(p.unit_mean_secs(1, PlacementQuality::Packed) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "steps")]
+    fn zero_steps_per_iter_panics() {
+        let _ = ModelProfile::from_scaling("bad", reference(), 0, 0.0, 0.0);
+    }
+}

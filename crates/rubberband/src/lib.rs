@@ -1,0 +1,398 @@
+//! # RubberBand: cost-efficient, elastic hyperparameter tuning in the cloud
+//!
+//! A from-scratch Rust reproduction of *RubberBand: Cloud-based
+//! Hyperparameter Tuning* (EuroSys '21). Given a declarative
+//! early-stopping experiment (Successive Halving / Hyperband), a profiled
+//! model scaling function, and a cloud cost/latency profile, RubberBand
+//!
+//! 1. **models** the job's execution as a DAG of SCALE / INIT / TRAIN /
+//!    SYNC tasks and predicts completion time and dollar cost by
+//!    Monte-Carlo simulation ([`rb_sim`]);
+//! 2. **plans** a per-stage elastic GPU allocation that minimizes
+//!    predicted cost subject to a deadline ([`rb_planner`]);
+//! 3. **executes** the plan over an elastic (simulated) cluster with
+//!    locality-preserving worker placement, checkpoint-based migration
+//!    and stage-wise early stopping ([`rb_exec`], [`rb_placement`]).
+//!
+//! The crate mirrors the paper's user-facing API (Fig. 6): build an
+//! [`ExperimentSpec`], [`compile_plan`] it against profiles and a
+//! deadline, then [`execute`] it.
+//!
+//! # Examples
+//!
+//! ```
+//! use rubberband::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // An SHA(n=8, r=1, R=8, η=2) tuning job.
+//! let spec = ShaParams::new(8, 1, 8).generate().unwrap();
+//!
+//! // Profiles: ResNet-50 physics on 4-GPU instances, profiled scaling.
+//! let task = rb_train::task::resnet50_cifar10();
+//! let physics = ModelProfile::exact_for_task(&task, 512, 4);
+//! let cloud = CloudProfile::new(CloudPricing::on_demand(
+//!     rb_cloud::catalog::P3_8XLARGE,
+//! ));
+//!
+//! // Plan a cost-efficient elastic allocation under a 2-hour deadline.
+//! let outcome = rubberband::compile_plan(
+//!     &spec,
+//!     &physics,
+//!     &cloud,
+//!     SimDuration::from_hours(2),
+//! )
+//! .unwrap();
+//!
+//! // Execute it on a random-search space.
+//! let space = SearchSpace::new()
+//!     .add("lr", Dim::LogUniform { lo: 1e-3, hi: 1.0 })
+//!     .build()
+//!     .unwrap();
+//! let report =
+//!     rubberband::execute(&spec, &outcome.plan, &task, &physics, &cloud, &space, 7)
+//!         .unwrap();
+//! assert!(report.best_accuracy > 0.1);
+//! ```
+
+pub use rb_cloud;
+pub use rb_core;
+pub use rb_exec;
+pub use rb_hpo;
+pub use rb_placement;
+pub use rb_planner;
+pub use rb_profile;
+pub use rb_scaling;
+pub use rb_sim;
+pub use rb_train;
+
+use rb_core::{Cost, Prng, Result, SimDuration};
+use rb_exec::{ExecOptions, ExecutionReport, Executor};
+use rb_hpo::{ExperimentSpec, SearchSpace};
+use rb_planner::{plan_with_policy, PlanOutcome, PlannerConfig, Policy};
+use rb_profile::{CloudProfile, ModelProfile};
+use rb_sim::{AllocationPlan, Simulator};
+use rb_train::TaskModel;
+
+/// Commonly used items, re-exported flat.
+pub mod prelude {
+    pub use rb_cloud::{BillingModel, CloudPricing, PricingTier};
+    pub use rb_core::{Cost, Distribution, Prng, RbError, Result, SimDuration, SimTime};
+    pub use rb_exec::{ExecOptions, ExecutionReport, Executor};
+    pub use rb_hpo::{Config, Dim, ExperimentSpec, SearchSpace, ShaParams};
+    pub use rb_planner::{PlanOutcome, PlannerConfig, Policy};
+    pub use rb_profile::{CloudProfile, ModelProfile};
+    pub use rb_scaling::{
+        AnalyticScaling, IdealScaling, InterpolatedScaling, PlacementQuality, ScalingModel,
+    };
+    pub use rb_sim::{AllocationPlan, Prediction, SimConfig, Simulator};
+    pub use rb_train::TaskModel;
+}
+
+/// Profiles a training task on a ground-truth scaling model and compiles
+/// a plan in one call — the full pre-execution flow of §5 (profile →
+/// fit → plan).
+///
+/// # Errors
+///
+/// Propagates profiling and planning errors.
+pub fn profile_and_plan(
+    spec: &ExperimentSpec,
+    truth: &dyn rb_scaling::ScalingModel,
+    steps_per_iter: u64,
+    cloud: &CloudProfile,
+    deadline: SimDuration,
+) -> Result<(ModelProfile, PlanOutcome)> {
+    let mut model = rb_profile::profile_training(
+        truth,
+        steps_per_iter,
+        5.0,
+        &rb_profile::ProfilerConfig::default(),
+    )?
+    .profile;
+    model.train_startup_secs = 5.0;
+    let outcome = compile_plan(spec, &model, cloud, deadline)?;
+    Ok((model, outcome))
+}
+
+/// Compiles a cost-minimizing elastic allocation plan for `spec` under
+/// `deadline`, using RubberBand's greedy planner with default settings
+/// (the paper's `rb.compile_plan(spec, model_profile, cloud_profile,
+/// deadline)`).
+///
+/// # Errors
+///
+/// Returns [`rb_core::RbError::Infeasible`] when no plan meets the
+/// deadline.
+pub fn compile_plan(
+    spec: &ExperimentSpec,
+    model: &ModelProfile,
+    cloud: &CloudProfile,
+    deadline: SimDuration,
+) -> Result<PlanOutcome> {
+    compile_plan_with(
+        Policy::RubberBand,
+        spec,
+        model,
+        cloud,
+        deadline,
+        &PlannerConfig::default(),
+    )
+}
+
+/// [`compile_plan`] with an explicit policy (static / naive-elastic /
+/// RubberBand) and planner configuration — how the paper's baselines are
+/// produced.
+///
+/// # Errors
+///
+/// Returns [`rb_core::RbError::Infeasible`] when the policy cannot meet
+/// the deadline.
+pub fn compile_plan_with(
+    policy: Policy,
+    spec: &ExperimentSpec,
+    model: &ModelProfile,
+    cloud: &CloudProfile,
+    deadline: SimDuration,
+    config: &PlannerConfig,
+) -> Result<PlanOutcome> {
+    let sim = Simulator::new(model.clone(), cloud.clone());
+    plan_with_policy(policy, &sim, spec, deadline, config)
+}
+
+/// Executes `spec` under `plan`: samples one configuration per initial
+/// trial from `space` (seeded random search) and runs the full elastic
+/// execution (the paper's `rb.execute(plan, trainer, search_space)`).
+///
+/// `physics` provides the ground-truth training latencies; `task` the
+/// learning curves.
+///
+/// # Errors
+///
+/// Propagates executor errors (invalid plan, placement failure, ...).
+pub fn execute(
+    spec: &ExperimentSpec,
+    plan: &AllocationPlan,
+    task: &TaskModel,
+    physics: &ModelProfile,
+    cloud: &CloudProfile,
+    space: &SearchSpace,
+    seed: u64,
+) -> Result<ExecutionReport> {
+    execute_with(
+        spec,
+        plan,
+        task,
+        physics,
+        cloud,
+        space,
+        ExecOptions {
+            seed,
+            ..ExecOptions::default()
+        },
+    )
+}
+
+/// [`execute`] with full executor options (placement ablation, sync
+/// overhead, checkpoint bandwidth).
+///
+/// # Errors
+///
+/// Propagates executor errors.
+pub fn execute_with(
+    spec: &ExperimentSpec,
+    plan: &AllocationPlan,
+    task: &TaskModel,
+    physics: &ModelProfile,
+    cloud: &CloudProfile,
+    space: &SearchSpace,
+    options: ExecOptions,
+) -> Result<ExecutionReport> {
+    let mut rng = Prng::seed_from_u64(options.seed ^ 0x005A_3CE0_u64);
+    let configs = space.sample_n(spec.initial_trials() as usize, &mut rng);
+    Executor::new(
+        spec.clone(),
+        plan.clone(),
+        task.clone(),
+        physics.clone(),
+        cloud.clone(),
+    )?
+    .with_options(options)
+    .run(&configs)
+}
+
+/// The outcome of executing a Hyperband-style multi-job.
+#[derive(Debug, Clone)]
+pub struct MultiJobReport {
+    /// Per-bracket execution reports, in bracket order.
+    pub reports: Vec<ExecutionReport>,
+    /// Total spend across brackets.
+    pub total_cost: Cost,
+    /// End-to-end completion time (max of brackets when concurrent, sum
+    /// when sequential).
+    pub jct: SimDuration,
+    /// The best accuracy found across brackets.
+    pub best_accuracy: f64,
+    /// Its configuration.
+    pub best_config: rb_hpo::Config,
+}
+
+/// Plans and executes a Hyperband-style multi-job: every bracket is
+/// planned under the shared deadline (per the discipline) and executed on
+/// its own elastic cluster.
+///
+/// # Errors
+///
+/// Propagates planning and execution errors (a bracket that cannot meet
+/// its deadline share fails the multi-job).
+#[allow(clippy::too_many_arguments)] // Mirrors `execute` plus the multi-job knobs.
+pub fn execute_multi_job(
+    brackets: &[ExperimentSpec],
+    task: &TaskModel,
+    physics: &ModelProfile,
+    cloud: &CloudProfile,
+    space: &SearchSpace,
+    deadline: SimDuration,
+    discipline: rb_planner::MultiJobDiscipline,
+    seed: u64,
+) -> Result<MultiJobReport> {
+    let sim = Simulator::new(physics.clone(), cloud.clone());
+    let plan = rb_planner::plan_multi_job(
+        &sim,
+        brackets,
+        deadline,
+        discipline,
+        &PlannerConfig::default(),
+    )?;
+    let mut reports = Vec::with_capacity(brackets.len());
+    let mut total_cost = Cost::ZERO;
+    let mut jct = SimDuration::ZERO;
+    let mut best: Option<(f64, rb_hpo::Config)> = None;
+    for (i, (spec, out)) in brackets.iter().zip(&plan.brackets).enumerate() {
+        let report = execute(
+            spec,
+            &out.plan,
+            task,
+            physics,
+            cloud,
+            space,
+            seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9),
+        )?;
+        total_cost += report.total_cost();
+        jct = match discipline {
+            rb_planner::MultiJobDiscipline::Concurrent => jct.max(report.jct),
+            rb_planner::MultiJobDiscipline::Sequential => jct + report.jct,
+        };
+        if best
+            .as_ref()
+            .map_or(true, |(a, _)| report.best_accuracy > *a)
+        {
+            best = Some((report.best_accuracy, report.best_config.clone()));
+        }
+        reports.push(report);
+    }
+    let (best_accuracy, best_config) = best.expect("at least one bracket");
+    Ok(MultiJobReport {
+        reports,
+        total_cost,
+        jct,
+        best_accuracy,
+        best_config,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rb_cloud::catalog::P3_8XLARGE;
+    use rb_cloud::CloudPricing;
+    use rb_hpo::{Dim, ShaParams};
+
+    #[test]
+    fn compile_then_execute_round_trip() {
+        let spec = ShaParams::new(8, 1, 8).generate().unwrap();
+        let task = rb_train::task::resnet50_cifar10();
+        let physics = ModelProfile::exact_for_task(&task, 512, 4);
+        let cloud = CloudProfile::new(CloudPricing::on_demand(P3_8XLARGE));
+        let outcome = compile_plan(&spec, &physics, &cloud, SimDuration::from_hours(2)).unwrap();
+        assert!(outcome.prediction.feasible(SimDuration::from_hours(2)));
+        let space = SearchSpace::new()
+            .add("lr", Dim::LogUniform { lo: 1e-3, hi: 1.0 })
+            .build()
+            .unwrap();
+        let report = execute(&spec, &outcome.plan, &task, &physics, &cloud, &space, 3).unwrap();
+        assert!(report.jct > SimDuration::ZERO);
+        assert_eq!(report.stages.len(), spec.num_stages());
+    }
+
+    #[test]
+    fn profile_and_plan_composes() {
+        let spec = ShaParams::new(8, 1, 8).generate().unwrap();
+        let task = rb_train::task::resnet50_cifar10();
+        let truth = rb_scaling::AnalyticScaling::for_arch(&task.arch, 512, 4);
+        let cloud = CloudProfile::new(CloudPricing::on_demand(P3_8XLARGE));
+        let (model, outcome) = profile_and_plan(
+            &spec,
+            &truth,
+            task.steps_per_iter(512),
+            &cloud,
+            SimDuration::from_hours(2),
+        )
+        .unwrap();
+        assert!(model.steps_per_iter > 0);
+        assert!(outcome.prediction.feasible(SimDuration::from_hours(2)));
+    }
+
+    #[test]
+    fn multi_job_executes_all_brackets() {
+        use rb_planner::MultiJobDiscipline;
+        let task = rb_train::task::resnet50_cifar10();
+        let physics = ModelProfile::exact_for_task(&task, 512, 4);
+        let cloud = CloudProfile::new(CloudPricing::on_demand(P3_8XLARGE));
+        let space = SearchSpace::new()
+            .add("lr", Dim::LogUniform { lo: 1e-3, hi: 1.0 })
+            .build()
+            .unwrap();
+        let brackets: Vec<_> = rb_hpo::hyperband_brackets(1, 9, 3)
+            .unwrap()
+            .into_iter()
+            .map(|(_, s)| s)
+            .collect();
+        let deadline = SimDuration::from_hours(2);
+        let report = execute_multi_job(
+            &brackets,
+            &task,
+            &physics,
+            &cloud,
+            &space,
+            deadline,
+            MultiJobDiscipline::Concurrent,
+            1,
+        )
+        .unwrap();
+        assert_eq!(report.reports.len(), brackets.len());
+        assert!(report.jct <= deadline);
+        assert!(report.best_accuracy > 0.1);
+        let sum: Cost = report.reports.iter().map(|r| r.total_cost()).sum();
+        assert_eq!(report.total_cost, sum);
+    }
+
+    #[test]
+    fn policies_are_selectable() {
+        let spec = ShaParams::new(8, 1, 8).generate().unwrap();
+        let task = rb_train::task::resnet50_cifar10();
+        let physics = ModelProfile::exact_for_task(&task, 512, 4);
+        let cloud = CloudProfile::new(CloudPricing::on_demand(P3_8XLARGE));
+        for policy in [Policy::Static, Policy::NaiveElastic, Policy::RubberBand] {
+            let out = compile_plan_with(
+                policy,
+                &spec,
+                &physics,
+                &cloud,
+                SimDuration::from_hours(2),
+                &PlannerConfig::default(),
+            )
+            .unwrap();
+            assert_eq!(out.policy, policy);
+        }
+    }
+}

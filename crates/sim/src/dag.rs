@@ -1,0 +1,497 @@
+//! DAG construction (§4.2).
+//!
+//! The simulator "constructs the DAG by parsing the specification and
+//! allocation plan together stage-by-stage, extending dependency edges
+//! from the frontier in each step. For each stage, cluster scaling nodes
+//! are first added if provisioning new nodes is necessary. This is
+//! followed by adding parallel training nodes and a synchronization node
+//! to end the stage. … If the cluster is too small to run all trials in
+//! parallel, each queued trial is represented by a TRAIN node with a
+//! serial dependency on a previously run trial." Low-latency, zero-cost
+//! events (deprovisioning) are unrepresented.
+
+use crate::plan::AllocationPlan;
+use rb_core::{Distribution, Prng, Result};
+use rb_hpo::ExperimentSpec;
+use rb_profile::{CloudProfile, ModelProfile};
+use rb_scaling::PlacementQuality;
+
+/// What a DAG node represents.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeKind {
+    /// Provision `new_instances` instances before `stage` begins.
+    Scale {
+        /// The stage the scale-up precedes.
+        stage: usize,
+        /// Instances requested.
+        new_instances: u32,
+    },
+    /// Initialize one freshly provisioned instance before `stage`.
+    InitInstance {
+        /// The stage the instance joins.
+        stage: usize,
+    },
+    /// Train one trial slot for `units` work units on `gpus` GPUs.
+    Train {
+        /// Stage index.
+        stage: usize,
+        /// Slot within the stage (0-based; identifies the trial).
+        trial_slot: u32,
+        /// Work units executed.
+        units: u64,
+        /// GPUs allocated to the trial.
+        gpus: u32,
+    },
+    /// The end-of-stage evaluation/termination barrier.
+    Sync {
+        /// Stage index.
+        stage: usize,
+    },
+}
+
+/// A node's latency specification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Latency {
+    /// One draw from the distribution.
+    Dist(Distribution),
+    /// The maximum of `n` independent draws — used for SCALE, whose
+    /// hand-over completes when the slowest of the requested instances
+    /// arrives.
+    MaxOf {
+        /// Per-instance delay distribution.
+        dist: Distribution,
+        /// Number of independent draws.
+        n: u32,
+    },
+}
+
+impl Latency {
+    /// Samples one latency in seconds.
+    pub fn sample(&self, rng: &mut Prng) -> f64 {
+        match self {
+            Latency::Dist(d) => d.sample(rng).max(0.0),
+            Latency::MaxOf { dist, n } => (0..*n).map(|_| dist.sample(rng)).fold(0.0_f64, f64::max),
+        }
+    }
+
+    /// The latency's mean (upper-bounded approximation for `MaxOf`, which
+    /// uses the underlying mean — adequate for reporting only).
+    pub fn mean(&self) -> f64 {
+        match self {
+            Latency::Dist(d) => d.mean(),
+            Latency::MaxOf { dist, .. } => dist.mean(),
+        }
+    }
+}
+
+/// One task node: kind, latency, and dependency edges (indices of earlier
+/// nodes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DagNode {
+    /// What the task does.
+    pub kind: NodeKind,
+    /// Its latency model.
+    pub latency: Latency,
+    /// Indices of predecessor nodes (always smaller than this node's own
+    /// index, so the vector order is a topological order).
+    pub preds: Vec<usize>,
+}
+
+/// The execution DAG for one (spec, plan) pair, plus the stage-level
+/// metadata needed to reconstruct instance lifetimes for billing.
+#[derive(Debug, Clone)]
+pub struct ExecDag {
+    /// Nodes in topological (construction) order.
+    pub nodes: Vec<DagNode>,
+    /// Index of each stage's SYNC node.
+    pub stage_sync: Vec<usize>,
+    /// Index of each stage's SCALE node, when the stage grew the cluster.
+    pub stage_scale: Vec<Option<usize>>,
+    /// Instances held during each stage.
+    pub stage_instances: Vec<u32>,
+    /// Instances newly provisioned at each stage's start.
+    pub stage_new_instances: Vec<u32>,
+    /// Total instances provisioned over the job.
+    pub total_instances: u32,
+}
+
+impl ExecDag {
+    /// Builds the DAG for `spec` executed under `plan` with the given
+    /// profiles. `sync_overhead_secs` is the barrier's evaluation latency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`rb_core::RbError::InvalidPlan`] if the plan fails
+    /// validation against the spec.
+    pub fn build(
+        spec: &ExperimentSpec,
+        plan: &AllocationPlan,
+        model: &ModelProfile,
+        cloud: &CloudProfile,
+        sync_overhead_secs: f64,
+    ) -> Result<ExecDag> {
+        plan.validate(spec)?;
+        let gpg = cloud.gpus_per_instance().max(1);
+        let mut nodes: Vec<DagNode> = Vec::new();
+        let mut stage_sync = Vec::with_capacity(spec.num_stages());
+        let mut stage_scale = Vec::with_capacity(spec.num_stages());
+        let mut stage_instances = Vec::with_capacity(spec.num_stages());
+        let mut stage_new = Vec::with_capacity(spec.num_stages());
+        let mut total_instances = 0u32;
+        let mut current_instances = 0u32;
+        // The frontier: nodes with out-degree zero that the next stage's
+        // first tasks must depend on.
+        let mut frontier: Vec<usize> = Vec::new();
+
+        for i in 0..spec.num_stages() {
+            let (trials, units) = spec.get_stage(i)?;
+            let alloc = plan.gpus(i);
+            let needed = plan.instances_for_stage(i, spec, gpg);
+
+            // 1. Cluster scaling, when the stage needs more instances.
+            let mut stage_deps = frontier.clone();
+            if needed > current_instances {
+                let k = needed - current_instances;
+                let scale_idx = nodes.len();
+                nodes.push(DagNode {
+                    kind: NodeKind::Scale {
+                        stage: i,
+                        new_instances: k,
+                    },
+                    latency: Latency::MaxOf {
+                        dist: cloud.provision_delay.clone(),
+                        n: k,
+                    },
+                    preds: frontier.clone(),
+                });
+                stage_scale.push(Some(scale_idx));
+                let mut init_idxs = Vec::with_capacity(k as usize);
+                for _ in 0..k {
+                    let idx = nodes.len();
+                    nodes.push(DagNode {
+                        kind: NodeKind::InitInstance { stage: i },
+                        latency: Latency::Dist(cloud.init_latency.clone()),
+                        preds: vec![scale_idx],
+                    });
+                    init_idxs.push(idx);
+                }
+                // Training barriers on the whole new cluster being ready;
+                // the previous frontier is implied transitively via SCALE.
+                stage_deps = init_idxs;
+                total_instances += k;
+                stage_new.push(k);
+            } else {
+                // Deprovisioning (shrink) is a low-latency, zero-cost event
+                // and is unrepresented in the DAG (§4.2).
+                stage_scale.push(None);
+                stage_new.push(0);
+            }
+            current_instances = needed;
+            stage_instances.push(needed);
+
+            // 2. Training tasks: all-parallel when GPUs suffice, otherwise
+            //    waves of `alloc` single-GPU trials chained serially.
+            let gpt = plan.gpus_per_trial(i, spec);
+            let parallel_slots = if alloc >= trials { trials } else { alloc };
+            let placement = PlacementQuality::Packed;
+            let mut train_idxs = Vec::with_capacity(trials as usize);
+            for slot in 0..trials {
+                let preds = if slot < parallel_slots {
+                    stage_deps.clone()
+                } else {
+                    vec![train_idxs[(slot - parallel_slots) as usize]]
+                };
+                let idx = nodes.len();
+                nodes.push(DagNode {
+                    kind: NodeKind::Train {
+                        stage: i,
+                        trial_slot: slot,
+                        units,
+                        gpus: gpt,
+                    },
+                    latency: Latency::Dist(model.train_task_dist(units, gpt, placement)),
+                    preds,
+                });
+                train_idxs.push(idx);
+            }
+
+            // 3. The synchronization barrier over every trial in the stage.
+            let sync_idx = nodes.len();
+            nodes.push(DagNode {
+                kind: NodeKind::Sync { stage: i },
+                latency: Latency::Dist(Distribution::Constant(sync_overhead_secs)),
+                preds: train_idxs,
+            });
+            stage_sync.push(sync_idx);
+            frontier = vec![sync_idx];
+        }
+
+        Ok(ExecDag {
+            nodes,
+            stage_sync,
+            stage_scale,
+            stage_instances,
+            stage_new_instances: stage_new,
+            total_instances,
+        })
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the DAG has no nodes (never the case for a valid spec).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterates over nodes of a given stage and kind (test/debug helper).
+    pub fn train_nodes(&self, stage: usize) -> impl Iterator<Item = (usize, &DagNode)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(move |(_, n)| matches!(n.kind, NodeKind::Train { stage: s, .. } if s == stage))
+    }
+
+    /// Renders the DAG in Graphviz DOT format — the representation the
+    /// paper draws in Fig. 7. Node labels carry the task kind and mean
+    /// latency; `dot -Tsvg` turns the output into the figure.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out =
+            String::from("digraph exec {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n");
+        for (i, n) in self.nodes.iter().enumerate() {
+            let (label, color) = match n.kind {
+                NodeKind::Scale { new_instances, .. } => {
+                    (format!("SCALE +{new_instances}"), "lightblue")
+                }
+                NodeKind::InitInstance { .. } => ("INIT".to_string(), "lightcyan"),
+                NodeKind::Train {
+                    trial_slot,
+                    units,
+                    gpus,
+                    ..
+                } => (
+                    format!("TRAIN t{trial_slot}\\n{units}u x {gpus}g"),
+                    "palegreen",
+                ),
+                NodeKind::Sync { stage } => (format!("SYNC s{stage}"), "gold"),
+            };
+            let _ = writeln!(
+                out,
+                "  n{i} [label=\"{label}\\n~{:.1}s\", style=filled, fillcolor={color}];",
+                n.latency.mean()
+            );
+            for &p in &n.preds {
+                let _ = writeln!(out, "  n{p} -> n{i};");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rb_cloud::catalog::{P3_2XLARGE, P3_8XLARGE};
+    use rb_cloud::CloudPricing;
+    use rb_scaling::IdealScaling;
+    use std::sync::Arc;
+
+    fn model() -> ModelProfile {
+        ModelProfile::from_scaling("ideal", Arc::new(IdealScaling::new(4.0, 512)), 1, 0.0, 0.0)
+    }
+
+    fn cloud_1gpu() -> CloudProfile {
+        CloudProfile::new(CloudPricing::on_demand(P3_2XLARGE))
+            .with_provision_delay(rb_core::SimDuration::from_secs(10))
+            .with_init_latency(rb_core::SimDuration::from_secs(20))
+    }
+
+    fn spec() -> ExperimentSpec {
+        ExperimentSpec::from_stages(&[(4, 10), (2, 10), (1, 10)]).unwrap()
+    }
+
+    #[test]
+    fn node_census_for_shrinking_plan() {
+        let dag = ExecDag::build(
+            &spec(),
+            &AllocationPlan::new(vec![4, 2, 1]),
+            &model(),
+            &cloud_1gpu(),
+            1.0,
+        )
+        .unwrap();
+        // Stage 0: 1 SCALE + 4 INIT + 4 TRAIN + 1 SYNC = 10.
+        // Stages 1, 2: shrink (no scale) → (2 TRAIN + SYNC) + (1 TRAIN + SYNC).
+        assert_eq!(dag.len(), 10 + 3 + 2);
+        assert_eq!(dag.total_instances, 4);
+        assert_eq!(dag.stage_instances, vec![4, 2, 1]);
+        assert_eq!(dag.stage_new_instances, vec![4, 0, 0]);
+        assert!(dag.stage_scale[0].is_some());
+        assert!(dag.stage_scale[1].is_none());
+    }
+
+    #[test]
+    fn growth_adds_scale_and_init_nodes_mid_job() {
+        // Growing plan 1 → 4 → 4.
+        let dag = ExecDag::build(
+            &spec(),
+            &AllocationPlan::new(vec![1, 2, 4]),
+            &model(),
+            &cloud_1gpu(),
+            1.0,
+        )
+        .unwrap();
+        assert_eq!(dag.stage_new_instances, vec![1, 1, 2]);
+        assert_eq!(dag.total_instances, 4);
+        // The stage-1 scale node depends on stage-0's sync.
+        let scale1 = dag.stage_scale[1].unwrap();
+        assert_eq!(dag.nodes[scale1].preds, vec![dag.stage_sync[0]]);
+    }
+
+    #[test]
+    fn wave_scheduling_builds_serial_chains() {
+        // 4 trials on 1 GPU → slots=1: trial k depends on trial k-1.
+        let dag = ExecDag::build(
+            &spec(),
+            &AllocationPlan::new(vec![1, 2, 1]),
+            &model(),
+            &cloud_1gpu(),
+            1.0,
+        )
+        .unwrap();
+        let trains: Vec<usize> = dag.train_nodes(0).map(|(i, _)| i).collect();
+        assert_eq!(trains.len(), 4);
+        for w in trains.windows(2) {
+            assert_eq!(dag.nodes[w[1]].preds, vec![w[0]], "serial chain broken");
+        }
+        // Stage 1: 2 trials on 2 GPUs → both parallel, depending on sync 0.
+        let t1: Vec<&DagNode> = dag.train_nodes(1).map(|(_, n)| n).collect();
+        assert_eq!(t1[0].preds, t1[1].preds);
+    }
+
+    #[test]
+    fn multi_gpu_instances_change_instance_math() {
+        // p3.8xlarge (4 GPUs): 8 GPUs for 4 trials = 2 instances.
+        let cloud = CloudProfile::new(CloudPricing::on_demand(P3_8XLARGE));
+        let dag = ExecDag::build(
+            &spec(),
+            &AllocationPlan::new(vec![8, 4, 2]),
+            &model(),
+            &cloud,
+            1.0,
+        )
+        .unwrap();
+        assert_eq!(dag.stage_instances, vec![2, 1, 1]);
+        // Each trial gets 2 GPUs in stage 0.
+        for (_, n) in dag.train_nodes(0) {
+            match n.kind {
+                NodeKind::Train { gpus, .. } => assert_eq!(gpus, 2),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_plan_is_rejected() {
+        // Wrong stage count.
+        assert!(ExecDag::build(
+            &spec(),
+            &AllocationPlan::new(vec![4, 2]),
+            &model(),
+            &cloud_1gpu(),
+            1.0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn uneven_allocation_runs_waves_with_idle_remainder() {
+        // 3 GPUs for 4 trials: 3 parallel slots, the 4th chains on slot 0.
+        let dag = ExecDag::build(
+            &spec(),
+            &AllocationPlan::new(vec![3, 2, 1]),
+            &model(),
+            &cloud_1gpu(),
+            1.0,
+        )
+        .unwrap();
+        let trains: Vec<usize> = dag.train_nodes(0).map(|(i, _)| i).collect();
+        assert_eq!(trains.len(), 4);
+        assert_eq!(dag.nodes[trains[3]].preds, vec![trains[0]]);
+        assert_eq!(dag.nodes[trains[1]].preds, dag.nodes[trains[0]].preds);
+    }
+
+    #[test]
+    fn preds_are_topologically_ordered() {
+        let dag = ExecDag::build(
+            &spec(),
+            &AllocationPlan::new(vec![2, 2, 2]),
+            &model(),
+            &cloud_1gpu(),
+            1.0,
+        )
+        .unwrap();
+        for (i, n) in dag.nodes.iter().enumerate() {
+            for &p in &n.preds {
+                assert!(p < i, "node {i} depends on later node {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn sync_depends_on_every_train_in_stage() {
+        let dag = ExecDag::build(
+            &spec(),
+            &AllocationPlan::new(vec![4, 2, 1]),
+            &model(),
+            &cloud_1gpu(),
+            1.0,
+        )
+        .unwrap();
+        for stage in 0..3 {
+            let sync = &dag.nodes[dag.stage_sync[stage]];
+            let trains: Vec<usize> = dag.train_nodes(stage).map(|(i, _)| i).collect();
+            assert_eq!(sync.preds, trains);
+        }
+    }
+
+    #[test]
+    fn dot_rendering_covers_every_node_and_edge() {
+        let dag = ExecDag::build(
+            &spec(),
+            &AllocationPlan::new(vec![4, 2, 1]),
+            &model(),
+            &cloud_1gpu(),
+            1.0,
+        )
+        .unwrap();
+        let dot = dag.to_dot();
+        assert!(dot.starts_with("digraph"));
+        assert_eq!(dot.matches("SCALE").count(), 1);
+        assert_eq!(dot.matches("INIT").count(), 4);
+        assert_eq!(dot.matches("TRAIN").count(), 4 + 2 + 1);
+        assert_eq!(dot.matches("SYNC").count(), 3);
+        let edges: usize = dag.nodes.iter().map(|n| n.preds.len()).sum();
+        assert_eq!(dot.matches(" -> ").count(), edges);
+    }
+
+    #[test]
+    fn maxof_latency_sampling_dominates_single_draw() {
+        let dist = Distribution::lognormal_from_moments(10.0, 5.0);
+        let single = Latency::Dist(dist.clone());
+        let max8 = Latency::MaxOf { dist, n: 8 };
+        let mut r1 = Prng::seed_from_u64(1);
+        let mut r2 = Prng::seed_from_u64(1);
+        let mut s_sum = 0.0;
+        let mut m_sum = 0.0;
+        for _ in 0..500 {
+            s_sum += single.sample(&mut r1);
+            m_sum += max8.sample(&mut r2);
+        }
+        assert!(m_sum > s_sum, "max of 8 draws should exceed one draw");
+    }
+}

@@ -1,0 +1,605 @@
+//! Monte-Carlo simulation over the execution DAG (Algorithm 1).
+//!
+//! One *sample* draws a latency for every node, propagates finish times
+//! along dependency edges (the vector order is already topological), and
+//! reads the job completion time off the sink. Cost is derived from the
+//! same sample:
+//!
+//! * **per-function**: each TRAIN task is billed for its GPUs × duration;
+//! * **per-instance**: instance lifetimes are reconstructed from stage
+//!   boundaries — instances are handed over when their SCALE task
+//!   finishes, and released only at the synchronization barrier of the
+//!   last stage that needs them, so time held idle behind stragglers is
+//!   paid for (the mechanism behind Fig. 9).
+//!
+//! Data ingress is billed once per provisioned instance under both models.
+
+use crate::dag::{ExecDag, NodeKind};
+use crate::plan::AllocationPlan;
+use rb_core::{Cost, Prng, Result, SimDuration};
+use rb_hpo::ExperimentSpec;
+use rb_profile::{CloudProfile, ModelProfile};
+
+/// Monte-Carlo configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of execution samples per prediction. "Configured to be
+    /// small by default to ensure plans are generated quickly" (§5).
+    pub samples: u32,
+    /// Seed of the sampling stream.
+    pub seed: u64,
+    /// Latency of the end-of-stage evaluation barrier, in seconds.
+    pub sync_overhead_secs: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            samples: 20,
+            seed: 0xB0A710AD,
+            sync_overhead_secs: 1.0,
+        }
+    }
+}
+
+/// One sampled execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunSample {
+    /// Job completion time in seconds.
+    pub jct_secs: f64,
+    /// Compute bill.
+    pub compute_cost: Cost,
+    /// Data-ingress bill.
+    pub data_cost: Cost,
+}
+
+impl RunSample {
+    /// Compute plus data.
+    pub fn total_cost(&self) -> Cost {
+        self.compute_cost + self.data_cost
+    }
+}
+
+/// Aggregated prediction for one (spec, plan) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Mean job completion time.
+    pub jct: SimDuration,
+    /// Standard deviation of JCT across samples, in seconds.
+    pub jct_std_secs: f64,
+    /// Mean total cost.
+    pub cost: Cost,
+    /// Standard deviation of cost across samples.
+    pub cost_std: Cost,
+    /// Samples drawn.
+    pub samples: u32,
+}
+
+impl Prediction {
+    /// True when the predicted JCT fits the deadline.
+    pub fn feasible(&self, deadline: SimDuration) -> bool {
+        self.jct <= deadline
+    }
+}
+
+/// Per-stage breakdown of a prediction (means over the Monte-Carlo
+/// samples) — where the money and time go.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageBreakdown {
+    /// Stage index.
+    pub stage: usize,
+    /// Trials running.
+    pub trials: u32,
+    /// GPUs per trial.
+    pub gpus_per_trial: u32,
+    /// Instances held.
+    pub instances: u32,
+    /// Mean wall-clock duration of the stage (scale-up + training +
+    /// barrier).
+    pub duration: SimDuration,
+    /// Mean compute cost attributed to the stage (instances held over its
+    /// span, under per-instance billing; train-task GPU-time under
+    /// per-function billing).
+    pub cost: Cost,
+}
+
+/// The plan simulator: owns the fitted profiles and predicts JCT/cost for
+/// candidate allocation plans.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    model: ModelProfile,
+    cloud: CloudProfile,
+    config: SimConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator with default Monte-Carlo settings.
+    pub fn new(model: ModelProfile, cloud: CloudProfile) -> Self {
+        Simulator {
+            model,
+            cloud,
+            config: SimConfig::default(),
+        }
+    }
+
+    /// Overrides the Monte-Carlo configuration.
+    pub fn with_config(mut self, config: SimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The cloud profile in use.
+    pub fn cloud(&self) -> &CloudProfile {
+        &self.cloud
+    }
+
+    /// The model profile in use.
+    pub fn model(&self) -> &ModelProfile {
+        &self.model
+    }
+
+    /// The Monte-Carlo configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Predicts JCT and cost of executing `spec` under `plan`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rb_sim::{AllocationPlan, Simulator};
+    /// use rb_profile::{CloudProfile, ModelProfile};
+    /// use rb_cloud::{catalog::P3_8XLARGE, CloudPricing};
+    /// use rb_hpo::ShaParams;
+    /// use rb_scaling::{AnalyticScaling, zoo::RESNET50};
+    /// use std::sync::Arc;
+    ///
+    /// let spec = ShaParams::new(8, 1, 8).generate().unwrap();
+    /// let model = ModelProfile::from_scaling(
+    ///     "rn50",
+    ///     Arc::new(AnalyticScaling::for_arch(&RESNET50, 512, 4)),
+    ///     10,
+    ///     2.0,
+    ///     0.0,
+    /// );
+    /// let cloud = CloudProfile::new(CloudPricing::on_demand(P3_8XLARGE));
+    /// let sim = Simulator::new(model, cloud);
+    /// let pred = sim.predict(&spec, &AllocationPlan::flat(8, 4)).unwrap();
+    /// assert!(pred.cost > rb_core::Cost::ZERO);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`rb_core::RbError::InvalidPlan`] when the plan does not
+    /// validate against the spec.
+    pub fn predict(&self, spec: &ExperimentSpec, plan: &AllocationPlan) -> Result<Prediction> {
+        let dag = ExecDag::build(
+            spec,
+            plan,
+            &self.model,
+            &self.cloud,
+            self.config.sync_overhead_secs,
+        )?;
+        let mut rng = Prng::seed_from_u64(self.config.seed);
+        let mut jct = rb_core::stats::OnlineStats::new();
+        let mut cost = rb_core::stats::OnlineStats::new();
+        for _ in 0..self.config.samples.max(1) {
+            let s = self.sample_run(&dag, &mut rng);
+            jct.push(s.jct_secs);
+            cost.push(s.total_cost().as_dollars());
+        }
+        Ok(Prediction {
+            jct: SimDuration::from_secs_f64(jct.mean()),
+            jct_std_secs: jct.std(),
+            cost: Cost::from_dollars(cost.mean()),
+            cost_std: Cost::from_dollars(cost.std()),
+            samples: self.config.samples.max(1),
+        })
+    }
+
+    /// Explains a plan stage by stage: mean duration and cost share per
+    /// stage across the Monte-Carlo samples. The cost decomposition is
+    /// informational (instances that span stages are attributed to the
+    /// stage in which they are released), so stage costs sum to the
+    /// compute bill but individual attributions are approximate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`rb_core::RbError::InvalidPlan`] when the plan does not
+    /// validate against the spec.
+    pub fn explain(
+        &self,
+        spec: &ExperimentSpec,
+        plan: &AllocationPlan,
+    ) -> Result<Vec<StageBreakdown>> {
+        let dag = ExecDag::build(
+            spec,
+            plan,
+            &self.model,
+            &self.cloud,
+            self.config.sync_overhead_secs,
+        )?;
+        let samples = self.config.samples.max(1);
+        let mut rng = Prng::seed_from_u64(self.config.seed);
+        let n_stages = spec.num_stages();
+        let mut dur_sum = vec![0.0_f64; n_stages];
+        let mut cost_sum = vec![0.0_f64; n_stages];
+        let pricing = &self.cloud.pricing;
+        for _ in 0..samples {
+            // Re-run the critical path, tracking per-stage boundaries.
+            let n = dag.nodes.len();
+            let mut finish = vec![0.0_f64; n];
+            let mut duration = vec![0.0_f64; n];
+            for (i, node) in dag.nodes.iter().enumerate() {
+                let start = node
+                    .preds
+                    .iter()
+                    .map(|&p| finish[p])
+                    .fold(0.0_f64, f64::max);
+                let d = node.latency.sample(&mut rng);
+                duration[i] = d;
+                finish[i] = start + d;
+            }
+            let mut prev_end = 0.0_f64;
+            // Per-instance attribution: lifetimes released at each stage.
+            let mut live: Vec<f64> = Vec::new();
+            for s in 0..n_stages {
+                let stage_end = finish[dag.stage_sync[s]];
+                dur_sum[s] += stage_end - prev_end;
+                prev_end = stage_end;
+                if pricing.billing.is_per_instance() {
+                    if dag.stage_new_instances[s] > 0 {
+                        let hand_over = finish[dag.stage_scale[s].expect("scale node exists")];
+                        for _ in 0..dag.stage_new_instances[s] {
+                            live.push(hand_over);
+                        }
+                    }
+                    let keep = if s + 1 < n_stages {
+                        dag.stage_instances[s + 1] as usize
+                    } else {
+                        0
+                    };
+                    while live.len() > keep {
+                        let h = live.pop().expect("live non-empty");
+                        cost_sum[s] += pricing
+                            .instance_charge(SimDuration::from_secs_f64((stage_end - h).max(0.0)))
+                            .as_dollars();
+                    }
+                }
+            }
+            if !pricing.billing.is_per_instance() {
+                for (i, node) in dag.nodes.iter().enumerate() {
+                    if let NodeKind::Train { stage, gpus, .. } = node.kind {
+                        cost_sum[stage] += pricing
+                            .function_charge(gpus, SimDuration::from_secs_f64(duration[i]))
+                            .as_dollars();
+                    }
+                }
+            }
+        }
+        Ok((0..n_stages)
+            .map(|s| {
+                let (trials, _) = spec.get_stage(s).expect("stage in range");
+                StageBreakdown {
+                    stage: s,
+                    trials,
+                    gpus_per_trial: plan.gpus_per_trial(s, spec),
+                    instances: dag.stage_instances[s],
+                    duration: SimDuration::from_secs_f64(dur_sum[s] / samples as f64),
+                    cost: Cost::from_dollars(cost_sum[s] / samples as f64),
+                }
+            })
+            .collect())
+    }
+
+    /// Draws one execution sample from the DAG (Algorithm 1 plus billing).
+    pub fn sample_run(&self, dag: &ExecDag, rng: &mut Prng) -> RunSample {
+        let n = dag.nodes.len();
+        let mut finish = vec![0.0_f64; n];
+        let mut duration = vec![0.0_f64; n];
+        for (i, node) in dag.nodes.iter().enumerate() {
+            let start = node
+                .preds
+                .iter()
+                .map(|&p| finish[p])
+                .fold(0.0_f64, f64::max);
+            let d = node.latency.sample(rng);
+            duration[i] = d;
+            finish[i] = start + d;
+        }
+        let jct_secs = finish.iter().copied().fold(0.0_f64, f64::max);
+
+        let pricing = &self.cloud.pricing;
+        let data_cost =
+            pricing.ingress_charge(self.cloud.dataset_gb) * u64::from(dag.total_instances);
+
+        let compute_cost = if pricing.billing.is_per_instance() {
+            // Reconstruct instance lifetimes from stage boundaries.
+            let mut live: Vec<f64> = Vec::new();
+            let mut total = Cost::ZERO;
+            let stages = dag.stage_sync.len();
+            for s in 0..stages {
+                if dag.stage_new_instances[s] > 0 {
+                    let scale_idx = dag.stage_scale[s]
+                        .expect("stage with new instances must have a SCALE node");
+                    let hand_over = finish[scale_idx];
+                    for _ in 0..dag.stage_new_instances[s] {
+                        live.push(hand_over);
+                    }
+                }
+                let stage_end = finish[dag.stage_sync[s]];
+                let keep = if s + 1 < stages {
+                    dag.stage_instances[s + 1] as usize
+                } else {
+                    0
+                };
+                while live.len() > keep {
+                    let hand_over = live.pop().expect("live is non-empty");
+                    let held = SimDuration::from_secs_f64((stage_end - hand_over).max(0.0));
+                    total += pricing.instance_charge(held);
+                }
+            }
+            debug_assert!(live.is_empty(), "all instances released at job end");
+            total
+        } else {
+            // Per-function: each TRAIN task pays for its own GPU-time.
+            let mut total = Cost::ZERO;
+            for (i, node) in dag.nodes.iter().enumerate() {
+                if let NodeKind::Train { gpus, .. } = node.kind {
+                    total += pricing.function_charge(gpus, SimDuration::from_secs_f64(duration[i]));
+                }
+            }
+            total
+        };
+
+        RunSample {
+            jct_secs,
+            compute_cost,
+            data_cost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rb_cloud::catalog::P3_2XLARGE;
+    use rb_cloud::CloudPricing;
+    use rb_scaling::zoo::RESNET50;
+    use rb_scaling::{AnalyticScaling, IdealScaling};
+    use std::sync::Arc;
+
+    fn ideal_model(noise: f64) -> ModelProfile {
+        ModelProfile::from_scaling(
+            "ideal",
+            Arc::new(IdealScaling::new(4.0, 512)),
+            1,
+            0.0,
+            noise,
+        )
+    }
+
+    fn cloud_1gpu() -> CloudProfile {
+        CloudProfile::new(CloudPricing::on_demand(P3_2XLARGE))
+            .with_provision_delay(SimDuration::from_secs(10))
+            .with_init_latency(SimDuration::from_secs(20))
+    }
+
+    fn spec() -> ExperimentSpec {
+        ExperimentSpec::from_stages(&[(4, 10), (2, 10), (1, 10)]).unwrap()
+    }
+
+    fn sim(noise: f64, cloud: CloudProfile) -> Simulator {
+        Simulator::new(ideal_model(noise), cloud).with_config(SimConfig {
+            samples: 8,
+            seed: 7,
+            sync_overhead_secs: 1.0,
+        })
+    }
+
+    #[test]
+    fn deterministic_jct_is_exact() {
+        // Stage timeline: scale 10 + init 20 + train 40 + sync 1 = 71;
+        // then 40 + 1 = 112; then 40 + 1 = 153.
+        let s = sim(0.0, cloud_1gpu());
+        let p = s
+            .predict(&spec(), &AllocationPlan::new(vec![4, 2, 1]))
+            .unwrap();
+        assert_eq!(p.jct, SimDuration::from_secs(153));
+        assert_eq!(p.jct_std_secs, 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_instance_cost_is_exact() {
+        // Lifetimes: hand-over at t=10 for all 4; two released at 71
+        // (61 s each), one at 112 (102 s), one at 153 (143 s).
+        let s = sim(0.0, cloud_1gpu());
+        let p = s
+            .predict(&spec(), &AllocationPlan::new(vec![4, 2, 1]))
+            .unwrap();
+        let pr = CloudPricing::on_demand(P3_2XLARGE);
+        let expect = pr.instance_charge(SimDuration::from_secs(61)) * 2
+            + pr.instance_charge(SimDuration::from_secs(102))
+            + pr.instance_charge(SimDuration::from_secs(143));
+        assert_eq!(p.cost, expect);
+        assert_eq!(p.cost_std, Cost::ZERO);
+    }
+
+    #[test]
+    fn deterministic_per_function_cost_is_exact() {
+        let cloud = cloud_1gpu();
+        let pricing = cloud.pricing.clone().with_per_function_billing();
+        let cloud = CloudProfile { pricing, ..cloud };
+        let s = sim(0.0, cloud);
+        let p = s
+            .predict(&spec(), &AllocationPlan::new(vec![4, 2, 1]))
+            .unwrap();
+        // 7 TRAIN tasks × 40 s × 1 GPU.
+        let pr = CloudPricing::on_demand(P3_2XLARGE).with_per_function_billing();
+        let expect = pr.function_charge(1, SimDuration::from_secs(40)) * 7;
+        assert_eq!(p.cost, expect);
+    }
+
+    #[test]
+    fn stragglers_inflate_per_instance_but_not_per_function_cost() {
+        // The Fig. 9 mechanism. Same workload, rising noise.
+        let spec = ExperimentSpec::from_stages(&[(8, 10), (4, 10)]).unwrap();
+        let plan = AllocationPlan::new(vec![8, 4]);
+        let run = |noise: f64, per_function: bool| {
+            let mut cloud = cloud_1gpu();
+            if per_function {
+                cloud.pricing = cloud.pricing.with_per_function_billing();
+            }
+            let s = Simulator::new(ideal_model(noise), cloud).with_config(SimConfig {
+                samples: 60,
+                seed: 3,
+                sync_overhead_secs: 1.0,
+            });
+            s.predict(&spec, &plan).unwrap().cost.as_dollars()
+        };
+        let pi_calm = run(0.01, false);
+        let pi_stormy = run(1.5, false);
+        let pf_calm = run(0.01, true);
+        let pf_stormy = run(1.5, true);
+        // Per-instance: everyone waits for the slowest trial.
+        assert!(
+            pi_stormy > pi_calm * 1.3,
+            "per-instance {pi_calm} -> {pi_stormy}"
+        );
+        // Per-function: cost tracks mean work, which noise barely moves.
+        assert!(
+            (pf_stormy - pf_calm).abs() / pf_calm < 0.15,
+            "per-function {pf_calm} -> {pf_stormy}"
+        );
+    }
+
+    #[test]
+    fn data_ingress_charged_once_per_instance() {
+        let cloud = cloud_1gpu().with_dataset_gb(150.0);
+        let mut pricing = cloud.pricing.clone();
+        pricing = pricing.with_data_price(Cost::from_dollars(0.01));
+        let cloud = CloudProfile { pricing, ..cloud };
+        let s = sim(0.0, cloud);
+        let plan = AllocationPlan::new(vec![4, 2, 1]);
+        let dag = ExecDag::build(&spec(), &plan, s.model(), s.cloud(), 1.0).unwrap();
+        let mut rng = Prng::seed_from_u64(0);
+        let sample = s.sample_run(&dag, &mut rng);
+        // 4 instances × 150 GB × $0.01 = $6.00.
+        assert_eq!(sample.data_cost, Cost::from_dollars(6.0));
+    }
+
+    #[test]
+    fn elastic_beats_static_under_sublinear_scaling() {
+        // ResNet-50-shaped scaling: paying for 4 GPUs per trial in late
+        // stages buys little speedup, so shrinking is cheaper.
+        let scaling = Arc::new(AnalyticScaling::for_arch(&RESNET50, 512, 1));
+        let model = ModelProfile::from_scaling("rn50", scaling, 10, 0.0, 0.0);
+        let spec = ExperimentSpec::from_stages(&[(8, 8), (4, 16), (2, 32), (1, 64)]).unwrap();
+        let s = Simulator::new(model, cloud_1gpu());
+        let static_plan = AllocationPlan::flat(8, 4);
+        let elastic = AllocationPlan::new(vec![8, 4, 2, 1]);
+        let p_static = s.predict(&spec, &static_plan).unwrap();
+        let p_elastic = s.predict(&spec, &elastic).unwrap();
+        assert!(
+            p_elastic.cost < p_static.cost,
+            "elastic {} vs static {}",
+            p_elastic.cost,
+            p_static.cost
+        );
+    }
+
+    #[test]
+    fn under_linear_scaling_static_matches_elastic_cost_closely() {
+        // With ideal scaling and no overheads, GPU-seconds of work are
+        // conserved; the static plan is not wasteful (§1's converse case).
+        let cloud = CloudProfile::new(CloudPricing::on_demand(P3_2XLARGE))
+            .with_provision_delay(SimDuration::from_secs(0))
+            .with_init_latency(SimDuration::from_secs(0));
+        let s = sim(0.0, cloud).with_config(SimConfig {
+            samples: 1,
+            seed: 0,
+            sync_overhead_secs: 0.0,
+        });
+        let spec = ExperimentSpec::from_stages(&[(4, 60), (2, 60), (1, 60)]).unwrap();
+        let p_static = s.predict(&spec, &AllocationPlan::flat(4, 3)).unwrap();
+        let p_elastic = s
+            .predict(&spec, &AllocationPlan::new(vec![4, 2, 1]))
+            .unwrap();
+        let a = p_static.cost.as_dollars();
+        let b = p_elastic.cost.as_dollars();
+        assert!((a - b).abs() / b < 0.05, "static {a} vs elastic {b}");
+    }
+
+    #[test]
+    fn predictions_are_deterministic_per_seed() {
+        let s = sim(0.5, cloud_1gpu());
+        let plan = AllocationPlan::new(vec![4, 2, 1]);
+        let a = s.predict(&spec(), &plan).unwrap();
+        let b = s.predict(&spec(), &plan).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn minimum_charge_binds_for_tiny_stages() {
+        // One 5 s stage on one instance still pays for 60 s.
+        let cloud = CloudProfile::new(CloudPricing::on_demand(P3_2XLARGE))
+            .with_provision_delay(SimDuration::from_secs(0))
+            .with_init_latency(SimDuration::from_secs(0));
+        let model =
+            ModelProfile::from_scaling("tiny", Arc::new(IdealScaling::new(5.0, 1)), 1, 0.0, 0.0);
+        let s = Simulator::new(model, cloud).with_config(SimConfig {
+            samples: 1,
+            seed: 0,
+            sync_overhead_secs: 0.0,
+        });
+        let spec = ExperimentSpec::from_stages(&[(1, 1)]).unwrap();
+        let p = s.predict(&spec, &AllocationPlan::flat(1, 1)).unwrap();
+        let pr = CloudPricing::on_demand(P3_2XLARGE);
+        assert_eq!(p.cost, pr.instance_charge(SimDuration::from_secs(60)));
+    }
+
+    #[test]
+    fn feasibility_check() {
+        let s = sim(0.0, cloud_1gpu());
+        let p = s
+            .predict(&spec(), &AllocationPlan::new(vec![4, 2, 1]))
+            .unwrap();
+        assert!(p.feasible(SimDuration::from_secs(153)));
+        assert!(!p.feasible(SimDuration::from_secs(152)));
+    }
+
+    #[test]
+    fn explain_decomposes_duration_and_cost() {
+        let s = sim(0.0, cloud_1gpu());
+        let spec = spec();
+        let plan = AllocationPlan::new(vec![4, 2, 1]);
+        let pred = s.predict(&spec, &plan).unwrap();
+        let rows = s.explain(&spec, &plan).unwrap();
+        assert_eq!(rows.len(), 3);
+        // Stage durations sum to the JCT.
+        let total: f64 = rows.iter().map(|r| r.duration.as_secs_f64()).sum();
+        assert!((total - pred.jct.as_secs_f64()).abs() < 1e-6);
+        // Stage costs sum to the compute bill (data cost is zero here).
+        let cost: f64 = rows.iter().map(|r| r.cost.as_dollars()).sum();
+        assert!((cost - pred.cost.as_dollars()).abs() < 1e-6);
+        // Metadata matches the plan.
+        assert_eq!(rows[0].instances, 4);
+        assert_eq!(rows[2].gpus_per_trial, 1);
+    }
+
+    #[test]
+    fn explain_per_function_attributes_train_time() {
+        let mut cloud = cloud_1gpu();
+        cloud.pricing = cloud.pricing.with_per_function_billing();
+        let s = sim(0.0, cloud);
+        let spec = spec();
+        let plan = AllocationPlan::new(vec![4, 2, 1]);
+        let pred = s.predict(&spec, &plan).unwrap();
+        let rows = s.explain(&spec, &plan).unwrap();
+        let cost: f64 = rows.iter().map(|r| r.cost.as_dollars()).sum();
+        assert!((cost - pred.cost.as_dollars()).abs() < 1e-6);
+        // Stage 0 runs 4 trials, stage 2 one: 4x the train cost.
+        assert!(rows[0].cost.as_dollars() > 3.9 * rows[2].cost.as_dollars());
+    }
+}

@@ -1,0 +1,415 @@
+//! The checkpoint store.
+//!
+//! Between iterations a trial can be checkpointed, migrated and restored
+//! (§5): one worker serializes the model/optimizer state into a shared
+//! object store; new workers fetch the blob and resume. This module
+//! reproduces that mechanism with a real byte-level format so that
+//! checkpoint sizes (and hence migration latencies) reflect actual state,
+//! and restore is an honest inverse of save.
+
+use crate::trial::{MetricPoint, Trial, TrialStatus};
+use rb_core::{RbError, Result, TrialId};
+use rb_hpo::{Config, ConfigValue};
+use rb_scaling::zoo::ModelArch;
+use std::collections::BTreeMap;
+
+const MAGIC: &[u8; 4] = b"RBCK";
+const VERSION: u8 = 1;
+
+/// A serialized trial snapshot plus the model-state payload size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Which trial this snapshot belongs to.
+    pub trial_id: TrialId,
+    /// Work units completed at snapshot time.
+    pub iters_done: u64,
+    /// Serialized trial metadata (config, metric history).
+    pub blob: Vec<u8>,
+    /// Size of the model + optimizer tensors this checkpoint represents,
+    /// in bytes. Not materialized (the learning curve is analytic), but
+    /// charged when the checkpoint moves across the network.
+    pub model_state_bytes: u64,
+}
+
+impl Checkpoint {
+    /// Total bytes a migration must move.
+    pub fn total_bytes(&self) -> u64 {
+        self.model_state_bytes + self.blob.len() as u64
+    }
+}
+
+/// Model + optimizer state size for an architecture: fp32 weights plus SGD
+/// momentum buffers (2 tensors of `params` floats).
+pub fn model_state_bytes(arch: &ModelArch) -> u64 {
+    (arch.params_millions * 1e6 * 4.0 * 2.0) as u64
+}
+
+// --- binary encoding helpers -------------------------------------------------
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u64(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(RbError::Execution("truncated checkpoint".into()));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let n = self.u64()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| RbError::Execution("invalid utf-8 in checkpoint".into()))
+    }
+}
+
+/// Serializes a trial's resumable state (id, progress, config, history).
+pub fn encode_trial(trial: &Trial) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(128);
+    buf.extend_from_slice(MAGIC);
+    buf.push(VERSION);
+    put_u64(&mut buf, trial.id.raw());
+    put_u64(&mut buf, trial.seed);
+    put_u64(&mut buf, trial.iters_done());
+    // Config.
+    put_u64(&mut buf, trial.config.len() as u64);
+    for (name, value) in trial.config.iter() {
+        put_str(&mut buf, name);
+        match value {
+            ConfigValue::Float(v) => {
+                buf.push(0);
+                put_f64(&mut buf, *v);
+            }
+            ConfigValue::Int(v) => {
+                buf.push(1);
+                put_u64(&mut buf, *v as u64);
+            }
+            ConfigValue::Choice(s) => {
+                buf.push(2);
+                put_str(&mut buf, s);
+            }
+        }
+    }
+    // History.
+    put_u64(&mut buf, trial.history().len() as u64);
+    for p in trial.history() {
+        put_u64(&mut buf, p.iters);
+        put_f64(&mut buf, p.accuracy);
+    }
+    buf
+}
+
+/// Decoded checkpoint contents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialSnapshot {
+    /// Trial identity.
+    pub id: TrialId,
+    /// Noise-stream seed.
+    pub seed: u64,
+    /// Work units completed.
+    pub iters_done: u64,
+    /// The hyperparameter configuration.
+    pub config: Config,
+    /// Metric history.
+    pub history: Vec<MetricPoint>,
+}
+
+/// Deserializes a blob produced by [`encode_trial`].
+///
+/// # Errors
+///
+/// Returns [`RbError::Execution`] on truncation, bad magic, or an
+/// unsupported version.
+pub fn decode_trial(blob: &[u8]) -> Result<TrialSnapshot> {
+    let mut r = Reader::new(blob);
+    if r.take(4)? != MAGIC {
+        return Err(RbError::Execution("bad checkpoint magic".into()));
+    }
+    let version = r.u8()?;
+    if version != VERSION {
+        return Err(RbError::Execution(format!(
+            "unsupported checkpoint version {version}"
+        )));
+    }
+    let id = TrialId::new(r.u64()?);
+    let seed = r.u64()?;
+    let iters_done = r.u64()?;
+    let n_cfg = r.u64()? as usize;
+    let mut config = Config::new();
+    for _ in 0..n_cfg {
+        let name = r.str()?;
+        let tag = r.u8()?;
+        let value = match tag {
+            0 => ConfigValue::Float(r.f64()?),
+            1 => ConfigValue::Int(r.u64()? as i64),
+            2 => ConfigValue::Choice(r.str()?),
+            t => return Err(RbError::Execution(format!("unknown config value tag {t}"))),
+        };
+        config.set(name, value);
+    }
+    let n_hist = r.u64()? as usize;
+    let mut history = Vec::with_capacity(n_hist);
+    for _ in 0..n_hist {
+        let iters = r.u64()?;
+        let accuracy = r.f64()?;
+        history.push(MetricPoint { iters, accuracy });
+    }
+    Ok(TrialSnapshot {
+        id,
+        seed,
+        iters_done,
+        config,
+        history,
+    })
+}
+
+/// The in-memory object store holding the latest checkpoint per trial.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointStore {
+    store: BTreeMap<TrialId, Checkpoint>,
+    puts: u64,
+}
+
+impl CheckpointStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        CheckpointStore::default()
+    }
+
+    /// Checkpoints a trial, replacing any previous snapshot.
+    pub fn save(&mut self, trial: &Trial, arch: &ModelArch) -> &Checkpoint {
+        let ck = Checkpoint {
+            trial_id: trial.id,
+            iters_done: trial.iters_done(),
+            blob: encode_trial(trial),
+            model_state_bytes: model_state_bytes(arch),
+        };
+        self.puts += 1;
+        self.store.insert(trial.id, ck);
+        &self.store[&trial.id]
+    }
+
+    /// Fetches the latest checkpoint for a trial.
+    pub fn get(&self, id: TrialId) -> Option<&Checkpoint> {
+        self.store.get(&id)
+    }
+
+    /// Restores a trial's progress from its latest checkpoint. The trial
+    /// must be paused or pending (a freshly created replacement); it is
+    /// left paused, ready to be started.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbError::Execution`] if no checkpoint exists, decoding
+    /// fails, or the snapshot belongs to a different trial.
+    pub fn restore(&self, trial: &mut Trial) -> Result<()> {
+        let ck = self
+            .get(trial.id)
+            .ok_or_else(|| RbError::Execution(format!("no checkpoint for {}", trial.id)))?;
+        let snap = decode_trial(&ck.blob)?;
+        if snap.id != trial.id {
+            return Err(RbError::Execution(format!(
+                "checkpoint for {} offered to {}",
+                snap.id, trial.id
+            )));
+        }
+        if trial.status() == TrialStatus::Running {
+            return Err(RbError::Execution(format!(
+                "cannot restore running trial {}",
+                trial.id
+            )));
+        }
+        trial.restore_progress(snap.iters_done, snap.history);
+        Ok(())
+    }
+
+    /// Drops a trial's checkpoint (e.g. after termination).
+    pub fn evict(&mut self, id: TrialId) {
+        self.store.remove(&id);
+    }
+
+    /// Number of checkpoints currently stored.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// True when no checkpoints are stored.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Total writes since creation.
+    pub fn total_puts(&self) -> u64 {
+        self.puts
+    }
+
+    /// Total bytes currently resident (metadata blobs only; model tensors
+    /// are accounted virtually).
+    pub fn resident_blob_bytes(&self) -> u64 {
+        self.store.values().map(|c| c.blob.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::resnet101_cifar10;
+    use rb_scaling::zoo::RESNET101;
+
+    fn trained_trial() -> Trial {
+        let task = resnet101_cifar10();
+        let mut tr = Trial::new(
+            TrialId::new(3),
+            Config::new()
+                .with_f64("lr", 0.05)
+                .with_f64("weight_decay", 1e-4),
+            99,
+        );
+        tr.start().unwrap();
+        tr.advance(&task, 1).unwrap();
+        tr.advance(&task, 3).unwrap();
+        tr.pause().unwrap();
+        tr
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let tr = trained_trial();
+        let snap = decode_trial(&encode_trial(&tr)).unwrap();
+        assert_eq!(snap.id, tr.id);
+        assert_eq!(snap.seed, tr.seed);
+        assert_eq!(snap.iters_done, tr.iters_done());
+        assert_eq!(snap.config, tr.config);
+        assert_eq!(snap.history, tr.history().to_vec());
+    }
+
+    #[test]
+    fn round_trip_preserves_all_value_kinds() {
+        let mut cfg = Config::new();
+        cfg.set("lr", ConfigValue::Float(0.1));
+        cfg.set("layers", ConfigValue::Int(-3));
+        cfg.set("opt", ConfigValue::Choice("adam".into()));
+        let tr = Trial::new(TrialId::new(1), cfg.clone(), 5);
+        let snap = decode_trial(&encode_trial(&tr)).unwrap();
+        assert_eq!(snap.config, cfg);
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let tr = trained_trial();
+        let blob = encode_trial(&tr);
+        assert!(decode_trial(&blob[..3]).is_err(), "truncated magic");
+        assert!(
+            decode_trial(&blob[..blob.len() - 4]).is_err(),
+            "truncated tail"
+        );
+        let mut bad_magic = blob.clone();
+        bad_magic[0] = b'X';
+        assert!(decode_trial(&bad_magic).is_err());
+        let mut bad_version = blob.clone();
+        bad_version[4] = 99;
+        assert!(decode_trial(&bad_version).is_err());
+    }
+
+    #[test]
+    fn save_restore_resumes_training_seamlessly() {
+        let task = resnet101_cifar10();
+        let mut store = CheckpointStore::new();
+        let mut tr = trained_trial();
+        store.save(&tr, &RESNET101);
+
+        // Simulate migration: a fresh replacement trial object.
+        let mut replacement = Trial::new(tr.id, tr.config.clone(), tr.seed);
+        store.restore(&mut replacement).unwrap();
+        assert_eq!(replacement.iters_done(), 4);
+        assert_eq!(replacement.history(), tr.history());
+
+        // Continuing from the restore matches continuing the original:
+        // the learning curve is a function of (config, iters, seed).
+        replacement.start().unwrap();
+        let a_restored = replacement.advance(&task, 9).unwrap();
+        tr.start().unwrap();
+        let a_original = tr.advance(&task, 9).unwrap();
+        assert_eq!(a_restored, a_original);
+    }
+
+    #[test]
+    fn restore_requires_matching_checkpoint() {
+        let store = CheckpointStore::new();
+        let mut tr = trained_trial();
+        assert!(store.restore(&mut tr).is_err(), "empty store");
+    }
+
+    #[test]
+    fn restore_refuses_running_trial() {
+        let mut store = CheckpointStore::new();
+        let mut tr = trained_trial();
+        store.save(&tr, &RESNET101);
+        tr.start().unwrap();
+        assert!(store.restore(&mut tr).is_err());
+    }
+
+    #[test]
+    fn store_bookkeeping() {
+        let mut store = CheckpointStore::new();
+        assert!(store.is_empty());
+        let tr = trained_trial();
+        store.save(&tr, &RESNET101);
+        store.save(&tr, &RESNET101); // overwrite
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.total_puts(), 2);
+        assert!(store.resident_blob_bytes() > 0);
+        store.evict(tr.id);
+        assert!(store.is_empty());
+        assert!(store.get(tr.id).is_none());
+    }
+
+    #[test]
+    fn model_state_bytes_scale_with_params() {
+        // ResNet-101: 44.5 M params × 4 B × 2 (weights + momentum).
+        let b = model_state_bytes(&RESNET101);
+        assert_eq!(b, (44.5e6 * 8.0) as u64);
+        let ck = Checkpoint {
+            trial_id: TrialId::new(0),
+            iters_done: 0,
+            blob: vec![0; 100],
+            model_state_bytes: b,
+        };
+        assert_eq!(ck.total_bytes(), b + 100);
+    }
+}

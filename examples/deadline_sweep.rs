@@ -1,0 +1,66 @@
+//! Deadline sweep (Table 2): compare static, naive-elastic and RubberBand
+//! across time constraints for ResNet-101/CIFAR-10, in prediction and in
+//! event-accurate execution.
+//!
+//! Run with: `cargo run --release --example deadline_sweep`
+
+use rubberband::prelude::*;
+use rubberband::rb_cloud::catalog::P3_8XLARGE;
+use rubberband::rb_hpo::{Dim, ShaParams};
+use rubberband::rb_train::task::resnet101_cifar10;
+
+fn main() {
+    let spec = ShaParams::new(32, 1, 50).with_eta(3).generate().unwrap();
+    let task = resnet101_cifar10();
+    let physics = ModelProfile::exact_for_task(&task, 1024, 4);
+    let cloud = CloudProfile::new(CloudPricing::on_demand(P3_8XLARGE))
+        .with_provision_delay(SimDuration::from_secs(15))
+        .with_init_latency(SimDuration::from_secs(15));
+    let space = SearchSpace::new()
+        .add("lr", Dim::LogUniform { lo: 1e-3, hi: 1.0 })
+        .add("weight_decay", Dim::LogUniform { lo: 1e-5, hi: 1e-2 })
+        .build()
+        .unwrap();
+
+    println!(
+        "{:<14} {:>8} {:>11} {:>11} {:>11} {:>11} {:>8}",
+        "policy", "deadline", "JCT (sim)", "cost (sim)", "JCT (real)", "cost (real)", "acc"
+    );
+    for mins in [20u64, 30, 40] {
+        let deadline = SimDuration::from_mins(mins);
+        for policy in [Policy::Static, Policy::NaiveElastic, Policy::RubberBand] {
+            let planned = rubberband::compile_plan_with(
+                policy,
+                &spec,
+                &physics,
+                &cloud,
+                deadline,
+                &PlannerConfig::default(),
+            );
+            let Ok(out) = planned else {
+                println!("{policy:<14} {mins:>7}m   infeasible");
+                continue;
+            };
+            let report = rubberband::execute(&spec, &out.plan, &task, &physics, &cloud, &space, 1);
+            match report {
+                Ok(r) => println!(
+                    "{:<14} {:>7}m {:>11} {:>11} {:>11} {:>11} {:>7.1}%",
+                    policy.to_string(),
+                    mins,
+                    out.prediction.jct.to_string(),
+                    out.prediction.cost.to_string(),
+                    r.jct.to_string(),
+                    r.total_cost().to_string(),
+                    r.best_accuracy * 100.0
+                ),
+                Err(e) => println!(
+                    "{:<14} {:>7}m {:>11} {:>11}   execution failed: {e}",
+                    policy.to_string(),
+                    mins,
+                    out.prediction.jct.to_string(),
+                    out.prediction.cost.to_string()
+                ),
+            }
+        }
+    }
+}

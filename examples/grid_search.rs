@@ -1,0 +1,73 @@
+//! Grid search through the same elastic machinery: enumerate a finite
+//! hyperparameter grid (Fig. 2's picture), wrap it in an SHA spec, and
+//! run it under a plan.
+//!
+//! Run with: `cargo run --release --example grid_search`
+
+use rubberband::prelude::*;
+use rubberband::rb_cloud::catalog::P3_8XLARGE;
+use rubberband::rb_exec::Executor;
+use rubberband::rb_hpo::{enumerate_grid, logspace, Dim, ShaParams};
+
+fn main() {
+    // A 4×3 grid over (learning rate, weight decay) — 12 configurations.
+    let lr_grid: Vec<String> = logspace(1e-3, 1e0, 4)
+        .into_iter()
+        .map(|v| format!("{v:.6}"))
+        .collect();
+    let wd_grid: Vec<String> = logspace(1e-5, 1e-3, 3)
+        .into_iter()
+        .map(|v| format!("{v:.6}"))
+        .collect();
+    let space = SearchSpace::new()
+        .add("lr_choice", Dim::Choice(lr_grid))
+        .add("wd_choice", Dim::Choice(wd_grid))
+        .build()
+        .unwrap();
+    let grid = enumerate_grid(&space, 1000).unwrap();
+    println!("grid: {} configurations", grid.len());
+
+    // Convert the categorical grid into numeric configs for the trainer.
+    let configs: Vec<Config> = grid
+        .iter()
+        .map(|c| {
+            let lr: f64 = match c.get("lr_choice").unwrap() {
+                rubberband::rb_hpo::ConfigValue::Choice(s) => s.parse().unwrap(),
+                _ => unreachable!(),
+            };
+            let wd: f64 = match c.get("wd_choice").unwrap() {
+                rubberband::rb_hpo::ConfigValue::Choice(s) => s.parse().unwrap(),
+                _ => unreachable!(),
+            };
+            Config::new()
+                .with_f64("lr", lr)
+                .with_f64("weight_decay", wd)
+        })
+        .collect();
+
+    // SHA over the 12 grid points, planned elastically.
+    let spec = ShaParams::new(12, 1, 20).with_eta(3).generate().unwrap();
+    let task = rubberband::rb_train::task::resnet101_cifar10();
+    let physics = ModelProfile::exact_for_task(&task, 1024, 4);
+    let cloud = CloudProfile::new(CloudPricing::on_demand(P3_8XLARGE))
+        .with_provision_delay(SimDuration::from_secs(15))
+        .with_init_latency(SimDuration::from_secs(15));
+    let outcome =
+        rubberband::compile_plan(&spec, &physics, &cloud, SimDuration::from_mins(30)).unwrap();
+    println!(
+        "plan: {} (predicted {} / {})",
+        outcome.plan, outcome.prediction.jct, outcome.prediction.cost
+    );
+
+    let report = Executor::new(spec, outcome.plan, task, physics, cloud)
+        .unwrap()
+        .run(&configs)
+        .unwrap();
+    println!(
+        "winner: {} at {:.1}% — JCT {} cost {}",
+        report.best_config,
+        report.best_accuracy * 100.0,
+        report.jct,
+        report.total_cost()
+    );
+}

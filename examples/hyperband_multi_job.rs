@@ -1,0 +1,70 @@
+//! Hyperband as a multi-job (Fig. 6's "collection of specifications"):
+//! plan and execute every bracket independently, then report the best
+//! configuration found and the total bill.
+//!
+//! Run with: `cargo run --release --example hyperband_multi_job`
+
+use rubberband::prelude::*;
+use rubberband::rb_cloud::catalog::P3_8XLARGE;
+use rubberband::rb_hpo::{hyperband_brackets, Dim};
+use rubberband::rb_train::task::resnet152_cifar100;
+
+fn main() {
+    let task = resnet152_cifar100();
+    let physics = ModelProfile::exact_for_task(&task, 1024, 4);
+    let cloud = CloudProfile::new(CloudPricing::on_demand(P3_8XLARGE))
+        .with_provision_delay(SimDuration::from_secs(15))
+        .with_init_latency(SimDuration::from_secs(15));
+    let space = SearchSpace::new()
+        .add("lr", Dim::LogUniform { lo: 1e-3, hi: 1.0 })
+        .add("weight_decay", Dim::LogUniform { lo: 1e-5, hi: 1e-2 })
+        .build()
+        .unwrap();
+
+    // Hyperband(R=27, η=3): four brackets from exploratory to committed.
+    let brackets = hyperband_brackets(1, 27, 3).unwrap();
+    println!(
+        "hyperband: {} brackets, R = 27 epochs, η = 3\n",
+        brackets.len()
+    );
+
+    let deadline = SimDuration::from_mins(45);
+    let mut total = Cost::ZERO;
+    let mut best: Option<(f64, Config, usize)> = None;
+    for (i, (params, spec)) in brackets.iter().enumerate() {
+        let out = rubberband::compile_plan(spec, &physics, &cloud, deadline).unwrap();
+        let report = rubberband::execute(
+            spec,
+            &out.plan,
+            &task,
+            &physics,
+            &cloud,
+            &space,
+            7 + i as u64,
+        )
+        .unwrap();
+        println!(
+            "bracket {i}: SHA(n={}, r={}, R={}) plan {} -> JCT {} cost {} best {:.1}%",
+            params.n,
+            params.r,
+            params.big_r,
+            out.plan,
+            report.jct,
+            report.total_cost(),
+            report.best_accuracy * 100.0
+        );
+        total += report.total_cost();
+        if best
+            .as_ref()
+            .map_or(true, |(a, _, _)| report.best_accuracy > *a)
+        {
+            best = Some((report.best_accuracy, report.best_config.clone(), i));
+        }
+    }
+    let (acc, cfg, bracket) = best.unwrap();
+    println!(
+        "\noverall winner from bracket {bracket}: {:.1}% with {cfg}",
+        acc * 100.0
+    );
+    println!("total spend across brackets: {total}");
+}
