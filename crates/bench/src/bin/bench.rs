@@ -1,0 +1,217 @@
+//! Std-only micro-benchmark harness (`cargo run -p rb-bench --release
+//! --bin bench`).
+//!
+//! Replaces the former external-framework benches with plain
+//! `std::time::Instant` timings over the four hot subsystems — planner,
+//! simulator, placement, executor — and writes two machine-readable
+//! reports into the working directory:
+//!
+//! * `BENCH_planner.json` — `plan_rubberband` wall time under the
+//!   sequential baseline engine vs the parallel, memoized engine (cold
+//!   and warm caches), plus the speedup ratios;
+//! * `BENCH_sim.json` — raw prediction throughput at 1 thread and at the
+//!   host's available parallelism.
+//!
+//! Pass `--smoke` to run every section once with tiny workloads (used by
+//! `scripts/verify.sh` to keep the harness honest without burning CI
+//! time).
+
+use rb_cloud::catalog::P3_8XLARGE;
+use rb_cloud::CloudPricing;
+use rb_core::par::auto_threads;
+use rb_core::{Prng, SimDuration, TrialId};
+use rb_hpo::{Dim, ExperimentSpec, SearchSpace, ShaParams};
+use rb_placement::{ClusterState, PlacementController};
+use rb_planner::{plan_rubberband, PlannerConfig};
+use rb_profile::{CloudProfile, ModelProfile};
+use rb_scaling::zoo::RESNET50;
+use rb_scaling::AnalyticScaling;
+use rb_sim::{AllocationPlan, EngineConfig, Simulator};
+use rb_train::task::resnet101_cifar10;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The planner benchmark workload: the greedy-planner test spec (five
+/// shrinking SHA stages) on sublinear ResNet-50 scaling.
+fn bench_sim() -> Simulator {
+    let scaling = Arc::new(AnalyticScaling::for_arch(&RESNET50, 512, 4));
+    let model = ModelProfile::from_scaling("rn50", scaling, 10, 2.0, 0.0);
+    let cloud = CloudProfile::new(CloudPricing::on_demand(P3_8XLARGE))
+        .with_provision_delay(SimDuration::from_secs(15))
+        .with_init_latency(SimDuration::from_secs(15));
+    Simulator::new(model, cloud)
+}
+
+fn bench_spec() -> ExperimentSpec {
+    ExperimentSpec::from_stages(&[(16, 4), (8, 8), (4, 16), (2, 32), (1, 64)]).unwrap()
+}
+
+/// Times `f` over `iters` runs (after one untimed warm-up) and returns the
+/// median milliseconds per run. The median is the usual robust estimator
+/// for wall-clock microbenchmarks on a shared host, where a single
+/// scheduler hiccup can skew a mean badly.
+fn time_ms<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    f(); // warm-up: page faults, allocator state, branch predictors
+    let mut runs: Vec<f64> = (0..iters.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    runs.sort_by(f64::total_cmp);
+    runs[runs.len() / 2]
+}
+
+/// plan_rubberband under the sequential baseline vs the engine.
+fn bench_planner(smoke: bool) -> String {
+    let spec = bench_spec();
+    let deadline = SimDuration::from_mins(60);
+    let config = PlannerConfig::default();
+    let iters = if smoke { 1 } else { 9 };
+
+    // Sequential reference: one thread, no caches, fresh DAG per predict.
+    let baseline_ms = time_ms(iters, || {
+        let sim = bench_sim().with_engine(EngineConfig::sequential_baseline());
+        plan_rubberband(&sim, &spec, deadline, &config).unwrap();
+    });
+
+    // Engine, cold: fresh caches every iteration (what a new planning
+    // problem pays).
+    let cold_ms = time_ms(iters, || {
+        let sim = bench_sim();
+        plan_rubberband(&sim, &spec, deadline, &config).unwrap();
+    });
+
+    // Engine, warm: caches shared across iterations (what re-planning
+    // during execution pays).
+    let warm_sim = bench_sim();
+    plan_rubberband(&warm_sim, &spec, deadline, &config).unwrap();
+    let warm_ms = time_ms(iters, || {
+        plan_rubberband(&warm_sim, &spec, deadline, &config).unwrap();
+    });
+
+    // The determinism contract, re-checked where it matters most.
+    let a = plan_rubberband(
+        &bench_sim().with_engine(EngineConfig::sequential_baseline()),
+        &spec,
+        deadline,
+        &config,
+    )
+    .unwrap();
+    let b = plan_rubberband(&bench_sim(), &spec, deadline, &config).unwrap();
+    let identical = a.plan == b.plan && a.prediction == b.prediction;
+    assert!(identical, "engine diverged from the sequential baseline");
+
+    let speedup_cold = baseline_ms / cold_ms.max(1e-9);
+    let speedup_warm = baseline_ms / warm_ms.max(1e-9);
+    println!("planner: plan_rubberband (5-stage spec, default config)");
+    println!("  sequential baseline : {baseline_ms:9.2} ms");
+    println!("  engine, cold caches : {cold_ms:9.2} ms   ({speedup_cold:5.1}x)");
+    println!("  engine, warm caches : {warm_ms:9.2} ms   ({speedup_warm:5.1}x)");
+
+    format!(
+        "{{\n  \"benchmark\": \"plan_rubberband\",\n  \"spec_stages\": {},\n  \"deadline_mins\": 60,\n  \"iters\": {},\n  \"threads\": {},\n  \"sequential_baseline_ms\": {:.3},\n  \"engine_cold_ms\": {:.3},\n  \"engine_warm_ms\": {:.3},\n  \"speedup_cold\": {:.2},\n  \"speedup_warm\": {:.2},\n  \"bit_identical_to_baseline\": {}\n}}\n",
+        bench_spec().num_stages(),
+        iters,
+        auto_threads(),
+        baseline_ms,
+        cold_ms,
+        warm_ms,
+        speedup_cold,
+        speedup_warm,
+        identical
+    )
+}
+
+/// Raw prediction throughput (cache off: every prediction simulates).
+fn bench_simulator(smoke: bool) -> String {
+    let spec = bench_spec();
+    let plan = AllocationPlan::new(vec![32, 16, 8, 4, 4]);
+    let n = if smoke { 5 } else { 200 };
+    let run = |threads: usize| {
+        let sim = bench_sim().with_engine(EngineConfig {
+            threads,
+            plan_cache: false,
+            dag_templates: true,
+        });
+        let ms = time_ms(n, || {
+            sim.predict(&spec, &plan).unwrap();
+        });
+        (ms, 1e3 / ms.max(1e-9))
+    };
+    let (ms_1, per_sec_1) = run(1);
+    let auto = auto_threads();
+    let (ms_n, per_sec_n) = run(0);
+    println!(
+        "simulator: predict (uncached, {} samples)",
+        bench_sim().config().samples
+    );
+    println!("  1 thread   : {ms_1:7.3} ms/prediction ({per_sec_1:8.0}/s)");
+    println!("  {auto} thread(s): {ms_n:7.3} ms/prediction ({per_sec_n:8.0}/s)");
+
+    format!(
+        "{{\n  \"benchmark\": \"predict_uncached\",\n  \"samples\": {},\n  \"predictions\": {},\n  \"threads_1\": {{ \"ms_per_prediction\": {:.4}, \"predictions_per_sec\": {:.0} }},\n  \"threads_auto\": {{ \"threads\": {}, \"ms_per_prediction\": {:.4}, \"predictions_per_sec\": {:.0} }}\n}}\n",
+        bench_sim().config().samples,
+        n,
+        ms_1,
+        per_sec_1,
+        auto,
+        ms_n,
+        per_sec_n
+    )
+}
+
+/// Placement-controller churn (the former placement bench).
+fn bench_placement(smoke: bool) {
+    let iters = if smoke { 2 } else { 200 };
+    let gpn = 4;
+    let cluster = ClusterState::with_n_nodes(64, gpn);
+    let mut rng = Prng::seed_from_u64(0xBE9C);
+    let ms = time_ms(iters, || {
+        let mut pc = PlacementController::new();
+        for _ in 0..8 {
+            let n = 1 + rng.next_below(12) as usize;
+            let allocs: BTreeMap<TrialId, u32> = (0..n)
+                .map(|i| (TrialId::new(i as u64), 1 + rng.next_below(8) as u32))
+                .collect();
+            pc.update(&allocs, &cluster).unwrap();
+        }
+    });
+    println!("placement: 8 reallocation rounds : {ms:7.3} ms");
+}
+
+/// End-to-end event-driven execution (the former executor bench).
+fn bench_executor(smoke: bool) {
+    let iters = if smoke { 1 } else { 10 };
+    let task = resnet101_cifar10();
+    let physics = ModelProfile::exact_for_task(&task, 1024, 4);
+    let cloud = CloudProfile::new(CloudPricing::on_demand(P3_8XLARGE))
+        .with_provision_delay(SimDuration::from_secs(15))
+        .with_init_latency(SimDuration::from_secs(15));
+    let space = SearchSpace::new()
+        .add("lr", Dim::LogUniform { lo: 1e-3, hi: 1.0 })
+        .build()
+        .unwrap();
+    let spec = ShaParams::new(16, 1, 20).with_eta(2).generate().unwrap();
+    let plan = AllocationPlan::new(vec![16, 8, 4, 4, 4]);
+    let ms = time_ms(iters, || {
+        rubberband::execute(&spec, &plan, &task, &physics, &cloud, &space, 7).unwrap();
+    });
+    println!("executor : 16-trial SHA run        : {ms:7.3} ms");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if smoke {
+        println!("bench: smoke mode (1 iteration, tiny workloads)");
+    }
+    let planner_json = bench_planner(smoke);
+    let sim_json = bench_simulator(smoke);
+    bench_placement(smoke);
+    bench_executor(smoke);
+    std::fs::write("BENCH_planner.json", &planner_json).expect("write BENCH_planner.json");
+    std::fs::write("BENCH_sim.json", &sim_json).expect("write BENCH_sim.json");
+    println!("wrote BENCH_planner.json, BENCH_sim.json");
+}

@@ -17,6 +17,7 @@
 pub mod error;
 pub mod ids;
 pub mod money;
+pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -24,5 +25,5 @@ pub mod time;
 pub use error::{RbError, Result};
 pub use ids::{InstanceId, NodeId, PlanId, StageId, TrialId, WorkerId};
 pub use money::Cost;
-pub use rng::{Distribution, Prng};
+pub use rng::{mix_seed, Distribution, Prng};
 pub use time::{SimDuration, SimTime};

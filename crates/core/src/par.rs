@@ -1,0 +1,135 @@
+//! Minimal deterministic fork/join parallelism over index ranges.
+//!
+//! The prediction engine fans work out across candidate plans and across
+//! Monte-Carlo samples. This repo builds with **no external crates**, so
+//! instead of rayon we provide one tiny primitive on top of
+//! [`std::thread::scope`]: split `0..n` into at most `threads` contiguous
+//! chunks, run each chunk on its own scoped thread, and concatenate the
+//! chunk outputs in chunk order. Because chunk boundaries depend only on
+//! `(n, threads)` and outputs are re-assembled in index order, the result
+//! vector is identical for every thread count — determinism is pushed down
+//! to the work function, which must derive any randomness from the item
+//! index alone (see [`crate::rng::mix_seed`]).
+
+use std::ops::Range;
+use std::sync::OnceLock;
+
+/// Number of worker threads to use when the caller asks for "auto" (0):
+/// the host's available parallelism, or 1 if that cannot be determined.
+/// Cached after the first query — `available_parallelism` is a syscall,
+/// and this sits on the per-prediction hot path.
+pub fn auto_threads() -> usize {
+    static AUTO: OnceLock<usize> = OnceLock::new();
+    *AUTO.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Runs `work` over the index range `0..n` split into at most `threads`
+/// contiguous chunks and returns the concatenated per-chunk outputs, in
+/// index order.
+///
+/// `work` receives a whole sub-range rather than a single index so that a
+/// chunk can reuse scratch buffers across its items; it must return one
+/// output per index in the range, in order. `threads == 0` means "auto"
+/// ([`auto_threads`]). With one thread (or `n <= 1`) no threads are
+/// spawned and `work` runs on the caller's stack.
+///
+/// The output is bit-identical for every `threads` value as long as
+/// `work(range)` equals the corresponding slice of `work(0..n)` — i.e.
+/// each item's output depends only on its index.
+///
+/// # Panics
+///
+/// Propagates panics from `work`.
+///
+/// # Examples
+///
+/// ```
+/// use rb_core::par::run_chunked;
+/// let f = |r: std::ops::Range<usize>| r.map(|i| i * i).collect::<Vec<_>>();
+/// assert_eq!(run_chunked(5, 1, &f), run_chunked(5, 4, &f));
+/// ```
+pub fn run_chunked<T, F>(n: usize, threads: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> Vec<T> + Sync,
+{
+    let threads = if threads == 0 { auto_threads() } else { threads };
+    let threads = threads.min(n.max(1));
+    if threads <= 1 {
+        let out = work(0..n);
+        debug_assert_eq!(out.len(), n, "work must yield one output per index");
+        return out;
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let work = &work;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                scope.spawn(move || work(lo..hi))
+            })
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("worker thread panicked"));
+        }
+    });
+    debug_assert_eq!(out.len(), n, "work must yield one output per index");
+    out
+}
+
+/// Maps `work` over `0..n` item-by-item (no scratch reuse), in parallel.
+/// Convenience wrapper over [`run_chunked`] for jobs whose items are
+/// self-contained, e.g. planning independent Hyperband brackets.
+pub fn map_indexed<T, F>(n: usize, threads: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_chunked(n, threads, |range| range.map(&work).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunking_preserves_index_order() {
+        let square = |r: Range<usize>| r.map(|i| i * i).collect::<Vec<_>>();
+        let reference: Vec<usize> = (0..37).map(|i| i * i).collect();
+        for threads in [1, 2, 3, 4, 8, 64] {
+            assert_eq!(run_chunked(37, threads, square), reference, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_ranges_work() {
+        let id = |r: Range<usize>| r.collect::<Vec<_>>();
+        assert!(run_chunked(0, 4, id).is_empty());
+        assert_eq!(run_chunked(1, 4, id), vec![0]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        assert_eq!(map_indexed(3, 100, |i| i + 1), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn auto_threads_is_positive() {
+        assert!(auto_threads() >= 1);
+    }
+
+    #[test]
+    fn map_indexed_matches_sequential() {
+        let reference: Vec<u64> = (0..100).map(|i| crate::rng::mix_seed(9, i)).collect();
+        assert_eq!(
+            map_indexed(100, 7, |i| crate::rng::mix_seed(9, i as u64)),
+            reference
+        );
+    }
+}

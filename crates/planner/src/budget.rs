@@ -98,16 +98,23 @@ pub fn plan_min_jct(
     // Warm start: the cheapest static plan, ignoring time entirely. (The
     // all-ones plan is *not* cheapest — a tiny cluster holds its
     // instances for the whole serialized job.)
-    let mut best_plan = AllocationPlan::flat(1, spec.num_stages());
-    let mut best_pred = sim.predict(spec, &best_plan)?;
-    for g in crate::static_planner::static_candidates(spec, config.max_gpus_per_trial) {
-        let plan = AllocationPlan::flat(g, spec.num_stages());
-        let pred = sim.predict(spec, &plan)?;
-        if pred.cost < best_pred.cost {
+    let mut starts = vec![AllocationPlan::flat(1, spec.num_stages())];
+    starts.extend(
+        crate::static_planner::static_candidates(spec, config.max_gpus_per_trial)
+            .into_iter()
+            .map(|g| AllocationPlan::flat(g, spec.num_stages())),
+    );
+    let start_preds = sim.predict_batch(spec, &starts);
+    let mut best_plan = starts[0].clone();
+    let mut best_pred: Option<Prediction> = None;
+    for (plan, pred) in starts.into_iter().zip(start_preds) {
+        let pred = pred?;
+        if best_pred.as_ref().map_or(true, |b| pred.cost < b.cost) {
             best_plan = plan;
-            best_pred = pred;
+            best_pred = Some(pred);
         }
     }
+    let mut best_pred = best_pred.expect("at least the all-ones start was predicted");
     if best_pred.cost > budget {
         return Err(RbError::Infeasible {
             reason: format!("cheapest plan costs {}, budget is {budget}", best_pred.cost),
@@ -115,7 +122,7 @@ pub fn plan_min_jct(
     }
     let mut steps = 0;
     while steps < config.max_steps {
-        let mut chosen: Option<(AllocationPlan, Prediction, f64)> = None;
+        let mut cands: Vec<AllocationPlan> = Vec::with_capacity(2 * spec.num_stages());
         for i in 0..spec.num_stages() {
             let trials = spec.get_stage(i)?.0;
             let cur = best_plan.gpus(i);
@@ -133,32 +140,38 @@ pub fn plan_min_jct(
             for next in nexts {
                 let mut cand = best_plan.clone();
                 cand.set_gpus(i, next);
-                let pred = sim.predict(spec, &cand)?;
-                if pred.cost > budget {
-                    continue;
-                }
-                let gained = best_pred.jct.as_secs_f64() - pred.jct.as_secs_f64();
-                if gained < config.improvement_threshold_secs {
-                    continue;
-                }
-                let dc = (pred.cost - best_pred.cost).as_dollars();
-                let m = if dc <= 0.0 {
-                    f64::INFINITY
-                } else {
-                    gained / dc
-                };
-                let better = match &chosen {
-                    None => true,
-                    Some((_, _, best_m)) => m > *best_m,
-                };
-                if better {
-                    chosen = Some((cand, pred, m));
-                }
+                cands.push(cand);
+            }
+        }
+        // Batched frontier prediction; in-order iteration preserves the
+        // strictly-greater tie-break of the sequential loop.
+        let mut chosen: Option<(usize, Prediction, f64)> = None;
+        for (idx, pred) in sim.predict_batch(spec, &cands).into_iter().enumerate() {
+            let pred = pred?;
+            if pred.cost > budget {
+                continue;
+            }
+            let gained = best_pred.jct.as_secs_f64() - pred.jct.as_secs_f64();
+            if gained < config.improvement_threshold_secs {
+                continue;
+            }
+            let dc = (pred.cost - best_pred.cost).as_dollars();
+            let m = if dc <= 0.0 {
+                f64::INFINITY
+            } else {
+                gained / dc
+            };
+            let better = match &chosen {
+                None => true,
+                Some((_, _, best_m)) => m > *best_m,
+            };
+            if better {
+                chosen = Some((idx, pred, m));
             }
         }
         match chosen {
-            Some((plan, pred, _)) => {
-                best_plan = plan;
+            Some((idx, pred, _)) => {
+                best_plan = cands.swap_remove(idx);
                 best_pred = pred;
                 steps += 1;
             }

@@ -90,7 +90,7 @@ pub fn optimize_plan(
         // Generate candidates per stage: the next fair decrement (§4.3)
         // and, where different, the jump to the next instance boundary
         // (where per-instance cost actually changes).
-        let mut chosen: Option<(AllocationPlan, Prediction, f64)> = None;
+        let mut cands: Vec<AllocationPlan> = Vec::with_capacity(2 * spec.num_stages());
         for i in 0..spec.num_stages() {
             let trials = spec.get_stage(i)?.0;
             let cur = best_plan.gpus(i);
@@ -108,35 +108,42 @@ pub fn optimize_plan(
             for next in nexts {
                 let mut cand = best_plan.clone();
                 cand.set_gpus(i, next);
-                let pred = sim.predict(spec, &cand)?;
-                if !pred.feasible(deadline) {
-                    continue;
-                }
-                let saved = best_pred.cost - pred.cost;
-                if saved < config.improvement_threshold {
-                    continue;
-                }
-                // Marginal benefit: cost saved per second of JCT given up.
-                // A candidate that saves cost without slowing the job down is
-                // infinitely good.
-                let dt = pred.jct.as_secs_f64() - best_pred.jct.as_secs_f64();
-                let m = if dt <= 0.0 {
-                    f64::INFINITY
-                } else {
-                    saved.as_dollars() / dt
-                };
-                let better = match &chosen {
-                    None => true,
-                    Some((_, _, best_m)) => m > *best_m,
-                };
-                if better {
-                    chosen = Some((cand, pred, m));
-                }
+                cands.push(cand);
+            }
+        }
+        // One batched prediction over the whole frontier. Results come
+        // back in candidate order, so the strictly-greater tie-break below
+        // selects the same plan the one-at-a-time loop did.
+        let mut chosen: Option<(usize, Prediction, f64)> = None;
+        for (idx, pred) in sim.predict_batch(spec, &cands).into_iter().enumerate() {
+            let pred = pred?;
+            if !pred.feasible(deadline) {
+                continue;
+            }
+            let saved = best_pred.cost - pred.cost;
+            if saved < config.improvement_threshold {
+                continue;
+            }
+            // Marginal benefit: cost saved per second of JCT given up.
+            // A candidate that saves cost without slowing the job down is
+            // infinitely good.
+            let dt = pred.jct.as_secs_f64() - best_pred.jct.as_secs_f64();
+            let m = if dt <= 0.0 {
+                f64::INFINITY
+            } else {
+                saved.as_dollars() / dt
+            };
+            let better = match &chosen {
+                None => true,
+                Some((_, _, best_m)) => m > *best_m,
+            };
+            if better {
+                chosen = Some((idx, pred, m));
             }
         }
         match chosen {
-            Some((plan, pred, _)) => {
-                best_plan = plan;
+            Some((idx, pred, _)) => {
+                best_plan = cands.swap_remove(idx);
                 best_pred = pred;
                 steps += 1;
             }
@@ -192,14 +199,19 @@ pub fn plan_rubberband(
         plan_static_optimal(sim, spec, deadline, config.max_gpus_per_trial)?;
     let mut best: Option<(AllocationPlan, Prediction)> = None;
     let mut total_steps = 0;
-    for &mult in &config.warm_start_multipliers {
-        if mult == 0 {
-            continue;
-        }
-        let start =
-            AllocationPlan::flat(static_plan.gpus(0).saturating_mul(mult), spec.num_stages());
-        let start_pred = sim.predict(spec, &start)?;
-        if !start_pred.feasible(deadline) {
+    // Predict every warm start in one batch before descending from any of
+    // them (duplicates are deduplicated inside the engine).
+    let starts: Vec<AllocationPlan> = config
+        .warm_start_multipliers
+        .iter()
+        .filter(|&&mult| mult > 0)
+        .map(|&mult| {
+            AllocationPlan::flat(static_plan.gpus(0).saturating_mul(mult), spec.num_stages())
+        })
+        .collect();
+    let start_preds = sim.predict_batch(spec, &starts);
+    for (start, start_pred) in starts.into_iter().zip(start_preds) {
+        if !start_pred?.feasible(deadline) {
             // A bigger static cluster that *misses* the deadline (e.g.
             // overheads grow with size) is not a usable warm start.
             continue;

@@ -13,6 +13,7 @@
 //!   its slice.
 
 use crate::greedy::{plan_rubberband, GreedyOutcome, PlannerConfig};
+use rb_core::par::map_indexed;
 use rb_core::{Cost, RbError, Result, SimDuration};
 use rb_hpo::ExperimentSpec;
 use rb_sim::Simulator;
@@ -64,10 +65,14 @@ pub fn plan_multi_job(
         MultiJobDiscipline::Sequential => {
             // Split the deadline proportionally to each bracket's minimal
             // feasible JCT (probed by planning under the full deadline).
+            // Brackets are independent jobs, so the probes run in
+            // parallel; errors surface in input order.
+            let probes = map_indexed(brackets.len(), sim.engine().threads, |i| {
+                plan_rubberband(sim, &brackets[i], deadline, config)
+            });
             let mut mins = Vec::with_capacity(brackets.len());
-            for spec in brackets {
-                let probe = plan_rubberband(sim, spec, deadline, config)?;
-                mins.push(probe.prediction.jct.as_secs_f64().max(1.0));
+            for probe in probes {
+                mins.push(probe?.prediction.jct.as_secs_f64().max(1.0));
             }
             let total: f64 = mins.iter().sum();
             if total > deadline.as_secs_f64() {
@@ -81,11 +86,16 @@ pub fn plan_multi_job(
             mins.iter().map(|m| deadline.mul_f64(m / total)).collect()
         }
     };
+    // Each bracket is planned on its own thread; aggregation below walks
+    // the results in input order, so cost/JCT totals are deterministic.
+    let planned = map_indexed(brackets.len(), sim.engine().threads, |i| {
+        plan_rubberband(sim, &brackets[i], deadlines[i], config)
+    });
     let mut outs = Vec::with_capacity(brackets.len());
     let mut total_cost = Cost::ZERO;
     let mut jct = SimDuration::ZERO;
-    for (spec, d) in brackets.iter().zip(&deadlines) {
-        let out = plan_rubberband(sim, spec, *d, config)?;
+    for out in planned {
+        let out = out?;
         total_cost += out.prediction.cost;
         match discipline {
             MultiJobDiscipline::Concurrent => jct = jct.max(out.prediction.jct),

@@ -37,10 +37,13 @@ pub fn plan_naive_elastic(
     deadline: SimDuration,
     max_gpus_per_trial: u32,
 ) -> Result<(AllocationPlan, Prediction)> {
+    let plans: Vec<AllocationPlan> = (1..=max_gpus_per_trial.max(1))
+        .map(|g| naive_plan(spec, g))
+        .collect();
+    let preds = sim.predict_batch(spec, &plans);
     let mut best: Option<(AllocationPlan, Prediction)> = None;
-    for g in 1..=max_gpus_per_trial.max(1) {
-        let plan = naive_plan(spec, g);
-        let pred = sim.predict(spec, &plan)?;
+    for (plan, pred) in plans.into_iter().zip(preds) {
+        let pred = pred?;
         if !pred.feasible(deadline) {
             continue;
         }

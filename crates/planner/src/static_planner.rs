@@ -49,11 +49,15 @@ pub fn plan_static_optimal(
     deadline: SimDuration,
     max_gpus_per_trial: u32,
 ) -> Result<(AllocationPlan, Prediction)> {
+    let plans: Vec<AllocationPlan> = static_candidates(spec, max_gpus_per_trial)
+        .into_iter()
+        .map(|g| AllocationPlan::flat(g, spec.num_stages()))
+        .collect();
+    let preds = sim.predict_batch(spec, &plans);
     let mut best: Option<(AllocationPlan, Prediction)> = None;
     let mut fastest: Option<Prediction> = None;
-    for g in static_candidates(spec, max_gpus_per_trial) {
-        let plan = AllocationPlan::flat(g, spec.num_stages());
-        let pred = sim.predict(spec, &plan)?;
+    for (plan, pred) in plans.into_iter().zip(preds) {
+        let pred = pred?;
         if fastest.map_or(true, |f| pred.jct < f.jct) {
             fastest = Some(pred);
         }
@@ -88,10 +92,13 @@ pub fn cheapest_static_cost(
     spec: &ExperimentSpec,
     max_gpus_per_trial: u32,
 ) -> Result<Cost> {
+    let plans: Vec<AllocationPlan> = static_candidates(spec, max_gpus_per_trial)
+        .into_iter()
+        .map(|g| AllocationPlan::flat(g, spec.num_stages()))
+        .collect();
     let mut best: Option<Cost> = None;
-    for g in static_candidates(spec, max_gpus_per_trial) {
-        let plan = AllocationPlan::flat(g, spec.num_stages());
-        let pred = sim.predict(spec, &plan)?;
+    for pred in sim.predict_batch(spec, &plans) {
+        let pred = pred?;
         if best.map_or(true, |b| pred.cost < b) {
             best = Some(pred.cost);
         }

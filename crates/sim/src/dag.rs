@@ -11,10 +11,13 @@
 //! events (deprovisioning) are unrepresented.
 
 use crate::plan::AllocationPlan;
-use rb_core::{Distribution, Prng, Result};
+use rb_cloud::CloudPricing;
+use rb_core::{Cost, Distribution, Prng, RbError, Result, SimDuration};
 use rb_hpo::ExperimentSpec;
 use rb_profile::{CloudProfile, ModelProfile};
 use rb_scaling::PlacementQuality;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// What a DAG node represents.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,6 +50,18 @@ pub enum NodeKind {
         /// Stage index.
         stage: usize,
     },
+}
+
+impl NodeKind {
+    /// The stage this node belongs to.
+    pub fn stage(&self) -> usize {
+        match *self {
+            NodeKind::Scale { stage, .. }
+            | NodeKind::InitInstance { stage }
+            | NodeKind::Train { stage, .. }
+            | NodeKind::Sync { stage } => stage,
+        }
+    }
 }
 
 /// A node's latency specification.
@@ -115,38 +130,146 @@ pub struct ExecDag {
     pub total_instances: u32,
 }
 
-impl ExecDag {
-    /// Builds the DAG for `spec` executed under `plan` with the given
-    /// profiles. `sync_overhead_secs` is the barrier's evaluation latency.
+/// The per-spec half of DAG construction.
+///
+/// [`ExecDag::build`] does two kinds of work: spec-level work that is the
+/// same for every candidate plan (reading the stage ladder, constructing
+/// the provider latency distributions, fitting train-task distributions
+/// from the scaling model) and plan-level work (wiring nodes and edges for
+/// one allocation vector). The planner evaluates hundreds of plans against
+/// one spec, and a greedy step changes a single stage's allocation — so
+/// the template is built **once per spec** and [`DagTemplate::instantiate`]
+/// performs only the cheap per-plan re-parameterization.
+///
+/// Fitted train-task distributions are memoized per `(stage, gpus)` pair:
+/// the scaling-model evaluation behind
+/// [`ModelProfile::train_task_dist`] is by far the most expensive part of
+/// construction and candidate plans revisit the same few allocations
+/// constantly.
+#[derive(Debug)]
+pub struct DagTemplate {
+    /// `(trials, units)` per stage, in order.
+    stages: Vec<(u32, u64)>,
+    /// GPUs per instance on the target cloud (≥ 1).
+    gpg: u32,
+    /// Provider queuing-delay distribution (SCALE).
+    provision: Distribution,
+    /// Instance initialization distribution (INIT).
+    init: Distribution,
+    /// The end-of-stage barrier latency (SYNC).
+    sync: Distribution,
+    /// The model profile used to fit train-task distributions on demand.
+    model: ModelProfile,
+    /// Memoized train-task distributions keyed by `(stage, gpus_per_trial)`.
+    train_dists: Mutex<HashMap<(usize, u32), Distribution>>,
+    /// Memoized per-stage execution samples keyed by the stage's canonical
+    /// sampling configuration `(stage, gpus_per_trial, parallel_slots,
+    /// new_instances, seed)` — see [`DagTemplate::stage_samples`].
+    stage_memo: Mutex<HashMap<(usize, u32, u32, u32, u64), Arc<Vec<StageSample>>>>,
+}
+
+/// One sampled execution of a single stage, relative to the stage's start
+/// (the previous stage's barrier). Because every node's randomness is
+/// derived from a counter on its `(stage, ordinal)` position
+/// ([`ExecDag::sample_schedule_seeded`]), a stage's sample depends only on
+/// the stage's own configuration — not on the rest of the plan — so these
+/// values can be memoized and shared across every candidate plan that
+/// configures the stage the same way.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageSample {
+    /// Wall-clock span of the stage (scale-up through barrier).
+    pub dur: f64,
+    /// When newly provisioned instances are handed over, relative to the
+    /// stage start (0 when the stage provisions nothing).
+    pub handover: f64,
+    /// The stage's TRAIN tasks billed under per-function pricing.
+    pub fn_charge: Cost,
+}
+
+impl DagTemplate {
+    /// Captures everything about `(spec, model, cloud, sync_overhead)` that
+    /// is independent of the allocation plan.
+    pub fn new(
+        spec: &ExperimentSpec,
+        model: &ModelProfile,
+        cloud: &CloudProfile,
+        sync_overhead_secs: f64,
+    ) -> DagTemplate {
+        DagTemplate {
+            stages: spec.stages().map(|s| (s.num_trials, s.iters)).collect(),
+            gpg: cloud.gpus_per_instance().max(1),
+            provision: cloud.provision_delay.clone(),
+            init: cloud.init_latency.clone(),
+            sync: Distribution::Constant(sync_overhead_secs),
+            model: model.clone(),
+            train_dists: Mutex::new(HashMap::new()),
+            stage_memo: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Number of stages in the underlying spec.
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// The memoized train-task distribution for `stage` at `gpus` per
+    /// trial.
+    fn train_dist(&self, stage: usize, gpus: u32) -> Distribution {
+        let mut memo = self.train_dists.lock().expect("train-dist memo poisoned");
+        memo.entry((stage, gpus))
+            .or_insert_with(|| {
+                let units = self.stages[stage].1;
+                self.model
+                    .train_task_dist(units, gpus, PlacementQuality::Packed)
+            })
+            .clone()
+    }
+
+    /// Validates `plan` against the cached stage ladder, mirroring
+    /// [`AllocationPlan::validate`] (same error messages).
+    pub(crate) fn validate(&self, plan: &AllocationPlan) -> Result<()> {
+        if plan.num_stages() != self.stages.len() {
+            return Err(RbError::InvalidPlan(format!(
+                "plan has {} stages, spec has {}",
+                plan.num_stages(),
+                self.stages.len()
+            )));
+        }
+        for i in 0..plan.num_stages() {
+            if plan.gpus(i) == 0 {
+                return Err(RbError::InvalidPlan(format!(
+                    "stage {i} allocates zero GPUs"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Wires the execution DAG for one allocation plan — the cheap,
+    /// per-plan half of [`ExecDag::build`].
     ///
     /// # Errors
     ///
     /// Returns [`rb_core::RbError::InvalidPlan`] if the plan fails
-    /// validation against the spec.
-    pub fn build(
-        spec: &ExperimentSpec,
-        plan: &AllocationPlan,
-        model: &ModelProfile,
-        cloud: &CloudProfile,
-        sync_overhead_secs: f64,
-    ) -> Result<ExecDag> {
-        plan.validate(spec)?;
-        let gpg = cloud.gpus_per_instance().max(1);
+    /// validation against the spec the template was built from.
+    pub fn instantiate(&self, plan: &AllocationPlan) -> Result<ExecDag> {
+        self.validate(plan)?;
+        let n_stages = self.stages.len();
         let mut nodes: Vec<DagNode> = Vec::new();
-        let mut stage_sync = Vec::with_capacity(spec.num_stages());
-        let mut stage_scale = Vec::with_capacity(spec.num_stages());
-        let mut stage_instances = Vec::with_capacity(spec.num_stages());
-        let mut stage_new = Vec::with_capacity(spec.num_stages());
+        let mut stage_sync = Vec::with_capacity(n_stages);
+        let mut stage_scale = Vec::with_capacity(n_stages);
+        let mut stage_instances = Vec::with_capacity(n_stages);
+        let mut stage_new = Vec::with_capacity(n_stages);
         let mut total_instances = 0u32;
         let mut current_instances = 0u32;
         // The frontier: nodes with out-degree zero that the next stage's
         // first tasks must depend on.
         let mut frontier: Vec<usize> = Vec::new();
 
-        for i in 0..spec.num_stages() {
-            let (trials, units) = spec.get_stage(i)?;
+        for i in 0..n_stages {
+            let (trials, units) = self.stages[i];
             let alloc = plan.gpus(i);
-            let needed = plan.instances_for_stage(i, spec, gpg);
+            let needed = AllocationPlan::effective_instances(alloc, trials, self.gpg);
 
             // 1. Cluster scaling, when the stage needs more instances.
             let mut stage_deps = frontier.clone();
@@ -159,7 +282,7 @@ impl ExecDag {
                         new_instances: k,
                     },
                     latency: Latency::MaxOf {
-                        dist: cloud.provision_delay.clone(),
+                        dist: self.provision.clone(),
                         n: k,
                     },
                     preds: frontier.clone(),
@@ -170,7 +293,7 @@ impl ExecDag {
                     let idx = nodes.len();
                     nodes.push(DagNode {
                         kind: NodeKind::InitInstance { stage: i },
-                        latency: Latency::Dist(cloud.init_latency.clone()),
+                        latency: Latency::Dist(self.init.clone()),
                         preds: vec![scale_idx],
                     });
                     init_idxs.push(idx);
@@ -191,9 +314,9 @@ impl ExecDag {
 
             // 2. Training tasks: all-parallel when GPUs suffice, otherwise
             //    waves of `alloc` single-GPU trials chained serially.
-            let gpt = plan.gpus_per_trial(i, spec);
+            let gpt = if alloc >= trials { alloc / trials } else { 1 };
             let parallel_slots = if alloc >= trials { trials } else { alloc };
-            let placement = PlacementQuality::Packed;
+            let train_dist = self.train_dist(i, gpt);
             let mut train_idxs = Vec::with_capacity(trials as usize);
             for slot in 0..trials {
                 let preds = if slot < parallel_slots {
@@ -209,7 +332,7 @@ impl ExecDag {
                         units,
                         gpus: gpt,
                     },
-                    latency: Latency::Dist(model.train_task_dist(units, gpt, placement)),
+                    latency: Latency::Dist(train_dist.clone()),
                     preds,
                 });
                 train_idxs.push(idx);
@@ -219,7 +342,7 @@ impl ExecDag {
             let sync_idx = nodes.len();
             nodes.push(DagNode {
                 kind: NodeKind::Sync { stage: i },
-                latency: Latency::Dist(Distribution::Constant(sync_overhead_secs)),
+                latency: Latency::Dist(self.sync.clone()),
                 preds: train_idxs,
             });
             stage_sync.push(sync_idx);
@@ -234,6 +357,232 @@ impl ExecDag {
             stage_new_instances: stage_new,
             total_instances,
         })
+    }
+
+    /// The plan's per-stage instance ladder: instances held and newly
+    /// provisioned at each stage, plus the job total — the plan-level
+    /// metadata [`DagTemplate::instantiate`] derives, without wiring nodes.
+    /// The plan must already be validated.
+    pub(crate) fn instance_ladder(&self, plan: &AllocationPlan) -> (Vec<u32>, Vec<u32>, u32) {
+        let mut needed = Vec::with_capacity(self.stages.len());
+        let mut new_inst = Vec::with_capacity(self.stages.len());
+        let mut current = 0u32;
+        let mut total = 0u32;
+        for (s, &(trials, _)) in self.stages.iter().enumerate() {
+            let need = AllocationPlan::effective_instances(plan.gpus(s), trials, self.gpg);
+            let k = need.saturating_sub(current);
+            needed.push(need);
+            new_inst.push(k);
+            total += k;
+            current = need;
+        }
+        (needed, new_inst, total)
+    }
+
+    /// Draws one execution sample of stage `stage` under `alloc` GPUs,
+    /// provisioning `new_instances` fresh instances, relative to the
+    /// stage's start.
+    ///
+    /// This is the stage-local slice of what
+    /// [`ExecDag::sample_schedule_seeded`] draws for the same stage of a
+    /// full plan: node randomness comes from the same `(stage, ordinal)`
+    /// counter streams, and the relative timeline mirrors the DAG edges
+    /// (SCALE → INITs → parallel/wave TRAINs → SYNC). Stages are separated
+    /// by full barriers, so a plan's prediction is exactly the composition
+    /// of its stage samples.
+    pub fn sample_stage(
+        &self,
+        stage: usize,
+        alloc: u32,
+        new_instances: u32,
+        sample_seed: u64,
+        pricing: &CloudPricing,
+    ) -> StageSample {
+        let (trials, _) = self.stages[stage];
+        let k = new_instances;
+        let mut rng = Prng::for_stream(sample_seed, stage as u64);
+
+        // 1. SCALE + INITs, when the stage grows the cluster. Training
+        //    barriers on every new instance being initialized.
+        let (ready, handover) = if k > 0 {
+            let scale_f = (0..k)
+                .map(|_| self.provision.sample(&mut rng))
+                .fold(0.0_f64, f64::max);
+            let mut ready = 0.0_f64;
+            for _ in 0..k {
+                ready = ready.max(scale_f + self.init.sample(&mut rng).max(0.0));
+            }
+            (ready, scale_f)
+        } else {
+            (0.0, 0.0)
+        };
+
+        // 2. TRAIN tasks: all-parallel when GPUs suffice, otherwise waves
+        //    of `alloc` single-GPU trials chained serially.
+        let gpt = if alloc >= trials { alloc / trials } else { 1 };
+        let parallel_slots = if alloc >= trials { trials } else { alloc };
+        let train_dist = self.train_dist(stage, gpt);
+        let mut finishes: Vec<f64> = Vec::with_capacity(trials as usize);
+        let mut fn_charge = Cost::ZERO;
+        for slot in 0..trials {
+            let start = if slot < parallel_slots {
+                ready
+            } else {
+                finishes[(slot - parallel_slots) as usize]
+            };
+            let d = train_dist.sample(&mut rng).max(0.0);
+            fn_charge += pricing.function_charge(gpt, SimDuration::from_secs_f64(d));
+            finishes.push(start + d);
+        }
+
+        // 3. The SYNC barrier over every trial.
+        let sync_start = finishes.iter().copied().fold(0.0_f64, f64::max);
+        let sync_d = self.sync.sample(&mut rng).max(0.0);
+
+        StageSample {
+            dur: sync_start + sync_d,
+            handover,
+            fn_charge,
+        }
+    }
+
+    /// The memoized Monte-Carlo samples of one stage configuration:
+    /// `samples` draws of [`DagTemplate::sample_stage`], sample `i` seeded
+    /// exactly like sample `i` of a full prediction. The planner evaluates
+    /// hundreds of candidate plans that differ in one stage — every stage
+    /// they share comes out of this memo instead of being re-simulated.
+    ///
+    /// The key is the stage's *canonical* sampling configuration: the
+    /// allocation enters only through `(gpus_per_trial, parallel_slots)`,
+    /// so allocations that quantize to the same trial layout share one
+    /// entry; and a stage that does not grow the cluster
+    /// (`new_instances == 0` — every stage of a shrinking SHA ladder but
+    /// the first) samples identically whatever the prior cluster size, so
+    /// plans with different early stages still share it.
+    pub fn stage_samples(
+        &self,
+        stage: usize,
+        alloc: u32,
+        new_instances: u32,
+        seed: u64,
+        samples: u32,
+        pricing: &CloudPricing,
+    ) -> Arc<Vec<StageSample>> {
+        let (trials, _) = self.stages[stage];
+        let gpt = if alloc >= trials { alloc / trials } else { 1 };
+        let parallel_slots = if alloc >= trials { trials } else { alloc };
+        let key = (stage, gpt, parallel_slots, new_instances, seed);
+        {
+            let memo = self.stage_memo.lock().expect("stage-sample memo poisoned");
+            if let Some(v) = memo.get(&key) {
+                if v.len() >= samples as usize {
+                    return v.clone();
+                }
+            }
+        }
+        // Computed outside the lock; a racing thread derives the exact
+        // same values from the same counters, so last-write-wins is safe.
+        let v: Arc<Vec<StageSample>> = Arc::new(
+            (0..samples)
+                .map(|i| {
+                    let sample_seed = Prng::for_stream(seed, u64::from(i)).next_u64();
+                    self.sample_stage(stage, alloc, new_instances, sample_seed, pricing)
+                })
+                .collect(),
+        );
+        self.stage_memo
+            .lock()
+            .expect("stage-sample memo poisoned")
+            .insert(key, v.clone());
+        v
+    }
+
+    /// Number of stage configurations currently memoized (introspection
+    /// for tests and benchmarks).
+    pub fn cached_stage_configs(&self) -> usize {
+        self.stage_memo
+            .lock()
+            .expect("stage-sample memo poisoned")
+            .len()
+    }
+}
+
+impl ExecDag {
+    /// Builds the DAG for `spec` executed under `plan` with the given
+    /// profiles. `sync_overhead_secs` is the barrier's evaluation latency.
+    ///
+    /// One-shot convenience over [`DagTemplate`]: callers evaluating many
+    /// plans against one spec should build the template once and
+    /// [`DagTemplate::instantiate`] per plan instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`rb_core::RbError::InvalidPlan`] if the plan fails
+    /// validation against the spec.
+    pub fn build(
+        spec: &ExperimentSpec,
+        plan: &AllocationPlan,
+        model: &ModelProfile,
+        cloud: &CloudProfile,
+        sync_overhead_secs: f64,
+    ) -> Result<ExecDag> {
+        DagTemplate::new(spec, model, cloud, sync_overhead_secs).instantiate(plan)
+    }
+
+    /// Draws one execution sample: samples every node's latency and
+    /// propagates finish times along dependency edges (the vector order is
+    /// topological), filling `duration[i]` and `finish[i]` for every node.
+    /// This is the per-sample kernel shared by sampling
+    /// ([`crate::Simulator::sample_run`]) and per-stage attribution
+    /// ([`crate::Simulator::explain`]); the buffers are cleared and
+    /// resized, so they can be reused across samples to avoid
+    /// re-allocation on the hot path.
+    ///
+    /// The whole sample is derived from one `u64` drawn off `rng`, so a
+    /// caller-held generator keeps its usual role as the source of
+    /// sample-to-sample variation.
+    pub fn sample_schedule(&self, rng: &mut Prng, finish: &mut Vec<f64>, duration: &mut Vec<f64>) {
+        let sample_seed = rng.next_u64();
+        self.sample_schedule_seeded(sample_seed, finish, duration);
+    }
+
+    /// [`ExecDag::sample_schedule`] with the sample's seed made explicit.
+    ///
+    /// Each *stage* draws from its own counter-derived stream
+    /// (`Prng::for_stream(sample_seed, stage)`), with the stage's nodes
+    /// consuming it in construction order — rather than the whole DAG
+    /// consuming one sequential stream. A stage's randomness therefore
+    /// depends only on the sample seed and the stage's own configuration —
+    /// the property that lets [`DagTemplate::stage_samples`] memoize
+    /// per-stage samples and share them across candidate plans.
+    pub fn sample_schedule_seeded(
+        &self,
+        sample_seed: u64,
+        finish: &mut Vec<f64>,
+        duration: &mut Vec<f64>,
+    ) {
+        let n = self.nodes.len();
+        finish.clear();
+        finish.resize(n, 0.0);
+        duration.clear();
+        duration.resize(n, 0.0);
+        let mut cur_stage = usize::MAX;
+        let mut rng = Prng::for_stream(sample_seed, 0);
+        for (i, node) in self.nodes.iter().enumerate() {
+            let s = node.kind.stage();
+            if s != cur_stage {
+                cur_stage = s;
+                rng = Prng::for_stream(sample_seed, s as u64);
+            }
+            let start = node
+                .preds
+                .iter()
+                .map(|&p| finish[p])
+                .fold(0.0_f64, f64::max);
+            let d = node.latency.sample(&mut rng);
+            duration[i] = d;
+            finish[i] = start + d;
+        }
     }
 
     /// Number of nodes.
@@ -477,6 +826,53 @@ mod tests {
         assert_eq!(dot.matches("SYNC").count(), 3);
         let edges: usize = dag.nodes.iter().map(|n| n.preds.len()).sum();
         assert_eq!(dot.matches(" -> ").count(), edges);
+    }
+
+    #[test]
+    fn template_instantiation_matches_one_shot_build() {
+        let template = DagTemplate::new(&spec(), &model(), &cloud_1gpu(), 1.0);
+        for gpus in [vec![4, 2, 1], vec![1, 2, 4], vec![3, 2, 1], vec![8, 4, 2]] {
+            let plan = AllocationPlan::new(gpus);
+            let from_template = template.instantiate(&plan).unwrap();
+            let one_shot = ExecDag::build(&spec(), &plan, &model(), &cloud_1gpu(), 1.0).unwrap();
+            assert_eq!(from_template.nodes, one_shot.nodes);
+            assert_eq!(from_template.stage_sync, one_shot.stage_sync);
+            assert_eq!(from_template.stage_scale, one_shot.stage_scale);
+            assert_eq!(from_template.stage_instances, one_shot.stage_instances);
+            assert_eq!(
+                from_template.stage_new_instances,
+                one_shot.stage_new_instances
+            );
+            assert_eq!(from_template.total_instances, one_shot.total_instances);
+        }
+        // Invalid plans are rejected with the same error kind.
+        assert!(template
+            .instantiate(&AllocationPlan::new(vec![4, 2]))
+            .is_err());
+        assert!(template
+            .instantiate(&AllocationPlan::new(vec![4, 0, 1]))
+            .is_err());
+    }
+
+    #[test]
+    fn sample_schedule_reuses_buffers() {
+        let dag = ExecDag::build(
+            &spec(),
+            &AllocationPlan::new(vec![4, 2, 1]),
+            &model(),
+            &cloud_1gpu(),
+            1.0,
+        )
+        .unwrap();
+        let mut finish = vec![99.0; 3]; // wrong size on purpose
+        let mut duration = Vec::new();
+        let mut rng = Prng::seed_from_u64(1);
+        dag.sample_schedule(&mut rng, &mut finish, &mut duration);
+        assert_eq!(finish.len(), dag.len());
+        assert_eq!(duration.len(), dag.len());
+        // Deterministic spec ⇒ the sink finish time is the exact JCT.
+        let jct = finish.iter().copied().fold(0.0_f64, f64::max);
+        assert_eq!(jct, 153.0);
     }
 
     #[test]

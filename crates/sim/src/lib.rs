@@ -22,6 +22,6 @@ pub mod dag;
 pub mod plan;
 pub mod simulate;
 
-pub use dag::{DagNode, ExecDag, Latency, NodeKind};
+pub use dag::{DagNode, DagTemplate, ExecDag, Latency, NodeKind, StageSample};
 pub use plan::AllocationPlan;
-pub use simulate::{Prediction, RunSample, SimConfig, Simulator, StageBreakdown};
+pub use simulate::{EngineConfig, Prediction, RunSample, SimConfig, Simulator, StageBreakdown};

@@ -13,12 +13,25 @@
 //!   paid for (the mechanism behind Fig. 9).
 //!
 //! Data ingress is billed once per provisioned instance under both models.
+//!
+//! Prediction exploits the DAG's barrier structure: the stages of a SHA
+//! job are fully serialized by their SYNC nodes, so a sampled execution
+//! decomposes into independent per-stage samples
+//! ([`crate::dag::StageSample`]) that are memoized per stage
+//! configuration and shared across every candidate plan the planner
+//! evaluates. [`Simulator::sample_run`] and [`Simulator::explain`] still
+//! walk the full DAG node by node; both draw the same node latencies from
+//! the same counter-derived streams.
 
-use crate::dag::{ExecDag, NodeKind};
+use crate::dag::{DagTemplate, ExecDag, NodeKind, StageSample};
 use crate::plan::AllocationPlan;
+use rb_core::par::run_chunked;
 use rb_core::{Cost, Prng, Result, SimDuration};
 use rb_hpo::ExperimentSpec;
 use rb_profile::{CloudProfile, ModelProfile};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
 
 /// Monte-Carlo configuration.
 #[derive(Debug, Clone)]
@@ -103,13 +116,125 @@ pub struct StageBreakdown {
     pub cost: Cost,
 }
 
+/// Execution knobs of the prediction engine — orthogonal to the
+/// Monte-Carlo settings in [`SimConfig`], which define *what* is sampled;
+/// these define *how fast* it is computed. Results are bit-identical for
+/// every combination (the determinism contract of counter-based sample
+/// seeds; see [`rb_core::mix_seed`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads for batch prediction and in-plan sampling;
+    /// `0` means "use the host's available parallelism".
+    pub threads: usize,
+    /// Memoize predictions per (spec, plan) so repeated plans — warm
+    /// starts, greedy revisits, repeated planning runs — hit memory
+    /// instead of re-simulating.
+    pub plan_cache: bool,
+    /// Reuse the per-spec [`DagTemplate`] — fitted train-task
+    /// distributions plus the per-stage Monte-Carlo sample memo — across
+    /// candidate plans, instead of rebuilding and re-sampling from scratch
+    /// for every prediction.
+    pub dag_templates: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            threads: 0,
+            plan_cache: true,
+            dag_templates: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The sequential baseline: one thread, no prediction cache, no
+    /// template or stage-sample reuse — every prediction re-fits and
+    /// re-samples everything. Kept as the reference the engine is
+    /// benchmarked (and bit-compared) against.
+    pub fn sequential_baseline() -> Self {
+        EngineConfig {
+            threads: 1,
+            plan_cache: false,
+            dag_templates: false,
+        }
+    }
+
+    /// Same engine with a fixed worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
+/// Memoized predictions, keyed by spec fingerprint then by the plan's
+/// per-stage GPU vector. Two levels so lookups can borrow the plan as a
+/// `&[u32]` without allocating a key. The Monte-Carlo configuration need
+/// not be part of the key because [`Simulator::with_config`] detaches the
+/// caches.
+type PredictionCache = HashMap<u64, HashMap<Vec<u32>, Prediction>>;
+
+/// Expands a plan's instance ladder into release groups: `(stage,
+/// provisioned_at, count)` triples in release order. Instances are
+/// released LIFO at each stage barrier down to the next stage's need, so
+/// instances provisioned together leave together (possibly split across
+/// barriers) — and, sharing one hand-over time, incur identical charges
+/// that can be billed as `charge × count`.
+fn release_groups(needed: &[u32], new_inst: &[u32]) -> Vec<(usize, usize, u32)> {
+    let n_stages = needed.len();
+    let mut stack: Vec<(usize, u32)> = Vec::new();
+    let mut have = 0u32;
+    let mut out = Vec::new();
+    for s in 0..n_stages {
+        if new_inst[s] > 0 {
+            stack.push((s, new_inst[s]));
+            have += new_inst[s];
+        }
+        let keep = if s + 1 < n_stages { needed[s + 1] } else { 0 };
+        while have > keep {
+            let (prov, count) = stack.last_mut().expect("live instances on the stack");
+            let take = (have - keep).min(*count);
+            out.push((s, *prov, take));
+            *count -= take;
+            have -= take;
+            if *count == 0 {
+                stack.pop();
+            }
+        }
+    }
+    out
+}
+
+/// Order-independent 64-bit fingerprint of a spec's stage ladder.
+fn spec_fingerprint(spec: &ExperimentSpec) -> u64 {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    for stage in spec.stages() {
+        stage.num_trials.hash(&mut hasher);
+        stage.iters.hash(&mut hasher);
+    }
+    hasher.finish()
+}
+
 /// The plan simulator: owns the fitted profiles and predicts JCT/cost for
 /// candidate allocation plans.
+///
+/// Prediction is served by a parallel, memoized engine (see
+/// [`EngineConfig`]): plans already predicted for a spec are returned from
+/// an interior cache, DAG construction reuses a per-spec [`DagTemplate`],
+/// and [`Simulator::predict_batch`] fans candidate plans out across
+/// threads. Clones share the caches (they are behind [`Arc`]), which is
+/// what the planner wants — warm-start descents re-visit each other's
+/// plans constantly.
 #[derive(Debug, Clone)]
 pub struct Simulator {
     model: ModelProfile,
     cloud: CloudProfile,
     config: SimConfig,
+    engine: EngineConfig,
+    /// Per-spec DAG templates, keyed by spec fingerprint.
+    templates: Arc<Mutex<HashMap<u64, Arc<DagTemplate>>>>,
+    /// Memoized predictions.
+    predictions: Arc<Mutex<PredictionCache>>,
 }
 
 impl Simulator {
@@ -119,12 +244,27 @@ impl Simulator {
             model,
             cloud,
             config: SimConfig::default(),
+            engine: EngineConfig::default(),
+            templates: Arc::new(Mutex::new(HashMap::new())),
+            predictions: Arc::new(Mutex::new(HashMap::new())),
         }
     }
 
-    /// Overrides the Monte-Carlo configuration.
+    /// Overrides the Monte-Carlo configuration. Detaches this simulator
+    /// from any caches shared with clones: cached templates and
+    /// predictions embed the old seed/sample-count/overhead.
     pub fn with_config(mut self, config: SimConfig) -> Self {
         self.config = config;
+        self.templates = Arc::new(Mutex::new(HashMap::new()));
+        self.predictions = Arc::new(Mutex::new(HashMap::new()));
+        self
+    }
+
+    /// Overrides the engine configuration (threads, caching, template
+    /// reuse). Cached values stay valid — engine settings change speed,
+    /// never results.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -141,6 +281,193 @@ impl Simulator {
     /// The Monte-Carlo configuration.
     pub fn config(&self) -> &SimConfig {
         &self.config
+    }
+
+    /// The engine configuration.
+    pub fn engine(&self) -> &EngineConfig {
+        &self.engine
+    }
+
+    /// Number of predictions currently memoized.
+    pub fn cached_predictions(&self) -> usize {
+        self.predictions
+            .lock()
+            .expect("prediction cache poisoned")
+            .values()
+            .map(HashMap::len)
+            .sum()
+    }
+
+    /// The (possibly cached) DAG template for `spec` under this
+    /// simulator's profiles and sync overhead.
+    pub fn template_for(&self, spec: &ExperimentSpec) -> Arc<DagTemplate> {
+        let fp = spec_fingerprint(spec);
+        let mut templates = self.templates.lock().expect("template cache poisoned");
+        templates
+            .entry(fp)
+            .or_insert_with(|| {
+                Arc::new(DagTemplate::new(
+                    spec,
+                    &self.model,
+                    &self.cloud,
+                    self.config.sync_overhead_secs,
+                ))
+            })
+            .clone()
+    }
+
+    /// Builds the execution DAG for `plan`, through the template cache
+    /// when the engine enables it.
+    fn dag_for(&self, spec: &ExperimentSpec, plan: &AllocationPlan) -> Result<ExecDag> {
+        if self.engine.dag_templates {
+            self.template_for(spec).instantiate(plan)
+        } else {
+            ExecDag::build(
+                spec,
+                plan,
+                &self.model,
+                &self.cloud,
+                self.config.sync_overhead_secs,
+            )
+        }
+    }
+
+    /// Predicts `plan` against a DAG template by composing per-stage
+    /// Monte-Carlo samples.
+    ///
+    /// Stages are separated by full barriers, so a sampled execution is
+    /// exactly the concatenation of its sampled stages: JCT is the sum of
+    /// stage spans, and per-instance lifetimes are reconstructed from the
+    /// stage-relative hand-over offsets the same way
+    /// [`Simulator::sample_run`] reconstructs them from absolute node
+    /// finish times. Stage samples come from the template's memo
+    /// ([`DagTemplate::stage_samples`]), so candidate plans that share a
+    /// stage configuration — the planner's common case — share the
+    /// expensive sampling work and only pay for this cheap composition.
+    ///
+    /// Sample `i` everywhere derives from `Prng::for_stream(config.seed,
+    /// i)`, so the sample set is fixed by the configuration alone; workers
+    /// fill an index-ordered vector and aggregation runs sequentially over
+    /// it, making the result bit-identical at every thread count and cache
+    /// state.
+    fn predict_with_template(
+        &self,
+        template: &DagTemplate,
+        plan: &AllocationPlan,
+        threads: usize,
+    ) -> Result<Prediction> {
+        template.validate(plan)?;
+        let n_stages = template.num_stages();
+        let n = self.config.samples.max(1);
+        let pricing = &self.cloud.pricing;
+        let (needed, new_inst, total_instances) = template.instance_ladder(plan);
+        let per_stage: Vec<Arc<Vec<StageSample>>> = (0..n_stages)
+            .map(|s| {
+                template.stage_samples(s, plan.gpus(s), new_inst[s], self.config.seed, n, pricing)
+            })
+            .collect();
+        let data_cost = pricing.ingress_charge(self.cloud.dataset_gb) * u64::from(total_instances);
+        let per_instance = pricing.billing.is_per_instance();
+        // The plan's release schedule is sample-independent: instances
+        // provisioned together share a hand-over time and are released
+        // together (LIFO at stage barriers), so precompute, per stage,
+        // which provisioning groups release how many instances — one
+        // charge per group per sample instead of one per instance.
+        let releases: Vec<(usize, usize, u32)> = if per_instance {
+            release_groups(&needed, &new_inst)
+        } else {
+            Vec::new()
+        };
+
+        let samples: Vec<RunSample> = run_chunked(n as usize, threads, |range| {
+            let mut hand = vec![0.0_f64; n_stages];
+            range
+                .map(|i| {
+                    let mut now = 0.0_f64;
+                    let mut compute = Cost::ZERO;
+                    let mut next_release = 0;
+                    for s in 0..n_stages {
+                        let ss = per_stage[s][i];
+                        let stage_end = now + ss.dur;
+                        if per_instance {
+                            if new_inst[s] > 0 {
+                                hand[s] = now + ss.handover;
+                            }
+                            while let Some(&(at, prov, count)) = releases.get(next_release) {
+                                if at != s {
+                                    break;
+                                }
+                                next_release += 1;
+                                let held =
+                                    SimDuration::from_secs_f64((stage_end - hand[prov]).max(0.0));
+                                compute += pricing.instance_charge(held) * u64::from(count);
+                            }
+                        } else {
+                            compute += ss.fn_charge;
+                        }
+                        now = stage_end;
+                    }
+                    RunSample {
+                        jct_secs: now,
+                        compute_cost: compute,
+                        data_cost,
+                    }
+                })
+                .collect()
+        });
+        // Two-pass mean/std, inlined to keep the hot path allocation-free
+        // (same unbiased n-1 semantics as `rb_core::stats::std`).
+        let n_f = samples.len() as f64;
+        let mut jct_sum = 0.0_f64;
+        let mut cost_sum = 0.0_f64;
+        for s in &samples {
+            jct_sum += s.jct_secs;
+            cost_sum += s.total_cost().as_dollars();
+        }
+        let jct_mean = jct_sum / n_f;
+        let cost_mean = cost_sum / n_f;
+        let (jct_std, cost_std) = if samples.len() < 2 {
+            (0.0, 0.0)
+        } else {
+            let mut jv = 0.0_f64;
+            let mut cv = 0.0_f64;
+            for s in &samples {
+                let dj = s.jct_secs - jct_mean;
+                jv += dj * dj;
+                let dc = s.total_cost().as_dollars() - cost_mean;
+                cv += dc * dc;
+            }
+            ((jv / (n_f - 1.0)).sqrt(), (cv / (n_f - 1.0)).sqrt())
+        };
+        Ok(Prediction {
+            jct: SimDuration::from_secs_f64(jct_mean),
+            jct_std_secs: jct_std,
+            cost: Cost::from_dollars(cost_mean),
+            cost_std: Cost::from_dollars(cost_std),
+            samples: n,
+        })
+    }
+
+    /// Predicts one plan without consulting or filling the prediction
+    /// cache. With `dag_templates` off, a fresh template (and fresh stage
+    /// samples) is built for every call — the cold baseline.
+    fn predict_uncached(
+        &self,
+        spec: &ExperimentSpec,
+        plan: &AllocationPlan,
+        threads: usize,
+    ) -> Result<Prediction> {
+        if self.engine.dag_templates {
+            self.predict_with_template(&self.template_for(spec), plan, threads)
+        } else {
+            let template = DagTemplate::new(
+                spec,
+                &self.model,
+                &self.cloud,
+                self.config.sync_overhead_secs,
+            );
+            self.predict_with_template(&template, plan, threads)
+        }
     }
 
     /// Predicts JCT and cost of executing `spec` under `plan`.
@@ -174,28 +501,153 @@ impl Simulator {
     /// Returns [`rb_core::RbError::InvalidPlan`] when the plan does not
     /// validate against the spec.
     pub fn predict(&self, spec: &ExperimentSpec, plan: &AllocationPlan) -> Result<Prediction> {
-        let dag = ExecDag::build(
+        if !self.engine.plan_cache {
+            return self.predict_uncached(spec, plan, self.engine.threads);
+        }
+        let fp = spec_fingerprint(spec);
+        if let Some(hit) = self
+            .predictions
+            .lock()
+            .expect("prediction cache poisoned")
+            .get(&fp)
+            .and_then(|per_plan| per_plan.get(plan.as_slice()))
+        {
+            return Ok(*hit);
+        }
+        let pred = self.predict_uncached(spec, plan, self.engine.threads)?;
+        self.predictions
+            .lock()
+            .expect("prediction cache poisoned")
+            .entry(fp)
+            .or_default()
+            .insert(plan.as_slice().to_vec(), pred);
+        Ok(pred)
+    }
+
+    /// Predicts every plan of a candidate batch, returning one result per
+    /// plan **in input order**.
+    ///
+    /// This is the planner's unit of work: a greedy step generates one or
+    /// two candidates per stage and needs all of them evaluated. Cached
+    /// plans are served from memory; the misses are computed in parallel —
+    /// across plans when there are several, across Monte-Carlo samples
+    /// when only one plan misses. Results are bit-identical to calling
+    /// [`Simulator::predict`] on each plan sequentially.
+    ///
+    /// An invalid plan yields an [`rb_core::RbError::InvalidPlan`] in its
+    /// own slot without poisoning the rest of the batch.
+    pub fn predict_batch(
+        &self,
+        spec: &ExperimentSpec,
+        plans: &[AllocationPlan],
+    ) -> Vec<Result<Prediction>> {
+        let fp = spec_fingerprint(spec);
+        let mut out: Vec<Option<Result<Prediction>>> = Vec::with_capacity(plans.len());
+        let mut miss_idx: Vec<usize> = Vec::new();
+        if self.engine.plan_cache {
+            let cache = self.predictions.lock().expect("prediction cache poisoned");
+            let per_plan = cache.get(&fp);
+            for (i, plan) in plans.iter().enumerate() {
+                match per_plan.and_then(|m| m.get(plan.as_slice())) {
+                    Some(hit) => out.push(Some(Ok(*hit))),
+                    None => {
+                        out.push(None);
+                        miss_idx.push(i);
+                    }
+                }
+            }
+        } else {
+            out.resize_with(plans.len(), || None);
+            miss_idx.extend(0..plans.len());
+        }
+        // Deduplicate repeated plans within the batch (candidate ladders
+        // overlap): compute each distinct plan once. Batches are a handful
+        // of short plans, so a linear scan beats hashing each one.
+        let mut compute_idx: Vec<usize> = Vec::new();
+        let mut slot_of: Vec<usize> = Vec::with_capacity(miss_idx.len());
+        for &i in &miss_idx {
+            let slice = plans[i].as_slice();
+            match compute_idx
+                .iter()
+                .position(|&j| plans[j].as_slice() == slice)
+            {
+                Some(k) => slot_of.push(k),
+                None => {
+                    slot_of.push(compute_idx.len());
+                    compute_idx.push(i);
+                }
+            }
+        }
+        // Resolve the spec's template once for the whole batch instead of
+        // once per miss (the template cache is a lock + spec hash away).
+        let template = if self.engine.dag_templates && !compute_idx.is_empty() {
+            Some(self.template_for(spec))
+        } else {
+            None
+        };
+        let predict_one = |plan: &AllocationPlan, threads: usize| match &template {
+            Some(t) => self.predict_with_template(t, plan, threads),
+            None => self.predict_uncached(spec, plan, threads),
+        };
+        let computed: Vec<Result<Prediction>> = if compute_idx.len() <= 1 {
+            // A lone miss still gets the threads — across samples.
+            compute_idx
+                .iter()
+                .map(|&i| predict_one(&plans[i], self.engine.threads))
+                .collect()
+        } else {
+            run_chunked(compute_idx.len(), self.engine.threads, |range| {
+                range
+                    .map(|k| predict_one(&plans[compute_idx[k]], 1))
+                    .collect()
+            })
+        };
+        if self.engine.plan_cache {
+            let mut cache = self.predictions.lock().expect("prediction cache poisoned");
+            let per_plan = cache.entry(fp).or_default();
+            for (&i, result) in compute_idx.iter().zip(&computed) {
+                if let Ok(pred) = result {
+                    per_plan.insert(plans[i].as_slice().to_vec(), *pred);
+                }
+            }
+        }
+        for (&i, &k) in miss_idx.iter().zip(&slot_of) {
+            out[i] = Some(match &computed[k] {
+                Ok(pred) => Ok(*pred),
+                Err(_) => {
+                    // Re-derive the error for duplicate slots (errors are
+                    // not clonable): re-validation is cheap and exact.
+                    self.predict_uncached(spec, &plans[i], 1)
+                }
+            });
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every slot filled"))
+            .collect()
+    }
+
+    /// The sequential reference prediction: fresh template, one thread,
+    /// no memoization of any kind. Exists so tests and benchmarks can
+    /// compare the engine against a known-good baseline; results are
+    /// bit-identical to [`Simulator::predict`] by the determinism
+    /// contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`rb_core::RbError::InvalidPlan`] when the plan does not
+    /// validate against the spec.
+    pub fn predict_reference(
+        &self,
+        spec: &ExperimentSpec,
+        plan: &AllocationPlan,
+    ) -> Result<Prediction> {
+        let template = DagTemplate::new(
             spec,
-            plan,
             &self.model,
             &self.cloud,
             self.config.sync_overhead_secs,
-        )?;
-        let mut rng = Prng::seed_from_u64(self.config.seed);
-        let mut jct = rb_core::stats::OnlineStats::new();
-        let mut cost = rb_core::stats::OnlineStats::new();
-        for _ in 0..self.config.samples.max(1) {
-            let s = self.sample_run(&dag, &mut rng);
-            jct.push(s.jct_secs);
-            cost.push(s.total_cost().as_dollars());
-        }
-        Ok(Prediction {
-            jct: SimDuration::from_secs_f64(jct.mean()),
-            jct_std_secs: jct.std(),
-            cost: Cost::from_dollars(cost.mean()),
-            cost_std: Cost::from_dollars(cost.std()),
-            samples: self.config.samples.max(1),
-        })
+        );
+        self.predict_with_template(&template, plan, 1)
     }
 
     /// Explains a plan stage by stage: mean duration and cost share per
@@ -213,34 +665,20 @@ impl Simulator {
         spec: &ExperimentSpec,
         plan: &AllocationPlan,
     ) -> Result<Vec<StageBreakdown>> {
-        let dag = ExecDag::build(
-            spec,
-            plan,
-            &self.model,
-            &self.cloud,
-            self.config.sync_overhead_secs,
-        )?;
+        let dag = self.dag_for(spec, plan)?;
         let samples = self.config.samples.max(1);
-        let mut rng = Prng::seed_from_u64(self.config.seed);
         let n_stages = spec.num_stages();
         let mut dur_sum = vec![0.0_f64; n_stages];
         let mut cost_sum = vec![0.0_f64; n_stages];
         let pricing = &self.cloud.pricing;
-        for _ in 0..samples {
-            // Re-run the critical path, tracking per-stage boundaries.
-            let n = dag.nodes.len();
-            let mut finish = vec![0.0_f64; n];
-            let mut duration = vec![0.0_f64; n];
-            for (i, node) in dag.nodes.iter().enumerate() {
-                let start = node
-                    .preds
-                    .iter()
-                    .map(|&p| finish[p])
-                    .fold(0.0_f64, f64::max);
-                let d = node.latency.sample(&mut rng);
-                duration[i] = d;
-                finish[i] = start + d;
-            }
+        let mut finish = Vec::new();
+        let mut duration = Vec::new();
+        for s in 0..samples {
+            // Draw the same schedule sample the predictor draws (shared
+            // kernel, same counter-derived seed), then attribute it to
+            // stage boundaries.
+            let mut rng = Prng::for_stream(self.config.seed, u64::from(s));
+            dag.sample_schedule(&mut rng, &mut finish, &mut duration);
             let mut prev_end = 0.0_f64;
             // Per-instance attribution: lifetimes released at each stage.
             let mut live: Vec<f64> = Vec::new();
@@ -295,19 +733,15 @@ impl Simulator {
 
     /// Draws one execution sample from the DAG (Algorithm 1 plus billing).
     pub fn sample_run(&self, dag: &ExecDag, rng: &mut Prng) -> RunSample {
-        let n = dag.nodes.len();
-        let mut finish = vec![0.0_f64; n];
-        let mut duration = vec![0.0_f64; n];
-        for (i, node) in dag.nodes.iter().enumerate() {
-            let start = node
-                .preds
-                .iter()
-                .map(|&p| finish[p])
-                .fold(0.0_f64, f64::max);
-            let d = node.latency.sample(rng);
-            duration[i] = d;
-            finish[i] = start + d;
-        }
+        let mut finish = Vec::new();
+        let mut duration = Vec::new();
+        dag.sample_schedule(rng, &mut finish, &mut duration);
+        self.bill_sample(dag, &finish, &duration)
+    }
+
+    /// Bills one sampled schedule (node finish times and durations) under
+    /// the active pricing model.
+    fn bill_sample(&self, dag: &ExecDag, finish: &[f64], duration: &[f64]) -> RunSample {
         let jct_secs = finish.iter().copied().fold(0.0_f64, f64::max);
 
         let pricing = &self.cloud.pricing;
@@ -529,6 +963,62 @@ mod tests {
         let a = p_static.cost.as_dollars();
         let b = p_elastic.cost.as_dollars();
         assert!((a - b).abs() / b < 0.05, "static {a} vs elastic {b}");
+    }
+
+    /// Re-derives a prediction by walking the full DAG node by node — the
+    /// pre-decomposition arithmetic — and checks the stage-composed
+    /// predictor against it. The two paths draw identical node latencies
+    /// (same counter streams) and differ only in float association, so
+    /// they must agree to well under a micro-dollar/microsecond.
+    fn full_dag_prediction(s: &Simulator, spec: &ExperimentSpec, plan: &AllocationPlan) -> (f64, f64) {
+        let dag = ExecDag::build(
+            spec,
+            plan,
+            s.model(),
+            s.cloud(),
+            s.config().sync_overhead_secs,
+        )
+        .unwrap();
+        let mut jct = rb_core::stats::OnlineStats::new();
+        let mut cost = rb_core::stats::OnlineStats::new();
+        let mut finish = Vec::new();
+        let mut duration = Vec::new();
+        for i in 0..s.config().samples {
+            let seed = Prng::for_stream(s.config().seed, u64::from(i)).next_u64();
+            dag.sample_schedule_seeded(seed, &mut finish, &mut duration);
+            let sample = s.bill_sample(&dag, &finish, &duration);
+            jct.push(sample.jct_secs);
+            cost.push(sample.total_cost().as_dollars());
+        }
+        (jct.mean(), cost.mean())
+    }
+
+    #[test]
+    fn stage_composed_prediction_matches_full_dag_walk() {
+        for per_function in [false, true] {
+            let mut cloud = cloud_1gpu();
+            if per_function {
+                cloud.pricing = cloud.pricing.with_per_function_billing();
+            }
+            let s = sim(0.7, cloud); // noisy: every node latency distinct
+            for gpus in [vec![4, 2, 1], vec![1, 2, 4], vec![3, 2, 1], vec![1, 1, 1]] {
+                let plan = AllocationPlan::new(gpus);
+                let pred = s.predict(&spec(), &plan).unwrap();
+                let (jct, cost) = full_dag_prediction(&s, &spec(), &plan);
+                // Tolerances are the storage granularities (SimDuration
+                // rounds to milliseconds, Cost to micro-dollars).
+                assert!(
+                    (pred.jct.as_secs_f64() - jct).abs() < 1e-3,
+                    "{plan} per_function={per_function}: jct {} vs {jct}",
+                    pred.jct.as_secs_f64()
+                );
+                assert!(
+                    (pred.cost.as_dollars() - cost).abs() < 1e-5,
+                    "{plan} per_function={per_function}: cost {} vs {cost}",
+                    pred.cost.as_dollars()
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! Determinism and correctness contract of the prediction engine.
+//!
+//! The engine promises that every execution strategy — sequential
+//! reference, cached, uncached, template-built, one thread, many threads,
+//! batched — produces **bit-identical** predictions. These tests pin that
+//! contract.
+
+use rb_cloud::catalog::P3_8XLARGE;
+use rb_cloud::CloudPricing;
+use rb_core::{RbError, SimDuration};
+use rb_hpo::ExperimentSpec;
+use rb_profile::{CloudProfile, ModelProfile};
+use rb_scaling::zoo::RESNET50;
+use rb_scaling::AnalyticScaling;
+use rb_sim::{AllocationPlan, EngineConfig, SimConfig, Simulator};
+use std::sync::Arc;
+
+/// A noisy sublinear-scaling simulator: noise makes every sample distinct,
+/// so any divergence in sampling order or seed derivation shows up in the
+/// aggregate.
+fn sim() -> Simulator {
+    let scaling = Arc::new(AnalyticScaling::for_arch(&RESNET50, 512, 4));
+    let model = ModelProfile::from_scaling("rn50", scaling, 10, 2.0, 0.3);
+    let cloud = CloudProfile::new(CloudPricing::on_demand(P3_8XLARGE))
+        .with_provision_delay(SimDuration::from_secs(15))
+        .with_init_latency(SimDuration::from_secs(15));
+    Simulator::new(model, cloud).with_config(SimConfig {
+        samples: 17,
+        seed: 0xE11,
+        sync_overhead_secs: 1.0,
+    })
+}
+
+fn spec() -> ExperimentSpec {
+    ExperimentSpec::from_stages(&[(16, 4), (8, 8), (4, 16), (2, 32), (1, 64)]).unwrap()
+}
+
+fn plans() -> Vec<AllocationPlan> {
+    vec![
+        AllocationPlan::new(vec![16, 16, 16, 16, 16]),
+        AllocationPlan::new(vec![32, 16, 8, 4, 4]),
+        AllocationPlan::new(vec![16, 8, 4, 2, 1]),
+        AllocationPlan::new(vec![48, 24, 12, 6, 3]),
+    ]
+}
+
+#[test]
+fn cached_predictions_are_identical_to_uncached() {
+    let cached = sim(); // default engine: cache + templates on
+    let uncached = sim().with_engine(EngineConfig {
+        plan_cache: false,
+        ..EngineConfig::default()
+    });
+    for plan in plans() {
+        let cold = cached.predict(&spec(), &plan).unwrap();
+        let warm = cached.predict(&spec(), &plan).unwrap(); // cache hit
+        let raw = uncached.predict(&spec(), &plan).unwrap();
+        assert_eq!(cold, warm, "{plan}: cache hit diverged from miss");
+        assert_eq!(cold, raw, "{plan}: cached diverged from uncached");
+    }
+    assert_eq!(cached.cached_predictions(), plans().len());
+    assert_eq!(uncached.cached_predictions(), 0);
+}
+
+#[test]
+fn predictions_are_bit_identical_across_thread_counts() {
+    let reference = sim();
+    for plan in plans() {
+        let expect = reference.predict_reference(&spec(), &plan).unwrap();
+        for threads in [1, 2, 3, 8] {
+            let s = sim().with_engine(EngineConfig::sequential_baseline().with_threads(threads));
+            assert_eq!(
+                s.predict(&spec(), &plan).unwrap(),
+                expect,
+                "{plan}: {threads} threads diverged from the sequential reference"
+            );
+        }
+        // The full engine (templates + cache + auto threads) too.
+        assert_eq!(sim().predict(&spec(), &plan).unwrap(), expect);
+    }
+}
+
+#[test]
+fn template_built_dags_predict_identically() {
+    let with_templates = sim();
+    let without = sim().with_engine(EngineConfig {
+        dag_templates: false,
+        ..EngineConfig::default()
+    });
+    for plan in plans() {
+        assert_eq!(
+            with_templates.predict(&spec(), &plan).unwrap(),
+            without.predict(&spec(), &plan).unwrap(),
+            "{plan}: template instantiation changed the prediction"
+        );
+    }
+}
+
+#[test]
+fn batch_results_come_back_in_input_order() {
+    let s = sim();
+    let batch = plans();
+    let preds = s.predict_batch(&spec(), &batch);
+    assert_eq!(preds.len(), batch.len());
+    for (plan, got) in batch.iter().zip(&preds) {
+        let expect = s.predict_reference(&spec(), plan).unwrap();
+        assert_eq!(
+            *got.as_ref().unwrap(),
+            expect,
+            "{plan}: batch slot disagrees with its sequential prediction"
+        );
+    }
+}
+
+#[test]
+fn batch_deduplicates_but_answers_every_slot() {
+    let s = sim();
+    let p = AllocationPlan::new(vec![16, 8, 4, 2, 1]);
+    let batch = vec![p.clone(), p.clone(), p.clone()];
+    let preds = s.predict_batch(&spec(), &batch);
+    let expect = s.predict_reference(&spec(), &p).unwrap();
+    for got in preds {
+        assert_eq!(got.unwrap(), expect);
+    }
+    // Three identical plans, one cache entry.
+    assert_eq!(s.cached_predictions(), 1);
+}
+
+#[test]
+fn invalid_plans_fail_per_slot_without_poisoning_the_batch() {
+    let s = sim();
+    let good = AllocationPlan::new(vec![16, 8, 4, 2, 1]);
+    let wrong_len = AllocationPlan::new(vec![16, 8]);
+    let zero_gpus = AllocationPlan::new(vec![16, 8, 0, 2, 1]);
+    let batch = vec![
+        wrong_len.clone(),
+        good.clone(),
+        zero_gpus.clone(),
+        good.clone(),
+        wrong_len,
+    ];
+    let preds = s.predict_batch(&spec(), &batch);
+    assert_eq!(preds.len(), 5);
+    assert!(matches!(preds[0], Err(RbError::InvalidPlan(_))));
+    assert!(matches!(preds[2], Err(RbError::InvalidPlan(_))));
+    assert!(matches!(preds[4], Err(RbError::InvalidPlan(_))));
+    let expect = s.predict_reference(&spec(), &good).unwrap();
+    assert_eq!(*preds[1].as_ref().unwrap(), expect);
+    assert_eq!(*preds[3].as_ref().unwrap(), expect);
+    // Errors are never cached.
+    assert_eq!(s.cached_predictions(), 1);
+}
+
+#[test]
+fn batch_matches_one_at_a_time_prediction() {
+    let batched = sim();
+    let sequential = sim();
+    let batch = plans();
+    let got = batched.predict_batch(&spec(), &batch);
+    for (plan, got) in batch.iter().zip(got) {
+        assert_eq!(
+            got.unwrap(),
+            sequential.predict(&spec(), plan).unwrap(),
+            "{plan}"
+        );
+    }
+}
+
+#[test]
+fn clones_share_the_prediction_cache_but_with_config_detaches() {
+    let a = sim();
+    let b = a.clone();
+    let plan = AllocationPlan::new(vec![16, 8, 4, 2, 1]);
+    a.predict(&spec(), &plan).unwrap();
+    assert_eq!(b.cached_predictions(), 1, "clone should see the entry");
+    let detached = b.clone().with_config(SimConfig {
+        samples: 17,
+        seed: 0xE12, // different seed: cached values would be stale
+        sync_overhead_secs: 1.0,
+    });
+    assert_eq!(detached.cached_predictions(), 0);
+}

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Offline verification gate: build, test, bench smoke, dependency guard.
+#
+# The container has no network access to crates.io, so everything must
+# build with `--offline` and no workspace manifest may depend on
+# anything outside the workspace. Run from anywhere; operates on the
+# repo root.
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo"
+
+echo "== guard: no non-path dependencies in workspace manifests =="
+# Every [dependencies]/[dev-dependencies] entry must resolve inside the
+# workspace (`workspace = true` or `path = ...`). A bare version string
+# (e.g. `rand = "0.8"`) would need the registry and must not appear.
+bad=0
+for manifest in Cargo.toml crates/*/Cargo.toml; do
+    # Lines inside dependency tables that neither inherit from the
+    # workspace nor point at a path.
+    offenders=$(awk '
+        /^\[/ { in_deps = ($0 ~ /dependencies\]$/) }
+        in_deps && /^[A-Za-z0-9_-]+[ \t]*=/ \
+            && $0 !~ /workspace[ \t]*=[ \t]*true/ \
+            && $0 !~ /path[ \t]*=/ { print FILENAME ": " $0 }
+    ' "$manifest")
+    if [ -n "$offenders" ]; then
+        echo "$offenders"
+        bad=1
+    fi
+done
+if [ "$bad" -ne 0 ]; then
+    echo "FAIL: found dependencies that would require the registry" >&2
+    exit 1
+fi
+echo "ok"
+
+echo "== build (release, offline) =="
+cargo build --release --offline
+
+echo "== tests =="
+cargo test -q --offline
+
+echo "== bench smoke =="
+cargo run -p rb-bench --release --offline --bin bench -- --smoke
+
+echo "verify: all checks passed"

@@ -3,12 +3,13 @@
 //!
 //! The planner only works if its DAG model predicts reality; these tests
 //! compare predictions against event-accurate execution across many
-//! plans, and use proptest to hammer structural invariants with random
-//! workloads.
+//! plans, and hammer structural invariants with random workloads drawn
+//! from the deterministic `rb_core::Prng` (fixed seeds, fixed case
+//! counts, fully offline).
 
-use proptest::prelude::*;
 use rubberband::prelude::*;
 use rubberband::rb_cloud::catalog::P3_8XLARGE;
+use rubberband::rb_core::Prng;
 use rubberband::rb_hpo::{Dim, ShaParams};
 use rubberband::rb_train::task::resnet101_cifar10;
 
@@ -92,78 +93,94 @@ fn per_function_is_never_dearer_than_per_instance() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// SHA generation invariants for arbitrary valid parameters: the
-    /// work ladder always starts with `n` trials doing `min(r, R)` work,
-    /// trial counts shrink by η (flooring at one, merged at the tail),
-    /// per-stage work grows by η until the remainder stage, and the
-    /// survivor ends at exactly `R`.
-    #[test]
-    fn sha_specs_are_structurally_sound(
-        n in 1u32..300,
-        r in 1u64..8,
-        mult in 1u64..200,
-        eta in 2u32..5,
-    ) {
+/// SHA generation invariants for arbitrary valid parameters: the
+/// work ladder always starts with `n` trials doing `min(r, R)` work,
+/// trial counts shrink by η (flooring at one, merged at the tail),
+/// per-stage work grows by η until the remainder stage, and the
+/// survivor ends at exactly `R`.
+#[test]
+fn sha_specs_are_structurally_sound() {
+    let mut rng = Prng::seed_from_u64(0xF1DE_0001);
+    for _ in 0..64 {
+        let n = 1 + rng.next_below(299) as u32;
+        let r = 1 + rng.next_below(7);
+        let mult = 1 + rng.next_below(199);
+        let eta = 2 + rng.next_below(3) as u32;
         let big_r = r * mult;
-        let spec = ShaParams { n, r, big_r, eta, max_stages: None }
-            .generate()
-            .unwrap();
+        let spec = ShaParams {
+            n,
+            r,
+            big_r,
+            eta,
+            max_stages: None,
+        }
+        .generate()
+        .unwrap();
         let stages: Vec<(u32, u64)> = spec.stages().map(|s| (s.num_trials, s.iters)).collect();
-        prop_assert_eq!(stages[0].0, n);
+        assert_eq!(stages[0].0, n);
         if n == 1 {
             // A single trial collapses into one stage doing all of R.
-            prop_assert_eq!(stages.len(), 1);
-            prop_assert_eq!(stages[0].1, big_r);
+            assert_eq!(stages.len(), 1);
+            assert_eq!(stages[0].1, big_r);
         } else {
-            prop_assert_eq!(stages[0].1, r.min(big_r));
+            assert_eq!(stages[0].1, r.min(big_r));
         }
         // The survivor's cumulative work is exactly R.
-        prop_assert_eq!(spec.max_iters(), big_r);
+        assert_eq!(spec.max_iters(), big_r);
         // Trial counts divide by η (clamped at 1) stage over stage.
         for w in stages.windows(2) {
-            prop_assert_eq!(w[1].0, (w[0].0 / eta).max(1));
+            assert_eq!(w[1].0, (w[0].0 / eta).max(1));
         }
         // Work grows by η each stage except the final remainder stage
         // (and single-trial merged tails).
         for (k, w) in stages.windows(2).enumerate() {
             let is_final = k + 2 == stages.len();
             if !is_final && w[1].0 > 1 {
-                prop_assert_eq!(w[1].1, w[0].1 * u64::from(eta));
+                assert_eq!(w[1].1, w[0].1 * u64::from(eta));
             }
         }
     }
+}
 
-    /// Fair-ladder arithmetic: `round_down_fair` always yields a fair,
-    /// not-larger allocation, and decrementing always terminates at 1.
-    #[test]
-    fn fair_ladder_invariants(alloc in 1u32..2000, trials in 1u32..300) {
+/// Fair-ladder arithmetic: `round_down_fair` always yields a fair,
+/// not-larger allocation, and decrementing always terminates at 1.
+#[test]
+fn fair_ladder_invariants() {
+    let mut rng = Prng::seed_from_u64(0xF1DE_0002);
+    for _ in 0..64 {
+        let alloc = 1 + rng.next_below(1999) as u32;
+        let trials = 1 + rng.next_below(299) as u32;
         let fair = AllocationPlan::round_down_fair(alloc, trials);
-        prop_assert!(fair >= 1 && fair <= alloc.max(1));
-        prop_assert!(fair % trials == 0 || trials % fair == 0);
+        assert!(fair >= 1 && fair <= alloc.max(1));
+        assert!(fair % trials == 0 || trials % fair == 0);
         let mut a = alloc;
         let mut steps = 0;
         while let Some(next) = AllocationPlan::decrement_fair(a, trials) {
-            prop_assert!(next < a);
-            prop_assert!(next % trials == 0 || trials % next == 0);
+            assert!(next < a);
+            assert!(next % trials == 0 || trials % next == 0);
             a = next;
             steps += 1;
-            prop_assert!(steps < 4000);
+            assert!(steps < 4000);
         }
-        prop_assert_eq!(a, 1);
+        assert_eq!(a, 1);
     }
+}
 
-    /// Simulated plans: prediction is deterministic, positive, and
-    /// per-function cost never exceeds per-instance cost for identical
-    /// noise-free workloads.
-    #[test]
-    fn prediction_invariants(
-        stage_gpus in proptest::collection::vec(1u32..40, 1..5),
-        trials0 in 1u32..32,
-        units in 1u64..12,
-    ) {
+/// Simulated plans: prediction is deterministic, positive, and
+/// per-function cost never exceeds per-instance cost for identical
+/// noise-free workloads.
+#[test]
+fn prediction_invariants() {
+    let mut rng = Prng::seed_from_u64(0xF1DE_0003);
+    let task = resnet101_cifar10();
+    let physics = ModelProfile::exact_for_task(&task, 1024, 4);
+    for _ in 0..64 {
+        let num_stages = 1 + rng.next_below(4) as usize;
+        let stage_gpus: Vec<u32> = (0..num_stages)
+            .map(|_| 1 + rng.next_below(39) as u32)
+            .collect();
+        let trials0 = 1 + rng.next_below(31) as u32;
+        let units = 1 + rng.next_below(11);
         // Build a shrinking spec compatible with the plan length.
         let mut stages = Vec::new();
         let mut t = trials0;
@@ -173,8 +190,6 @@ proptest! {
         }
         let spec = ExperimentSpec::from_stages(&stages).unwrap();
         let plan = AllocationPlan::new(stage_gpus.clone());
-        let task = resnet101_cifar10();
-        let physics = ModelProfile::exact_for_task(&task, 1024, 4);
         let mk = |per_function: bool| {
             let mut c = cloud();
             if per_function {
@@ -189,23 +204,26 @@ proptest! {
         let sim = mk(false);
         let a = sim.predict(&spec, &plan).unwrap();
         let b = sim.predict(&spec, &plan).unwrap();
-        prop_assert_eq!(a, b);
-        prop_assert!(a.jct > SimDuration::ZERO);
-        prop_assert!(a.cost > Cost::ZERO);
+        assert_eq!(a, b);
+        assert!(a.jct > SimDuration::ZERO);
+        assert!(a.cost > Cost::ZERO);
         let pf = mk(true).predict(&spec, &plan).unwrap();
-        prop_assert!(pf.cost <= a.cost, "pf {} > pi {}", pf.cost, a.cost);
+        assert!(pf.cost <= a.cost, "pf {} > pi {}", pf.cost, a.cost);
     }
+}
 
-    /// The placement controller always produces valid, fully-assigned,
-    /// locality-preserving plans when capacity suffices.
-    #[test]
-    fn placement_controller_invariants(
-        allocs in proptest::collection::vec(1u32..9, 1..12),
-    ) {
-        use rubberband::rb_placement::{ClusterState, PlacementController};
-        use rubberband::rb_core::TrialId;
-        use std::collections::BTreeMap;
+/// The placement controller always produces valid, fully-assigned,
+/// locality-preserving plans when capacity suffices.
+#[test]
+fn placement_controller_invariants() {
+    use rubberband::rb_core::TrialId;
+    use rubberband::rb_placement::{ClusterState, PlacementController};
+    use std::collections::BTreeMap;
 
+    let mut rng = Prng::seed_from_u64(0xF1DE_0004);
+    for _ in 0..64 {
+        let len = 1 + rng.next_below(11) as usize;
+        let allocs: Vec<u32> = (0..len).map(|_| 1 + rng.next_below(8) as u32).collect();
         let gpn = 4;
         // Enough nodes: every trial padded to whole nodes.
         let nodes_needed: u32 = allocs.iter().map(|a| a.div_ceil(gpn)).sum();
@@ -217,115 +235,112 @@ proptest! {
             .collect();
         let mut pc = PlacementController::new();
         let diff = pc.update(&map, &cluster).unwrap();
-        prop_assert_eq!(diff.started.len(), allocs.len());
-        prop_assert!(pc.plan().is_valid_for(&cluster));
+        assert_eq!(diff.started.len(), allocs.len());
+        assert!(pc.plan().is_valid_for(&cluster));
         for (&t, &a) in &map {
-            prop_assert_eq!(pc.plan().assigned_gpus(t), a);
+            assert_eq!(pc.plan().assigned_gpus(t), a);
             // Locality: minimal node count.
             let chunks = pc.plan().get(t).unwrap();
-            prop_assert!(chunks.len() as u32 <= a.div_ceil(gpn));
+            assert!(chunks.len() as u32 <= a.div_ceil(gpn));
         }
         // Idempotent second call.
         let diff2 = pc.update(&map, &cluster).unwrap();
-        prop_assert!(diff2.is_noop());
+        assert!(diff2.is_noop());
     }
+}
 
-    /// Checkpoint round-trips survive arbitrary config values and history
-    /// lengths.
-    #[test]
-    fn checkpoint_roundtrip(
-        lr in 1e-6f64..1.0,
-        iters in 1u64..60,
-        seed in 0u64..1000,
-    ) {
-        use rubberband::rb_train::checkpoint::{decode_trial, encode_trial};
-        use rubberband::rb_train::Trial;
-        use rubberband::rb_core::TrialId;
+/// Checkpoint round-trips survive arbitrary config values and history
+/// lengths.
+#[test]
+fn checkpoint_roundtrip() {
+    use rubberband::rb_core::TrialId;
+    use rubberband::rb_train::checkpoint::{decode_trial, encode_trial};
+    use rubberband::rb_train::Trial;
 
-        let task = resnet101_cifar10();
-        let mut trial = Trial::new(
-            TrialId::new(seed),
-            Config::new().with_f64("lr", lr),
-            seed,
-        );
+    let mut rng = Prng::seed_from_u64(0xF1DE_0005);
+    let task = resnet101_cifar10();
+    for _ in 0..64 {
+        let lr = rng.uniform(1e-6, 1.0);
+        let iters = 1 + rng.next_below(59);
+        let seed = rng.next_below(1000);
+        let mut trial = Trial::new(TrialId::new(seed), Config::new().with_f64("lr", lr), seed);
         trial.start().unwrap();
         for _ in 0..iters {
             trial.advance(&task, 1).unwrap();
         }
         let snap = decode_trial(&encode_trial(&trial)).unwrap();
-        prop_assert_eq!(snap.iters_done, iters);
-        prop_assert_eq!(snap.history.len() as u64, iters);
-        prop_assert_eq!(snap.config, trial.config);
+        assert_eq!(snap.iters_done, iters);
+        assert_eq!(snap.history.len() as u64, iters);
+        assert_eq!(snap.config, trial.config);
     }
+}
 
-    /// Learning curves are monotone (noise-free) and bounded for random
-    /// configurations.
-    #[test]
-    fn learning_curves_are_sane(
-        lr in 1e-6f64..10.0,
-        wd in 1e-7f64..1e-1,
-    ) {
-        let task = resnet101_cifar10();
+/// Learning curves are monotone (noise-free) and bounded for random
+/// configurations.
+#[test]
+fn learning_curves_are_sane() {
+    let mut rng = Prng::seed_from_u64(0xF1DE_0006);
+    let task = resnet101_cifar10();
+    for _ in 0..64 {
+        let lr = rng.uniform(1e-6, 10.0);
+        let wd = rng.uniform(1e-7, 1e-1);
         let cfg = Config::new().with_f64("lr", lr).with_f64("weight_decay", wd);
         let mut prev = 0.0;
         for i in [0u64, 1, 2, 5, 10, 25, 50, 100] {
             let a = task.clean_accuracy(&cfg, i);
-            prop_assert!((0.0..=1.0).contains(&a));
-            prop_assert!(a + 1e-12 >= prev, "dip at {i}: {a} < {prev}");
+            assert!((0.0..=1.0).contains(&a));
+            assert!(a + 1e-12 >= prev, "dip at {i}: {a} < {prev}");
             prev = a;
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The executor survives arbitrary small workloads: random shrinking
-    /// specs and fair-ish plans always run to completion with coherent
-    /// reports and traces.
-    #[test]
-    fn executor_handles_random_workloads(
-        trials0 in 2u32..12,
-        units in 1u64..4,
-        halvings in 1usize..4,
-        gpus0 in 1u32..17,
-        seed in 0u64..1000,
-    ) {
+/// The executor survives arbitrary small workloads: random shrinking
+/// specs and fair-ish plans always run to completion with coherent
+/// reports and traces.
+#[test]
+fn executor_handles_random_workloads() {
+    let mut rng = Prng::seed_from_u64(0xF1DE_0007);
+    let task = resnet101_cifar10();
+    let physics = ModelProfile::exact_for_task(&task, 1024, 4);
+    for _ in 0..24 {
+        let trials0 = 2 + rng.next_below(10) as u32;
+        let units = 1 + rng.next_below(3);
+        let halvings = 1 + rng.next_below(3) as usize;
+        let gpus0 = 1 + rng.next_below(16) as u32;
+        let seed = rng.next_below(1000);
         let mut stages = Vec::new();
         let mut t = trials0;
         let mut g = gpus0;
         let mut plan = Vec::new();
         for _ in 0..=halvings {
             stages.push((t, units));
-            plan.push(rubberband::rb_sim::AllocationPlan::round_down_fair(g.max(1), t));
+            plan.push(rubberband::rb_sim::AllocationPlan::round_down_fair(
+                g.max(1),
+                t,
+            ));
             t = (t / 2).max(1);
             g = (g / 2).max(1);
         }
         let spec = ExperimentSpec::from_stages(&stages).unwrap();
         let plan = AllocationPlan::new(plan);
-        let task = resnet101_cifar10();
-        let physics = ModelProfile::exact_for_task(&task, 1024, 4);
-        let report = rubberband::execute(
-            &spec, &plan, &task, &physics, &cloud(), &space(), seed,
-        )
-        .unwrap();
-        prop_assert!(report.jct > SimDuration::ZERO);
-        prop_assert!(report.total_cost() > Cost::ZERO);
-        prop_assert_eq!(report.stages.len(), spec.num_stages());
-        prop_assert!(report.best_accuracy > 0.0);
+        let report =
+            rubberband::execute(&spec, &plan, &task, &physics, &cloud(), &space(), seed).unwrap();
+        assert!(report.jct > SimDuration::ZERO);
+        assert!(report.total_cost() > Cost::ZERO);
+        assert_eq!(report.stages.len(), spec.num_stages());
+        assert!(report.best_accuracy > 0.0);
         // Trace barriers: one per stage, last at JCT.
         let barriers = report.trace.barriers();
-        prop_assert_eq!(barriers.len(), spec.num_stages());
-        prop_assert_eq!(
+        assert_eq!(barriers.len(), spec.num_stages());
+        assert_eq!(
             barriers.last().unwrap().1,
             rubberband::rb_core::SimTime::ZERO + report.jct
         );
         // Deterministic replay.
-        let again = rubberband::execute(
-            &spec, &plan, &task, &physics, &cloud(), &space(), seed,
-        )
-        .unwrap();
-        prop_assert_eq!(again.jct, report.jct);
-        prop_assert_eq!(again.compute_cost, report.compute_cost);
+        let again =
+            rubberband::execute(&spec, &plan, &task, &physics, &cloud(), &space(), seed).unwrap();
+        assert_eq!(again.jct, report.jct);
+        assert_eq!(again.compute_cost, report.compute_cost);
     }
 }
