@@ -1,0 +1,222 @@
+//! Extension — online adaptation (`repro ext-adapt`).
+//!
+//! The paper plans once, before execution; this extension measures what
+//! closing the loop buys. The Table 2 workload is planned under a 30 min
+//! deadline from the *profiled* model, then executed under injected
+//! model error (every training iteration slowed by a factor the planner
+//! never saw) and spot interruptions, both open loop and with the
+//! rb-ctrl adaptation controller re-planning at stage barriers. Each
+//! cell of the slowdown × interruption-rate × threshold sweep reports
+//! deadline-hit and cost for both modes plus the number of applied
+//! re-plans.
+
+use crate::tables::{e2e_cloud, physics_for, profiled_model, search_space};
+use rb_core::{Result, SimDuration};
+use rb_ctrl::{ControllerConfig, DriftConfig};
+use rb_exec::ExecOptions;
+use rb_hpo::ShaParams;
+use rb_planner::{plan_rubberband, PlannerConfig};
+use rb_profile::ModelProfile;
+use rb_scaling::RescaledScaling;
+use rb_train::TaskModel;
+use std::sync::Arc;
+
+/// One sweep cell: open-loop vs adaptive execution of the same plan.
+#[derive(Debug, Clone)]
+pub struct AdaptRow {
+    /// Injected ground-truth slowdown (1.0 = the model is calibrated).
+    pub slowdown: f64,
+    /// Spot interruptions per instance-hour (0 = on-demand).
+    pub rate_per_hour: f64,
+    /// The controller's drift re-plan threshold.
+    pub threshold: f64,
+    /// Open-loop executed JCT in seconds.
+    pub open_jct_secs: f64,
+    /// Open-loop executed cost in dollars.
+    pub open_cost: f64,
+    /// Open loop met the deadline.
+    pub open_hit: bool,
+    /// Adaptive executed JCT in seconds.
+    pub adaptive_jct_secs: f64,
+    /// Adaptive executed cost in dollars.
+    pub adaptive_cost: f64,
+    /// Adaptive met the deadline.
+    pub adaptive_hit: bool,
+    /// Re-plans the controller actually spliced into the plan.
+    pub replans: usize,
+    /// Preemptions absorbed by the adaptive run.
+    pub preemptions: u32,
+}
+
+/// Ground-truth physics with every iteration `slowdown`× the nominal
+/// latency — the injected model error the planner cannot see.
+pub fn slowed_physics(task: &TaskModel, batch: u32, node_gpus: u32, slowdown: f64) -> ModelProfile {
+    let mut p = physics_for(task, batch, node_gpus);
+    if slowdown != 1.0 {
+        p.scaling = Arc::new(RescaledScaling::new(p.scaling.clone(), slowdown));
+    }
+    p
+}
+
+/// Runs the adaptation sweep. The plan is compiled once (nominal model,
+/// 30 min deadline); every `slowdown × rate × threshold` cell executes it
+/// open loop and with the adaptation controller, from the same seed.
+///
+/// # Errors
+///
+/// Propagates planner/executor errors.
+pub fn ext_adapt(
+    slowdowns: &[f64],
+    rates: &[f64],
+    thresholds: &[f64],
+    seed: u64,
+) -> Result<(SimDuration, Vec<AdaptRow>)> {
+    let task = rb_train::task::resnet101_cifar10();
+    let spec = ShaParams::new(32, 1, 50).with_eta(3).generate()?;
+    let model = profiled_model(&task, 1024, 4, 32);
+    let space = search_space();
+    let deadline = SimDuration::from_mins(30);
+    let sim = rb_sim::Simulator::new(model.clone(), e2e_cloud());
+    let out = plan_rubberband(&sim, &spec, deadline, &PlannerConfig::default())?;
+
+    let mut rows = Vec::new();
+    for &slowdown in slowdowns {
+        let physics = slowed_physics(&task, 1024, 4, slowdown);
+        for &rate in rates {
+            let mut cloud = e2e_cloud().with_spot_interruptions(rate);
+            if rate > 0.0 {
+                cloud.pricing = cloud.pricing.with_spot();
+            }
+            let options = || ExecOptions {
+                seed,
+                ..ExecOptions::default()
+            };
+            let open = rubberband::execute_with(
+                &spec, &out.plan, &task, &physics, &cloud, &space, options(),
+            )?;
+            for &threshold in thresholds {
+                let config = ControllerConfig {
+                    drift: DriftConfig {
+                        replan_threshold: threshold,
+                        ..DriftConfig::default()
+                    },
+                    ..ControllerConfig::default()
+                };
+                let adaptive = rubberband::execute_adaptive(
+                    &spec, &out.plan, &task, &physics, &model, &cloud, &space, deadline,
+                    options(), &config,
+                )?;
+                rows.push(AdaptRow {
+                    slowdown,
+                    rate_per_hour: rate,
+                    threshold,
+                    open_jct_secs: open.jct.as_secs_f64(),
+                    open_cost: open.total_cost().as_dollars(),
+                    open_hit: open.jct <= deadline,
+                    adaptive_jct_secs: adaptive.report.jct.as_secs_f64(),
+                    adaptive_cost: adaptive.report.total_cost().as_dollars(),
+                    adaptive_hit: adaptive.deadline_met(),
+                    replans: adaptive.adaptation.applied(),
+                    preemptions: adaptive.report.preemptions,
+                });
+            }
+        }
+    }
+    Ok((deadline, rows))
+}
+
+/// Renders the adaptation sweep, ending with a machine-checkable summary
+/// line (counts only, so it is stable across platforms —
+/// `scripts/verify.sh` diffs it against a checked-in expectation).
+pub fn print_ext_adapt(deadline: SimDuration, rows: &[AdaptRow]) {
+    println!("Extension — online adaptation (rb-ctrl) under injected drift");
+    println!(
+        "(Table 2 workload, RubberBand plan @ {deadline} deadline; slowdown is \
+         hidden from the planner)\n"
+    );
+    println!(
+        "{:>8} {:>7} {:>9} | {:>10} {:>9} {:>5} | {:>10} {:>9} {:>5} {:>7} {:>6}",
+        "slowdown", "spot/h", "threshold", "open JCT", "cost", "hit", "adapt JCT", "cost", "hit",
+        "replans", "preempt"
+    );
+    for r in rows {
+        println!(
+            "{:>8.2} {:>7.1} {:>9.2} | {:>10} {:>9} {:>5} | {:>10} {:>9} {:>5} {:>7} {:>6}",
+            r.slowdown,
+            r.rate_per_hour,
+            r.threshold,
+            SimDuration::from_secs_f64(r.open_jct_secs).to_string(),
+            format!("${:.2}", r.open_cost),
+            if r.open_hit { "yes" } else { "MISS" },
+            SimDuration::from_secs_f64(r.adaptive_jct_secs).to_string(),
+            format!("${:.2}", r.adaptive_cost),
+            if r.adaptive_hit { "yes" } else { "MISS" },
+            r.replans,
+            r.preemptions
+        );
+    }
+    let open_hits = rows.iter().filter(|r| r.open_hit).count();
+    let adaptive_hits = rows.iter().filter(|r| r.adaptive_hit).count();
+    let replans: usize = rows.iter().map(|r| r.replans).sum();
+    // Calm cells (no injected drift, no spot churn) must be bit-identical
+    // to open loop: the controller observed but never intervened.
+    let calm_mismatches = rows
+        .iter()
+        .filter(|r| r.slowdown == 1.0 && r.rate_per_hour == 0.0)
+        .filter(|r| r.replans != 0 || r.adaptive_cost != r.open_cost)
+        .count();
+    println!(
+        "\next-adapt summary: cells={} open_hits={open_hits} adaptive_hits={adaptive_hits} \
+         applied_replans={replans} calm_mismatches={calm_mismatches}",
+        rows.len()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_drift_cell_never_replans_and_keeps_cost() {
+        let (deadline, rows) = ext_adapt(&[1.0], &[0.0], &[1.15], 1).unwrap();
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert_eq!(r.replans, 0, "calibrated run re-planned");
+        assert_eq!(r.adaptive_cost, r.open_cost, "controller changed cost");
+        assert_eq!(r.adaptive_jct_secs, r.open_jct_secs);
+        assert!(r.open_hit && r.adaptive_hit);
+        assert!(SimDuration::from_secs_f64(r.open_jct_secs) <= deadline);
+    }
+
+    #[test]
+    fn adaptation_recovers_the_deadline_under_injected_slowdown() {
+        let (_, rows) = ext_adapt(&[1.5], &[0.0], &[1.15], 1).unwrap();
+        let r = &rows[0];
+        assert!(
+            !r.open_hit,
+            "open loop unexpectedly met the deadline (jct {}s)",
+            r.open_jct_secs
+        );
+        assert!(r.replans > 0, "no re-plan under 1.5x slowdown");
+        assert!(
+            r.adaptive_hit,
+            "adaptive missed: jct {}s after {} replans",
+            r.adaptive_jct_secs, r.replans
+        );
+        assert!(r.adaptive_jct_secs < r.open_jct_secs);
+    }
+
+    #[test]
+    fn sweep_is_deterministic_per_seed() {
+        let run = || ext_adapt(&[1.5], &[1.0], &[1.25], 7).unwrap().1;
+        let a = run();
+        let b = run();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.adaptive_jct_secs, y.adaptive_jct_secs);
+            assert_eq!(x.adaptive_cost, y.adaptive_cost);
+            assert_eq!(x.replans, y.replans);
+            assert_eq!(x.preemptions, y.preemptions);
+        }
+    }
+}

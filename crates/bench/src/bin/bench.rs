@@ -135,6 +135,7 @@ fn bench_simulator(smoke: bool) -> String {
             threads,
             plan_cache: false,
             dag_templates: true,
+            ..EngineConfig::default()
         });
         let ms = time_ms(n, || {
             sim.predict(&spec, &plan).unwrap();
@@ -202,6 +203,61 @@ fn bench_executor(smoke: bool) {
     println!("executor : 16-trial SHA run        : {ms:7.3} ms");
 }
 
+/// Closed-loop adaptive execution vs open loop: what the rb-ctrl barrier
+/// hook (drift monitoring + mid-job residual re-planning) costs on a run
+/// that actually re-plans.
+fn bench_exec_adaptive(smoke: bool) -> String {
+    let iters = if smoke { 1 } else { 10 };
+    let task = resnet101_cifar10();
+    let model = ModelProfile::exact_for_task(&task, 1024, 4);
+    // Ground truth runs 1.5x slower than the model: drift is guaranteed.
+    let mut physics = model.clone();
+    physics.scaling = Arc::new(rb_scaling::RescaledScaling::new(physics.scaling.clone(), 1.5));
+    let cloud = CloudProfile::new(CloudPricing::on_demand(P3_8XLARGE))
+        .with_provision_delay(SimDuration::from_secs(15))
+        .with_init_latency(SimDuration::from_secs(15));
+    let space = SearchSpace::new()
+        .add("lr", Dim::LogUniform { lo: 1e-3, hi: 1.0 })
+        .build()
+        .unwrap();
+    let spec = ShaParams::new(16, 1, 20).with_eta(2).generate().unwrap();
+    let plan = AllocationPlan::new(vec![16, 8, 4, 4, 4]);
+
+    let open_ms = time_ms(iters, || {
+        rubberband::execute(&spec, &plan, &task, &physics, &cloud, &space, 7).unwrap();
+    });
+    // A deadline the slowed open loop misses, so the controller re-plans.
+    let open = rubberband::execute(&spec, &plan, &task, &physics, &cloud, &space, 7).unwrap();
+    let deadline = SimDuration::from_secs_f64(open.jct.as_secs_f64() * 0.8);
+    let config = rb_ctrl::ControllerConfig::default();
+    let mut replans = 0usize;
+    let adaptive_ms = time_ms(iters, || {
+        let r = rubberband::execute_adaptive(
+            &spec,
+            &plan,
+            &task,
+            &physics,
+            &model,
+            &cloud,
+            &space,
+            deadline,
+            rb_exec::ExecOptions {
+                seed: 7,
+                ..rb_exec::ExecOptions::default()
+            },
+            &config,
+        )
+        .unwrap();
+        replans = r.adaptation.applied();
+    });
+    let overhead = adaptive_ms / open_ms.max(1e-9);
+    println!("executor : adaptive (rb-ctrl)      : {adaptive_ms:7.3} ms   ({overhead:5.2}x open loop, {replans} replans)");
+
+    format!(
+        "{{\n  \"benchmark\": \"execute_adaptive\",\n  \"iters\": {iters},\n  \"open_loop_ms\": {open_ms:.3},\n  \"adaptive_ms\": {adaptive_ms:.3},\n  \"overhead_ratio\": {overhead:.3},\n  \"applied_replans\": {replans}\n}}"
+    )
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     if smoke {
@@ -211,7 +267,13 @@ fn main() {
     let sim_json = bench_simulator(smoke);
     bench_placement(smoke);
     bench_executor(smoke);
+    let adaptive_json = bench_exec_adaptive(smoke);
+    let sim_file = format!(
+        "{{\n\"predict_uncached\": {},\n\"exec_adaptive\": {}\n}}\n",
+        sim_json.trim_end(),
+        adaptive_json
+    );
     std::fs::write("BENCH_planner.json", &planner_json).expect("write BENCH_planner.json");
-    std::fs::write("BENCH_sim.json", &sim_json).expect("write BENCH_sim.json");
+    std::fs::write("BENCH_sim.json", &sim_file).expect("write BENCH_sim.json");
     println!("wrote BENCH_planner.json, BENCH_sim.json");
 }

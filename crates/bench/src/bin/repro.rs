@@ -136,6 +136,18 @@ fn ext_spot(quick: bool) {
     }
 }
 
+fn ext_adapt(quick: bool) {
+    let (slowdowns, rates, thresholds): (&[f64], &[f64], &[f64]) = if quick {
+        (&[1.0, 1.5], &[0.0, 1.0], &[1.15])
+    } else {
+        (&[1.0, 1.25, 1.5], &[0.0, 0.5, 2.0], &[1.1, 1.25])
+    };
+    match rb_bench::adapt::ext_adapt(slowdowns, rates, thresholds, 1) {
+        Ok((deadline, rows)) => rb_bench::adapt::print_ext_adapt(deadline, &rows),
+        Err(e) => eprintln!("ext-adapt failed: {e}"),
+    }
+}
+
 fn ext_budget(quick: bool) {
     let budgets: &[f64] = if quick {
         &[7.0, 20.0]
@@ -195,7 +207,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: repro [quick] [--csv] <fig4|fig9|fig10|fig11|fig12|table1|table2|table3|table4|ext-spot|ext-budget|ext-asha|ext-instances|ablations|all>..."
+            "usage: repro [quick] [--csv] <fig4|fig9|fig10|fig11|fig12|table1|table2|table3|table4|ext-spot|ext-budget|ext-asha|ext-instances|ext-adapt|ablations|all>..."
         );
         std::process::exit(2);
     }
@@ -223,6 +235,7 @@ fn main() {
             "ext-budget",
             "ext-asha",
             "ext-instances",
+            "ext-adapt",
             "ablations",
         ];
     }
@@ -243,6 +256,7 @@ fn main() {
             "ext-budget" => ext_budget(quick),
             "ext-asha" => ext_asha(quick),
             "ext-instances" => ext_instances(quick),
+            "ext-adapt" => ext_adapt(quick),
             "ablations" => ablations(),
             other => {
                 eprintln!("unknown artifact `{other}`");

@@ -6,6 +6,7 @@
 //! binary prints. Paper parameters are the defaults; tests may scale the
 //! workloads down.
 
+pub mod adapt;
 pub mod common;
 pub mod csv;
 pub mod ext;

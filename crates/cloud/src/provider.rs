@@ -10,7 +10,7 @@
 use crate::billing::BillingMeter;
 use crate::catalog::InstanceType;
 use rb_core::ids::IdGen;
-use rb_core::{Distribution, InstanceId, Prng, RbError, Result, SimDuration, SimTime};
+use rb_core::{mix_seed, Distribution, InstanceId, Prng, RbError, Result, SimDuration, SimTime};
 use std::collections::BTreeMap;
 
 /// Lifecycle state of one instance.
@@ -69,6 +69,15 @@ impl ProviderConfig {
 pub struct SimProvider {
     config: ProviderConfig,
     rng: Prng,
+    /// Base seed for per-instance spot-interruption streams. Each
+    /// instance draws its interruption offset from
+    /// `Prng::for_stream(interrupt_seed, id.raw())`, so the instant an
+    /// instance is reclaimed depends only on the provider seed and the
+    /// instance's creation index — never on how many other draws (delay
+    /// samples, other instances) happened first. Two runs that provision
+    /// the same instance index see the same interruption, regardless of
+    /// controller polling cadence or interleaved requests.
+    interrupt_seed: u64,
     ids: IdGen<InstanceId>,
     fleet: BTreeMap<InstanceId, InstanceState>,
     /// Pre-sampled spot interruption instants (absent for on-demand or
@@ -84,6 +93,7 @@ impl SimProvider {
         SimProvider {
             config,
             rng: Prng::seed_from_u64(seed),
+            interrupt_seed: mix_seed(seed, 0x5107_1A7E),
             ids: IdGen::new(),
             fleet: BTreeMap::new(),
             preempt_at: BTreeMap::new(),
@@ -122,10 +132,15 @@ impl SimProvider {
             let id = self.ids.next();
             self.fleet.insert(id, InstanceState::Pending { ready_at });
             if self.config.interruption_rate_per_hour > 0.0 {
+                // Per-instance forked stream: the draw is a pure function
+                // of (provider seed, instance index), so interruption
+                // traces are identical across runs that differ only in
+                // polling cadence or unrelated provisioning.
+                let mut irng = Prng::for_stream(self.interrupt_seed, id.raw());
                 let hours = Distribution::Exponential {
                     rate: self.config.interruption_rate_per_hour,
                 }
-                .sample(&mut self.rng);
+                .sample(&mut irng);
                 self.preempt_at
                     .insert(id, ready_at + SimDuration::from_secs_f64(hours * 3600.0));
             }
@@ -402,6 +417,41 @@ mod tests {
         ));
         // Double preemption fails.
         assert!(p.preempt(victim).is_err());
+    }
+
+    #[test]
+    fn interruption_draws_are_independent_of_provisioning_cadence() {
+        let mk = || {
+            let mut cfg = ProviderConfig {
+                instance_type: P3_8XLARGE.clone(),
+                provision_delay_secs: Distribution::Constant(5.0),
+                quota: None,
+                interruption_rate_per_hour: 1.5,
+            };
+            cfg.quota = None;
+            SimProvider::new(cfg, 77)
+        };
+        // One batch of 6 versus the same 6 provisioned across three
+        // requests at different times: identical instance indices must
+        // get identical interruption *offsets* past their ready times.
+        let mut a = mk();
+        let ha = a.provision(6, SimTime::ZERO).unwrap();
+        let mut b = mk();
+        let mut hb = b.provision(2, SimTime::ZERO).unwrap();
+        hb.extend(b.provision(3, SimTime::from_secs(100)).unwrap());
+        hb.extend(b.provision(1, SimTime::from_secs(900)).unwrap());
+        for ((ia, ra), (ib, rb)) in ha.iter().zip(hb.iter()) {
+            assert_eq!(ia, ib);
+            let offset_a = a.preemption_time(*ia).unwrap() - *ra;
+            let offset_b = b.preemption_time(*ib).unwrap() - *rb;
+            assert_eq!(offset_a, offset_b, "instance {ia} offset diverged");
+        }
+        // And the offsets vary across instances (distinct streams).
+        let distinct: std::collections::BTreeSet<_> = ha
+            .iter()
+            .map(|(id, r)| a.preemption_time(*id).unwrap() - *r)
+            .collect();
+        assert!(distinct.len() > 1);
     }
 
     #[test]

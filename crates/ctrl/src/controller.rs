@@ -1,0 +1,425 @@
+//! The closed-loop adaptation controller.
+//!
+//! [`AdaptiveController`] sits between the executor and the planner as a
+//! [`BarrierHook`]: at every stage barrier it folds the observed stage
+//! span into the [`DriftMonitor`], and when the smoothed drift factor
+//! leaves the configured band — or the stage absorbed spot preemptions —
+//! it re-plans the *residual* job: completed stages are frozen, survivors
+//! carry their checkpointed progress (so the residual spec is just the
+//! spec's suffix), and the remaining stages are re-optimized by the
+//! warm-started greedy planner under the *dilated* residual deadline.
+//!
+//! Deadline dilation is the calibration trick: if reality runs
+//! `drift_factor`× slower than the model, a model-feasible plan with
+//! predicted JCT ≤ `(deadline − now) / drift_factor` will actually land
+//! near the deadline. The controller never rescales the fitted profile;
+//! it just tells the planner the truth about how much *model time* is
+//! left.
+//!
+//! Plan changes are applied only through the executor's barrier splice —
+//! every survivor is paused with a fresh checkpoint when the hook runs,
+//! so no trial is ever stranded mid-stage on a reallocated cluster.
+
+use crate::drift::{DriftConfig, DriftMonitor, DriftObservation};
+use rb_core::{Cost, Result, SimDuration, SimTime};
+use rb_exec::{BarrierHook, BarrierSnapshot};
+use rb_hpo::ExperimentSpec;
+use rb_planner::{plan_residual, PlannerConfig};
+use rb_sim::{AllocationPlan, Simulator};
+
+/// Controller knobs: drift detection plus the re-planner's configuration.
+#[derive(Debug, Clone)]
+pub struct ControllerConfig {
+    /// Drift detection.
+    pub drift: DriftConfig,
+    /// Configuration for mid-job residual re-planning. Defaults to the
+    /// standard planner with a small exploration-sample budget — re-plans
+    /// happen on the critical path, so candidates are screened at low
+    /// fidelity and only survivors are re-scored in full.
+    pub planner: PlannerConfig,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            drift: DriftConfig::default(),
+            planner: PlannerConfig {
+                exploration_samples: Some(5),
+                ..PlannerConfig::default()
+            },
+        }
+    }
+}
+
+/// What made the controller re-plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplanTrigger {
+    /// The smoothed drift factor left the configured band.
+    Drift,
+    /// The completed stage absorbed one or more spot preemptions.
+    Preemption,
+}
+
+/// One re-planning decision, applied or not.
+#[derive(Debug, Clone)]
+pub struct ReplanEvent {
+    /// The barrier (completed stage) at which the re-plan ran.
+    pub stage: usize,
+    /// Virtual time of the barrier.
+    pub at: SimTime,
+    /// What tripped it.
+    pub trigger: ReplanTrigger,
+    /// The smoothed drift factor at decision time.
+    pub drift_factor: f64,
+    /// The dilated deadline handed to the residual planner.
+    pub residual_deadline: SimDuration,
+    /// The incumbent plan's suffix for the remaining stages.
+    pub old_suffix: Vec<u32>,
+    /// The planner's choice for the remaining stages.
+    pub new_suffix: Vec<u32>,
+    /// Whether the new suffix was predicted to fit the dilated deadline.
+    pub feasible: bool,
+    /// Predicted residual JCT of the new suffix (model time).
+    pub predicted_jct: SimDuration,
+    /// Predicted residual cost of the new suffix.
+    pub predicted_cost: Cost,
+    /// True when the suffix differed from the incumbent and was spliced
+    /// into the executing plan.
+    pub applied: bool,
+}
+
+/// The full adaptation record of one run.
+#[derive(Debug, Clone, Default)]
+pub struct AdaptationLog {
+    /// Every re-planning decision, in barrier order.
+    pub events: Vec<ReplanEvent>,
+    /// Every drift reading, one per non-final barrier.
+    pub observations: Vec<DriftObservation>,
+}
+
+impl AdaptationLog {
+    /// Re-plans that actually changed the executing plan.
+    pub fn applied(&self) -> usize {
+        self.events.iter().filter(|e| e.applied).count()
+    }
+}
+
+/// A [`BarrierHook`] that closes the loop between execution and planning.
+#[derive(Debug)]
+pub struct AdaptiveController {
+    sim: Simulator,
+    spec: ExperimentSpec,
+    deadline: SimDuration,
+    config: ControllerConfig,
+    monitor: DriftMonitor,
+    preemptions_seen: u32,
+    events: Vec<ReplanEvent>,
+}
+
+impl AdaptiveController {
+    /// Creates a controller for a job about to execute `plan` under
+    /// `deadline`. `sim` must be the planner's view (fitted profile +
+    /// cloud profile) — drift is measured against *its* predictions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors from computing the initial per-stage
+    /// envelope (e.g. a plan that does not match the spec).
+    pub fn new(
+        sim: Simulator,
+        spec: ExperimentSpec,
+        plan: &AllocationPlan,
+        deadline: SimDuration,
+        config: ControllerConfig,
+    ) -> Result<Self> {
+        let envelope = sim.stage_quantiles(&spec, plan)?;
+        let monitor = DriftMonitor::new(envelope, config.drift.clone());
+        Ok(AdaptiveController {
+            sim,
+            spec,
+            deadline,
+            config,
+            monitor,
+            preemptions_seen: 0,
+            events: Vec::new(),
+        })
+    }
+
+    /// The drift monitor's current state.
+    pub fn monitor(&self) -> &DriftMonitor {
+        &self.monitor
+    }
+
+    /// Re-planning decisions so far.
+    pub fn events(&self) -> &[ReplanEvent] {
+        &self.events
+    }
+
+    /// Consumes the controller, returning its full adaptation record.
+    pub fn into_log(self) -> AdaptationLog {
+        AdaptationLog {
+            events: self.events,
+            observations: self.monitor.into_observations(),
+        }
+    }
+
+    /// The residual deadline in model time: wall-clock time left, shrunk
+    /// (or stretched) by the drift factor. Floored at one second — a
+    /// blown deadline still needs *some* plan, and the planner's
+    /// minimum-JCT fallback loses the least.
+    fn dilated_residual_deadline(&self, now: SimTime) -> SimDuration {
+        let elapsed = (now - SimTime::ZERO).as_secs_f64();
+        let left = (self.deadline.as_secs_f64() - elapsed).max(1.0);
+        SimDuration::from_secs_f64(left / self.monitor.drift_factor().max(1e-6))
+    }
+}
+
+impl BarrierHook for AdaptiveController {
+    fn at_barrier(&mut self, snap: &BarrierSnapshot<'_>) -> Option<Vec<u32>> {
+        self.monitor.observe(snap.stage, snap.stage_span);
+        let fresh_preemptions = snap.preemptions.saturating_sub(self.preemptions_seen);
+        self.preemptions_seen = snap.preemptions;
+
+        let trigger = if self.config.drift.replan_on_preemption && fresh_preemptions > 0 {
+            ReplanTrigger::Preemption
+        } else if self.monitor.drifted() {
+            ReplanTrigger::Drift
+        } else {
+            return None;
+        };
+
+        let next = snap.stage + 1;
+        // Residual job: the spec's suffix (survivor progress lives in
+        // checkpoints), warm-started from the incumbent plan's suffix.
+        let residual_spec = self.spec.suffix(next).ok()?;
+        let old_suffix = snap.plan.as_slice()[next..].to_vec();
+        let warm = AllocationPlan::new(old_suffix.clone());
+        let residual_deadline = self.dilated_residual_deadline(snap.now);
+        // A planner failure must not kill the job; keep the incumbent.
+        let out = plan_residual(
+            &self.sim,
+            &residual_spec,
+            residual_deadline,
+            &warm,
+            &self.config.planner,
+        )
+        .ok()?;
+
+        let new_suffix = out.plan.as_slice().to_vec();
+        let applied = new_suffix != old_suffix;
+        if applied {
+            // The envelope must describe the plan actually executing.
+            if let Ok(qs) = self.sim.stage_quantiles(&residual_spec, &out.plan) {
+                self.monitor.retarget(next, qs);
+            }
+        }
+        self.events.push(ReplanEvent {
+            stage: snap.stage,
+            at: snap.now,
+            trigger,
+            drift_factor: self.monitor.drift_factor(),
+            residual_deadline,
+            old_suffix,
+            new_suffix: new_suffix.clone(),
+            feasible: out.feasible,
+            predicted_jct: out.prediction.jct,
+            predicted_cost: out.prediction.cost,
+            applied,
+        });
+        applied.then_some(new_suffix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rb_cloud::catalog::P3_8XLARGE;
+    use rb_cloud::CloudPricing;
+    use rb_exec::{ExecOptions, Executor};
+    use rb_hpo::{Config, Dim, SearchSpace};
+    use rb_profile::{CloudProfile, ModelProfile};
+    use rb_scaling::{AnalyticScaling, RescaledScaling};
+    use rb_train::task::resnet101_cifar10;
+    use rb_train::TaskModel;
+    use rb_core::Prng;
+    use std::sync::Arc;
+
+    fn cloud() -> CloudProfile {
+        CloudProfile::new(CloudPricing::on_demand(P3_8XLARGE))
+            .with_provision_delay(SimDuration::from_secs(15))
+            .with_init_latency(SimDuration::from_secs(15))
+    }
+
+    /// Executor physics at `slowdown`× the nominal per-iteration latency.
+    fn physics(task: &TaskModel, slowdown: f64) -> ModelProfile {
+        let nominal = Arc::new(AnalyticScaling::for_arch(&task.arch, 1024, 4));
+        let scaled = Arc::new(RescaledScaling::new(nominal, slowdown));
+        let mut p = ModelProfile::from_scaling(
+            task.name,
+            scaled,
+            task.steps_per_iter(1024),
+            2.0,
+            0.02,
+        );
+        p.train_startup_secs = 2.0;
+        p
+    }
+
+    fn spec() -> ExperimentSpec {
+        ExperimentSpec::from_stages(&[(8, 2), (4, 4), (2, 8), (1, 16)]).unwrap()
+    }
+
+    fn configs(n: usize, seed: u64) -> Vec<Config> {
+        let space = SearchSpace::new()
+            .add("lr", Dim::LogUniform { lo: 1e-3, hi: 1.0 })
+            .add("weight_decay", Dim::LogUniform { lo: 1e-5, hi: 1e-2 })
+            .build()
+            .unwrap();
+        space.sample_n(n, &mut Prng::seed_from_u64(seed))
+    }
+
+    fn executor(task: &TaskModel, plan: &AllocationPlan, slowdown: f64) -> Executor {
+        Executor::new(
+            spec(),
+            plan.clone(),
+            task.clone(),
+            physics(task, slowdown),
+            cloud(),
+        )
+        .unwrap()
+        .with_options(ExecOptions {
+            seed: 11,
+            ..ExecOptions::default()
+        })
+    }
+
+    /// The planner's view: the *nominal* model (slowdown 1.0).
+    fn controller(
+        plan: &AllocationPlan,
+        deadline: SimDuration,
+        config: ControllerConfig,
+    ) -> AdaptiveController {
+        let task = resnet101_cifar10();
+        let sim = Simulator::new(physics(&task, 1.0), cloud());
+        AdaptiveController::new(sim, spec(), plan, deadline, config).unwrap()
+    }
+
+    #[test]
+    fn no_drift_means_no_replans_and_identical_execution() {
+        let task = resnet101_cifar10();
+        let plan = AllocationPlan::new(vec![8, 8, 8, 8]);
+        let open = executor(&task, &plan, 1.0).run(&configs(8, 3)).unwrap();
+        // Generous deadline, matched physics: the controller observes but
+        // never intervenes, and the run is bit-identical to open loop.
+        let mut ctrl = controller(&plan, SimDuration::from_hours(2), ControllerConfig::default());
+        let adaptive = executor(&task, &plan, 1.0)
+            .run_hooked(&configs(8, 3), &mut ctrl)
+            .unwrap();
+        let log = ctrl.into_log();
+        assert_eq!(log.applied(), 0, "events: {:?}", log.events);
+        assert_eq!(adaptive.jct, open.jct);
+        assert_eq!(adaptive.compute_cost, open.compute_cost);
+        assert_eq!(adaptive.best_accuracy, open.best_accuracy);
+        assert_eq!(log.observations.len(), 3);
+    }
+
+    #[test]
+    fn injected_slowdown_triggers_a_drift_replan_that_speeds_up_the_job() {
+        let task = resnet101_cifar10();
+        let plan = AllocationPlan::new(vec![8, 8, 8, 8]);
+        let slowdown = 1.6;
+        let open = executor(&task, &plan, slowdown)
+            .run(&configs(8, 3))
+            .unwrap();
+        // Deadline sized so the nominal plan would fit but the slowed
+        // reality misses it: the controller must buy speed.
+        let deadline = SimDuration::from_secs_f64(open.jct.as_secs_f64() * 0.85);
+        let mut ctrl = controller(&plan, deadline, ControllerConfig::default());
+        let adaptive = executor(&task, &plan, slowdown)
+            .run_hooked(&configs(8, 3), &mut ctrl)
+            .unwrap();
+        let log = ctrl.into_log();
+        assert!(log.applied() > 0, "no re-plan applied: {:?}", log.events);
+        assert!(log
+            .events
+            .iter()
+            .any(|e| e.trigger == ReplanTrigger::Drift));
+        assert!(
+            adaptive.jct < open.jct,
+            "adaptive {} !< open {}",
+            adaptive.jct,
+            open.jct
+        );
+        // The tuning outcome is preserved across the re-plan.
+        assert_eq!(adaptive.best_accuracy, open.best_accuracy);
+    }
+
+    #[test]
+    fn preemption_triggers_a_replan_even_without_drift() {
+        let task = resnet101_cifar10();
+        let plan = AllocationPlan::new(vec![8, 8, 4, 4]);
+        let mut c = cloud().with_spot_interruptions(40.0);
+        c.pricing = c.pricing.with_spot();
+        let exec = Executor::new(
+            spec(),
+            plan.clone(),
+            task.clone(),
+            physics(&task, 1.0),
+            c.clone(),
+        )
+        .unwrap()
+        .with_options(ExecOptions {
+            seed: 11,
+            ..ExecOptions::default()
+        });
+        // Drift detection effectively off: only preemptions can trigger.
+        let config = ControllerConfig {
+            drift: DriftConfig {
+                replan_threshold: 100.0,
+                ..DriftConfig::default()
+            },
+            ..ControllerConfig::default()
+        };
+        let sim = Simulator::new(physics(&task, 1.0), c);
+        let mut ctrl =
+            AdaptiveController::new(sim, spec(), &plan, SimDuration::from_hours(2), config)
+                .unwrap();
+        let report = exec.run_hooked(&configs(8, 3), &mut ctrl).unwrap();
+        assert!(report.preemptions > 0, "rate 40/h produced no preemptions");
+        let log = ctrl.into_log();
+        assert!(
+            log.events
+                .iter()
+                .all(|e| e.trigger == ReplanTrigger::Preemption),
+            "{:?}",
+            log.events
+        );
+        assert!(!log.events.is_empty());
+    }
+
+    #[test]
+    fn adaptive_execution_is_deterministic_per_seed() {
+        let task = resnet101_cifar10();
+        let plan = AllocationPlan::new(vec![8, 8, 8, 8]);
+        let run = || {
+            let mut ctrl = controller(
+                &plan,
+                SimDuration::from_secs(1200),
+                ControllerConfig::default(),
+            );
+            let r = executor(&task, &plan, 1.5)
+                .run_hooked(&configs(8, 3), &mut ctrl)
+                .unwrap();
+            (r, ctrl.into_log())
+        };
+        let (a, la) = run();
+        let (b, lb) = run();
+        assert_eq!(a.jct, b.jct);
+        assert_eq!(a.compute_cost, b.compute_cost);
+        assert_eq!(la.events.len(), lb.events.len());
+        for (x, y) in la.events.iter().zip(&lb.events) {
+            assert_eq!(x.new_suffix, y.new_suffix);
+            assert_eq!(x.drift_factor, y.drift_factor);
+        }
+    }
+}

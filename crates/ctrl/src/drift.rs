@@ -1,0 +1,230 @@
+//! The drift monitor: observed stage spans vs the plan's Monte-Carlo
+//! envelope.
+//!
+//! The planner's model is fitted once, before the job starts; reality can
+//! diverge from it (mispredicted scaling, a slow dataset shard, noisy
+//! neighbours, spot churn). The monitor compares each completed stage's
+//! barrier-to-barrier span against the per-stage quantiles exported by
+//! the simulator ([`Simulator::stage_quantiles`]) and maintains an
+//! exponentially-weighted estimate of the *drift factor* — the ratio of
+//! observed to predicted stage time. A factor near 1.0 means the model is
+//! calibrated; a sustained factor beyond the configured threshold means
+//! every remaining prediction is suspect and the plan should be
+//! reconsidered.
+//!
+//! [`Simulator::stage_quantiles`]: rb_sim::Simulator::stage_quantiles
+
+use rb_core::SimDuration;
+use rb_sim::StageQuantiles;
+
+/// Drift-detection knobs.
+#[derive(Debug, Clone)]
+pub struct DriftConfig {
+    /// Re-plan when the smoothed drift factor leaves
+    /// `[1/replan_threshold, replan_threshold]`. Must be > 1.
+    pub replan_threshold: f64,
+    /// EWMA smoothing weight for new observations, in `(0, 1]`. `1.0`
+    /// trusts only the latest stage; smaller values demand sustained
+    /// drift before tripping.
+    pub ewma_alpha: f64,
+    /// Also trigger a re-plan at any barrier whose stage absorbed spot
+    /// preemptions, regardless of the drift factor.
+    pub replan_on_preemption: bool,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            // Wide enough that the executor's ordinary model mismatch
+            // (noise, provisioning jitter) stays inside the band.
+            replan_threshold: 1.15,
+            ewma_alpha: 0.5,
+            replan_on_preemption: true,
+        }
+    }
+}
+
+/// One barrier's drift reading.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftObservation {
+    /// The completed stage (absolute index into the original spec).
+    pub stage: usize,
+    /// Observed barrier-to-barrier span, in seconds.
+    pub observed_secs: f64,
+    /// The model's mean span for this stage.
+    pub predicted_mean_secs: f64,
+    /// The model's p90 span for this stage.
+    pub predicted_p90_secs: f64,
+    /// `observed / predicted_mean` for this stage alone.
+    pub ratio: f64,
+    /// The smoothed drift factor after folding this observation in.
+    pub drift_factor: f64,
+    /// True when the observation fell outside the p10–p90 envelope.
+    pub outside_envelope: bool,
+}
+
+/// Tracks observed-vs-predicted stage spans across a job.
+#[derive(Debug, Clone)]
+pub struct DriftMonitor {
+    config: DriftConfig,
+    /// Per-stage prediction envelope, absolute stage index.
+    expected: Vec<StageQuantiles>,
+    factor: f64,
+    observations: Vec<DriftObservation>,
+}
+
+impl DriftMonitor {
+    /// Creates a monitor over the plan's per-stage envelope (one entry
+    /// per stage of the full spec, in order).
+    pub fn new(expected: Vec<StageQuantiles>, config: DriftConfig) -> Self {
+        DriftMonitor {
+            config,
+            expected,
+            factor: 1.0,
+            observations: Vec::new(),
+        }
+    }
+
+    /// Folds a completed stage's observed span into the drift estimate.
+    /// Stages without an envelope entry (index out of range) are recorded
+    /// with a neutral ratio and do not move the estimate.
+    pub fn observe(&mut self, stage: usize, observed: SimDuration) -> DriftObservation {
+        let observed_secs = observed.as_secs_f64();
+        let obs = match self.expected.get(stage) {
+            Some(q) if q.mean_secs > 0.0 => {
+                let ratio = observed_secs / q.mean_secs;
+                self.factor += self.config.ewma_alpha * (ratio - self.factor);
+                DriftObservation {
+                    stage,
+                    observed_secs,
+                    predicted_mean_secs: q.mean_secs,
+                    predicted_p90_secs: q.p90_secs,
+                    ratio,
+                    drift_factor: self.factor,
+                    outside_envelope: observed_secs < q.p10_secs || observed_secs > q.p90_secs,
+                }
+            }
+            _ => DriftObservation {
+                stage,
+                observed_secs,
+                predicted_mean_secs: 0.0,
+                predicted_p90_secs: 0.0,
+                ratio: 1.0,
+                drift_factor: self.factor,
+                outside_envelope: false,
+            },
+        };
+        self.observations.push(obs);
+        obs
+    }
+
+    /// Replaces the envelope for stages `start..` with freshly computed
+    /// quantiles (whose `stage` fields are relative to `start`) — called
+    /// after a re-plan changes the remaining allocation.
+    pub fn retarget(&mut self, start: usize, quantiles: Vec<StageQuantiles>) {
+        for q in quantiles {
+            let absolute = start + q.stage;
+            if let Some(slot) = self.expected.get_mut(absolute) {
+                *slot = StageQuantiles { stage: absolute, ..q };
+            }
+        }
+    }
+
+    /// The smoothed observed/predicted ratio (1.0 = calibrated).
+    pub fn drift_factor(&self) -> f64 {
+        self.factor
+    }
+
+    /// True when the smoothed factor is outside the configured band.
+    pub fn drifted(&self) -> bool {
+        let t = self.config.replan_threshold.max(1.0);
+        self.factor > t || self.factor < 1.0 / t
+    }
+
+    /// Every reading so far, in barrier order.
+    pub fn observations(&self) -> &[DriftObservation] {
+        &self.observations
+    }
+
+    /// Consumes the monitor, returning its readings.
+    pub fn into_observations(self) -> Vec<DriftObservation> {
+        self.observations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn envelope(means: &[f64]) -> Vec<StageQuantiles> {
+        means
+            .iter()
+            .enumerate()
+            .map(|(stage, &m)| StageQuantiles {
+                stage,
+                samples: 16,
+                mean_secs: m,
+                p10_secs: 0.9 * m,
+                p50_secs: m,
+                p90_secs: 1.1 * m,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn calibrated_observations_do_not_trip() {
+        let mut mon = DriftMonitor::new(envelope(&[100.0, 200.0]), DriftConfig::default());
+        let o = mon.observe(0, SimDuration::from_secs_f64(103.0));
+        assert!(!mon.drifted());
+        assert!(!o.outside_envelope);
+        mon.observe(1, SimDuration::from_secs_f64(195.0));
+        assert!(!mon.drifted());
+        assert!((mon.drift_factor() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn sustained_slowdown_trips_the_threshold() {
+        let mut mon = DriftMonitor::new(envelope(&[100.0, 100.0]), DriftConfig::default());
+        let o = mon.observe(0, SimDuration::from_secs_f64(150.0));
+        assert!(o.outside_envelope);
+        // α = 0.5: one 1.5× stage lifts the factor to 1.25 > 1.15.
+        assert!(mon.drifted());
+        assert!((mon.drift_factor() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_drift_trips_symmetrically() {
+        let config = DriftConfig {
+            ewma_alpha: 1.0,
+            ..DriftConfig::default()
+        };
+        let mut mon = DriftMonitor::new(envelope(&[100.0]), config);
+        mon.observe(0, SimDuration::from_secs_f64(60.0));
+        assert!(mon.drift_factor() < 1.0 / 1.15);
+        assert!(mon.drifted(), "running fast is drift too");
+    }
+
+    #[test]
+    fn retarget_replaces_the_tail_envelope() {
+        let mut mon = DriftMonitor::new(envelope(&[100.0, 100.0, 100.0]), DriftConfig::default());
+        // Re-plan after stage 0: stages 1..3 now expect 50 s.
+        let fresh = envelope(&[50.0, 50.0]);
+        mon.retarget(1, fresh);
+        let o = mon.observe(1, SimDuration::from_secs_f64(50.0));
+        assert!((o.ratio - 1.0).abs() < 1e-12);
+        assert_eq!(o.predicted_mean_secs, 50.0);
+        // Absolute stage indices were rewritten.
+        let o2 = mon.observe(2, SimDuration::from_secs_f64(50.0));
+        assert_eq!(o2.predicted_mean_secs, 50.0);
+    }
+
+    #[test]
+    fn unknown_stage_is_neutral() {
+        let mut mon = DriftMonitor::new(envelope(&[100.0]), DriftConfig::default());
+        let before = mon.drift_factor();
+        let o = mon.observe(7, SimDuration::from_secs_f64(1e6));
+        assert_eq!(o.ratio, 1.0);
+        assert_eq!(mon.drift_factor(), before);
+        assert!(!mon.drifted());
+    }
+}

@@ -10,7 +10,7 @@
 
 use crate::cluster::ClusterManager;
 use crate::report::{ExecutionReport, ExecutionTrace, StageRecord, TraceEvent};
-use rb_core::{Distribution, Prng, RbError, Result, SimDuration, SimTime, TrialId};
+use rb_core::{Cost, Distribution, Prng, RbError, Result, SimDuration, SimTime, TrialId};
 use rb_hpo::{select_survivors, Config, ExperimentSpec};
 use rb_placement::{scatter_placement, ClusterState, PlacementController, PlacementPlan};
 use rb_profile::{CloudProfile, ModelProfile};
@@ -51,6 +51,57 @@ impl Default for ExecOptions {
             warm_pool: 0,
             warm_hold_secs: 300.0,
         }
+    }
+}
+
+/// Everything an online controller can observe at a completed stage
+/// barrier. All survivors are paused and checkpointed at this point, so a
+/// plan change applied here never strands a trial without a checkpoint —
+/// the barrier is the executor's only safe reallocation point.
+#[derive(Debug, Clone)]
+pub struct BarrierSnapshot<'a> {
+    /// The stage that just completed (0-based).
+    pub stage: usize,
+    /// Total stages in the specification.
+    pub num_stages: usize,
+    /// Virtual time at the barrier (after sync overhead).
+    pub now: SimTime,
+    /// Wall-clock span of the completed stage, barrier to barrier — it
+    /// includes scaling, provisioning waits, training, and the sync
+    /// overhead, matching the per-stage spans the planner's Monte-Carlo
+    /// model predicts.
+    pub stage_span: SimDuration,
+    /// Compute + data bill accrued so far.
+    pub cost_to_date: Cost,
+    /// Spot preemptions absorbed so far.
+    pub preemptions: u32,
+    /// Instances currently held.
+    pub instances: usize,
+    /// Trials promoted into the next stage.
+    pub survivors: usize,
+    /// The plan currently in force (full job, all stages).
+    pub plan: &'a AllocationPlan,
+}
+
+/// A controller invoked at every non-final stage barrier. Returning
+/// `Some(gpus)` — one GPU count per *remaining* stage — splices a new
+/// allocation suffix into the plan before the next stage is scheduled;
+/// `None` leaves the plan untouched.
+///
+/// The hook runs outside the executor's noise streams: a hook that
+/// returns `None` must leave execution bit-identical to [`Executor::run`].
+pub trait BarrierHook {
+    /// Observes a completed barrier; optionally re-plans the remainder.
+    fn at_barrier(&mut self, snapshot: &BarrierSnapshot<'_>) -> Option<Vec<u32>>;
+}
+
+/// The open-loop hook: never re-plans.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopHook;
+
+impl BarrierHook for NoopHook {
+    fn at_barrier(&mut self, _snapshot: &BarrierSnapshot<'_>) -> Option<Vec<u32>> {
+        None
     }
 }
 
@@ -114,6 +165,24 @@ impl Executor {
     /// initial trials are supplied; placement/provider/execution errors
     /// propagate.
     pub fn run(&self, configs: &[Config]) -> Result<ExecutionReport> {
+        self.run_hooked(configs, &mut NoopHook)
+    }
+
+    /// [`Executor::run`] with a [`BarrierHook`] observing every non-final
+    /// stage barrier and optionally re-planning the remaining stages.
+    /// With [`NoopHook`] this is bit-identical to `run`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Executor::run`]; additionally [`RbError::InvalidPlan`] when a
+    /// hook returns a suffix of the wrong length or one that fails plan
+    /// validation against the spec.
+    pub fn run_hooked(
+        &self,
+        configs: &[Config],
+        hook: &mut dyn BarrierHook,
+    ) -> Result<ExecutionReport> {
+        let mut plan = self.plan.clone();
         let n = self.spec.initial_trials() as usize;
         if configs.len() < n {
             return Err(RbError::InvalidConfig(format!(
@@ -156,10 +225,11 @@ impl Executor {
         let mut trace = ExecutionTrace::default();
 
         for stage in 0..self.spec.num_stages() {
+            let stage_start = now;
             let (stage_trials, units) = self.spec.get_stage(stage)?;
             // The scheduler decides; the rest of the loop carries it out.
             let schedule =
-                crate::scheduler::schedule_stage(&self.spec, &self.plan, stage, &live, gpg)?;
+                crate::scheduler::schedule_stage(&self.spec, &plan, stage, &live, gpg)?;
             let needed = schedule.target_instances as usize;
             let waves = schedule.waves;
 
@@ -466,6 +536,39 @@ impl Executor {
                 migrations: stage_migrations,
             });
             live = survivors;
+
+            // --- Barrier hook: observe, optionally re-plan the suffix ----------
+            // Every survivor is paused with a fresh checkpoint and the
+            // placement confirmed, so a plan splice here is transition-safe:
+            // the next stage's scaling/placement machinery absorbs it.
+            if stage + 1 < self.spec.num_stages() {
+                let snapshot = BarrierSnapshot {
+                    stage,
+                    num_stages: self.spec.num_stages(),
+                    now,
+                    stage_span: now - stage_start,
+                    cost_to_date: cm.total_cost(now),
+                    preemptions: total_preemptions,
+                    instances: cm.ready_count(),
+                    survivors: live.len(),
+                    plan: &plan,
+                };
+                if let Some(suffix) = hook.at_barrier(&snapshot) {
+                    let remaining = self.spec.num_stages() - (stage + 1);
+                    if suffix.len() != remaining {
+                        return Err(RbError::InvalidPlan(format!(
+                            "barrier hook returned {} stage allocations; {remaining} stages remain",
+                            suffix.len()
+                        )));
+                    }
+                    let mut next = plan.clone();
+                    for (j, &gpus) in suffix.iter().enumerate() {
+                        next.set_gpus(stage + 1 + j, gpus);
+                    }
+                    next.validate(&self.spec)?;
+                    plan = next;
+                }
+            }
         }
 
         // --- Teardown and report ------------------------------------------------
@@ -913,6 +1016,122 @@ mod tests {
             .filter(|e| matches!(e, TraceEvent::Migration { .. }))
             .count();
         assert_eq!(migs as u32, report.migrations);
+    }
+
+    /// Records every snapshot it sees; re-plans once at `replan_after`.
+    struct RecordingHook {
+        snapshots: Vec<(usize, SimTime, SimDuration, rb_core::Cost)>,
+        replan_after: Option<(usize, Vec<u32>)>,
+    }
+
+    impl BarrierHook for RecordingHook {
+        fn at_barrier(&mut self, s: &BarrierSnapshot<'_>) -> Option<Vec<u32>> {
+            self.snapshots
+                .push((s.stage, s.now, s.stage_span, s.cost_to_date));
+            match &self.replan_after {
+                Some((stage, suffix)) if *stage == s.stage => Some(suffix.clone()),
+                _ => None,
+            }
+        }
+    }
+
+    #[test]
+    fn noop_hooked_run_is_bit_identical_to_run() {
+        let task = resnet101_cifar10();
+        let mk = || {
+            Executor::new(
+                small_spec(),
+                AllocationPlan::new(vec![8, 8, 4, 4]),
+                task.clone(),
+                physics(&task, 1024),
+                cloud(),
+            )
+            .unwrap()
+        };
+        let open = mk().run(&configs(8, 1)).unwrap();
+        let mut hook = RecordingHook {
+            snapshots: Vec::new(),
+            replan_after: None,
+        };
+        let hooked = mk().run_hooked(&configs(8, 1), &mut hook).unwrap();
+        assert_eq!(open.jct, hooked.jct);
+        assert_eq!(open.compute_cost, hooked.compute_cost);
+        assert_eq!(open.best_trial, hooked.best_trial);
+        assert_eq!(open.best_accuracy, hooked.best_accuracy);
+        // One snapshot per non-final barrier, in order, with sane readings.
+        assert_eq!(hook.snapshots.len(), 3);
+        for (i, (stage, now, span, cost)) in hook.snapshots.iter().enumerate() {
+            assert_eq!(*stage, i);
+            assert!(*span > SimDuration::ZERO);
+            assert!(*cost > rb_core::Cost::ZERO);
+            assert_eq!(*now, open.stages[i].sync_end);
+        }
+    }
+
+    #[test]
+    fn barrier_hook_splices_the_remaining_stages() {
+        let task = resnet101_cifar10();
+        let mk = || {
+            Executor::new(
+                small_spec(),
+                AllocationPlan::new(vec![8, 8, 8, 8]),
+                task.clone(),
+                physics(&task, 1024),
+                cloud(),
+            )
+            .unwrap()
+        };
+        let open = mk().run(&configs(8, 1)).unwrap();
+        assert!(open.stages.iter().all(|s| s.instances == 2));
+        // Shrink stages 1..4 to 4 GPUs (one instance) at the first barrier.
+        let mut hook = RecordingHook {
+            snapshots: Vec::new(),
+            replan_after: Some((0, vec![4, 4, 4])),
+        };
+        let adapted = mk().run_hooked(&configs(8, 1), &mut hook).unwrap();
+        assert_eq!(adapted.stages[0].instances, 2, "splice is suffix-only");
+        for s in &adapted.stages[1..] {
+            assert_eq!(s.instances, 1, "stage {} kept the old plan", s.stage);
+        }
+        // Half the cluster from stage 1 on: cheaper, slower, same winner.
+        assert!(adapted.total_cost() < open.total_cost());
+        assert_eq!(adapted.best_trial, open.best_trial);
+        assert_eq!(adapted.best_accuracy, open.best_accuracy);
+    }
+
+    #[test]
+    fn barrier_hook_bad_suffixes_are_rejected() {
+        let task = resnet101_cifar10();
+        let mk = || {
+            Executor::new(
+                small_spec(),
+                AllocationPlan::new(vec![8, 8, 8, 8]),
+                task.clone(),
+                physics(&task, 1024),
+                cloud(),
+            )
+            .unwrap()
+        };
+        struct BadLen;
+        impl BarrierHook for BadLen {
+            fn at_barrier(&mut self, _: &BarrierSnapshot<'_>) -> Option<Vec<u32>> {
+                Some(vec![4]) // three stages remain after the first barrier
+            }
+        }
+        assert!(matches!(
+            mk().run_hooked(&configs(8, 1), &mut BadLen),
+            Err(RbError::InvalidPlan(_))
+        ));
+        struct ZeroGpus;
+        impl BarrierHook for ZeroGpus {
+            fn at_barrier(&mut self, _: &BarrierSnapshot<'_>) -> Option<Vec<u32>> {
+                Some(vec![0, 4, 4])
+            }
+        }
+        assert!(matches!(
+            mk().run_hooked(&configs(8, 1), &mut ZeroGpus),
+            Err(RbError::InvalidPlan(_))
+        ));
     }
 
     #[test]

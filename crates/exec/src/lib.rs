@@ -34,6 +34,6 @@ pub mod scheduler;
 
 pub use asha::{run_asha, AshaConfig, AshaReport};
 pub use cluster::ClusterManager;
-pub use executor::{ExecOptions, Executor};
+pub use executor::{BarrierHook, BarrierSnapshot, ExecOptions, Executor, NoopHook};
 pub use report::{render_timeline, ExecutionReport, ExecutionTrace, StageRecord, TraceEvent};
 pub use scheduler::{schedule_stage, StageSchedule};

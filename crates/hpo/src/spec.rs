@@ -132,6 +132,31 @@ impl ExperimentSpec {
         let next = self.stages.get(i + 1).map(|s| s.num_trials).unwrap_or(0);
         cur - next
     }
+
+    /// The residual specification from stage `start` onward: the suffix
+    /// an online controller re-plans when stages `0..start` have already
+    /// executed. Stage `start` of this spec becomes stage 0 of the
+    /// residual; survivors carry their checkpointed progress, so the
+    /// residual's iteration counts are unchanged (stage iterations are
+    /// *additional* work, not cumulative).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbError::InvalidSpec`] when `start` is out of range
+    /// (there is no residual work once every stage has run).
+    pub fn suffix(&self, start: usize) -> Result<ExperimentSpec> {
+        if start >= self.stages.len() {
+            return Err(RbError::InvalidSpec(format!(
+                "suffix start {start} out of range (spec has {} stages)",
+                self.stages.len()
+            )));
+        }
+        // A suffix of a valid spec is valid: non-empty by the bound
+        // check, and per-stage/monotonicity invariants are inherited.
+        Ok(ExperimentSpec {
+            stages: self.stages[start..].to_vec(),
+        })
+    }
 }
 
 impl ExperimentSpecBuilder {
@@ -231,6 +256,21 @@ mod tests {
         assert_eq!(s.num_stages(), 1);
         assert_eq!(s.total_trial_iters(), 1600);
         assert_eq!(s.terminated_after(0), 16);
+    }
+
+    #[test]
+    fn suffix_truncates_completed_stages() {
+        let s = spec();
+        let tail = s.suffix(1).unwrap();
+        assert_eq!(tail.num_stages(), 3);
+        assert_eq!(tail.get_stage(0).unwrap(), (10, 3));
+        assert_eq!(tail.get_stage(2).unwrap(), (1, 37));
+        assert_eq!(tail.total_trial_iters(), 10 * 3 + 3 * 9 + 37);
+        // Whole spec and single-stage tail are both valid suffixes.
+        assert_eq!(s.suffix(0).unwrap(), s);
+        assert_eq!(s.suffix(3).unwrap().num_stages(), 1);
+        // Past the end there is no residual work.
+        assert!(s.suffix(4).is_err());
     }
 
     #[test]

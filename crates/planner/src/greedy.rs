@@ -37,6 +37,15 @@ pub struct PlannerConfig {
     /// Hard cap on greedy iterations (defence against pathological
     /// simulator outputs; generous relative to any fair ladder's length).
     pub max_steps: usize,
+    /// Adaptive sample counts: when `Some(k)` (with `k` below the
+    /// simulator's configured fidelity), warm-start screening and greedy
+    /// descent predict with only `k` Monte-Carlo samples — sharing the
+    /// full-fidelity simulator's stage-sample memo, since sample sets are
+    /// prefix-consistent per seed — and only the plans that survive the
+    /// pruning (each descent's result) are re-scored at full fidelity.
+    /// The prediction returned to the caller is always full fidelity.
+    /// `None` (the default) predicts everything at full fidelity.
+    pub exploration_samples: Option<u32>,
 }
 
 impl Default for PlannerConfig {
@@ -47,6 +56,7 @@ impl Default for PlannerConfig {
             improvement_threshold: Cost::from_dollars(0.01),
             use_instance_jump: true,
             max_steps: 10_000,
+            exploration_samples: None,
         }
     }
 }
@@ -197,6 +207,10 @@ pub fn plan_rubberband(
 ) -> Result<GreedyOutcome> {
     let (static_plan, static_pred) =
         plan_static_optimal(sim, spec, deadline, config.max_gpus_per_trial)?;
+    // Adaptive sample counts: screen and descend at reduced fidelity,
+    // re-score survivors at full fidelity below.
+    let explore = exploration_sim(sim, config);
+    let search_sim = explore.as_ref().unwrap_or(sim);
     let mut best: Option<(AllocationPlan, Prediction)> = None;
     let mut total_steps = 0;
     // Predict every warm start in one batch before descending from any of
@@ -209,15 +223,27 @@ pub fn plan_rubberband(
             AllocationPlan::flat(static_plan.gpus(0).saturating_mul(mult), spec.num_stages())
         })
         .collect();
-    let start_preds = sim.predict_batch(spec, &starts);
+    let start_preds = search_sim.predict_batch(spec, &starts);
     for (start, start_pred) in starts.into_iter().zip(start_preds) {
         if !start_pred?.feasible(deadline) {
             // A bigger static cluster that *misses* the deadline (e.g.
             // overheads grow with size) is not a usable warm start.
             continue;
         }
-        let (plan, pred, steps) = optimize_plan(sim, spec, deadline, start, config)?;
+        let (plan, pred, steps) = optimize_plan(search_sim, spec, deadline, start, config)?;
         total_steps += steps;
+        // The survivor of this descent is re-scored at full fidelity; a
+        // plan that only looked feasible at exploration fidelity is
+        // dropped here.
+        let pred = if explore.is_some() {
+            let full = sim.predict(spec, &plan)?;
+            if !full.feasible(deadline) {
+                continue;
+            }
+            full
+        } else {
+            pred
+        };
         let better = match &best {
             None => true,
             Some((_, b)) => pred.cost < b.cost,
@@ -229,6 +255,11 @@ pub fn plan_rubberband(
     let (plan, prediction) = best.ok_or_else(|| RbError::Infeasible {
         reason: "no feasible warm start".to_string(),
     })?;
+    debug_assert_eq!(
+        prediction.samples,
+        sim.config().samples.max(1),
+        "selected plan must be scored at full fidelity"
+    );
     // Guarantee (§4.3): never worse than the optimal static allocation.
     let (plan, prediction) = if prediction.cost <= static_pred.cost {
         (plan, prediction)
@@ -240,6 +271,124 @@ pub fn plan_rubberband(
         prediction,
         static_plan,
         static_prediction: static_pred,
+        steps: total_steps,
+    })
+}
+
+/// The reduced-fidelity simulator for candidate exploration, when the
+/// config enables one that is actually cheaper than `sim` itself.
+fn exploration_sim(sim: &Simulator, config: &PlannerConfig) -> Option<Simulator> {
+    config
+        .exploration_samples
+        .filter(|&k| k > 0 && k < sim.config().samples.max(1))
+        .map(|k| sim.with_samples(k))
+}
+
+/// A mid-job re-plan of the *residual* experiment: the stages that have
+/// not yet executed, under whatever deadline remains.
+#[derive(Debug, Clone)]
+pub struct ResidualOutcome {
+    /// The chosen allocation for the remaining stages.
+    pub plan: AllocationPlan,
+    /// Its full-fidelity prediction.
+    pub prediction: Prediction,
+    /// Whether that prediction fits the residual deadline. Unlike
+    /// offline planning, an infeasible residual is not an error — the
+    /// controller must still apply *some* plan, and the minimum-JCT one
+    /// loses the least.
+    pub feasible: bool,
+    /// Greedy steps taken across all warm starts.
+    pub steps: usize,
+}
+
+/// Re-plans the remaining stages of a job from the plan currently being
+/// executed.
+///
+/// `warm_start` is the current plan's suffix for the residual stages
+/// (same length as `residual_spec`). Candidates are that suffix scaled by
+/// the configured warm-start multipliers — capped per stage at
+/// `trials × max_gpus_per_trial` — each screened and descended exactly
+/// like [`plan_rubberband`] (honouring
+/// [`PlannerConfig::exploration_samples`]), then re-scored at full
+/// fidelity. The cheapest plan that fits `residual_deadline` wins; when
+/// none fits, the minimum-JCT candidate is returned with
+/// [`ResidualOutcome::feasible`] `== false` instead of an error, because
+/// a controller mid-job has no choice but to keep executing.
+///
+/// There is deliberately no static-plan fallback here: the residual
+/// spec's stage 0 already has survivors and held instances, and the warm
+/// start (the incumbent plan) is always among the candidates, so the
+/// result is never worse *under the model* than not re-planning.
+///
+/// # Errors
+///
+/// Returns [`rb_core::RbError::InvalidPlan`] when `warm_start` and
+/// `residual_spec` disagree on stage count; propagates simulator errors.
+pub fn plan_residual(
+    sim: &Simulator,
+    residual_spec: &ExperimentSpec,
+    residual_deadline: SimDuration,
+    warm_start: &AllocationPlan,
+    config: &PlannerConfig,
+) -> Result<ResidualOutcome> {
+    if warm_start.num_stages() != residual_spec.num_stages() {
+        return Err(RbError::InvalidPlan(format!(
+            "warm start has {} stages, residual spec has {}",
+            warm_start.num_stages(),
+            residual_spec.num_stages()
+        )));
+    }
+    let explore = exploration_sim(sim, config);
+    let search_sim = explore.as_ref().unwrap_or(sim);
+    let mut starts: Vec<AllocationPlan> = Vec::new();
+    for &mult in config.warm_start_multipliers.iter().filter(|&&m| m > 0) {
+        let gpus = (0..residual_spec.num_stages())
+            .map(|s| {
+                let trials = residual_spec.get_stage(s)?.0;
+                let cap = trials.saturating_mul(config.max_gpus_per_trial.max(1));
+                Ok(warm_start.gpus(s).saturating_mul(mult).clamp(1, cap))
+            })
+            .collect::<Result<Vec<u32>>>()?;
+        let start = AllocationPlan::new(gpus);
+        if !starts.contains(&start) {
+            starts.push(start);
+        }
+    }
+    let start_preds = search_sim.predict_batch(residual_spec, &starts);
+    let mut total_steps = 0;
+    let mut evaluated: Vec<(AllocationPlan, Prediction)> = Vec::new();
+    for (start, start_pred) in starts.into_iter().zip(start_preds) {
+        let start_pred = start_pred?;
+        let plan = if start_pred.feasible(residual_deadline) {
+            let (plan, _, steps) =
+                optimize_plan(search_sim, residual_spec, residual_deadline, start, config)?;
+            total_steps += steps;
+            plan
+        } else {
+            // Even an infeasible start is kept as a candidate: at full
+            // fidelity it may fit, and if nothing fits we want the
+            // fastest option on the table.
+            start
+        };
+        if !evaluated.iter().any(|(p, _)| *p == plan) {
+            let full = sim.predict(residual_spec, &plan)?;
+            evaluated.push((plan, full));
+        }
+    }
+    let winner = evaluated
+        .iter()
+        .filter(|(_, p)| p.feasible(residual_deadline))
+        .min_by(|(_, a), (_, b)| a.cost.cmp(&b.cost))
+        .or_else(|| evaluated.iter().min_by(|(_, a), (_, b)| a.jct.cmp(&b.jct)))
+        .cloned()
+        .ok_or_else(|| RbError::Infeasible {
+            reason: "no warm-start candidates".to_string(),
+        })?;
+    let feasible = winner.1.feasible(residual_deadline);
+    Ok(ResidualOutcome {
+        plan: winner.0,
+        prediction: winner.1,
+        feasible,
         steps: total_steps,
     })
 }
@@ -380,6 +529,75 @@ mod tests {
             .prediction
             .cost;
         assert!(tight >= loose, "tight {tight} vs loose {loose}");
+    }
+
+    #[test]
+    fn adaptive_samples_rescore_the_winner_at_full_fidelity() {
+        let sim = sublinear_sim().with_config(SimConfig {
+            samples: 24,
+            seed: 11,
+            sync_overhead_secs: 1.0,
+        });
+        let cfg = PlannerConfig {
+            exploration_samples: Some(3),
+            ..PlannerConfig::default()
+        };
+        let out = plan_rubberband(&sim, &spec(), SimDuration::from_mins(60), &cfg).unwrap();
+        // The returned prediction is the full-fidelity score of the plan,
+        // bit-identical to predicting it directly.
+        assert_eq!(out.prediction.samples, 24);
+        assert_eq!(out.prediction, sim.predict(&spec(), &out.plan).unwrap());
+        assert!(out.prediction.feasible(SimDuration::from_mins(60)));
+        // And never worse than static, as always.
+        assert!(out.prediction.cost <= out.static_prediction.cost);
+    }
+
+    #[test]
+    fn residual_replanning_grows_allocations_under_a_shrunken_deadline() {
+        let sim = sublinear_sim();
+        let s = spec();
+        let cfg = PlannerConfig::default();
+        let out = plan_rubberband(&sim, &s, SimDuration::from_mins(60), &cfg).unwrap();
+        // Pretend stage 0 just finished: plan the 4-stage residual.
+        let residual = s.suffix(1).unwrap();
+        let warm: AllocationPlan =
+            AllocationPlan::new((1..s.num_stages()).map(|i| out.plan.gpus(i)).collect());
+        // Generous residual deadline: the incumbent suffix must stay
+        // acceptable (re-planning without drift never hurts under the
+        // model).
+        let loose = plan_residual(&sim, &residual, SimDuration::from_mins(55), &warm, &cfg).unwrap();
+        assert!(loose.feasible);
+        let warm_pred = sim.predict(&residual, &warm).unwrap();
+        assert!(loose.prediction.cost <= warm_pred.cost);
+        // Tight residual deadline: the re-planner must spend more to go
+        // faster than the incumbent suffix would.
+        let tight_deadline = SimDuration::from_secs_f64(warm_pred.jct.as_secs_f64() * 0.7);
+        let tight = plan_residual(&sim, &residual, tight_deadline, &warm, &cfg).unwrap();
+        assert!(
+            tight.prediction.jct < warm_pred.jct,
+            "residual re-plan {} not faster than incumbent {}",
+            tight.prediction.jct,
+            warm_pred.jct
+        );
+        // Feasible or not, it returns a plan rather than erroring.
+        assert_eq!(tight.plan.num_stages(), residual.num_stages());
+    }
+
+    #[test]
+    fn residual_replanning_rejects_mismatched_warm_start() {
+        let sim = sublinear_sim();
+        let residual = spec().suffix(2).unwrap();
+        let warm = AllocationPlan::new(vec![4, 2]); // 2 stages vs 3
+        assert!(matches!(
+            plan_residual(
+                &sim,
+                &residual,
+                SimDuration::from_mins(30),
+                &warm,
+                &PlannerConfig::default()
+            ),
+            Err(RbError::InvalidPlan(_))
+        ));
     }
 
     #[test]

@@ -29,7 +29,9 @@ pub mod select;
 pub mod static_planner;
 
 pub use budget::{plan_min_jct, BudgetPlannerConfig};
-pub use greedy::{optimize_plan, plan_rubberband, GreedyOutcome, PlannerConfig};
+pub use greedy::{
+    optimize_plan, plan_residual, plan_rubberband, GreedyOutcome, PlannerConfig, ResidualOutcome,
+};
 pub use multi::{plan_multi_job, MultiJobDiscipline, MultiJobPlan};
 pub use naive::plan_naive_elastic;
 pub use policy::{plan_with_policy, PlanOutcome, Policy};

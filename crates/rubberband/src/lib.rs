@@ -56,6 +56,7 @@
 
 pub use rb_cloud;
 pub use rb_core;
+pub use rb_ctrl;
 pub use rb_exec;
 pub use rb_hpo;
 pub use rb_placement;
@@ -66,6 +67,7 @@ pub use rb_sim;
 pub use rb_train;
 
 use rb_core::{Cost, Prng, Result, SimDuration};
+use rb_ctrl::{AdaptationLog, AdaptiveController, ControllerConfig};
 use rb_exec::{ExecOptions, ExecutionReport, Executor};
 use rb_hpo::{ExperimentSpec, SearchSpace};
 use rb_planner::{plan_with_policy, PlanOutcome, PlannerConfig, Policy};
@@ -77,6 +79,7 @@ use rb_train::TaskModel;
 pub mod prelude {
     pub use rb_cloud::{BillingModel, CloudPricing, PricingTier};
     pub use rb_core::{Cost, Distribution, Prng, RbError, Result, SimDuration, SimTime};
+    pub use rb_ctrl::{AdaptiveController, ControllerConfig, DriftConfig, ReplanEvent};
     pub use rb_exec::{ExecOptions, ExecutionReport, Executor};
     pub use rb_hpo::{Config, Dim, ExperimentSpec, SearchSpace, ShaParams};
     pub use rb_planner::{PlanOutcome, PlannerConfig, Policy};
@@ -218,6 +221,76 @@ pub fn execute_with(
     )?
     .with_options(options)
     .run(&configs)
+}
+
+/// The outcome of a closed-loop, adaptively executed experiment.
+#[derive(Debug, Clone)]
+pub struct AdaptiveReport {
+    /// The execution report (JCT, cost, winner, trace).
+    pub report: ExecutionReport,
+    /// Drift readings and re-planning decisions, in barrier order.
+    pub adaptation: AdaptationLog,
+    /// The deadline the controller defended.
+    pub deadline: SimDuration,
+}
+
+impl AdaptiveReport {
+    /// True when the executed JCT fit the deadline.
+    pub fn deadline_met(&self) -> bool {
+        self.report.jct <= self.deadline
+    }
+}
+
+/// [`execute_with`] wrapped in the online adaptation loop (rb-ctrl): the
+/// controller watches every stage barrier, compares observed stage spans
+/// with `model`'s Monte-Carlo envelope, and re-plans the remaining stages
+/// — through the executor's checkpoint-safe barrier splice — when drift
+/// or spot preemptions threaten `deadline`.
+///
+/// `physics` is ground truth (what the executor runs); `model` is the
+/// planner's fitted view (what the plan and the drift envelope are
+/// computed from). With `physics == model`, no spot churn, and a sane
+/// deadline the controller never intervenes and the result equals
+/// [`execute_with`] bit for bit.
+///
+/// # Errors
+///
+/// Propagates controller construction errors (a plan that does not match
+/// the spec) and executor errors.
+#[allow(clippy::too_many_arguments)] // Mirrors `execute_with` plus the control-loop inputs.
+pub fn execute_adaptive(
+    spec: &ExperimentSpec,
+    plan: &AllocationPlan,
+    task: &TaskModel,
+    physics: &ModelProfile,
+    model: &ModelProfile,
+    cloud: &CloudProfile,
+    space: &SearchSpace,
+    deadline: SimDuration,
+    options: ExecOptions,
+    config: &ControllerConfig,
+) -> Result<AdaptiveReport> {
+    let sim = Simulator::new(model.clone(), cloud.clone());
+    let mut controller =
+        AdaptiveController::new(sim, spec.clone(), plan, deadline, config.clone())?;
+    // Identical config sampling to `execute_with`: the adaptive and
+    // open-loop runs of one seed tune the same trials.
+    let mut rng = Prng::seed_from_u64(options.seed ^ 0x005A_3CE0_u64);
+    let configs = space.sample_n(spec.initial_trials() as usize, &mut rng);
+    let report = Executor::new(
+        spec.clone(),
+        plan.clone(),
+        task.clone(),
+        physics.clone(),
+        cloud.clone(),
+    )?
+    .with_options(options)
+    .run_hooked(&configs, &mut controller)?;
+    Ok(AdaptiveReport {
+        report,
+        adaptation: controller.into_log(),
+        deadline,
+    })
 }
 
 /// The outcome of executing a Hyperband-style multi-job.
@@ -374,6 +447,42 @@ mod tests {
         assert!(report.best_accuracy > 0.1);
         let sum: Cost = report.reports.iter().map(|r| r.total_cost()).sum();
         assert_eq!(report.total_cost, sum);
+    }
+
+    #[test]
+    fn execute_adaptive_matches_execute_when_calibrated() {
+        let spec = ShaParams::new(8, 1, 8).generate().unwrap();
+        let task = rb_train::task::resnet50_cifar10();
+        let physics = ModelProfile::exact_for_task(&task, 512, 4);
+        let cloud = CloudProfile::new(CloudPricing::on_demand(P3_8XLARGE));
+        let deadline = SimDuration::from_hours(2);
+        let outcome = compile_plan(&spec, &physics, &cloud, deadline).unwrap();
+        let space = SearchSpace::new()
+            .add("lr", Dim::LogUniform { lo: 1e-3, hi: 1.0 })
+            .build()
+            .unwrap();
+        let open = execute(&spec, &outcome.plan, &task, &physics, &cloud, &space, 3).unwrap();
+        let adaptive = execute_adaptive(
+            &spec,
+            &outcome.plan,
+            &task,
+            &physics,
+            &physics, // model == physics: calibrated
+            &cloud,
+            &space,
+            deadline,
+            ExecOptions {
+                seed: 3,
+                ..ExecOptions::default()
+            },
+            &ControllerConfig::default(),
+        )
+        .unwrap();
+        assert!(adaptive.deadline_met());
+        assert_eq!(adaptive.adaptation.applied(), 0);
+        assert_eq!(adaptive.report.jct, open.jct);
+        assert_eq!(adaptive.report.compute_cost, open.compute_cost);
+        assert_eq!(adaptive.report.best_accuracy, open.best_accuracy);
     }
 
     #[test]

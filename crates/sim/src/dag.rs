@@ -166,7 +166,18 @@ pub struct DagTemplate {
     /// sampling configuration `(stage, gpus_per_trial, parallel_slots,
     /// new_instances, seed)` — see [`DagTemplate::stage_samples`].
     stage_memo: Mutex<HashMap<(usize, u32, u32, u32, u64), Arc<Vec<StageSample>>>>,
+    /// Generation cap on `stage_memo`: when an insert would push the memo
+    /// past this many entries the whole memo is dropped and re-grown (a
+    /// new generation). Entries are pure functions of their key, so
+    /// eviction can never change results — only make them slower to
+    /// recompute. `0` disables the cap.
+    memo_cap: usize,
 }
+
+/// Default [`DagTemplate`] stage-sample memo capacity, in entries. Sized
+/// for planning workloads (a greedy descent touches a few hundred stage
+/// configurations); long-running re-planning loops stay bounded.
+pub const DEFAULT_STAGE_MEMO_CAP: usize = 4096;
 
 /// One sampled execution of a single stage, relative to the stage's start
 /// (the previous stage's barrier). Because every node's randomness is
@@ -204,7 +215,15 @@ impl DagTemplate {
             model: model.clone(),
             train_dists: Mutex::new(HashMap::new()),
             stage_memo: Mutex::new(HashMap::new()),
+            memo_cap: DEFAULT_STAGE_MEMO_CAP,
         }
+    }
+
+    /// Overrides the stage-sample memo capacity (`0` = unbounded).
+    #[must_use]
+    pub fn with_memo_cap(mut self, cap: usize) -> DagTemplate {
+        self.memo_cap = cap;
+        self
     }
 
     /// Number of stages in the underlying spec.
@@ -490,10 +509,13 @@ impl DagTemplate {
                 })
                 .collect(),
         );
-        self.stage_memo
-            .lock()
-            .expect("stage-sample memo poisoned")
-            .insert(key, v.clone());
+        let mut memo = self.stage_memo.lock().expect("stage-sample memo poisoned");
+        if self.memo_cap > 0 && memo.len() >= self.memo_cap && !memo.contains_key(&key) {
+            // Generation eviction: drop the whole memo rather than track
+            // recency. Outstanding `Arc`s handed to callers stay valid.
+            memo.clear();
+        }
+        memo.insert(key, v.clone());
         v
     }
 

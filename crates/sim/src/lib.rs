@@ -24,4 +24,6 @@ pub mod simulate;
 
 pub use dag::{DagNode, DagTemplate, ExecDag, Latency, NodeKind, StageSample};
 pub use plan::AllocationPlan;
-pub use simulate::{EngineConfig, Prediction, RunSample, SimConfig, Simulator, StageBreakdown};
+pub use simulate::{
+    EngineConfig, Prediction, RunSample, SimConfig, Simulator, StageBreakdown, StageQuantiles,
+};

@@ -95,6 +95,26 @@ impl Prediction {
     }
 }
 
+/// Per-stage span quantiles of the Monte-Carlo prediction — the envelope
+/// an online drift monitor compares observed stage spans against. The
+/// span covers the whole barrier-to-barrier interval (scale-up + init +
+/// training + sync), matching what an executor can observe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageQuantiles {
+    /// Stage index.
+    pub stage: usize,
+    /// Samples the quantiles were computed over.
+    pub samples: u32,
+    /// Mean stage span in seconds.
+    pub mean_secs: f64,
+    /// 10th-percentile span (nearest rank).
+    pub p10_secs: f64,
+    /// Median span.
+    pub p50_secs: f64,
+    /// 90th-percentile span.
+    pub p90_secs: f64,
+}
+
 /// Per-stage breakdown of a prediction (means over the Monte-Carlo
 /// samples) — where the money and time go.
 #[derive(Debug, Clone, PartialEq)]
@@ -130,19 +150,34 @@ pub struct EngineConfig {
     /// starts, greedy revisits, repeated planning runs — hit memory
     /// instead of re-simulating.
     pub plan_cache: bool,
+    /// Generation cap on the plan-prediction cache, in memoized entries
+    /// across all specs. When an insert would push the cache past the
+    /// cap, the cache is reset and re-grown; cached values are pure
+    /// functions of their keys, so eviction never changes results. `0`
+    /// disables the cap. Keeps long-running re-planning loops from
+    /// growing memory without bound.
+    pub plan_cache_cap: usize,
     /// Reuse the per-spec [`DagTemplate`] — fitted train-task
     /// distributions plus the per-stage Monte-Carlo sample memo — across
     /// candidate plans, instead of rebuilding and re-sampling from scratch
     /// for every prediction.
     pub dag_templates: bool,
+    /// Generation cap on each template's stage-sample memo, in entries
+    /// (see [`crate::dag::DEFAULT_STAGE_MEMO_CAP`]). `0` disables.
+    pub stage_memo_cap: usize,
 }
+
+/// Default [`EngineConfig::plan_cache_cap`], in memoized predictions.
+pub const DEFAULT_PLAN_CACHE_CAP: usize = 32_768;
 
 impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
             threads: 0,
             plan_cache: true,
+            plan_cache_cap: DEFAULT_PLAN_CACHE_CAP,
             dag_templates: true,
+            stage_memo_cap: crate::dag::DEFAULT_STAGE_MEMO_CAP,
         }
     }
 }
@@ -157,6 +192,7 @@ impl EngineConfig {
             threads: 1,
             plan_cache: false,
             dag_templates: false,
+            ..EngineConfig::default()
         }
     }
 
@@ -173,6 +209,18 @@ impl EngineConfig {
 /// not be part of the key because [`Simulator::with_config`] detaches the
 /// caches.
 type PredictionCache = HashMap<u64, HashMap<Vec<u32>, Prediction>>;
+
+/// Resets the prediction cache when inserting `incoming` more entries
+/// would exceed `cap` (generation eviction; `cap == 0` disables).
+fn evict_generation(cache: &mut PredictionCache, cap: usize, incoming: usize) {
+    if cap == 0 {
+        return;
+    }
+    let total: usize = cache.values().map(HashMap::len).sum();
+    if total + incoming > cap {
+        cache.clear();
+    }
+}
 
 /// Expands a plan's instance ladder into release groups: `(stage,
 /// provisioned_at, count)` triples in release order. Instances are
@@ -268,6 +316,26 @@ impl Simulator {
         self
     }
 
+    /// A simulator drawing `samples` Monte-Carlo samples per prediction,
+    /// **sharing this simulator's DAG templates** (and their stage-sample
+    /// memos) but with its own plan-prediction cache.
+    ///
+    /// Sample `i` is a pure function of `(config.seed, i)`, so the sample
+    /// set at a lower count is a strict prefix of the sample set at a
+    /// higher one: a low-fidelity simulator re-uses (and pre-warms) the
+    /// full-fidelity stage samples. Cached [`Prediction`]s embed the
+    /// sample count, which is why the plan cache is detached.
+    ///
+    /// This is the planner's fidelity ladder: explore candidates cheaply,
+    /// then re-score survivors on the full-fidelity parent.
+    #[must_use]
+    pub fn with_samples(&self, samples: u32) -> Simulator {
+        let mut low = self.clone();
+        low.config.samples = samples;
+        low.predictions = Arc::new(Mutex::new(HashMap::new()));
+        low
+    }
+
     /// The cloud profile in use.
     pub fn cloud(&self) -> &CloudProfile {
         &self.cloud
@@ -306,12 +374,15 @@ impl Simulator {
         templates
             .entry(fp)
             .or_insert_with(|| {
-                Arc::new(DagTemplate::new(
-                    spec,
-                    &self.model,
-                    &self.cloud,
-                    self.config.sync_overhead_secs,
-                ))
+                Arc::new(
+                    DagTemplate::new(
+                        spec,
+                        &self.model,
+                        &self.cloud,
+                        self.config.sync_overhead_secs,
+                    )
+                    .with_memo_cap(self.engine.stage_memo_cap),
+                )
             })
             .clone()
     }
@@ -515,9 +586,9 @@ impl Simulator {
             return Ok(*hit);
         }
         let pred = self.predict_uncached(spec, plan, self.engine.threads)?;
-        self.predictions
-            .lock()
-            .expect("prediction cache poisoned")
+        let mut cache = self.predictions.lock().expect("prediction cache poisoned");
+        evict_generation(&mut cache, self.engine.plan_cache_cap, 1);
+        cache
             .entry(fp)
             .or_default()
             .insert(plan.as_slice().to_vec(), pred);
@@ -604,6 +675,8 @@ impl Simulator {
         };
         if self.engine.plan_cache {
             let mut cache = self.predictions.lock().expect("prediction cache poisoned");
+            let incoming = computed.iter().filter(|r| r.is_ok()).count();
+            evict_generation(&mut cache, self.engine.plan_cache_cap, incoming);
             let per_plan = cache.entry(fp).or_default();
             for (&i, result) in compute_idx.iter().zip(&computed) {
                 if let Ok(pred) = result {
@@ -648,6 +721,63 @@ impl Simulator {
             self.config.sync_overhead_secs,
         );
         self.predict_with_template(&template, plan, 1)
+    }
+
+    /// Exports per-stage span quantiles for `plan` — the prediction
+    /// envelope a closed-loop controller monitors drift against.
+    ///
+    /// Served from the same canonical stage-sample memo as
+    /// [`Simulator::predict`] (identical keys, identical counter-derived
+    /// streams), so the quantiles are exactly the distribution the
+    /// plan's prediction was composed from, and computing them warms the
+    /// cache a later re-planning pass will hit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`rb_core::RbError::InvalidPlan`] when the plan does not
+    /// validate against the spec.
+    pub fn stage_quantiles(
+        &self,
+        spec: &ExperimentSpec,
+        plan: &AllocationPlan,
+    ) -> Result<Vec<StageQuantiles>> {
+        let template = if self.engine.dag_templates {
+            self.template_for(spec)
+        } else {
+            Arc::new(DagTemplate::new(
+                spec,
+                &self.model,
+                &self.cloud,
+                self.config.sync_overhead_secs,
+            ))
+        };
+        template.validate(plan)?;
+        let n = self.config.samples.max(1);
+        let pricing = &self.cloud.pricing;
+        let (_, new_inst, _) = template.instance_ladder(plan);
+        Ok((0..template.num_stages())
+            .map(|s| {
+                let ss =
+                    template.stage_samples(s, plan.gpus(s), new_inst[s], self.config.seed, n, pricing);
+                // The memo may hold more samples than this simulator's
+                // fidelity; quantiles use exactly the first `n` (the
+                // sample set is prefix-consistent per seed).
+                let mut durs: Vec<f64> = ss.iter().take(n as usize).map(|x| x.dur).collect();
+                durs.sort_by(f64::total_cmp);
+                let q = |p: f64| {
+                    let idx = (p * (durs.len() - 1) as f64).round() as usize;
+                    durs[idx.min(durs.len() - 1)]
+                };
+                StageQuantiles {
+                    stage: s,
+                    samples: n,
+                    mean_secs: durs.iter().sum::<f64>() / durs.len() as f64,
+                    p10_secs: q(0.10),
+                    p50_secs: q(0.50),
+                    p90_secs: q(0.90),
+                }
+            })
+            .collect())
     }
 
     /// Explains a plan stage by stage: mean duration and cost share per

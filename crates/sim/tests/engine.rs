@@ -167,6 +167,96 @@ fn batch_matches_one_at_a_time_prediction() {
 }
 
 #[test]
+fn plan_cache_generation_cap_bounds_memory_without_changing_results() {
+    let capped = sim().with_engine(EngineConfig {
+        plan_cache_cap: 2,
+        ..EngineConfig::default()
+    });
+    let reference = sim();
+    for plan in plans() {
+        assert_eq!(
+            capped.predict(&spec(), &plan).unwrap(),
+            reference.predict_reference(&spec(), &plan).unwrap(),
+            "{plan}: eviction changed the prediction"
+        );
+        assert!(
+            capped.cached_predictions() <= 2,
+            "cache grew past the cap: {}",
+            capped.cached_predictions()
+        );
+    }
+    // Re-predicting after eviction still agrees (recomputed, not stale).
+    let p = &plans()[0];
+    assert_eq!(
+        capped.predict(&spec(), p).unwrap(),
+        reference.predict_reference(&spec(), p).unwrap()
+    );
+}
+
+#[test]
+fn stage_memo_generation_cap_bounds_the_template() {
+    let capped = sim().with_engine(EngineConfig {
+        stage_memo_cap: 3,
+        ..EngineConfig::default()
+    });
+    let reference = sim();
+    for plan in plans() {
+        assert_eq!(
+            capped.predict(&spec(), &plan).unwrap(),
+            reference.predict_reference(&spec(), &plan).unwrap(),
+            "{plan}: memo eviction changed the prediction"
+        );
+    }
+    let template = capped.template_for(&spec());
+    assert!(
+        template.cached_stage_configs() <= 3,
+        "stage memo grew past the cap: {}",
+        template.cached_stage_configs()
+    );
+}
+
+#[test]
+fn low_fidelity_simulator_shares_templates_and_prefix_samples() {
+    let full = sim(); // 17 samples
+    let low = full.with_samples(4);
+    let plan = AllocationPlan::new(vec![16, 8, 4, 2, 1]);
+    // Low fidelity equals a fresh 4-sample simulator bit-for-bit …
+    let fresh = sim().with_config(SimConfig {
+        samples: 4,
+        ..*sim().config()
+    });
+    assert_eq!(
+        low.predict(&spec(), &plan).unwrap(),
+        fresh.predict_reference(&spec(), &plan).unwrap()
+    );
+    // … and does not pollute the parent's plan cache, whose prediction
+    // stays at full fidelity.
+    assert_eq!(full.cached_predictions(), 0);
+    let p = full.predict(&spec(), &plan).unwrap();
+    assert_eq!(p.samples, 17);
+    assert_eq!(p, full.predict_reference(&spec(), &plan).unwrap());
+}
+
+#[test]
+fn stage_quantiles_are_ordered_and_deterministic() {
+    let s = sim();
+    let plan = AllocationPlan::new(vec![32, 16, 8, 4, 4]);
+    let qs = s.stage_quantiles(&spec(), &plan).unwrap();
+    assert_eq!(qs.len(), spec().num_stages());
+    for q in &qs {
+        assert!(q.p10_secs <= q.p50_secs && q.p50_secs <= q.p90_secs, "{q:?}");
+        assert!(q.mean_secs > 0.0);
+        assert_eq!(q.samples, 17);
+    }
+    // Same sample streams as the prediction: stage means sum to the JCT.
+    let pred = s.predict(&spec(), &plan).unwrap();
+    let total: f64 = qs.iter().map(|q| q.mean_secs).sum();
+    assert!((total - pred.jct.as_secs_f64()).abs() < 1e-3, "{total}");
+    // Deterministic across simulators and cache states.
+    assert_eq!(qs, sim().stage_quantiles(&spec(), &plan).unwrap());
+}
+
+#[test]
 fn clones_share_the_prediction_cache_but_with_config_detaches() {
     let a = sim();
     let b = a.clone();

@@ -369,6 +369,48 @@ mod tests {
     }
 
     #[test]
+    fn preemption_recovery_is_bit_identical_to_uninterrupted_training() {
+        // The executor's spot-recovery path in miniature: checkpoint at a
+        // barrier, lose mid-stage progress to a reclaim, restore on a
+        // replacement, retrain the stage. The recovered trial must be
+        // bit-identical — iteration count, per-point history, final
+        // accuracy — to one that was never preempted.
+        let task = resnet101_cifar10();
+        let cfg = Config::new()
+            .with_f64("lr", 0.05)
+            .with_f64("weight_decay", 1e-4);
+
+        // Uninterrupted reference: stage of 4 iters, then a stage of 9.
+        let mut reference = Trial::new(TrialId::new(7), cfg.clone(), 0x5EED);
+        reference.start().unwrap();
+        reference.advance(&task, 4).unwrap();
+        let ref_acc = reference.advance(&task, 9).unwrap();
+
+        // Victim: barrier checkpoint after 4 iters, 5 in-flight iters lost
+        // to the preemption (never checkpointed), worker migrates.
+        let mut store = CheckpointStore::new();
+        let mut victim = Trial::new(TrialId::new(7), cfg.clone(), 0x5EED);
+        victim.start().unwrap();
+        victim.advance(&task, 4).unwrap();
+        victim.pause().unwrap();
+        store.save(&victim, &RESNET101);
+        victim.start().unwrap();
+        victim.advance(&task, 5).unwrap();
+        drop(victim); // the node is gone
+
+        // Replacement restores from the barrier checkpoint and retrains.
+        let mut replacement = Trial::new(TrialId::new(7), cfg, 0x5EED);
+        store.restore(&mut replacement).unwrap();
+        assert_eq!(replacement.iters_done(), 4, "resumes at the barrier");
+        replacement.start().unwrap();
+        let rec_acc = replacement.advance(&task, 9).unwrap();
+
+        assert_eq!(rec_acc.to_bits(), ref_acc.to_bits(), "accuracy diverged");
+        assert_eq!(replacement.iters_done(), reference.iters_done());
+        assert_eq!(replacement.history(), reference.history());
+    }
+
+    #[test]
     fn restore_requires_matching_checkpoint() {
         let store = CheckpointStore::new();
         let mut tr = trained_trial();

@@ -44,4 +44,15 @@ cargo test -q --offline
 echo "== bench smoke =="
 cargo run -p rb-bench --release --offline --bin bench -- --smoke
 
+echo "== ext-adapt smoke (seeded; summary must match the expectation) =="
+# The sweep is bit-reproducible per seed and the summary line is counts
+# only, so it is stable across machines. A drift here means the
+# adaptation controller's behaviour changed.
+summary=$(mktemp)
+cargo run -p rb-bench --release --offline --bin repro -- quick ext-adapt \
+    | grep '^ext-adapt summary:' > "$summary"
+diff -u scripts/expected_ext_adapt.txt "$summary"
+rm -f "$summary"
+echo "ok"
+
 echo "verify: all checks passed"
