@@ -10,7 +10,8 @@
 //!   sequential baseline engine vs the parallel, memoized engine (cold
 //!   and warm caches), plus the speedup ratios;
 //! * `BENCH_sim.json` — raw prediction throughput at 1 thread and at the
-//!   host's available parallelism.
+//!   host's available parallelism, the adaptive-execution overhead, and
+//!   the tracing overhead (no-op recorder vs recording + JSONL export).
 //!
 //! Pass `--smoke` to run every section once with tiny workloads (used by
 //! `scripts/verify.sh` to keep the harness honest without burning CI
@@ -183,9 +184,16 @@ fn bench_placement(smoke: bool) {
     println!("placement: 8 reallocation rounds : {ms:7.3} ms");
 }
 
-/// End-to-end event-driven execution (the former executor bench).
-fn bench_executor(smoke: bool) {
-    let iters = if smoke { 1 } else { 10 };
+/// The executor bench workload: a 16-trial SHA job on exact ResNet-101
+/// physics (shared by the executor and tracing-overhead sections).
+fn exec_workload() -> (
+    rb_hpo::ExperimentSpec,
+    AllocationPlan,
+    rb_train::TaskModel,
+    ModelProfile,
+    CloudProfile,
+    SearchSpace,
+) {
     let task = resnet101_cifar10();
     let physics = ModelProfile::exact_for_task(&task, 1024, 4);
     let cloud = CloudProfile::new(CloudPricing::on_demand(P3_8XLARGE))
@@ -197,10 +205,54 @@ fn bench_executor(smoke: bool) {
         .unwrap();
     let spec = ShaParams::new(16, 1, 20).with_eta(2).generate().unwrap();
     let plan = AllocationPlan::new(vec![16, 8, 4, 4, 4]);
+    (spec, plan, task, physics, cloud, space)
+}
+
+/// End-to-end event-driven execution (the former executor bench).
+fn bench_executor(smoke: bool) {
+    let iters = if smoke { 1 } else { 10 };
+    let (spec, plan, task, physics, cloud, space) = exec_workload();
     let ms = time_ms(iters, || {
         rubberband::execute(&spec, &plan, &task, &physics, &cloud, &space, 7).unwrap();
     });
     println!("executor : 16-trial SHA run        : {ms:7.3} ms");
+}
+
+/// What recording costs: the executor workload with the default no-op
+/// recorder vs a `MemoryRecorder` sink *including* the JSONL export.
+/// The no-op path must stay free; the recording path bounds what a user
+/// pays for a full trace.
+fn bench_tracing(smoke: bool) -> String {
+    let iters = if smoke { 1 } else { 10 };
+    let (spec, plan, task, physics, cloud, space) = exec_workload();
+    let noop_ms = time_ms(iters, || {
+        rubberband::execute(&spec, &plan, &task, &physics, &cloud, &space, 7).unwrap();
+    });
+    let mut events = 0usize;
+    let recorded_ms = time_ms(iters, || {
+        let obs = rubberband::execute_observed(
+            &spec,
+            &plan,
+            &task,
+            &physics,
+            &cloud,
+            &space,
+            rb_exec::ExecOptions {
+                seed: 7,
+                ..rb_exec::ExecOptions::default()
+            },
+        )
+        .unwrap();
+        events = obs.log.events.len();
+        std::hint::black_box(rb_obs::export::export_jsonl(&obs.log));
+    });
+    let overhead = recorded_ms / noop_ms.max(1e-9);
+    println!(
+        "tracing  : record + JSONL export   : {recorded_ms:7.3} ms   ({overhead:5.2}x no-op, {events} events)"
+    );
+    format!(
+        "{{\n  \"benchmark\": \"tracing_overhead\",\n  \"iters\": {iters},\n  \"noop_recorder_ms\": {noop_ms:.3},\n  \"recording_plus_export_ms\": {recorded_ms:.3},\n  \"overhead_ratio\": {overhead:.3},\n  \"events\": {events}\n}}"
+    )
 }
 
 /// Closed-loop adaptive execution vs open loop: what the rb-ctrl barrier
@@ -268,10 +320,12 @@ fn main() {
     bench_placement(smoke);
     bench_executor(smoke);
     let adaptive_json = bench_exec_adaptive(smoke);
+    let tracing_json = bench_tracing(smoke);
     let sim_file = format!(
-        "{{\n\"predict_uncached\": {},\n\"exec_adaptive\": {}\n}}\n",
+        "{{\n\"predict_uncached\": {},\n\"exec_adaptive\": {},\n\"tracing_overhead\": {}\n}}\n",
         sim_json.trim_end(),
-        adaptive_json
+        adaptive_json,
+        tracing_json
     );
     std::fs::write("BENCH_planner.json", &planner_json).expect("write BENCH_planner.json");
     std::fs::write("BENCH_sim.json", &sim_file).expect("write BENCH_sim.json");

@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro <artifact>...        # fig4 fig9 fig10 fig11 fig12 table1 table2 table3 table4
+//! repro <artifact>...        # trace fig4 fig9 fig10 fig11 fig12 table1 table2 table3 table4
 //! repro all                  # everything (several minutes in release mode)
 //! repro quick                # reduced sweeps for a fast smoke run
 //! ```
@@ -19,7 +19,7 @@ fn fig4(csv_dir: Option<&Path>) {
     let rows = figures::fig4(&[1, 2, 4, 8, 16]);
     figures::print_fig4(&rows);
     if let Some(dir) = csv_dir {
-        csv::export_fig4(dir, &rows).unwrap_or_else(|e| eprintln!("{e}"));
+        csv::export_fig4(dir, &rows).unwrap_or_else(|e| rb_obs::log_error!("repro", "{e}"));
     }
 }
 
@@ -32,7 +32,7 @@ fn fig9(quick: bool, csv_dir: Option<&Path>) {
     let rows = figures::fig9(&sigmas, SimDuration::from_mins(20));
     figures::print_fig9(&rows);
     if let Some(dir) = csv_dir {
-        csv::export_fig9(dir, &rows).unwrap_or_else(|e| eprintln!("{e}"));
+        csv::export_fig9(dir, &rows).unwrap_or_else(|e| rb_obs::log_error!("repro", "{e}"));
     }
 }
 
@@ -46,7 +46,7 @@ fn fig10(quick: bool, csv_dir: Option<&Path>) {
         let rows = figures::fig10(gb, prices, SimDuration::from_mins(20));
         figures::print_fig10(name, gb, &rows);
         if let Some(dir) = csv_dir {
-            csv::export_fig10(dir, name, &rows).unwrap_or_else(|e| eprintln!("{e}"));
+            csv::export_fig10(dir, name, &rows).unwrap_or_else(|e| rb_obs::log_error!("repro", "{e}"));
         }
         println!();
     }
@@ -65,7 +65,7 @@ fn fig11(quick: bool, csv_dir: Option<&Path>) {
         let rows = figures::fig11(ks, per_function, SimDuration::from_mins(20));
         figures::print_fig11(name, &rows);
         if let Some(dir) = csv_dir {
-            csv::export_fig11(dir, key, &rows).unwrap_or_else(|e| eprintln!("{e}"));
+            csv::export_fig11(dir, key, &rows).unwrap_or_else(|e| rb_obs::log_error!("repro", "{e}"));
         }
         println!();
     }
@@ -81,7 +81,7 @@ fn fig12(quick: bool, csv_dir: Option<&Path>) {
         let rows = figures::fig12(init, &deadlines);
         figures::print_fig12(init, &rows);
         if let Some(dir) = csv_dir {
-            csv::export_fig12(dir, init, &rows).unwrap_or_else(|e| eprintln!("{e}"));
+            csv::export_fig12(dir, init, &rows).unwrap_or_else(|e| rb_obs::log_error!("repro", "{e}"));
         }
         println!();
     }
@@ -98,7 +98,7 @@ fn seeds(quick: bool) -> Vec<u64> {
 fn table1(quick: bool) {
     match tables::table1(&seeds(quick)) {
         Ok(rows) => tables::print_table1(&rows),
-        Err(e) => eprintln!("table1 failed: {e}"),
+        Err(e) => rb_obs::log_error!("repro", "table1 failed: {e}"),
     }
 }
 
@@ -110,17 +110,17 @@ fn table2_and_3(quick: bool) {
             println!();
             match tables::table3(&rows) {
                 Some(schedule) => tables::print_table3(&schedule),
-                None => eprintln!("table3: no feasible RubberBand plan"),
+                None => rb_obs::log_warn!("repro", "table3: no feasible RubberBand plan"),
             }
         }
-        Err(e) => eprintln!("table2 failed: {e}"),
+        Err(e) => rb_obs::log_error!("repro", "table2 failed: {e}"),
     }
 }
 
 fn table4(quick: bool) {
     match tables::table4(&seeds(quick)) {
         Ok(rows) => tables::print_table4(&rows),
-        Err(e) => eprintln!("table4 failed: {e}"),
+        Err(e) => rb_obs::log_error!("repro", "table4 failed: {e}"),
     }
 }
 
@@ -132,7 +132,7 @@ fn ext_spot(quick: bool) {
     };
     match ext::ext_spot(rates, 1) {
         Ok((od, rows)) => ext::print_ext_spot(&od, &rows),
-        Err(e) => eprintln!("ext-spot failed: {e}"),
+        Err(e) => rb_obs::log_error!("repro", "ext-spot failed: {e}"),
     }
 }
 
@@ -144,7 +144,7 @@ fn ext_adapt(quick: bool) {
     };
     match rb_bench::adapt::ext_adapt(slowdowns, rates, thresholds, 1) {
         Ok((deadline, rows)) => rb_bench::adapt::print_ext_adapt(deadline, &rows),
-        Err(e) => eprintln!("ext-adapt failed: {e}"),
+        Err(e) => rb_obs::log_error!("repro", "ext-adapt failed: {e}"),
     }
 }
 
@@ -156,21 +156,21 @@ fn ext_budget(quick: bool) {
     };
     match ext::ext_budget(budgets) {
         Ok(rows) => ext::print_ext_budget(&rows),
-        Err(e) => eprintln!("ext-budget failed: {e}"),
+        Err(e) => rb_obs::log_error!("repro", "ext-budget failed: {e}"),
     }
 }
 
 fn ext_asha(_quick: bool) {
     match ext::ext_asha(20, 1) {
         Ok(rows) => ext::print_ext_asha(20, &rows),
-        Err(e) => eprintln!("ext-asha failed: {e}"),
+        Err(e) => rb_obs::log_error!("repro", "ext-asha failed: {e}"),
     }
 }
 
 fn ext_instances(_quick: bool) {
     match ext::ext_instances(30) {
         Ok(rows) => ext::print_ext_instances(30, &rows),
-        Err(e) => eprintln!("ext-instances failed: {e}"),
+        Err(e) => rb_obs::log_error!("repro", "ext-instances failed: {e}"),
     }
 }
 
@@ -178,7 +178,7 @@ fn ablations() {
     let d = rb_core::SimDuration::from_mins(20);
     match ext::ablation_warm_starts(d) {
         Ok(rows) => ext::print_ablation("warm-start multipliers (SHA(64,4,508), 20 min)", &rows),
-        Err(e) => eprintln!("ablation failed: {e}"),
+        Err(e) => rb_obs::log_error!("repro", "ablation failed: {e}"),
     }
     println!();
     match ext::ablation_instance_jump(d) {
@@ -186,7 +186,7 @@ fn ablations() {
             "instance-boundary jump candidate (SHA(512,4,508), 20 min)",
             &rows,
         ),
-        Err(e) => eprintln!("ablation failed: {e}"),
+        Err(e) => rb_obs::log_error!("repro", "ablation failed: {e}"),
     }
     println!();
     match ext::ablation_mc_samples(d) {
@@ -194,12 +194,41 @@ fn ablations() {
             "Monte-Carlo samples vs plan quality (scored at 200 samples)",
             &rows,
         ),
-        Err(e) => eprintln!("ablation failed: {e}"),
+        Err(e) => rb_obs::log_error!("repro", "ablation failed: {e}"),
     }
     println!();
     match ext::ablation_warm_pool(1) {
         Ok(rows) => ext::print_warm_pool(&rows),
-        Err(e) => eprintln!("ablation failed: {e}"),
+        Err(e) => rb_obs::log_error!("repro", "ablation failed: {e}"),
+    }
+}
+
+fn trace_artifact() {
+    match rb_bench::trace::run_trace(1) {
+        Ok(art) => {
+            let dir = Path::new("repro_out");
+            match rb_bench::trace::write_artifacts(dir, &art) {
+                Ok(()) => {
+                    println!(
+                        "trace: wrote repro_out/trace.jsonl ({} events, {} counters, {} histograms; schema ok)",
+                        art.jsonl_stats.events, art.jsonl_stats.counters, art.jsonl_stats.histograms
+                    );
+                    println!(
+                        "trace: wrote repro_out/trace.chrome.json (load in Perfetto or chrome://tracing)"
+                    );
+                }
+                Err(e) => rb_obs::log_error!("repro", "trace: writing artifacts failed: {e}"),
+            }
+            println!(
+                "trace: {} preemptions absorbed, {} replans applied\n",
+                art.report.preemptions, art.replans
+            );
+            // The summary goes last: scripts/verify.sh extracts it from
+            // `run summary:` to end-of-output and diffs it against
+            // scripts/expected_summary.txt.
+            print!("{}", art.summary.render());
+        }
+        Err(e) => rb_obs::log_error!("repro", "trace failed: {e}"),
     }
 }
 
@@ -207,7 +236,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: repro [quick] [--csv] <fig4|fig9|fig10|fig11|fig12|table1|table2|table3|table4|ext-spot|ext-budget|ext-asha|ext-instances|ext-adapt|ablations|all>..."
+            "usage: repro [quick] [--csv] <trace|fig4|fig9|fig10|fig11|fig12|table1|table2|table3|table4|ext-spot|ext-budget|ext-asha|ext-instances|ext-adapt|ablations|all>..."
         );
         std::process::exit(2);
     }
@@ -237,6 +266,7 @@ fn main() {
             "ext-instances",
             "ext-adapt",
             "ablations",
+            "trace",
         ];
     }
     for (i, artifact) in artifacts.iter().enumerate() {
@@ -258,6 +288,7 @@ fn main() {
             "ext-instances" => ext_instances(quick),
             "ext-adapt" => ext_adapt(quick),
             "ablations" => ablations(),
+            "trace" => trace_artifact(),
             other => {
                 eprintln!("unknown artifact `{other}`");
                 std::process::exit(2);

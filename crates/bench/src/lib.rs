@@ -12,5 +12,6 @@ pub mod csv;
 pub mod ext;
 pub mod figures;
 pub mod tables;
+pub mod trace;
 
 pub use common::{fig_cloud, policy_prediction, synthetic_rn50};

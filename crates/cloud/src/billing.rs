@@ -149,6 +149,33 @@ impl BillingMeter {
     pub fn total_cost(&self, pricing: &CloudPricing, now: SimTime) -> Cost {
         self.compute_cost(pricing, now) + self.data_cost(pricing)
     }
+
+    /// The instance-lifetime bill as a cumulative timeline: one
+    /// `(release_time, cost_so_far)` point per instance, ordered by
+    /// release time (open lifetimes close at `now`; ties keep instance
+    /// id order). The final point equals
+    /// [`BillingMeter::compute_cost`] under per-instance billing — this
+    /// is the meter's spend curve, exported to the trace bus so a run's
+    /// cost can be read off the timeline like any other lane.
+    pub fn cost_timeline(&self, pricing: &CloudPricing, now: SimTime) -> Vec<(SimTime, Cost)> {
+        let mut charges: Vec<(SimTime, Cost)> = self
+            .lifetimes
+            .values()
+            .map(|l| {
+                let end = l.stopped.unwrap_or(now);
+                (end, pricing.instance_charge(end - l.started))
+            })
+            .collect();
+        charges.sort_by_key(|&(t, _)| t);
+        let mut total = Cost::ZERO;
+        charges
+            .into_iter()
+            .map(|(t, c)| {
+                total += c;
+                (t, total)
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

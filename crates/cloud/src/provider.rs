@@ -11,6 +11,7 @@ use crate::billing::BillingMeter;
 use crate::catalog::InstanceType;
 use rb_core::ids::IdGen;
 use rb_core::{mix_seed, Distribution, InstanceId, Prng, RbError, Result, SimDuration, SimTime};
+use rb_obs::{Lane, RecorderHandle};
 use std::collections::BTreeMap;
 
 /// Lifecycle state of one instance.
@@ -85,6 +86,10 @@ pub struct SimProvider {
     /// independent of query order.
     preempt_at: BTreeMap<InstanceId, SimTime>,
     meter: BillingMeter,
+    /// Observability sink (no-op by default). The recorder only
+    /// receives lifecycle facts; provisioning randomness and billing
+    /// are oblivious to it.
+    recorder: RecorderHandle,
 }
 
 impl SimProvider {
@@ -98,7 +103,14 @@ impl SimProvider {
             fleet: BTreeMap::new(),
             preempt_at: BTreeMap::new(),
             meter: BillingMeter::new(),
+            recorder: RecorderHandle::noop(),
         }
+    }
+
+    /// Attaches an observability recorder; provisioning, hand-over,
+    /// termination and preemption events are reported on the cloud lane.
+    pub fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder = recorder;
     }
 
     /// The configured instance shape.
@@ -146,6 +158,21 @@ impl SimProvider {
             }
             out.push((id, ready_at));
         }
+        if self.recorder.enabled() {
+            for &(id, ready_at) in &out {
+                self.recorder.instant(
+                    now,
+                    "cloud",
+                    "provision",
+                    Lane::Cloud,
+                    vec![
+                        ("instance", id.raw().into()),
+                        ("ready_ms", ready_at.as_millis().into()),
+                    ],
+                );
+            }
+            self.recorder.counter_add("cloud", "provisioned", out.len() as u64);
+        }
         Ok(out)
     }
 
@@ -158,6 +185,15 @@ impl SimProvider {
                 if ready_at <= now {
                     *state = InstanceState::Running { since: ready_at };
                     self.meter.instance_started(id, ready_at);
+                    if self.recorder.enabled() {
+                        self.recorder.instant(
+                            ready_at,
+                            "cloud",
+                            "instance.running",
+                            Lane::Cloud,
+                            vec![("instance", id.raw().into())],
+                        );
+                    }
                     ready.push(id);
                 }
             }
@@ -177,6 +213,16 @@ impl SimProvider {
                 *state = InstanceState::Terminated { at: now };
                 self.meter.instance_stopped(id, now);
                 self.preempt_at.remove(&id);
+                if self.recorder.enabled() {
+                    self.recorder.instant(
+                        now,
+                        "cloud",
+                        "instance.terminate",
+                        Lane::Cloud,
+                        vec![("instance", id.raw().into())],
+                    );
+                    self.recorder.counter_add("cloud", "terminated", 1);
+                }
                 Ok(())
             }
             Some(InstanceState::Pending { .. }) => Err(RbError::Provider(format!(
@@ -229,6 +275,16 @@ impl SimProvider {
                 *state = InstanceState::Terminated { at };
                 self.meter.instance_stopped(id, at);
                 self.preempt_at.remove(&id);
+                if self.recorder.enabled() {
+                    self.recorder.instant(
+                        at,
+                        "cloud",
+                        "instance.preempt",
+                        Lane::Cloud,
+                        vec![("instance", id.raw().into())],
+                    );
+                    self.recorder.counter_add("cloud", "preempted", 1);
+                }
                 Ok(at)
             }
             other => Err(RbError::Provider(format!(

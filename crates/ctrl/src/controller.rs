@@ -24,6 +24,7 @@ use crate::drift::{DriftConfig, DriftMonitor, DriftObservation};
 use rb_core::{Cost, Result, SimDuration, SimTime};
 use rb_exec::{BarrierHook, BarrierSnapshot};
 use rb_hpo::ExperimentSpec;
+use rb_obs::Lane;
 use rb_planner::{plan_residual, PlannerConfig};
 use rb_sim::{AllocationPlan, Simulator};
 
@@ -177,6 +178,16 @@ impl AdaptiveController {
 impl BarrierHook for AdaptiveController {
     fn at_barrier(&mut self, snap: &BarrierSnapshot<'_>) -> Option<Vec<u32>> {
         self.monitor.observe(snap.stage, snap.stage_span);
+        let recorder = self.sim.recorder().clone();
+        // The drift-factor time series: one gauge per barrier, whether or
+        // not the controller intervenes.
+        recorder.gauge(
+            snap.now,
+            "ctrl",
+            "drift_factor",
+            Lane::Controller,
+            self.monitor.drift_factor(),
+        );
         let fresh_preemptions = snap.preemptions.saturating_sub(self.preemptions_seen);
         self.preemptions_seen = snap.preemptions;
 
@@ -187,6 +198,27 @@ impl BarrierHook for AdaptiveController {
         } else {
             return None;
         };
+        recorder.counter_add("ctrl", "replans_triggered", 1);
+        if recorder.enabled() {
+            recorder.instant(
+                snap.now,
+                "ctrl",
+                "replan.trigger",
+                Lane::Controller,
+                vec![
+                    ("stage", snap.stage.into()),
+                    (
+                        "trigger",
+                        match trigger {
+                            ReplanTrigger::Drift => "drift",
+                            ReplanTrigger::Preemption => "preemption",
+                        }
+                        .into(),
+                    ),
+                    ("drift_factor", self.monitor.drift_factor().into()),
+                ],
+            );
+        }
 
         let next = snap.stage + 1;
         // Residual job: the spec's suffix (survivor progress lives in
@@ -207,6 +239,29 @@ impl BarrierHook for AdaptiveController {
 
         let new_suffix = out.plan.as_slice().to_vec();
         let applied = new_suffix != old_suffix;
+        recorder.counter_add(
+            "ctrl",
+            if applied {
+                "replans_applied"
+            } else {
+                "replans_rejected"
+            },
+            1,
+        );
+        if recorder.enabled() {
+            recorder.instant(
+                snap.now,
+                "ctrl",
+                if applied { "replan.apply" } else { "replan.reject" },
+                Lane::Controller,
+                vec![
+                    ("stage", snap.stage.into()),
+                    ("feasible", out.feasible.into()),
+                    ("predicted_jct_secs", out.prediction.jct.as_secs_f64().into()),
+                    ("predicted_cost_usd", out.prediction.cost.as_dollars().into()),
+                ],
+            );
+        }
         if applied {
             // The envelope must describe the plan actually executing.
             if let Ok(qs) = self.sim.stage_quantiles(&residual_spec, &out.plan) {

@@ -72,6 +72,13 @@ impl ClusterManager {
         }
     }
 
+    /// Installs a recorder on the embedded provider: provision,
+    /// termination and preemption events flow onto the unified trace
+    /// bus. A no-op recorder (the default) costs nothing.
+    pub fn set_recorder(&mut self, recorder: rb_obs::RecorderHandle) {
+        self.provider.set_recorder(recorder);
+    }
+
     /// Enables a warm pool: up to `capacity` released nodes are held
     /// (billed) for `hold`, and reattach in `attach` instead of a full
     /// provision + initialization cycle.
@@ -300,6 +307,14 @@ impl ClusterManager {
     /// Instances ever provisioned.
     pub fn instances_provisioned(&self) -> usize {
         self.provider.meter().instances_started()
+    }
+
+    /// The billing meter's cumulative spend curve as of `now` (see
+    /// [`rb_cloud::BillingMeter::cost_timeline`]).
+    pub fn cost_timeline(&self, now: SimTime) -> Vec<(SimTime, Cost)> {
+        self.provider
+            .meter()
+            .cost_timeline(&self.cloud.pricing, now)
     }
 }
 

@@ -12,6 +12,7 @@ use crate::cluster::ClusterManager;
 use crate::report::{ExecutionReport, ExecutionTrace, StageRecord, TraceEvent};
 use rb_core::{Cost, Distribution, Prng, RbError, Result, SimDuration, SimTime, TrialId};
 use rb_hpo::{select_survivors, Config, ExperimentSpec};
+use rb_obs::{Lane, RecorderHandle};
 use rb_placement::{scatter_placement, ClusterState, PlacementController, PlacementPlan};
 use rb_profile::{CloudProfile, ModelProfile};
 use rb_scaling::PlacementQuality;
@@ -125,6 +126,17 @@ struct RunningTrial {
     units_done: u64,
 }
 
+/// Appends `ev` to the local trace and mirrors it onto the unified bus.
+/// The local [`ExecutionTrace`] stays the report's canonical event log;
+/// the recorder stream is a superset of it (tests assert
+/// [`ExecutionTrace::from_events`] recovers the trace exactly).
+fn emit(trace: &mut ExecutionTrace, recorder: &RecorderHandle, ev: TraceEvent) {
+    if recorder.enabled() {
+        recorder.record(ev.to_obs());
+    }
+    trace.events.push(ev);
+}
+
 impl Executor {
     /// Creates an executor with default options.
     ///
@@ -182,6 +194,30 @@ impl Executor {
         configs: &[Config],
         hook: &mut dyn BarrierHook,
     ) -> Result<ExecutionReport> {
+        self.run_observed(configs, hook, RecorderHandle::noop())
+    }
+
+    /// [`Executor::run_hooked`] with a [`Recorder`](rb_obs::Recorder)
+    /// attached: every trace event is mirrored onto the unified bus,
+    /// plus stage spans, cost/instance gauges at each barrier, the
+    /// billing meter's spend curve, and run-level counters. The
+    /// recorder is also installed on the cloud provider, so provision /
+    /// terminate / preempt events appear on the `cloud` lane.
+    ///
+    /// Recording never influences execution: with
+    /// [`RecorderHandle::noop`] this is bit-identical to
+    /// [`Executor::run_hooked`] (which is exactly how `run_hooked`
+    /// calls it).
+    ///
+    /// # Errors
+    ///
+    /// As [`Executor::run_hooked`].
+    pub fn run_observed(
+        &self,
+        configs: &[Config],
+        hook: &mut dyn BarrierHook,
+        recorder: RecorderHandle,
+    ) -> Result<ExecutionReport> {
         let mut plan = self.plan.clone();
         let n = self.spec.initial_trials() as usize;
         if configs.len() < n {
@@ -193,6 +229,7 @@ impl Executor {
         let opts = &self.options;
         let gpg = self.cloud.gpus_per_instance().max(1);
         let mut cm = ClusterManager::new(self.cloud.clone(), opts.seed);
+        cm.set_recorder(recorder.clone());
         if opts.warm_pool > 0 {
             cm = cm.with_warm_pool(
                 opts.warm_pool,
@@ -255,11 +292,15 @@ impl Executor {
                             moved.extend(relocated);
                             for nid in &freed {
                                 cluster.remove(*nid);
-                                trace.events.push(TraceEvent::NodeDown {
-                                    node: *nid,
-                                    at: now,
-                                    preempted: false,
-                                });
+                                emit(
+                                    &mut trace,
+                                    &recorder,
+                                    TraceEvent::NodeDown {
+                                        node: *nid,
+                                        at: now,
+                                        preempted: false,
+                                    },
+                                );
                             }
                             cm.terminate_nodes(&freed, now)?;
                         }
@@ -273,11 +314,15 @@ impl Executor {
                             let victims: Vec<_> = nodes[nodes.len() - k..].to_vec();
                             for nid in &victims {
                                 cluster.remove(*nid);
-                                trace.events.push(TraceEvent::NodeDown {
-                                    node: *nid,
-                                    at: now,
-                                    preempted: false,
-                                });
+                                emit(
+                                    &mut trace,
+                                    &recorder,
+                                    TraceEvent::NodeDown {
+                                        node: *nid,
+                                        at: now,
+                                        preempted: false,
+                                    },
+                                );
                             }
                             cm.terminate_nodes(&victims, now)?;
                             moved.extend(live.iter().copied());
@@ -289,11 +334,15 @@ impl Executor {
                     let victims: Vec<_> = nodes[nodes.len() - k..].to_vec();
                     for nid in &victims {
                         cluster.remove(*nid);
-                        trace.events.push(TraceEvent::NodeDown {
-                            node: *nid,
-                            at: now,
-                            preempted: false,
-                        });
+                        emit(
+                            &mut trace,
+                            &recorder,
+                            TraceEvent::NodeDown {
+                                node: *nid,
+                                at: now,
+                                preempted: false,
+                            },
+                        );
                     }
                     cm.terminate_nodes(&victims, now)?;
                 }
@@ -305,7 +354,11 @@ impl Executor {
                 }
                 for nid in cm.absorb_ready(now) {
                     cluster.add(nid);
-                    trace.events.push(TraceEvent::NodeUp { node: nid, at: now });
+                    emit(
+                        &mut trace,
+                        &recorder,
+                        TraceEvent::NodeUp { node: nid, at: now },
+                    );
                 }
             }
 
@@ -337,9 +390,11 @@ impl Executor {
             let stage_migrations = moved.len() as u32;
             total_migrations += stage_migrations;
             for &t in &moved {
-                trace
-                    .events
-                    .push(TraceEvent::Migration { trial: t, at: now });
+                emit(
+                    &mut trace,
+                    &recorder,
+                    TraceEvent::Migration { trial: t, at: now },
+                );
             }
 
             // --- Training -------------------------------------------------------
@@ -419,13 +474,17 @@ impl Executor {
                     let Some(cut) = preempt else {
                         rt.busy_secs += work;
                         cm.record_usage(gpus, SimDuration::from_secs_f64(work));
-                        trace.events.push(TraceEvent::TrialSegment {
-                            trial: tid,
-                            stage,
-                            start,
-                            end,
-                            gpus,
-                        });
+                        emit(
+                            &mut trace,
+                            &recorder,
+                            TraceEvent::TrialSegment {
+                                trial: tid,
+                                stage,
+                                start,
+                                end,
+                                gpus,
+                            },
+                        );
                         break end;
                     };
                     // Pay for the lost work, reclaim the dead node(s), and
@@ -434,13 +493,17 @@ impl Executor {
                     let lost = cut - start;
                     rt.busy_secs += lost.as_secs_f64();
                     cm.record_usage(gpus, lost);
-                    trace.events.push(TraceEvent::TrialSegment {
-                        trial: tid,
-                        stage,
-                        start,
-                        end: cut,
-                        gpus,
-                    });
+                    emit(
+                        &mut trace,
+                        &recorder,
+                        TraceEvent::TrialSegment {
+                            trial: tid,
+                            stage,
+                            start,
+                            end: cut,
+                            gpus,
+                        },
+                    );
                     let dead: Vec<rb_core::NodeId> = hosting
                         .iter()
                         .copied()
@@ -455,11 +518,15 @@ impl Executor {
                     for n in &dead {
                         // Colocated trials race to reclaim; losing is fine.
                         if cm.preempt_node(*n).is_ok() {
-                            trace.events.push(TraceEvent::NodeDown {
-                                node: *n,
-                                at: cut,
-                                preempted: true,
-                            });
+                            emit(
+                                &mut trace,
+                                &recorder,
+                                TraceEvent::NodeDown {
+                                    node: *n,
+                                    at: cut,
+                                    preempted: true,
+                                },
+                            );
                         }
                         cluster.remove(*n);
                         hosting.retain(|h| h != n);
@@ -469,7 +536,11 @@ impl Executor {
                     for n in cm.absorb_ready(ready) {
                         cluster.add(n);
                         hosting.push(n);
-                        trace.events.push(TraceEvent::NodeUp { node: n, at: ready });
+                        emit(
+                            &mut trace,
+                            &recorder,
+                            TraceEvent::NodeUp { node: n, at: ready },
+                        );
                     }
                     start = cut.max(ready);
                     needs_fetch = true;
@@ -490,7 +561,23 @@ impl Executor {
                 }
             }
             now = stage_end + SimDuration::from_secs_f64(opts.sync_overhead_secs);
-            trace.events.push(TraceEvent::Barrier { stage, at: now });
+            emit(&mut trace, &recorder, TraceEvent::Barrier { stage, at: now });
+            if recorder.enabled() {
+                recorder.gauge(
+                    now,
+                    "exec",
+                    "cost_to_date_usd",
+                    Lane::Cloud,
+                    cm.total_cost(now).as_dollars(),
+                );
+                recorder.gauge(
+                    now,
+                    "exec",
+                    "instances_ready",
+                    Lane::Cloud,
+                    cm.ready_count() as f64,
+                );
+            }
 
             // --- Synchronization barrier: rank, promote, terminate -------------
             let results: Vec<(TrialId, f64)> = live
@@ -535,6 +622,20 @@ impl Executor {
                 instances: needed as u32,
                 migrations: stage_migrations,
             });
+            if recorder.enabled() {
+                recorder.span(
+                    stage_start,
+                    now,
+                    "exec",
+                    "stage",
+                    Lane::Stage(stage as u32),
+                    vec![
+                        ("trials", stage_trials.into()),
+                        ("instances", (needed as u64).into()),
+                        ("migrations", stage_migrations.into()),
+                    ],
+                );
+            }
             live = survivors;
 
             // --- Barrier hook: observe, optionally re-plan the suffix ----------
@@ -580,6 +681,25 @@ impl Executor {
             cm.terminate_all(now);
             compute_cost = cm.compute_cost(now);
             data_cost = cm.data_cost();
+        }
+        if recorder.enabled() {
+            // The billing meter's spend curve: cumulative compute cost at
+            // each instance release, on the cloud lane.
+            for (t, c) in cm.cost_timeline(now) {
+                recorder.gauge(t, "cloud", "spend_usd", Lane::Cloud, c.as_dollars());
+            }
+            recorder.span(SimTime::ZERO, now, "exec", "run", Lane::Global, Vec::new());
+        }
+        recorder.counter_add("exec", "migrations", u64::from(total_migrations));
+        recorder.counter_add("exec", "preemptions", u64::from(total_preemptions));
+        recorder.counter_add(
+            "exec",
+            "instances_provisioned",
+            cm.instances_provisioned() as u64,
+        );
+        #[cfg(debug_assertions)]
+        if let Err(violation) = trace.check_invariants() {
+            panic!("execution trace ordering contract violated: {violation}");
         }
         let best_trial = *live
             .first()
@@ -1157,6 +1277,142 @@ mod tests {
         assert!(
             (billed - expected).abs() / expected < 0.01,
             "billed {billed} vs traced {expected}"
+        );
+    }
+
+    /// A spot-heavy executor: enough interruptions that preemption
+    /// recovery paths (NodeDown/NodeUp mid-stage, segment cuts) all fire.
+    fn stormy_executor(task: &TaskModel) -> Executor {
+        let mut c = cloud().with_spot_interruptions(30.0);
+        c.pricing = c.pricing.with_spot();
+        Executor::new(
+            small_spec(),
+            AllocationPlan::new(vec![8, 8, 4, 4]),
+            task.clone(),
+            physics(task, 1024),
+            c,
+        )
+        .unwrap()
+        .with_options(ExecOptions {
+            seed: 21,
+            ..ExecOptions::default()
+        })
+    }
+
+    #[test]
+    fn trace_ordering_contract_holds_under_preemption() {
+        // The satellite contract: per-entity non-decreasing timestamps and
+        // balanced node lifecycles, for both run() and run_hooked(), on a
+        // run that actually exercises the preemption recovery paths.
+        let task = resnet101_cifar10();
+        let open = stormy_executor(&task).run(&configs(8, 1)).unwrap();
+        assert!(open.preemptions > 0, "test needs spot interruptions");
+        open.trace.check_invariants().unwrap();
+        let mut hook = RecordingHook {
+            snapshots: Vec::new(),
+            replan_after: Some((0, vec![8, 4, 4])),
+        };
+        let hooked = stormy_executor(&task)
+            .run_hooked(&configs(8, 1), &mut hook)
+            .unwrap();
+        assert!(hooked.preemptions > 0);
+        hooked.trace.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn check_invariants_rejects_malformed_traces() {
+        use rb_core::NodeId;
+        let down = |at| TraceEvent::NodeDown {
+            node: NodeId::new(1),
+            at,
+            preempted: false,
+        };
+        let up = |at| TraceEvent::NodeUp {
+            node: NodeId::new(1),
+            at,
+        };
+        // A NodeDown with no prior NodeUp.
+        let t = ExecutionTrace {
+            events: vec![down(SimTime::from_secs(1))],
+        };
+        assert!(t.check_invariants().is_err());
+        // A node coming up twice without going down.
+        let t = ExecutionTrace {
+            events: vec![up(SimTime::from_secs(1)), up(SimTime::from_secs(2))],
+        };
+        assert!(t.check_invariants().is_err());
+        // Time running backwards on one node's lane.
+        let t = ExecutionTrace {
+            events: vec![up(SimTime::from_secs(5)), down(SimTime::from_secs(3))],
+        };
+        assert!(t.check_invariants().is_err());
+        // A well-formed lifecycle passes.
+        let t = ExecutionTrace {
+            events: vec![
+                up(SimTime::from_secs(1)),
+                down(SimTime::from_secs(3)),
+                up(SimTime::from_secs(4)),
+            ],
+        };
+        assert!(t.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn recording_does_not_change_execution() {
+        // The recorder discipline end-to-end: a run observed by a real
+        // sink is bit-identical to the unobserved run, including under
+        // spot preemption.
+        let task = resnet101_cifar10();
+        let plain = stormy_executor(&task).run(&configs(8, 1)).unwrap();
+        let sink = Arc::new(rb_obs::MemoryRecorder::new());
+        let observed = stormy_executor(&task)
+            .run_observed(
+                &configs(8, 1),
+                &mut NoopHook,
+                RecorderHandle::new(sink.clone()),
+            )
+            .unwrap();
+        assert_eq!(plain.jct, observed.jct);
+        assert_eq!(plain.compute_cost, observed.compute_cost);
+        assert_eq!(plain.data_cost, observed.data_cost);
+        assert_eq!(plain.best_trial, observed.best_trial);
+        assert_eq!(plain.best_accuracy, observed.best_accuracy);
+        assert_eq!(plain.preemptions, observed.preemptions);
+        assert_eq!(plain.trace, observed.trace, "trace is recorder-invariant");
+        assert!(sink.event_count() > 0, "the sink actually recorded");
+    }
+
+    #[test]
+    fn execution_trace_is_a_derived_view_of_the_bus() {
+        // Every local trace event also went over the unified bus, and the
+        // bus stream reconstructs the trace exactly.
+        let task = resnet101_cifar10();
+        let sink = Arc::new(rb_obs::MemoryRecorder::new());
+        let report = stormy_executor(&task)
+            .run_observed(
+                &configs(8, 1),
+                &mut NoopHook,
+                RecorderHandle::new(sink.clone()),
+            )
+            .unwrap();
+        let log = sink.finish();
+        let derived = ExecutionTrace::from_events(&log.events);
+        assert_eq!(derived, report.trace);
+        // The bus carries more than the trace: stage spans, gauges, and
+        // the cloud provider's own lifecycle events.
+        assert!(log.events_named("exec", "stage").count() == report.stages.len());
+        assert!(log.events_named("cloud", "provision").count() > 0);
+        // Instance-level preemptions (cloud lane) need not equal the
+        // trial-level count (colocated trials each count the same node),
+        // but a stormy run sees at least one.
+        assert!(log.counter("cloud", "preempted") > 0);
+        assert_eq!(
+            log.counter("exec", "migrations"),
+            u64::from(report.migrations)
+        );
+        assert_eq!(
+            log.counter("exec", "instances_provisioned"),
+            report.instances_provisioned as u64
         );
     }
 }

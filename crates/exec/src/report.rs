@@ -1,7 +1,8 @@
 //! Execution reports: what the paper's tables read off a run.
 
-use rb_core::{Cost, SimDuration, SimTime, TrialId};
+use rb_core::{Cost, NodeId, SimDuration, SimTime, TrialId};
 use rb_hpo::Config;
+use rb_obs::{Event, EventKind, Lane, Value};
 use std::collections::BTreeMap;
 
 /// One observable event during execution, in virtual time.
@@ -52,6 +53,66 @@ pub enum TraceEvent {
     },
 }
 
+impl TraceEvent {
+    /// The unified-bus form of this event (scope `"exec"`). The mapping
+    /// is lossless: [`ExecutionTrace::from_events`] inverts it, which is
+    /// what lets `ExecutionTrace` live on as a *derived view* of the
+    /// recorder stream.
+    pub fn to_obs(&self) -> Event {
+        match *self {
+            TraceEvent::NodeUp { node, at } => Event {
+                at,
+                scope: "exec",
+                name: "node.up",
+                lane: Lane::Node(node.raw()),
+                kind: EventKind::Instant,
+                fields: Vec::new(),
+            },
+            TraceEvent::NodeDown { node, at, preempted } => Event {
+                at,
+                scope: "exec",
+                name: "node.down",
+                lane: Lane::Node(node.raw()),
+                kind: EventKind::Instant,
+                fields: vec![("preempted", Value::Bool(preempted))],
+            },
+            TraceEvent::TrialSegment {
+                trial,
+                stage,
+                start,
+                end,
+                gpus,
+            } => Event {
+                at: start,
+                scope: "exec",
+                name: "trial.segment",
+                lane: Lane::Trial(trial.raw()),
+                kind: EventKind::Span { end },
+                fields: vec![
+                    ("stage", Value::U64(stage as u64)),
+                    ("gpus", Value::U64(u64::from(gpus))),
+                ],
+            },
+            TraceEvent::Migration { trial, at } => Event {
+                at,
+                scope: "exec",
+                name: "migration",
+                lane: Lane::Trial(trial.raw()),
+                kind: EventKind::Instant,
+                fields: Vec::new(),
+            },
+            TraceEvent::Barrier { stage, at } => Event {
+                at,
+                scope: "exec",
+                name: "barrier",
+                lane: Lane::Global,
+                kind: EventKind::Instant,
+                fields: vec![("stage", Value::U64(stage as u64))],
+            },
+        }
+    }
+}
+
 /// The ordered event log of one execution (useful for visualization and
 /// for asserting runtime invariants in tests).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -92,6 +153,153 @@ impl ExecutionTrace {
                 _ => None,
             })
             .collect()
+    }
+
+    /// Reconstructs the execution trace from a unified-bus event stream
+    /// (the inverse of [`TraceEvent::to_obs`]). Events from other scopes
+    /// or with unrecognized names are ignored, so the same stream can
+    /// carry planner, controller and cloud lanes alongside the
+    /// executor's.
+    pub fn from_events(events: &[Event]) -> ExecutionTrace {
+        fn field_u64(e: &Event, key: &str) -> Option<u64> {
+            e.fields.iter().find(|(k, _)| *k == key).and_then(|(_, v)| match v {
+                Value::U64(n) => Some(*n),
+                Value::I64(n) => u64::try_from(*n).ok(),
+                _ => None,
+            })
+        }
+        fn field_bool(e: &Event, key: &str) -> Option<bool> {
+            e.fields.iter().find(|(k, _)| *k == key).and_then(|(_, v)| match v {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            })
+        }
+        let mut out = ExecutionTrace::default();
+        for e in events {
+            if e.scope != "exec" {
+                continue;
+            }
+            let ev = match (e.name, e.lane, e.kind) {
+                ("node.up", Lane::Node(id), EventKind::Instant) => Some(TraceEvent::NodeUp {
+                    node: NodeId::new(id),
+                    at: e.at,
+                }),
+                ("node.down", Lane::Node(id), EventKind::Instant) => Some(TraceEvent::NodeDown {
+                    node: NodeId::new(id),
+                    at: e.at,
+                    preempted: field_bool(e, "preempted").unwrap_or(false),
+                }),
+                ("trial.segment", Lane::Trial(id), EventKind::Span { end }) => {
+                    Some(TraceEvent::TrialSegment {
+                        trial: TrialId::new(id),
+                        stage: field_u64(e, "stage").unwrap_or(0) as usize,
+                        start: e.at,
+                        end,
+                        gpus: field_u64(e, "gpus").unwrap_or(0) as u32,
+                    })
+                }
+                ("migration", Lane::Trial(id), EventKind::Instant) => Some(TraceEvent::Migration {
+                    trial: TrialId::new(id),
+                    at: e.at,
+                }),
+                ("barrier", Lane::Global, EventKind::Instant) => Some(TraceEvent::Barrier {
+                    stage: field_u64(e, "stage").unwrap_or(0) as usize,
+                    at: e.at,
+                }),
+                _ => None,
+            };
+            if let Some(ev) = ev {
+                out.events.push(ev);
+            }
+        }
+        out
+    }
+
+    /// Checks the trace's ordering contract:
+    ///
+    /// * per-entity timestamps are non-decreasing in emission order
+    ///   (per node, per trial, and across barriers);
+    /// * every `NodeDown` matches a node that is currently up, and no
+    ///   node comes up twice without going down in between;
+    /// * trial segments do not overlap (each starts no earlier than the
+    ///   previous segment of the same trial ended);
+    /// * barrier stages strictly increase.
+    ///
+    /// Returns the first violation found, described for humans.
+    pub fn check_invariants(&self) -> std::result::Result<(), String> {
+        use std::collections::BTreeSet;
+        let mut up: BTreeSet<NodeId> = BTreeSet::new();
+        let mut node_last: BTreeMap<NodeId, SimTime> = BTreeMap::new();
+        let mut trial_last: BTreeMap<TrialId, SimTime> = BTreeMap::new();
+        let mut last_barrier: Option<(usize, SimTime)> = None;
+        for (i, e) in self.events.iter().enumerate() {
+            match e {
+                TraceEvent::NodeUp { node, at } => {
+                    if !up.insert(*node) {
+                        return Err(format!("event {i}: {node} came up while already up"));
+                    }
+                    let last = node_last.entry(*node).or_insert(SimTime::ZERO);
+                    if *at < *last {
+                        return Err(format!(
+                            "event {i}: {node} up at {at} before its last event at {last}"
+                        ));
+                    }
+                    *last = *at;
+                }
+                TraceEvent::NodeDown { node, at, .. } => {
+                    if !up.remove(node) {
+                        return Err(format!("event {i}: {node} went down without a prior up"));
+                    }
+                    let last = node_last.entry(*node).or_insert(SimTime::ZERO);
+                    if *at < *last {
+                        return Err(format!(
+                            "event {i}: {node} down at {at} before its last event at {last}"
+                        ));
+                    }
+                    *last = *at;
+                }
+                TraceEvent::TrialSegment {
+                    trial, start, end, ..
+                } => {
+                    if end < start {
+                        return Err(format!("event {i}: {trial} segment ends before it starts"));
+                    }
+                    let last = trial_last.entry(*trial).or_insert(SimTime::ZERO);
+                    if *start < *last {
+                        return Err(format!(
+                            "event {i}: {trial} segment starts at {start} before its last \
+                             event at {last}"
+                        ));
+                    }
+                    *last = *end;
+                }
+                TraceEvent::Migration { trial, at } => {
+                    let last = trial_last.entry(*trial).or_insert(SimTime::ZERO);
+                    if *at < *last {
+                        return Err(format!(
+                            "event {i}: {trial} migration at {at} before its last event at {last}"
+                        ));
+                    }
+                    *last = *at;
+                }
+                TraceEvent::Barrier { stage, at } => {
+                    if let Some((ps, pt)) = last_barrier {
+                        if *stage <= ps {
+                            return Err(format!(
+                                "event {i}: barrier stage {stage} after stage {ps}"
+                            ));
+                        }
+                        if *at < pt {
+                            return Err(format!(
+                                "event {i}: barrier at {at} before previous barrier at {pt}"
+                            ));
+                        }
+                    }
+                    last_barrier = Some((*stage, *at));
+                }
+            }
+        }
+        Ok(())
     }
 }
 

@@ -1,0 +1,201 @@
+//! Leveled stderr logging with an `RB_LOG` environment filter.
+//!
+//! Replaces ad-hoc `eprintln!` debugging across the workspace. The
+//! filter is parsed once per process from `RB_LOG`:
+//!
+//! ```text
+//! RB_LOG=debug            # global level
+//! RB_LOG=repro=debug      # per-target override
+//! RB_LOG=warn,bench=trace # default + override, comma-separated
+//! ```
+//!
+//! Levels, most to least severe: `error`, `warn`, `info`, `debug`,
+//! `trace`. The default is `warn` (errors and warnings print, the rest
+//! is silent), so library users see failures without opting in.
+//!
+//! Logging writes only to **stderr** and never to the trace bus: log
+//! lines are for humans at a terminal; the [`crate::Recorder`] carries
+//! the machine-readable record.
+
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Log severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    Error = 1,
+    Warn = 2,
+    Info = 3,
+    Debug = 4,
+    Trace = 5,
+}
+
+impl Level {
+    fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            "off" | "none" => None,
+            _ => None,
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Filter {
+    /// 0 means everything off.
+    default_level: u8,
+    /// `(target, level)` overrides, later entries win.
+    directives: Vec<(String, u8)>,
+}
+
+impl Filter {
+    fn parse(spec: &str) -> Filter {
+        let mut filter = Filter {
+            default_level: Level::Warn as u8,
+            directives: Vec::new(),
+        };
+        for token in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            match token.split_once('=') {
+                Some((target, level)) => {
+                    let level = Level::parse(level).map_or(0, |l| l as u8);
+                    filter.directives.push((target.trim().to_owned(), level));
+                }
+                None => {
+                    filter.default_level = Level::parse(token).map_or(0, |l| l as u8);
+                }
+            }
+        }
+        filter
+    }
+
+    fn max_for(&self, target: &str) -> u8 {
+        self.directives
+            .iter()
+            .rev()
+            .find(|(t, _)| t == target)
+            .map_or(self.default_level, |&(_, level)| level)
+    }
+}
+
+fn filter() -> &'static Filter {
+    static FILTER: OnceLock<Filter> = OnceLock::new();
+    FILTER.get_or_init(|| Filter::parse(&std::env::var("RB_LOG").unwrap_or_default()))
+}
+
+/// Whether a message at `level` for `target` would print.
+pub fn log_enabled(level: Level, target: &str) -> bool {
+    level as u8 <= filter().max_for(target)
+}
+
+/// Logs a pre-formatted message. Prefer the [`log_error!`],
+/// [`log_warn!`], [`log_info!`], [`log_debug!`], [`log_trace!`] macros,
+/// which skip argument formatting when the level is filtered out.
+///
+/// [`log_error!`]: crate::log_error
+/// [`log_warn!`]: crate::log_warn
+/// [`log_info!`]: crate::log_info
+/// [`log_debug!`]: crate::log_debug
+/// [`log_trace!`]: crate::log_trace
+pub fn log(level: Level, target: &str, args: fmt::Arguments<'_>) {
+    if log_enabled(level, target) {
+        eprintln!("[{} {target}] {args}", level.label());
+    }
+}
+
+#[macro_export]
+macro_rules! log_error {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::log::log_enabled($crate::log::Level::Error, $target) {
+            $crate::log::log($crate::log::Level::Error, $target, format_args!($($arg)*));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! log_warn {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::log::log_enabled($crate::log::Level::Warn, $target) {
+            $crate::log::log($crate::log::Level::Warn, $target, format_args!($($arg)*));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! log_info {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::log::log_enabled($crate::log::Level::Info, $target) {
+            $crate::log::log($crate::log::Level::Info, $target, format_args!($($arg)*));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! log_debug {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::log::log_enabled($crate::log::Level::Debug, $target) {
+            $crate::log::log($crate::log::Level::Debug, $target, format_args!($($arg)*));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! log_trace {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::log::log_enabled($crate::log::Level::Trace, $target) {
+            $crate::log::log($crate::log::Level::Trace, $target, format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_filter_is_warn() {
+        let f = Filter::parse("");
+        assert_eq!(f.max_for("anything"), Level::Warn as u8);
+    }
+
+    #[test]
+    fn global_level_parses() {
+        let f = Filter::parse("debug");
+        assert_eq!(f.max_for("x"), Level::Debug as u8);
+        let f = Filter::parse("off");
+        assert_eq!(f.max_for("x"), 0);
+    }
+
+    #[test]
+    fn per_target_directives_override_default() {
+        let f = Filter::parse("warn, repro=trace ,bench=off");
+        assert_eq!(f.max_for("repro"), Level::Trace as u8);
+        assert_eq!(f.max_for("bench"), 0);
+        assert_eq!(f.max_for("other"), Level::Warn as u8);
+    }
+
+    #[test]
+    fn unknown_tokens_disable_rather_than_panic() {
+        let f = Filter::parse("verbose");
+        assert_eq!(f.max_for("x"), 0);
+    }
+
+    #[test]
+    fn level_ordering_matches_severity() {
+        assert!(Level::Error < Level::Trace);
+        assert!(Level::parse("WARNING") == Some(Level::Warn));
+    }
+}

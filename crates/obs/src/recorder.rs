@@ -1,0 +1,319 @@
+//! The [`Recorder`] trait: the single sink every crate reports into.
+//!
+//! The recorder follows the same discipline as `run()` vs `run_hooked()`
+//! in `rb-exec`: instrumentation must never influence the computation it
+//! observes. Recorders only *receive* data — they consume no randomness,
+//! mutate no simulation state, and are consulted behind
+//! [`Recorder::enabled`] guards so the no-op recorder costs a single
+//! dynamic call on the hot path. Executor and simulator output is
+//! bit-identical whether a [`NoopRecorder`] or a recording sink is
+//! attached; tests assert this.
+//!
+//! All timestamps are **virtual** ([`SimTime`]): the observability layer
+//! never reads the wall clock, so traces are reproducible byte-for-byte
+//! from a seed.
+
+use rb_core::SimTime;
+use std::fmt;
+use std::sync::Arc;
+
+/// Which timeline an event belongs to. Lanes become rows ("threads") in
+/// the Chrome trace export: one per node, per trial, plus fixed lanes
+/// for the controller, the planner, the cloud provider, and per-stage
+/// structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Lane {
+    /// Whole-run events (barriers, run start/end).
+    Global,
+    /// A cluster node's lifecycle and placements.
+    Node(u64),
+    /// One trial's training segments.
+    Trial(u64),
+    /// Per-stage structure (stage spans).
+    Stage(u32),
+    /// The online adaptation controller (`rb-ctrl`).
+    Controller,
+    /// The allocation planner (`rb-planner`). Planning happens before
+    /// virtual time starts, so planner events are stamped at t=0 and
+    /// ordered by sequence number.
+    Planner,
+    /// The cloud provider (`rb-cloud`): provisioning, billing.
+    Cloud,
+}
+
+impl Lane {
+    /// Stable textual form used by the JSONL export (`node:3`,
+    /// `trial:7`, `stage:2`, `global`, `controller`, `planner`,
+    /// `cloud`).
+    pub fn label(&self) -> String {
+        match self {
+            Lane::Global => "global".to_owned(),
+            Lane::Node(id) => format!("node:{id}"),
+            Lane::Trial(id) => format!("trial:{id}"),
+            Lane::Stage(s) => format!("stage:{s}"),
+            Lane::Controller => "controller".to_owned(),
+            Lane::Planner => "planner".to_owned(),
+            Lane::Cloud => "cloud".to_owned(),
+        }
+    }
+}
+
+/// A structured field value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+    Str(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+/// The shape of an event on its lane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A point-in-time occurrence.
+    Instant,
+    /// An interval `[at, end]` in virtual time (e.g. a training
+    /// segment, a stage).
+    Span { end: SimTime },
+    /// A sampled value on a time series (drift factor, cost-to-date).
+    Gauge { value: f64 },
+}
+
+/// One structured observation, stamped in virtual time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Virtual timestamp (span start for [`EventKind::Span`]).
+    pub at: SimTime,
+    /// Emitting subsystem: `"exec"`, `"sim"`, `"planner"`, `"cloud"`,
+    /// `"ctrl"`.
+    pub scope: &'static str,
+    /// Dotted event name, e.g. `"node.up"`, `"replan.apply"`.
+    pub name: &'static str,
+    /// Timeline the event belongs to.
+    pub lane: Lane,
+    pub kind: EventKind,
+    /// Structured payload, in emission order.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+/// Sink for structured events, counters and histograms.
+///
+/// Implementations must be order-insensitive for counters and
+/// histograms (they may be reported from worker threads); the event
+/// stream itself is only fed from deterministic single-threaded code
+/// paths so that exports are byte-stable.
+pub trait Recorder: fmt::Debug + Send + Sync {
+    /// Whether events are being kept. Call sites use this to skip
+    /// payload construction entirely when a no-op recorder is attached.
+    fn enabled(&self) -> bool;
+
+    /// Records a structured event.
+    fn record(&self, event: Event);
+
+    /// Adds `delta` to the counter `scope.name`.
+    fn counter_add(&self, scope: &'static str, name: &'static str, delta: u64);
+
+    /// Records one observation of the histogram `scope.name`.
+    /// Non-finite values are dropped.
+    fn histogram(&self, scope: &'static str, name: &'static str, value: f64);
+
+    /// Convenience: records an instant event.
+    fn instant(
+        &self,
+        at: SimTime,
+        scope: &'static str,
+        name: &'static str,
+        lane: Lane,
+        fields: Vec<(&'static str, Value)>,
+    ) {
+        if self.enabled() {
+            self.record(Event {
+                at,
+                scope,
+                name,
+                lane,
+                kind: EventKind::Instant,
+                fields,
+            });
+        }
+    }
+
+    /// Convenience: records a `[start, end]` span.
+    fn span(
+        &self,
+        start: SimTime,
+        end: SimTime,
+        scope: &'static str,
+        name: &'static str,
+        lane: Lane,
+        fields: Vec<(&'static str, Value)>,
+    ) {
+        if self.enabled() {
+            self.record(Event {
+                at: start,
+                scope,
+                name,
+                lane,
+                kind: EventKind::Span { end },
+                fields,
+            });
+        }
+    }
+
+    /// Convenience: records a gauge sample.
+    fn gauge(&self, at: SimTime, scope: &'static str, name: &'static str, lane: Lane, value: f64) {
+        if self.enabled() {
+            self.record(Event {
+                at,
+                scope,
+                name,
+                lane,
+                kind: EventKind::Gauge { value },
+                fields: Vec::new(),
+            });
+        }
+    }
+}
+
+/// The do-nothing recorder: every method returns immediately. Attaching
+/// it is observationally identical to attaching nothing at all.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+    fn record(&self, _event: Event) {}
+    fn counter_add(&self, _scope: &'static str, _name: &'static str, _delta: u64) {}
+    fn histogram(&self, _scope: &'static str, _name: &'static str, _value: f64) {}
+}
+
+/// A cloneable, `Debug`-friendly handle to a shared recorder.
+///
+/// Structs that derive `Clone`/`Debug` (the simulator, the cloud
+/// provider) embed this instead of a bare `Arc<dyn Recorder>` so the
+/// derive keeps working and the no-op default stays a one-liner.
+#[derive(Clone)]
+pub struct RecorderHandle {
+    inner: Arc<dyn Recorder>,
+}
+
+impl RecorderHandle {
+    /// Wraps an existing shared recorder.
+    pub fn new(inner: Arc<dyn Recorder>) -> Self {
+        Self { inner }
+    }
+
+    /// A handle to the process-wide no-op recorder.
+    pub fn noop() -> Self {
+        static NOOP: std::sync::OnceLock<Arc<NoopRecorder>> = std::sync::OnceLock::new();
+        let arc = NOOP.get_or_init(|| Arc::new(NoopRecorder)).clone();
+        Self { inner: arc }
+    }
+
+    /// The underlying recorder.
+    pub fn get(&self) -> &dyn Recorder {
+        &*self.inner
+    }
+
+    /// Clones the underlying `Arc`.
+    pub fn share(&self) -> Arc<dyn Recorder> {
+        Arc::clone(&self.inner)
+    }
+}
+
+impl Default for RecorderHandle {
+    fn default() -> Self {
+        Self::noop()
+    }
+}
+
+impl fmt::Debug for RecorderHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "RecorderHandle({})",
+            if self.inner.enabled() { "recording" } else { "noop" }
+        )
+    }
+}
+
+impl std::ops::Deref for RecorderHandle {
+    type Target = dyn Recorder;
+    fn deref(&self) -> &Self::Target {
+        &*self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_recorder_is_disabled() {
+        let rec = NoopRecorder;
+        assert!(!rec.enabled());
+        rec.instant(SimTime::ZERO, "t", "x", Lane::Global, Vec::new());
+        rec.counter_add("t", "c", 1);
+        rec.histogram("t", "h", 1.0);
+    }
+
+    #[test]
+    fn lane_labels_are_stable() {
+        assert_eq!(Lane::Node(3).label(), "node:3");
+        assert_eq!(Lane::Trial(7).label(), "trial:7");
+        assert_eq!(Lane::Stage(2).label(), "stage:2");
+        assert_eq!(Lane::Global.label(), "global");
+        assert_eq!(Lane::Controller.label(), "controller");
+    }
+
+    #[test]
+    fn handle_defaults_to_noop() {
+        let h = RecorderHandle::default();
+        assert!(!h.enabled());
+        assert_eq!(format!("{h:?}"), "RecorderHandle(noop)");
+    }
+}

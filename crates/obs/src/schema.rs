@@ -1,0 +1,211 @@
+//! Schema validation for the JSONL trace export.
+//!
+//! The schema (enforced here, produced by [`crate::export::export_jsonl`]):
+//!
+//! * Every line is a standalone JSON object.
+//! * **Event lines** carry `seq` (integer, strictly increasing from 0),
+//!   `t_ms` (non-negative integer virtual time), `scope`/`name`/`lane`
+//!   (non-empty strings, `lane` one of `global|controller|planner|cloud`
+//!   or `node:<n>|trial:<n>|stage:<n>`), `kind` (`instant`, `span`, or
+//!   `gauge`), and `fields` (object). `span` lines add `end_ms >= t_ms`;
+//!   `gauge` lines add a numeric or null `value`.
+//! * **Metric lines** carry `metric` (`counter` or `histogram`) and
+//!   follow all event lines. Counters carry an integer `value`;
+//!   histograms carry `count`/`min`/`max`/`p50`/`p90`.
+
+use crate::json::{parse_json, Json};
+
+/// Counts from a successful validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JsonlStats {
+    pub events: usize,
+    pub counters: usize,
+    pub histograms: usize,
+}
+
+fn lane_ok(lane: &str) -> bool {
+    match lane {
+        "global" | "controller" | "planner" | "cloud" => true,
+        _ => lane
+            .split_once(':')
+            .is_some_and(|(kind, id)| {
+                matches!(kind, "node" | "trial" | "stage") && !id.is_empty() && id.bytes().all(|b| b.is_ascii_digit())
+            }),
+    }
+}
+
+fn require_str(obj: &Json, key: &str, line_no: usize) -> Result<String, String> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .filter(|s| !s.is_empty())
+        .map(str::to_owned)
+        .ok_or_else(|| format!("line {line_no}: missing or empty string `{key}`"))
+}
+
+fn require_u64(obj: &Json, key: &str, line_no: usize) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("line {line_no}: missing or non-integer `{key}`"))
+}
+
+fn require_num_or_null(obj: &Json, key: &str, line_no: usize) -> Result<(), String> {
+    match obj.get(key) {
+        Some(Json::Num(_)) | Some(Json::Null) => Ok(()),
+        _ => Err(format!("line {line_no}: missing or non-numeric `{key}`")),
+    }
+}
+
+fn validate_event_line(obj: &Json, line_no: usize, expected_seq: usize) -> Result<(), String> {
+    let seq = require_u64(obj, "seq", line_no)?;
+    if seq != expected_seq as u64 {
+        return Err(format!(
+            "line {line_no}: seq {seq} out of order (expected {expected_seq})"
+        ));
+    }
+    let t_ms = require_u64(obj, "t_ms", line_no)?;
+    require_str(obj, "scope", line_no)?;
+    require_str(obj, "name", line_no)?;
+    let lane = require_str(obj, "lane", line_no)?;
+    if !lane_ok(&lane) {
+        return Err(format!("line {line_no}: bad lane `{lane}`"));
+    }
+    if !obj.get("fields").is_some_and(Json::is_obj) {
+        return Err(format!("line {line_no}: `fields` must be an object"));
+    }
+    let kind = require_str(obj, "kind", line_no)?;
+    match kind.as_str() {
+        "instant" => Ok(()),
+        "span" => {
+            let end_ms = require_u64(obj, "end_ms", line_no)?;
+            if end_ms < t_ms {
+                return Err(format!("line {line_no}: span ends before it starts"));
+            }
+            Ok(())
+        }
+        "gauge" => require_num_or_null(obj, "value", line_no),
+        other => Err(format!("line {line_no}: unknown kind `{other}`")),
+    }
+}
+
+fn validate_metric_line(obj: &Json, line_no: usize) -> Result<bool, String> {
+    let metric = require_str(obj, "metric", line_no)?;
+    require_str(obj, "scope", line_no)?;
+    require_str(obj, "name", line_no)?;
+    match metric.as_str() {
+        "counter" => {
+            require_u64(obj, "value", line_no)?;
+            Ok(true)
+        }
+        "histogram" => {
+            require_u64(obj, "count", line_no)?;
+            for key in ["min", "max", "p50", "p90"] {
+                require_num_or_null(obj, key, line_no)?;
+            }
+            Ok(false)
+        }
+        other => Err(format!("line {line_no}: unknown metric kind `{other}`")),
+    }
+}
+
+/// Validates a JSONL trace export against the schema above.
+pub fn validate_jsonl(text: &str) -> Result<JsonlStats, String> {
+    let mut stats = JsonlStats {
+        events: 0,
+        counters: 0,
+        histograms: 0,
+    };
+    let mut in_metrics = false;
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        if line.trim().is_empty() {
+            return Err(format!("line {line_no}: blank line"));
+        }
+        let obj = parse_json(line).map_err(|e| format!("line {line_no}: {e}"))?;
+        if obj.get("metric").is_some() {
+            in_metrics = true;
+            if validate_metric_line(&obj, line_no)? {
+                stats.counters += 1;
+            } else {
+                stats.histograms += 1;
+            }
+        } else {
+            if in_metrics {
+                return Err(format!("line {line_no}: event line after metric lines"));
+            }
+            validate_event_line(&obj, line_no, stats.events)?;
+            stats.events += 1;
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::export_jsonl;
+    use crate::memory::MemoryRecorder;
+    use crate::recorder::{Lane, Recorder};
+    use rb_core::SimTime;
+
+    fn sample_export() -> String {
+        let rec = MemoryRecorder::new();
+        rec.instant(SimTime::from_millis(1), "exec", "a", Lane::Global, Vec::new());
+        rec.span(
+            SimTime::from_millis(1),
+            SimTime::from_millis(2),
+            "exec",
+            "b",
+            Lane::Node(1),
+            vec![("k", 1u64.into())],
+        );
+        rec.gauge(SimTime::from_millis(2), "ctrl", "c", Lane::Controller, 0.5);
+        rec.counter_add("sim", "hits", 3);
+        rec.histogram("sim", "h", 2.0);
+        export_jsonl(&rec.finish())
+    }
+
+    #[test]
+    fn accepts_own_exports() {
+        let stats = validate_jsonl(&sample_export()).expect("export validates");
+        assert_eq!(
+            stats,
+            JsonlStats {
+                events: 3,
+                counters: 1,
+                histograms: 1
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let good = sample_export();
+        // Truncated JSON on the first line.
+        let bad = good.replacen("{\"seq\":0", "{\"seq\":", 1);
+        assert!(validate_jsonl(&bad).is_err());
+        // Out-of-order sequence numbers.
+        let bad = good.replace("\"seq\":2", "\"seq\":7");
+        assert!(validate_jsonl(&bad).unwrap_err().contains("out of order"));
+        // Unknown lane.
+        let bad = good.replace("\"lane\":\"node:1\"", "\"lane\":\"gpu:1\"");
+        assert!(validate_jsonl(&bad).unwrap_err().contains("bad lane"));
+        // Span ending before it starts.
+        let bad = good.replace("\"end_ms\":2", "\"end_ms\":0");
+        assert!(validate_jsonl(&bad).unwrap_err().contains("ends before"));
+        // Event after metrics.
+        let mut lines: Vec<&str> = good.lines().collect();
+        let event = lines[0];
+        lines.push(event);
+        let shuffled: String = lines.join("\n");
+        assert!(validate_jsonl(&shuffled).unwrap_err().contains("after metric"));
+    }
+
+    #[test]
+    fn lane_grammar() {
+        assert!(lane_ok("node:12"));
+        assert!(lane_ok("global"));
+        assert!(!lane_ok("node:"));
+        assert!(!lane_ok("node:x"));
+        assert!(!lane_ok("worker:1"));
+    }
+}

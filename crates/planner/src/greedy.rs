@@ -15,8 +15,9 @@
 //! 2×, 3× the optimal static size and the cheapest result returned.
 
 use crate::static_planner::plan_static_optimal;
-use rb_core::{Cost, RbError, Result, SimDuration};
+use rb_core::{Cost, RbError, Result, SimDuration, SimTime};
 use rb_hpo::ExperimentSpec;
+use rb_obs::Lane;
 use rb_sim::{AllocationPlan, Prediction, Simulator};
 
 /// Tunables of the greedy planner.
@@ -96,6 +97,7 @@ pub fn optimize_plan(
     let mut best_pred = sim.predict(spec, &best_plan)?;
     let mut steps = 0;
     let gpg = sim.cloud().gpus_per_instance();
+    let recorder = sim.recorder().clone();
     while steps < config.max_steps {
         // Generate candidates per stage: the next fair decrement (§4.3)
         // and, where different, the jump to the next instance boundary
@@ -121,17 +123,21 @@ pub fn optimize_plan(
                 cands.push(cand);
             }
         }
+        recorder.counter_add("planner", "candidates_generated", cands.len() as u64);
         // One batched prediction over the whole frontier. Results come
         // back in candidate order, so the strictly-greater tie-break below
         // selects the same plan the one-at-a-time loop did.
         let mut chosen: Option<(usize, Prediction, f64)> = None;
+        let mut pruned = 0u64;
         for (idx, pred) in sim.predict_batch(spec, &cands).into_iter().enumerate() {
             let pred = pred?;
             if !pred.feasible(deadline) {
+                pruned += 1;
                 continue;
             }
             let saved = best_pred.cost - pred.cost;
             if saved < config.improvement_threshold {
+                pruned += 1;
                 continue;
             }
             // Marginal benefit: cost saved per second of JCT given up.
@@ -151,11 +157,27 @@ pub fn optimize_plan(
                 chosen = Some((idx, pred, m));
             }
         }
+        recorder.counter_add("planner", "candidates_pruned", pruned);
         match chosen {
             Some((idx, pred, _)) => {
                 best_plan = cands.swap_remove(idx);
                 best_pred = pred;
                 steps += 1;
+                recorder.counter_add("planner", "steps_taken", 1);
+                if recorder.enabled() {
+                    // Planning precedes virtual time; planner events sit
+                    // at t=0 on their own lane, ordered by sequence.
+                    recorder.instant(
+                        SimTime::ZERO,
+                        "planner",
+                        "step.accept",
+                        Lane::Planner,
+                        vec![
+                            ("cost_usd", best_pred.cost.as_dollars().into()),
+                            ("jct_secs", best_pred.jct.as_secs_f64().into()),
+                        ],
+                    );
+                }
             }
             None => break,
         }
@@ -207,24 +229,29 @@ pub fn plan_rubberband(
 ) -> Result<GreedyOutcome> {
     let (static_plan, static_pred) =
         plan_static_optimal(sim, spec, deadline, config.max_gpus_per_trial)?;
+    let recorder = sim.recorder().clone();
     // Adaptive sample counts: screen and descend at reduced fidelity,
     // re-score survivors at full fidelity below.
     let explore = exploration_sim(sim, config);
     let search_sim = explore.as_ref().unwrap_or(sim);
-    let mut best: Option<(AllocationPlan, Prediction)> = None;
+    let mut best: Option<(AllocationPlan, Prediction, u32)> = None;
     let mut total_steps = 0;
     // Predict every warm start in one batch before descending from any of
     // them (duplicates are deduplicated inside the engine).
-    let starts: Vec<AllocationPlan> = config
+    let mults: Vec<u32> = config
         .warm_start_multipliers
         .iter()
-        .filter(|&&mult| mult > 0)
+        .copied()
+        .filter(|&mult| mult > 0)
+        .collect();
+    let starts: Vec<AllocationPlan> = mults
+        .iter()
         .map(|&mult| {
             AllocationPlan::flat(static_plan.gpus(0).saturating_mul(mult), spec.num_stages())
         })
         .collect();
     let start_preds = search_sim.predict_batch(spec, &starts);
-    for (start, start_pred) in starts.into_iter().zip(start_preds) {
+    for ((mult, start), start_pred) in mults.into_iter().zip(starts).zip(start_preds) {
         if !start_pred?.feasible(deadline) {
             // A bigger static cluster that *misses* the deadline (e.g.
             // overheads grow with size) is not a usable warm start.
@@ -236,6 +263,7 @@ pub fn plan_rubberband(
         // plan that only looked feasible at exploration fidelity is
         // dropped here.
         let pred = if explore.is_some() {
+            recorder.counter_add("planner", "rescored_full_fidelity", 1);
             let full = sim.predict(spec, &plan)?;
             if !full.feasible(deadline) {
                 continue;
@@ -246,13 +274,13 @@ pub fn plan_rubberband(
         };
         let better = match &best {
             None => true,
-            Some((_, b)) => pred.cost < b.cost,
+            Some((_, b, _)) => pred.cost < b.cost,
         };
         if better {
-            best = Some((plan, pred));
+            best = Some((plan, pred, mult));
         }
     }
-    let (plan, prediction) = best.ok_or_else(|| RbError::Infeasible {
+    let (plan, prediction, winning_mult) = best.ok_or_else(|| RbError::Infeasible {
         reason: "no feasible warm start".to_string(),
     })?;
     debug_assert_eq!(
@@ -261,11 +289,33 @@ pub fn plan_rubberband(
         "selected plan must be scored at full fidelity"
     );
     // Guarantee (§4.3): never worse than the optimal static allocation.
-    let (plan, prediction) = if prediction.cost <= static_pred.cost {
+    let elastic_won = prediction.cost <= static_pred.cost;
+    let (plan, prediction) = if elastic_won {
         (plan, prediction)
     } else {
         (static_plan.clone(), static_pred)
     };
+    if elastic_won {
+        // The warm start whose descent produced the winning plan.
+        recorder.counter_add("planner", "warm_start_wins", 1);
+    } else {
+        recorder.counter_add("planner", "static_fallbacks", 1);
+    }
+    if recorder.enabled() {
+        recorder.instant(
+            SimTime::ZERO,
+            "planner",
+            "plan.selected",
+            Lane::Planner,
+            vec![
+                ("warm_start_multiplier", winning_mult.into()),
+                ("elastic_won", elastic_won.into()),
+                ("steps", total_steps.into()),
+                ("cost_usd", prediction.cost.as_dollars().into()),
+                ("jct_secs", prediction.jct.as_secs_f64().into()),
+            ],
+        );
+    }
     Ok(GreedyOutcome {
         plan,
         prediction,
@@ -385,6 +435,22 @@ pub fn plan_residual(
             reason: "no warm-start candidates".to_string(),
         })?;
     let feasible = winner.1.feasible(residual_deadline);
+    let recorder = sim.recorder();
+    recorder.counter_add("planner", "residual_replans", 1);
+    if recorder.enabled() {
+        recorder.instant(
+            SimTime::ZERO,
+            "planner",
+            "residual.selected",
+            Lane::Planner,
+            vec![
+                ("feasible", feasible.into()),
+                ("steps", total_steps.into()),
+                ("cost_usd", winner.1.cost.as_dollars().into()),
+                ("jct_secs", winner.1.jct.as_secs_f64().into()),
+            ],
+        );
+    }
     Ok(ResidualOutcome {
         plan: winner.0,
         prediction: winner.1,
@@ -421,6 +487,36 @@ mod tests {
 
     fn spec() -> ExperimentSpec {
         ExperimentSpec::from_stages(&[(16, 4), (8, 8), (4, 16), (2, 32), (1, 64)]).unwrap()
+    }
+
+    #[test]
+    fn warm_replanning_is_served_from_the_plan_cache() {
+        // The warm-path speedup the benchmarks report must be
+        // attributable to real cache hits, not an artifact: replanning
+        // the same job on a shared simulator has to hit both the plan
+        // cache and the stage-sample memo, and return the same plan.
+        let sim = sublinear_sim();
+        let deadline = SimDuration::from_mins(60);
+        let cold = plan_rubberband(&sim, &spec(), deadline, &PlannerConfig::default()).unwrap();
+        let after_cold = sim.cache_stats();
+        assert!(
+            after_cold.plan.misses > 0,
+            "cold planning must populate the plan cache"
+        );
+        assert!(
+            after_cold.stage_memo.misses > 0,
+            "cold planning must populate the stage memo"
+        );
+        let warm = plan_rubberband(&sim, &spec(), deadline, &PlannerConfig::default()).unwrap();
+        let after_warm = sim.cache_stats();
+        assert!(
+            after_warm.plan.hits > after_cold.plan.hits,
+            "warm planning must be served from the plan cache \
+             (cold: {after_cold:?}, warm: {after_warm:?})"
+        );
+        // A cached replan is byte-for-byte the cold plan.
+        assert_eq!(warm.plan, cold.plan);
+        assert_eq!(warm.prediction, cold.prediction);
     }
 
     #[test]

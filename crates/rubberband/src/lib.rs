@@ -59,6 +59,7 @@ pub use rb_core;
 pub use rb_ctrl;
 pub use rb_exec;
 pub use rb_hpo;
+pub use rb_obs;
 pub use rb_placement;
 pub use rb_planner;
 pub use rb_profile;
@@ -68,12 +69,14 @@ pub use rb_train;
 
 use rb_core::{Cost, Prng, Result, SimDuration};
 use rb_ctrl::{AdaptationLog, AdaptiveController, ControllerConfig};
-use rb_exec::{ExecOptions, ExecutionReport, Executor};
+use rb_exec::{ExecOptions, ExecutionReport, Executor, NoopHook};
 use rb_hpo::{ExperimentSpec, SearchSpace};
+use rb_obs::{MemoryRecorder, RecorderHandle, RunSummary, TraceLog};
 use rb_planner::{plan_with_policy, PlanOutcome, PlannerConfig, Policy};
 use rb_profile::{CloudProfile, ModelProfile};
-use rb_sim::{AllocationPlan, Simulator};
+use rb_sim::{AllocationPlan, SimCacheStats, Simulator};
 use rb_train::TaskModel;
+use std::sync::Arc;
 
 /// Commonly used items, re-exported flat.
 pub mod prelude {
@@ -82,6 +85,7 @@ pub mod prelude {
     pub use rb_ctrl::{AdaptiveController, ControllerConfig, DriftConfig, ReplanEvent};
     pub use rb_exec::{ExecOptions, ExecutionReport, Executor};
     pub use rb_hpo::{Config, Dim, ExperimentSpec, SearchSpace, ShaParams};
+    pub use rb_obs::{CacheStats, MemoryRecorder, RecorderHandle, RunSummary, TraceLog};
     pub use rb_planner::{PlanOutcome, PlannerConfig, Policy};
     pub use rb_profile::{CloudProfile, ModelProfile};
     pub use rb_scaling::{
@@ -293,6 +297,161 @@ pub fn execute_adaptive(
     })
 }
 
+/// An execution report bundled with the run's observability artifacts:
+/// the [`RunSummary`] rollup and the full structured [`TraceLog`]
+/// (exportable as JSONL or a Chrome/Perfetto trace via [`rb_obs::export`]).
+#[derive(Debug, Clone)]
+pub struct ObservedReport {
+    /// The execution report (JCT, cost, winner, trace).
+    pub report: ExecutionReport,
+    /// Drift readings and re-planning decisions (adaptive runs only).
+    pub adaptation: Option<AdaptationLog>,
+    /// The end-of-run rollup (byte-stable `render()` for CI diffing).
+    pub summary: RunSummary,
+    /// Every structured event, counter, and histogram the run emitted.
+    pub log: TraceLog,
+}
+
+/// Builds the [`RunSummary`] rollup from an execution report, the
+/// simulator's cache counters, and (for adaptive runs) the adaptation
+/// log. Public so the `repro`/`bench` binaries can roll up runs they
+/// drive through lower-level APIs.
+pub fn summarize_run(
+    report: &ExecutionReport,
+    caches: SimCacheStats,
+    adaptation: Option<&AdaptationLog>,
+    trace_events: usize,
+) -> RunSummary {
+    let gpu_busy_secs = report.trace.busy_gpu_seconds();
+    // The report keeps utilization = busy / held; invert it to recover
+    // held GPU-seconds (0 when nothing was held or utilization is
+    // unknown).
+    let gpu_held_secs = match report.utilization {
+        Some(u) if u > 0.0 => gpu_busy_secs / u,
+        _ => 0.0,
+    };
+    RunSummary {
+        jct: report.jct,
+        compute_cost: report.compute_cost,
+        data_cost: report.data_cost,
+        best_accuracy: report.best_accuracy,
+        stages: report.stages.len(),
+        migrations: report.migrations as usize,
+        preemptions: report.preemptions as usize,
+        instances_provisioned: report.instances_provisioned,
+        gpu_busy_secs,
+        gpu_held_secs,
+        plan_cache: caches.plan,
+        stage_memo: caches.stage_memo,
+        replans_applied: adaptation.map_or(0, AdaptationLog::applied),
+        replans_rejected: adaptation.map_or(0, |log| log.events.len() - log.applied()),
+        trace_events,
+    }
+}
+
+/// [`execute_with`] with a recording observability sink: the executor
+/// and cloud provider emit structured events into an in-memory bus, and
+/// the result bundles the report with its [`RunSummary`] and
+/// [`TraceLog`]. The execution itself is bit-identical to
+/// [`execute_with`] — the recorder only ever receives values.
+///
+/// # Errors
+///
+/// Propagates executor errors.
+pub fn execute_observed(
+    spec: &ExperimentSpec,
+    plan: &AllocationPlan,
+    task: &TaskModel,
+    physics: &ModelProfile,
+    cloud: &CloudProfile,
+    space: &SearchSpace,
+    options: ExecOptions,
+) -> Result<ObservedReport> {
+    let sink = Arc::new(MemoryRecorder::new());
+    let recorder = RecorderHandle::new(sink.clone());
+    let mut rng = Prng::seed_from_u64(options.seed ^ 0x005A_3CE0_u64);
+    let configs = space.sample_n(spec.initial_trials() as usize, &mut rng);
+    let report = Executor::new(
+        spec.clone(),
+        plan.clone(),
+        task.clone(),
+        physics.clone(),
+        cloud.clone(),
+    )?
+    .with_options(options)
+    .run_observed(&configs, &mut NoopHook, recorder)?;
+    let log = sink.finish();
+    let summary = summarize_run(&report, SimCacheStats::default(), None, log.events.len());
+    Ok(ObservedReport {
+        report,
+        adaptation: None,
+        summary,
+        log,
+    })
+}
+
+/// [`execute_adaptive`] with a recording observability sink. The same
+/// recorder is attached to the executor, the cloud provider, and the
+/// controller's simulator, so planner re-scoring, drift gauges, replan
+/// decisions, cloud lifecycle events, and the execution timeline all
+/// land on one bus stamped in virtual time. Execution is bit-identical
+/// to [`execute_adaptive`].
+///
+/// # Errors
+///
+/// Propagates controller construction errors and executor errors.
+#[allow(clippy::too_many_arguments)] // Mirrors `execute_adaptive`.
+pub fn execute_adaptive_observed(
+    spec: &ExperimentSpec,
+    plan: &AllocationPlan,
+    task: &TaskModel,
+    physics: &ModelProfile,
+    model: &ModelProfile,
+    cloud: &CloudProfile,
+    space: &SearchSpace,
+    deadline: SimDuration,
+    options: ExecOptions,
+    config: &ControllerConfig,
+) -> Result<ObservedReport> {
+    let sink = Arc::new(MemoryRecorder::new());
+    let recorder = RecorderHandle::new(sink.clone());
+    let sim = Simulator::new(model.clone(), cloud.clone()).with_recorder(recorder.clone());
+    // Clones share the cache counters; keep one to read totals after the
+    // controller consumes `sim`.
+    let cache_view = sim.clone();
+    let mut controller =
+        AdaptiveController::new(sim, spec.clone(), plan, deadline, config.clone())?;
+    let mut rng = Prng::seed_from_u64(options.seed ^ 0x005A_3CE0_u64);
+    let configs = space.sample_n(spec.initial_trials() as usize, &mut rng);
+    let report = Executor::new(
+        spec.clone(),
+        plan.clone(),
+        task.clone(),
+        physics.clone(),
+        cloud.clone(),
+    )?
+    .with_options(options)
+    .run_observed(&configs, &mut controller, recorder.clone())?;
+    let adaptation = controller.into_log();
+    let caches = cache_view.cache_stats();
+    // Mirror the passive cache tallies onto the bus so exported traces
+    // carry them without a side channel.
+    recorder.counter_add("sim", "plan_cache_hits", caches.plan.hits);
+    recorder.counter_add("sim", "plan_cache_misses", caches.plan.misses);
+    recorder.counter_add("sim", "plan_cache_evictions", caches.plan.evictions);
+    recorder.counter_add("sim", "stage_memo_hits", caches.stage_memo.hits);
+    recorder.counter_add("sim", "stage_memo_misses", caches.stage_memo.misses);
+    recorder.counter_add("sim", "stage_memo_evictions", caches.stage_memo.evictions);
+    let log = sink.finish();
+    let summary = summarize_run(&report, caches, Some(&adaptation), log.events.len());
+    Ok(ObservedReport {
+        report,
+        adaptation: Some(adaptation),
+        summary,
+        log,
+    })
+}
+
 /// The outcome of executing a Hyperband-style multi-job.
 #[derive(Debug, Clone)]
 pub struct MultiJobReport {
@@ -483,6 +642,120 @@ mod tests {
         assert_eq!(adaptive.report.jct, open.jct);
         assert_eq!(adaptive.report.compute_cost, open.compute_cost);
         assert_eq!(adaptive.report.best_accuracy, open.best_accuracy);
+    }
+
+    #[test]
+    fn observed_run_matches_plain_execute() {
+        let spec = ShaParams::new(8, 1, 8).generate().unwrap();
+        let task = rb_train::task::resnet50_cifar10();
+        let physics = ModelProfile::exact_for_task(&task, 512, 4);
+        let cloud = CloudProfile::new(CloudPricing::on_demand(P3_8XLARGE));
+        let outcome = compile_plan(&spec, &physics, &cloud, SimDuration::from_hours(2)).unwrap();
+        let space = SearchSpace::new()
+            .add("lr", Dim::LogUniform { lo: 1e-3, hi: 1.0 })
+            .build()
+            .unwrap();
+        let plain = execute(&spec, &outcome.plan, &task, &physics, &cloud, &space, 11).unwrap();
+        let observed = execute_observed(
+            &spec,
+            &outcome.plan,
+            &task,
+            &physics,
+            &cloud,
+            &space,
+            ExecOptions {
+                seed: 11,
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap();
+        // Recording must not perturb execution in any way.
+        assert_eq!(observed.report.jct, plain.jct);
+        assert_eq!(observed.report.compute_cost, plain.compute_cost);
+        assert_eq!(observed.report.data_cost, plain.data_cost);
+        assert_eq!(observed.report.best_accuracy, plain.best_accuracy);
+        assert_eq!(observed.report.trace, plain.trace);
+        // The summary is a faithful rollup of the report.
+        assert_eq!(observed.summary.jct, plain.jct);
+        assert_eq!(observed.summary.total_cost(), plain.total_cost());
+        assert_eq!(observed.summary.stages, plain.stages.len());
+        assert_eq!(observed.summary.trace_events, observed.log.events.len());
+        assert!(observed.log.events.len() > 0);
+        assert!(observed.summary.gpu_busy_secs > 0.0);
+    }
+
+    #[test]
+    fn adaptive_observed_is_bit_identical_and_exports_deterministically() {
+        let spec = ShaParams::new(8, 1, 8).generate().unwrap();
+        let task = rb_train::task::resnet50_cifar10();
+        let physics = ModelProfile::exact_for_task(&task, 512, 4);
+        let cloud = CloudProfile::new(CloudPricing::on_demand(P3_8XLARGE));
+        let deadline = SimDuration::from_hours(2);
+        let outcome = compile_plan(&spec, &physics, &cloud, deadline).unwrap();
+        let space = SearchSpace::new()
+            .add("lr", Dim::LogUniform { lo: 1e-3, hi: 1.0 })
+            .build()
+            .unwrap();
+        let opts = || ExecOptions {
+            seed: 5,
+            ..ExecOptions::default()
+        };
+        let run = || {
+            execute_adaptive_observed(
+                &spec,
+                &outcome.plan,
+                &task,
+                &physics,
+                &physics,
+                &cloud,
+                &space,
+                deadline,
+                opts(),
+                &ControllerConfig::default(),
+            )
+            .unwrap()
+        };
+        let a = run();
+        // The no-op-recorder adaptive run is the baseline; the recording
+        // run must match it bit for bit.
+        let noop = execute_adaptive(
+            &spec,
+            &outcome.plan,
+            &task,
+            &physics,
+            &physics,
+            &cloud,
+            &space,
+            deadline,
+            opts(),
+            &ControllerConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(a.report.jct, noop.report.jct);
+        assert_eq!(a.report.compute_cost, noop.report.compute_cost);
+        assert_eq!(a.report.trace, noop.report.trace);
+        assert_eq!(a.adaptation.as_ref().unwrap().events.len(), noop.adaptation.events.len());
+        // Same seed -> byte-identical exports, and the JSONL passes the
+        // schema validator.
+        let b = run();
+        let jsonl_a = rb_obs::export::export_jsonl(&a.log);
+        let jsonl_b = rb_obs::export::export_jsonl(&b.log);
+        assert_eq!(jsonl_a, jsonl_b);
+        assert_eq!(
+            rb_obs::export::export_chrome(&a.log),
+            rb_obs::export::export_chrome(&b.log)
+        );
+        rb_obs::schema::validate_jsonl(&jsonl_a).expect("exported trace validates");
+        assert_eq!(a.summary.render(), b.summary.render());
+        // Building the drift envelope exercised the stage-sample memo
+        // (the plan cache is only consulted when a replan is scored).
+        assert!(a.summary.stage_memo.hits + a.summary.stage_memo.misses > 0);
+        assert_eq!(
+            a.log.counter("sim", "stage_memo_misses"),
+            a.summary.stage_memo.misses
+        );
+        // Drift gauges flow from the controller onto the same bus.
+        assert!(a.log.events_named("ctrl", "drift_factor").count() > 0);
     }
 
     #[test]

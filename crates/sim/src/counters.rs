@@ -1,0 +1,76 @@
+//! Always-on cache instrumentation for the prediction engine.
+//!
+//! The plan cache and the stage-sample memo were previously
+//! unobservable: a warm-path speedup in the benchmarks could not be
+//! attributed to an actual hit rate. These counters are plain relaxed
+//! atomics — a few nanoseconds per lookup, shared by clones through the
+//! same `Arc`s as the caches they describe — and feed the
+//! [`rb_obs::CacheStats`] snapshots surfaced in `RunSummary`.
+//!
+//! Counting is strictly passive: no counter value ever influences a
+//! cache decision, so predictions stay bit-identical whether anyone
+//! reads them or not.
+
+use rb_obs::CacheStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Hit/miss/eviction tallies for one cache. All operations use relaxed
+/// ordering: the counts are statistics, not synchronization.
+#[derive(Debug, Default)]
+pub struct CacheCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl CacheCounters {
+    /// Records `n` lookups served from the cache.
+    pub fn hits_add(&self, n: u64) {
+        if n > 0 {
+            self.hits.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Records `n` lookups that had to compute.
+    pub fn misses_add(&self, n: u64) {
+        if n > 0 {
+            self.misses.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Records `n` entries dropped by eviction.
+    pub fn evictions_add(&self, n: u64) {
+        if n > 0 {
+            self.evictions.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current totals.
+    pub fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let c = CacheCounters::default();
+        c.hits_add(2);
+        c.misses_add(1);
+        c.hits_add(3);
+        c.evictions_add(10);
+        c.hits_add(0); // no-op
+        let snap = c.snapshot();
+        assert_eq!(snap.hits, 5);
+        assert_eq!(snap.misses, 1);
+        assert_eq!(snap.evictions, 10);
+        assert!((snap.hit_rate() - 5.0 / 6.0).abs() < 1e-12);
+    }
+}

@@ -165,14 +165,21 @@ pub struct DagTemplate {
     /// Memoized per-stage execution samples keyed by the stage's canonical
     /// sampling configuration `(stage, gpus_per_trial, parallel_slots,
     /// new_instances, seed)` — see [`DagTemplate::stage_samples`].
-    stage_memo: Mutex<HashMap<(usize, u32, u32, u32, u64), Arc<Vec<StageSample>>>>,
+    stage_memo: Mutex<HashMap<StageMemoKey, Arc<Vec<StageSample>>>>,
     /// Generation cap on `stage_memo`: when an insert would push the memo
     /// past this many entries the whole memo is dropped and re-grown (a
     /// new generation). Entries are pure functions of their key, so
     /// eviction can never change results — only make them slower to
     /// recompute. `0` disables the cap.
     memo_cap: usize,
+    /// Hit/miss/eviction tallies for `stage_memo` (passive; see
+    /// [`crate::counters::CacheCounters`]).
+    counters: crate::counters::CacheCounters,
 }
+
+/// Stage-memo key: `(stage, gpus_per_trial, parallel_slots,
+/// new_instances, seed)`.
+type StageMemoKey = (usize, u32, u32, u32, u64);
 
 /// Default [`DagTemplate`] stage-sample memo capacity, in entries. Sized
 /// for planning workloads (a greedy descent touches a few hundred stage
@@ -216,6 +223,7 @@ impl DagTemplate {
             train_dists: Mutex::new(HashMap::new()),
             stage_memo: Mutex::new(HashMap::new()),
             memo_cap: DEFAULT_STAGE_MEMO_CAP,
+            counters: crate::counters::CacheCounters::default(),
         }
     }
 
@@ -495,10 +503,12 @@ impl DagTemplate {
             let memo = self.stage_memo.lock().expect("stage-sample memo poisoned");
             if let Some(v) = memo.get(&key) {
                 if v.len() >= samples as usize {
+                    self.counters.hits_add(1);
                     return v.clone();
                 }
             }
         }
+        self.counters.misses_add(1);
         // Computed outside the lock; a racing thread derives the exact
         // same values from the same counters, so last-write-wins is safe.
         let v: Arc<Vec<StageSample>> = Arc::new(
@@ -513,6 +523,7 @@ impl DagTemplate {
         if self.memo_cap > 0 && memo.len() >= self.memo_cap && !memo.contains_key(&key) {
             // Generation eviction: drop the whole memo rather than track
             // recency. Outstanding `Arc`s handed to callers stay valid.
+            self.counters.evictions_add(memo.len() as u64);
             memo.clear();
         }
         memo.insert(key, v.clone());
@@ -526,6 +537,12 @@ impl DagTemplate {
             .lock()
             .expect("stage-sample memo poisoned")
             .len()
+    }
+
+    /// Hit/miss/eviction totals of the stage-sample memo since this
+    /// template was built.
+    pub fn memo_stats(&self) -> rb_obs::CacheStats {
+        self.counters.snapshot()
     }
 }
 

@@ -18,12 +18,15 @@
 //! instance lifetimes — including time held idle at barriers behind
 //! stragglers — with per-second granularity and a 60 s minimum charge.
 
+pub mod counters;
 pub mod dag;
 pub mod plan;
 pub mod simulate;
 
+pub use counters::CacheCounters;
 pub use dag::{DagNode, DagTemplate, ExecDag, Latency, NodeKind, StageSample};
 pub use plan::AllocationPlan;
 pub use simulate::{
-    EngineConfig, Prediction, RunSample, SimConfig, Simulator, StageBreakdown, StageQuantiles,
+    EngineConfig, Prediction, RunSample, SimCacheStats, SimConfig, Simulator, StageBreakdown,
+    StageQuantiles,
 };

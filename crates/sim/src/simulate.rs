@@ -23,11 +23,13 @@
 //! walk the full DAG node by node; both draw the same node latencies from
 //! the same counter-derived streams.
 
+use crate::counters::CacheCounters;
 use crate::dag::{DagTemplate, ExecDag, NodeKind, StageSample};
 use crate::plan::AllocationPlan;
 use rb_core::par::run_chunked;
 use rb_core::{Cost, Prng, Result, SimDuration};
 use rb_hpo::ExperimentSpec;
+use rb_obs::{CacheStats, RecorderHandle};
 use rb_profile::{CloudProfile, ModelProfile};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -212,14 +214,17 @@ type PredictionCache = HashMap<u64, HashMap<Vec<u32>, Prediction>>;
 
 /// Resets the prediction cache when inserting `incoming` more entries
 /// would exceed `cap` (generation eviction; `cap == 0` disables).
-fn evict_generation(cache: &mut PredictionCache, cap: usize, incoming: usize) {
+/// Returns the number of entries dropped.
+fn evict_generation(cache: &mut PredictionCache, cap: usize, incoming: usize) -> usize {
     if cap == 0 {
-        return;
+        return 0;
     }
     let total: usize = cache.values().map(HashMap::len).sum();
     if total + incoming > cap {
         cache.clear();
+        return total;
     }
+    0
 }
 
 /// Expands a plan's instance ladder into release groups: `(stage,
@@ -263,6 +268,16 @@ fn spec_fingerprint(spec: &ExperimentSpec) -> u64 {
     hasher.finish()
 }
 
+/// Snapshot of the prediction engine's cache counters (see
+/// [`Simulator::cache_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimCacheStats {
+    /// The memoized-prediction (plan) cache.
+    pub plan: CacheStats,
+    /// The per-template stage-sample memo, summed over cached templates.
+    pub stage_memo: CacheStats,
+}
+
 /// The plan simulator: owns the fitted profiles and predicts JCT/cost for
 /// candidate allocation plans.
 ///
@@ -283,6 +298,14 @@ pub struct Simulator {
     templates: Arc<Mutex<HashMap<u64, Arc<DagTemplate>>>>,
     /// Memoized predictions.
     predictions: Arc<Mutex<PredictionCache>>,
+    /// Plan-cache hit/miss/eviction tallies (passive; shared by clones
+    /// for the lifetime of the planning session, surviving cache
+    /// detachment so totals cover the whole run).
+    plan_counters: Arc<CacheCounters>,
+    /// Observability sink; the no-op handle by default. Prediction
+    /// results are bit-identical whatever recorder is attached — the
+    /// recorder only ever *receives* values.
+    recorder: RecorderHandle,
 }
 
 impl Simulator {
@@ -295,6 +318,40 @@ impl Simulator {
             engine: EngineConfig::default(),
             templates: Arc::new(Mutex::new(HashMap::new())),
             predictions: Arc::new(Mutex::new(HashMap::new())),
+            plan_counters: Arc::new(CacheCounters::default()),
+            recorder: RecorderHandle::noop(),
+        }
+    }
+
+    /// Attaches an observability recorder. The recorder receives cache
+    /// statistics and per-sample critical-path histograms; it never
+    /// influences prediction results.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: RecorderHandle) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The attached recorder (the no-op handle unless
+    /// [`Simulator::with_recorder`] was called). The planner and the
+    /// adaptation controller emit their events through this.
+    pub fn recorder(&self) -> &RecorderHandle {
+        &self.recorder
+    }
+
+    /// Cache statistics for this simulator's planning session: plan
+    /// cache totals (shared by clones) and stage-sample memo totals
+    /// summed over the cached templates.
+    pub fn cache_stats(&self) -> SimCacheStats {
+        let stage_memo = self
+            .templates
+            .lock()
+            .expect("template cache poisoned")
+            .values()
+            .fold(CacheStats::default(), |acc, t| acc.merged(&t.memo_stats()));
+        SimCacheStats {
+            plan: self.plan_counters.snapshot(),
+            stage_memo,
         }
     }
 
@@ -486,6 +543,18 @@ impl Simulator {
                 })
                 .collect()
         });
+        if self.recorder.enabled() {
+            // Per-sample critical-path observations: each sampled JCT is
+            // the length of that sample's DAG critical path. The vector
+            // is index-ordered regardless of thread count, and histogram
+            // statistics are order-insensitive anyway.
+            for s in &samples {
+                self.recorder
+                    .histogram("sim", "sample_jct_secs", s.jct_secs);
+                self.recorder
+                    .histogram("sim", "sample_cost_usd", s.total_cost().as_dollars());
+            }
+        }
         // Two-pass mean/std, inlined to keep the hot path allocation-free
         // (same unbiased n-1 semantics as `rb_core::stats::std`).
         let n_f = samples.len() as f64;
@@ -583,11 +652,14 @@ impl Simulator {
             .get(&fp)
             .and_then(|per_plan| per_plan.get(plan.as_slice()))
         {
+            self.plan_counters.hits_add(1);
             return Ok(*hit);
         }
+        self.plan_counters.misses_add(1);
         let pred = self.predict_uncached(spec, plan, self.engine.threads)?;
         let mut cache = self.predictions.lock().expect("prediction cache poisoned");
-        evict_generation(&mut cache, self.engine.plan_cache_cap, 1);
+        let evicted = evict_generation(&mut cache, self.engine.plan_cache_cap, 1);
+        self.plan_counters.evictions_add(evicted as u64);
         cache
             .entry(fp)
             .or_default()
@@ -630,6 +702,11 @@ impl Simulator {
         } else {
             out.resize_with(plans.len(), || None);
             miss_idx.extend(0..plans.len());
+        }
+        if self.engine.plan_cache {
+            self.plan_counters
+                .hits_add((plans.len() - miss_idx.len()) as u64);
+            self.plan_counters.misses_add(miss_idx.len() as u64);
         }
         // Deduplicate repeated plans within the batch (candidate ladders
         // overlap): compute each distinct plan once. Batches are a handful
@@ -676,7 +753,8 @@ impl Simulator {
         if self.engine.plan_cache {
             let mut cache = self.predictions.lock().expect("prediction cache poisoned");
             let incoming = computed.iter().filter(|r| r.is_ok()).count();
-            evict_generation(&mut cache, self.engine.plan_cache_cap, incoming);
+            let evicted = evict_generation(&mut cache, self.engine.plan_cache_cap, incoming);
+            self.plan_counters.evictions_add(evicted as u64);
             let per_plan = cache.entry(fp).or_default();
             for (&i, result) in compute_idx.iter().zip(&computed) {
                 if let Ok(pred) = result {

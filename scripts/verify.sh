@@ -55,4 +55,20 @@ diff -u scripts/expected_ext_adapt.txt "$summary"
 rm -f "$summary"
 echo "ok"
 
+echo "== trace smoke (seeded; JSONL schema + RunSummary must match) =="
+# One observed adaptive run under drift + spot churn. `repro trace`
+# schema-validates the JSONL in-process and ends its output with the
+# byte-stable RunSummary; the prediction engine is pinned to one thread
+# inside the workload, so the rollup is identical on every machine.
+trace_dir=$(mktemp -d)
+(cd "$trace_dir" && cargo run --manifest-path "$repo/Cargo.toml" \
+    -p rb-bench --release --offline --bin repro -- trace) > "$trace_dir/out.txt"
+sed -n '/^run summary:/,$p' "$trace_dir/out.txt" > "$trace_dir/summary.txt"
+diff -u scripts/expected_summary.txt "$trace_dir/summary.txt"
+for f in trace.jsonl trace.chrome.json; do
+    [ -s "$trace_dir/repro_out/$f" ] || { echo "FAIL: missing $f" >&2; exit 1; }
+done
+rm -rf "$trace_dir"
+echo "ok"
+
 echo "verify: all checks passed"
