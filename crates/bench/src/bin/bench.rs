@@ -264,7 +264,10 @@ fn bench_exec_adaptive(smoke: bool) -> String {
     let model = ModelProfile::exact_for_task(&task, 1024, 4);
     // Ground truth runs 1.5x slower than the model: drift is guaranteed.
     let mut physics = model.clone();
-    physics.scaling = Arc::new(rb_scaling::RescaledScaling::new(physics.scaling.clone(), 1.5));
+    physics.scaling = Arc::new(rb_scaling::RescaledScaling::new(
+        physics.scaling.clone(),
+        1.5,
+    ));
     let cloud = CloudProfile::new(CloudPricing::on_demand(P3_8XLARGE))
         .with_provision_delay(SimDuration::from_secs(15))
         .with_init_latency(SimDuration::from_secs(15));

@@ -46,7 +46,8 @@ fn fig10(quick: bool, csv_dir: Option<&Path>) {
         let rows = figures::fig10(gb, prices, SimDuration::from_mins(20));
         figures::print_fig10(name, gb, &rows);
         if let Some(dir) = csv_dir {
-            csv::export_fig10(dir, name, &rows).unwrap_or_else(|e| rb_obs::log_error!("repro", "{e}"));
+            csv::export_fig10(dir, name, &rows)
+                .unwrap_or_else(|e| rb_obs::log_error!("repro", "{e}"));
         }
         println!();
     }
@@ -65,7 +66,8 @@ fn fig11(quick: bool, csv_dir: Option<&Path>) {
         let rows = figures::fig11(ks, per_function, SimDuration::from_mins(20));
         figures::print_fig11(name, &rows);
         if let Some(dir) = csv_dir {
-            csv::export_fig11(dir, key, &rows).unwrap_or_else(|e| rb_obs::log_error!("repro", "{e}"));
+            csv::export_fig11(dir, key, &rows)
+                .unwrap_or_else(|e| rb_obs::log_error!("repro", "{e}"));
         }
         println!();
     }
@@ -81,7 +83,8 @@ fn fig12(quick: bool, csv_dir: Option<&Path>) {
         let rows = figures::fig12(init, &deadlines);
         figures::print_fig12(init, &rows);
         if let Some(dir) = csv_dir {
-            csv::export_fig12(dir, init, &rows).unwrap_or_else(|e| rb_obs::log_error!("repro", "{e}"));
+            csv::export_fig12(dir, init, &rows)
+                .unwrap_or_else(|e| rb_obs::log_error!("repro", "{e}"));
         }
         println!();
     }
@@ -137,12 +140,35 @@ fn ext_spot(quick: bool) {
 }
 
 fn ext_adapt(quick: bool) {
-    let (slowdowns, rates, thresholds): (&[f64], &[f64], &[f64]) = if quick {
-        (&[1.0, 1.5], &[0.0, 1.0], &[1.15])
-    } else {
-        (&[1.0, 1.25, 1.5], &[0.0, 0.5, 2.0], &[1.1, 1.25])
-    };
-    match rb_bench::adapt::ext_adapt(slowdowns, rates, thresholds, 1) {
+    use rb_bench::adapt::DriftScenario;
+    let (scenarios, rates, thresholds, watchdogs): (Vec<DriftScenario>, &[f64], &[f64], &[bool]) =
+        if quick {
+            (
+                vec![
+                    DriftScenario::calm(),
+                    DriftScenario::uniform(1.5),
+                    DriftScenario::straggler(4, 6.0),
+                ],
+                &[0.0, 1.0],
+                &[1.15],
+                &[false, true],
+            )
+        } else {
+            (
+                vec![
+                    DriftScenario::calm(),
+                    DriftScenario::uniform(1.25),
+                    DriftScenario::uniform(1.5),
+                    DriftScenario::contention(6.0),
+                    DriftScenario::straggler(4, 3.0),
+                    DriftScenario::straggler(4, 6.0),
+                ],
+                &[0.0, 0.5, 2.0],
+                &[1.1, 1.25],
+                &[false, true],
+            )
+        };
+    match rb_bench::adapt::ext_adapt(&scenarios, rates, thresholds, watchdogs, 1) {
         Ok((deadline, rows)) => rb_bench::adapt::print_ext_adapt(deadline, &rows),
         Err(e) => rb_obs::log_error!("repro", "ext-adapt failed: {e}"),
     }

@@ -78,18 +78,12 @@ pub fn run_trace(seed: u64) -> Result<TraceArtifact> {
     // Identical config sampling to `rubberband::execute_with`.
     let mut rng = Prng::seed_from_u64(seed ^ 0x005A_3CE0_u64);
     let configs = space.sample_n(spec.initial_trials() as usize, &mut rng);
-    let report = Executor::new(
-        spec.clone(),
-        out.plan.clone(),
-        task.clone(),
-        physics,
-        cloud,
-    )?
-    .with_options(ExecOptions {
-        seed,
-        ..ExecOptions::default()
-    })
-    .run_observed(&configs, &mut controller, recorder.clone())?;
+    let report = Executor::new(spec.clone(), out.plan.clone(), task.clone(), physics, cloud)?
+        .with_options(ExecOptions {
+            seed,
+            ..ExecOptions::default()
+        })
+        .run_observed(&configs, &mut controller, recorder.clone())?;
     let adaptation = controller.into_log();
 
     // Mirror the passive cache tallies onto the bus, as the facade does,

@@ -7,7 +7,7 @@
 //! the comparison Fig. 9 and Fig. 11 make.
 
 use crate::pricing::{BillingModel, CloudPricing};
-use rb_core::{Cost, InstanceId, SimDuration, SimTime};
+use rb_core::{Cost, InstanceId, RbError, Result, SimDuration, SimTime};
 use std::collections::BTreeMap;
 
 /// One function execution: `gpus` GPUs busy for `duration`.
@@ -62,17 +62,26 @@ impl BillingMeter {
 
     /// Records that `id` was terminated at `t`.
     ///
-    /// # Panics
+    /// Stopping is **idempotent**: a spot reclaim can race the executor's
+    /// own release, so a second stop keeps the *earliest* recorded stop
+    /// time and is not an error. A stop time before the recorded start is
+    /// clamped to the start (zero-length lifetime; the billing minimum
+    /// still applies exactly once, in [`CloudPricing::instance_charge`]).
     ///
-    /// Panics in debug builds if the instance is unknown or already stopped.
-    pub fn instance_stopped(&mut self, id: InstanceId, t: SimTime) {
+    /// # Errors
+    ///
+    /// Returns [`RbError::Provider`] if the instance was never started.
+    pub fn instance_stopped(&mut self, id: InstanceId, t: SimTime) -> Result<()> {
         let life = self
             .lifetimes
             .get_mut(&id)
-            .unwrap_or_else(|| panic!("instance {id} stopped but never started"));
-        debug_assert!(life.stopped.is_none(), "instance {id} stopped twice");
-        debug_assert!(t >= life.started, "instance {id} stopped before start");
-        life.stopped = Some(t);
+            .ok_or_else(|| RbError::Provider(format!("instance {id} stopped but never started")))?;
+        let t = t.max(life.started);
+        life.stopped = Some(match life.stopped {
+            Some(prev) => prev.min(t),
+            None => t,
+        });
+        Ok(())
     }
 
     /// Records a function execution (used for per-function compute billing
@@ -191,9 +200,11 @@ mod tests {
     fn per_instance_bill_sums_lifetimes() {
         let mut m = BillingMeter::new();
         m.instance_started(InstanceId::new(0), SimTime::ZERO);
-        m.instance_stopped(InstanceId::new(0), SimTime::from_secs(3600));
+        m.instance_stopped(InstanceId::new(0), SimTime::from_secs(3600))
+            .unwrap();
         m.instance_started(InstanceId::new(1), SimTime::from_secs(100));
-        m.instance_stopped(InstanceId::new(1), SimTime::from_secs(1900));
+        m.instance_stopped(InstanceId::new(1), SimTime::from_secs(1900))
+            .unwrap();
         let bill = m.compute_cost(&pricing(), SimTime::from_secs(3600));
         // 1 h + 0.5 h = 1.5 × hourly.
         assert_eq!(bill, P3_8XLARGE.on_demand_hourly * 3 / 2);
@@ -211,7 +222,8 @@ mod tests {
     fn minimum_charge_applies_per_instance() {
         let mut m = BillingMeter::new();
         m.instance_started(InstanceId::new(0), SimTime::ZERO);
-        m.instance_stopped(InstanceId::new(0), SimTime::from_secs(5));
+        m.instance_stopped(InstanceId::new(0), SimTime::from_secs(5))
+            .unwrap();
         let bill = m.compute_cost(&pricing(), SimTime::from_secs(5));
         assert_eq!(
             bill,
@@ -222,10 +234,72 @@ mod tests {
     }
 
     #[test]
+    fn double_stop_is_idempotent_and_keeps_earliest() {
+        let mut m = BillingMeter::new();
+        m.instance_started(InstanceId::new(0), SimTime::ZERO);
+        // Spot reclaim at t=1800 races the executor's own release at
+        // t=3600 — whichever lands second must not extend the bill.
+        m.instance_stopped(InstanceId::new(0), SimTime::from_secs(3600))
+            .unwrap();
+        m.instance_stopped(InstanceId::new(0), SimTime::from_secs(1800))
+            .unwrap();
+        m.instance_stopped(InstanceId::new(0), SimTime::from_secs(7200))
+            .unwrap();
+        let bill = m.compute_cost(&pricing(), SimTime::from_secs(7200));
+        assert_eq!(bill, P3_8XLARGE.on_demand_hourly / 2);
+    }
+
+    #[test]
+    fn stop_of_unknown_instance_is_a_typed_error() {
+        let mut m = BillingMeter::new();
+        let err = m
+            .instance_stopped(InstanceId::new(7), SimTime::from_secs(10))
+            .unwrap_err();
+        assert!(matches!(err, rb_core::RbError::Provider(_)));
+    }
+
+    #[test]
+    fn stop_before_start_clamps_to_zero_length() {
+        let mut m = BillingMeter::new();
+        m.instance_started(InstanceId::new(0), SimTime::from_secs(100));
+        m.instance_stopped(InstanceId::new(0), SimTime::from_secs(40))
+            .unwrap();
+        // Zero-length lifetime still pays the 60 s minimum, once.
+        let bill = m.compute_cost(&pricing(), SimTime::from_secs(100));
+        assert_eq!(
+            bill,
+            pricing()
+                .instance_hourly()
+                .per_hour_for(SimDuration::from_secs(60))
+        );
+    }
+
+    #[test]
+    fn preempted_instance_pays_minimum_exactly_once() {
+        // A 5 s spot lifetime reclaimed, then redundantly released by the
+        // executor: the 60 s minimum applies once, not per stop call.
+        let mut m = BillingMeter::new();
+        m.instance_started(InstanceId::new(0), SimTime::ZERO);
+        m.instance_stopped(InstanceId::new(0), SimTime::from_secs(5))
+            .unwrap();
+        m.instance_stopped(InstanceId::new(0), SimTime::from_secs(5))
+            .unwrap();
+        let expected = pricing()
+            .instance_hourly()
+            .per_hour_for(SimDuration::from_secs(60));
+        assert_eq!(m.compute_cost(&pricing(), SimTime::from_secs(5)), expected);
+        // The timeline agrees: one point, one minimum charge.
+        let timeline = m.cost_timeline(&pricing(), SimTime::from_secs(5));
+        assert_eq!(timeline.len(), 1);
+        assert_eq!(timeline[0].1, expected);
+    }
+
+    #[test]
     fn per_function_bill_ignores_lifetimes() {
         let mut m = BillingMeter::new();
         m.instance_started(InstanceId::new(0), SimTime::ZERO);
-        m.instance_stopped(InstanceId::new(0), SimTime::from_secs(3600));
+        m.instance_stopped(InstanceId::new(0), SimTime::from_secs(3600))
+            .unwrap();
         m.record_usage(UsageRecord {
             gpus: 4,
             duration: SimDuration::from_secs(1800),
@@ -252,7 +326,8 @@ mod tests {
     fn utilization_ratio() {
         let mut m = BillingMeter::new();
         m.instance_started(InstanceId::new(0), SimTime::ZERO);
-        m.instance_stopped(InstanceId::new(0), SimTime::from_secs(100));
+        m.instance_stopped(InstanceId::new(0), SimTime::from_secs(100))
+            .unwrap();
         // 4-GPU instance held 100 s = 400 GPU-s; 200 GPU-s busy → 50%.
         m.record_usage(UsageRecord {
             gpus: 2,
@@ -272,7 +347,8 @@ mod tests {
     fn total_is_compute_plus_data() {
         let mut m = BillingMeter::new();
         m.instance_started(InstanceId::new(0), SimTime::ZERO);
-        m.instance_stopped(InstanceId::new(0), SimTime::from_secs(3600));
+        m.instance_stopped(InstanceId::new(0), SimTime::from_secs(3600))
+            .unwrap();
         m.record_ingress(100.0);
         let p = pricing().with_data_price(Cost::from_dollars(0.02));
         let now = SimTime::from_secs(3600);

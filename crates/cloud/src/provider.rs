@@ -171,7 +171,8 @@ impl SimProvider {
                     ],
                 );
             }
-            self.recorder.counter_add("cloud", "provisioned", out.len() as u64);
+            self.recorder
+                .counter_add("cloud", "provisioned", out.len() as u64);
         }
         Ok(out)
     }
@@ -211,7 +212,7 @@ impl SimProvider {
         match self.fleet.get_mut(&id) {
             Some(state @ InstanceState::Running { .. }) => {
                 *state = InstanceState::Terminated { at: now };
-                self.meter.instance_stopped(id, now);
+                self.meter.instance_stopped(id, now)?;
                 self.preempt_at.remove(&id);
                 if self.recorder.enabled() {
                     self.recorder.instant(
@@ -273,7 +274,7 @@ impl SimProvider {
         match self.fleet.get_mut(&id) {
             Some(state @ InstanceState::Running { .. }) => {
                 *state = InstanceState::Terminated { at };
-                self.meter.instance_stopped(id, at);
+                self.meter.instance_stopped(id, at)?;
                 self.preempt_at.remove(&id);
                 if self.recorder.enabled() {
                     self.recorder.instant(

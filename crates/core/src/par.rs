@@ -57,7 +57,11 @@ where
     T: Send,
     F: Fn(Range<usize>) -> Vec<T> + Sync,
 {
-    let threads = if threads == 0 { auto_threads() } else { threads };
+    let threads = if threads == 0 {
+        auto_threads()
+    } else {
+        threads
+    };
     let threads = threads.min(n.max(1));
     if threads <= 1 {
         let out = work(0..n);
@@ -103,7 +107,11 @@ mod tests {
         let square = |r: Range<usize>| r.map(|i| i * i).collect::<Vec<_>>();
         let reference: Vec<usize> = (0..37).map(|i| i * i).collect();
         for threads in [1, 2, 3, 4, 8, 64] {
-            assert_eq!(run_chunked(37, threads, square), reference, "{threads} threads");
+            assert_eq!(
+                run_chunked(37, threads, square),
+                reference,
+                "{threads} threads"
+            );
         }
     }
 

@@ -434,7 +434,10 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for seed in 0..64u64 {
             for index in 0..64u64 {
-                assert!(seen.insert(mix_seed(seed, index)), "collision at ({seed}, {index})");
+                assert!(
+                    seen.insert(mix_seed(seed, index)),
+                    "collision at ({seed}, {index})"
+                );
             }
         }
     }

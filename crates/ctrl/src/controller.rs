@@ -21,12 +21,97 @@
 //! so no trial is ever stranded mid-stage on a reallocated cluster.
 
 use crate::drift::{DriftConfig, DriftMonitor, DriftObservation};
+use rb_cloud::catalog::PricingTier;
 use rb_core::{Cost, Result, SimDuration, SimTime};
-use rb_exec::{BarrierHook, BarrierSnapshot};
+use rb_exec::{BarrierHook, BarrierSnapshot, UnitObservation, WatchdogSnapshot};
 use rb_hpo::ExperimentSpec;
 use rb_obs::Lane;
-use rb_planner::{plan_residual, PlannerConfig};
+use rb_planner::{plan_residual, PlannerConfig, ResidualOutcome};
+use rb_scaling::{refit_least_squares, LatencyObservation, RefitScaling};
 use rb_sim::{AllocationPlan, Simulator};
+use std::sync::Arc;
+
+/// Intra-stage watchdog knobs.
+///
+/// The watchdog arms a virtual-time budget on every stage: the drifted
+/// Monte-Carlo p90 envelope times a safety margin. A stage whose
+/// training round overruns the budget is cut at the next unit
+/// boundaries and re-planned mid-stage — the defence against a long
+/// final stage silently blowing the deadline with no barrier left to
+/// catch it.
+#[derive(Debug, Clone)]
+pub struct WatchdogConfig {
+    /// Arm the watchdog (default: true).
+    pub enabled: bool,
+    /// Budget multiplier over the drift-corrected p90 stage span
+    /// (default: 1.75). Below ~1.2 the watchdog fires on ordinary noise;
+    /// large values approach barrier-only adaptation.
+    pub margin: f64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            enabled: true,
+            margin: 1.75,
+        }
+    }
+}
+
+/// Online profile-refitting knobs.
+///
+/// Instead of scaling the whole model by one drift factor, the
+/// controller least-squares-refits the scaling model's compute and
+/// communication components against the observed per-stage,
+/// per-allocation latencies ([`RefitScaling`]) — which is what lets
+/// `plan_residual` distinguish a uniform compute slowdown from
+/// parallelism-dependent contention.
+#[derive(Debug, Clone)]
+pub struct RefitConfig {
+    /// Refit the planner's model when a re-plan triggers (default: true).
+    pub enabled: bool,
+    /// Minimum relative change of either factor before a new fit
+    /// replaces the applied one (default: 0.10). Suppresses churn from
+    /// noise-level fit wiggle.
+    pub min_change: f64,
+}
+
+impl Default for RefitConfig {
+    fn default() -> Self {
+        RefitConfig {
+            enabled: true,
+            min_change: 0.10,
+        }
+    }
+}
+
+/// Spot-aware residual planning knobs.
+///
+/// Every re-plan evaluates the residual under *both* markets — the
+/// executing one and its alternative (spot priced with the observed
+/// interruption rate, or on-demand with none) — and records which market
+/// the Monte-Carlo simulator prefers. The choice is advisory: the
+/// executor keeps its launch market, but the preference is logged in
+/// [`ReplanEvent::market`] and emitted on the bus, so a supervisor (or a
+/// future mid-run market migration) can act on it.
+#[derive(Debug, Clone)]
+pub struct MarketConfig {
+    /// Evaluate the alternative market at every re-plan (default: true).
+    pub enabled: bool,
+    /// Interruption-rate prior for pricing the spot alternative while
+    /// running on-demand, in preemptions per instance-hour (default:
+    /// 4.0). Once the job runs on spot, the observed rate replaces it.
+    pub assumed_spot_rate_per_hour: f64,
+}
+
+impl Default for MarketConfig {
+    fn default() -> Self {
+        MarketConfig {
+            enabled: true,
+            assumed_spot_rate_per_hour: 4.0,
+        }
+    }
+}
 
 /// Controller knobs: drift detection plus the re-planner's configuration.
 #[derive(Debug, Clone)]
@@ -38,6 +123,12 @@ pub struct ControllerConfig {
     /// happen on the critical path, so candidates are screened at low
     /// fidelity and only survivors are re-scored in full.
     pub planner: PlannerConfig,
+    /// Intra-stage watchdog.
+    pub watchdog: WatchdogConfig,
+    /// Online profile refitting.
+    pub refit: RefitConfig,
+    /// Spot-vs-on-demand residual evaluation.
+    pub market: MarketConfig,
 }
 
 impl Default for ControllerConfig {
@@ -48,6 +139,9 @@ impl Default for ControllerConfig {
                 exploration_samples: Some(5),
                 ..PlannerConfig::default()
             },
+            watchdog: WatchdogConfig::default(),
+            refit: RefitConfig::default(),
+            market: MarketConfig::default(),
         }
     }
 }
@@ -59,6 +153,46 @@ pub enum ReplanTrigger {
     Drift,
     /// The completed stage absorbed one or more spot preemptions.
     Preemption,
+    /// A stage overran its watchdog budget mid-stage.
+    Watchdog,
+}
+
+/// The compute market a residual plan was priced for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MarketChoice {
+    /// Reserved, uninterruptible capacity at list price.
+    OnDemand,
+    /// Preemptible capacity at the spot discount.
+    Spot,
+}
+
+impl MarketChoice {
+    fn of(tier: PricingTier) -> Self {
+        match tier {
+            PricingTier::Spot => MarketChoice::Spot,
+            _ => MarketChoice::OnDemand,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            MarketChoice::OnDemand => "on_demand",
+            MarketChoice::Spot => "spot",
+        }
+    }
+}
+
+/// One applied model refit.
+#[derive(Debug, Clone, Copy)]
+pub struct RefitEvent {
+    /// The stage at which the refit was applied.
+    pub stage: usize,
+    /// Virtual time of the application.
+    pub at: SimTime,
+    /// Fitted compute-share factor α.
+    pub compute_factor: f64,
+    /// Fitted communication-share factor β.
+    pub comm_factor: f64,
 }
 
 /// One re-planning decision, applied or not.
@@ -87,6 +221,11 @@ pub struct ReplanEvent {
     /// True when the suffix differed from the incumbent and was spliced
     /// into the executing plan.
     pub applied: bool,
+    /// The market the Monte-Carlo evaluation preferred for the residual.
+    pub market: MarketChoice,
+    /// True when the preferred market differs from the executing one
+    /// (advisory — the executor keeps its launch market).
+    pub market_switched: bool,
 }
 
 /// The full adaptation record of one run.
@@ -96,6 +235,8 @@ pub struct AdaptationLog {
     pub events: Vec<ReplanEvent>,
     /// Every drift reading, one per non-final barrier.
     pub observations: Vec<DriftObservation>,
+    /// Every applied profile refit, in application order.
+    pub refits: Vec<RefitEvent>,
 }
 
 impl AdaptationLog {
@@ -115,6 +256,14 @@ pub struct AdaptiveController {
     monitor: DriftMonitor,
     preemptions_seen: u32,
     events: Vec<ReplanEvent>,
+    /// The pristine pre-job profile; refits are always expressed against
+    /// it (never stacked on an earlier refit).
+    base_model: rb_profile::ModelProfile,
+    /// Accumulated per-allocation latency observations across the job.
+    obs: Vec<LatencyObservation>,
+    /// The `(α, β)` factors currently applied to the planner's model.
+    refit: Option<(f64, f64)>,
+    refits: Vec<RefitEvent>,
 }
 
 impl AdaptiveController {
@@ -135,6 +284,7 @@ impl AdaptiveController {
     ) -> Result<Self> {
         let envelope = sim.stage_quantiles(&spec, plan)?;
         let monitor = DriftMonitor::new(envelope, config.drift.clone());
+        let base_model = sim.model().clone();
         Ok(AdaptiveController {
             sim,
             spec,
@@ -143,6 +293,10 @@ impl AdaptiveController {
             monitor,
             preemptions_seen: 0,
             events: Vec::new(),
+            base_model,
+            obs: Vec::new(),
+            refit: None,
+            refits: Vec::new(),
         })
     }
 
@@ -156,11 +310,17 @@ impl AdaptiveController {
         &self.events
     }
 
+    /// Applied profile refits so far.
+    pub fn refits(&self) -> &[RefitEvent] {
+        &self.refits
+    }
+
     /// Consumes the controller, returning its full adaptation record.
     pub fn into_log(self) -> AdaptationLog {
         AdaptationLog {
             events: self.events,
             observations: self.monitor.into_observations(),
+            refits: self.refits,
         }
     }
 
@@ -173,11 +333,205 @@ impl AdaptiveController {
         let left = (self.deadline.as_secs_f64() - elapsed).max(1.0);
         SimDuration::from_secs_f64(left / self.monitor.drift_factor().max(1e-6))
     }
+
+    /// Folds the executor's per-allocation unit observations into the
+    /// refit sample set.
+    fn push_observations(&mut self, unit_obs: &[UnitObservation]) {
+        let steps = self.base_model.steps_per_iter as f64;
+        if steps <= 0.0 {
+            return;
+        }
+        for o in unit_obs {
+            if o.units == 0 || !o.mean_secs.is_finite() || o.mean_secs <= 0.0 {
+                continue;
+            }
+            self.obs.push(LatencyObservation {
+                gpus: o.gpus,
+                placement: o.placement,
+                observed_iter_secs: o.mean_secs / steps,
+                weight: o.units as f64,
+            });
+        }
+    }
+
+    /// A fresh simulator sharing this controller's model view and engine
+    /// configuration but running over `cloud` — used to price the
+    /// alternative market without touching the planning simulator.
+    fn sibling_sim(&self, cloud: rb_profile::CloudProfile) -> Simulator {
+        Simulator::new(self.sim.model().clone(), cloud)
+            .with_config(self.sim.config().clone())
+            .with_engine(*self.sim.engine())
+    }
+
+    /// Least-squares-refits the planner's scaling model against all
+    /// latency observations so far and, when the fit moved by at least
+    /// `min_change`, swaps the refit model into the planning simulator.
+    /// Returns whether a new fit was applied.
+    fn try_refit(&mut self, stage: usize, now: SimTime) -> bool {
+        if !self.config.refit.enabled || self.obs.is_empty() {
+            return false;
+        }
+        let Some((alpha, beta)) = refit_least_squares(self.base_model.scaling.as_ref(), &self.obs)
+        else {
+            return false;
+        };
+        let (cur_a, cur_b) = self.refit.unwrap_or((1.0, 1.0));
+        let change = (alpha / cur_a - 1.0).abs().max((beta / cur_b - 1.0).abs());
+        if change < self.config.refit.min_change {
+            return false;
+        }
+        let mut model = self.base_model.clone();
+        model.scaling = Arc::new(RefitScaling::new(
+            self.base_model.scaling.clone(),
+            alpha,
+            beta,
+        ));
+        let cloud = self.sim.cloud().clone();
+        let sim_config = self.sim.config().clone();
+        let engine = *self.sim.engine();
+        let recorder = self.sim.recorder().clone();
+        self.sim = Simulator::new(model, cloud)
+            .with_config(sim_config)
+            .with_engine(engine)
+            .with_recorder(recorder.clone());
+        self.refit = Some((alpha, beta));
+        self.refits.push(RefitEvent {
+            stage,
+            at: now,
+            compute_factor: alpha,
+            comm_factor: beta,
+        });
+        // The refit model now carries the observed slowdown itself;
+        // keeping the old drift factor would dilate the residual deadline
+        // twice for the same cause.
+        self.monitor.reset_factor(1.0);
+        recorder.counter_add("ctrl", "refits_applied", 1);
+        if recorder.enabled() {
+            recorder.instant(
+                now,
+                "ctrl",
+                "refit.apply",
+                Lane::Controller,
+                vec![
+                    ("stage", stage.into()),
+                    ("compute_factor", alpha.into()),
+                    ("comm_factor", beta.into()),
+                ],
+            );
+        }
+        true
+    }
+
+    /// Plans the residual under the executing market, and — when market
+    /// evaluation is enabled — prices the same residual under the
+    /// alternative market (spot at the observed/assumed interruption
+    /// rate, or on-demand with none). Returns the authoritative outcome
+    /// (always from the executing market — the executor cannot change
+    /// its billing mid-run) plus the preferred market and whether it
+    /// differs from the executing one.
+    fn plan_residual_markets(
+        &mut self,
+        residual_spec: &ExperimentSpec,
+        residual_deadline: SimDuration,
+        warm: &AllocationPlan,
+        now: SimTime,
+        preemptions: u32,
+        instance_seconds: f64,
+    ) -> Option<(ResidualOutcome, MarketChoice, bool)> {
+        let out = plan_residual(
+            &self.sim,
+            residual_spec,
+            residual_deadline,
+            warm,
+            &self.config.planner,
+        )
+        .ok()?;
+        let current = MarketChoice::of(self.sim.cloud().pricing.tier);
+        if !self.config.market.enabled {
+            return Some((out, current, false));
+        }
+
+        // Score for the executing market. On spot with enough history the
+        // observed interruption rate replaces the profile's configured
+        // one, so the comparison reflects the churn actually seen.
+        let mut cur_feasible = out.feasible;
+        let mut cur_cost = out.prediction.cost.as_dollars();
+        if current == MarketChoice::Spot && instance_seconds > 0.0 {
+            let observed_rate = f64::from(preemptions) / (instance_seconds / 3600.0);
+            if observed_rate.is_finite() {
+                let mut cur_cloud = self.sim.cloud().clone();
+                cur_cloud.spot_interruptions_per_hour = observed_rate;
+                if let Ok(cur) = plan_residual(
+                    &self.sibling_sim(cur_cloud),
+                    residual_spec,
+                    residual_deadline,
+                    warm,
+                    &self.config.planner,
+                ) {
+                    cur_feasible = cur.feasible;
+                    cur_cost = cur.prediction.cost.as_dollars();
+                }
+            }
+        }
+
+        let mut alt_cloud = self.sim.cloud().clone();
+        let alt_market = match current {
+            MarketChoice::OnDemand => {
+                alt_cloud.pricing = alt_cloud.pricing.with_spot();
+                // No spot history while on-demand: price interruptions at
+                // the configured prior.
+                alt_cloud.spot_interruptions_per_hour =
+                    self.config.market.assumed_spot_rate_per_hour;
+                MarketChoice::Spot
+            }
+            MarketChoice::Spot => {
+                alt_cloud.pricing.tier = PricingTier::OnDemand;
+                alt_cloud.spot_interruptions_per_hour = 0.0;
+                MarketChoice::OnDemand
+            }
+        };
+        let alt = plan_residual(
+            &self.sibling_sim(alt_cloud),
+            residual_spec,
+            residual_deadline,
+            warm,
+            &self.config.planner,
+        )
+        .ok();
+        let switched = alt.as_ref().is_some_and(|alt| {
+            (alt.feasible && !cur_feasible)
+                || (alt.feasible == cur_feasible && alt.prediction.cost.as_dollars() < cur_cost)
+        });
+        let market = if switched { alt_market } else { current };
+        if switched {
+            let recorder = self.sim.recorder().clone();
+            recorder.counter_add("ctrl", "market_switches_advised", 1);
+            if recorder.enabled() {
+                let alt = alt.as_ref().expect("switched implies alt");
+                recorder.instant(
+                    now,
+                    "ctrl",
+                    "market.switch",
+                    Lane::Controller,
+                    vec![
+                        ("market", market.name().into()),
+                        ("feasible", alt.feasible.into()),
+                        (
+                            "predicted_cost_usd",
+                            alt.prediction.cost.as_dollars().into(),
+                        ),
+                    ],
+                );
+            }
+        }
+        Some((out, market, switched))
+    }
 }
 
 impl BarrierHook for AdaptiveController {
     fn at_barrier(&mut self, snap: &BarrierSnapshot<'_>) -> Option<Vec<u32>> {
         self.monitor.observe(snap.stage, snap.stage_span);
+        self.push_observations(&snap.unit_obs);
         let recorder = self.sim.recorder().clone();
         // The drift-factor time series: one gauge per barrier, whether or
         // not the controller intervenes.
@@ -212,6 +566,7 @@ impl BarrierHook for AdaptiveController {
                         match trigger {
                             ReplanTrigger::Drift => "drift",
                             ReplanTrigger::Preemption => "preemption",
+                            ReplanTrigger::Watchdog => "watchdog",
                         }
                         .into(),
                     ),
@@ -219,6 +574,7 @@ impl BarrierHook for AdaptiveController {
                 ],
             );
         }
+        let drift_at_decision = self.monitor.drift_factor();
 
         let next = snap.stage + 1;
         // Residual job: the spec's suffix (survivor progress lives in
@@ -226,16 +582,24 @@ impl BarrierHook for AdaptiveController {
         let residual_spec = self.spec.suffix(next).ok()?;
         let old_suffix = snap.plan.as_slice()[next..].to_vec();
         let warm = AllocationPlan::new(old_suffix.clone());
+        // Refit before planning so the residual is scored on the best
+        // available model; the envelope must track the refit view even if
+        // no new suffix is applied below.
+        if self.try_refit(snap.stage, snap.now) {
+            if let Ok(qs) = self.sim.stage_quantiles(&residual_spec, &warm) {
+                self.monitor.retarget(next, qs);
+            }
+        }
         let residual_deadline = self.dilated_residual_deadline(snap.now);
         // A planner failure must not kill the job; keep the incumbent.
-        let out = plan_residual(
-            &self.sim,
+        let (out, market, market_switched) = self.plan_residual_markets(
             &residual_spec,
             residual_deadline,
             &warm,
-            &self.config.planner,
-        )
-        .ok()?;
+            snap.now,
+            snap.preemptions,
+            snap.instance_seconds,
+        )?;
 
         let new_suffix = out.plan.as_slice().to_vec();
         let applied = new_suffix != old_suffix;
@@ -252,13 +616,24 @@ impl BarrierHook for AdaptiveController {
             recorder.instant(
                 snap.now,
                 "ctrl",
-                if applied { "replan.apply" } else { "replan.reject" },
+                if applied {
+                    "replan.apply"
+                } else {
+                    "replan.reject"
+                },
                 Lane::Controller,
                 vec![
                     ("stage", snap.stage.into()),
                     ("feasible", out.feasible.into()),
-                    ("predicted_jct_secs", out.prediction.jct.as_secs_f64().into()),
-                    ("predicted_cost_usd", out.prediction.cost.as_dollars().into()),
+                    (
+                        "predicted_jct_secs",
+                        out.prediction.jct.as_secs_f64().into(),
+                    ),
+                    (
+                        "predicted_cost_usd",
+                        out.prediction.cost.as_dollars().into(),
+                    ),
+                    ("market", market.name().into()),
                 ],
             );
         }
@@ -272,7 +647,7 @@ impl BarrierHook for AdaptiveController {
             stage: snap.stage,
             at: snap.now,
             trigger,
-            drift_factor: self.monitor.drift_factor(),
+            drift_factor: drift_at_decision,
             residual_deadline,
             old_suffix,
             new_suffix: new_suffix.clone(),
@@ -280,6 +655,156 @@ impl BarrierHook for AdaptiveController {
             predicted_jct: out.prediction.jct,
             predicted_cost: out.prediction.cost,
             applied,
+            market,
+            market_switched,
+        });
+        applied.then_some(new_suffix)
+    }
+
+    fn stage_budget_secs(&mut self, stage: usize) -> Option<f64> {
+        if !self.config.watchdog.enabled {
+            return None;
+        }
+        let q = self.monitor.expected().get(stage)?;
+        if !(q.p90_secs.is_finite() && q.p90_secs > 0.0) {
+            return None;
+        }
+        let budget =
+            q.p90_secs * self.config.watchdog.margin * self.monitor.drift_factor().max(1.0);
+        (budget.is_finite() && budget > 0.0).then_some(budget)
+    }
+
+    fn at_watchdog(&mut self, snap: &WatchdogSnapshot<'_>) -> Option<Vec<u32>> {
+        let recorder = self.sim.recorder().clone();
+        // Fold the partial stage's evidence into the drift estimate: the
+        // unit-weighted observed/predicted latency ratio. A watchdog
+        // interruption is not a barrier span, so this goes through
+        // `nudge` rather than `observe`.
+        let (mut num, mut den) = (0.0f64, 0.0f64);
+        for o in &snap.unit_obs {
+            if o.units == 0 || !o.mean_secs.is_finite() || o.mean_secs <= 0.0 {
+                continue;
+            }
+            let predicted = self.sim.model().unit_mean_secs(o.gpus, o.placement);
+            if predicted.is_finite() && predicted > 0.0 {
+                num += (o.mean_secs / predicted) * o.units as f64;
+                den += o.units as f64;
+            }
+        }
+        if den > 0.0 {
+            self.monitor.nudge(num / den);
+        }
+        self.push_observations(&snap.unit_obs);
+        // Preemptions absorbed so far are part of this decision; don't
+        // re-trigger on them at the next barrier.
+        self.preemptions_seen = snap.preemptions;
+
+        recorder.counter_add("ctrl", "replans_triggered", 1);
+        if recorder.enabled() {
+            recorder.instant(
+                snap.now,
+                "ctrl",
+                "replan.trigger",
+                Lane::Controller,
+                vec![
+                    ("stage", snap.stage.into()),
+                    ("trigger", "watchdog".into()),
+                    ("drift_factor", self.monitor.drift_factor().into()),
+                    ("budget_secs", snap.budget_secs.into()),
+                    ("remaining_units", snap.max_remaining_units.into()),
+                ],
+            );
+        }
+        let drift_at_decision = self.monitor.drift_factor();
+
+        // Residual spec: the interrupted stage's survivors with their
+        // residual units, then the untouched tail of the original spec.
+        let mut stages: Vec<(u32, u64)> = Vec::new();
+        for s in snap.stage..self.spec.num_stages() {
+            let (trials, units) = self.spec.get_stage(s).ok()?;
+            stages.push(if s == snap.stage {
+                (trials, snap.max_remaining_units.max(1))
+            } else {
+                (trials, units)
+            });
+        }
+        let residual_spec = ExperimentSpec::from_stages(&stages).ok()?;
+        let old_suffix = snap.plan.as_slice()[snap.stage..].to_vec();
+        let warm = AllocationPlan::new(old_suffix.clone());
+        self.try_refit(snap.stage, snap.now);
+        let residual_deadline = self.dilated_residual_deadline(snap.now);
+        let planned = self.plan_residual_markets(
+            &residual_spec,
+            residual_deadline,
+            &warm,
+            snap.now,
+            snap.preemptions,
+            snap.instance_seconds,
+        );
+        // Whatever happens below, this stage's eventual barrier span
+        // includes the checkpoint/re-plan detour and must not be read as
+        // drift again.
+        self.monitor.invalidate(snap.stage);
+        let (out, market, market_switched) = planned?;
+
+        let new_suffix = out.plan.as_slice().to_vec();
+        let applied = new_suffix != old_suffix;
+        recorder.counter_add(
+            "ctrl",
+            if applied {
+                "replans_applied"
+            } else {
+                "replans_rejected"
+            },
+            1,
+        );
+        if recorder.enabled() {
+            recorder.instant(
+                snap.now,
+                "ctrl",
+                if applied {
+                    "replan.apply"
+                } else {
+                    "replan.reject"
+                },
+                Lane::Controller,
+                vec![
+                    ("stage", snap.stage.into()),
+                    ("feasible", out.feasible.into()),
+                    (
+                        "predicted_jct_secs",
+                        out.prediction.jct.as_secs_f64().into(),
+                    ),
+                    (
+                        "predicted_cost_usd",
+                        out.prediction.cost.as_dollars().into(),
+                    ),
+                    ("market", market.name().into()),
+                ],
+            );
+        }
+        if applied {
+            if let Ok(qs) = self.sim.stage_quantiles(&residual_spec, &out.plan) {
+                self.monitor.retarget(snap.stage, qs);
+            }
+            // Retargeting restored the interrupted stage's envelope slot;
+            // its barrier span is still contaminated by the detour.
+            self.monitor.invalidate(snap.stage);
+        }
+        self.events.push(ReplanEvent {
+            stage: snap.stage,
+            at: snap.now,
+            trigger: ReplanTrigger::Watchdog,
+            drift_factor: drift_at_decision,
+            residual_deadline,
+            old_suffix,
+            new_suffix: new_suffix.clone(),
+            feasible: out.feasible,
+            predicted_jct: out.prediction.jct,
+            predicted_cost: out.prediction.cost,
+            applied,
+            market,
+            market_switched,
         });
         applied.then_some(new_suffix)
     }
@@ -290,13 +815,13 @@ mod tests {
     use super::*;
     use rb_cloud::catalog::P3_8XLARGE;
     use rb_cloud::CloudPricing;
+    use rb_core::Prng;
     use rb_exec::{ExecOptions, Executor};
     use rb_hpo::{Config, Dim, SearchSpace};
     use rb_profile::{CloudProfile, ModelProfile};
     use rb_scaling::{AnalyticScaling, RescaledScaling};
     use rb_train::task::resnet101_cifar10;
     use rb_train::TaskModel;
-    use rb_core::Prng;
     use std::sync::Arc;
 
     fn cloud() -> CloudProfile {
@@ -309,13 +834,8 @@ mod tests {
     fn physics(task: &TaskModel, slowdown: f64) -> ModelProfile {
         let nominal = Arc::new(AnalyticScaling::for_arch(&task.arch, 1024, 4));
         let scaled = Arc::new(RescaledScaling::new(nominal, slowdown));
-        let mut p = ModelProfile::from_scaling(
-            task.name,
-            scaled,
-            task.steps_per_iter(1024),
-            2.0,
-            0.02,
-        );
+        let mut p =
+            ModelProfile::from_scaling(task.name, scaled, task.steps_per_iter(1024), 2.0, 0.02);
         p.train_startup_secs = 2.0;
         p
     }
@@ -366,7 +886,11 @@ mod tests {
         let open = executor(&task, &plan, 1.0).run(&configs(8, 3)).unwrap();
         // Generous deadline, matched physics: the controller observes but
         // never intervenes, and the run is bit-identical to open loop.
-        let mut ctrl = controller(&plan, SimDuration::from_hours(2), ControllerConfig::default());
+        let mut ctrl = controller(
+            &plan,
+            SimDuration::from_hours(2),
+            ControllerConfig::default(),
+        );
         let adaptive = executor(&task, &plan, 1.0)
             .run_hooked(&configs(8, 3), &mut ctrl)
             .unwrap();
@@ -395,10 +919,7 @@ mod tests {
             .unwrap();
         let log = ctrl.into_log();
         assert!(log.applied() > 0, "no re-plan applied: {:?}", log.events);
-        assert!(log
-            .events
-            .iter()
-            .any(|e| e.trigger == ReplanTrigger::Drift));
+        assert!(log.events.iter().any(|e| e.trigger == ReplanTrigger::Drift));
         assert!(
             adaptive.jct < open.jct,
             "adaptive {} !< open {}",
@@ -427,11 +948,17 @@ mod tests {
             seed: 11,
             ..ExecOptions::default()
         });
-        // Drift detection effectively off: only preemptions can trigger.
+        // Drift detection effectively off and the watchdog disarmed (spot
+        // recovery detours stretch stages past the p90 envelope, which
+        // would legitimately fire it): only preemptions can trigger.
         let config = ControllerConfig {
             drift: DriftConfig {
                 replan_threshold: 100.0,
                 ..DriftConfig::default()
+            },
+            watchdog: WatchdogConfig {
+                enabled: false,
+                ..WatchdogConfig::default()
             },
             ..ControllerConfig::default()
         };
@@ -450,6 +977,107 @@ mod tests {
             log.events
         );
         assert!(!log.events.is_empty());
+    }
+
+    /// Parallelism-dependent contention: communication runs `beta`× slow,
+    /// compute is untouched. Tiny gangs barely notice; a 16-GPU gang is
+    /// hit hard.
+    fn comm_physics(task: &TaskModel, beta: f64) -> ModelProfile {
+        let nominal = Arc::new(AnalyticScaling::for_arch(&task.arch, 1024, 4));
+        let slowed = Arc::new(RefitScaling::new(nominal, 1.0, beta));
+        let mut p =
+            ModelProfile::from_scaling(task.name, slowed, task.steps_per_iter(1024), 2.0, 0.02);
+        p.train_startup_secs = 2.0;
+        p
+    }
+
+    #[test]
+    fn watchdog_recovers_a_hidden_final_stage_slowdown() {
+        let task = resnet101_cifar10();
+        // Early stages run 2-GPU gangs (communication share ≈ 0) and stay
+        // inside the drift band; the 16-GPU final stage is slowed hard by
+        // the contention — and has no barrier after it, so barrier-only
+        // adaptation structurally cannot react to it.
+        let plan = AllocationPlan::new(vec![2, 2, 2, 16]);
+        let run = |config: Option<ControllerConfig>| {
+            let exec = Executor::new(
+                spec(),
+                plan.clone(),
+                task.clone(),
+                comm_physics(&task, 6.0),
+                cloud(),
+            )
+            .unwrap()
+            .with_options(ExecOptions {
+                seed: 11,
+                ..ExecOptions::default()
+            });
+            match config {
+                None => (exec.run(&configs(8, 3)).unwrap(), None),
+                Some(config) => {
+                    let sim = Simulator::new(physics(&task, 1.0), cloud());
+                    let mut ctrl = AdaptiveController::new(
+                        sim,
+                        spec(),
+                        &plan,
+                        SimDuration::from_hours(1),
+                        config,
+                    )
+                    .unwrap();
+                    let r = exec.run_hooked(&configs(8, 3), &mut ctrl).unwrap();
+                    (r, Some(ctrl.into_log()))
+                }
+            }
+        };
+
+        let (open, _) = run(None);
+        // Barrier-only adaptation sees three calm barriers and never
+        // intervenes: the hidden slowdown goes entirely undetected.
+        let barrier_only = ControllerConfig {
+            watchdog: WatchdogConfig {
+                enabled: false,
+                ..WatchdogConfig::default()
+            },
+            ..ControllerConfig::default()
+        };
+        let (blind, blind_log) = run(Some(barrier_only));
+        let blind_log = blind_log.unwrap();
+        assert_eq!(blind_log.applied(), 0, "events: {:?}", blind_log.events);
+        assert_eq!(blind.jct, open.jct, "no intervention must mean open-loop");
+
+        // The armed watchdog cuts the overrunning final stage, refits the
+        // model from the observed big-gang latency, and re-plans the
+        // residual onto an allocation the contention doesn't punish.
+        let (cut, cut_log) = run(Some(ControllerConfig::default()));
+        let cut_log = cut_log.unwrap();
+        let wd: Vec<_> = cut_log
+            .events
+            .iter()
+            .filter(|e| e.trigger == ReplanTrigger::Watchdog)
+            .collect();
+        assert!(!wd.is_empty(), "watchdog never fired: {:?}", cut_log.events);
+        assert!(
+            wd.iter().any(|e| e.applied),
+            "watchdog re-plan was never applied: {wd:?}"
+        );
+        assert!(
+            !cut_log.refits.is_empty(),
+            "the big-gang observation must produce a refit"
+        );
+        let refit = cut_log.refits.last().unwrap();
+        assert!(
+            refit.comm_factor > refit.compute_factor,
+            "contention is communication-bound: α={} β={}",
+            refit.compute_factor,
+            refit.comm_factor
+        );
+        assert!(
+            cut.jct < open.jct,
+            "watchdog {} !< open {}",
+            cut.jct,
+            open.jct
+        );
+        assert_eq!(cut.best_accuracy, open.best_accuracy);
     }
 
     #[test]

@@ -86,12 +86,20 @@ impl DriftMonitor {
     }
 
     /// Folds a completed stage's observed span into the drift estimate.
-    /// Stages without an envelope entry (index out of range) are recorded
-    /// with a neutral ratio and do not move the estimate.
+    ///
+    /// Contract: the EWMA factor is only ever updated with a **finite**
+    /// ratio, so it stays finite forever. Three cases record a neutral
+    /// observation (ratio 1.0) and leave the estimate untouched:
+    ///
+    /// * stages without an envelope entry (index out of range),
+    /// * envelopes with `mean_secs <= 0` (a zero-length stage — e.g. a
+    ///   degenerate spec with zero iterations — would otherwise divide
+    ///   by zero and poison the factor with inf/NaN permanently),
+    /// * a non-finite ratio from a non-finite observed span.
     pub fn observe(&mut self, stage: usize, observed: SimDuration) -> DriftObservation {
         let observed_secs = observed.as_secs_f64();
         let obs = match self.expected.get(stage) {
-            Some(q) if q.mean_secs > 0.0 => {
+            Some(q) if q.mean_secs > 0.0 && (observed_secs / q.mean_secs).is_finite() => {
                 let ratio = observed_secs / q.mean_secs;
                 self.factor += self.config.ewma_alpha * (ratio - self.factor);
                 DriftObservation {
@@ -125,14 +133,53 @@ impl DriftMonitor {
         for q in quantiles {
             let absolute = start + q.stage;
             if let Some(slot) = self.expected.get_mut(absolute) {
-                *slot = StageQuantiles { stage: absolute, ..q };
+                *slot = StageQuantiles {
+                    stage: absolute,
+                    ..q
+                };
             }
         }
+    }
+
+    /// Folds a projected ratio into the EWMA without recording a stage
+    /// observation — used by the mid-stage watchdog, whose evidence is a
+    /// partial stage rather than a completed barrier span. Non-finite or
+    /// non-positive ratios are ignored (same contract as
+    /// [`DriftMonitor::observe`]).
+    pub fn nudge(&mut self, ratio: f64) {
+        if ratio.is_finite() && ratio > 0.0 {
+            self.factor += self.config.ewma_alpha * (ratio - self.factor);
+        }
+    }
+
+    /// Marks one stage's envelope as unusable so its eventual barrier
+    /// observation takes the neutral path. Called after a watchdog fires
+    /// mid-stage: the barrier-to-barrier span of that stage now includes
+    /// a checkpoint/re-plan detour and would double-count drift the
+    /// watchdog already folded in via [`DriftMonitor::nudge`].
+    pub fn invalidate(&mut self, stage: usize) {
+        if let Some(slot) = self.expected.get_mut(stage) {
+            slot.mean_secs = 0.0;
+        }
+    }
+
+    /// The per-stage envelope currently in force (absolute stage index).
+    pub fn expected(&self) -> &[StageQuantiles] {
+        &self.expected
     }
 
     /// The smoothed observed/predicted ratio (1.0 = calibrated).
     pub fn drift_factor(&self) -> f64 {
         self.factor
+    }
+
+    /// Resets the smoothed factor (used after a profile refit absorbs
+    /// the observed drift into the model itself — keeping the old factor
+    /// would dilate deadlines twice for the same slowdown).
+    pub fn reset_factor(&mut self, factor: f64) {
+        if factor.is_finite() && factor > 0.0 {
+            self.factor = factor;
+        }
     }
 
     /// True when the smoothed factor is outside the configured band.
@@ -216,6 +263,63 @@ mod tests {
         // Absolute stage indices were rewritten.
         let o2 = mon.observe(2, SimDuration::from_secs_f64(50.0));
         assert_eq!(o2.predicted_mean_secs, 50.0);
+    }
+
+    #[test]
+    fn zero_length_stage_does_not_poison_the_factor() {
+        // A degenerate envelope (mean 0) must not divide the observation
+        // into inf/NaN: regression for the EWMA-poisoning bug.
+        let mut mon = DriftMonitor::new(envelope(&[0.0, 100.0]), DriftConfig::default());
+        let o = mon.observe(0, SimDuration::from_secs_f64(42.0));
+        assert_eq!(o.ratio, 1.0);
+        assert!(mon.drift_factor().is_finite());
+        assert_eq!(mon.drift_factor(), 1.0);
+        assert!(!mon.drifted());
+        // The monitor still works on later, well-formed stages.
+        mon.observe(1, SimDuration::from_secs_f64(150.0));
+        assert!(mon.drift_factor().is_finite());
+        assert!(mon.drifted());
+    }
+
+    #[test]
+    fn non_finite_ratio_is_clamped_to_neutral() {
+        // SimDuration saturates rather than carrying inf, so the worst
+        // observable span is huge-but-finite; the factor must stay
+        // finite through it. A subnormal envelope mean that would push
+        // the ratio over f64::MAX is clamped to neutral.
+        let mut mon = DriftMonitor::new(envelope(&[100.0]), DriftConfig::default());
+        let o = mon.observe(0, SimDuration::from_millis(u64::MAX));
+        assert!(o.ratio.is_finite());
+        assert!(mon.drift_factor().is_finite());
+
+        let mut tiny = envelope(&[100.0]);
+        tiny[0].mean_secs = f64::MIN_POSITIVE;
+        let mut mon = DriftMonitor::new(tiny, DriftConfig::default());
+        let o = mon.observe(0, SimDuration::from_millis(u64::MAX));
+        assert_eq!(o.ratio, 1.0, "overflowing ratio takes the neutral path");
+        assert!(mon.drift_factor().is_finite());
+        assert_eq!(mon.drift_factor(), 1.0);
+    }
+
+    #[test]
+    fn nudge_moves_the_factor_and_rejects_non_finite() {
+        let mut mon = DriftMonitor::new(envelope(&[100.0]), DriftConfig::default());
+        mon.nudge(2.0);
+        assert!((mon.drift_factor() - 1.5).abs() < 1e-12);
+        mon.nudge(f64::NAN);
+        mon.nudge(f64::INFINITY);
+        mon.nudge(-1.0);
+        assert!((mon.drift_factor() - 1.5).abs() < 1e-12);
+        assert!(mon.observations().is_empty(), "nudges are not observations");
+    }
+
+    #[test]
+    fn invalidate_makes_a_stage_neutral() {
+        let mut mon = DriftMonitor::new(envelope(&[100.0, 100.0]), DriftConfig::default());
+        mon.invalidate(0);
+        let o = mon.observe(0, SimDuration::from_secs_f64(1e6));
+        assert_eq!(o.ratio, 1.0);
+        assert_eq!(mon.drift_factor(), 1.0);
     }
 
     #[test]

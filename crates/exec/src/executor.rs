@@ -80,6 +80,66 @@ pub struct BarrierSnapshot<'a> {
     pub instances: usize,
     /// Trials promoted into the next stage.
     pub survivors: usize,
+    /// GPUs each of this stage's trials ran on (1 for wave-scheduled
+    /// stages).
+    pub gpus_per_trial: u32,
+    /// Observed per-allocation work-unit latencies for the completed
+    /// stage — the raw material for online profile refitting.
+    pub unit_obs: Vec<UnitObservation>,
+    /// Total instance-seconds held (billed) so far. Dividing
+    /// `preemptions` by this gives the observed spot interruption rate.
+    pub instance_seconds: f64,
+    /// The plan currently in force (full job, all stages).
+    pub plan: &'a AllocationPlan,
+}
+
+/// Observed mean latency of one work unit at one allocation shape,
+/// averaged over `units` completed units of one stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitObservation {
+    /// GPUs per trial the units ran on.
+    pub gpus: u32,
+    /// Placement quality the gangs ran under.
+    pub placement: PlacementQuality,
+    /// Mean observed wall-clock seconds per unit.
+    pub mean_secs: f64,
+    /// Units the mean was taken over.
+    pub units: u64,
+}
+
+/// What a watchdog hook sees when a stage overruns its virtual-time
+/// budget mid-stage. Every live trial has been paused and checkpointed
+/// at a forced early barrier, so a plan splice here is transition-safe
+/// exactly like one at a normal barrier.
+#[derive(Debug, Clone)]
+pub struct WatchdogSnapshot<'a> {
+    /// The stage that overran (0-based). It is *not* finished: its
+    /// residual units re-run under whatever the hook splices in.
+    pub stage: usize,
+    /// Total stages in the specification.
+    pub num_stages: usize,
+    /// Virtual time at the forced barrier (after sync overhead).
+    pub now: SimTime,
+    /// When the stage's training round started.
+    pub stage_start: SimTime,
+    /// The budget that was exceeded, in seconds of training time.
+    pub budget_secs: f64,
+    /// Work units the stage owes per trial in total.
+    pub units: u64,
+    /// The largest number of units any live trial still has to run.
+    pub max_remaining_units: u64,
+    /// Observed per-allocation unit latencies from the truncated round.
+    pub unit_obs: Vec<UnitObservation>,
+    /// Compute + data bill accrued so far.
+    pub cost_to_date: Cost,
+    /// Spot preemptions absorbed so far.
+    pub preemptions: u32,
+    /// Instances currently held.
+    pub instances: usize,
+    /// Total instance-seconds held (billed) so far.
+    pub instance_seconds: f64,
+    /// Trials live in the interrupted stage.
+    pub survivors: usize,
     /// The plan currently in force (full job, all stages).
     pub plan: &'a AllocationPlan,
 }
@@ -90,10 +150,31 @@ pub struct BarrierSnapshot<'a> {
 /// `None` leaves the plan untouched.
 ///
 /// The hook runs outside the executor's noise streams: a hook that
-/// returns `None` must leave execution bit-identical to [`Executor::run`].
+/// returns `None` from every method must leave execution bit-identical
+/// to [`Executor::run`]. Arming a watchdog budget that never fires also
+/// keeps the run bit-identical — the deadline check consumes no noise
+/// samples.
 pub trait BarrierHook {
     /// Observes a completed barrier; optionally re-plans the remainder.
     fn at_barrier(&mut self, snapshot: &BarrierSnapshot<'_>) -> Option<Vec<u32>>;
+
+    /// Arms a virtual-time watchdog for `stage`: when the stage's
+    /// training round runs past `stage_start + budget` seconds, the
+    /// executor forces an early barrier at the next per-trial unit
+    /// boundary instead of letting the overrun go undetected until the
+    /// stage drains. `None` (the default) disables the watchdog.
+    fn stage_budget_secs(&mut self, _stage: usize) -> Option<f64> {
+        None
+    }
+
+    /// Observes a fired watchdog; optionally re-plans from the
+    /// *current* stage onward. Unlike [`BarrierHook::at_barrier`], the
+    /// suffix covers the interrupted stage too: its length must be
+    /// `num_stages - stage`, and `suffix[0]` re-allocates the residual
+    /// units of the stage that overran.
+    fn at_watchdog(&mut self, _snapshot: &WatchdogSnapshot<'_>) -> Option<Vec<u32>> {
+        None
+    }
 }
 
 /// The open-loop hook: never re-plans.
@@ -124,6 +205,58 @@ struct RunningTrial {
     rng: Prng,
     busy_secs: f64,
     units_done: u64,
+}
+
+/// Everything the scaling + placement pass produces for one training
+/// round: the cluster view, where every trial's workers sit, and the
+/// wave-scheduling shape. A watchdog-split stage runs this pass twice.
+struct StageSetup {
+    cluster: ClusterState,
+    placement: PlacementPlan,
+    allocations: BTreeMap<TrialId, u32>,
+    moved: Vec<TrialId>,
+    slots: usize,
+    needed: usize,
+    migrations: u32,
+}
+
+/// The outcome of one training round over the live trials.
+struct RoundOutcome {
+    /// When the last trial's last segment ended.
+    stage_end: SimTime,
+    /// Units still owed per trial after a watchdog cut; empty when the
+    /// round ran to completion (the watchdog never fired).
+    remaining: BTreeMap<TrialId, u64>,
+    /// Completed-unit latency sums keyed by `(gpus, packed)`:
+    /// `(total_secs, units)`.
+    unit_obs: BTreeMap<(u32, bool), (f64, u64)>,
+}
+
+fn unit_obs_vec(obs: &BTreeMap<(u32, bool), (f64, u64)>) -> Vec<UnitObservation> {
+    obs.iter()
+        .filter(|&(_, &(_, n))| n > 0)
+        .map(|(&(gpus, packed), &(sum, n))| UnitObservation {
+            gpus,
+            placement: if packed {
+                PlacementQuality::Packed
+            } else {
+                PlacementQuality::Scattered
+            },
+            mean_secs: sum / n as f64,
+            units: n,
+        })
+        .collect()
+}
+
+fn merge_unit_obs(
+    into: &mut BTreeMap<(u32, bool), (f64, u64)>,
+    from: BTreeMap<(u32, bool), (f64, u64)>,
+) {
+    for (k, (sum, n)) in from {
+        let e = into.entry(k).or_insert((0.0, 0));
+        e.0 += sum;
+        e.1 += n;
+    }
 }
 
 /// Appends `ev` to the local trace and mirrors it onto the unified bus.
@@ -264,304 +397,141 @@ impl Executor {
         for stage in 0..self.spec.num_stages() {
             let stage_start = now;
             let (stage_trials, units) = self.spec.get_stage(stage)?;
-            // The scheduler decides; the rest of the loop carries it out.
-            let schedule =
-                crate::scheduler::schedule_stage(&self.spec, &plan, stage, &live, gpg)?;
-            let needed = schedule.target_instances as usize;
-            let waves = schedule.waves;
-
-            // --- Cluster scaling ------------------------------------------------
-            let current = cm.ready_count();
-            if needed > current {
-                cm.request_nodes(needed - current, now)?;
-            }
-            let mut cluster = ClusterState::new(cm.nodes(), gpg);
-            let mut moved: Vec<TrialId> = Vec::new();
-            if needed < current {
-                let k = current - needed;
-                if opts.use_placement_controller && !pc.plan().is_empty() {
-                    // Bin-pack survivors off the victim nodes, then release.
-                    let allocations: BTreeMap<TrialId, u32> = live
-                        .iter()
-                        .map(|&t| (t, pc.plan().assigned_gpus(t).max(1)))
-                        .filter(|&(t, _)| pc.plan().get(t).is_some())
-                        .collect();
-                    pc.update(&allocations, &cluster)?;
-                    match pc.plan_scale_down(&cluster, k) {
-                        Ok((freed, relocated)) => {
-                            moved.extend(relocated);
-                            for nid in &freed {
-                                cluster.remove(*nid);
-                                emit(
-                                    &mut trace,
-                                    &recorder,
-                                    TraceEvent::NodeDown {
-                                        node: *nid,
-                                        at: now,
-                                        preempted: false,
-                                    },
-                                );
-                            }
-                            cm.terminate_nodes(&freed, now)?;
-                        }
-                        Err(_) => {
-                            // Bin-packing could not relocate (e.g. trials
-                            // spanning nodes). Preservation is best-effort
-                            // (§4.4): fall back to a full re-placement —
-                            // everything checkpoints at the barrier anyway.
-                            pc = PlacementController::new();
-                            let nodes = cm.nodes();
-                            let victims: Vec<_> = nodes[nodes.len() - k..].to_vec();
-                            for nid in &victims {
-                                cluster.remove(*nid);
-                                emit(
-                                    &mut trace,
-                                    &recorder,
-                                    TraceEvent::NodeDown {
-                                        node: *nid,
-                                        at: now,
-                                        preempted: false,
-                                    },
-                                );
-                            }
-                            cm.terminate_nodes(&victims, now)?;
-                            moved.extend(live.iter().copied());
-                        }
-                    }
-                } else {
-                    // Scatter baseline: drop the emptiest-by-id tail nodes.
-                    let nodes = cm.nodes();
-                    let victims: Vec<_> = nodes[nodes.len() - k..].to_vec();
-                    for nid in &victims {
-                        cluster.remove(*nid);
-                        emit(
-                            &mut trace,
-                            &recorder,
-                            TraceEvent::NodeDown {
-                                node: *nid,
-                                at: now,
-                                preempted: false,
-                            },
-                        );
-                    }
-                    cm.terminate_nodes(&victims, now)?;
-                }
-            }
-            if needed > current {
-                // Barrier: wait for the whole new cluster (§4.2 semantics).
-                if let Some(ready) = cm.pending_ready_time() {
-                    now = now.max(ready);
-                }
-                for nid in cm.absorb_ready(now) {
-                    cluster.add(nid);
-                    emit(
-                        &mut trace,
-                        &recorder,
-                        TraceEvent::NodeUp { node: nid, at: now },
-                    );
-                }
-            }
-
-            // --- Placement ------------------------------------------------------
-            // Wave-scheduled stages run single-GPU trials over the slots;
-            // a 1-GPU worker is trivially packed, so the controller is
-            // bypassed and trials rotate churn-free.
-            let placement: PlacementPlan;
-            let allocations = schedule.allocations.clone();
-            if waves {
-                let nodes = cluster.nodes().to_vec();
-                let mut p = PlacementPlan::new();
-                for (i, &t) in live.iter().enumerate() {
-                    let node = nodes[(i % schedule.slots as usize) % nodes.len()];
-                    p.assign(t, vec![rb_placement::Placement { node, gpus: 1 }]);
-                }
-                placement = p;
-            } else if opts.use_placement_controller {
-                let diff = pc.update(&allocations, &cluster)?;
-                moved.extend(diff.moved.iter().copied());
-                placement = pc.plan().clone();
-            } else {
-                placement = scatter_placement(&allocations, &cluster).ok_or_else(|| {
-                    RbError::Placement("scatter baseline: cluster too small".into())
-                })?;
-            }
-            moved.sort();
-            moved.dedup();
-            let stage_migrations = moved.len() as u32;
-            total_migrations += stage_migrations;
-            for &t in &moved {
-                emit(
-                    &mut trace,
-                    &recorder,
-                    TraceEvent::Migration { trial: t, at: now },
-                );
-            }
+            let mut setup = self.scale_and_place(
+                &plan, stage, &live, gpg, &mut cm, &mut pc, &mut now, &mut trace, &recorder,
+            )?;
+            let mut stage_migrations = setup.migrations;
+            total_migrations += setup.migrations;
 
             // --- Training -------------------------------------------------------
             let train_start = now;
-            let slots = schedule.slots as usize;
-            let mut slot_free: Vec<SimTime> = vec![train_start; slots.max(1)];
-            let mut stage_end = train_start;
-            let checkpoint_secs = |trial: TrialId, store: &CheckpointStore| -> f64 {
-                store
-                    .get(trial)
-                    .map(|ck| ck.total_bytes() as f64 / (opts.checkpoint_bw_gbps * 1e9))
-                    .unwrap_or(0.0)
-            };
-            // Spot interruption instants of the stage's nodes, captured
-            // up-front so that colocated trials observe the same event
-            // even after the first of them reclaims the node.
-            let node_preempt: BTreeMap<rb_core::NodeId, SimTime> = cluster
-                .nodes()
-                .iter()
-                .filter_map(|&n| cm.preemption_time(n).map(|t| (n, t)))
-                .collect();
-            for (wave_idx, &tid) in live.iter().enumerate() {
-                let slot = wave_idx % slots.max(1);
-                let mut start = slot_free[slot];
-                let rt = trials.get_mut(&tid).expect("live trial exists");
-                if rt.trial.status() != TrialStatus::Running {
-                    rt.trial.start()?;
+            let budget = hook.stage_budget_secs(stage);
+            let watchdog_deadline = budget.and_then(|b| {
+                (b.is_finite() && b > 0.0).then(|| train_start + SimDuration::from_secs_f64(b))
+            });
+            let full_units: BTreeMap<TrialId, u64> = live.iter().map(|&t| (t, units)).collect();
+            let mut round = self.train_round(
+                stage,
+                &full_units,
+                &mut setup,
+                &live,
+                &mut trials,
+                &mut cm,
+                &store,
+                &mut trace,
+                &recorder,
+                train_start,
+                false,
+                watchdog_deadline,
+                &mut total_preemptions,
+            )?;
+            let mut stage_end = round.stage_end;
+
+            // --- Watchdog: forced early barrier on a budget overrun -------------
+            // The stage ran past its virtual-time envelope. Checkpoint
+            // everything at the next unit boundaries (already done inside
+            // the round), let the hook re-plan from the *current* stage
+            // onward, re-scale, and run the residual units.
+            if !round.remaining.is_empty() {
+                let wd_now = stage_end + SimDuration::from_secs_f64(opts.sync_overhead_secs);
+                for &tid in &live {
+                    let rt = trials.get_mut(&tid).expect("live trial exists");
+                    if rt.trial.status() == TrialStatus::Running {
+                        rt.trial.pause()?;
+                        store.save(&rt.trial, &self.task.arch);
+                    }
                 }
-                let gpus = allocations[&tid];
-                // Without placement control, even single-GPU workers lose
-                // data locality and scheduler affinity (Table 1's 1-GPU
-                // rows differ); with it, quality comes from the plan.
-                let quality = if opts.use_placement_controller {
-                    placement
-                        .quality(tid, gpg)
-                        .unwrap_or(PlacementQuality::Packed)
-                } else {
-                    PlacementQuality::Scattered
-                };
-                let unit_mean = self.physics.unit_mean_secs(gpus, quality);
-                let dist = if self.physics.unit_noise_frac > 0.0 {
-                    Distribution::Normal {
-                        mean: unit_mean,
-                        std: self.physics.unit_noise_frac * unit_mean,
-                        floor: 0.05 * unit_mean,
-                    }
-                } else {
-                    Distribution::Constant(unit_mean)
-                };
-                let mut hosting: Vec<rb_core::NodeId> = placement
-                    .get(tid)
-                    .map(|cs| cs.iter().map(|p| p.node).collect())
-                    .unwrap_or_default();
-                let mut needs_fetch = stage > 0 || moved.contains(&tid);
-                // Attempt loop: a spot interruption of any hosting node
-                // loses the attempt's progress (checkpoints happen only at
-                // stage barriers); the trial restarts on a replacement.
-                let finish = loop {
-                    let mut work = self.physics.train_startup_secs;
-                    if needs_fetch {
-                        work += checkpoint_secs(tid, &store);
-                    }
-                    for _ in 0..units {
-                        work += dist.sample(&mut rt.rng);
-                    }
-                    let end = start + SimDuration::from_secs_f64(work);
-                    let preempt = hosting
-                        .iter()
-                        .filter_map(|n| {
-                            node_preempt
-                                .get(n)
-                                .copied()
-                                .or_else(|| cm.preemption_time(*n))
-                        })
-                        .filter(|&t| t > start && t < end)
-                        .min();
-                    let Some(cut) = preempt else {
-                        rt.busy_secs += work;
-                        cm.record_usage(gpus, SimDuration::from_secs_f64(work));
-                        emit(
-                            &mut trace,
-                            &recorder,
-                            TraceEvent::TrialSegment {
-                                trial: tid,
-                                stage,
-                                start,
-                                end,
-                                gpus,
-                            },
-                        );
-                        break end;
-                    };
-                    // Pay for the lost work, reclaim the dead node(s), and
-                    // bring up replacements.
-                    total_preemptions += 1;
-                    let lost = cut - start;
-                    rt.busy_secs += lost.as_secs_f64();
-                    cm.record_usage(gpus, lost);
-                    emit(
-                        &mut trace,
-                        &recorder,
-                        TraceEvent::TrialSegment {
-                            trial: tid,
-                            stage,
-                            start,
-                            end: cut,
-                            gpus,
-                        },
+                let max_remaining = round.remaining.values().copied().max().unwrap_or(0);
+                recorder.counter_add("exec", "watchdog_fires", 1);
+                if recorder.enabled() {
+                    recorder.instant(
+                        wd_now,
+                        "exec",
+                        "watchdog.barrier",
+                        Lane::Stage(stage as u32),
+                        vec![
+                            ("stage", (stage as u64).into()),
+                            ("remaining_units", max_remaining.into()),
+                        ],
                     );
-                    let dead: Vec<rb_core::NodeId> = hosting
-                        .iter()
-                        .copied()
-                        .filter(|n| {
-                            node_preempt
-                                .get(n)
-                                .copied()
-                                .or_else(|| cm.preemption_time(*n))
-                                .is_some_and(|t| t <= cut)
-                        })
-                        .collect();
-                    for n in &dead {
-                        // Colocated trials race to reclaim; losing is fine.
-                        if cm.preempt_node(*n).is_ok() {
-                            emit(
-                                &mut trace,
-                                &recorder,
-                                TraceEvent::NodeDown {
-                                    node: *n,
-                                    at: cut,
-                                    preempted: true,
-                                },
-                            );
-                        }
-                        cluster.remove(*n);
-                        hosting.retain(|h| h != n);
-                    }
-                    cm.request_nodes(dead.len(), cut)?;
-                    let ready = cm.pending_ready_time().unwrap_or(cut);
-                    for n in cm.absorb_ready(ready) {
-                        cluster.add(n);
-                        hosting.push(n);
-                        emit(
-                            &mut trace,
-                            &recorder,
-                            TraceEvent::NodeUp { node: n, at: ready },
-                        );
-                    }
-                    start = cut.max(ready);
-                    needs_fetch = true;
-                };
-                rt.units_done += units;
-                for _ in 0..units {
-                    rt.trial.advance(&self.task, 1)?;
                 }
-                slot_free[slot] = finish;
-                stage_end = stage_end.max(finish);
+                let suffix = {
+                    let snapshot = WatchdogSnapshot {
+                        stage,
+                        num_stages: self.spec.num_stages(),
+                        now: wd_now,
+                        stage_start,
+                        budget_secs: budget.unwrap_or(f64::INFINITY),
+                        units,
+                        max_remaining_units: max_remaining,
+                        unit_obs: unit_obs_vec(&round.unit_obs),
+                        cost_to_date: cm.total_cost(wd_now),
+                        preemptions: total_preemptions,
+                        instances: cm.ready_count(),
+                        instance_seconds: cm.held_instance_seconds(wd_now),
+                        survivors: live.len(),
+                        plan: &plan,
+                    };
+                    hook.at_watchdog(&snapshot)
+                };
+                if let Some(suffix) = suffix {
+                    let remaining_stages = self.spec.num_stages() - stage;
+                    if suffix.len() != remaining_stages {
+                        return Err(RbError::InvalidPlan(format!(
+                            "watchdog hook returned {} stage allocations; \
+                             {remaining_stages} stages remain (current included)",
+                            suffix.len()
+                        )));
+                    }
+                    let mut next = plan.clone();
+                    for (j, &gpus) in suffix.iter().enumerate() {
+                        next.set_gpus(stage + j, gpus);
+                    }
+                    next.validate(&self.spec)?;
+                    plan = next;
+                }
+                now = wd_now;
+                setup = self.scale_and_place(
+                    &plan, stage, &live, gpg, &mut cm, &mut pc, &mut now, &mut trace, &recorder,
+                )?;
+                stage_migrations += setup.migrations;
+                total_migrations += setup.migrations;
+                let residual: BTreeMap<TrialId, u64> = live
+                    .iter()
+                    .map(|&t| (t, round.remaining.get(&t).copied().unwrap_or(0)))
+                    .collect();
+                let resumed = self.train_round(
+                    stage,
+                    &residual,
+                    &mut setup,
+                    &live,
+                    &mut trials,
+                    &mut cm,
+                    &store,
+                    &mut trace,
+                    &recorder,
+                    now,
+                    true,
+                    None,
+                    &mut total_preemptions,
+                )?;
+                stage_end = resumed.stage_end;
+                merge_unit_obs(&mut round.unit_obs, resumed.unit_obs);
             }
             // Idle spot nodes reclaimed before the barrier stop billing at
             // their interruption instant and leave the cluster.
-            for node in cluster.nodes().to_vec() {
+            for node in setup.cluster.nodes().to_vec() {
                 if cm.preemption_time(node).is_some_and(|t| t <= stage_end) {
                     let _ = cm.preempt_node(node);
-                    cluster.remove(node);
+                    setup.cluster.remove(node);
                 }
             }
             now = stage_end + SimDuration::from_secs_f64(opts.sync_overhead_secs);
-            emit(&mut trace, &recorder, TraceEvent::Barrier { stage, at: now });
+            emit(
+                &mut trace,
+                &recorder,
+                TraceEvent::Barrier { stage, at: now },
+            );
             if recorder.enabled() {
                 recorder.gauge(
                     now,
@@ -608,7 +578,12 @@ impl Executor {
                         store.evict(tid);
                     }
                 } else {
-                    rt.trial.pause()?;
+                    // A watchdog barrier may have left the trial paused
+                    // already (zero residual units); its checkpoint is
+                    // fresh either way.
+                    if rt.trial.status() == TrialStatus::Running {
+                        rt.trial.pause()?;
+                    }
                     store.save(&rt.trial, &self.task.arch);
                     pc.confirm(tid);
                 }
@@ -618,8 +593,8 @@ impl Executor {
                 train_start,
                 sync_end: now,
                 trials: stage_trials,
-                gpus_per_trial: schedule.allocations.values().next().copied().unwrap_or(1),
-                instances: needed as u32,
+                gpus_per_trial: setup.allocations.values().next().copied().unwrap_or(1),
+                instances: setup.needed as u32,
                 migrations: stage_migrations,
             });
             if recorder.enabled() {
@@ -631,7 +606,7 @@ impl Executor {
                     Lane::Stage(stage as u32),
                     vec![
                         ("trials", stage_trials.into()),
-                        ("instances", (needed as u64).into()),
+                        ("instances", (setup.needed as u64).into()),
                         ("migrations", stage_migrations.into()),
                     ],
                 );
@@ -652,6 +627,9 @@ impl Executor {
                     preemptions: total_preemptions,
                     instances: cm.ready_count(),
                     survivors: live.len(),
+                    gpus_per_trial: setup.allocations.values().next().copied().unwrap_or(1),
+                    unit_obs: unit_obs_vec(&round.unit_obs),
+                    instance_seconds: cm.held_instance_seconds(now),
                     plan: &plan,
                 };
                 if let Some(suffix) = hook.at_barrier(&snapshot) {
@@ -729,6 +707,427 @@ impl Executor {
             trial_throughput,
             trace,
         })
+    }
+
+    /// Scales the cluster to the plan's allocation for `stage` and places
+    /// (or migrates) every live trial's workers. One stage normally runs
+    /// this once; a stage split by the watchdog runs it again for the
+    /// residual round, absorbing whatever the hook spliced in.
+    #[allow(clippy::too_many_arguments)]
+    fn scale_and_place(
+        &self,
+        plan: &AllocationPlan,
+        stage: usize,
+        live: &[TrialId],
+        gpg: u32,
+        cm: &mut ClusterManager,
+        pc: &mut PlacementController,
+        now: &mut SimTime,
+        trace: &mut ExecutionTrace,
+        recorder: &RecorderHandle,
+    ) -> Result<StageSetup> {
+        let opts = &self.options;
+        // The scheduler decides; the rest of the pass carries it out.
+        let schedule = crate::scheduler::schedule_stage(&self.spec, plan, stage, live, gpg)?;
+        let needed = schedule.target_instances as usize;
+        let waves = schedule.waves;
+
+        // --- Cluster scaling ------------------------------------------------
+        let current = cm.ready_count();
+        if needed > current {
+            cm.request_nodes(needed - current, *now)?;
+        }
+        let mut cluster = ClusterState::new(cm.nodes(), gpg);
+        let mut moved: Vec<TrialId> = Vec::new();
+        if needed < current {
+            let k = current - needed;
+            if opts.use_placement_controller && !pc.plan().is_empty() {
+                // Bin-pack survivors off the victim nodes, then release.
+                let allocations: BTreeMap<TrialId, u32> = live
+                    .iter()
+                    .map(|&t| (t, pc.plan().assigned_gpus(t).max(1)))
+                    .filter(|&(t, _)| pc.plan().get(t).is_some())
+                    .collect();
+                pc.update(&allocations, &cluster)?;
+                match pc.plan_scale_down(&cluster, k) {
+                    Ok((freed, relocated)) => {
+                        moved.extend(relocated);
+                        for nid in &freed {
+                            cluster.remove(*nid);
+                            emit(
+                                trace,
+                                recorder,
+                                TraceEvent::NodeDown {
+                                    node: *nid,
+                                    at: *now,
+                                    preempted: false,
+                                },
+                            );
+                        }
+                        cm.terminate_nodes(&freed, *now)?;
+                    }
+                    Err(_) => {
+                        // Bin-packing could not relocate (e.g. trials
+                        // spanning nodes). Preservation is best-effort
+                        // (§4.4): fall back to a full re-placement —
+                        // everything checkpoints at the barrier anyway.
+                        *pc = PlacementController::new();
+                        let nodes = cm.nodes();
+                        let victims: Vec<_> = nodes[nodes.len() - k..].to_vec();
+                        for nid in &victims {
+                            cluster.remove(*nid);
+                            emit(
+                                trace,
+                                recorder,
+                                TraceEvent::NodeDown {
+                                    node: *nid,
+                                    at: *now,
+                                    preempted: false,
+                                },
+                            );
+                        }
+                        cm.terminate_nodes(&victims, *now)?;
+                        moved.extend(live.iter().copied());
+                    }
+                }
+            } else {
+                // Scatter baseline: drop the emptiest-by-id tail nodes.
+                let nodes = cm.nodes();
+                let victims: Vec<_> = nodes[nodes.len() - k..].to_vec();
+                for nid in &victims {
+                    cluster.remove(*nid);
+                    emit(
+                        trace,
+                        recorder,
+                        TraceEvent::NodeDown {
+                            node: *nid,
+                            at: *now,
+                            preempted: false,
+                        },
+                    );
+                }
+                cm.terminate_nodes(&victims, *now)?;
+            }
+        }
+        if needed > current {
+            // Barrier: wait for the whole new cluster (§4.2 semantics).
+            if let Some(ready) = cm.pending_ready_time() {
+                *now = (*now).max(ready);
+            }
+            for nid in cm.absorb_ready(*now) {
+                cluster.add(nid);
+                emit(
+                    trace,
+                    recorder,
+                    TraceEvent::NodeUp {
+                        node: nid,
+                        at: *now,
+                    },
+                );
+            }
+        }
+
+        // --- Placement ------------------------------------------------------
+        // Wave-scheduled stages run single-GPU trials over the slots;
+        // a 1-GPU worker is trivially packed, so the controller is
+        // bypassed and trials rotate churn-free.
+        let placement: PlacementPlan;
+        let allocations = schedule.allocations.clone();
+        if waves {
+            let nodes = cluster.nodes().to_vec();
+            let mut p = PlacementPlan::new();
+            for (i, &t) in live.iter().enumerate() {
+                let node = nodes[(i % schedule.slots as usize) % nodes.len()];
+                p.assign(t, vec![rb_placement::Placement { node, gpus: 1 }]);
+            }
+            placement = p;
+        } else if opts.use_placement_controller {
+            let diff = pc.update(&allocations, &cluster)?;
+            moved.extend(diff.moved.iter().copied());
+            placement = pc.plan().clone();
+        } else {
+            placement = scatter_placement(&allocations, &cluster)
+                .ok_or_else(|| RbError::Placement("scatter baseline: cluster too small".into()))?;
+        }
+        moved.sort();
+        moved.dedup();
+        let migrations = moved.len() as u32;
+        for &t in &moved {
+            emit(
+                trace,
+                recorder,
+                TraceEvent::Migration { trial: t, at: *now },
+            );
+        }
+        Ok(StageSetup {
+            cluster,
+            placement,
+            allocations,
+            moved,
+            slots: schedule.slots as usize,
+            needed,
+            migrations,
+        })
+    }
+
+    /// Runs every live trial for its share of the stage's work units and
+    /// returns when the last segment ends. With `watchdog_deadline` set,
+    /// a trial whose attempt would run past the deadline is stopped at
+    /// the end of the unit in flight (a spot preemption striking earlier
+    /// wins and is handled normally); its residual unit count is
+    /// reported in [`RoundOutcome::remaining`]. The deadline check
+    /// consumes no noise samples, so an armed watchdog that never fires
+    /// leaves the round bit-identical to an unarmed one.
+    #[allow(clippy::too_many_arguments)]
+    fn train_round(
+        &self,
+        stage: usize,
+        units_for: &BTreeMap<TrialId, u64>,
+        setup: &mut StageSetup,
+        live: &[TrialId],
+        trials: &mut BTreeMap<TrialId, RunningTrial>,
+        cm: &mut ClusterManager,
+        store: &CheckpointStore,
+        trace: &mut ExecutionTrace,
+        recorder: &RecorderHandle,
+        train_start: SimTime,
+        force_fetch: bool,
+        watchdog_deadline: Option<SimTime>,
+        total_preemptions: &mut u32,
+    ) -> Result<RoundOutcome> {
+        let opts = &self.options;
+        let gpg = self.cloud.gpus_per_instance().max(1);
+        let slots = setup.slots;
+        let mut slot_free: Vec<SimTime> = vec![train_start; slots.max(1)];
+        let mut outcome = RoundOutcome {
+            stage_end: train_start,
+            remaining: BTreeMap::new(),
+            unit_obs: BTreeMap::new(),
+        };
+        let checkpoint_secs = |trial: TrialId, store: &CheckpointStore| -> f64 {
+            store
+                .get(trial)
+                .map(|ck| ck.total_bytes() as f64 / (opts.checkpoint_bw_gbps * 1e9))
+                .unwrap_or(0.0)
+        };
+        // Spot interruption instants of the round's nodes, captured
+        // up-front so that colocated trials observe the same event
+        // even after the first of them reclaims the node.
+        let node_preempt: BTreeMap<rb_core::NodeId, SimTime> = setup
+            .cluster
+            .nodes()
+            .iter()
+            .filter_map(|&n| cm.preemption_time(n).map(|t| (n, t)))
+            .collect();
+        for (wave_idx, &tid) in live.iter().enumerate() {
+            let units = units_for.get(&tid).copied().unwrap_or(0);
+            if units == 0 {
+                // Nothing owed (residual round after a full first round).
+                continue;
+            }
+            let slot = wave_idx % slots.max(1);
+            let mut start = slot_free[slot];
+            if let Some(wd) = watchdog_deadline {
+                if start >= wd {
+                    // A cut earlier in this wave slot pushed the start
+                    // past the deadline: don't even begin the attempt.
+                    outcome.remaining.insert(tid, units);
+                    continue;
+                }
+            }
+            let rt = trials.get_mut(&tid).expect("live trial exists");
+            if rt.trial.status() != TrialStatus::Running {
+                rt.trial.start()?;
+            }
+            let gpus = setup.allocations[&tid];
+            // Without placement control, even single-GPU workers lose
+            // data locality and scheduler affinity (Table 1's 1-GPU
+            // rows differ); with it, quality comes from the plan.
+            let quality = if opts.use_placement_controller {
+                setup
+                    .placement
+                    .quality(tid, gpg)
+                    .unwrap_or(PlacementQuality::Packed)
+            } else {
+                PlacementQuality::Scattered
+            };
+            let unit_mean = self.physics.unit_mean_secs(gpus, quality);
+            let dist = if self.physics.unit_noise_frac > 0.0 {
+                Distribution::Normal {
+                    mean: unit_mean,
+                    std: self.physics.unit_noise_frac * unit_mean,
+                    floor: 0.05 * unit_mean,
+                }
+            } else {
+                Distribution::Constant(unit_mean)
+            };
+            let mut hosting: Vec<rb_core::NodeId> = setup
+                .placement
+                .get(tid)
+                .map(|cs| cs.iter().map(|p| p.node).collect())
+                .unwrap_or_default();
+            let mut needs_fetch = force_fetch || stage > 0 || setup.moved.contains(&tid);
+            let obs_key = (gpus, quality == PlacementQuality::Packed);
+            // Attempt loop: a spot interruption of any hosting node
+            // loses the attempt's progress (checkpoints happen only at
+            // stage barriers); the trial restarts on a replacement.
+            let finish = loop {
+                let mut work = self.physics.train_startup_secs;
+                if needs_fetch {
+                    work += checkpoint_secs(tid, store);
+                }
+                let base = work;
+                let mut boundaries: Vec<f64> = Vec::new();
+                for _ in 0..units {
+                    work += dist.sample(&mut rt.rng);
+                    if watchdog_deadline.is_some() {
+                        boundaries.push(work);
+                    }
+                }
+                let end = start + SimDuration::from_secs_f64(work);
+                let preempt = hosting
+                    .iter()
+                    .filter_map(|n| {
+                        node_preempt
+                            .get(n)
+                            .copied()
+                            .or_else(|| cm.preemption_time(*n))
+                    })
+                    .filter(|&t| t > start && t < end)
+                    .min();
+                // Watchdog cut candidate: the end of the unit in flight
+                // at the deadline. An attempt finishing exactly at its
+                // last boundary is a normal completion, not a cut.
+                let wd_cut: Option<(u64, f64)> = watchdog_deadline.and_then(|wd| {
+                    if end <= wd {
+                        return None;
+                    }
+                    let (k, cut_work) = if wd <= start + SimDuration::from_secs_f64(base) {
+                        (0u64, base)
+                    } else {
+                        let i = boundaries
+                            .iter()
+                            .position(|&b| start + SimDuration::from_secs_f64(b) >= wd)
+                            .expect("attempt runs past the deadline");
+                        (i as u64 + 1, boundaries[i])
+                    };
+                    (k < units).then_some((k, cut_work))
+                });
+                let preempt = preempt.filter(|&p| {
+                    wd_cut.map_or(true, |(_, w)| p < start + SimDuration::from_secs_f64(w))
+                });
+                let Some(cut) = preempt else {
+                    if let Some((k, cut_work)) = wd_cut {
+                        // Stop at the boundary: bank the completed units,
+                        // bill the work actually done, leave the rest to
+                        // the post-watchdog residual round.
+                        let done = SimDuration::from_secs_f64(cut_work);
+                        let t = start + done;
+                        rt.busy_secs += cut_work;
+                        cm.record_usage(gpus, done);
+                        emit(
+                            trace,
+                            recorder,
+                            TraceEvent::TrialSegment {
+                                trial: tid,
+                                stage,
+                                start,
+                                end: t,
+                                gpus,
+                            },
+                        );
+                        if k > 0 {
+                            let e = outcome.unit_obs.entry(obs_key).or_insert((0.0, 0));
+                            e.0 += cut_work - base;
+                            e.1 += k;
+                        }
+                        rt.units_done += k;
+                        for _ in 0..k {
+                            rt.trial.advance(&self.task, 1)?;
+                        }
+                        outcome.remaining.insert(tid, units - k);
+                        break t;
+                    }
+                    rt.busy_secs += work;
+                    cm.record_usage(gpus, SimDuration::from_secs_f64(work));
+                    emit(
+                        trace,
+                        recorder,
+                        TraceEvent::TrialSegment {
+                            trial: tid,
+                            stage,
+                            start,
+                            end,
+                            gpus,
+                        },
+                    );
+                    let e = outcome.unit_obs.entry(obs_key).or_insert((0.0, 0));
+                    e.0 += work - base;
+                    e.1 += units;
+                    rt.units_done += units;
+                    for _ in 0..units {
+                        rt.trial.advance(&self.task, 1)?;
+                    }
+                    break end;
+                };
+                // Pay for the lost work, reclaim the dead node(s), and
+                // bring up replacements.
+                *total_preemptions += 1;
+                let lost = cut - start;
+                rt.busy_secs += lost.as_secs_f64();
+                cm.record_usage(gpus, lost);
+                emit(
+                    trace,
+                    recorder,
+                    TraceEvent::TrialSegment {
+                        trial: tid,
+                        stage,
+                        start,
+                        end: cut,
+                        gpus,
+                    },
+                );
+                let dead: Vec<rb_core::NodeId> = hosting
+                    .iter()
+                    .copied()
+                    .filter(|n| {
+                        node_preempt
+                            .get(n)
+                            .copied()
+                            .or_else(|| cm.preemption_time(*n))
+                            .is_some_and(|t| t <= cut)
+                    })
+                    .collect();
+                for n in &dead {
+                    // Colocated trials race to reclaim; losing is fine.
+                    if cm.preempt_node(*n).is_ok() {
+                        emit(
+                            trace,
+                            recorder,
+                            TraceEvent::NodeDown {
+                                node: *n,
+                                at: cut,
+                                preempted: true,
+                            },
+                        );
+                    }
+                    setup.cluster.remove(*n);
+                    hosting.retain(|h| h != n);
+                }
+                cm.request_nodes(dead.len(), cut)?;
+                let ready = cm.pending_ready_time().unwrap_or(cut);
+                for n in cm.absorb_ready(ready) {
+                    setup.cluster.add(n);
+                    hosting.push(n);
+                    emit(trace, recorder, TraceEvent::NodeUp { node: n, at: ready });
+                }
+                start = cut.max(ready);
+                needs_fetch = true;
+            };
+            slot_free[slot] = finish;
+            outcome.stage_end = outcome.stage_end.max(finish);
+        }
+        Ok(outcome)
     }
 }
 
@@ -1414,5 +1813,198 @@ mod tests {
             log.counter("exec", "instances_provisioned"),
             report.instances_provisioned as u64
         );
+    }
+
+    /// A hook that arms a watchdog budget on one stage and records every
+    /// firing; `suffix` is spliced back when the watchdog trips.
+    struct WatchdogHook {
+        armed_stage: usize,
+        budget_secs: f64,
+        suffix: Option<Vec<u32>>,
+        fires: Vec<(usize, u64, u64)>,
+    }
+
+    impl BarrierHook for WatchdogHook {
+        fn at_barrier(&mut self, _snapshot: &BarrierSnapshot<'_>) -> Option<Vec<u32>> {
+            None
+        }
+
+        fn stage_budget_secs(&mut self, stage: usize) -> Option<f64> {
+            (stage == self.armed_stage).then_some(self.budget_secs)
+        }
+
+        fn at_watchdog(&mut self, snapshot: &WatchdogSnapshot<'_>) -> Option<Vec<u32>> {
+            self.fires
+                .push((snapshot.stage, snapshot.max_remaining_units, snapshot.units));
+            self.suffix.clone()
+        }
+    }
+
+    #[test]
+    fn armed_watchdog_that_never_fires_is_bit_identical() {
+        let task = resnet101_cifar10();
+        let mk = || {
+            Executor::new(
+                small_spec(),
+                AllocationPlan::new(vec![8, 8, 4, 4]),
+                task.clone(),
+                physics(&task, 1024),
+                cloud(),
+            )
+            .unwrap()
+        };
+        let open = mk().run(&configs(8, 1)).unwrap();
+        // A generous budget on every stage: armed, checked, never hit.
+        struct GenerousHook(Vec<usize>);
+        impl BarrierHook for GenerousHook {
+            fn at_barrier(&mut self, _s: &BarrierSnapshot<'_>) -> Option<Vec<u32>> {
+                None
+            }
+            fn stage_budget_secs(&mut self, stage: usize) -> Option<f64> {
+                self.0.push(stage);
+                Some(1e9)
+            }
+            fn at_watchdog(&mut self, _s: &WatchdogSnapshot<'_>) -> Option<Vec<u32>> {
+                panic!("a 1e9 s budget must never fire");
+            }
+        }
+        let mut hook = GenerousHook(Vec::new());
+        let armed = mk().run_hooked(&configs(8, 1), &mut hook).unwrap();
+        assert_eq!(hook.0, vec![0, 1, 2, 3], "budget queried once per stage");
+        assert_eq!(open.jct, armed.jct);
+        assert_eq!(open.compute_cost, armed.compute_cost);
+        assert_eq!(open.best_accuracy, armed.best_accuracy);
+        assert_eq!(open.trace, armed.trace, "armed-but-quiet watchdog is free");
+    }
+
+    #[test]
+    fn watchdog_cuts_an_overrunning_stage_and_resumes() {
+        let task = resnet101_cifar10();
+        let mk = || {
+            Executor::new(
+                small_spec(),
+                AllocationPlan::new(vec![8, 8, 4, 4]),
+                task.clone(),
+                physics(&task, 1024),
+                cloud(),
+            )
+            .unwrap()
+        };
+        let open = mk().run(&configs(8, 1)).unwrap();
+        let last = open.stages.last().unwrap();
+        let train_secs = (last.sync_end - last.train_start).as_secs_f64() - 1.0;
+        // Half the observed training time: the final stage must overrun.
+        let mut hook = WatchdogHook {
+            armed_stage: 3,
+            budget_secs: train_secs * 0.5,
+            suffix: Some(vec![8]),
+            fires: Vec::new(),
+        };
+        let cut = mk().run_hooked(&configs(8, 1), &mut hook).unwrap();
+        assert_eq!(hook.fires.len(), 1, "the watchdog fires exactly once");
+        let (stage, remaining, units) = hook.fires[0];
+        assert_eq!(stage, 3);
+        assert_eq!(units, 8);
+        assert!(
+            remaining > 0 && remaining < units,
+            "cut mid-stage: {remaining}"
+        );
+        // The winner still trained all its units, split across segments
+        // before and after the forced barrier.
+        assert_eq!(cut.stages.len(), 4);
+        let final_segments = cut
+            .trace
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::TrialSegment { stage: 3, .. }))
+            .count();
+        assert!(final_segments >= 2, "split stage leaves two segments");
+        // The residual ran on the spliced 8-GPU allocation and the run
+        // finished sooner than letting the slow 4-GPU stage drain.
+        assert_eq!(cut.stages[3].gpus_per_trial, 8);
+        assert!(
+            cut.jct < open.jct,
+            "cut {:?} < open {:?}",
+            cut.jct,
+            open.jct
+        );
+        assert_eq!(cut.best_accuracy, open.best_accuracy, "same training units");
+        // Deterministic: the same seed reproduces the cut run exactly.
+        let mut hook2 = WatchdogHook {
+            armed_stage: 3,
+            budget_secs: train_secs * 0.5,
+            suffix: Some(vec![8]),
+            fires: Vec::new(),
+        };
+        let again = mk().run_hooked(&configs(8, 1), &mut hook2).unwrap();
+        assert_eq!(cut.jct, again.jct);
+        assert_eq!(cut.trace, again.trace);
+    }
+
+    #[test]
+    fn watchdog_bad_suffix_is_rejected() {
+        let task = resnet101_cifar10();
+        let exec = Executor::new(
+            small_spec(),
+            AllocationPlan::new(vec![8, 8, 4, 4]),
+            task.clone(),
+            physics(&task, 1024),
+            cloud(),
+        )
+        .unwrap();
+        let mut hook = WatchdogHook {
+            armed_stage: 3,
+            budget_secs: 1.0,
+            // One stage remains (the current one); two entries is wrong.
+            suffix: Some(vec![8, 8]),
+            fires: Vec::new(),
+        };
+        let err = exec.run_hooked(&configs(8, 1), &mut hook).unwrap_err();
+        assert!(matches!(err, RbError::InvalidPlan(_)), "{err:?}");
+    }
+
+    #[test]
+    fn barrier_snapshot_carries_unit_observations() {
+        let task = resnet101_cifar10();
+        let exec = Executor::new(
+            small_spec(),
+            AllocationPlan::new(vec![8, 8, 4, 4]),
+            task.clone(),
+            physics(&task, 1024),
+            cloud(),
+        )
+        .unwrap();
+        struct ObsHook {
+            rows: Vec<(usize, u32, Vec<UnitObservation>, f64)>,
+        }
+        impl BarrierHook for ObsHook {
+            fn at_barrier(&mut self, s: &BarrierSnapshot<'_>) -> Option<Vec<u32>> {
+                self.rows.push((
+                    s.stage,
+                    s.gpus_per_trial,
+                    s.unit_obs.clone(),
+                    s.instance_seconds,
+                ));
+                None
+            }
+        }
+        let mut hook = ObsHook { rows: Vec::new() };
+        exec.run_hooked(&configs(8, 1), &mut hook).unwrap();
+        let phys = physics(&task, 1024);
+        assert_eq!(hook.rows.len(), 3);
+        for (stage, gpus, obs, held) in &hook.rows {
+            assert!(*held > 0.0, "instances were billed by stage {stage}");
+            assert_eq!(obs.len(), 1, "uniform allocation: one observation row");
+            let o = obs[0];
+            assert_eq!(o.gpus, *gpus);
+            assert!(o.units > 0);
+            let expect = phys.unit_mean_secs(o.gpus, o.placement);
+            let err = (o.mean_secs - expect).abs() / expect;
+            assert!(
+                err < 0.05,
+                "stage {stage}: observed {} vs {expect}",
+                o.mean_secs
+            );
+        }
     }
 }

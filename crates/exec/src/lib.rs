@@ -34,6 +34,9 @@ pub mod scheduler;
 
 pub use asha::{run_asha, AshaConfig, AshaReport};
 pub use cluster::ClusterManager;
-pub use executor::{BarrierHook, BarrierSnapshot, ExecOptions, Executor, NoopHook};
+pub use executor::{
+    BarrierHook, BarrierSnapshot, ExecOptions, Executor, NoopHook, UnitObservation,
+    WatchdogSnapshot,
+};
 pub use report::{render_timeline, ExecutionReport, ExecutionTrace, StageRecord, TraceEvent};
 pub use scheduler::{schedule_stage, StageSchedule};

@@ -68,7 +68,11 @@ impl TraceEvent {
                 kind: EventKind::Instant,
                 fields: Vec::new(),
             },
-            TraceEvent::NodeDown { node, at, preempted } => Event {
+            TraceEvent::NodeDown {
+                node,
+                at,
+                preempted,
+            } => Event {
                 at,
                 scope: "exec",
                 name: "node.down",
@@ -162,17 +166,23 @@ impl ExecutionTrace {
     /// executor's.
     pub fn from_events(events: &[Event]) -> ExecutionTrace {
         fn field_u64(e: &Event, key: &str) -> Option<u64> {
-            e.fields.iter().find(|(k, _)| *k == key).and_then(|(_, v)| match v {
-                Value::U64(n) => Some(*n),
-                Value::I64(n) => u64::try_from(*n).ok(),
-                _ => None,
-            })
+            e.fields
+                .iter()
+                .find(|(k, _)| *k == key)
+                .and_then(|(_, v)| match v {
+                    Value::U64(n) => Some(*n),
+                    Value::I64(n) => u64::try_from(*n).ok(),
+                    _ => None,
+                })
         }
         fn field_bool(e: &Event, key: &str) -> Option<bool> {
-            e.fields.iter().find(|(k, _)| *k == key).and_then(|(_, v)| match v {
-                Value::Bool(b) => Some(*b),
-                _ => None,
-            })
+            e.fields
+                .iter()
+                .find(|(k, _)| *k == key)
+                .and_then(|(_, v)| match v {
+                    Value::Bool(b) => Some(*b),
+                    _ => None,
+                })
         }
         let mut out = ExecutionTrace::default();
         for e in events {

@@ -168,7 +168,13 @@ pub fn export_chrome(log: &TraceLog) -> String {
     lanes.dedup();
     for lane in &lanes {
         let (pid, tid) = lane_track(lane);
-        push_metadata(&mut entries, "thread_name", pid, Some(tid), &lane_thread_name(lane));
+        push_metadata(
+            &mut entries,
+            "thread_name",
+            pid,
+            Some(tid),
+            &lane_thread_name(lane),
+        );
     }
 
     for event in &log.events {
@@ -181,7 +187,11 @@ pub fn export_chrome(log: &TraceLog) -> String {
             EventKind::Gauge { value } => {
                 // Counter tracks chart the time series per (name, pid).
                 write_json_str(&mut line, &full);
-                let _ = write!(line, ",\"cat\":\"{}\",\"ph\":\"C\",\"ts\":{ts_us},\"pid\":{pid}", event.scope);
+                let _ = write!(
+                    line,
+                    ",\"cat\":\"{}\",\"ph\":\"C\",\"ts\":{ts_us},\"pid\":{pid}",
+                    event.scope
+                );
                 line.push_str(",\"args\":{\"value\":");
                 write_json_f64(&mut line, *value);
                 line.push_str("}}");
@@ -248,7 +258,13 @@ mod tests {
             Lane::Trial(3),
             vec![("stage", 0u64.into()), ("gpus", 8u64.into())],
         );
-        rec.gauge(SimTime::from_millis(510), "ctrl", "drift", Lane::Controller, 1.25);
+        rec.gauge(
+            SimTime::from_millis(510),
+            "ctrl",
+            "drift",
+            Lane::Controller,
+            1.25,
+        );
         rec.counter_add("sim", "plan_cache.hits", 7);
         rec.histogram("sim", "sample_jct_secs", 12.5);
         rec.finish()
@@ -285,7 +301,10 @@ mod tests {
             .iter()
             .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("C"))
             .expect("gauge becomes counter track");
-        assert_eq!(counter.get("args").unwrap().get("value").unwrap().as_f64(), Some(1.25));
+        assert_eq!(
+            counter.get("args").unwrap().get("value").unwrap().as_f64(),
+            Some(1.25)
+        );
     }
 
     #[test]

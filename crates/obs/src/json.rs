@@ -291,7 +291,10 @@ mod tests {
         assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
         assert_eq!(v.get("b").unwrap().get("c").unwrap().as_bool(), Some(true));
         assert_eq!(v.get("e").unwrap().as_str(), Some("x"));
-        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[2].as_f64(), Some(-300.0));
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap()[2].as_f64(),
+            Some(-300.0)
+        );
     }
 
     #[test]

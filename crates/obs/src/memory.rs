@@ -109,7 +109,11 @@ impl TraceLog {
     }
 
     /// Events with the given scope and name, in emission order.
-    pub fn events_named<'a>(&'a self, scope: &'a str, name: &'a str) -> impl Iterator<Item = &'a Event> {
+    pub fn events_named<'a>(
+        &'a self,
+        scope: &'a str,
+        name: &'a str,
+    ) -> impl Iterator<Item = &'a Event> {
         self.events
             .iter()
             .filter(move |e| e.scope == scope && e.name == name)
@@ -266,7 +270,10 @@ mod tests {
         rec.instant(SimTime::from_millis(1), "t", "a", Lane::Global, Vec::new());
         let log = rec.finish();
         assert_eq!(log.events.len(), 2);
-        assert_eq!(log.events[0].name, "b", "bus preserves emission order, not time order");
+        assert_eq!(
+            log.events[0].name, "b",
+            "bus preserves emission order, not time order"
+        );
         assert_eq!(log.events_named("t", "a").count(), 1);
     }
 }

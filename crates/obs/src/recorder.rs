@@ -276,7 +276,11 @@ impl fmt::Debug for RecorderHandle {
         write!(
             f,
             "RecorderHandle({})",
-            if self.inner.enabled() { "recording" } else { "noop" }
+            if self.inner.enabled() {
+                "recording"
+            } else {
+                "noop"
+            }
         )
     }
 }

@@ -8,10 +8,13 @@
 //!   (non-empty strings, `lane` one of `global|controller|planner|cloud`
 //!   or `node:<n>|trial:<n>|stage:<n>`), `kind` (`instant`, `span`, or
 //!   `gauge`), and `fields` (object). `span` lines add `end_ms >= t_ms`;
-//!   `gauge` lines add a numeric or null `value`.
+//!   `gauge` lines add a *finite* numeric or null `value` (non-finite
+//!   readings must be exported as `null`; a numeric literal that
+//!   overflows to infinity is rejected).
 //! * **Metric lines** carry `metric` (`counter` or `histogram`) and
 //!   follow all event lines. Counters carry an integer `value`;
-//!   histograms carry `count`/`min`/`max`/`p50`/`p90`.
+//!   histograms carry `count`/`min`/`max`/`p50`/`p90` (same finite-or-
+//!   null rule).
 
 use crate::json::{parse_json, Json};
 
@@ -26,11 +29,11 @@ pub struct JsonlStats {
 fn lane_ok(lane: &str) -> bool {
     match lane {
         "global" | "controller" | "planner" | "cloud" => true,
-        _ => lane
-            .split_once(':')
-            .is_some_and(|(kind, id)| {
-                matches!(kind, "node" | "trial" | "stage") && !id.is_empty() && id.bytes().all(|b| b.is_ascii_digit())
-            }),
+        _ => lane.split_once(':').is_some_and(|(kind, id)| {
+            matches!(kind, "node" | "trial" | "stage")
+                && !id.is_empty()
+                && id.bytes().all(|b| b.is_ascii_digit())
+        }),
     }
 }
 
@@ -50,7 +53,12 @@ fn require_u64(obj: &Json, key: &str, line_no: usize) -> Result<u64, String> {
 
 fn require_num_or_null(obj: &Json, key: &str, line_no: usize) -> Result<(), String> {
     match obj.get(key) {
-        Some(Json::Num(_)) | Some(Json::Null) => Ok(()),
+        // Finite only: JSON has no NaN/inf, but an overflowing literal
+        // like 1e999 parses to f64::INFINITY. Producers must map
+        // non-finite values to null (write_json_f64 does).
+        Some(Json::Num(v)) if v.is_finite() => Ok(()),
+        Some(Json::Num(_)) => Err(format!("line {line_no}: non-finite number in `{key}`")),
+        Some(Json::Null) => Ok(()),
         _ => Err(format!("line {line_no}: missing or non-numeric `{key}`")),
     }
 }
@@ -149,7 +157,13 @@ mod tests {
 
     fn sample_export() -> String {
         let rec = MemoryRecorder::new();
-        rec.instant(SimTime::from_millis(1), "exec", "a", Lane::Global, Vec::new());
+        rec.instant(
+            SimTime::from_millis(1),
+            "exec",
+            "a",
+            Lane::Global,
+            Vec::new(),
+        );
         rec.span(
             SimTime::from_millis(1),
             SimTime::from_millis(2),
@@ -197,7 +211,48 @@ mod tests {
         let event = lines[0];
         lines.push(event);
         let shuffled: String = lines.join("\n");
-        assert!(validate_jsonl(&shuffled).unwrap_err().contains("after metric"));
+        assert!(validate_jsonl(&shuffled)
+            .unwrap_err()
+            .contains("after metric"));
+    }
+
+    #[test]
+    fn non_finite_gauges_round_trip_as_null() {
+        // A NaN drift factor (the pre-fix rb-ctrl bug) must export as
+        // null and still validate.
+        let rec = MemoryRecorder::new();
+        rec.gauge(
+            SimTime::ZERO,
+            "ctrl",
+            "drift_factor",
+            Lane::Controller,
+            f64::NAN,
+        );
+        rec.gauge(
+            SimTime::from_millis(1),
+            "ctrl",
+            "drift_factor",
+            Lane::Controller,
+            f64::INFINITY,
+        );
+        rec.histogram("sim", "h", f64::NEG_INFINITY);
+        let text = export_jsonl(&rec.finish());
+        assert!(text.contains("\"value\":null"), "NaN gauge exports as null");
+        assert!(
+            !text.contains("NaN") && !text.contains("inf"),
+            "no bare non-finite literals"
+        );
+        let stats = validate_jsonl(&text).expect("null-mapped export validates");
+        assert_eq!(stats.events, 2);
+    }
+
+    #[test]
+    fn rejects_non_finite_numbers() {
+        let good = sample_export();
+        // An overflowing literal parses to f64::INFINITY — the schema
+        // must reject it rather than accept an unreadable value.
+        let bad = good.replace("\"value\":0.5", "\"value\":1e999");
+        assert!(validate_jsonl(&bad).unwrap_err().contains("non-finite"));
     }
 
     #[test]

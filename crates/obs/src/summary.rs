@@ -105,12 +105,20 @@ impl RunSummary {
             "  compute_cost_usd    = {}",
             fmt_micros(self.compute_cost)
         );
-        let _ = writeln!(out, "  data_cost_usd       = {}", fmt_micros(self.data_cost));
+        let _ = writeln!(
+            out,
+            "  data_cost_usd       = {}",
+            fmt_micros(self.data_cost)
+        );
         let _ = writeln!(out, "  best_accuracy       = {:.4}", self.best_accuracy);
         let _ = writeln!(out, "  stages              = {}", self.stages);
         let _ = writeln!(out, "  migrations          = {}", self.migrations);
         let _ = writeln!(out, "  preemptions         = {}", self.preemptions);
-        let _ = writeln!(out, "  instances           = {}", self.instances_provisioned);
+        let _ = writeln!(
+            out,
+            "  instances           = {}",
+            self.instances_provisioned
+        );
         let _ = writeln!(out, "  gpu_busy_secs       = {:.3}", self.gpu_busy_secs);
         let _ = writeln!(out, "  gpu_idle_secs       = {:.3}", self.gpu_idle_secs());
         match self.utilization() {
@@ -121,8 +129,16 @@ impl RunSummary {
                 let _ = writeln!(out, "  gpu_utilization     = n/a");
             }
         }
-        let _ = writeln!(out, "  plan_cache          = {}", fmt_cache(&self.plan_cache));
-        let _ = writeln!(out, "  stage_memo          = {}", fmt_cache(&self.stage_memo));
+        let _ = writeln!(
+            out,
+            "  plan_cache          = {}",
+            fmt_cache(&self.plan_cache)
+        );
+        let _ = writeln!(
+            out,
+            "  stage_memo          = {}",
+            fmt_cache(&self.stage_memo)
+        );
         let _ = writeln!(
             out,
             "  replans             = applied {} rejected {}",
@@ -136,7 +152,11 @@ impl RunSummary {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{");
         let _ = write!(out, "\"jct_ms\":{}", self.jct.as_millis());
-        let _ = write!(out, ",\"compute_cost_micros\":{}", self.compute_cost.as_micros());
+        let _ = write!(
+            out,
+            ",\"compute_cost_micros\":{}",
+            self.compute_cost.as_micros()
+        );
         let _ = write!(out, ",\"data_cost_micros\":{}", self.data_cost.as_micros());
         let _ = write!(out, ",\"best_accuracy\":{}", self.best_accuracy);
         let _ = write!(out, ",\"stages\":{}", self.stages);
@@ -225,7 +245,9 @@ mod tests {
         assert!(text.contains("data_cost_usd       = 0.000000"));
         assert!(text.contains("gpu_idle_secs       = 25.000"));
         assert!(text.contains("gpu_utilization     = 0.800"));
-        assert!(text.contains("plan_cache          = hits 30 misses 10 evictions 0 (hit rate 0.750)"));
+        assert!(
+            text.contains("plan_cache          = hits 30 misses 10 evictions 0 (hit rate 0.750)")
+        );
         assert_eq!(text, sample().render());
     }
 
@@ -235,7 +257,12 @@ mod tests {
         let parsed = crate::json::parse_json(&json).expect("summary json parses");
         assert_eq!(parsed.get("jct_ms").unwrap().as_u64(), Some(1_234_567));
         assert_eq!(
-            parsed.get("plan_cache").unwrap().get("hits").unwrap().as_u64(),
+            parsed
+                .get("plan_cache")
+                .unwrap()
+                .get("hits")
+                .unwrap()
+                .as_u64(),
             Some(30)
         );
     }

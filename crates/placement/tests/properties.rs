@@ -20,7 +20,9 @@ fn allocations(gpus: &[u32]) -> BTreeMap<TrialId, u32> {
 /// Draws a vector of `1..len_hi` elements uniform in `[lo, hi)`.
 fn rand_vec(rng: &mut Prng, lo: u32, hi: u32, len_hi: u64) -> Vec<u32> {
     let len = 1 + rng.next_below(len_hi - 1) as usize;
-    (0..len).map(|_| lo + rng.next_below((hi - lo) as u64) as u32).collect()
+    (0..len)
+        .map(|_| lo + rng.next_below((hi - lo) as u64) as u32)
+        .collect()
 }
 
 /// Two consecutive reallocations over a generous cluster always leave

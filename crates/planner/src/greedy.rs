@@ -661,7 +661,8 @@ mod tests {
         // Generous residual deadline: the incumbent suffix must stay
         // acceptable (re-planning without drift never hurts under the
         // model).
-        let loose = plan_residual(&sim, &residual, SimDuration::from_mins(55), &warm, &cfg).unwrap();
+        let loose =
+            plan_residual(&sim, &residual, SimDuration::from_mins(55), &warm, &cfg).unwrap();
         assert!(loose.feasible);
         let warm_pred = sim.predict(&residual, &warm).unwrap();
         assert!(loose.prediction.cost <= warm_pred.cost);

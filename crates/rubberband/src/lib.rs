@@ -82,7 +82,10 @@ use std::sync::Arc;
 pub mod prelude {
     pub use rb_cloud::{BillingModel, CloudPricing, PricingTier};
     pub use rb_core::{Cost, Distribution, Prng, RbError, Result, SimDuration, SimTime};
-    pub use rb_ctrl::{AdaptiveController, ControllerConfig, DriftConfig, ReplanEvent};
+    pub use rb_ctrl::{
+        AdaptationLog, AdaptiveController, ControllerConfig, DriftConfig, MarketChoice,
+        MarketConfig, RefitConfig, RefitEvent, ReplanEvent, ReplanTrigger, WatchdogConfig,
+    };
     pub use rb_exec::{ExecOptions, ExecutionReport, Executor};
     pub use rb_hpo::{Config, Dim, ExperimentSpec, SearchSpace, ShaParams};
     pub use rb_obs::{CacheStats, MemoryRecorder, RecorderHandle, RunSummary, TraceLog};
@@ -680,7 +683,7 @@ mod tests {
         assert_eq!(observed.summary.total_cost(), plain.total_cost());
         assert_eq!(observed.summary.stages, plain.stages.len());
         assert_eq!(observed.summary.trace_events, observed.log.events.len());
-        assert!(observed.log.events.len() > 0);
+        assert!(!observed.log.events.is_empty());
         assert!(observed.summary.gpu_busy_secs > 0.0);
     }
 
@@ -734,7 +737,10 @@ mod tests {
         assert_eq!(a.report.jct, noop.report.jct);
         assert_eq!(a.report.compute_cost, noop.report.compute_cost);
         assert_eq!(a.report.trace, noop.report.trace);
-        assert_eq!(a.adaptation.as_ref().unwrap().events.len(), noop.adaptation.events.len());
+        assert_eq!(
+            a.adaptation.as_ref().unwrap().events.len(),
+            noop.adaptation.events.len()
+        );
         // Same seed -> byte-identical exports, and the JSONL passes the
         // schema validator.
         let b = run();

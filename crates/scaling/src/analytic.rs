@@ -84,6 +84,30 @@ impl AnalyticScaling {
         per_gpu.div_ceil(self.arch.max_samples_per_gpu)
     }
 
+    /// The all-reduce share of one iteration, in seconds (zero on one
+    /// GPU). Mirrors the communication term of `iter_latency_secs`.
+    fn allreduce_secs(&self, gpus: u32, placement: PlacementQuality) -> f64 {
+        if gpus <= 1 {
+            return 0.0;
+        }
+        let g = f64::from(gpus);
+        let grad = self.arch.grad_bytes();
+        match placement {
+            PlacementQuality::Packed if gpus > self.node_gpus => {
+                let per_node = f64::from(self.node_gpus.min(gpus));
+                let nodes = (g / f64::from(self.node_gpus)).ceil();
+                let intra =
+                    2.0 * (per_node - 1.0) / per_node * grad / (self.intra_node_bw_gbps * 1e9);
+                let inter = 2.0 * (nodes - 1.0) / nodes * grad / (self.inter_node_bw_gbps * 1e9);
+                intra + inter
+            }
+            _ => {
+                let bytes = 2.0 * (g - 1.0) / g * grad;
+                bytes / (self.bandwidth_gbps(gpus, placement) * 1e9)
+            }
+        }
+    }
+
     fn bandwidth_gbps(&self, gpus: u32, placement: PlacementQuality) -> f64 {
         match placement {
             PlacementQuality::Packed => {
@@ -105,31 +129,10 @@ impl ScalingModel for AnalyticScaling {
         let microsteps = self.microsteps(gpus);
         let compute = per_gpu_samples / self.arch.per_gpu_samples_per_sec
             + f64::from(microsteps - 1) * self.arch.microstep_overhead_secs;
-        let allreduce = if gpus > 1 {
-            let g = f64::from(gpus);
-            let grad = self.arch.grad_bytes();
-            match placement {
-                PlacementQuality::Packed if gpus > self.node_gpus => {
-                    // Hierarchical all-reduce: a ring within each node over
-                    // NVLink-class links, then a per-node ring over the
-                    // network (as NCCL performs it). The network phase
-                    // moves one gradient copy per node, not per GPU.
-                    let per_node = f64::from(self.node_gpus.min(gpus));
-                    let nodes = (g / f64::from(self.node_gpus)).ceil();
-                    let intra =
-                        2.0 * (per_node - 1.0) / per_node * grad / (self.intra_node_bw_gbps * 1e9);
-                    let inter =
-                        2.0 * (nodes - 1.0) / nodes * grad / (self.inter_node_bw_gbps * 1e9);
-                    intra + inter
-                }
-                _ => {
-                    let bytes = 2.0 * (g - 1.0) / g * grad;
-                    bytes / (self.bandwidth_gbps(gpus, placement) * 1e9)
-                }
-            }
-        } else {
-            0.0
-        };
+        // Hierarchical all-reduce above one node: a ring within each node
+        // over NVLink-class links, then a per-node ring over the network
+        // (as NCCL performs it) — see `allreduce_secs`.
+        let allreduce = self.allreduce_secs(gpus, placement);
         let base = compute + allreduce + self.arch.fixed_overhead_secs;
         match placement {
             PlacementQuality::Packed => base,
@@ -142,6 +145,25 @@ impl ScalingModel for AnalyticScaling {
 
     fn batch_size(&self) -> u32 {
         self.batch_size
+    }
+
+    fn latency_components(&self, gpus: u32, placement: PlacementQuality) -> (f64, f64) {
+        assert!(gpus > 0, "cannot train on zero GPUs");
+        let per_gpu_samples = f64::from(self.batch_size.div_ceil(gpus));
+        let microsteps = self.microsteps(gpus);
+        let compute = per_gpu_samples / self.arch.per_gpu_samples_per_sec
+            + f64::from(microsteps - 1) * self.arch.microstep_overhead_secs
+            + self.arch.fixed_overhead_secs;
+        let comm = self.allreduce_secs(gpus, placement);
+        match placement {
+            PlacementQuality::Packed => (compute, comm),
+            // The scattered overhead factor inflates both shares, so the
+            // parts still sum to `iter_latency_secs` (up to rounding).
+            PlacementQuality::Scattered => (
+                compute * self.scattered_overhead_factor,
+                comm * self.scattered_overhead_factor,
+            ),
+        }
     }
 }
 

@@ -14,11 +14,13 @@
 
 pub mod analytic;
 pub mod interp;
+pub mod refit;
 pub mod rescale;
 pub mod zoo;
 
 pub use analytic::AnalyticScaling;
 pub use interp::InterpolatedScaling;
+pub use refit::{refit_least_squares, LatencyObservation, RefitScaling};
 pub use rescale::{IdealScaling, RescaledScaling};
 pub use zoo::ModelArch;
 
@@ -63,6 +65,20 @@ pub trait ScalingModel: std::fmt::Debug + Send + Sync {
     /// of Fig. 4.
     fn speedup(&self, gpus: u32, placement: PlacementQuality) -> f64 {
         self.throughput(gpus, placement) / self.throughput(1, PlacementQuality::Packed)
+    }
+
+    /// Splits one iteration's latency into `(compute_secs, comm_secs)`:
+    /// the GPU-bound share (compute, micro-step and fixed overheads) and
+    /// the communication-bound share (gradient all-reduce). The parts sum
+    /// to [`ScalingModel::iter_latency_secs`].
+    ///
+    /// Online refitting ([`refit::RefitScaling`]) rescales the two parts
+    /// independently, which is what lets a re-planner distinguish uniform
+    /// compute slowdown from parallelism-dependent contention. Models
+    /// without a communication term (the default) report everything as
+    /// compute, so a refit degenerates to a scalar factor.
+    fn latency_components(&self, gpus: u32, placement: PlacementQuality) -> (f64, f64) {
+        (self.iter_latency_secs(gpus, placement), 0.0)
     }
 }
 

@@ -45,6 +45,11 @@ impl ScalingModel for RescaledScaling {
     fn batch_size(&self) -> u32 {
         self.inner.batch_size()
     }
+
+    fn latency_components(&self, gpus: u32, placement: PlacementQuality) -> (f64, f64) {
+        let (compute, comm) = self.inner.latency_components(gpus, placement);
+        (compute * self.factor, comm * self.factor)
+    }
 }
 
 /// A perfectly linear scaler: `latency(g) = base / g`.

@@ -153,6 +153,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn deeper_resnets_are_slower_per_gpu() {
         assert!(RESNET50.per_gpu_samples_per_sec > RESNET101.per_gpu_samples_per_sec);
         assert!(RESNET101.per_gpu_samples_per_sec > RESNET152.per_gpu_samples_per_sec);

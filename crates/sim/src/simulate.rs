@@ -835,8 +835,14 @@ impl Simulator {
         let (_, new_inst, _) = template.instance_ladder(plan);
         Ok((0..template.num_stages())
             .map(|s| {
-                let ss =
-                    template.stage_samples(s, plan.gpus(s), new_inst[s], self.config.seed, n, pricing);
+                let ss = template.stage_samples(
+                    s,
+                    plan.gpus(s),
+                    new_inst[s],
+                    self.config.seed,
+                    n,
+                    pricing,
+                );
                 // The memo may hold more samples than this simulator's
                 // fidelity; quantiles use exactly the first `n` (the
                 // sample set is prefix-consistent per seed).
@@ -1178,7 +1184,11 @@ mod tests {
     /// predictor against it. The two paths draw identical node latencies
     /// (same counter streams) and differ only in float association, so
     /// they must agree to well under a micro-dollar/microsecond.
-    fn full_dag_prediction(s: &Simulator, spec: &ExperimentSpec, plan: &AllocationPlan) -> (f64, f64) {
+    fn full_dag_prediction(
+        s: &Simulator,
+        spec: &ExperimentSpec,
+        plan: &AllocationPlan,
+    ) -> (f64, f64) {
         let dag = ExecDag::build(
             spec,
             plan,

@@ -244,7 +244,10 @@ fn stage_quantiles_are_ordered_and_deterministic() {
     let qs = s.stage_quantiles(&spec(), &plan).unwrap();
     assert_eq!(qs.len(), spec().num_stages());
     for q in &qs {
-        assert!(q.p10_secs <= q.p50_secs && q.p50_secs <= q.p90_secs, "{q:?}");
+        assert!(
+            q.p10_secs <= q.p50_secs && q.p50_secs <= q.p90_secs,
+            "{q:?}"
+        );
         assert!(q.mean_secs > 0.0);
         assert_eq!(q.samples, 17);
     }

@@ -284,7 +284,9 @@ fn learning_curves_are_sane() {
     for _ in 0..64 {
         let lr = rng.uniform(1e-6, 10.0);
         let wd = rng.uniform(1e-7, 1e-1);
-        let cfg = Config::new().with_f64("lr", lr).with_f64("weight_decay", wd);
+        let cfg = Config::new()
+            .with_f64("lr", lr)
+            .with_f64("weight_decay", wd);
         let mut prev = 0.0;
         for i in [0u64, 1, 2, 5, 10, 25, 50, 100] {
             let a = task.clean_accuracy(&cfg, i);
