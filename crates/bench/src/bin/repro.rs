@@ -174,6 +174,16 @@ fn ext_adapt(quick: bool) {
     }
 }
 
+fn ext_chaos(_quick: bool) {
+    // The default sweep is already one execution pair per fault class;
+    // quick and full runs share it.
+    let scenarios = rb_bench::chaos::ChaosScenario::default_sweep();
+    match rb_bench::chaos::ext_chaos(&scenarios, 1) {
+        Ok((deadline, rows)) => rb_bench::chaos::print_ext_chaos(deadline, &rows),
+        Err(e) => rb_obs::log_error!("repro", "ext-chaos failed: {e}"),
+    }
+}
+
 fn ext_budget(quick: bool) {
     let budgets: &[f64] = if quick {
         &[7.0, 20.0]
@@ -262,7 +272,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: repro [quick] [--csv] <trace|fig4|fig9|fig10|fig11|fig12|table1|table2|table3|table4|ext-spot|ext-budget|ext-asha|ext-instances|ext-adapt|ablations|all>..."
+            "usage: repro [quick] [--csv] <trace|fig4|fig9|fig10|fig11|fig12|table1|table2|table3|table4|ext-spot|ext-budget|ext-asha|ext-instances|ext-adapt|ext-chaos|ablations|all>..."
         );
         std::process::exit(2);
     }
@@ -291,6 +301,7 @@ fn main() {
             "ext-asha",
             "ext-instances",
             "ext-adapt",
+            "ext-chaos",
             "ablations",
             "trace",
         ];
@@ -313,6 +324,7 @@ fn main() {
             "ext-asha" => ext_asha(quick),
             "ext-instances" => ext_instances(quick),
             "ext-adapt" => ext_adapt(quick),
+            "ext-chaos" => ext_chaos(quick),
             "ablations" => ablations(),
             "trace" => trace_artifact(),
             other => {

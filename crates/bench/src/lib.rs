@@ -7,6 +7,7 @@
 //! workloads down.
 
 pub mod adapt;
+pub mod chaos;
 pub mod common;
 pub mod csv;
 pub mod ext;

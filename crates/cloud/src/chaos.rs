@@ -1,0 +1,452 @@
+//! Deterministic fault injection for the cloud/executor stack.
+//!
+//! The paper assumes the cloud behaves (§3): provisioning always
+//! succeeds, instances only die through the spot market, and storage is
+//! infallible. Real tuning frameworks treat worker loss and resource
+//! shortfall as first-class failures, so this module injects them — in
+//! virtual time, seeded exactly like the spot-interruption stream, so a
+//! chaotic run is as bit-reproducible as a calm one.
+//!
+//! A [`FaultPlan`] declares *what* can go wrong; a [`FaultInjector`]
+//! decides *when*, using counter-based streams ([`Prng::for_stream`])
+//! keyed by request index or instance id, so every decision is a pure
+//! function of `(seed, entity index)` and never of polling cadence.
+//! The cardinal invariant: with no plan attached (or an inactive one)
+//! the injector draws **zero** samples and the run is bit-identical to
+//! an uninjected run.
+//!
+//! Fault taxonomy (each independently configurable):
+//!
+//! * **insufficient capacity** — a provisioning request is denied
+//!   outright ([`rb_core::RbError::Capacity`]); retryable;
+//! * **provisioning stragglers** — an instance's hand-over delay is
+//!   multiplied by a large factor (a hung request, bounded only by the
+//!   caller's patience);
+//! * **hardware failure** — a running instance dies at a sampled
+//!   instant even on on-demand capacity (non-spot);
+//! * **degraded node** — an instance runs, but slower than its shape
+//!   promises;
+//! * **checkpoint corruption** — consumed by `rb-train`'s checkpoint
+//!   store: a saved generation fails verification on the next read.
+
+use rb_core::{mix_seed, Distribution, InstanceId, Prng, RbError, Result};
+
+/// Declarative fault model: probabilities and severities for each fault
+/// class. [`FaultPlan::none`] (also `Default`) disables everything.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Probability that an entire provisioning request is denied with
+    /// an insufficient-capacity error.
+    pub capacity_failure_prob: f64,
+    /// Probability that a provisioned instance straggles: its hand-over
+    /// delay is multiplied by [`FaultPlan::straggler_factor`].
+    pub straggler_prob: f64,
+    /// Hand-over delay multiplier for stragglers (≥ 1).
+    pub straggler_factor: f64,
+    /// Non-spot hardware failure rate per instance-hour on running
+    /// instances (Poisson, like spot interruptions but independent of
+    /// the market).
+    pub hw_failure_rate_per_hour: f64,
+    /// Probability that a provisioned instance is degraded (slow).
+    pub degraded_prob: f64,
+    /// Work-unit latency multiplier on a degraded node (≥ 1).
+    pub degraded_factor: f64,
+    /// Probability that a saved checkpoint generation is corrupted in
+    /// storage and fails verification on the next read. Consumed by the
+    /// checkpoint store, not the provider.
+    pub checkpoint_corruption_prob: f64,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, and — by the injector's contract —
+    /// zero random draws.
+    pub fn none() -> Self {
+        FaultPlan {
+            capacity_failure_prob: 0.0,
+            straggler_prob: 0.0,
+            straggler_factor: 1.0,
+            hw_failure_rate_per_hour: 0.0,
+            degraded_prob: 0.0,
+            degraded_factor: 1.0,
+            checkpoint_corruption_prob: 0.0,
+        }
+    }
+
+    /// Whether any fault class can fire.
+    pub fn is_active(&self) -> bool {
+        self.capacity_failure_prob > 0.0
+            || self.straggler_prob > 0.0
+            || self.hw_failure_rate_per_hour > 0.0
+            || self.degraded_prob > 0.0
+            || self.checkpoint_corruption_prob > 0.0
+    }
+
+    /// Checks the plan's parameters: probabilities in `[0, 1]`, factors
+    /// at least 1, rates finite and non-negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbError::InvalidConfig`] naming the first offending
+    /// field.
+    pub fn validate(&self) -> Result<()> {
+        let prob = |name: &str, p: f64| -> Result<()> {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(RbError::InvalidConfig(format!(
+                    "fault plan: {name} must be a probability in [0, 1], got {p}"
+                )));
+            }
+            Ok(())
+        };
+        prob("capacity_failure_prob", self.capacity_failure_prob)?;
+        prob("straggler_prob", self.straggler_prob)?;
+        prob("degraded_prob", self.degraded_prob)?;
+        prob(
+            "checkpoint_corruption_prob",
+            self.checkpoint_corruption_prob,
+        )?;
+        if !self.straggler_factor.is_finite() || self.straggler_factor < 1.0 {
+            return Err(RbError::InvalidConfig(format!(
+                "fault plan: straggler_factor must be finite and >= 1, got {}",
+                self.straggler_factor
+            )));
+        }
+        if !self.degraded_factor.is_finite() || self.degraded_factor < 1.0 {
+            return Err(RbError::InvalidConfig(format!(
+                "fault plan: degraded_factor must be finite and >= 1, got {}",
+                self.degraded_factor
+            )));
+        }
+        if !self.hw_failure_rate_per_hour.is_finite() || self.hw_failure_rate_per_hour < 0.0 {
+            return Err(RbError::InvalidConfig(format!(
+                "fault plan: hw_failure_rate_per_hour must be finite and non-negative, got {}",
+                self.hw_failure_rate_per_hour
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// Per-instance fault assignment decided at provisioning time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstanceFaults {
+    /// Hand-over delay multiplier (1.0 = healthy).
+    pub delay_factor: f64,
+    /// Work-unit latency multiplier (1.0 = healthy).
+    pub slowdown: f64,
+    /// Hours of running time until a hardware failure, if one is
+    /// scheduled.
+    pub fail_after_hours: Option<f64>,
+}
+
+impl InstanceFaults {
+    /// A healthy instance: no delay inflation, no slowdown, no failure.
+    pub fn healthy() -> Self {
+        InstanceFaults {
+            delay_factor: 1.0,
+            slowdown: 1.0,
+            fail_after_hours: None,
+        }
+    }
+}
+
+/// Running totals of faults actually injected, for the recovery rollup.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Provisioning requests denied for capacity.
+    pub capacity_failures: u64,
+    /// Instances whose hand-over was straggler-inflated.
+    pub stragglers: u64,
+    /// Hardware failures that actually struck a running instance.
+    pub hw_failures: u64,
+    /// Instances provisioned degraded.
+    pub degraded_nodes: u64,
+}
+
+impl FaultCounts {
+    /// Total faults injected across all classes.
+    pub fn total(&self) -> u64 {
+        self.capacity_failures + self.stragglers + self.hw_failures + self.degraded_nodes
+    }
+}
+
+/// The runtime half of the fault layer: seeded decision streams plus
+/// injection tallies. Owned by the provider (and, for checkpoint
+/// corruption, mirrored into the checkpoint store's seed).
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    /// Per-request capacity decisions: stream index = request counter.
+    capacity_seed: u64,
+    /// Per-instance straggler/degraded decisions: stream index =
+    /// instance id.
+    node_seed: u64,
+    /// Per-instance hardware-failure instants: stream index = instance
+    /// id (a separate family so enabling one fault class never shifts
+    /// another's draws).
+    hw_seed: u64,
+    requests: u64,
+    counts: FaultCounts,
+}
+
+impl FaultInjector {
+    /// Creates an injector for `plan`, deriving independent stream
+    /// families from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`].
+    pub fn new(plan: FaultPlan, seed: u64) -> Self {
+        if let Err(e) = plan.validate() {
+            panic!("invalid fault plan: {e}");
+        }
+        FaultInjector {
+            plan,
+            capacity_seed: mix_seed(seed, 0xCAFA_C171),
+            node_seed: mix_seed(seed, 0x0DE6_4ADE),
+            hw_seed: mix_seed(seed, 0x4A4D_FA11),
+            requests: 0,
+            counts: FaultCounts::default(),
+        }
+    }
+
+    /// The plan in force.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Decides whether the next provisioning request is denied for
+    /// capacity. Consumes one request index either way, so a denied
+    /// request and its retry see independent draws regardless of what
+    /// happens in between.
+    pub fn capacity_fault(&mut self) -> bool {
+        let k = self.requests;
+        self.requests += 1;
+        if self.plan.capacity_failure_prob <= 0.0 {
+            return false;
+        }
+        let denied =
+            Prng::for_stream(self.capacity_seed, k).next_f64() < self.plan.capacity_failure_prob;
+        if denied {
+            self.counts.capacity_failures += 1;
+        }
+        denied
+    }
+
+    /// Decides the fault assignment of a freshly provisioned instance.
+    /// Pure in `(seed, id)`: the same instance index gets the same
+    /// faults in every run, independent of request batching.
+    pub fn instance_faults(&mut self, id: InstanceId) -> InstanceFaults {
+        let mut out = InstanceFaults::healthy();
+        if self.plan.straggler_prob > 0.0 || self.plan.degraded_prob > 0.0 {
+            let mut rng = Prng::for_stream(self.node_seed, id.raw());
+            // Fixed draw order (straggler, then degraded) keeps each
+            // class's decisions stable when the other is toggled off —
+            // both draws happen whenever either class is active.
+            let s = rng.next_f64();
+            let d = rng.next_f64();
+            if s < self.plan.straggler_prob {
+                out.delay_factor = self.plan.straggler_factor;
+                self.counts.stragglers += 1;
+            }
+            if d < self.plan.degraded_prob {
+                out.slowdown = self.plan.degraded_factor;
+                self.counts.degraded_nodes += 1;
+            }
+        }
+        if self.plan.hw_failure_rate_per_hour > 0.0 {
+            let mut rng = Prng::for_stream(self.hw_seed, id.raw());
+            out.fail_after_hours = Some(
+                Distribution::Exponential {
+                    rate: self.plan.hw_failure_rate_per_hour,
+                }
+                .sample(&mut rng),
+            );
+        }
+        out
+    }
+
+    /// Records that a scheduled hardware failure actually struck.
+    pub fn note_hw_failure(&mut self) {
+        self.counts.hw_failures += 1;
+    }
+
+    /// Faults injected so far.
+    pub fn counts(&self) -> FaultCounts {
+        self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stormy() -> FaultPlan {
+        FaultPlan {
+            capacity_failure_prob: 0.5,
+            straggler_prob: 0.3,
+            straggler_factor: 40.0,
+            hw_failure_rate_per_hour: 2.0,
+            degraded_prob: 0.25,
+            degraded_factor: 1.8,
+            checkpoint_corruption_prob: 0.2,
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_inactive_and_draws_nothing() {
+        let plan = FaultPlan::none();
+        assert!(!plan.is_active());
+        assert_eq!(plan, FaultPlan::default());
+        let mut inj = FaultInjector::new(plan, 7);
+        for _ in 0..100 {
+            assert!(!inj.capacity_fault());
+        }
+        for i in 0..100 {
+            assert_eq!(
+                inj.instance_faults(InstanceId::new(i)),
+                InstanceFaults::healthy()
+            );
+        }
+        assert_eq!(inj.counts(), FaultCounts::default());
+    }
+
+    #[test]
+    fn plan_validation_rejects_garbage() {
+        let cases: Vec<(&str, FaultPlan)> = vec![
+            (
+                "prob > 1",
+                FaultPlan {
+                    capacity_failure_prob: 1.5,
+                    ..FaultPlan::none()
+                },
+            ),
+            (
+                "negative prob",
+                FaultPlan {
+                    straggler_prob: -0.1,
+                    ..FaultPlan::none()
+                },
+            ),
+            (
+                "nan prob",
+                FaultPlan {
+                    checkpoint_corruption_prob: f64::NAN,
+                    ..FaultPlan::none()
+                },
+            ),
+            (
+                "factor < 1",
+                FaultPlan {
+                    straggler_factor: 0.5,
+                    ..FaultPlan::none()
+                },
+            ),
+            (
+                "infinite factor",
+                FaultPlan {
+                    degraded_factor: f64::INFINITY,
+                    ..FaultPlan::none()
+                },
+            ),
+            (
+                "negative rate",
+                FaultPlan {
+                    hw_failure_rate_per_hour: -2.0,
+                    ..FaultPlan::none()
+                },
+            ),
+        ];
+        for (what, plan) in cases {
+            let err = plan.validate().expect_err(what);
+            assert!(matches!(err, RbError::InvalidConfig(_)), "{what}: {err:?}");
+        }
+        assert!(stormy().validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn injector_rejects_invalid_plans() {
+        let _ = FaultInjector::new(
+            FaultPlan {
+                capacity_failure_prob: 2.0,
+                ..FaultPlan::none()
+            },
+            1,
+        );
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_seed_and_entity() {
+        let mut a = FaultInjector::new(stormy(), 42);
+        let mut b = FaultInjector::new(stormy(), 42);
+        for _ in 0..50 {
+            assert_eq!(a.capacity_fault(), b.capacity_fault());
+        }
+        for i in 0..50 {
+            assert_eq!(
+                a.instance_faults(InstanceId::new(i)),
+                b.instance_faults(InstanceId::new(i))
+            );
+        }
+        assert_eq!(a.counts(), b.counts());
+        assert!(a.counts().total() > 0, "a stormy plan injects something");
+    }
+
+    #[test]
+    fn instance_decisions_are_independent_of_query_order() {
+        // Instance 5's faults are the same whether or not instances
+        // 0..4 were asked about first — the counter-based seeding the
+        // spot stream already uses.
+        let mut ordered = FaultInjector::new(stormy(), 9);
+        for i in 0..5 {
+            let _ = ordered.instance_faults(InstanceId::new(i));
+        }
+        let via_order = ordered.instance_faults(InstanceId::new(5));
+        let mut direct = FaultInjector::new(stormy(), 9);
+        assert_eq!(direct.instance_faults(InstanceId::new(5)), via_order);
+    }
+
+    #[test]
+    fn toggling_one_class_does_not_shift_another() {
+        // Disabling hardware failures must not change which instances
+        // straggle: the families are seeded independently.
+        let mut with_hw = FaultInjector::new(stormy(), 11);
+        let mut without_hw = FaultInjector::new(
+            FaultPlan {
+                hw_failure_rate_per_hour: 0.0,
+                ..stormy()
+            },
+            11,
+        );
+        for i in 0..64 {
+            let a = with_hw.instance_faults(InstanceId::new(i));
+            let b = without_hw.instance_faults(InstanceId::new(i));
+            assert_eq!(a.delay_factor, b.delay_factor, "instance {i}");
+            assert_eq!(a.slowdown, b.slowdown, "instance {i}");
+            assert!(b.fail_after_hours.is_none());
+        }
+    }
+
+    #[test]
+    fn fault_rates_roughly_match_probabilities() {
+        let mut inj = FaultInjector::new(stormy(), 3);
+        let n = 2000u64;
+        for _ in 0..n {
+            let _ = inj.capacity_fault();
+        }
+        for i in 0..n {
+            let _ = inj.instance_faults(InstanceId::new(i));
+        }
+        let c = inj.counts();
+        let frac = |x: u64| x as f64 / n as f64;
+        assert!((frac(c.capacity_failures) - 0.5).abs() < 0.05);
+        assert!((frac(c.stragglers) - 0.3).abs() < 0.05);
+        assert!((frac(c.degraded_nodes) - 0.25).abs() < 0.05);
+    }
+}

@@ -12,14 +12,20 @@
 //! * a **provider** that services provisioning requests after a sampled
 //!   queuing delay and tracks the fleet ([`provider`]),
 //! * a **billing meter** that converts instance lifetimes, data transfers
-//!   and function-usage records into exact dollar amounts ([`billing`]).
+//!   and function-usage records into exact dollar amounts ([`billing`]),
+//! * a **fault-injection layer** that deterministically breaks the above —
+//!   capacity failures, stragglers, hardware failures, degraded nodes —
+//!   so the executor's recovery paths can be exercised in virtual time
+//!   ([`chaos`]).
 
 pub mod billing;
 pub mod catalog;
+pub mod chaos;
 pub mod pricing;
 pub mod provider;
 
 pub use billing::{BillingMeter, UsageRecord};
 pub use catalog::{InstanceType, PricingTier};
+pub use chaos::{FaultCounts, FaultInjector, FaultPlan, InstanceFaults};
 pub use pricing::{BillingModel, CloudPricing};
 pub use provider::{InstanceState, ProviderConfig, SimProvider};

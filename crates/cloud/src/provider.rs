@@ -9,10 +9,11 @@
 
 use crate::billing::BillingMeter;
 use crate::catalog::InstanceType;
+use crate::chaos::{FaultCounts, FaultInjector, FaultPlan, InstanceFaults};
 use rb_core::ids::IdGen;
 use rb_core::{mix_seed, Distribution, InstanceId, Prng, RbError, Result, SimDuration, SimTime};
 use rb_obs::{Lane, RecorderHandle};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Lifecycle state of one instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +63,23 @@ impl ProviderConfig {
             interruption_rate_per_hour: 0.0,
         }
     }
+
+    /// Checks the configuration: the hand-over delay distribution must be
+    /// well-formed and the interruption rate finite and non-negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbError::InvalidConfig`] naming the offending parameter.
+    pub fn validate(&self) -> Result<()> {
+        self.provision_delay_secs.validate()?;
+        if !self.interruption_rate_per_hour.is_finite() || self.interruption_rate_per_hour < 0.0 {
+            return Err(RbError::InvalidConfig(format!(
+                "interruption_rate_per_hour must be finite and non-negative, got {}",
+                self.interruption_rate_per_hour
+            )));
+        }
+        Ok(())
+    }
 }
 
 /// The simulated provider: owns the fleet, samples hand-over delays, and
@@ -86,6 +104,15 @@ pub struct SimProvider {
     /// independent of query order.
     preempt_at: BTreeMap<InstanceId, SimTime>,
     meter: BillingMeter,
+    /// Fault injector (absent by default — and absent means *zero*
+    /// extra RNG draws, so an uninjected provider is bit-identical to
+    /// one that never heard of faults).
+    faults: Option<FaultInjector>,
+    /// Work-unit slowdown factors for degraded instances (> 1.0).
+    slowdown: BTreeMap<InstanceId, f64>,
+    /// Instances whose scheduled reclaim is an injected hardware
+    /// failure rather than a spot interruption.
+    hw_origin: BTreeSet<InstanceId>,
     /// Observability sink (no-op by default). The recorder only
     /// receives lifecycle facts; provisioning randomness and billing
     /// are oblivious to it.
@@ -94,7 +121,16 @@ pub struct SimProvider {
 
 impl SimProvider {
     /// Creates a provider with its own deterministic randomness stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`ProviderConfig::validate`] —
+    /// a malformed delay distribution or interruption rate would
+    /// otherwise sample garbage deep inside a run.
     pub fn new(config: ProviderConfig, seed: u64) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid provider config: {e}");
+        }
         SimProvider {
             config,
             rng: Prng::seed_from_u64(seed),
@@ -103,6 +139,9 @@ impl SimProvider {
             fleet: BTreeMap::new(),
             preempt_at: BTreeMap::new(),
             meter: BillingMeter::new(),
+            faults: None,
+            slowdown: BTreeMap::new(),
+            hw_origin: BTreeSet::new(),
             recorder: RecorderHandle::noop(),
         }
     }
@@ -111,6 +150,38 @@ impl SimProvider {
     /// termination and preemption events are reported on the cloud lane.
     pub fn set_recorder(&mut self, recorder: RecorderHandle) {
         self.recorder = recorder;
+    }
+
+    /// Arms fault injection under `plan`, seeding decision streams from
+    /// `seed` the same way the spot stream is seeded. An inactive plan
+    /// leaves the provider untouched (no injector, no draws).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`].
+    pub fn set_fault_plan(&mut self, plan: FaultPlan, seed: u64) {
+        if plan.is_active() {
+            self.faults = Some(FaultInjector::new(plan, seed));
+        } else {
+            plan.validate().expect("invalid fault plan");
+            self.faults = None;
+        }
+    }
+
+    /// Whether a fault injector is armed.
+    pub fn faults_active(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Faults injected so far (all zero without an injector).
+    pub fn fault_counts(&self) -> FaultCounts {
+        self.faults.as_ref().map(|f| f.counts()).unwrap_or_default()
+    }
+
+    /// Work-unit latency multiplier for an instance: 1.0 for healthy
+    /// nodes, the plan's `degraded_factor` for injected-degraded ones.
+    pub fn node_slowdown(&self, id: InstanceId) -> f64 {
+        self.slowdown.get(&id).copied().unwrap_or(1.0)
     }
 
     /// The configured instance shape.
@@ -126,7 +197,9 @@ impl SimProvider {
     ///
     /// # Errors
     ///
-    /// Returns [`RbError::Provider`] if the request would exceed the quota.
+    /// Returns [`RbError::Provider`] if the request would exceed the
+    /// quota, or [`RbError::Capacity`] if an armed fault injector denies
+    /// the request (transient; retryable).
     pub fn provision(&mut self, n: usize, now: SimTime) -> Result<Vec<(InstanceId, SimTime)>> {
         if let Some(quota) = self.config.quota {
             let live = self.live_count();
@@ -136,12 +209,39 @@ impl SimProvider {
                 )));
             }
         }
+        if let Some(inj) = self.faults.as_mut() {
+            if inj.capacity_fault() {
+                if self.recorder.enabled() {
+                    self.recorder.instant(
+                        now,
+                        "cloud",
+                        "fault.capacity",
+                        Lane::Cloud,
+                        vec![("requested", (n as u64).into())],
+                    );
+                    self.recorder.counter_add("cloud", "capacity_denied", 1);
+                }
+                return Err(RbError::Capacity(format!(
+                    "request for {n} instance(s) denied"
+                )));
+            }
+        }
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
             let delay =
                 SimDuration::from_secs_f64(self.config.provision_delay_secs.sample(&mut self.rng));
-            let ready_at = now + delay;
             let id = self.ids.next();
+            let fault = match self.faults.as_mut() {
+                Some(inj) => inj.instance_faults(id),
+                None => InstanceFaults::healthy(),
+            };
+            // Stragglers inflate the sampled delay; healthy instances
+            // keep the exact duration (no f64 round-trip).
+            let ready_at = if fault.delay_factor > 1.0 {
+                now + SimDuration::from_secs_f64(delay.as_secs_f64() * fault.delay_factor)
+            } else {
+                now + delay
+            };
             self.fleet.insert(id, InstanceState::Pending { ready_at });
             if self.config.interruption_rate_per_hour > 0.0 {
                 // Per-instance forked stream: the draw is a pure function
@@ -155,6 +255,47 @@ impl SimProvider {
                 .sample(&mut irng);
                 self.preempt_at
                     .insert(id, ready_at + SimDuration::from_secs_f64(hours * 3600.0));
+            }
+            if fault.slowdown > 1.0 {
+                self.slowdown.insert(id, fault.slowdown);
+                if self.recorder.enabled() {
+                    self.recorder.instant(
+                        now,
+                        "cloud",
+                        "fault.degraded",
+                        Lane::Cloud,
+                        vec![("instance", id.raw().into())],
+                    );
+                    self.recorder.counter_add("cloud", "degraded_nodes", 1);
+                }
+            }
+            if fault.delay_factor > 1.0 && self.recorder.enabled() {
+                self.recorder.instant(
+                    now,
+                    "cloud",
+                    "fault.straggler",
+                    Lane::Cloud,
+                    vec![
+                        ("instance", id.raw().into()),
+                        ("ready_ms", ready_at.as_millis().into()),
+                    ],
+                );
+                self.recorder.counter_add("cloud", "stragglers", 1);
+            }
+            if let Some(hours) = fault.fail_after_hours {
+                // A hardware failure reclaims the instance exactly like a
+                // spot interruption; whichever strikes first wins the
+                // scheduled slot, and we remember the cause for the
+                // recovery rollup.
+                let fail_at = ready_at + SimDuration::from_secs_f64(hours * 3600.0);
+                if self
+                    .preempt_at
+                    .get(&id)
+                    .map_or(true, |&spot| fail_at < spot)
+                {
+                    self.preempt_at.insert(id, fail_at);
+                    self.hw_origin.insert(id);
+                }
             }
             out.push((id, ready_at));
         }
@@ -202,18 +343,24 @@ impl SimProvider {
         ready
     }
 
-    /// Terminates a running instance at `now`, stopping its billing.
+    /// Terminates a running instance at `now`, stopping its billing —
+    /// or **cancels** a still-pending one. Cancelling an in-flight
+    /// provisioning request is free: billing only ever starts at
+    /// hand-over, so an instance that never reached `Running` never
+    /// touches the meter. This is what lets a retry loop abandon a
+    /// stuck (straggling) request without paying for it.
     ///
     /// # Errors
     ///
-    /// Returns [`RbError::Provider`] if the instance is unknown, still
-    /// pending, or already terminated.
+    /// Returns [`RbError::Provider`] if the instance is unknown or
+    /// already terminated.
     pub fn terminate(&mut self, id: InstanceId, now: SimTime) -> Result<()> {
         match self.fleet.get_mut(&id) {
             Some(state @ InstanceState::Running { .. }) => {
                 *state = InstanceState::Terminated { at: now };
                 self.meter.instance_stopped(id, now)?;
                 self.preempt_at.remove(&id);
+                self.hw_origin.remove(&id);
                 if self.recorder.enabled() {
                     self.recorder.instant(
                         now,
@@ -226,9 +373,22 @@ impl SimProvider {
                 }
                 Ok(())
             }
-            Some(InstanceState::Pending { .. }) => Err(RbError::Provider(format!(
-                "cannot terminate {id}: still pending"
-            ))),
+            Some(state @ InstanceState::Pending { .. }) => {
+                *state = InstanceState::Terminated { at: now };
+                self.preempt_at.remove(&id);
+                self.hw_origin.remove(&id);
+                if self.recorder.enabled() {
+                    self.recorder.instant(
+                        now,
+                        "cloud",
+                        "instance.cancel",
+                        Lane::Cloud,
+                        vec![("instance", id.raw().into())],
+                    );
+                    self.recorder.counter_add("cloud", "cancelled", 1);
+                }
+                Ok(())
+            }
             Some(InstanceState::Terminated { .. }) => Err(RbError::Provider(format!(
                 "cannot terminate {id}: already terminated"
             ))),
@@ -276,15 +436,29 @@ impl SimProvider {
                 *state = InstanceState::Terminated { at };
                 self.meter.instance_stopped(id, at)?;
                 self.preempt_at.remove(&id);
+                let hw = self.hw_origin.remove(&id);
+                if hw {
+                    if let Some(inj) = self.faults.as_mut() {
+                        inj.note_hw_failure();
+                    }
+                }
                 if self.recorder.enabled() {
                     self.recorder.instant(
                         at,
                         "cloud",
-                        "instance.preempt",
+                        if hw {
+                            "fault.hw_failure"
+                        } else {
+                            "instance.preempt"
+                        },
                         Lane::Cloud,
                         vec![("instance", id.raw().into())],
                     );
-                    self.recorder.counter_add("cloud", "preempted", 1);
+                    self.recorder.counter_add(
+                        "cloud",
+                        if hw { "hw_failed" } else { "preempted" },
+                        1,
+                    );
                 }
                 Ok(at)
             }
@@ -383,13 +557,40 @@ mod tests {
     }
 
     #[test]
-    fn terminate_pending_is_an_error() {
+    fn terminate_pending_cancels_without_billing() {
         let mut p = provider(30);
         let (id, _) = p.provision(1, SimTime::ZERO).unwrap()[0];
+        // Cancelling an in-flight request succeeds...
+        p.terminate(id, SimTime::from_secs(1)).unwrap();
         assert!(matches!(
-            p.terminate(id, SimTime::from_secs(1)),
-            Err(RbError::Provider(_))
+            p.state(id),
+            Some(InstanceState::Terminated { at }) if at == SimTime::from_secs(1)
         ));
+        // ...the instance never becomes ready...
+        assert!(p.poll_ready(SimTime::from_secs(30)).is_empty());
+        assert_eq!(p.running_count(), 0);
+        // ...billing never started (nothing to charge, ever)...
+        assert_eq!(p.meter().instances_started(), 0);
+        let bill = p.meter().compute_cost(
+            &CloudPricing::on_demand(P3_8XLARGE),
+            SimTime::from_secs(7200),
+        );
+        assert_eq!(bill, rb_core::Cost::ZERO);
+        // ...and the quota slot is freed.
+        assert_eq!(p.live_count(), 0);
+    }
+
+    #[test]
+    fn cancel_clears_scheduled_interruption() {
+        let mut cfg =
+            ProviderConfig::with_constant_delay(P3_8XLARGE.clone(), SimDuration::from_secs(60));
+        cfg.interruption_rate_per_hour = 1.0;
+        let mut p = SimProvider::new(cfg, 5);
+        let (id, _) = p.provision(1, SimTime::ZERO).unwrap()[0];
+        assert!(p.preemption_time(id).is_some());
+        p.terminate(id, SimTime::from_secs(10)).unwrap();
+        assert_eq!(p.preemption_time(id), None);
+        assert!(p.preempt(id).is_err());
     }
 
     #[test]
@@ -541,5 +742,118 @@ mod tests {
             p.running_ids(),
             handles.iter().map(|(id, _)| *id).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid provider config")]
+    fn constructor_rejects_malformed_delay_distribution() {
+        let cfg = ProviderConfig {
+            instance_type: P3_8XLARGE.clone(),
+            provision_delay_secs: Distribution::Constant(-5.0),
+            quota: None,
+            interruption_rate_per_hour: 0.0,
+        };
+        let _ = SimProvider::new(cfg, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid provider config")]
+    fn constructor_rejects_nan_interruption_rate() {
+        let cfg = ProviderConfig {
+            instance_type: P3_8XLARGE.clone(),
+            provision_delay_secs: Distribution::Constant(1.0),
+            quota: None,
+            interruption_rate_per_hour: f64::NAN,
+        };
+        let _ = SimProvider::new(cfg, 1);
+    }
+
+    #[test]
+    fn capacity_faults_deny_provisioning_with_a_retryable_error() {
+        let mut p = provider(10);
+        p.set_fault_plan(
+            FaultPlan {
+                capacity_failure_prob: 1.0,
+                ..FaultPlan::none()
+            },
+            7,
+        );
+        let err = p.provision(2, SimTime::ZERO).unwrap_err();
+        assert!(matches!(err, RbError::Capacity(_)), "{err:?}");
+        assert_eq!(p.fault_counts().capacity_failures, 1);
+        assert_eq!(p.live_count(), 0, "a denied request provisions nothing");
+    }
+
+    #[test]
+    fn stragglers_inflate_handover_and_degraded_nodes_report_slowdown() {
+        let mut p = provider(30);
+        p.set_fault_plan(
+            FaultPlan {
+                straggler_prob: 1.0,
+                straggler_factor: 10.0,
+                degraded_prob: 1.0,
+                degraded_factor: 2.5,
+                ..FaultPlan::none()
+            },
+            7,
+        );
+        let (id, ready) = p.provision(1, SimTime::ZERO).unwrap()[0];
+        assert_eq!(ready, SimTime::from_secs(300), "30 s delay x 10");
+        assert_eq!(p.node_slowdown(id), 2.5);
+        let c = p.fault_counts();
+        assert_eq!((c.stragglers, c.degraded_nodes), (1, 1));
+        // Healthy instances on the same provider report no slowdown.
+        assert_eq!(p.node_slowdown(InstanceId::new(999)), 1.0);
+    }
+
+    #[test]
+    fn hw_failures_reclaim_on_demand_instances_like_preemptions() {
+        let mut p = provider(0);
+        p.set_fault_plan(
+            FaultPlan {
+                hw_failure_rate_per_hour: 4.0,
+                ..FaultPlan::none()
+            },
+            11,
+        );
+        let (id, ready) = p.provision(1, SimTime::ZERO).unwrap()[0];
+        p.poll_ready(ready);
+        let at = p
+            .preemption_time(id)
+            .expect("hw failure schedules a reclaim even with no spot market");
+        assert!(at >= ready);
+        assert_eq!(p.preempt(id).unwrap(), at);
+        assert_eq!(p.fault_counts().hw_failures, 1);
+        assert!(matches!(
+            p.state(id),
+            Some(InstanceState::Terminated { .. })
+        ));
+    }
+
+    #[test]
+    fn inactive_fault_plan_is_bit_identical_to_no_plan() {
+        let mk = |armed: bool| {
+            let cfg = ProviderConfig {
+                instance_type: P3_8XLARGE.clone(),
+                provision_delay_secs: Distribution::lognormal_from_moments(20.0, 10.0),
+                quota: None,
+                interruption_rate_per_hour: 1.5,
+            };
+            let mut p = SimProvider::new(cfg, 42);
+            if armed {
+                p.set_fault_plan(FaultPlan::none(), 42);
+            }
+            p
+        };
+        let mut plain = mk(false);
+        let mut disarmed = mk(true);
+        assert!(!disarmed.faults_active());
+        let ha = plain.provision(5, SimTime::ZERO).unwrap();
+        let hb = disarmed.provision(5, SimTime::ZERO).unwrap();
+        assert_eq!(ha, hb);
+        for (id, _) in &ha {
+            assert_eq!(plain.preemption_time(*id), disarmed.preemption_time(*id));
+        }
+        assert_eq!(disarmed.fault_counts(), FaultCounts::default());
     }
 }

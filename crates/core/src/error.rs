@@ -28,6 +28,10 @@ pub enum RbError {
     },
     /// The cloud provider could not satisfy a request.
     Provider(String),
+    /// The provider had no capacity for a provisioning request. Unlike
+    /// [`RbError::Provider`] this is transient: the same request may
+    /// succeed on retry.
+    Capacity(String),
     /// The placement controller could not place a trial.
     Placement(String),
     /// A runtime invariant was violated during execution.
@@ -44,6 +48,7 @@ impl fmt::Display for RbError {
             RbError::InvalidPlan(m) => write!(f, "invalid allocation plan: {m}"),
             RbError::Infeasible { reason } => write!(f, "no feasible plan: {reason}"),
             RbError::Provider(m) => write!(f, "cloud provider error: {m}"),
+            RbError::Capacity(m) => write!(f, "insufficient capacity: {m}"),
             RbError::Placement(m) => write!(f, "placement error: {m}"),
             RbError::Execution(m) => write!(f, "execution error: {m}"),
             RbError::Profiling(m) => write!(f, "profiling error: {m}"),

@@ -228,6 +228,77 @@ impl Distribution {
         }
     }
 
+    /// Checks the distribution's parameters: every field must be finite,
+    /// bounds must be ordered, rates must be strictly positive, and
+    /// values that model latencies or prices must be non-negative. A
+    /// distribution that fails this check can produce NaN, negative, or
+    /// infinite samples — callers that accept distributions from
+    /// configuration (the cloud provider, the cloud profile) validate at
+    /// construction instead of sampling garbage later.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::RbError::InvalidConfig`] describing the first
+    /// offending parameter.
+    pub fn validate(&self) -> crate::Result<()> {
+        let bad = |what: &str| {
+            Err(crate::RbError::InvalidConfig(format!(
+                "invalid distribution {self:?}: {what}"
+            )))
+        };
+        match *self {
+            Distribution::Constant(v) => {
+                if !v.is_finite() || v < 0.0 {
+                    return bad("constant must be finite and non-negative");
+                }
+            }
+            Distribution::Uniform { lo, hi } => {
+                if !lo.is_finite() || !hi.is_finite() {
+                    return bad("bounds must be finite");
+                }
+                if lo < 0.0 {
+                    return bad("lower bound must be non-negative");
+                }
+                if hi < lo {
+                    return bad("bounds are inverted");
+                }
+            }
+            Distribution::Normal { mean, std, floor } => {
+                if !mean.is_finite() || !std.is_finite() || !floor.is_finite() {
+                    return bad("parameters must be finite");
+                }
+                if mean < 0.0 {
+                    return bad("mean must be non-negative");
+                }
+                if std < 0.0 {
+                    return bad("std must be non-negative");
+                }
+            }
+            Distribution::LogNormal { mu, sigma } => {
+                if !mu.is_finite() || !sigma.is_finite() {
+                    return bad("parameters must be finite");
+                }
+                if sigma < 0.0 {
+                    return bad("sigma must be non-negative");
+                }
+            }
+            Distribution::Exponential { rate } => {
+                if !rate.is_finite() || rate <= 0.0 {
+                    return bad("rate must be finite and strictly positive");
+                }
+            }
+            Distribution::ShiftedExponential { base, rate } => {
+                if !base.is_finite() || base < 0.0 {
+                    return bad("base must be finite and non-negative");
+                }
+                if !rate.is_finite() || rate <= 0.0 {
+                    return bad("rate must be finite and strictly positive");
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Draws one sample.
     pub fn sample(&self, rng: &mut Prng) -> f64 {
         match *self {
@@ -439,6 +510,77 @@ mod tests {
                     "collision at ({seed}, {index})"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_distributions() {
+        for d in [
+            Distribution::ZERO,
+            Distribution::Constant(3.0),
+            Distribution::Uniform { lo: 1.0, hi: 5.0 },
+            Distribution::normal(4.0, 1.0),
+            Distribution::lognormal_from_moments(4.0, 1.0),
+            Distribution::Exponential { rate: 0.25 },
+            Distribution::ShiftedExponential {
+                base: 1.0,
+                rate: 1.0,
+            },
+        ] {
+            assert!(d.validate().is_ok(), "{d:?} should validate");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_garbage_parameters() {
+        let bad = [
+            Distribution::Constant(-1.0),
+            Distribution::Constant(f64::NAN),
+            Distribution::Constant(f64::INFINITY),
+            Distribution::Uniform { lo: 5.0, hi: 1.0 },
+            Distribution::Uniform { lo: -1.0, hi: 1.0 },
+            Distribution::Uniform {
+                lo: 0.0,
+                hi: f64::INFINITY,
+            },
+            Distribution::Normal {
+                mean: 1.0,
+                std: -0.5,
+                floor: 0.0,
+            },
+            Distribution::Normal {
+                mean: f64::NAN,
+                std: 1.0,
+                floor: 0.0,
+            },
+            Distribution::Normal {
+                mean: -2.0,
+                std: 1.0,
+                floor: 0.0,
+            },
+            Distribution::LogNormal {
+                mu: 0.0,
+                sigma: -1.0,
+            },
+            Distribution::LogNormal {
+                mu: f64::INFINITY,
+                sigma: 1.0,
+            },
+            Distribution::Exponential { rate: 0.0 },
+            Distribution::Exponential { rate: -1.0 },
+            Distribution::Exponential { rate: f64::NAN },
+            Distribution::ShiftedExponential {
+                base: -1.0,
+                rate: 1.0,
+            },
+            Distribution::ShiftedExponential {
+                base: 1.0,
+                rate: 0.0,
+            },
+        ];
+        for d in bad {
+            let err = d.validate().expect_err(&format!("{d:?} must be rejected"));
+            assert!(matches!(err, crate::RbError::InvalidConfig(_)), "{err:?}");
         }
     }
 

@@ -155,6 +155,11 @@ pub enum ReplanTrigger {
     Preemption,
     /// A stage overran its watchdog budget mid-stage.
     Watchdog,
+    /// The completed stage ran degraded: the provider stayed short of
+    /// capacity after the executor's provisioning retries, so the stage
+    /// ran on fewer instances than planned. The residual is re-planned
+    /// so the remaining stages absorb the lost time.
+    CapacityShortfall,
 }
 
 /// The compute market a residual plan was priced for.
@@ -545,7 +550,11 @@ impl BarrierHook for AdaptiveController {
         let fresh_preemptions = snap.preemptions.saturating_sub(self.preemptions_seen);
         self.preemptions_seen = snap.preemptions;
 
-        let trigger = if self.config.drift.replan_on_preemption && fresh_preemptions > 0 {
+        let trigger = if snap.capacity_shortfall > 0 {
+            // A degraded stage always warrants a fresh residual plan:
+            // the deadline envelope was built for the full allocation.
+            ReplanTrigger::CapacityShortfall
+        } else if self.config.drift.replan_on_preemption && fresh_preemptions > 0 {
             ReplanTrigger::Preemption
         } else if self.monitor.drifted() {
             ReplanTrigger::Drift
@@ -567,6 +576,7 @@ impl BarrierHook for AdaptiveController {
                             ReplanTrigger::Drift => "drift",
                             ReplanTrigger::Preemption => "preemption",
                             ReplanTrigger::Watchdog => "watchdog",
+                            ReplanTrigger::CapacityShortfall => "capacity_shortfall",
                         }
                         .into(),
                     ),

@@ -9,10 +9,83 @@
 //! [`BillingMeter`](rb_cloud::BillingMeter) is the source of truth for
 //! "real" cost columns.
 
-use rb_cloud::{ProviderConfig, SimProvider, UsageRecord};
+use rb_cloud::{FaultCounts, FaultPlan, ProviderConfig, SimProvider, UsageRecord};
 use rb_core::{Cost, InstanceId, NodeId, Prng, RbError, Result, SimDuration, SimTime};
 use rb_profile::CloudProfile;
 use std::collections::BTreeMap;
+
+/// How the cluster manager survives a misbehaving provider: capped
+/// exponential backoff on insufficient-capacity denials, and a
+/// per-request hand-over timeout that abandons (cancels, unbilled) and
+/// replaces provisioning requests stuck on a straggling instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Re-request attempts after the first (capacity denials and
+    /// straggler replacements share the budget).
+    pub max_retries: u32,
+    /// Backoff before the first retry, in seconds; doubles per attempt.
+    pub base_backoff_secs: f64,
+    /// Backoff ceiling, in seconds.
+    pub max_backoff_secs: f64,
+    /// A request whose instance has not been handed over this many
+    /// seconds after it was issued is abandoned and re-issued.
+    pub request_timeout_secs: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            base_backoff_secs: 10.0,
+            max_backoff_secs: 120.0,
+            request_timeout_secs: 240.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Checks the policy's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbError::InvalidConfig`] for negative or non-finite
+    /// delays.
+    pub fn validate(&self) -> Result<()> {
+        for (what, v) in [
+            ("base_backoff_secs", self.base_backoff_secs),
+            ("max_backoff_secs", self.max_backoff_secs),
+            ("request_timeout_secs", self.request_timeout_secs),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(RbError::InvalidConfig(format!(
+                    "retry policy: {what} must be finite and non-negative, got {v}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Backoff before retry number `attempt` (1-based): capped
+    /// exponential.
+    pub fn backoff(&self, attempt: u32) -> SimDuration {
+        let exp = self.base_backoff_secs * 2f64.powi(attempt.saturating_sub(1).min(30) as i32);
+        SimDuration::from_secs_f64(exp.min(self.max_backoff_secs))
+    }
+}
+
+/// What a resilient node request actually achieved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryOutcome {
+    /// Nodes acquired (warm reattaches plus fresh provisions kept).
+    pub acquired: usize,
+    /// Re-request rounds issued (capacity denials + straggler
+    /// replacements).
+    pub retries: u64,
+    /// Stuck provisioning requests cancelled, never billed.
+    pub abandoned: u64,
+    /// Nodes requested but not acquired after the retry budget ran out.
+    pub shortfall: usize,
+}
 
 /// A node still being initialized.
 #[derive(Debug, Clone, Copy)]
@@ -154,6 +227,111 @@ impl ClusterManager {
             });
         }
         Ok(())
+    }
+
+    /// Arms the embedded provider's fault injector (see
+    /// [`rb_cloud::FaultPlan`]). An inactive plan leaves the provider
+    /// untouched and the run bit-identical.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan, seed: u64) {
+        self.provider.set_fault_plan(plan, seed);
+    }
+
+    /// Faults the provider has injected so far.
+    pub fn fault_counts(&self) -> FaultCounts {
+        self.provider.fault_counts()
+    }
+
+    /// The compute slowdown factor of a degraded node (1.0 for healthy
+    /// or unknown nodes).
+    pub fn node_slowdown(&self, node: NodeId) -> f64 {
+        self.ready
+            .get(&node)
+            .map_or(1.0, |i| self.provider.node_slowdown(*i))
+    }
+
+    /// Like [`request_nodes`](Self::request_nodes), but survives a faulty
+    /// provider: insufficient-capacity denials are retried under the
+    /// policy's capped exponential backoff, and requests whose instance
+    /// has not been handed over by the per-request timeout are abandoned
+    /// (cancelled while still pending — never billed) and re-issued.
+    /// Never fails on capacity; instead reports what it could not get as
+    /// [`RetryOutcome::shortfall`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbError::InvalidConfig`] for a malformed policy;
+    /// non-capacity provider errors (e.g. quota) propagate.
+    pub fn request_nodes_resilient(
+        &mut self,
+        k: usize,
+        now: SimTime,
+        policy: &RetryPolicy,
+    ) -> Result<RetryOutcome> {
+        policy.validate()?;
+        self.expire_warm(now);
+        let mut out = RetryOutcome::default();
+        let mut remaining = k;
+        // Warm reattaches cannot fail; take them first.
+        while remaining > 0 {
+            let Some(w) = self.warm.pop() else { break };
+            self.pending.push(PendingNode {
+                instance: w.instance,
+                usable_at: now + self.warm_attach,
+            });
+            remaining -= 1;
+            out.acquired += 1;
+        }
+        let mut attempt: u32 = 0;
+        let mut t = now;
+        while remaining > 0 {
+            match self.provider.provision(remaining, t) {
+                Ok(handles) => {
+                    let deadline = t + SimDuration::from_secs_f64(policy.request_timeout_secs);
+                    let mut kept = 0usize;
+                    for (instance, ready_at) in handles {
+                        if ready_at > deadline {
+                            // Stuck on a straggler: cancel while still
+                            // pending (free) and re-issue below.
+                            self.provider.terminate(instance, deadline)?;
+                            out.abandoned += 1;
+                            continue;
+                        }
+                        let init = SimDuration::from_secs_f64(
+                            self.cloud.init_latency.sample(&mut self.rng),
+                        );
+                        self.provider
+                            .meter_mut()
+                            .record_ingress(self.cloud.dataset_gb);
+                        self.pending.push(PendingNode {
+                            instance,
+                            usable_at: ready_at + init,
+                        });
+                        kept += 1;
+                    }
+                    remaining -= kept;
+                    out.acquired += kept;
+                    if remaining == 0 || attempt >= policy.max_retries {
+                        break;
+                    }
+                    attempt += 1;
+                    out.retries += 1;
+                    // Replacements go out the moment the stuck requests
+                    // are abandoned.
+                    t = deadline;
+                }
+                Err(RbError::Capacity(_)) => {
+                    if attempt >= policy.max_retries {
+                        break;
+                    }
+                    attempt += 1;
+                    out.retries += 1;
+                    t += policy.backoff(attempt);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        out.shortfall = remaining;
+        Ok(out)
     }
 
     /// The instant every currently pending node becomes usable, if any
@@ -470,6 +648,140 @@ mod tests {
         let expect = pr.instance_charge(SimDuration::from_secs(145))
             + pr.instance_charge(SimDuration::from_secs(520 - 415));
         assert_eq!(cm.compute_cost(SimTime::from_secs(520)), expect);
+    }
+
+    #[test]
+    fn retry_policy_backoff_is_capped_exponential() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(1), SimDuration::from_secs(10));
+        assert_eq!(p.backoff(2), SimDuration::from_secs(20));
+        assert_eq!(p.backoff(3), SimDuration::from_secs(40));
+        assert_eq!(p.backoff(10), SimDuration::from_secs(120));
+        assert!(RetryPolicy {
+            base_backoff_secs: -1.0,
+            ..RetryPolicy::default()
+        }
+        .validate()
+        .is_err());
+        assert!(RetryPolicy {
+            request_timeout_secs: f64::NAN,
+            ..RetryPolicy::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn resilient_requests_match_legacy_without_faults() {
+        let mut legacy = ClusterManager::new(cloud(), 9);
+        legacy.request_nodes(3, SimTime::ZERO).unwrap();
+        let mut resilient = ClusterManager::new(cloud(), 9);
+        let out = resilient
+            .request_nodes_resilient(3, SimTime::ZERO, &RetryPolicy::default())
+            .unwrap();
+        assert_eq!(
+            out,
+            RetryOutcome {
+                acquired: 3,
+                ..RetryOutcome::default()
+            }
+        );
+        assert_eq!(legacy.pending_ready_time(), resilient.pending_ready_time());
+    }
+
+    #[test]
+    fn capacity_denials_are_retried_with_backoff() {
+        let mut cm = ClusterManager::new(cloud(), 7);
+        cm.set_fault_plan(
+            FaultPlan {
+                capacity_failure_prob: 0.5,
+                ..FaultPlan::none()
+            },
+            42,
+        );
+        let policy = RetryPolicy {
+            max_retries: 20,
+            ..RetryPolicy::default()
+        };
+        let out = cm
+            .request_nodes_resilient(2, SimTime::ZERO, &policy)
+            .unwrap();
+        assert_eq!(out.shortfall, 0);
+        assert_eq!(out.acquired, 2);
+        assert_eq!(out.retries, cm.fault_counts().capacity_failures);
+        // Backoff pushed the successful request later than a clean one.
+        if out.retries > 0 {
+            assert!(cm.pending_ready_time().unwrap() > SimTime::from_secs(30));
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_report_shortfall_not_an_error() {
+        let mut cm = ClusterManager::new(cloud(), 7);
+        cm.set_fault_plan(
+            FaultPlan {
+                capacity_failure_prob: 1.0,
+                ..FaultPlan::none()
+            },
+            42,
+        );
+        let policy = RetryPolicy {
+            max_retries: 3,
+            ..RetryPolicy::default()
+        };
+        let out = cm
+            .request_nodes_resilient(2, SimTime::ZERO, &policy)
+            .unwrap();
+        assert_eq!(out.shortfall, 2);
+        assert_eq!(out.acquired, 0);
+        assert_eq!(out.retries, 3);
+        assert_eq!(cm.instances_provisioned(), 0);
+    }
+
+    #[test]
+    fn stragglers_are_abandoned_unbilled_and_replaced() {
+        let mut cm = ClusterManager::new(cloud(), 7);
+        // Every instance straggles 100×: 1500 s hand-over vs a 240 s
+        // request timeout, so each round is abandoned and re-issued.
+        cm.set_fault_plan(
+            FaultPlan {
+                straggler_prob: 1.0,
+                straggler_factor: 100.0,
+                ..FaultPlan::none()
+            },
+            42,
+        );
+        let policy = RetryPolicy {
+            max_retries: 2,
+            ..RetryPolicy::default()
+        };
+        let out = cm
+            .request_nodes_resilient(1, SimTime::ZERO, &policy)
+            .unwrap();
+        assert_eq!(out.shortfall, 1);
+        assert_eq!(out.abandoned, 3, "initial attempt + 2 retries");
+        assert_eq!(out.retries, 2);
+        // Cancelled-while-pending instances never start billing.
+        assert_eq!(cm.instances_provisioned(), 0);
+        assert_eq!(cm.compute_cost(SimTime::from_secs(7200)), Cost::ZERO);
+    }
+
+    #[test]
+    fn degraded_nodes_surface_their_slowdown() {
+        let mut cm = ClusterManager::new(cloud(), 7);
+        cm.set_fault_plan(
+            FaultPlan {
+                degraded_prob: 1.0,
+                degraded_factor: 2.5,
+                ..FaultPlan::none()
+            },
+            42,
+        );
+        cm.request_nodes(1, SimTime::ZERO).unwrap();
+        let nodes = cm.absorb_ready(SimTime::from_secs(30));
+        assert_eq!(nodes.len(), 1);
+        assert_eq!(cm.node_slowdown(nodes[0]), 2.5);
+        assert_eq!(cm.node_slowdown(NodeId::new(999)), 1.0);
     }
 
     #[test]

@@ -8,16 +8,17 @@
 //! meter. Noise streams are per-trial, so results are independent of
 //! scheduling order and bit-reproducible from the seed.
 
-use crate::cluster::ClusterManager;
+use crate::cluster::{ClusterManager, RetryPolicy};
 use crate::report::{ExecutionReport, ExecutionTrace, StageRecord, TraceEvent};
-use rb_core::{Cost, Distribution, Prng, RbError, Result, SimDuration, SimTime, TrialId};
+use rb_cloud::FaultPlan;
+use rb_core::{mix_seed, Cost, Distribution, Prng, RbError, Result, SimDuration, SimTime, TrialId};
 use rb_hpo::{select_survivors, Config, ExperimentSpec};
 use rb_obs::{Lane, RecorderHandle};
 use rb_placement::{scatter_placement, ClusterState, PlacementController, PlacementPlan};
 use rb_profile::{CloudProfile, ModelProfile};
 use rb_scaling::PlacementQuality;
 use rb_sim::AllocationPlan;
-use rb_train::checkpoint::CheckpointStore;
+use rb_train::checkpoint::{CheckpointStore, VerifiedFetch};
 use rb_train::{TaskModel, Trial, TrialStatus};
 use std::collections::BTreeMap;
 
@@ -40,6 +41,19 @@ pub struct ExecOptions {
     pub warm_pool: usize,
     /// How long a warm instance is held before being released for real.
     pub warm_hold_secs: f64,
+    /// Fault-injection plan, seeded from `seed` like the spot stream. The
+    /// default ([`FaultPlan::none`]) injects nothing and leaves execution
+    /// bit-identical to a build without the chaos layer.
+    pub faults: FaultPlan,
+    /// Provisioning retry/backoff policy. `None` (the default) keeps the
+    /// legacy fail-fast path: a capacity denial aborts the run. The
+    /// resilient path only engages when a fault plan is active, so a
+    /// policy configured against a clean provider changes nothing.
+    pub retry: Option<RetryPolicy>,
+    /// Checkpoint generations retained per trial (last K). The default
+    /// of 1 matches the original store; raising it lets a corrupted
+    /// latest generation fall back to the previous one.
+    pub checkpoint_retention: usize,
 }
 
 impl Default for ExecOptions {
@@ -51,6 +65,9 @@ impl Default for ExecOptions {
             checkpoint_bw_gbps: 1.0,
             warm_pool: 0,
             warm_hold_secs: 300.0,
+            faults: FaultPlan::none(),
+            retry: None,
+            checkpoint_retention: 1,
         }
     }
 }
@@ -89,6 +106,11 @@ pub struct BarrierSnapshot<'a> {
     /// Total instance-seconds held (billed) so far. Dividing
     /// `preemptions` by this gives the observed spot interruption rate.
     pub instance_seconds: f64,
+    /// Instances the completed stage wanted but could not get after
+    /// provisioning retries were exhausted (zero on a healthy cloud).
+    /// The stage ran degraded on the reduced allocation; a controller
+    /// should treat this as a replan trigger.
+    pub capacity_shortfall: u32,
     /// The plan currently in force (full job, all stages).
     pub plan: &'a AllocationPlan,
 }
@@ -218,6 +240,11 @@ struct StageSetup {
     slots: usize,
     needed: usize,
     migrations: u32,
+    /// Provisioning retry rounds the scaling pass issued.
+    retries: u64,
+    /// Instances wanted but not acquired; when non-zero the stage runs
+    /// degraded on a shrunken allocation.
+    capacity_shortfall: usize,
 }
 
 /// The outcome of one training round over the live trials.
@@ -230,6 +257,11 @@ struct RoundOutcome {
     /// Completed-unit latency sums keyed by `(gpus, packed)`:
     /// `(total_secs, units)`.
     unit_obs: BTreeMap<(u32, bool), (f64, u64)>,
+    /// Provisioning retry rounds issued while replacing preempted nodes.
+    retries: u64,
+    /// Checkpoint fetches that fell back to an older generation after
+    /// the newest failed verification.
+    fallbacks: u64,
 }
 
 fn unit_obs_vec(obs: &BTreeMap<(u32, bool), (f64, u64)>) -> Vec<UnitObservation> {
@@ -370,8 +402,17 @@ impl Executor {
                 SimDuration::from_secs(2),
             );
         }
+        if opts.faults.is_active() {
+            cm.set_fault_plan(opts.faults.clone(), opts.seed);
+        }
         let mut pc = PlacementController::new();
-        let mut store = CheckpointStore::new();
+        let mut store = CheckpointStore::new().with_retention(opts.checkpoint_retention.max(1));
+        if opts.faults.checkpoint_corruption_prob > 0.0 {
+            store.set_corruption(
+                opts.faults.checkpoint_corruption_prob,
+                mix_seed(opts.seed, 0xC0_55_C4_A5),
+            );
+        }
 
         let mut trials: BTreeMap<TrialId, RunningTrial> = BTreeMap::new();
         for (i, cfg) in configs.iter().take(n).enumerate() {
@@ -392,6 +433,9 @@ impl Executor {
         let mut stages = Vec::new();
         let mut total_migrations = 0u32;
         let mut total_preemptions = 0u32;
+        let mut total_retries = 0u64;
+        let mut checkpoint_fallbacks = 0u64;
+        let mut degraded_stages = 0u32;
         let mut trace = ExecutionTrace::default();
 
         for stage in 0..self.spec.num_stages() {
@@ -402,6 +446,8 @@ impl Executor {
             )?;
             let mut stage_migrations = setup.migrations;
             total_migrations += setup.migrations;
+            let mut stage_shortfall = setup.capacity_shortfall;
+            total_retries += setup.retries;
 
             // --- Training -------------------------------------------------------
             let train_start = now;
@@ -426,6 +472,8 @@ impl Executor {
                 &mut total_preemptions,
             )?;
             let mut stage_end = round.stage_end;
+            total_retries += round.retries;
+            checkpoint_fallbacks += round.fallbacks;
 
             // --- Watchdog: forced early barrier on a budget overrun -------------
             // The stage ran past its virtual-time envelope. Checkpoint
@@ -496,6 +544,8 @@ impl Executor {
                 )?;
                 stage_migrations += setup.migrations;
                 total_migrations += setup.migrations;
+                stage_shortfall = stage_shortfall.max(setup.capacity_shortfall);
+                total_retries += setup.retries;
                 let residual: BTreeMap<TrialId, u64> = live
                     .iter()
                     .map(|&t| (t, round.remaining.get(&t).copied().unwrap_or(0)))
@@ -516,6 +566,8 @@ impl Executor {
                     &mut total_preemptions,
                 )?;
                 stage_end = resumed.stage_end;
+                total_retries += resumed.retries;
+                checkpoint_fallbacks += resumed.fallbacks;
                 merge_unit_obs(&mut round.unit_obs, resumed.unit_obs);
             }
             // Idle spot nodes reclaimed before the barrier stop billing at
@@ -611,6 +663,9 @@ impl Executor {
                     ],
                 );
             }
+            if stage_shortfall > 0 {
+                degraded_stages += 1;
+            }
             live = survivors;
 
             // --- Barrier hook: observe, optionally re-plan the suffix ----------
@@ -630,6 +685,7 @@ impl Executor {
                     gpus_per_trial: setup.allocations.values().next().copied().unwrap_or(1),
                     unit_obs: unit_obs_vec(&round.unit_obs),
                     instance_seconds: cm.held_instance_seconds(now),
+                    capacity_shortfall: stage_shortfall as u32,
                     plan: &plan,
                 };
                 if let Some(suffix) = hook.at_barrier(&snapshot) {
@@ -675,6 +731,15 @@ impl Executor {
             "instances_provisioned",
             cm.instances_provisioned() as u64,
         );
+        let faults_injected = cm.fault_counts().total() + store.corruptions_injected();
+        if faults_injected > 0 {
+            // Recovery rollup, emitted only when the injector actually
+            // fired so calm traces stay byte-stable.
+            recorder.counter_add("exec", "faults_injected", faults_injected);
+            recorder.counter_add("exec", "provision_retries", total_retries);
+            recorder.counter_add("exec", "checkpoint_fallbacks", checkpoint_fallbacks);
+            recorder.counter_add("exec", "degraded_stages", u64::from(degraded_stages));
+        }
         #[cfg(debug_assertions)]
         if let Err(violation) = trace.check_invariants() {
             panic!("execution trace ordering contract violated: {violation}");
@@ -705,6 +770,10 @@ impl Executor {
             instances_provisioned: cm.instances_provisioned(),
             utilization,
             trial_throughput,
+            faults_injected,
+            provision_retries: total_retries,
+            checkpoint_fallbacks,
+            degraded_stages,
             trace,
         })
     }
@@ -728,18 +797,55 @@ impl Executor {
     ) -> Result<StageSetup> {
         let opts = &self.options;
         // The scheduler decides; the rest of the pass carries it out.
-        let schedule = crate::scheduler::schedule_stage(&self.spec, plan, stage, live, gpg)?;
-        let needed = schedule.target_instances as usize;
-        let waves = schedule.waves;
+        let mut schedule = crate::scheduler::schedule_stage(&self.spec, plan, stage, live, gpg)?;
+        let mut needed = schedule.target_instances as usize;
 
         // --- Cluster scaling ------------------------------------------------
         let current = cm.ready_count();
+        let mut retries = 0u64;
+        let mut capacity_shortfall = 0usize;
+        let mut degraded_acquired = 0usize;
         if needed > current {
-            cm.request_nodes(needed - current, *now)?;
+            // The resilient path engages only under an active fault plan;
+            // on a clean provider the legacy fail-fast request keeps the
+            // run bit-identical.
+            let policy = opts.retry.as_ref().filter(|_| opts.faults.is_active());
+            if let Some(policy) = policy {
+                let out = cm.request_nodes_resilient(needed - current, *now, policy)?;
+                retries = out.retries;
+                if out.shortfall > 0 {
+                    // Capacity stayed short after the retry budget: run
+                    // the stage degraded on what we actually hold instead
+                    // of aborting. The controller sees the shortfall at
+                    // the barrier and can re-plan the remaining stages.
+                    let available = current + out.acquired;
+                    capacity_shortfall = needed - available;
+                    degraded_acquired = out.acquired;
+                    schedule = self.degrade_schedule(plan, stage, live, gpg, available)?;
+                    needed = schedule.target_instances as usize;
+                    recorder.counter_add("exec", "capacity_shortfall", capacity_shortfall as u64);
+                    if recorder.enabled() {
+                        recorder.instant(
+                            *now,
+                            "exec",
+                            "capacity.degraded",
+                            Lane::Stage(stage as u32),
+                            vec![
+                                ("stage", (stage as u64).into()),
+                                ("shortfall", (capacity_shortfall as u64).into()),
+                                ("instances", (needed as u64).into()),
+                            ],
+                        );
+                    }
+                }
+            } else {
+                cm.request_nodes(needed - current, *now)?;
+            }
         }
+        let waves = schedule.waves;
         let mut cluster = ClusterState::new(cm.nodes(), gpg);
         let mut moved: Vec<TrialId> = Vec::new();
-        if needed < current {
+        if needed < current && capacity_shortfall == 0 {
             let k = current - needed;
             if opts.use_placement_controller && !pc.plan().is_empty() {
                 // Bin-pack survivors off the victim nodes, then release.
@@ -809,7 +915,7 @@ impl Executor {
                 cm.terminate_nodes(&victims, *now)?;
             }
         }
-        if needed > current {
+        if needed > current || degraded_acquired > 0 {
             // Barrier: wait for the whole new cluster (§4.2 semantics).
             if let Some(ready) = cm.pending_ready_time() {
                 *now = (*now).max(ready);
@@ -867,7 +973,49 @@ impl Executor {
             slots: schedule.slots as usize,
             needed,
             migrations,
+            retries,
+            capacity_shortfall,
         })
+    }
+
+    /// Shrinks `stage`'s allocation until it fits on `available`
+    /// instances: the largest valid GPU count whose fragmentation-aware
+    /// instance demand is within what the cluster actually holds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbError::Execution`] when no allocation fits (no
+    /// capacity at all after retries).
+    fn degrade_schedule(
+        &self,
+        plan: &AllocationPlan,
+        stage: usize,
+        live: &[TrialId],
+        gpg: u32,
+        available: usize,
+    ) -> Result<crate::scheduler::StageSchedule> {
+        let trials = live.len() as u32;
+        let mut g = (available as u32 * gpg).min(plan.gpus(stage));
+        loop {
+            if g == 0 {
+                return Err(RbError::Execution(format!(
+                    "stage {stage}: no capacity available after provisioning retries"
+                )));
+            }
+            if g > trials {
+                // Keep trial allocations even: round down to a multiple.
+                g -= g % trials;
+            }
+            let mut degraded = plan.clone();
+            degraded.set_gpus(stage, g);
+            if degraded.validate(&self.spec).is_ok() {
+                let s = crate::scheduler::schedule_stage(&self.spec, &degraded, stage, live, gpg)?;
+                if (s.target_instances as usize) <= available {
+                    return Ok(s);
+                }
+            }
+            g -= 1;
+        }
     }
 
     /// Runs every live trial for its share of the stage's work units and
@@ -903,7 +1051,16 @@ impl Executor {
             stage_end: train_start,
             remaining: BTreeMap::new(),
             unit_obs: BTreeMap::new(),
+            retries: 0,
+            fallbacks: 0,
         };
+        // Verified fetches engage only when the store can actually do
+        // something with them (corruption armed or >1 generation kept);
+        // otherwise the legacy unchecked fetch keeps the run
+        // bit-identical.
+        let verify_fetch =
+            opts.faults.checkpoint_corruption_prob > 0.0 || opts.checkpoint_retention > 1;
+        let retry_policy = opts.retry.as_ref().filter(|_| opts.faults.is_active());
         let checkpoint_secs = |trial: TrialId, store: &CheckpointStore| -> f64 {
             store
                 .get(trial)
@@ -951,7 +1108,20 @@ impl Executor {
             } else {
                 PlacementQuality::Scattered
             };
-            let unit_mean = self.physics.unit_mean_secs(gpus, quality);
+            let mut hosting: Vec<rb_core::NodeId> = setup
+                .placement
+                .get(tid)
+                .map(|cs| cs.iter().map(|p| p.node).collect())
+                .unwrap_or_default();
+            // A degraded node slows the whole gang: data-parallel steps
+            // synchronize every iteration, so the slowest host sets the
+            // pace. Healthy clusters report 1.0 and the multiply is
+            // exact — bit-identical to a build without the chaos layer.
+            let slowdown = hosting
+                .iter()
+                .map(|n| cm.node_slowdown(*n))
+                .fold(1.0, f64::max);
+            let unit_mean = self.physics.unit_mean_secs(gpus, quality) * slowdown;
             let dist = if self.physics.unit_noise_frac > 0.0 {
                 Distribution::Normal {
                     mean: unit_mean,
@@ -961,11 +1131,6 @@ impl Executor {
             } else {
                 Distribution::Constant(unit_mean)
             };
-            let mut hosting: Vec<rb_core::NodeId> = setup
-                .placement
-                .get(tid)
-                .map(|cs| cs.iter().map(|p| p.node).collect())
-                .unwrap_or_default();
             let mut needs_fetch = force_fetch || stage > 0 || setup.moved.contains(&tid);
             let obs_key = (gpus, quality == PlacementQuality::Packed);
             // Attempt loop: a spot interruption of any hosting node
@@ -974,7 +1139,48 @@ impl Executor {
             let finish = loop {
                 let mut work = self.physics.train_startup_secs;
                 if needs_fetch {
-                    work += checkpoint_secs(tid, store);
+                    if verify_fetch && store.get(tid).is_some() {
+                        // Hardened fetch: verify generations newest-first,
+                        // fall back past corrupted ones, and re-run the
+                        // iterations the older generation is missing.
+                        // Total loss (every retained generation corrupt)
+                        // aborts the unhardened store but cold-restarts
+                        // the trial when retention is armed: nothing to
+                        // transfer, every recorded iteration redone.
+                        let vf = match store.fetch_verified(tid) {
+                            Ok(vf) => vf,
+                            Err(_) if opts.checkpoint_retention > 1 => {
+                                let latest = store.get(tid).expect("presence checked above");
+                                VerifiedFetch {
+                                    bytes: 0,
+                                    redo_iters: latest.iters_done,
+                                    fallbacks: store.retention() as u64,
+                                }
+                            }
+                            Err(e) => return Err(e),
+                        };
+                        work += vf.bytes as f64 / (opts.checkpoint_bw_gbps * 1e9);
+                        if vf.fallbacks > 0 {
+                            outcome.fallbacks += 1;
+                            work += vf.redo_iters as f64 * unit_mean;
+                            recorder.counter_add("train", "checkpoint_fallbacks", 1);
+                            if recorder.enabled() {
+                                recorder.instant(
+                                    start,
+                                    "train",
+                                    "checkpoint.fallback",
+                                    Lane::Trial(tid.raw()),
+                                    vec![
+                                        ("trial", tid.raw().into()),
+                                        ("skipped_generations", vf.fallbacks.into()),
+                                        ("redo_iters", vf.redo_iters.into()),
+                                    ],
+                                );
+                            }
+                        }
+                    } else {
+                        work += checkpoint_secs(tid, store);
+                    }
                 }
                 let base = work;
                 let mut boundaries: Vec<f64> = Vec::new();
@@ -1114,7 +1320,12 @@ impl Executor {
                     setup.cluster.remove(*n);
                     hosting.retain(|h| h != n);
                 }
-                cm.request_nodes(dead.len(), cut)?;
+                if let Some(policy) = retry_policy {
+                    let out = cm.request_nodes_resilient(dead.len(), cut, policy)?;
+                    outcome.retries += out.retries;
+                } else {
+                    cm.request_nodes(dead.len(), cut)?;
+                }
                 let ready = cm.pending_ready_time().unwrap_or(cut);
                 for n in cm.absorb_ready(ready) {
                     setup.cluster.add(n);

@@ -33,7 +33,7 @@ pub mod report;
 pub mod scheduler;
 
 pub use asha::{run_asha, AshaConfig, AshaReport};
-pub use cluster::ClusterManager;
+pub use cluster::{ClusterManager, RetryOutcome, RetryPolicy};
 pub use executor::{
     BarrierHook, BarrierSnapshot, ExecOptions, Executor, NoopHook, UnitObservation,
     WatchdogSnapshot,

@@ -362,6 +362,19 @@ pub struct ExecutionReport {
     pub utilization: Option<f64>,
     /// Mean training throughput per trial, in samples per second.
     pub trial_throughput: BTreeMap<TrialId, f64>,
+    /// Faults injected by the chaos layer over the run (capacity
+    /// denials, stragglers, hardware failures, degraded nodes, and
+    /// corrupted checkpoint writes). Zero without a fault plan.
+    pub faults_injected: u64,
+    /// Provisioning retry rounds issued under the configured
+    /// [`RetryPolicy`](crate::cluster::RetryPolicy).
+    pub provision_retries: u64,
+    /// Checkpoint fetches that fell back to an older generation after
+    /// the newest failed verification.
+    pub checkpoint_fallbacks: u64,
+    /// Stages that ran on a reduced allocation because capacity stayed
+    /// short after retries.
+    pub degraded_stages: u32,
     /// The ordered event log of the run.
     pub trace: ExecutionTrace,
 }
@@ -448,6 +461,10 @@ mod tests {
             instances_provisioned: 1,
             utilization: None,
             trial_throughput: tp,
+            faults_injected: 0,
+            provision_retries: 0,
+            checkpoint_fallbacks: 0,
+            degraded_stages: 0,
             trace: ExecutionTrace::default(),
         };
         assert_eq!(r.total_cost(), Cost::from_dollars(2.5));
@@ -488,6 +505,10 @@ mod tests {
             instances_provisioned: 2,
             utilization: None,
             trial_throughput: BTreeMap::new(),
+            faults_injected: 0,
+            provision_retries: 0,
+            checkpoint_fallbacks: 0,
+            degraded_stages: 0,
             trace: ExecutionTrace::default(),
         };
         let text = render_timeline(&r, 40);

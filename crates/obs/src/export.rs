@@ -113,6 +113,15 @@ pub fn export_jsonl(log: &TraceLog) -> String {
         write_json_f64(&mut out, hist.p90);
         out.push_str("}\n");
     }
+    if log.dropped_events > 0 {
+        // A bounded recorder evicted events; note the count as a
+        // synthetic counter so readers know the stream is a tail.
+        let _ = writeln!(
+            out,
+            "{{\"metric\":\"counter\",\"scope\":\"obs\",\"name\":\"dropped_events\",\"value\":{}}}",
+            log.dropped_events
+        );
+    }
     out
 }
 
@@ -162,6 +171,16 @@ pub fn export_chrome(log: &TraceLog) -> String {
     // (sorted for determinism).
     for (pid, name) in [(1, "trials"), (2, "nodes"), (3, "control"), (4, "stages")] {
         push_metadata(&mut entries, "process_name", pid, None, name);
+    }
+    if log.dropped_events > 0 {
+        // Flag truncated streams from a bounded recorder ring.
+        let mut line = String::new();
+        let _ = write!(
+            line,
+            "{{\"name\":\"dropped_events\",\"ph\":\"M\",\"pid\":3,\"args\":{{\"count\":{}}}}}",
+            log.dropped_events
+        );
+        entries.push(line);
     }
     let mut lanes: Vec<Lane> = log.events.iter().map(|e| e.lane).collect();
     lanes.sort();
@@ -305,6 +324,37 @@ mod tests {
             counter.get("args").unwrap().get("value").unwrap().as_f64(),
             Some(1.25)
         );
+    }
+
+    #[test]
+    fn bounded_ring_exports_note_dropped_events() {
+        let rec = MemoryRecorder::new().with_capacity(1);
+        for i in 0..3u64 {
+            rec.instant(SimTime::from_millis(i), "t", "e", Lane::Global, Vec::new());
+        }
+        let log = rec.finish();
+        let jsonl = export_jsonl(&log);
+        let note = jsonl.lines().last().expect("export has lines");
+        assert_eq!(
+            note,
+            "{\"metric\":\"counter\",\"scope\":\"obs\",\"name\":\"dropped_events\",\"value\":2}"
+        );
+        crate::schema::validate_jsonl(&jsonl).expect("noted export still validates");
+        let chrome = export_chrome(&log);
+        let parsed = parse_json(&chrome).expect("chrome export parses");
+        let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        let meta = events
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("dropped_events"))
+            .expect("chrome export carries a dropped_events metadata entry");
+        assert_eq!(
+            meta.get("args").unwrap().get("count").unwrap().as_u64(),
+            Some(2)
+        );
+        // Unbounded logs carry no note (existing exact-count tests
+        // double as the regression guard).
+        assert!(!export_jsonl(&sample_log()).contains("dropped_events"));
+        assert!(!export_chrome(&sample_log()).contains("dropped_events"));
     }
 
     #[test]

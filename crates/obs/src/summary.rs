@@ -72,6 +72,16 @@ pub struct RunSummary {
     pub replans_applied: usize,
     /// Re-plans proposed but rejected (infeasible or not better).
     pub replans_rejected: usize,
+    /// Faults injected by the chaos layer (all zero without a fault
+    /// plan): capacity denials, stragglers, hardware failures, degraded
+    /// nodes, corrupted checkpoint writes.
+    pub faults_injected: u64,
+    /// Provisioning retry rounds issued by the resilient executor.
+    pub provision_retries: u64,
+    /// Checkpoint fetches that fell back to an older generation.
+    pub checkpoint_fallbacks: u64,
+    /// Stages that ran degraded on reduced capacity.
+    pub degraded_stages: u32,
     /// Structured events captured by the recorder (0 with the no-op).
     pub trace_events: usize,
 }
@@ -144,6 +154,14 @@ impl RunSummary {
             "  replans             = applied {} rejected {}",
             self.replans_applied, self.replans_rejected
         );
+        let _ = writeln!(
+            out,
+            "  faults              = injected {} retries {} fallbacks {} degraded_stages {}",
+            self.faults_injected,
+            self.provision_retries,
+            self.checkpoint_fallbacks,
+            self.degraded_stages
+        );
         let _ = writeln!(out, "  trace_events        = {}", self.trace_events);
         out
     }
@@ -179,6 +197,15 @@ impl RunSummary {
             out,
             ",\"replans_applied\":{},\"replans_rejected\":{}",
             self.replans_applied, self.replans_rejected
+        );
+        let _ = write!(
+            out,
+            ",\"faults_injected\":{},\"provision_retries\":{},\"checkpoint_fallbacks\":{},\
+             \"degraded_stages\":{}",
+            self.faults_injected,
+            self.provision_retries,
+            self.checkpoint_fallbacks,
+            self.degraded_stages
         );
         let _ = write!(out, ",\"trace_events\":{}", self.trace_events);
         out.push('}');
@@ -233,6 +260,10 @@ mod tests {
             },
             replans_applied: 1,
             replans_rejected: 0,
+            faults_injected: 5,
+            provision_retries: 2,
+            checkpoint_fallbacks: 1,
+            degraded_stages: 1,
             trace_events: 123,
         }
     }
@@ -248,6 +279,8 @@ mod tests {
         assert!(
             text.contains("plan_cache          = hits 30 misses 10 evictions 0 (hit rate 0.750)")
         );
+        assert!(text
+            .contains("faults              = injected 5 retries 2 fallbacks 1 degraded_stages 1"));
         assert_eq!(text, sample().render());
     }
 

@@ -1,7 +1,7 @@
 //! The fitted cloud profile.
 
 use rb_cloud::CloudPricing;
-use rb_core::{Distribution, SimDuration};
+use rb_core::{Distribution, RbError, Result, SimDuration};
 
 /// Everything the planner/simulator knows about the target cloud: pricing
 /// plus the two provider-side latency distributions of §4.1 (scaling
@@ -50,29 +50,91 @@ impl CloudProfile {
     }
 
     /// Sets the provisioning-delay distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distribution has negative or non-finite parameters.
     pub fn with_provision_delay_dist(mut self, d: Distribution) -> Self {
+        d.validate().expect("invalid provision-delay distribution");
         self.provision_delay = d;
         self
     }
 
     /// Sets the init-latency distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distribution has negative or non-finite parameters.
     pub fn with_init_latency_dist(mut self, d: Distribution) -> Self {
+        d.validate().expect("invalid init-latency distribution");
         self.init_latency = d;
         self
     }
 
     /// Sets the per-instance dataset download volume (GB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gb` is negative or non-finite.
     pub fn with_dataset_gb(mut self, gb: f64) -> Self {
-        debug_assert!(gb >= 0.0);
+        assert!(
+            gb.is_finite() && gb >= 0.0,
+            "dataset_gb must be finite and non-negative, got {gb}"
+        );
         self.dataset_gb = gb;
         self
     }
 
     /// Enables spot interruptions at `rate` reclaims per instance-hour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is negative or non-finite.
     pub fn with_spot_interruptions(mut self, rate: f64) -> Self {
-        debug_assert!(rate >= 0.0);
+        assert!(
+            rate.is_finite() && rate >= 0.0,
+            "spot interruption rate must be finite and non-negative, got {rate}"
+        );
         self.spot_interruptions_per_hour = rate;
         self
+    }
+
+    /// Checks the whole profile: both latency distributions well-formed,
+    /// data volume and interruption rate finite and non-negative, and no
+    /// negative prices. Builders already reject bad values one at a time;
+    /// this covers profiles assembled by struct literal or deserialized.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbError::InvalidConfig`] naming the offending parameter.
+    pub fn validate(&self) -> Result<()> {
+        self.provision_delay.validate()?;
+        self.init_latency.validate()?;
+        if !self.dataset_gb.is_finite() || self.dataset_gb < 0.0 {
+            return Err(RbError::InvalidConfig(format!(
+                "dataset_gb must be finite and non-negative, got {}",
+                self.dataset_gb
+            )));
+        }
+        if !self.spot_interruptions_per_hour.is_finite() || self.spot_interruptions_per_hour < 0.0 {
+            return Err(RbError::InvalidConfig(format!(
+                "spot_interruptions_per_hour must be finite and non-negative, got {}",
+                self.spot_interruptions_per_hour
+            )));
+        }
+        let ty = &self.pricing.instance_type;
+        for (what, price) in [
+            ("on_demand_hourly", ty.on_demand_hourly),
+            ("spot_hourly", ty.spot_hourly),
+            ("data_price_per_gb", self.pricing.data_price_per_gb),
+        ] {
+            if price < rb_core::Cost::ZERO {
+                return Err(RbError::InvalidConfig(format!(
+                    "{what} must be non-negative, got {price}"
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Mean seconds from requesting an instance to it being usable:
@@ -110,5 +172,55 @@ mod tests {
         let p = CloudProfile::new(CloudPricing::on_demand(P3_8XLARGE))
             .with_provision_delay_dist(Distribution::lognormal_from_moments(20.0, 8.0));
         assert!((p.provision_delay.mean() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validate_accepts_the_default_profile() {
+        let p = CloudProfile::new(CloudPricing::on_demand(P3_8XLARGE))
+            .with_dataset_gb(150.0)
+            .with_spot_interruptions(1.0);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_struct_literal_garbage() {
+        let good = CloudProfile::new(CloudPricing::on_demand(P3_8XLARGE));
+        let bad_delay = CloudProfile {
+            provision_delay: Distribution::Constant(-1.0),
+            ..good.clone()
+        };
+        assert!(bad_delay.validate().is_err());
+        let bad_init = CloudProfile {
+            init_latency: Distribution::Exponential { rate: f64::NAN },
+            ..good.clone()
+        };
+        assert!(bad_init.validate().is_err());
+        let bad_gb = CloudProfile {
+            dataset_gb: f64::INFINITY,
+            ..good.clone()
+        };
+        assert!(bad_gb.validate().is_err());
+        let bad_rate = CloudProfile {
+            spot_interruptions_per_hour: -0.5,
+            ..good.clone()
+        };
+        assert!(bad_rate.validate().is_err());
+        let mut bad_price = good.clone();
+        bad_price.pricing.data_price_per_gb = rb_core::Cost::from_dollars(-0.01);
+        assert!(bad_price.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid provision-delay distribution")]
+    fn builder_rejects_malformed_distribution() {
+        let _ = CloudProfile::new(CloudPricing::on_demand(P3_8XLARGE))
+            .with_provision_delay_dist(Distribution::Uniform { lo: 5.0, hi: 1.0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "spot interruption rate")]
+    fn builder_rejects_nan_interruption_rate() {
+        let _ = CloudProfile::new(CloudPricing::on_demand(P3_8XLARGE))
+            .with_spot_interruptions(f64::NAN);
     }
 }

@@ -80,13 +80,13 @@ use std::sync::Arc;
 
 /// Commonly used items, re-exported flat.
 pub mod prelude {
-    pub use rb_cloud::{BillingModel, CloudPricing, PricingTier};
+    pub use rb_cloud::{BillingModel, CloudPricing, FaultPlan, PricingTier};
     pub use rb_core::{Cost, Distribution, Prng, RbError, Result, SimDuration, SimTime};
     pub use rb_ctrl::{
         AdaptationLog, AdaptiveController, ControllerConfig, DriftConfig, MarketChoice,
         MarketConfig, RefitConfig, RefitEvent, ReplanEvent, ReplanTrigger, WatchdogConfig,
     };
-    pub use rb_exec::{ExecOptions, ExecutionReport, Executor};
+    pub use rb_exec::{ExecOptions, ExecutionReport, Executor, RetryPolicy};
     pub use rb_hpo::{Config, Dim, ExperimentSpec, SearchSpace, ShaParams};
     pub use rb_obs::{CacheStats, MemoryRecorder, RecorderHandle, RunSummary, TraceLog};
     pub use rb_planner::{PlanOutcome, PlannerConfig, Policy};
@@ -348,6 +348,10 @@ pub fn summarize_run(
         stage_memo: caches.stage_memo,
         replans_applied: adaptation.map_or(0, AdaptationLog::applied),
         replans_rejected: adaptation.map_or(0, |log| log.events.len() - log.applied()),
+        faults_injected: report.faults_injected,
+        provision_retries: report.provision_retries,
+        checkpoint_fallbacks: report.checkpoint_fallbacks,
+        degraded_stages: report.degraded_stages,
         trace_events,
     }
 }
@@ -685,6 +689,118 @@ mod tests {
         assert_eq!(observed.summary.trace_events, observed.log.events.len());
         assert!(!observed.log.events.is_empty());
         assert!(observed.summary.gpu_busy_secs > 0.0);
+    }
+
+    #[test]
+    fn disabled_fault_injector_is_bit_identical() {
+        use rb_cloud::FaultPlan;
+        use rb_exec::RetryPolicy;
+        let spec = ShaParams::new(8, 1, 8).generate().unwrap();
+        let task = rb_train::task::resnet50_cifar10();
+        let physics = ModelProfile::exact_for_task(&task, 512, 4);
+        let cloud = CloudProfile::new(CloudPricing::on_demand(P3_8XLARGE));
+        let outcome = compile_plan(&spec, &physics, &cloud, SimDuration::from_hours(2)).unwrap();
+        let space = SearchSpace::new()
+            .add("lr", Dim::LogUniform { lo: 1e-3, hi: 1.0 })
+            .build()
+            .unwrap();
+        let plain = execute_observed(
+            &spec,
+            &outcome.plan,
+            &task,
+            &physics,
+            &cloud,
+            &space,
+            ExecOptions {
+                seed: 7,
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap();
+        // Hardening knobs set but the injector disabled: the run must be
+        // indistinguishable from today's, down to the exported bytes.
+        let armed = execute_observed(
+            &spec,
+            &outcome.plan,
+            &task,
+            &physics,
+            &cloud,
+            &space,
+            ExecOptions {
+                seed: 7,
+                faults: FaultPlan::none(),
+                retry: Some(RetryPolicy::default()),
+                checkpoint_retention: 1,
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(armed.report.jct, plain.report.jct);
+        assert_eq!(armed.report.compute_cost, plain.report.compute_cost);
+        assert_eq!(armed.report.best_accuracy, plain.report.best_accuracy);
+        assert_eq!(armed.report.trace, plain.report.trace);
+        assert_eq!(armed.report.faults_injected, 0);
+        assert_eq!(armed.summary.render(), plain.summary.render());
+        assert_eq!(
+            rb_obs::export::export_jsonl(&armed.log),
+            rb_obs::export::export_jsonl(&plain.log),
+            "disabled injector leaves the trace byte-identical"
+        );
+    }
+
+    #[test]
+    fn hardened_run_survives_injected_faults() {
+        use rb_cloud::FaultPlan;
+        use rb_exec::RetryPolicy;
+        let spec = ShaParams::new(8, 1, 8).generate().unwrap();
+        let task = rb_train::task::resnet50_cifar10();
+        let physics = ModelProfile::exact_for_task(&task, 512, 4);
+        let cloud = CloudProfile::new(CloudPricing::on_demand(P3_8XLARGE));
+        let outcome = compile_plan(&spec, &physics, &cloud, SimDuration::from_hours(2)).unwrap();
+        let space = SearchSpace::new()
+            .add("lr", Dim::LogUniform { lo: 1e-3, hi: 1.0 })
+            .build()
+            .unwrap();
+        let faults = FaultPlan {
+            capacity_failure_prob: 0.8,
+            straggler_prob: 0.2,
+            straggler_factor: 25.0,
+            degraded_prob: 0.25,
+            degraded_factor: 1.5,
+            checkpoint_corruption_prob: 0.1,
+            ..FaultPlan::none()
+        };
+        let run = execute_observed(
+            &spec,
+            &outcome.plan,
+            &task,
+            &physics,
+            &cloud,
+            &space,
+            ExecOptions {
+                seed: 5,
+                faults,
+                retry: Some(RetryPolicy {
+                    max_retries: 12,
+                    ..RetryPolicy::default()
+                }),
+                checkpoint_retention: 3,
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(run.summary.faults_injected > 0, "the injector fired");
+        assert_eq!(run.summary.faults_injected, run.report.faults_injected);
+        assert!(
+            run.summary.provision_retries > 0,
+            "capacity denials forced retries"
+        );
+        assert!(run.report.best_accuracy > 0.1, "the run still finished");
+        // Recovery counters surface on the bus only for faulty runs.
+        assert_eq!(
+            run.log.counter("exec", "faults_injected"),
+            run.report.faults_injected
+        );
     }
 
     #[test]

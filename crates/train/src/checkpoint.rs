@@ -8,13 +8,25 @@
 //! and restore is an honest inverse of save.
 
 use crate::trial::{MetricPoint, Trial, TrialStatus};
-use rb_core::{RbError, Result, TrialId};
+use rb_core::{Prng, RbError, Result, TrialId};
 use rb_hpo::{Config, ConfigValue};
 use rb_scaling::zoo::ModelArch;
 use std::collections::BTreeMap;
 
 const MAGIC: &[u8; 4] = b"RBCK";
 const VERSION: u8 = 1;
+
+/// FNV-1a over the blob: the store's out-of-band integrity check. Kept
+/// outside the encoded format so checkpoint byte sizes — and hence
+/// migration latencies — are unchanged by hardening.
+fn blob_checksum(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// A serialized trial snapshot plus the model-state payload size.
 #[derive(Debug, Clone, PartialEq)]
@@ -198,72 +210,230 @@ pub fn decode_trial(blob: &[u8]) -> Result<TrialSnapshot> {
     })
 }
 
-/// The in-memory object store holding the latest checkpoint per trial.
-#[derive(Debug, Clone, Default)]
+/// One stored checkpoint generation plus the checksum captured at save
+/// time, before any (injected) storage corruption.
+#[derive(Debug, Clone, PartialEq)]
+struct Generation {
+    ck: Checkpoint,
+    checksum: u64,
+}
+
+impl Generation {
+    fn verifies(&self) -> bool {
+        self.checksum == blob_checksum(&self.ck.blob) && decode_trial(&self.ck.blob).is_ok()
+    }
+}
+
+/// The result of a verified checkpoint read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifiedFetch {
+    /// Bytes a migration must move for the generation actually used.
+    pub bytes: u64,
+    /// Work units lost to falling back: latest generation's progress
+    /// minus the used generation's (zero when the latest verifies).
+    pub redo_iters: u64,
+    /// Newer generations skipped because they failed verification.
+    pub fallbacks: u64,
+}
+
+/// The in-memory object store holding the last `retain` checkpoint
+/// generations per trial (one by default — the paper's model).
+///
+/// Reads verify an out-of-band checksum plus a full decode; a corrupted
+/// latest generation falls back to the newest older one that verifies.
+/// Corruption can be injected deterministically (seeded per put, like
+/// the spot stream) for chaos testing; with injection off and retention
+/// 1 the store behaves bit-identically to the unhardened original.
+#[derive(Debug, Clone)]
 pub struct CheckpointStore {
-    store: BTreeMap<TrialId, Checkpoint>,
+    store: BTreeMap<TrialId, Vec<Generation>>,
     puts: u64,
+    retain: usize,
+    /// (probability, seed) for injected storage corruption.
+    corrupt: Option<(f64, u64)>,
+    corrupted: u64,
+}
+
+impl Default for CheckpointStore {
+    fn default() -> Self {
+        CheckpointStore {
+            store: BTreeMap::new(),
+            puts: 0,
+            retain: 1,
+            corrupt: None,
+            corrupted: 0,
+        }
+    }
 }
 
 impl CheckpointStore {
-    /// Creates an empty store.
+    /// Creates an empty store retaining one generation per trial.
     pub fn new() -> Self {
         CheckpointStore::default()
     }
 
-    /// Checkpoints a trial, replacing any previous snapshot.
+    /// Sets how many generations to keep per trial (hardened mode uses
+    /// at least 2 so a corrupted write has a fallback).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn with_retention(mut self, k: usize) -> Self {
+        assert!(k >= 1, "retention must keep at least one generation");
+        self.retain = k;
+        self
+    }
+
+    /// Generations kept per trial.
+    pub fn retention(&self) -> usize {
+        self.retain
+    }
+
+    /// Arms deterministic storage-corruption injection: each put flips
+    /// one random bit of the stored blob with probability `prob`, using
+    /// a per-put counter stream from `seed`. The checksum is captured
+    /// before the flip, so verification catches every injected fault.
+    /// A zero probability draws nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob` is not a probability.
+    pub fn set_corruption(&mut self, prob: f64, seed: u64) {
+        assert!(
+            (0.0..=1.0).contains(&prob),
+            "corruption probability must be in [0, 1], got {prob}"
+        );
+        self.corrupt = if prob > 0.0 { Some((prob, seed)) } else { None };
+    }
+
+    /// Storage corruptions injected so far.
+    pub fn corruptions_injected(&self) -> u64 {
+        self.corrupted
+    }
+
+    /// Checkpoints a trial, retiring the oldest generation beyond the
+    /// retention limit.
     pub fn save(&mut self, trial: &Trial, arch: &ModelArch) -> &Checkpoint {
-        let ck = Checkpoint {
+        let mut ck = Checkpoint {
             trial_id: trial.id,
             iters_done: trial.iters_done(),
             blob: encode_trial(trial),
             model_state_bytes: model_state_bytes(arch),
         };
+        let checksum = blob_checksum(&ck.blob);
+        if let Some((prob, seed)) = self.corrupt {
+            // Per-put counter stream: whether (and where) put #k corrupts
+            // is a pure function of (seed, k), independent of which trial
+            // or how many stores share the seed.
+            let mut rng = Prng::for_stream(seed, self.puts);
+            if rng.next_f64() < prob {
+                let bit = rng.next_below(ck.blob.len() as u64 * 8);
+                ck.blob[(bit / 8) as usize] ^= 1 << (bit % 8);
+                self.corrupted += 1;
+            }
+        }
         self.puts += 1;
-        self.store.insert(trial.id, ck);
-        &self.store[&trial.id]
+        let gens = self.store.entry(trial.id).or_default();
+        gens.push(Generation { ck, checksum });
+        while gens.len() > self.retain {
+            gens.remove(0);
+        }
+        &gens.last().expect("just pushed").ck
     }
 
-    /// Fetches the latest checkpoint for a trial.
+    /// Fetches the latest checkpoint for a trial (unverified — size and
+    /// metadata lookups; reads that matter go through
+    /// [`CheckpointStore::fetch_verified`]).
     pub fn get(&self, id: TrialId) -> Option<&Checkpoint> {
-        self.store.get(&id)
+        self.store.get(&id).and_then(|g| g.last()).map(|g| &g.ck)
     }
 
-    /// Restores a trial's progress from its latest checkpoint. The trial
-    /// must be paused or pending (a freshly created replacement); it is
-    /// left paused, ready to be started.
+    /// Verifies generations newest-first and reports the one a reader
+    /// should use: its transfer size, the work units lost to falling
+    /// back, and how many corrupted generations were skipped.
     ///
     /// # Errors
     ///
-    /// Returns [`RbError::Execution`] if no checkpoint exists, decoding
-    /// fails, or the snapshot belongs to a different trial.
-    pub fn restore(&self, trial: &mut Trial) -> Result<()> {
-        let ck = self
-            .get(trial.id)
-            .ok_or_else(|| RbError::Execution(format!("no checkpoint for {}", trial.id)))?;
-        let snap = decode_trial(&ck.blob)?;
-        if snap.id != trial.id {
-            return Err(RbError::Execution(format!(
-                "checkpoint for {} offered to {}",
-                snap.id, trial.id
-            )));
+    /// Returns [`RbError::Execution`] if no checkpoint exists or every
+    /// retained generation fails verification.
+    pub fn fetch_verified(&self, id: TrialId) -> Result<VerifiedFetch> {
+        let gens = self
+            .store
+            .get(&id)
+            .filter(|g| !g.is_empty())
+            .ok_or_else(|| RbError::Execution(format!("no checkpoint for {id}")))?;
+        let latest_iters = gens.last().expect("non-empty").ck.iters_done;
+        let mut fallbacks = 0;
+        for gen in gens.iter().rev() {
+            if gen.verifies() {
+                return Ok(VerifiedFetch {
+                    bytes: gen.ck.total_bytes(),
+                    redo_iters: latest_iters - gen.ck.iters_done,
+                    fallbacks,
+                });
+            }
+            fallbacks += 1;
         }
+        Err(RbError::Execution(format!(
+            "checkpoint for {id} corrupted beyond recovery \
+             ({fallbacks} generation(s) failed verification)"
+        )))
+    }
+
+    /// Restores a trial's progress from its newest checkpoint generation
+    /// that passes verification. The trial must be paused or pending (a
+    /// freshly created replacement); it is left paused, ready to be
+    /// started.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbError::Execution`] if no checkpoint exists, every
+    /// generation fails verification, or the snapshot belongs to a
+    /// different trial.
+    pub fn restore(&self, trial: &mut Trial) -> Result<()> {
+        let gens = self
+            .store
+            .get(&trial.id)
+            .filter(|g| !g.is_empty())
+            .ok_or_else(|| RbError::Execution(format!("no checkpoint for {}", trial.id)))?;
         if trial.status() == TrialStatus::Running {
             return Err(RbError::Execution(format!(
                 "cannot restore running trial {}",
                 trial.id
             )));
         }
-        trial.restore_progress(snap.iters_done, snap.history);
-        Ok(())
+        let mut failed = 0;
+        for gen in gens.iter().rev() {
+            if gen.checksum != blob_checksum(&gen.ck.blob) {
+                failed += 1;
+                continue;
+            }
+            let Ok(snap) = decode_trial(&gen.ck.blob) else {
+                failed += 1;
+                continue;
+            };
+            if snap.id != trial.id {
+                return Err(RbError::Execution(format!(
+                    "checkpoint for {} offered to {}",
+                    snap.id, trial.id
+                )));
+            }
+            trial.restore_progress(snap.iters_done, snap.history);
+            return Ok(());
+        }
+        Err(RbError::Execution(format!(
+            "checkpoint for {} corrupted beyond recovery \
+             ({failed} generation(s) failed verification)",
+            trial.id
+        )))
     }
 
-    /// Drops a trial's checkpoint (e.g. after termination).
+    /// Drops a trial's checkpoints (e.g. after termination).
     pub fn evict(&mut self, id: TrialId) {
         self.store.remove(&id);
     }
 
-    /// Number of checkpoints currently stored.
+    /// Number of trials with at least one stored checkpoint.
     pub fn len(&self) -> usize {
         self.store.len()
     }
@@ -278,10 +448,14 @@ impl CheckpointStore {
         self.puts
     }
 
-    /// Total bytes currently resident (metadata blobs only; model tensors
-    /// are accounted virtually).
+    /// Total bytes currently resident across all retained generations
+    /// (metadata blobs only; model tensors are accounted virtually).
     pub fn resident_blob_bytes(&self) -> u64 {
-        self.store.values().map(|c| c.blob.len() as u64).sum()
+        self.store
+            .values()
+            .flat_map(|gens| gens.iter())
+            .map(|g| g.ck.blob.len() as u64)
+            .sum()
     }
 }
 
@@ -330,20 +504,91 @@ mod tests {
     }
 
     #[test]
-    fn decode_rejects_corruption() {
+    fn decode_rejects_every_truncation() {
+        // The encoding is exactly self-describing: decode consumes every
+        // byte encode wrote, so *any* proper prefix must fail — whether
+        // the cut lands mid-magic, mid-length-prefix, or mid-payload.
         let tr = trained_trial();
         let blob = encode_trial(&tr);
-        assert!(decode_trial(&blob[..3]).is_err(), "truncated magic");
+        for cut in 0..blob.len() {
+            let err = decode_trial(&blob[..cut]).expect_err("prefix decoded");
+            assert!(
+                matches!(err, RbError::Execution(_)),
+                "cut at {cut}: {err:?}"
+            );
+        }
+        assert!(decode_trial(&blob).is_ok());
+    }
+
+    #[test]
+    fn decode_rejects_header_bit_flips() {
+        let tr = trained_trial();
+        let blob = encode_trial(&tr);
+        // Every bit of every MAGIC byte.
+        for byte in 0..4 {
+            for bit in 0..8 {
+                let mut bad = blob.clone();
+                bad[byte] ^= 1 << bit;
+                let err = decode_trial(&bad).unwrap_err();
+                assert!(
+                    err.to_string().contains("magic"),
+                    "byte {byte} bit {bit}: {err}"
+                );
+            }
+        }
+        // Every bit of the VERSION byte.
+        for bit in 0..8 {
+            let mut bad = blob.clone();
+            bad[4] ^= 1 << bit;
+            let err = decode_trial(&bad).unwrap_err();
+            assert!(err.to_string().contains("version"), "bit {bit}: {err}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_corrupted_length_prefixes_and_tags() {
+        let tr = trained_trial();
+        let blob = encode_trial(&tr);
+        // Layout: MAGIC(4) VERSION(1) id(8) seed(8) iters(8) n_cfg(8) ...
+        // Flipping the high bit of n_cfg's length prefix demands ~2^63
+        // config entries — the reader must run out of bytes, not OOM.
+        let mut huge_count = blob.clone();
+        huge_count[29 + 7] ^= 0x80;
+        let err = decode_trial(&huge_count).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+        // Same for the first config name's string length prefix.
+        let mut huge_str = blob.clone();
+        huge_str[37 + 7] ^= 0x80;
+        assert!(decode_trial(&huge_str).is_err());
+        // The first config entry is ("lr", Float): its tag byte sits
+        // right after the 8-byte length prefix and the 2-byte name.
+        let tag_pos = 37 + 8 + 2;
+        assert_eq!(blob[tag_pos], 0, "expected a Float tag");
+        let mut bad_tag = blob.clone();
+        bad_tag[tag_pos] = 7;
+        let err = decode_trial(&bad_tag).unwrap_err();
         assert!(
-            decode_trial(&blob[..blob.len() - 4]).is_err(),
-            "truncated tail"
+            err.to_string().contains("unknown config value tag"),
+            "{err}"
         );
-        let mut bad_magic = blob.clone();
-        bad_magic[0] = b'X';
-        assert!(decode_trial(&bad_magic).is_err());
-        let mut bad_version = blob.clone();
-        bad_version[4] = 99;
-        assert!(decode_trial(&bad_version).is_err());
+    }
+
+    #[test]
+    fn silent_payload_flips_decode_but_fail_the_checksum() {
+        // A bit flip in a metric payload produces a structurally valid
+        // blob — exactly the corruption class decode alone cannot catch
+        // and the store's out-of-band checksum exists for.
+        let tr = trained_trial();
+        let blob = encode_trial(&tr);
+        let pristine = blob_checksum(&blob);
+        let mut flipped = blob.clone();
+        let last = flipped.len() - 1; // low-order byte of the final accuracy
+        flipped[last] ^= 0x01;
+        assert!(
+            decode_trial(&flipped).is_ok(),
+            "flip is structurally silent"
+        );
+        assert_ne!(blob_checksum(&flipped), pristine);
     }
 
     #[test]
@@ -439,6 +684,95 @@ mod tests {
         store.evict(tr.id);
         assert!(store.is_empty());
         assert!(store.get(tr.id).is_none());
+    }
+
+    #[test]
+    fn retention_keeps_the_last_k_generations() {
+        let task = resnet101_cifar10();
+        let mut store = CheckpointStore::new().with_retention(2);
+        assert_eq!(store.retention(), 2);
+        let mut tr = trained_trial(); // 4 iters done
+        store.save(&tr, &RESNET101);
+        tr.start().unwrap();
+        tr.advance(&task, 2).unwrap();
+        tr.pause().unwrap();
+        store.save(&tr, &RESNET101); // 6 iters
+        tr.start().unwrap();
+        tr.advance(&task, 2).unwrap();
+        tr.pause().unwrap();
+        store.save(&tr, &RESNET101); // 8 iters; the 4-iter gen retires
+        assert_eq!(store.len(), 1, "one trial, many generations");
+        assert_eq!(store.total_puts(), 3);
+        assert_eq!(store.get(tr.id).unwrap().iters_done, 8, "get = latest");
+        let fetch = store.fetch_verified(tr.id).unwrap();
+        assert_eq!(fetch.fallbacks, 0);
+        assert_eq!(fetch.redo_iters, 0);
+        // Two resident generations' blobs, not three.
+        let one_blob = store.get(tr.id).unwrap().blob.len() as u64;
+        assert!(store.resident_blob_bytes() >= 2 * one_blob - 64);
+        assert!(store.resident_blob_bytes() < 3 * one_blob);
+    }
+
+    #[test]
+    fn corrupted_latest_falls_back_to_previous_generation() {
+        let task = resnet101_cifar10();
+        let mut store = CheckpointStore::new().with_retention(2);
+        let mut tr = trained_trial(); // 4 iters
+        store.save(&tr, &RESNET101); // clean generation
+        tr.start().unwrap();
+        tr.advance(&task, 3).unwrap();
+        tr.pause().unwrap();
+        store.set_corruption(1.0, 0xBAD);
+        store.save(&tr, &RESNET101); // 7 iters, corrupted in storage
+        assert_eq!(store.corruptions_injected(), 1);
+
+        let fetch = store.fetch_verified(tr.id).unwrap();
+        assert_eq!(fetch.fallbacks, 1, "latest generation skipped");
+        assert_eq!(fetch.redo_iters, 3, "work since the clean barrier");
+
+        // Restore lands on the clean 4-iter generation, and retraining
+        // from it reproduces the original curve bit-for-bit.
+        let mut replacement = Trial::new(tr.id, tr.config.clone(), tr.seed);
+        store.restore(&mut replacement).unwrap();
+        assert_eq!(replacement.iters_done(), 4);
+        replacement.start().unwrap();
+        let acc = replacement.advance(&task, 3).unwrap();
+        assert_eq!(acc.to_bits(), tr.latest_accuracy().unwrap().to_bits());
+    }
+
+    #[test]
+    fn single_generation_corruption_is_unrecoverable() {
+        let mut store = CheckpointStore::new(); // baseline: retain 1
+        store.set_corruption(1.0, 0xBAD);
+        let tr = trained_trial();
+        store.save(&tr, &RESNET101);
+        assert!(store.fetch_verified(tr.id).is_err());
+        let mut replacement = Trial::new(tr.id, tr.config.clone(), tr.seed);
+        let err = store.restore(&mut replacement).unwrap_err();
+        assert!(
+            err.to_string().contains("corrupted beyond recovery"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn corruption_injection_is_deterministic_and_optional() {
+        let tr = trained_trial();
+        let run = |prob: f64| {
+            let mut store = CheckpointStore::new().with_retention(4);
+            store.set_corruption(prob, 42);
+            for _ in 0..8 {
+                store.save(&tr, &RESNET101);
+            }
+            (
+                store.corruptions_injected(),
+                store.fetch_verified(tr.id).map(|f| f.fallbacks),
+            )
+        };
+        assert_eq!(run(0.5), run(0.5), "same seed, same corruptions");
+        let (none, fetch) = run(0.0);
+        assert_eq!(none, 0, "zero probability never corrupts");
+        assert_eq!(fetch.unwrap(), 0);
     }
 
     #[test]

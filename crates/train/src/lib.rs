@@ -22,7 +22,7 @@ pub mod dataset;
 pub mod task;
 pub mod trial;
 
-pub use checkpoint::{Checkpoint, CheckpointStore};
+pub use checkpoint::{Checkpoint, CheckpointStore, VerifiedFetch};
 pub use dataset::Dataset;
 pub use task::TaskModel;
 pub use trial::{Trial, TrialStatus};

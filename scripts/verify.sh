@@ -55,6 +55,17 @@ diff -u scripts/expected_ext_adapt.txt "$summary"
 rm -f "$summary"
 echo "ok"
 
+echo "== ext-chaos smoke (seeded; summary must match the expectation) =="
+# Hardened executor vs no-retry baseline under seeded fault injection.
+# The summary line is counts only; a drift means retry/backoff, graceful
+# degradation, or checkpoint fallback behaviour changed.
+summary=$(mktemp)
+cargo run -p rb-bench --release --offline --bin repro -- quick ext-chaos \
+    | grep '^ext-chaos summary:' > "$summary"
+diff -u scripts/expected_ext_chaos.txt "$summary"
+rm -f "$summary"
+echo "ok"
+
 echo "== trace smoke (seeded; JSONL schema + RunSummary must match) =="
 # One observed adaptive run under drift + spot churn. `repro trace`
 # schema-validates the JSONL in-process and ends its output with the
