@@ -8,14 +8,19 @@
 //!
 //! * `BENCH_planner.json` — `plan_rubberband` wall time under the
 //!   sequential baseline engine vs the parallel, memoized engine (cold
-//!   and warm caches), plus the speedup ratios;
+//!   and warm caches) plus the speedup ratios, and the sustained-churn
+//!   section: `plans_per_sec` over a churning multi-job workload (mixed
+//!   specs, warm/cold cache ratio sweep, 1 and N worker threads);
 //! * `BENCH_sim.json` — raw prediction throughput at 1 thread and at the
 //!   host's available parallelism, the adaptive-execution overhead, and
 //!   the tracing overhead (no-op recorder vs recording + JSONL export).
 //!
 //! Pass `--smoke` to run every section once with tiny workloads (used by
 //! `scripts/verify.sh` to keep the harness honest without burning CI
-//! time).
+//! time), and `--churn` to run only the planner + churn sections (writes
+//! only `BENCH_planner.json`). Built with `--features alloc-counter`,
+//! the binary installs a counting global allocator and asserts the arena
+//! engine's zero-allocation warm prediction path before benchmarking.
 
 use rb_cloud::catalog::P3_8XLARGE;
 use rb_cloud::CloudPricing;
@@ -32,6 +37,10 @@ use rb_train::task::resnet101_cifar10;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
+
+#[cfg(feature = "alloc-counter")]
+#[global_allocator]
+static ALLOC: rb_sim::alloc_counter::CountingAlloc = rb_sim::alloc_counter::CountingAlloc;
 
 /// The planner benchmark workload: the greedy-planner test spec (five
 /// shrinking SHA stages) on sublinear ResNet-50 scaling.
@@ -124,6 +133,165 @@ fn bench_planner(smoke: bool) -> String {
         speedup_warm,
         identical
     )
+}
+
+/// The churn workload: four SHA jobs of different shapes and deadlines,
+/// cycled round-robin so the planner keeps switching specs.
+fn churn_specs() -> Vec<(ExperimentSpec, SimDuration)> {
+    vec![
+        (
+            ExperimentSpec::from_stages(&[(16, 4), (8, 8), (4, 16), (2, 32), (1, 64)]).unwrap(),
+            SimDuration::from_mins(60),
+        ),
+        (
+            ExperimentSpec::from_stages(&[(27, 3), (9, 9), (3, 27), (1, 81)]).unwrap(),
+            SimDuration::from_mins(90),
+        ),
+        (
+            ExperimentSpec::from_stages(&[(8, 6), (4, 12), (2, 24), (1, 48)]).unwrap(),
+            SimDuration::from_mins(75),
+        ),
+        (
+            ExperimentSpec::from_stages(&[(32, 2), (16, 4), (8, 8), (4, 16)]).unwrap(),
+            SimDuration::from_mins(45),
+        ),
+    ]
+}
+
+/// Plans `jobs` churning jobs on `threads` workers. Job `i` reuses the
+/// shared (warm) simulator when `i % 10 < warm_pct / 10`, otherwise it
+/// pays a cold simulator — fresh plan cache, DAG templates, and stage
+/// memos — modelling a tuning service where only some arrivals repeat a
+/// recently planned shape. Returns elapsed seconds and the selected
+/// plans in job order.
+fn run_churn_cell(
+    threads: usize,
+    warm_pct: usize,
+    jobs: usize,
+    specs: &[(ExperimentSpec, SimDuration)],
+    config: &PlannerConfig,
+) -> (f64, Vec<Vec<u32>>) {
+    let shared = bench_sim().with_engine(EngineConfig::default().with_threads(threads));
+    let mut selections = Vec::with_capacity(jobs);
+    let start = Instant::now();
+    for i in 0..jobs {
+        let (spec, deadline) = &specs[i % specs.len()];
+        let out = if i % 10 < warm_pct / 10 {
+            plan_rubberband(&shared, spec, *deadline, config).unwrap()
+        } else {
+            let cold = bench_sim().with_engine(EngineConfig::default().with_threads(threads));
+            plan_rubberband(&cold, spec, *deadline, config).unwrap()
+        };
+        selections.push(out.plan.as_slice().to_vec());
+    }
+    (start.elapsed().as_secs_f64(), selections)
+}
+
+/// Sustained planner throughput over a churning multi-job workload: the
+/// plans/second figure, swept over warm/cold ratios at 1 thread and at
+/// the host's parallelism, asserting thread count never changes which
+/// plans get selected.
+fn bench_churn(smoke: bool) -> String {
+    let specs = churn_specs();
+    let config = PlannerConfig {
+        beam_width: 4,
+        ..PlannerConfig::default()
+    };
+    let jobs = if smoke { 8 } else { 120 };
+    let auto = auto_threads();
+    println!(
+        "churn    : {jobs} jobs/cell over {} specs, beam width {}",
+        specs.len(),
+        config.beam_width
+    );
+    let mut cells = Vec::new();
+    let mut all_identical = true;
+    for warm_pct in [0usize, 50, 90] {
+        let (el_1, sel_1) = run_churn_cell(1, warm_pct, jobs, &specs, &config);
+        let (el_n, sel_n) = run_churn_cell(auto, warm_pct, jobs, &specs, &config);
+        let pps_1 = jobs as f64 / el_1.max(1e-9);
+        let pps_n = jobs as f64 / el_n.max(1e-9);
+        all_identical &= sel_1 == sel_n;
+        println!(
+            "  warm {warm_pct:2}% : 1 thread {pps_1:8.1} plans/s | {auto} threads {pps_n:8.1} plans/s"
+        );
+        for (threads, el, pps) in [(1, el_1, pps_1), (auto, el_n, pps_n)] {
+            cells.push(format!(
+                "    {{ \"warm_pct\": {warm_pct}, \"threads\": {threads}, \"elapsed_ms\": {:.1}, \"plans_per_sec\": {pps:.2} }}",
+                el * 1e3
+            ));
+        }
+    }
+    println!("  plan selection identical across thread counts: {all_identical}");
+    assert!(
+        all_identical,
+        "churn plan selection diverged across thread counts"
+    );
+    format!(
+        "{{\n  \"benchmark\": \"churn_plans_per_sec\",\n  \"jobs_per_cell\": {jobs},\n  \"specs\": {},\n  \"beam_width\": {},\n  \"threads_auto\": {auto},\n  \"selection_identical_across_threads\": {all_identical},\n  \"cells\": [\n{}\n  ]\n}}",
+        specs.len(),
+        config.beam_width,
+        cells.join(",\n")
+    )
+}
+
+/// Asserts the arena engine's allocation contract under the counting
+/// global allocator: a warmed-up sequential `predict` never touches the
+/// allocator, and an all-hit `predict_batch` allocates at most its
+/// output vector.
+#[cfg(feature = "alloc-counter")]
+fn assert_warm_path_zero_alloc() {
+    use rb_sim::alloc_counter::allocations;
+    let spec = bench_spec();
+    let plan = AllocationPlan::new(vec![32, 16, 8, 4, 4]);
+    // Cache off so every predict exercises the full simulation path.
+    let sim = bench_sim().with_engine(EngineConfig {
+        threads: 1,
+        plan_cache: false,
+        dag_templates: true,
+        ..EngineConfig::default()
+    });
+    // Warm up: arena high-water marks, the DAG template, stage memos.
+    sim.predict(&spec, &plan).unwrap();
+    sim.predict(&spec, &plan).unwrap();
+    let before = allocations();
+    for _ in 0..32 {
+        std::hint::black_box(sim.predict(&spec, &plan).unwrap());
+    }
+    let delta = allocations() - before;
+    println!("alloc-counter: warm predict allocations over 32 calls: {delta}");
+    assert_eq!(delta, 0, "warm sequential predict must not allocate");
+
+    let sim = bench_sim().with_engine(EngineConfig::default().with_threads(1));
+    let plans: Vec<AllocationPlan> = (0..8)
+        .map(|i| AllocationPlan::new(vec![32 - 2 * i, 16, 8, 4, 4]))
+        .collect();
+    for warmup in [0, 1] {
+        let _ = warmup;
+        for pred in sim.predict_batch(&spec, &plans) {
+            pred.unwrap();
+        }
+    }
+    let before = allocations();
+    let calls = 16u64;
+    for _ in 0..calls {
+        for pred in std::hint::black_box(sim.predict_batch(&spec, &plans)) {
+            pred.unwrap();
+        }
+    }
+    let delta = allocations() - before;
+    println!(
+        "alloc-counter: warm all-hit predict_batch allocations over {calls} calls: {delta} (output vector only)"
+    );
+    assert!(
+        delta <= calls,
+        "all-hit predict_batch must allocate at most its output vector"
+    );
+}
+
+#[cfg(not(feature = "alloc-counter"))]
+fn assert_warm_path_zero_alloc() {
+    println!("alloc-counter: disabled (rebuild with --features alloc-counter to assert)");
 }
 
 /// Raw prediction throughput (cache off: every prediction simulates).
@@ -315,10 +483,23 @@ fn bench_exec_adaptive(smoke: bool) -> String {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let churn_only = std::env::args().any(|a| a == "--churn");
     if smoke {
         println!("bench: smoke mode (1 iteration, tiny workloads)");
     }
+    assert_warm_path_zero_alloc();
     let planner_json = bench_planner(smoke);
+    let churn_json = bench_churn(smoke);
+    let planner_file = format!(
+        "{{\n\"plan_rubberband\": {},\n\"churn\": {}\n}}\n",
+        planner_json.trim_end(),
+        churn_json
+    );
+    std::fs::write("BENCH_planner.json", &planner_file).expect("write BENCH_planner.json");
+    if churn_only {
+        println!("wrote BENCH_planner.json");
+        return;
+    }
     let sim_json = bench_simulator(smoke);
     bench_placement(smoke);
     bench_executor(smoke);
@@ -330,7 +511,6 @@ fn main() {
         adaptive_json,
         tracing_json
     );
-    std::fs::write("BENCH_planner.json", &planner_json).expect("write BENCH_planner.json");
     std::fs::write("BENCH_sim.json", &sim_file).expect("write BENCH_sim.json");
     println!("wrote BENCH_planner.json, BENCH_sim.json");
 }

@@ -3,16 +3,18 @@
 //! The prediction engine fans work out across candidate plans and across
 //! Monte-Carlo samples. This repo builds with **no external crates**, so
 //! instead of rayon we provide one tiny primitive on top of
-//! [`std::thread::scope`]: split `0..n` into at most `threads` contiguous
-//! chunks, run each chunk on its own scoped thread, and concatenate the
-//! chunk outputs in chunk order. Because chunk boundaries depend only on
-//! `(n, threads)` and outputs are re-assembled in index order, the result
-//! vector is identical for every thread count — determinism is pushed down
-//! to the work function, which must derive any randomness from the item
-//! index alone (see [`crate::rng::mix_seed`]).
+//! [`std::thread::scope`]: split `0..n` into contiguous chunks
+//! ([`plan_chunks`]), let a pool of scoped worker threads *steal* chunks
+//! off a shared atomic cursor, and re-assemble the chunk outputs in index
+//! order. Because chunk boundaries depend only on `(n, threads)` and
+//! outputs are re-assembled in index order, the result vector is identical
+//! for every thread count and every steal interleaving — determinism is
+//! pushed down to the work function, which must derive any randomness from
+//! the item index alone (see [`crate::rng::mix_seed`]).
 
 use std::ops::Range;
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 /// Number of worker threads to use when the caller asks for "auto" (0):
 /// the host's available parallelism, or 1 if that cannot be determined.
@@ -27,8 +29,58 @@ pub fn auto_threads() -> usize {
     })
 }
 
-/// Runs `work` over the index range `0..n` split into at most `threads`
-/// contiguous chunks and returns the concatenated per-chunk outputs, in
+/// How a parallel job over `0..n` is cut into chunks: contiguous,
+/// deterministic (a pure function of `(n, threads)`), and — when several
+/// workers run — smaller than an even `n / threads` split, so a fast
+/// worker can steal the tail of a slow worker's share instead of idling
+/// at the join barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkPlan {
+    /// Resolved worker count (`0` → [`auto_threads`], then clamped to the
+    /// item count).
+    pub threads: usize,
+    /// Items per chunk; the last chunk may be short.
+    pub chunk_size: usize,
+    /// Total chunks (`ceil(n / chunk_size)`; 0 when `n == 0`).
+    pub num_chunks: usize,
+}
+
+/// Chunks per worker when there is enough work to over-partition. More
+/// chunks mean finer stealing granularity when item costs are skewed
+/// (cache hits vs misses, small vs large plans); fewer mean better
+/// scratch reuse inside `work`. Four per worker is the conventional
+/// balance.
+const OVERPARTITION: usize = 4;
+
+/// Picks the chunking for `n` items on `threads` workers. With one worker
+/// (or `n <= 1`) everything is a single chunk; otherwise chunks are sized
+/// from the batch itself — `ceil(n / (threads × 4))`, at least one item —
+/// rather than a fixed per-thread divisor, so small batches still split
+/// finely enough for stealing to even out skewed item costs.
+pub fn plan_chunks(n: usize, threads: usize) -> ChunkPlan {
+    let threads = if threads == 0 {
+        auto_threads()
+    } else {
+        threads
+    };
+    let threads = threads.min(n.max(1));
+    if threads <= 1 {
+        return ChunkPlan {
+            threads: 1,
+            chunk_size: n.max(1),
+            num_chunks: usize::from(n > 0),
+        };
+    }
+    let chunk_size = n.div_ceil(threads * OVERPARTITION).max(1);
+    ChunkPlan {
+        threads,
+        chunk_size,
+        num_chunks: n.div_ceil(chunk_size),
+    }
+}
+
+/// Runs `work` over the index range `0..n` split into chunks (sized by
+/// [`plan_chunks`]) and returns the concatenated per-chunk outputs, in
 /// index order.
 ///
 /// `work` receives a whole sub-range rather than a single index so that a
@@ -37,9 +89,13 @@ pub fn auto_threads() -> usize {
 /// ([`auto_threads`]). With one thread (or `n <= 1`) no threads are
 /// spawned and `work` runs on the caller's stack.
 ///
-/// The output is bit-identical for every `threads` value as long as
-/// `work(range)` equals the corresponding slice of `work(0..n)` — i.e.
-/// each item's output depends only on its index.
+/// Workers claim chunks off a shared atomic cursor (work stealing), so a
+/// thread stuck on an expensive chunk does not strand the cheap chunks
+/// behind it. Outputs are tagged with their chunk index and sorted before
+/// concatenation, so the output is bit-identical for every `threads`
+/// value and steal order as long as `work(range)` equals the
+/// corresponding slice of `work(0..n)` — i.e. each item's output depends
+/// only on its index.
 ///
 /// # Panics
 ///
@@ -57,32 +113,45 @@ where
     T: Send,
     F: Fn(Range<usize>) -> Vec<T> + Sync,
 {
-    let threads = if threads == 0 {
-        auto_threads()
-    } else {
-        threads
-    };
-    let threads = threads.min(n.max(1));
-    if threads <= 1 {
+    let plan = plan_chunks(n, threads);
+    if plan.threads <= 1 {
         let out = work(0..n);
         debug_assert_eq!(out.len(), n, "work must yield one output per index");
         return out;
     }
-    let chunk = n.div_ceil(threads);
-    let mut out = Vec::with_capacity(n);
+    let cursor = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, Vec<T>)>> = Mutex::new(Vec::with_capacity(plan.num_chunks));
     std::thread::scope(|scope| {
         let work = &work;
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let lo = t * chunk;
-                let hi = ((t + 1) * chunk).min(n);
-                scope.spawn(move || work(lo..hi))
+        let cursor = &cursor;
+        let done = &done;
+        let handles: Vec<_> = (0..plan.threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, Vec<T>)> = Vec::new();
+                    loop {
+                        let c = cursor.fetch_add(1, Ordering::Relaxed);
+                        if c >= plan.num_chunks {
+                            break;
+                        }
+                        let lo = c * plan.chunk_size;
+                        let hi = (lo + plan.chunk_size).min(n);
+                        local.push((c, work(lo..hi)));
+                    }
+                    done.lock().expect("chunk results poisoned").extend(local);
+                })
             })
             .collect();
         for handle in handles {
-            out.extend(handle.join().expect("worker thread panicked"));
+            handle.join().expect("worker thread panicked");
         }
     });
+    let mut chunks = done.into_inner().expect("chunk results poisoned");
+    chunks.sort_unstable_by_key(|&(c, _)| c);
+    let mut out = Vec::with_capacity(n);
+    for (_, part) in chunks {
+        out.extend(part);
+    }
     debug_assert_eq!(out.len(), n, "work must yield one output per index");
     out
 }
@@ -139,5 +208,58 @@ mod tests {
             map_indexed(100, 7, |i| crate::rng::mix_seed(9, i as u64)),
             reference
         );
+    }
+
+    #[test]
+    fn plan_chunks_is_deterministic_and_covers_n() {
+        for n in [0usize, 1, 2, 7, 16, 37, 100, 1000] {
+            for threads in [0usize, 1, 2, 3, 8, 64] {
+                let a = plan_chunks(n, threads);
+                let b = plan_chunks(n, threads);
+                assert_eq!(a, b, "pure function of (n, threads)");
+                assert_eq!(
+                    a.num_chunks,
+                    n.div_ceil(a.chunk_size.max(1)).max(usize::from(n > 0)) * usize::from(n > 0),
+                    "n={n} threads={threads}: {a:?}"
+                );
+                // Chunks tile 0..n exactly.
+                let covered: usize = (0..a.num_chunks)
+                    .map(|c| (c * a.chunk_size + a.chunk_size).min(n) - c * a.chunk_size)
+                    .sum();
+                assert_eq!(covered, n, "n={n} threads={threads}: {a:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_chunks_over_partitions_for_stealing() {
+        // A multi-threaded batch must split into more chunks than workers
+        // (when there is enough work), so a straggler chunk can be routed
+        // around.
+        let plan = plan_chunks(64, 4);
+        assert!(plan.num_chunks > plan.threads, "{plan:?}");
+        // Tiny batches still give every worker something when possible.
+        let tiny = plan_chunks(3, 8);
+        assert_eq!(tiny.chunk_size, 1);
+        assert_eq!(tiny.num_chunks, 3);
+    }
+
+    #[test]
+    fn stealing_matches_sequential_under_skewed_costs() {
+        // Items with wildly different costs: stealing changes which worker
+        // runs which chunk, never the output.
+        let work = |r: Range<usize>| {
+            r.map(|i| {
+                if i % 7 == 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+                i * 3 + 1
+            })
+            .collect::<Vec<_>>()
+        };
+        let reference: Vec<usize> = (0..50).map(|i| i * 3 + 1).collect();
+        for threads in [2, 3, 8] {
+            assert_eq!(run_chunked(50, threads, work), reference);
+        }
     }
 }

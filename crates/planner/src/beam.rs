@@ -1,0 +1,241 @@
+//! The shared beam-search descent engine.
+//!
+//! Both descent planners — greedy cost descent under a deadline
+//! ([`crate::greedy::optimize_plan`]) and JCT descent under a budget
+//! ([`crate::budget::plan_min_jct`]) — are instances of the same shape:
+//! from an incumbent, generate neighbour candidates, score each against
+//! its parent, and move to the best-scoring one. This module widens that
+//! shape from a single incumbent to a *beam* of `width` incumbents whose
+//! candidates are predicted in one batch per iteration, so the whole
+//! frontier amortizes one `predict_batch` call (and its de-duplication
+//! and parallel fan-out) instead of paying per-plan prediction latency.
+//!
+//! # Width-1 bit-identity
+//!
+//! `width == 1` must reproduce the historical single-incumbent loop
+//! *exactly* — same chosen plans, same step counts, same counter and
+//! event sequence — because the repro traces and their expected
+//! summaries were recorded against it. The invariants that guarantee
+//! this:
+//!
+//! * candidates are generated from beam members **in slot order**, so at
+//!   width 1 the candidate vector is byte-identical to the old loop's;
+//! * successor slot 0 considers only candidates whose parent is slot 0,
+//!   with the same strictly-greater tie-break in candidate order — the
+//!   head of the beam therefore walks the exact width-1 lineage;
+//! * one `candidates_generated` / `candidates_pruned` /
+//!   `steps_taken` counter update and one accept event per iteration,
+//!   in the old loop's order.
+//!
+//! Wider beams only *add* slots after slot 0 (global best score over the
+//! whole frontier, skipping duplicates), and every retired incumbent
+//! competes for the final answer under the caller's `better` ordering —
+//! so a wider beam never returns a worse plan than width 1.
+
+use rb_core::{Result, SimTime};
+use rb_hpo::ExperimentSpec;
+use rb_obs::Lane;
+use rb_sim::{AllocationPlan, Prediction, Simulator};
+
+/// Static context of one beam descent.
+pub(crate) struct Descent<'a> {
+    pub sim: &'a Simulator,
+    pub spec: &'a ExperimentSpec,
+    /// Number of incumbents kept per iteration; 0 is treated as 1.
+    pub width: usize,
+    /// Hard cap on iterations (each iteration advances the whole beam).
+    pub max_steps: usize,
+    /// Name of the instant event emitted when the beam head advances
+    /// (e.g. `"step.accept"`); lane is always [`Lane::Planner`].
+    pub accept_event: &'static str,
+}
+
+/// Runs beam descent from one warm start.
+///
+/// * `generate` appends the neighbour candidates of a plan to `out`
+///   (called once per beam member per iteration, in slot order).
+/// * `score` rates a candidate against its parent: `None` prunes it
+///   (counted in `candidates_pruned`), `Some(m)` enters it with marginal
+///   benefit `m` — higher is better, strictly-greater tie-break in
+///   candidate order.
+/// * `better` is the strict "is `a` a better final answer than `b`"
+///   ordering used to pick the returned plan among all retired
+///   incumbents (ties resolve to the later, deeper incumbent, matching
+///   the historical loop's final-incumbent behaviour).
+///
+/// Returns the best plan seen, its prediction, and the number of
+/// iterations the beam advanced (equal to greedy steps at width 1).
+///
+/// # Errors
+///
+/// Propagates simulator errors from batch prediction.
+pub(crate) fn beam_descent<G, S, B>(
+    d: &Descent<'_>,
+    start_plan: AllocationPlan,
+    start_pred: Prediction,
+    mut generate: G,
+    score: S,
+    better: B,
+) -> Result<(AllocationPlan, Prediction, usize)>
+where
+    G: FnMut(&AllocationPlan, &mut Vec<AllocationPlan>) -> Result<()>,
+    S: Fn(&Prediction, &Prediction) -> Option<f64>,
+    B: Fn(&Prediction, &Prediction) -> bool,
+{
+    let width = d.width.max(1);
+    let recorder = d.sim.recorder().clone();
+    let mut beam: Vec<(AllocationPlan, Prediction)> = vec![(start_plan, start_pred)];
+    let mut best: Option<(AllocationPlan, Prediction)> = None;
+    let mut steps = 0usize;
+    let mut cands: Vec<AllocationPlan> = Vec::new();
+    let mut parents: Vec<usize> = Vec::new();
+    let mut scored: Vec<Option<(Prediction, f64)>> = Vec::new();
+    // Retire an incumbent into the running best; later wins on ties.
+    let retire = |best: &mut Option<(AllocationPlan, Prediction)>,
+                  plan: AllocationPlan,
+                  pred: Prediction| {
+        let replace = match best {
+            None => true,
+            Some((_, b)) => !better(b, &pred),
+        };
+        if replace {
+            *best = Some((plan, pred));
+        }
+    };
+    while steps < d.max_steps && !beam.is_empty() {
+        cands.clear();
+        parents.clear();
+        for (slot, (plan, _)) in beam.iter().enumerate() {
+            let before = cands.len();
+            generate(plan, &mut cands)?;
+            parents.extend(std::iter::repeat(slot).take(cands.len() - before));
+        }
+        recorder.counter_add("planner", "candidates_generated", cands.len() as u64);
+        // One batched prediction over the whole frontier; results come
+        // back in candidate order, preserving the tie-break.
+        scored.clear();
+        let mut pruned = 0u64;
+        for (k, pred) in d.sim.predict_batch(d.spec, &cands).into_iter().enumerate() {
+            let pred = pred?;
+            match score(&beam[parents[k]].1, &pred) {
+                Some(m) => scored.push(Some((pred, m))),
+                None => {
+                    pruned += 1;
+                    scored.push(None);
+                }
+            }
+        }
+        recorder.counter_add("planner", "candidates_pruned", pruned);
+        // Successor slot 0: best-scoring child of the beam head only —
+        // the head walks the exact width-1 lineage.
+        let mut taken: Vec<usize> = Vec::with_capacity(width);
+        let mut head: Option<f64> = None;
+        for k in 0..cands.len() {
+            if parents[k] != 0 {
+                continue;
+            }
+            if let Some((_, m)) = &scored[k] {
+                if head.map_or(true, |h| *m > h) {
+                    head = Some(*m);
+                    if taken.is_empty() {
+                        taken.push(k);
+                    } else {
+                        taken[0] = k;
+                    }
+                }
+            }
+        }
+        // Remaining slots: global best score over the whole frontier,
+        // skipping already-taken candidates and duplicate plans.
+        while taken.len() < width {
+            let mut pick: Option<(usize, f64)> = None;
+            for k in 0..cands.len() {
+                if taken.contains(&k) || taken.iter().any(|&t| cands[t] == cands[k]) {
+                    continue;
+                }
+                if let Some((_, m)) = &scored[k] {
+                    let is_better = match &pick {
+                        None => true,
+                        Some((_, pm)) => *m > *pm,
+                    };
+                    if is_better {
+                        pick = Some((k, *m));
+                    }
+                }
+            }
+            match pick {
+                Some((k, _)) => taken.push(k),
+                None => break,
+            }
+        }
+        // The current incumbents are done either way: retire them.
+        for (plan, pred) in beam.drain(..) {
+            retire(&mut best, plan, pred);
+        }
+        if taken.is_empty() {
+            break;
+        }
+        for &k in &taken {
+            let (pred, _) = scored[k].as_ref().expect("taken candidates are scored");
+            beam.push((cands[k].clone(), *pred));
+        }
+        steps += 1;
+        recorder.counter_add("planner", "steps_taken", 1);
+        if recorder.enabled() {
+            // Planning precedes virtual time; planner events sit at t=0
+            // on their own lane, ordered by sequence.
+            let head = &beam[0].1;
+            recorder.instant(
+                SimTime::ZERO,
+                "planner",
+                d.accept_event,
+                Lane::Planner,
+                vec![
+                    ("cost_usd", head.cost.as_dollars().into()),
+                    ("jct_secs", head.jct.as_secs_f64().into()),
+                ],
+            );
+        }
+    }
+    // Loop may exit on max_steps with live incumbents; retire them too.
+    for (plan, pred) in beam.drain(..) {
+        retire(&mut best, plan, pred);
+    }
+    let (plan, pred) = best.expect("beam starts non-empty");
+    Ok((plan, pred, steps))
+}
+
+/// Predicts `plans` in one batch and returns the index and prediction of
+/// the best plan under `better` (strict; earlier index wins ties) among
+/// those passing `keep`. `Ok(None)` when nothing passes.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub(crate) fn batch_select<K, B>(
+    sim: &Simulator,
+    spec: &ExperimentSpec,
+    plans: &[AllocationPlan],
+    mut keep: K,
+    better: B,
+) -> Result<Option<(usize, Prediction)>>
+where
+    K: FnMut(&Prediction) -> bool,
+    B: Fn(&Prediction, &Prediction) -> bool,
+{
+    let mut best: Option<(usize, Prediction)> = None;
+    for (i, pred) in sim.predict_batch(spec, plans).into_iter().enumerate() {
+        let pred = pred?;
+        if !keep(&pred) {
+            continue;
+        }
+        let replace = match &best {
+            None => true,
+            Some((_, b)) => better(&pred, b),
+        };
+        if replace {
+            best = Some((i, pred));
+        }
+    }
+    Ok(best)
+}

@@ -14,6 +14,7 @@
 //!
 //! until no candidate both fits the budget and improves completion time.
 
+use crate::beam::{batch_select, beam_descent, Descent};
 use rb_core::{Cost, RbError, Result};
 use rb_hpo::ExperimentSpec;
 use rb_sim::{AllocationPlan, Prediction, Simulator};
@@ -27,6 +28,9 @@ pub struct BudgetPlannerConfig {
     pub improvement_threshold_secs: f64,
     /// Hard cap on greedy iterations.
     pub max_steps: usize,
+    /// Beam width of the ascent frontier; `1` (the default) is the
+    /// classic single-incumbent loop (see [`crate::beam`]).
+    pub beam_width: usize,
 }
 
 impl Default for BudgetPlannerConfig {
@@ -35,6 +39,7 @@ impl Default for BudgetPlannerConfig {
             max_gpus_per_trial: 16,
             improvement_threshold_secs: 1.0,
             max_steps: 10_000,
+            beam_width: 1,
         }
     }
 }
@@ -104,81 +109,72 @@ pub fn plan_min_jct(
             .into_iter()
             .map(|g| AllocationPlan::flat(g, spec.num_stages())),
     );
-    let start_preds = sim.predict_batch(spec, &starts);
-    let mut best_plan = starts[0].clone();
-    let mut best_pred: Option<Prediction> = None;
-    for (plan, pred) in starts.into_iter().zip(start_preds) {
-        let pred = pred?;
-        if best_pred.as_ref().map_or(true, |b| pred.cost < b.cost) {
-            best_plan = plan;
-            best_pred = Some(pred);
-        }
-    }
-    let mut best_pred = best_pred.expect("at least the all-ones start was predicted");
-    if best_pred.cost > budget {
+    // Batched warm-start screening: cheapest start wins, earlier index
+    // breaking ties (the classic scan's strict `<`).
+    let (start_idx, start_pred) =
+        batch_select(sim, spec, &starts, |_| true, |a, b| a.cost < b.cost)?
+            .expect("at least the all-ones start was predicted");
+    let start_plan = starts.swap_remove(start_idx);
+    if start_pred.cost > budget {
         return Err(RbError::Infeasible {
-            reason: format!("cheapest plan costs {}, budget is {budget}", best_pred.cost),
+            reason: format!(
+                "cheapest plan costs {}, budget is {budget}",
+                start_pred.cost
+            ),
         });
     }
-    let mut steps = 0;
-    while steps < config.max_steps {
-        let mut cands: Vec<AllocationPlan> = Vec::with_capacity(2 * spec.num_stages());
-        for i in 0..spec.num_stages() {
-            let trials = spec.get_stage(i)?.0;
-            let cur = best_plan.gpus(i);
-            let mut nexts = Vec::with_capacity(2);
-            if let Some(n) = increment_fair(cur, trials, config.max_gpus_per_trial) {
-                nexts.push(n);
-            }
-            if let Some(n) =
-                increment_to_more_instances(cur, trials, gpg, config.max_gpus_per_trial)
-            {
-                if !nexts.contains(&n) {
+    let descent = Descent {
+        sim,
+        spec,
+        width: config.beam_width,
+        max_steps: config.max_steps,
+        accept_event: "budget.accept",
+    };
+    let (plan, pred, _steps) = beam_descent(
+        &descent,
+        start_plan,
+        start_pred,
+        |plan, out| {
+            for i in 0..spec.num_stages() {
+                let trials = spec.get_stage(i)?.0;
+                let cur = plan.gpus(i);
+                let mut nexts = Vec::with_capacity(2);
+                if let Some(n) = increment_fair(cur, trials, config.max_gpus_per_trial) {
                     nexts.push(n);
                 }
+                if let Some(n) =
+                    increment_to_more_instances(cur, trials, gpg, config.max_gpus_per_trial)
+                {
+                    if !nexts.contains(&n) {
+                        nexts.push(n);
+                    }
+                }
+                for next in nexts {
+                    let mut cand = plan.clone();
+                    cand.set_gpus(i, next);
+                    out.push(cand);
+                }
             }
-            for next in nexts {
-                let mut cand = best_plan.clone();
-                cand.set_gpus(i, next);
-                cands.push(cand);
-            }
-        }
-        // Batched frontier prediction; in-order iteration preserves the
-        // strictly-greater tie-break of the sequential loop.
-        let mut chosen: Option<(usize, Prediction, f64)> = None;
-        for (idx, pred) in sim.predict_batch(spec, &cands).into_iter().enumerate() {
-            let pred = pred?;
+            Ok(())
+        },
+        |parent, pred| {
             if pred.cost > budget {
-                continue;
+                return None;
             }
-            let gained = best_pred.jct.as_secs_f64() - pred.jct.as_secs_f64();
+            let gained = parent.jct.as_secs_f64() - pred.jct.as_secs_f64();
             if gained < config.improvement_threshold_secs {
-                continue;
+                return None;
             }
-            let dc = (pred.cost - best_pred.cost).as_dollars();
-            let m = if dc <= 0.0 {
+            let dc = (pred.cost - parent.cost).as_dollars();
+            Some(if dc <= 0.0 {
                 f64::INFINITY
             } else {
                 gained / dc
-            };
-            let better = match &chosen {
-                None => true,
-                Some((_, _, best_m)) => m > *best_m,
-            };
-            if better {
-                chosen = Some((idx, pred, m));
-            }
-        }
-        match chosen {
-            Some((idx, pred, _)) => {
-                best_plan = cands.swap_remove(idx);
-                best_pred = pred;
-                steps += 1;
-            }
-            None => break,
-        }
-    }
-    Ok((best_plan, best_pred))
+            })
+        },
+        |a, b| a.jct < b.jct,
+    )?;
+    Ok((plan, pred))
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@
 //! caps each stage's allocation; the search is therefore re-run from 1×,
 //! 2×, 3× the optimal static size and the cheapest result returned.
 
+use crate::beam::{beam_descent, Descent};
 use crate::static_planner::plan_static_optimal;
 use rb_core::{Cost, RbError, Result, SimDuration, SimTime};
 use rb_hpo::ExperimentSpec;
@@ -47,6 +48,12 @@ pub struct PlannerConfig {
     /// The prediction returned to the caller is always full fidelity.
     /// `None` (the default) predicts everything at full fidelity.
     pub exploration_samples: Option<u32>,
+    /// Beam width of the descent frontier. `1` (the default) reproduces
+    /// the classic single-incumbent greedy loop bit-for-bit; wider beams
+    /// keep the top-`k` scoring candidates each step — batched into one
+    /// prediction call per iteration — and return the best plan retired
+    /// from any lineage, which is never worse than width 1.
+    pub beam_width: usize,
 }
 
 impl Default for PlannerConfig {
@@ -58,6 +65,7 @@ impl Default for PlannerConfig {
             use_instance_jump: true,
             max_steps: 10_000,
             exploration_samples: None,
+            beam_width: 1,
         }
     }
 }
@@ -78,8 +86,12 @@ pub struct GreedyOutcome {
     pub steps: usize,
 }
 
-/// Runs greedy descent from one warm start. Returns the improved plan,
-/// its prediction, and the steps taken.
+/// Runs greedy (beam) descent from one warm start. Returns the improved
+/// plan, its prediction, and the steps taken.
+///
+/// With `config.beam_width == 1` this is the classic single-incumbent
+/// greedy loop; wider beams explore `beam_width` lineages per step with
+/// one batched prediction per iteration (see [`crate::beam`]).
 ///
 /// # Errors
 ///
@@ -93,96 +105,66 @@ pub fn optimize_plan(
     warm_start: AllocationPlan,
     config: &PlannerConfig,
 ) -> Result<(AllocationPlan, Prediction, usize)> {
-    let mut best_plan = warm_start;
-    let mut best_pred = sim.predict(spec, &best_plan)?;
-    let mut steps = 0;
+    let start_pred = sim.predict(spec, &warm_start)?;
     let gpg = sim.cloud().gpus_per_instance();
-    let recorder = sim.recorder().clone();
-    while steps < config.max_steps {
-        // Generate candidates per stage: the next fair decrement (§4.3)
-        // and, where different, the jump to the next instance boundary
-        // (where per-instance cost actually changes).
-        let mut cands: Vec<AllocationPlan> = Vec::with_capacity(2 * spec.num_stages());
-        for i in 0..spec.num_stages() {
-            let trials = spec.get_stage(i)?.0;
-            let cur = best_plan.gpus(i);
-            let mut nexts = Vec::with_capacity(2);
-            if let Some(n) = AllocationPlan::decrement_fair(cur, trials) {
-                nexts.push(n);
-            }
-            if config.use_instance_jump {
-                if let Some(n) = AllocationPlan::decrement_to_fewer_instances(cur, trials, gpg) {
-                    if !nexts.contains(&n) {
-                        nexts.push(n);
+    let descent = Descent {
+        sim,
+        spec,
+        width: config.beam_width,
+        max_steps: config.max_steps,
+        accept_event: "step.accept",
+    };
+    beam_descent(
+        &descent,
+        warm_start,
+        start_pred,
+        |plan, out| {
+            // Generate candidates per stage: the next fair decrement
+            // (§4.3) and, where different, the jump to the next instance
+            // boundary (where per-instance cost actually changes).
+            for i in 0..spec.num_stages() {
+                let trials = spec.get_stage(i)?.0;
+                let cur = plan.gpus(i);
+                let mut nexts = Vec::with_capacity(2);
+                if let Some(n) = AllocationPlan::decrement_fair(cur, trials) {
+                    nexts.push(n);
+                }
+                if config.use_instance_jump {
+                    if let Some(n) = AllocationPlan::decrement_to_fewer_instances(cur, trials, gpg)
+                    {
+                        if !nexts.contains(&n) {
+                            nexts.push(n);
+                        }
                     }
                 }
+                for next in nexts {
+                    let mut cand = plan.clone();
+                    cand.set_gpus(i, next);
+                    out.push(cand);
+                }
             }
-            for next in nexts {
-                let mut cand = best_plan.clone();
-                cand.set_gpus(i, next);
-                cands.push(cand);
-            }
-        }
-        recorder.counter_add("planner", "candidates_generated", cands.len() as u64);
-        // One batched prediction over the whole frontier. Results come
-        // back in candidate order, so the strictly-greater tie-break below
-        // selects the same plan the one-at-a-time loop did.
-        let mut chosen: Option<(usize, Prediction, f64)> = None;
-        let mut pruned = 0u64;
-        for (idx, pred) in sim.predict_batch(spec, &cands).into_iter().enumerate() {
-            let pred = pred?;
+            Ok(())
+        },
+        |parent, pred| {
             if !pred.feasible(deadline) {
-                pruned += 1;
-                continue;
+                return None;
             }
-            let saved = best_pred.cost - pred.cost;
+            let saved = parent.cost - pred.cost;
             if saved < config.improvement_threshold {
-                pruned += 1;
-                continue;
+                return None;
             }
             // Marginal benefit: cost saved per second of JCT given up.
             // A candidate that saves cost without slowing the job down is
             // infinitely good.
-            let dt = pred.jct.as_secs_f64() - best_pred.jct.as_secs_f64();
-            let m = if dt <= 0.0 {
+            let dt = pred.jct.as_secs_f64() - parent.jct.as_secs_f64();
+            Some(if dt <= 0.0 {
                 f64::INFINITY
             } else {
                 saved.as_dollars() / dt
-            };
-            let better = match &chosen {
-                None => true,
-                Some((_, _, best_m)) => m > *best_m,
-            };
-            if better {
-                chosen = Some((idx, pred, m));
-            }
-        }
-        recorder.counter_add("planner", "candidates_pruned", pruned);
-        match chosen {
-            Some((idx, pred, _)) => {
-                best_plan = cands.swap_remove(idx);
-                best_pred = pred;
-                steps += 1;
-                recorder.counter_add("planner", "steps_taken", 1);
-                if recorder.enabled() {
-                    // Planning precedes virtual time; planner events sit
-                    // at t=0 on their own lane, ordered by sequence.
-                    recorder.instant(
-                        SimTime::ZERO,
-                        "planner",
-                        "step.accept",
-                        Lane::Planner,
-                        vec![
-                            ("cost_usd", best_pred.cost.as_dollars().into()),
-                            ("jct_secs", best_pred.jct.as_secs_f64().into()),
-                        ],
-                    );
-                }
-            }
-            None => break,
-        }
-    }
-    Ok((best_plan, best_pred, steps))
+            })
+        },
+        |a, b| a.cost < b.cost,
+    )
 }
 
 /// The full RubberBand planning procedure: optimal static warm start,

@@ -19,6 +19,7 @@
 //! (Table 3), and [`budget`] solves the dual problem — minimum JCT under
 //! a cost budget (§2, footnote 1).
 
+pub(crate) mod beam;
 pub mod budget;
 pub mod greedy;
 pub mod multi;

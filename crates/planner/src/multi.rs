@@ -11,6 +11,12 @@
 //!   the shared deadline is split across brackets in proportion to each
 //!   bracket's cheapest-feasible JCT, then each bracket is planned within
 //!   its slice.
+//!
+//! Brackets fan out over the simulator's worker threads via
+//! [`map_indexed`]'s work-stealing chunks — bracket sizes are skewed
+//! (bracket 0 plans many more candidates than the last), so dynamic
+//! chunk claiming keeps all workers busy. [`PlannerConfig::beam_width`]
+//! passes through to every per-bracket descent.
 
 use crate::greedy::{plan_rubberband, GreedyOutcome, PlannerConfig};
 use rb_core::par::map_indexed;

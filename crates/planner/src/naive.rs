@@ -10,6 +10,7 @@
 //! the early stages ("512 GPUs in the first stage of the 20-minute
 //! experiment", Table 2 footnote).
 
+use crate::beam::batch_select;
 use rb_core::{RbError, Result, SimDuration};
 use rb_hpo::ExperimentSpec;
 use rb_sim::{AllocationPlan, Prediction, Simulator};
@@ -37,25 +38,20 @@ pub fn plan_naive_elastic(
     deadline: SimDuration,
     max_gpus_per_trial: u32,
 ) -> Result<(AllocationPlan, Prediction)> {
-    let plans: Vec<AllocationPlan> = (1..=max_gpus_per_trial.max(1))
+    let mut plans: Vec<AllocationPlan> = (1..=max_gpus_per_trial.max(1))
         .map(|g| naive_plan(spec, g))
         .collect();
-    let preds = sim.predict_batch(spec, &plans);
-    let mut best: Option<(AllocationPlan, Prediction)> = None;
-    for (plan, pred) in plans.into_iter().zip(preds) {
-        let pred = pred?;
-        if !pred.feasible(deadline) {
-            continue;
-        }
-        let better = match &best {
-            None => true,
-            Some((_, b)) => pred.cost < b.cost,
-        };
-        if better {
-            best = Some((plan, pred));
-        }
-    }
-    best.ok_or_else(|| RbError::Infeasible {
+    // One batched prediction across the per-trial sweep; cheapest
+    // feasible plan wins, earlier (smaller) allocation breaking ties.
+    batch_select(
+        sim,
+        spec,
+        &plans,
+        |pred| pred.feasible(deadline),
+        |a, b| a.cost < b.cost,
+    )?
+    .map(|(i, pred)| (plans.swap_remove(i), pred))
+    .ok_or_else(|| RbError::Infeasible {
         reason: format!(
             "no fixed per-trial allocation up to {max_gpus_per_trial} GPUs meets {deadline}"
         ),

@@ -7,6 +7,7 @@
 //! enumerated and predicted; the cheapest feasible size wins. This also
 //! provides the warm start for the greedy elastic planner (§4.3).
 
+use crate::beam::batch_select;
 use rb_core::{Cost, RbError, Result, SimDuration};
 use rb_hpo::ExperimentSpec;
 use rb_sim::{AllocationPlan, Prediction, Simulator};
@@ -49,35 +50,35 @@ pub fn plan_static_optimal(
     deadline: SimDuration,
     max_gpus_per_trial: u32,
 ) -> Result<(AllocationPlan, Prediction)> {
-    let plans: Vec<AllocationPlan> = static_candidates(spec, max_gpus_per_trial)
+    let mut plans: Vec<AllocationPlan> = static_candidates(spec, max_gpus_per_trial)
         .into_iter()
         .map(|g| AllocationPlan::flat(g, spec.num_stages()))
         .collect();
-    let preds = sim.predict_batch(spec, &plans);
-    let mut best: Option<(AllocationPlan, Prediction)> = None;
+    // One batched prediction over all candidate sizes; the keep filter
+    // doubles as the pass that tracks the fastest (possibly infeasible)
+    // candidate for the error message.
     let mut fastest: Option<Prediction> = None;
-    for (plan, pred) in plans.into_iter().zip(preds) {
-        let pred = pred?;
-        if fastest.map_or(true, |f| pred.jct < f.jct) {
-            fastest = Some(pred);
-        }
-        if !pred.feasible(deadline) {
-            continue;
-        }
-        let better = match &best {
-            None => true,
-            Some((_, b)) => pred.cost < b.cost,
-        };
-        if better {
-            best = Some((plan, pred));
-        }
+    let picked = batch_select(
+        sim,
+        spec,
+        &plans,
+        |pred| {
+            if fastest.map_or(true, |f| pred.jct < f.jct) {
+                fastest = Some(*pred);
+            }
+            pred.feasible(deadline)
+        },
+        |a, b| a.cost < b.cost,
+    )?;
+    match picked {
+        Some((i, pred)) => Ok((plans.swap_remove(i), pred)),
+        None => Err(RbError::Infeasible {
+            reason: format!(
+                "no static cluster meets {deadline}; fastest candidate finishes in {}",
+                fastest.map_or_else(|| "?".to_string(), |p| p.jct.to_string())
+            ),
+        }),
     }
-    best.ok_or_else(|| RbError::Infeasible {
-        reason: format!(
-            "no static cluster meets {deadline}; fastest candidate finishes in {}",
-            fastest.map_or_else(|| "?".to_string(), |p| p.jct.to_string())
-        ),
-    })
 }
 
 /// Convenience: the cost of the cheapest static plan ignoring any deadline
@@ -96,16 +97,11 @@ pub fn cheapest_static_cost(
         .into_iter()
         .map(|g| AllocationPlan::flat(g, spec.num_stages()))
         .collect();
-    let mut best: Option<Cost> = None;
-    for pred in sim.predict_batch(spec, &plans) {
-        let pred = pred?;
-        if best.map_or(true, |b| pred.cost < b) {
-            best = Some(pred.cost);
-        }
-    }
-    best.ok_or_else(|| RbError::Infeasible {
-        reason: "no static candidates".into(),
-    })
+    batch_select(sim, spec, &plans, |_| true, |a, b| a.cost < b.cost)?
+        .map(|(_, pred)| pred.cost)
+        .ok_or_else(|| RbError::Infeasible {
+            reason: "no static candidates".into(),
+        })
 }
 
 #[cfg(test)]

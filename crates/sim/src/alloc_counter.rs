@@ -1,0 +1,53 @@
+//! Feature-gated global-allocator instrumentation (`alloc-counter`).
+//!
+//! The arena engine's contract is *zero heap allocation on the warm
+//! prediction path* — a property ordinary tests cannot see. This module
+//! provides a counting wrapper around the system allocator; the bench
+//! binary installs it as `#[global_allocator]` when built with
+//! `--features alloc-counter` and asserts that a warmed-up
+//! `Simulator::predict` moves the counter by exactly zero. Off by
+//! default: a global counter bump on every allocation is measurable
+//! noise, and the default build must benchmark the real allocator.
+//!
+//! Only allocation *events* are counted (alloc / alloc_zeroed / realloc),
+//! not bytes or frees: the invariant under test is "no calls into the
+//! allocator", and frees on the warm path are as forbidden as mallocs but
+//! always paired with one, so counting acquisitions suffices.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`]-backed allocator that counts allocation events.
+/// Install with `#[global_allocator] static A: CountingAlloc = CountingAlloc;`.
+pub struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+/// Allocation events since process start (meaningful only when
+/// [`CountingAlloc`] is installed as the global allocator). Diff two
+/// readings around the code under test; single-threaded sections read
+/// exactly.
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}

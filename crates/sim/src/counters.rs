@@ -24,6 +24,16 @@ pub struct CacheCounters {
 }
 
 impl CacheCounters {
+    /// A zeroed counter set. `const` so counters can live in `static`
+    /// position (e.g. the process-wide arena warm/cold tally).
+    pub const fn new() -> CacheCounters {
+        CacheCounters {
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
     /// Records `n` lookups served from the cache.
     pub fn hits_add(&self, n: u64) {
         if n > 0 {

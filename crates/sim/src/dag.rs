@@ -393,6 +393,22 @@ impl DagTemplate {
     pub(crate) fn instance_ladder(&self, plan: &AllocationPlan) -> (Vec<u32>, Vec<u32>, u32) {
         let mut needed = Vec::with_capacity(self.stages.len());
         let mut new_inst = Vec::with_capacity(self.stages.len());
+        let total = self.instance_ladder_into(plan, &mut needed, &mut new_inst);
+        (needed, new_inst, total)
+    }
+
+    /// [`DagTemplate::instance_ladder`] into caller-owned buffers — the
+    /// arena-backed prediction path reuses its scratch vectors across
+    /// plans, so the ladder must not allocate. Buffers are cleared first;
+    /// returns the job's total provisioned instances.
+    pub(crate) fn instance_ladder_into(
+        &self,
+        plan: &AllocationPlan,
+        needed: &mut Vec<u32>,
+        new_inst: &mut Vec<u32>,
+    ) -> u32 {
+        needed.clear();
+        new_inst.clear();
         let mut current = 0u32;
         let mut total = 0u32;
         for (s, &(trials, _)) in self.stages.iter().enumerate() {
@@ -403,7 +419,7 @@ impl DagTemplate {
             total += k;
             current = need;
         }
-        (needed, new_inst, total)
+        total
     }
 
     /// Draws one execution sample of stage `stage` under `alloc` GPUs,

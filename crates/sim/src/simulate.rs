@@ -23,16 +23,19 @@
 //! walk the full DAG node by node; both draw the same node latencies from
 //! the same counter-derived streams.
 
+use crate::arena::{with_arena, PredictArena, ARENA_COUNTERS};
 use crate::counters::CacheCounters;
-use crate::dag::{DagTemplate, ExecDag, NodeKind, StageSample};
+use crate::dag::{DagTemplate, ExecDag, NodeKind};
 use crate::plan::AllocationPlan;
-use rb_core::par::run_chunked;
+use rb_core::par::{auto_threads, plan_chunks, run_chunked};
 use rb_core::{Cost, Prng, Result, SimDuration};
 use rb_hpo::ExperimentSpec;
 use rb_obs::{CacheStats, RecorderHandle};
 use rb_profile::{CloudProfile, ModelProfile};
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Monte-Carlo configuration.
@@ -207,10 +210,34 @@ impl EngineConfig {
 
 /// Memoized predictions, keyed by spec fingerprint then by the plan's
 /// per-stage GPU vector. Two levels so lookups can borrow the plan as a
-/// `&[u32]` without allocating a key. The Monte-Carlo configuration need
-/// not be part of the key because [`Simulator::with_config`] detaches the
-/// caches.
-type PredictionCache = HashMap<u64, HashMap<Vec<u32>, Prediction>>;
+/// `&[u32]` without allocating a key (`Box<[u32]>: Borrow<[u32]>`); the
+/// boxed-slice key also keeps inserts at exactly one allocation. The
+/// Monte-Carlo configuration need not be part of the key because
+/// [`Simulator::with_config`] detaches the caches.
+type PredictionCache = HashMap<u64, HashMap<Box<[u32]>, Prediction>>;
+
+/// Reusable bookkeeping for [`Simulator::predict_batch`]: the per-plan
+/// hit table, miss list, and dedupe tables. Thread-local (like the
+/// [`PredictArena`], which batch prediction also drives) so a planner
+/// issuing batches in a loop stops paying the allocator after the first
+/// call. Separate from the arena because a batch *contains* predictions:
+/// the scratch is alive across the `predict_one` calls that borrow the
+/// arena.
+#[derive(Debug, Default)]
+struct BatchScratch {
+    /// Resolved prediction per input slot (`None` = pending or failed).
+    hits: Vec<Option<Prediction>>,
+    /// Input indices that missed the plan cache.
+    miss_idx: Vec<usize>,
+    /// Representative input index per distinct missed plan.
+    compute_idx: Vec<usize>,
+    /// For each miss, the index into `compute_idx` holding its plan.
+    slot_of: Vec<usize>,
+}
+
+thread_local! {
+    static BATCH_SCRATCH: RefCell<BatchScratch> = RefCell::new(BatchScratch::default());
+}
 
 /// Resets the prediction cache when inserting `incoming` more entries
 /// would exceed `cap` (generation eviction; `cap == 0` disables).
@@ -228,26 +255,33 @@ fn evict_generation(cache: &mut PredictionCache, cap: usize, incoming: usize) ->
 }
 
 /// Expands a plan's instance ladder into release groups: `(stage,
-/// provisioned_at, count)` triples in release order. Instances are
-/// released LIFO at each stage barrier down to the next stage's need, so
-/// instances provisioned together leave together (possibly split across
-/// barriers) — and, sharing one hand-over time, incur identical charges
-/// that can be billed as `charge × count`.
-fn release_groups(needed: &[u32], new_inst: &[u32]) -> Vec<(usize, usize, u32)> {
+/// provisioned_at, count)` triples in release order, written into
+/// caller-owned buffers (the arena's, on the hot path — both are cleared
+/// first). Instances are released LIFO at each stage barrier down to the
+/// next stage's need, so instances provisioned together leave together
+/// (possibly split across barriers) — and, sharing one hand-over time,
+/// incur identical charges that can be billed as `charge × count`. Stage
+/// indices fit `u32` by construction (a plan has at most `u32` stages).
+fn release_groups_into(
+    needed: &[u32],
+    new_inst: &[u32],
+    stack: &mut Vec<(u32, u32)>,
+    out: &mut Vec<(u32, u32, u32)>,
+) {
+    stack.clear();
+    out.clear();
     let n_stages = needed.len();
-    let mut stack: Vec<(usize, u32)> = Vec::new();
     let mut have = 0u32;
-    let mut out = Vec::new();
     for s in 0..n_stages {
         if new_inst[s] > 0 {
-            stack.push((s, new_inst[s]));
+            stack.push((s as u32, new_inst[s]));
             have += new_inst[s];
         }
         let keep = if s + 1 < n_stages { needed[s + 1] } else { 0 };
         while have > keep {
             let (prov, count) = stack.last_mut().expect("live instances on the stack");
             let take = (have - keep).min(*count);
-            out.push((s, *prov, take));
+            out.push((s as u32, *prov, take));
             *count -= take;
             have -= take;
             if *count == 0 {
@@ -255,7 +289,6 @@ fn release_groups(needed: &[u32], new_inst: &[u32]) -> Vec<(usize, usize, u32)> 
             }
         }
     }
-    out
 }
 
 /// Order-independent 64-bit fingerprint of a spec's stage ladder.
@@ -276,6 +309,16 @@ pub struct SimCacheStats {
     pub plan: CacheStats,
     /// The per-template stage-sample memo, summed over cached templates.
     pub stage_memo: CacheStats,
+    /// Thread-local prediction arenas: a hit is a prediction whose
+    /// working set already fit the thread's arena (steady state, zero
+    /// allocation), a miss is one that grew it. Process-wide — arenas
+    /// belong to threads, not simulators.
+    pub arena: CacheStats,
+    /// Plan-cache probes served through a borrowed `&[u32]` key — each
+    /// one a key allocation the owned-key probe path used to pay for.
+    /// Session-wide like [`SimCacheStats::plan`] (survives cache
+    /// detachment by [`Simulator::with_config`]).
+    pub probe_allocs_saved: u64,
 }
 
 /// The plan simulator: owns the fitted profiles and predicts JCT/cost for
@@ -302,6 +345,10 @@ pub struct Simulator {
     /// for the lifetime of the planning session, surviving cache
     /// detachment so totals cover the whole run).
     plan_counters: Arc<CacheCounters>,
+    /// Plan-cache probes that borrowed the plan's slice as the lookup key
+    /// instead of allocating an owned one (passive; shared like
+    /// `plan_counters`).
+    probe_saved: Arc<AtomicU64>,
     /// Observability sink; the no-op handle by default. Prediction
     /// results are bit-identical whatever recorder is attached — the
     /// recorder only ever *receives* values.
@@ -319,6 +366,7 @@ impl Simulator {
             templates: Arc::new(Mutex::new(HashMap::new())),
             predictions: Arc::new(Mutex::new(HashMap::new())),
             plan_counters: Arc::new(CacheCounters::default()),
+            probe_saved: Arc::new(AtomicU64::new(0)),
             recorder: RecorderHandle::noop(),
         }
     }
@@ -352,6 +400,8 @@ impl Simulator {
         SimCacheStats {
             plan: self.plan_counters.snapshot(),
             stage_memo,
+            arena: ARENA_COUNTERS.snapshot(),
+            probe_allocs_saved: self.probe_saved.load(Ordering::Relaxed),
         }
     }
 
@@ -475,9 +525,17 @@ impl Simulator {
     ///
     /// Sample `i` everywhere derives from `Prng::for_stream(config.seed,
     /// i)`, so the sample set is fixed by the configuration alone; workers
-    /// fill an index-ordered vector and aggregation runs sequentially over
-    /// it, making the result bit-identical at every thread count and cache
-    /// state.
+    /// fill disjoint index-ordered array slices and aggregation runs
+    /// sequentially over them, making the result bit-identical at every
+    /// thread count and cache state.
+    ///
+    /// All scratch lives in the calling thread's [`PredictArena`]
+    /// (struct-of-arrays: `jct[i]`/`compute[i]` instead of the former
+    /// `Vec<RunSample>`), so once the arena has served a working set at
+    /// least this large, the sequential path performs **zero heap
+    /// allocation** — the invariant the `alloc-counter` bench gate
+    /// asserts. The multi-thread path allocates only per-worker hand-over
+    /// buffers and thread stacks.
     fn predict_with_template(
         &self,
         template: &DagTemplate,
@@ -486,105 +544,173 @@ impl Simulator {
     ) -> Result<Prediction> {
         template.validate(plan)?;
         let n_stages = template.num_stages();
-        let n = self.config.samples.max(1);
+        let n = self.config.samples.max(1) as usize;
         let pricing = &self.cloud.pricing;
-        let (needed, new_inst, total_instances) = template.instance_ladder(plan);
-        let per_stage: Vec<Arc<Vec<StageSample>>> = (0..n_stages)
-            .map(|s| {
-                template.stage_samples(s, plan.gpus(s), new_inst[s], self.config.seed, n, pricing)
-            })
-            .collect();
-        let data_cost = pricing.ingress_charge(self.cloud.dataset_gb) * u64::from(total_instances);
         let per_instance = pricing.billing.is_per_instance();
-        // The plan's release schedule is sample-independent: instances
-        // provisioned together share a hand-over time and are released
-        // together (LIFO at stage barriers), so precompute, per stage,
-        // which provisioning groups release how many instances — one
-        // charge per group per sample instead of one per instance.
-        let releases: Vec<(usize, usize, u32)> = if per_instance {
-            release_groups(&needed, &new_inst)
-        } else {
-            Vec::new()
-        };
-
-        let samples: Vec<RunSample> = run_chunked(n as usize, threads, |range| {
-            let mut hand = vec![0.0_f64; n_stages];
-            range
-                .map(|i| {
+        with_arena(|arena| {
+            if arena.ensure(n_stages, n) {
+                ARENA_COUNTERS.hits_add(1);
+            } else {
+                ARENA_COUNTERS.misses_add(1);
+            }
+            let PredictArena {
+                needed,
+                new_inst,
+                stage_arcs,
+                releases,
+                release_stack,
+                hand,
+                jct,
+                compute,
+                ..
+            } = arena;
+            let total_instances = template.instance_ladder_into(plan, needed, new_inst);
+            for (s, &grown) in new_inst.iter().enumerate() {
+                stage_arcs.push(template.stage_samples(
+                    s,
+                    plan.gpus(s),
+                    grown,
+                    self.config.seed,
+                    n as u32,
+                    pricing,
+                ));
+            }
+            let data_cost =
+                pricing.ingress_charge(self.cloud.dataset_gb) * u64::from(total_instances);
+            // The plan's release schedule is sample-independent: instances
+            // provisioned together share a hand-over time and are released
+            // together (LIFO at stage barriers), so precompute, per stage,
+            // which provisioning groups release how many instances — one
+            // charge per group per sample instead of one per instance.
+            if per_instance {
+                release_groups_into(needed, new_inst, release_stack, releases);
+            }
+            let stage_arcs = &*stage_arcs;
+            let new_inst = &*new_inst;
+            let releases = &*releases;
+            // The per-sample kernel, writing a contiguous run of samples
+            // into its slice of the arena's SoA output arrays. `hand` is
+            // scratch: every entry read within a sample was written
+            // earlier in that same sample (releases reference stages
+            // `prov ≤ s` that provisioned), so reuse across samples and
+            // workers cannot leak state.
+            let fill = |range: std::ops::Range<usize>,
+                        jct_out: &mut [f64],
+                        comp_out: &mut [Cost],
+                        hand: &mut [f64]| {
+                for (off, i) in range.enumerate() {
                     let mut now = 0.0_f64;
-                    let mut compute = Cost::ZERO;
+                    let mut cc = Cost::ZERO;
                     let mut next_release = 0;
                     for s in 0..n_stages {
-                        let ss = per_stage[s][i];
+                        let ss = stage_arcs[s][i];
                         let stage_end = now + ss.dur;
                         if per_instance {
                             if new_inst[s] > 0 {
                                 hand[s] = now + ss.handover;
                             }
                             while let Some(&(at, prov, count)) = releases.get(next_release) {
-                                if at != s {
+                                if at as usize != s {
                                     break;
                                 }
                                 next_release += 1;
-                                let held =
-                                    SimDuration::from_secs_f64((stage_end - hand[prov]).max(0.0));
-                                compute += pricing.instance_charge(held) * u64::from(count);
+                                let held = SimDuration::from_secs_f64(
+                                    (stage_end - hand[prov as usize]).max(0.0),
+                                );
+                                cc += pricing.instance_charge(held) * u64::from(count);
                             }
                         } else {
-                            compute += ss.fn_charge;
+                            cc += ss.fn_charge;
                         }
                         now = stage_end;
                     }
-                    RunSample {
-                        jct_secs: now,
-                        compute_cost: compute,
-                        data_cost,
+                    jct_out[off] = now;
+                    comp_out[off] = cc;
+                }
+            };
+            let t = if threads == 0 {
+                auto_threads()
+            } else {
+                threads
+            }
+            .min(n.max(1));
+            if t <= 1 {
+                fill(0..n, jct, compute, hand);
+            } else {
+                // Contiguous even split, no stealing: samples of one plan
+                // are uniform work, so the finer chunking `plan_chunks`
+                // picks for skewed batches buys nothing here.
+                let chunk = n.div_ceil(t);
+                std::thread::scope(|scope| {
+                    let fill = &fill;
+                    let mut rest_j: &mut [f64] = jct;
+                    let mut rest_c: &mut [Cost] = compute;
+                    let mut lo = 0usize;
+                    while lo < n {
+                        let hi = (lo + chunk).min(n);
+                        let (head_j, tail_j) = rest_j.split_at_mut(hi - lo);
+                        let (head_c, tail_c) = rest_c.split_at_mut(hi - lo);
+                        rest_j = tail_j;
+                        rest_c = tail_c;
+                        scope.spawn(move || {
+                            // Workers get a local hand-over buffer; the
+                            // zero-allocation contract covers the
+                            // sequential path.
+                            let mut hand = vec![0.0_f64; n_stages];
+                            fill(lo..hi, head_j, head_c, &mut hand);
+                        });
+                        lo = hi;
                     }
-                })
-                .collect()
-        });
-        if self.recorder.enabled() {
-            // Per-sample critical-path observations: each sampled JCT is
-            // the length of that sample's DAG critical path. The vector
-            // is index-ordered regardless of thread count, and histogram
-            // statistics are order-insensitive anyway.
-            for s in &samples {
-                self.recorder
-                    .histogram("sim", "sample_jct_secs", s.jct_secs);
-                self.recorder
-                    .histogram("sim", "sample_cost_usd", s.total_cost().as_dollars());
+                });
             }
-        }
-        // Two-pass mean/std, inlined to keep the hot path allocation-free
-        // (same unbiased n-1 semantics as `rb_core::stats::std`).
-        let n_f = samples.len() as f64;
-        let mut jct_sum = 0.0_f64;
-        let mut cost_sum = 0.0_f64;
-        for s in &samples {
-            jct_sum += s.jct_secs;
-            cost_sum += s.total_cost().as_dollars();
-        }
-        let jct_mean = jct_sum / n_f;
-        let cost_mean = cost_sum / n_f;
-        let (jct_std, cost_std) = if samples.len() < 2 {
-            (0.0, 0.0)
-        } else {
-            let mut jv = 0.0_f64;
-            let mut cv = 0.0_f64;
-            for s in &samples {
-                let dj = s.jct_secs - jct_mean;
-                jv += dj * dj;
-                let dc = s.total_cost().as_dollars() - cost_mean;
-                cv += dc * dc;
+            if self.recorder.enabled() {
+                // Per-sample critical-path observations: each sampled JCT
+                // is the length of that sample's DAG critical path. The
+                // arrays are index-ordered regardless of thread count, and
+                // histogram statistics are order-insensitive anyway.
+                for i in 0..n {
+                    self.recorder.histogram("sim", "sample_jct_secs", jct[i]);
+                    self.recorder.histogram(
+                        "sim",
+                        "sample_cost_usd",
+                        (compute[i] + data_cost).as_dollars(),
+                    );
+                }
             }
-            ((jv / (n_f - 1.0)).sqrt(), (cv / (n_f - 1.0)).sqrt())
-        };
-        Ok(Prediction {
-            jct: SimDuration::from_secs_f64(jct_mean),
-            jct_std_secs: jct_std,
-            cost: Cost::from_dollars(cost_mean),
-            cost_std: Cost::from_dollars(cost_std),
-            samples: n,
+            // Two-pass mean/std, inlined to keep the hot path
+            // allocation-free (same unbiased n-1 semantics as
+            // `rb_core::stats::std`). The data-ingress charge is constant
+            // across samples and folded in here, exactly as the former
+            // per-sample `total_cost()` did (integer micro-dollar add).
+            let n_f = n as f64;
+            let mut jct_sum = 0.0_f64;
+            let mut cost_sum = 0.0_f64;
+            for i in 0..n {
+                jct_sum += jct[i];
+                cost_sum += (compute[i] + data_cost).as_dollars();
+            }
+            let jct_mean = jct_sum / n_f;
+            let cost_mean = cost_sum / n_f;
+            let (jct_std, cost_std) = if n < 2 {
+                (0.0, 0.0)
+            } else {
+                let mut jv = 0.0_f64;
+                let mut cv = 0.0_f64;
+                for i in 0..n {
+                    let dj = jct[i] - jct_mean;
+                    jv += dj * dj;
+                    let dc = (compute[i] + data_cost).as_dollars() - cost_mean;
+                    cv += dc * dc;
+                }
+                ((jv / (n_f - 1.0)).sqrt(), (cv / (n_f - 1.0)).sqrt())
+            };
+            Ok(Prediction {
+                jct: SimDuration::from_secs_f64(jct_mean),
+                jct_std_secs: jct_std,
+                cost: Cost::from_dollars(cost_mean),
+                cost_std: Cost::from_dollars(cost_std),
+                samples: n as u32,
+            })
         })
     }
 
@@ -645,6 +771,10 @@ impl Simulator {
             return self.predict_uncached(spec, plan, self.engine.threads);
         }
         let fp = spec_fingerprint(spec);
+        // Borrowed-key probe: the lookup hashes the plan's own `&[u32]`
+        // slice (`Box<[u32]>: Borrow<[u32]>`), so a hit — the planner's
+        // steady state — allocates nothing.
+        self.probe_saved.fetch_add(1, Ordering::Relaxed);
         if let Some(hit) = self
             .predictions
             .lock()
@@ -663,7 +793,7 @@ impl Simulator {
         cache
             .entry(fp)
             .or_default()
-            .insert(plan.as_slice().to_vec(), pred);
+            .insert(Box::from(plan.as_slice()), pred);
         Ok(pred)
     }
 
@@ -679,56 +809,67 @@ impl Simulator {
     ///
     /// An invalid plan yields an [`rb_core::RbError::InvalidPlan`] in its
     /// own slot without poisoning the rest of the batch.
+    ///
+    /// Bookkeeping (hit table, miss list, dedupe tables) lives in a
+    /// thread-local scratch reused across calls, so a warm all-hit batch
+    /// — the beam-search steady state — performs exactly one allocation:
+    /// the returned vector.
     pub fn predict_batch(
         &self,
         spec: &ExperimentSpec,
         plans: &[AllocationPlan],
     ) -> Vec<Result<Prediction>> {
         let fp = spec_fingerprint(spec);
-        let mut out: Vec<Option<Result<Prediction>>> = Vec::with_capacity(plans.len());
-        let mut miss_idx: Vec<usize> = Vec::new();
+        // Steal the scratch instead of holding the `RefCell` borrow across
+        // prediction calls; restored (with its grown capacity) on exit.
+        let mut sc = BATCH_SCRATCH.with(|b| std::mem::take(&mut *b.borrow_mut()));
+        sc.hits.clear();
+        sc.miss_idx.clear();
+        sc.compute_idx.clear();
+        sc.slot_of.clear();
         if self.engine.plan_cache {
+            self.probe_saved
+                .fetch_add(plans.len() as u64, Ordering::Relaxed);
             let cache = self.predictions.lock().expect("prediction cache poisoned");
             let per_plan = cache.get(&fp);
             for (i, plan) in plans.iter().enumerate() {
                 match per_plan.and_then(|m| m.get(plan.as_slice())) {
-                    Some(hit) => out.push(Some(Ok(*hit))),
+                    Some(hit) => sc.hits.push(Some(*hit)),
                     None => {
-                        out.push(None);
-                        miss_idx.push(i);
+                        sc.hits.push(None);
+                        sc.miss_idx.push(i);
                     }
                 }
             }
         } else {
-            out.resize_with(plans.len(), || None);
-            miss_idx.extend(0..plans.len());
+            sc.hits.resize(plans.len(), None);
+            sc.miss_idx.extend(0..plans.len());
         }
         if self.engine.plan_cache {
             self.plan_counters
-                .hits_add((plans.len() - miss_idx.len()) as u64);
-            self.plan_counters.misses_add(miss_idx.len() as u64);
+                .hits_add((plans.len() - sc.miss_idx.len()) as u64);
+            self.plan_counters.misses_add(sc.miss_idx.len() as u64);
         }
         // Deduplicate repeated plans within the batch (candidate ladders
         // overlap): compute each distinct plan once. Batches are a handful
         // of short plans, so a linear scan beats hashing each one.
-        let mut compute_idx: Vec<usize> = Vec::new();
-        let mut slot_of: Vec<usize> = Vec::with_capacity(miss_idx.len());
-        for &i in &miss_idx {
+        for &i in &sc.miss_idx {
             let slice = plans[i].as_slice();
-            match compute_idx
+            match sc
+                .compute_idx
                 .iter()
                 .position(|&j| plans[j].as_slice() == slice)
             {
-                Some(k) => slot_of.push(k),
+                Some(k) => sc.slot_of.push(k),
                 None => {
-                    slot_of.push(compute_idx.len());
-                    compute_idx.push(i);
+                    sc.slot_of.push(sc.compute_idx.len());
+                    sc.compute_idx.push(i);
                 }
             }
         }
         // Resolve the spec's template once for the whole batch instead of
         // once per miss (the template cache is a lock + spec hash away).
-        let template = if self.engine.dag_templates && !compute_idx.is_empty() {
+        let template = if self.engine.dag_templates && !sc.compute_idx.is_empty() {
             Some(self.template_for(spec))
         } else {
             None
@@ -737,13 +878,26 @@ impl Simulator {
             Some(t) => self.predict_with_template(t, plan, threads),
             None => self.predict_uncached(spec, plan, threads),
         };
-        let computed: Vec<Result<Prediction>> = if compute_idx.len() <= 1 {
+        if self.recorder.enabled() && sc.compute_idx.len() > 1 {
+            // Record the chunking the fan-out below will use, so benches
+            // and tests can assert the batch-size-aware granularity
+            // without re-deriving it.
+            let cp = plan_chunks(sc.compute_idx.len(), self.engine.threads);
+            self.recorder
+                .counter_add("sim", "batch_plans_computed", sc.compute_idx.len() as u64);
+            self.recorder
+                .counter_add("sim", "batch_chunks", cp.num_chunks as u64);
+            self.recorder
+                .counter_add("sim", "batch_chunk_items", cp.chunk_size as u64);
+        }
+        let computed: Vec<Result<Prediction>> = if sc.compute_idx.len() <= 1 {
             // A lone miss still gets the threads — across samples.
-            compute_idx
+            sc.compute_idx
                 .iter()
                 .map(|&i| predict_one(&plans[i], self.engine.threads))
                 .collect()
         } else {
+            let compute_idx = &sc.compute_idx;
             run_chunked(compute_idx.len(), self.engine.threads, |range| {
                 range
                     .map(|k| predict_one(&plans[compute_idx[k]], 1))
@@ -756,25 +910,30 @@ impl Simulator {
             let evicted = evict_generation(&mut cache, self.engine.plan_cache_cap, incoming);
             self.plan_counters.evictions_add(evicted as u64);
             let per_plan = cache.entry(fp).or_default();
-            for (&i, result) in compute_idx.iter().zip(&computed) {
+            for (&i, result) in sc.compute_idx.iter().zip(&computed) {
                 if let Ok(pred) = result {
-                    per_plan.insert(plans[i].as_slice().to_vec(), *pred);
+                    per_plan.insert(Box::from(plans[i].as_slice()), *pred);
                 }
             }
         }
-        for (&i, &k) in miss_idx.iter().zip(&slot_of) {
-            out[i] = Some(match &computed[k] {
-                Ok(pred) => Ok(*pred),
-                Err(_) => {
-                    // Re-derive the error for duplicate slots (errors are
-                    // not clonable): re-validation is cheap and exact.
-                    self.predict_uncached(spec, &plans[i], 1)
-                }
-            });
+        for (&i, &k) in sc.miss_idx.iter().zip(&sc.slot_of) {
+            if let Ok(pred) = &computed[k] {
+                sc.hits[i] = Some(*pred);
+            }
         }
-        out.into_iter()
-            .map(|slot| slot.expect("every slot filled"))
-            .collect()
+        let out: Vec<Result<Prediction>> = plans
+            .iter()
+            .enumerate()
+            .map(|(i, _)| match sc.hits[i] {
+                Some(pred) => Ok(pred),
+                // Slots still empty failed to compute. Re-derive each
+                // error (errors are not clonable): only invalid plans
+                // land here, and re-validation is cheap and exact.
+                None => self.predict_uncached(spec, &plans[i], 1),
+            })
+            .collect();
+        BATCH_SCRATCH.with(|b| *b.borrow_mut() = sc);
+        out
     }
 
     /// The sequential reference prediction: fresh template, one thread,
@@ -882,67 +1041,83 @@ impl Simulator {
         let dag = self.dag_for(spec, plan)?;
         let samples = self.config.samples.max(1);
         let n_stages = spec.num_stages();
-        let mut dur_sum = vec![0.0_f64; n_stages];
-        let mut cost_sum = vec![0.0_f64; n_stages];
         let pricing = &self.cloud.pricing;
-        let mut finish = Vec::new();
-        let mut duration = Vec::new();
-        for s in 0..samples {
-            // Draw the same schedule sample the predictor draws (shared
-            // kernel, same counter-derived seed), then attribute it to
-            // stage boundaries.
-            let mut rng = Prng::for_stream(self.config.seed, u64::from(s));
-            dag.sample_schedule(&mut rng, &mut finish, &mut duration);
-            let mut prev_end = 0.0_f64;
-            // Per-instance attribution: lifetimes released at each stage.
-            let mut live: Vec<f64> = Vec::new();
-            for s in 0..n_stages {
-                let stage_end = finish[dag.stage_sync[s]];
-                dur_sum[s] += stage_end - prev_end;
-                prev_end = stage_end;
-                if pricing.billing.is_per_instance() {
-                    if dag.stage_new_instances[s] > 0 {
-                        let hand_over = finish[dag.stage_scale[s].expect("scale node exists")];
-                        for _ in 0..dag.stage_new_instances[s] {
-                            live.push(hand_over);
+        // The accumulators and full-DAG walk buffers come from the same
+        // thread-local arena as prediction scratch (the DAG itself is
+        // still built per call — breakdowns are off the per-step hot
+        // path).
+        with_arena(|arena| {
+            let PredictArena {
+                dur_sum,
+                cost_sum,
+                finish,
+                duration,
+                live,
+                ..
+            } = arena;
+            dur_sum.clear();
+            dur_sum.resize(n_stages, 0.0);
+            cost_sum.clear();
+            cost_sum.resize(n_stages, 0.0);
+            for s in 0..samples {
+                // Draw the same schedule sample the predictor draws
+                // (shared kernel, same counter-derived seed), then
+                // attribute it to stage boundaries.
+                let mut rng = Prng::for_stream(self.config.seed, u64::from(s));
+                dag.sample_schedule(&mut rng, finish, duration);
+                let mut prev_end = 0.0_f64;
+                // Per-instance attribution: lifetimes released per stage.
+                live.clear();
+                for s in 0..n_stages {
+                    let stage_end = finish[dag.stage_sync[s]];
+                    dur_sum[s] += stage_end - prev_end;
+                    prev_end = stage_end;
+                    if pricing.billing.is_per_instance() {
+                        if dag.stage_new_instances[s] > 0 {
+                            let hand_over = finish[dag.stage_scale[s].expect("scale node exists")];
+                            for _ in 0..dag.stage_new_instances[s] {
+                                live.push(hand_over);
+                            }
+                        }
+                        let keep = if s + 1 < n_stages {
+                            dag.stage_instances[s + 1] as usize
+                        } else {
+                            0
+                        };
+                        while live.len() > keep {
+                            let h = live.pop().expect("live non-empty");
+                            cost_sum[s] += pricing
+                                .instance_charge(SimDuration::from_secs_f64(
+                                    (stage_end - h).max(0.0),
+                                ))
+                                .as_dollars();
                         }
                     }
-                    let keep = if s + 1 < n_stages {
-                        dag.stage_instances[s + 1] as usize
-                    } else {
-                        0
-                    };
-                    while live.len() > keep {
-                        let h = live.pop().expect("live non-empty");
-                        cost_sum[s] += pricing
-                            .instance_charge(SimDuration::from_secs_f64((stage_end - h).max(0.0)))
-                            .as_dollars();
+                }
+                if !pricing.billing.is_per_instance() {
+                    for (i, node) in dag.nodes.iter().enumerate() {
+                        if let NodeKind::Train { stage, gpus, .. } = node.kind {
+                            cost_sum[stage] += pricing
+                                .function_charge(gpus, SimDuration::from_secs_f64(duration[i]))
+                                .as_dollars();
+                        }
                     }
                 }
             }
-            if !pricing.billing.is_per_instance() {
-                for (i, node) in dag.nodes.iter().enumerate() {
-                    if let NodeKind::Train { stage, gpus, .. } = node.kind {
-                        cost_sum[stage] += pricing
-                            .function_charge(gpus, SimDuration::from_secs_f64(duration[i]))
-                            .as_dollars();
+            Ok((0..n_stages)
+                .map(|s| {
+                    let (trials, _) = spec.get_stage(s).expect("stage in range");
+                    StageBreakdown {
+                        stage: s,
+                        trials,
+                        gpus_per_trial: plan.gpus_per_trial(s, spec),
+                        instances: dag.stage_instances[s],
+                        duration: SimDuration::from_secs_f64(dur_sum[s] / samples as f64),
+                        cost: Cost::from_dollars(cost_sum[s] / samples as f64),
                     }
-                }
-            }
-        }
-        Ok((0..n_stages)
-            .map(|s| {
-                let (trials, _) = spec.get_stage(s).expect("stage in range");
-                StageBreakdown {
-                    stage: s,
-                    trials,
-                    gpus_per_trial: plan.gpus_per_trial(s, spec),
-                    instances: dag.stage_instances[s],
-                    duration: SimDuration::from_secs_f64(dur_sum[s] / samples as f64),
-                    cost: Cost::from_dollars(cost_sum[s] / samples as f64),
-                }
-            })
-            .collect())
+                })
+                .collect())
+        })
     }
 
     /// Draws one execution sample from the DAG (Algorithm 1 plus billing).

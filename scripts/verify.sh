@@ -44,6 +44,16 @@ cargo test -q --offline
 echo "== bench smoke =="
 cargo run -p rb-bench --release --offline --bin bench -- --smoke
 
+echo "== churn smoke (alloc counter + thread-count determinism) =="
+churn_out=$(cargo run -p rb-bench --release --offline --features alloc-counter --bin bench -- --churn --smoke)
+echo "$churn_out"
+echo "$churn_out" | grep -q "alloc-counter: warm predict allocations over 32 calls: 0" \
+    || { echo "FAIL: warm predict path allocated"; exit 1; }
+echo "$churn_out" | grep -q "plan selection identical across thread counts: true" \
+    || { echo "FAIL: churn selection diverged across thread counts"; exit 1; }
+grep -q '"plans_per_sec"' BENCH_planner.json \
+    || { echo "FAIL: BENCH_planner.json has no plans_per_sec"; exit 1; }
+
 echo "== ext-adapt smoke (seeded; summary must match the expectation) =="
 # The sweep is bit-reproducible per seed and the summary line is counts
 # only, so it is stable across machines. A drift here means the
