@@ -12,8 +12,10 @@
 //!   section: `plans_per_sec` over a churning multi-job workload (mixed
 //!   specs, warm/cold cache ratio sweep, 1 and N worker threads);
 //! * `BENCH_sim.json` — raw prediction throughput at 1 thread and at the
-//!   host's available parallelism, the adaptive-execution overhead, and
-//!   the tracing overhead (no-op recorder vs recording + JSONL export).
+//!   host's available parallelism, the adaptive-execution overhead, the
+//!   multi-tenant service throughput (jobs/sec through `rb-serve` with
+//!   pool handoffs), and the tracing overhead (no-op recorder vs
+//!   recording + JSONL export).
 //!
 //! Pass `--smoke` to run every section once with tiny workloads (used by
 //! `scripts/verify.sh` to keep the harness honest without burning CI
@@ -386,6 +388,60 @@ fn bench_executor(smoke: bool) {
     println!("executor : 16-trial SHA run        : {ms:7.3} ms");
 }
 
+/// Wall-clock service throughput: a four-job two-tenant workload with
+/// the shared instance pool enabled, measured end to end — admission,
+/// fair-share dispatch, interleaved stepping, and pool handoffs.
+fn bench_serve(smoke: bool) -> String {
+    use rb_cloud::PoolConfig;
+    use rb_serve::{JobRequest, ServeOptions, TenantSpec, TuningService};
+
+    let iters = if smoke { 1 } else { 10 };
+    let jobs = 4usize;
+    let (spec, plan, task, physics, cloud, space) = exec_workload();
+    let service = TuningService::new(
+        vec![TenantSpec::new("alpha", 2.0), TenantSpec::new("beta", 1.0)],
+        ServeOptions {
+            max_concurrent: 2,
+            max_queue: 16,
+            pool: Some(PoolConfig::default()),
+        },
+    )
+    .unwrap();
+    let mut handoffs = 0u64;
+    let ms = time_ms(iters, || {
+        let workload: Vec<JobRequest> = (0..jobs)
+            .map(|k| {
+                let executor = rb_exec::Executor::new(
+                    spec.clone(),
+                    plan.clone(),
+                    task.clone(),
+                    physics.clone(),
+                    cloud.clone(),
+                )
+                .unwrap()
+                .with_options(rb_exec::ExecOptions {
+                    seed: 7 + k as u64,
+                    ..rb_exec::ExecOptions::default()
+                });
+                JobRequest::new(
+                    executor,
+                    space.sample_n(16, &mut Prng::seed_from_u64(7 + k as u64)),
+                    rb_core::SimTime::ZERO,
+                    k % 2,
+                )
+            })
+            .collect();
+        let report = service.run(workload).unwrap();
+        assert_eq!(report.outcomes.len(), jobs);
+        handoffs = report.pool.as_ref().map_or(0, |p| p.handoffs);
+    });
+    let jobs_per_sec = jobs as f64 / (ms / 1e3).max(1e-9);
+    println!("serve    : 4-job multi-tenant run  : {ms:7.3} ms   ({jobs_per_sec:7.1} jobs/s, {handoffs} handoffs)");
+    format!(
+        "{{\n  \"benchmark\": \"serve_throughput\",\n  \"iters\": {iters},\n  \"jobs\": {jobs},\n  \"tenants\": 2,\n  \"ms_per_run\": {ms:.3},\n  \"jobs_per_sec\": {jobs_per_sec:.1},\n  \"handoffs\": {handoffs}\n}}"
+    )
+}
+
 /// What recording costs: the executor workload with the default no-op
 /// recorder vs a `MemoryRecorder` sink *including* the JSONL export.
 /// The no-op path must stay free; the recording path bounds what a user
@@ -504,11 +560,13 @@ fn main() {
     bench_placement(smoke);
     bench_executor(smoke);
     let adaptive_json = bench_exec_adaptive(smoke);
+    let serve_json = bench_serve(smoke);
     let tracing_json = bench_tracing(smoke);
     let sim_file = format!(
-        "{{\n\"predict_uncached\": {},\n\"exec_adaptive\": {},\n\"tracing_overhead\": {}\n}}\n",
+        "{{\n\"predict_uncached\": {},\n\"exec_adaptive\": {},\n\"serve\": {},\n\"tracing_overhead\": {}\n}}\n",
         sim_json.trim_end(),
         adaptive_json,
+        serve_json,
         tracing_json
     );
     std::fs::write("BENCH_sim.json", &sim_file).expect("write BENCH_sim.json");

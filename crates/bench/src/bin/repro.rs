@@ -184,6 +184,18 @@ fn ext_chaos(_quick: bool) {
     }
 }
 
+fn ext_serve(quick: bool) {
+    let (tenant_counts, gaps): (&[usize], &[u64]) = if quick {
+        (&[2], &[0, 300])
+    } else {
+        (&[1, 2, 3], &[0, 300])
+    };
+    match rb_bench::serve::ext_serve(tenant_counts, gaps, 1) {
+        Ok(cells) => rb_bench::serve::print_ext_serve(&cells),
+        Err(e) => rb_obs::log_error!("repro", "ext-serve failed: {e}"),
+    }
+}
+
 fn ext_budget(quick: bool) {
     let budgets: &[f64] = if quick {
         &[7.0, 20.0]
@@ -272,7 +284,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: repro [quick] [--csv] <trace|fig4|fig9|fig10|fig11|fig12|table1|table2|table3|table4|ext-spot|ext-budget|ext-asha|ext-instances|ext-adapt|ext-chaos|ablations|all>..."
+            "usage: repro [quick] [--csv] <trace|fig4|fig9|fig10|fig11|fig12|table1|table2|table3|table4|ext-spot|ext-budget|ext-asha|ext-instances|ext-adapt|ext-chaos|ext-serve|ablations|all>..."
         );
         std::process::exit(2);
     }
@@ -302,6 +314,7 @@ fn main() {
             "ext-instances",
             "ext-adapt",
             "ext-chaos",
+            "ext-serve",
             "ablations",
             "trace",
         ];
@@ -325,6 +338,7 @@ fn main() {
             "ext-instances" => ext_instances(quick),
             "ext-adapt" => ext_adapt(quick),
             "ext-chaos" => ext_chaos(quick),
+            "ext-serve" => ext_serve(quick),
             "ablations" => ablations(),
             "trace" => trace_artifact(),
             other => {

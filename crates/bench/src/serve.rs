@@ -1,0 +1,247 @@
+//! ext-serve — the multi-tenant service sweep.
+//!
+//! Runs the same seeded workload through [`rb_serve::TuningService`]
+//! across tenant counts and arrival spacings, each cell once with the
+//! shared elastic instance pool and once without. The pool-on/pool-off
+//! pair shares job seeds, so the cost delta is exactly what the pool's
+//! barrier handoffs are worth: adopters skip dataset re-ingress and the
+//! provision + init cycle, at the price of park time for instances the
+//! pool holds.
+//!
+//! The sweep ends with a machine-checkable `ext-serve summary:` line
+//! that `scripts/verify.sh` diffs against `scripts/expected_ext_serve.txt`;
+//! a drift means the scheduler, the pool lifecycle, or the billing
+//! accounting changed behaviour.
+
+use crate::tables::physics_for;
+use rb_cloud::catalog::P3_8XLARGE;
+use rb_cloud::{CloudPricing, PoolConfig};
+use rb_core::{Cost, Prng, Result, SimDuration, SimTime};
+use rb_exec::{ExecOptions, Executor};
+use rb_hpo::{Config, Dim, ExperimentSpec, SearchSpace};
+use rb_profile::CloudProfile;
+use rb_serve::{JobRequest, ServeOptions, TenantSpec, TuningService};
+use rb_sim::AllocationPlan;
+
+/// One service cell's executed outcome.
+#[derive(Debug, Clone)]
+pub struct ServeCell {
+    /// Number of tenants sharing the service.
+    pub tenants: usize,
+    /// Seconds between consecutive job arrivals.
+    pub gap_secs: u64,
+    /// Whether the shared instance pool was enabled.
+    pub pool: bool,
+    /// Jobs completed.
+    pub completed: usize,
+    /// Jobs rejected at admission.
+    pub rejected: usize,
+    /// Total billed cost in dollars (job meters + pool park time).
+    pub billed: Cost,
+    /// Billed cost net of the minimum-charge credit.
+    pub net: Cost,
+    /// Median queue wait in seconds.
+    pub p50_wait_secs: f64,
+    /// Virtual makespan in seconds.
+    pub makespan_secs: f64,
+    /// Barrier handoffs the pool brokered (0 when disabled).
+    pub handoffs: u64,
+    /// Parked instances the pool gave up on (0 when disabled).
+    pub expirations: u64,
+    /// Double releases the idempotency guard absorbed (must stay 0).
+    pub double_releases: u64,
+}
+
+fn serve_cloud() -> CloudProfile {
+    // Paid ingress and a real provision + init cycle: the costs a warm
+    // handoff avoids, so the pool's value shows up on the bill.
+    CloudProfile::new(CloudPricing::on_demand(P3_8XLARGE).with_data_price(Cost::from_dollars(0.02)))
+        .with_provision_delay(SimDuration::from_secs(15))
+        .with_init_latency(SimDuration::from_secs(15))
+        .with_dataset_gb(100.0)
+}
+
+fn serve_configs(n: usize, seed: u64) -> Vec<Config> {
+    let space = SearchSpace::new()
+        .add("lr", Dim::LogUniform { lo: 1e-3, hi: 1.0 })
+        .build()
+        .unwrap();
+    space.sample_n(n, &mut Prng::seed_from_u64(seed))
+}
+
+/// Builds the cell's workload: `jobs` single-plan SHA runs arriving
+/// `gap_secs` apart, round-robin across tenants. Pool-on and pool-off
+/// cells call this with the same arguments, so the comparison is at
+/// identical seeds.
+fn serve_jobs(jobs: usize, tenants: usize, gap_secs: u64, seed: u64) -> Result<Vec<JobRequest>> {
+    let task = rb_train::task::resnet101_cifar10();
+    let physics = physics_for(&task, 1024, 4);
+    let spec = ExperimentSpec::from_stages(&[(8, 1), (4, 2), (2, 4), (1, 8)])?;
+    (0..jobs)
+        .map(|k| {
+            let job_seed = seed ^ ((tenants as u64) << 32) ^ (gap_secs << 16) ^ k as u64;
+            let executor = Executor::new(
+                spec.clone(),
+                AllocationPlan::new(vec![8, 8, 8, 8]),
+                task.clone(),
+                physics.clone(),
+                serve_cloud(),
+            )?
+            .with_options(ExecOptions {
+                seed: job_seed,
+                ..ExecOptions::default()
+            });
+            Ok(JobRequest::new(
+                executor,
+                serve_configs(8, job_seed ^ 0xC0FFEE),
+                SimTime::from_secs(k as u64 * gap_secs),
+                k % tenants,
+            ))
+        })
+        .collect()
+}
+
+/// Runs the sweep: every (tenant count × arrival gap) cell with the
+/// pool off and on, four jobs per cell on a serial service so each
+/// successor can adopt its predecessor's fleet.
+///
+/// # Errors
+///
+/// Propagates service and executor errors.
+pub fn ext_serve(tenant_counts: &[usize], gaps: &[u64], seed: u64) -> Result<Vec<ServeCell>> {
+    let mut cells = Vec::new();
+    for &tenants in tenant_counts {
+        for &gap in gaps {
+            for pool in [false, true] {
+                let service = TuningService::new(
+                    (0..tenants)
+                        .map(|t| TenantSpec::new(format!("tenant-{t}"), 1.0))
+                        .collect(),
+                    ServeOptions {
+                        max_concurrent: 1,
+                        max_queue: 16,
+                        pool: pool.then(PoolConfig::default),
+                    },
+                )?;
+                let report = service.run(serve_jobs(4, tenants, gap, seed)?)?;
+                let stats = report.pool.clone().unwrap_or_default();
+                cells.push(ServeCell {
+                    tenants,
+                    gap_secs: gap,
+                    pool,
+                    completed: report.outcomes.len(),
+                    rejected: report.rejected.len(),
+                    billed: report.billed_cost,
+                    net: report.net_cost,
+                    p50_wait_secs: report.queue_wait_p50().as_secs_f64(),
+                    makespan_secs: report
+                        .makespan
+                        .saturating_since(SimTime::ZERO)
+                        .as_secs_f64(),
+                    handoffs: stats.handoffs,
+                    expirations: stats.expirations,
+                    double_releases: stats.double_releases,
+                });
+            }
+        }
+    }
+    Ok(cells)
+}
+
+/// Renders the sweep, ending with a machine-checkable summary line.
+pub fn print_ext_serve(cells: &[ServeCell]) {
+    println!("Extension — multi-tenant service with a shared elastic instance pool");
+    println!("(4 jobs/cell, serial dispatch, paid ingress; pool pairs share seeds)\n");
+    println!(
+        "{:<8} {:>6} {:>6} {:>5} {:>4} {:>10} {:>10} {:>9} {:>11} {:>9}",
+        "tenants",
+        "gap_s",
+        "pool",
+        "done",
+        "rej",
+        "billed",
+        "net",
+        "p50_wait",
+        "makespan",
+        "handoffs"
+    );
+    for c in cells {
+        println!(
+            "{:<8} {:>6} {:>6} {:>5} {:>4} {:>10} {:>10} {:>8.0}s {:>10.0}s {:>9}",
+            c.tenants,
+            c.gap_secs,
+            if c.pool { "on" } else { "off" },
+            c.completed,
+            c.rejected,
+            format!("{}", c.billed),
+            format!("{}", c.net),
+            c.p50_wait_secs,
+            c.makespan_secs,
+            c.handoffs
+        );
+    }
+
+    // Pool-off/pool-on pairs are adjacent by construction.
+    let mut pairs = 0u64;
+    let mut cheaper = 0u64;
+    let mut wait_regressions = 0u64;
+    let mut handoffs = 0u64;
+    let mut expirations = 0u64;
+    let mut double_releases = 0u64;
+    let mut saved = Cost::ZERO;
+    for pair in cells.chunks_exact(2) {
+        let (off, on) = (&pair[0], &pair[1]);
+        pairs += 1;
+        if on.billed < off.billed {
+            cheaper += 1;
+            saved += off.billed - on.billed;
+        }
+        if on.p50_wait_secs > off.p50_wait_secs {
+            wait_regressions += 1;
+        }
+        handoffs += on.handoffs;
+        expirations += on.expirations;
+        double_releases += on.double_releases + off.double_releases;
+    }
+    println!(
+        "\next-serve summary: cells={} pairs={pairs} pool_cheaper={cheaper} \
+         wait_regressions={wait_regressions} handoffs={handoffs} \
+         expirations={expirations} double_releases={double_releases} saved=${:.4}",
+        cells.len(),
+        saved.as_dollars()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_on_is_cheaper_at_equal_or_better_wait_in_every_pair() {
+        let cells = ext_serve(&[2], &[0], 1).unwrap();
+        assert_eq!(cells.len(), 2);
+        for pair in cells.chunks_exact(2) {
+            let (off, on) = (&pair[0], &pair[1]);
+            assert!(!off.pool && on.pool);
+            assert_eq!(off.completed, 4);
+            assert_eq!(on.completed, 4);
+            assert!(on.handoffs > 0, "pool must actually broker handoffs");
+            assert_eq!(on.double_releases, 0);
+            assert!(
+                on.billed < off.billed,
+                "pool-on {} !< pool-off {}",
+                on.billed,
+                off.billed
+            );
+            assert!(on.net <= on.billed);
+            assert!(on.p50_wait_secs <= off.p50_wait_secs);
+        }
+    }
+
+    #[test]
+    fn the_sweep_is_deterministic_per_seed() {
+        let a = ext_serve(&[2], &[300], 1).unwrap();
+        let b = ext_serve(&[2], &[300], 1).unwrap();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+}

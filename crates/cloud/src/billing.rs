@@ -106,6 +106,12 @@ impl BillingMeter {
         self.lifetimes.len()
     }
 
+    /// When billing for `id` began, if it was ever started. Pool handoff
+    /// uses this to compute the donated instance's billed lifetime.
+    pub fn started_at(&self, id: InstanceId) -> Option<SimTime> {
+        self.lifetimes.get(&id).map(|l| l.started)
+    }
+
     /// Total GPU-seconds of recorded function usage.
     pub fn busy_gpu_seconds(&self) -> f64 {
         self.usage

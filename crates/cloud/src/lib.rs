@@ -16,16 +16,22 @@
 //! * a **fault-injection layer** that deterministically breaks the above —
 //!   capacity failures, stragglers, hardware failures, degraded nodes —
 //!   so the executor's recovery paths can be exercised in virtual time
-//!   ([`chaos`]).
+//!   ([`chaos`]),
+//! * a **shared elastic instance pool** for multi-job serving: capacity
+//!   released at one job's barrier is handed to another job instead of
+//!   terminated, saving the minimum charge, the hand-over latency, and
+//!   the data ingress — with an explicit savings ledger ([`pool`]).
 
 pub mod billing;
 pub mod catalog;
 pub mod chaos;
+pub mod pool;
 pub mod pricing;
 pub mod provider;
 
 pub use billing::{BillingMeter, UsageRecord};
 pub use catalog::{InstanceType, PricingTier};
 pub use chaos::{FaultCounts, FaultInjector, FaultPlan, InstanceFaults};
+pub use pool::{InstancePool, PoolConfig, PoolGrant, PoolStats, SharedPool};
 pub use pricing::{BillingModel, CloudPricing};
 pub use provider::{InstanceState, ProviderConfig, SimProvider};

@@ -1,0 +1,528 @@
+//! A shared elastic instance pool for multi-job serving.
+//!
+//! RubberBand's cost argument (§3: avoid the 60 s minimum charge and
+//! hand-over latency for capacity you churn) compounds across jobs:
+//! capacity released at one job's down-scaling barrier is exactly the
+//! warm capacity another job is about to provision. The
+//! [`InstancePool`] models that handoff. A job that scales down
+//! *offers* its released instances to the pool instead of letting them
+//! vanish; a job that scales up *acquires* parked capacity before
+//! asking the provider for fresh instances.
+//!
+//! Accounting is deliberately explicit, because the savings claim is
+//! the whole point:
+//!
+//! * every donor terminates the instance **on its own meter** — its
+//!   [`crate::BillingMeter`] bill is exactly what it would have been
+//!   without a pool, minimum-charge floor included;
+//! * at *handoff* (and only then) the pool credits back the donor's
+//!   minimum-charge premium — the difference between the floored and
+//!   the exact charge — because economically the instance kept
+//!   running instead of being churned. A parked entry that expires
+//!   un-adopted credits nothing;
+//! * the pool pays for the park itself: prorated hourly cost for the
+//!   time each instance sits idle between release and adoption (or
+//!   expiry). Pooling is only a net win when handoffs actually happen
+//!   — [`PoolStats`] exposes both sides so a serve report can show
+//!   `net = billed − saved + park`.
+//!
+//! The double-release guard is load-bearing: a crafted double barrier
+//! (a watchdog split followed by the regular stage barrier, or a spot
+//! reclaim racing the executor's own release) can offer the same
+//! instance twice. The second offer must be rejected, or the
+//! minimum-charge saving would be credited twice for one instance.
+//!
+//! All pool state is deterministic: offers append in call order,
+//! acquisition scans oldest-first, and nothing here draws randomness.
+
+use crate::pricing::CloudPricing;
+use rb_core::{Cost, InstanceId, RbError, Result, SimDuration, SimTime};
+use std::collections::BTreeSet;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Static configuration of a shared pool.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Maximum instances parked at once. Offers beyond this are
+    /// declined (the donor's termination stands). Must be positive: a
+    /// zero-capacity pool silently degrades every handoff to a decline,
+    /// which is indistinguishable from "pool off" except for the park
+    /// bookkeeping — [`PoolConfig::validate`] rejects it instead.
+    pub capacity: usize,
+    /// How long a parked instance is held before the pool gives up and
+    /// terminates it (paying the park cost with nothing to show).
+    pub max_hold_secs: f64,
+    /// Handoff latency: seconds between acquisition and the instance
+    /// being usable by the adopting job (state scrub + reattach). Far
+    /// below fresh-provision delay + init latency, which is the point.
+    pub handoff_secs: f64,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            capacity: 8,
+            max_hold_secs: 120.0,
+            handoff_secs: 2.0,
+        }
+    }
+}
+
+impl PoolConfig {
+    /// Checks the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbError::InvalidConfig`] for a zero-capacity pool or a
+    /// non-finite/negative hold or handoff time.
+    pub fn validate(&self) -> Result<()> {
+        if self.capacity == 0 {
+            return Err(RbError::InvalidConfig(
+                "shared pool capacity must be positive (zero would silently decline every \
+                 handoff; disable the pool instead)"
+                    .into(),
+            ));
+        }
+        for (what, v) in [
+            ("max_hold_secs", self.max_hold_secs),
+            ("handoff_secs", self.handoff_secs),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(RbError::InvalidConfig(format!(
+                    "shared pool: {what} must be finite and non-negative, got {v}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One parked instance awaiting adoption.
+#[derive(Debug, Clone)]
+struct ParkedInstance {
+    donor_job: u64,
+    released_at: SimTime,
+    /// Billed lifetime on the donor's meter, for the premium credit.
+    lifetime: SimDuration,
+}
+
+/// A successful acquisition: one warm instance handed to the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolGrant {
+    /// The job that donated the capacity.
+    pub donor_job: u64,
+    /// When the adopting job can start using the instance
+    /// (acquisition time + [`PoolConfig::handoff_secs`]).
+    pub usable_at: SimTime,
+}
+
+/// Cumulative pool accounting. Every field is monotone; a serve report
+/// snapshots this at the end of the run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PoolStats {
+    /// Instances offered by donors (accepted or not).
+    pub offers: u64,
+    /// Offers accepted and parked.
+    pub parked: u64,
+    /// Parked instances adopted by another request.
+    pub handoffs: u64,
+    /// Parked instances that timed out un-adopted.
+    pub expirations: u64,
+    /// Offers declined because the pool was at capacity.
+    pub rejected_full: u64,
+    /// Offers declined by the idempotency guard (same donor instance
+    /// offered twice — e.g. a crafted double barrier).
+    pub double_releases: u64,
+    /// Minimum-charge premium credited back at handoff. Only lifetimes
+    /// under the billing floor carry a premium; only handoffs credit it.
+    pub min_charge_saved: Cost,
+    /// Prorated cost of keeping instances parked (paid by the pool).
+    pub park_cost: Cost,
+    /// Data ingress the adopting jobs skipped (warm instances keep the
+    /// shared dataset cache), in GB.
+    pub ingress_gb_saved: f64,
+    /// Dollar value of the skipped ingress under the pool's pricing.
+    pub ingress_saved: Cost,
+}
+
+impl PoolStats {
+    /// Net effect of running the pool: positive means the pool saved
+    /// money overall (credits exceed park spend).
+    pub fn net_saving(&self) -> Cost {
+        self.min_charge_saved + self.ingress_saved - self.park_cost
+    }
+}
+
+/// The shared pool: parked capacity, the double-release guard, and the
+/// savings ledger. See the module docs for the accounting rules.
+#[derive(Debug)]
+pub struct InstancePool {
+    config: PoolConfig,
+    pricing: CloudPricing,
+    parked: VecDeque<ParkedInstance>,
+    /// Idempotency guard: `(donor job, donor-local instance id)` pairs
+    /// ever offered. Instance ids are per-provider (per-job) spaces, so
+    /// the pair is the identity of one physical release.
+    seen: BTreeSet<(u64, u64)>,
+    stats: PoolStats,
+}
+
+impl InstancePool {
+    /// Creates an empty pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbError::InvalidConfig`] if the configuration fails
+    /// [`PoolConfig::validate`].
+    pub fn new(config: PoolConfig, pricing: CloudPricing) -> Result<Self> {
+        config.validate()?;
+        Ok(InstancePool {
+            config,
+            pricing,
+            parked: VecDeque::new(),
+            seen: BTreeSet::new(),
+            stats: PoolStats::default(),
+        })
+    }
+
+    /// Number of instances currently parked.
+    pub fn parked_count(&self) -> usize {
+        self.parked.len()
+    }
+
+    /// Snapshot of the cumulative accounting.
+    pub fn stats(&self) -> PoolStats {
+        self.stats.clone()
+    }
+
+    /// The pool's configuration.
+    pub fn config(&self) -> &PoolConfig {
+        &self.config
+    }
+
+    /// Offers a released instance to the pool. `lifetime` is the billed
+    /// lifetime on the donor's meter (used for the premium credit at
+    /// handoff). Returns `true` if the instance was parked; `false` if
+    /// the pool declined (full, or the double-release guard fired) — in
+    /// which case the donor's termination simply stands.
+    pub fn offer(
+        &mut self,
+        donor_job: u64,
+        instance: InstanceId,
+        released_at: SimTime,
+        lifetime: SimDuration,
+    ) -> bool {
+        self.stats.offers += 1;
+        self.expire(released_at);
+        if !self.seen.insert((donor_job, instance.raw())) {
+            // Same physical release offered twice (double barrier /
+            // reclaim race): crediting it again would double-count the
+            // minimum-charge saving.
+            self.stats.double_releases += 1;
+            return false;
+        }
+        if self.parked.len() >= self.config.capacity {
+            self.stats.rejected_full += 1;
+            return false;
+        }
+        self.parked.push_back(ParkedInstance {
+            donor_job,
+            released_at,
+            lifetime,
+        });
+        self.stats.parked += 1;
+        true
+    }
+
+    /// Acquires up to `n` warm instances for a job scaling up at `now`.
+    /// Only instances released at or before `now` are eligible (a pool
+    /// shared across interleaved virtual clocks must not hand a job
+    /// capacity from its own future). Oldest eligible entries go first.
+    ///
+    /// `dataset_gb` is the ingress each granted instance lets the
+    /// adopting job skip; it feeds the savings ledger.
+    pub fn acquire(&mut self, now: SimTime, n: usize, dataset_gb: f64) -> Vec<PoolGrant> {
+        self.expire(now);
+        let mut grants = Vec::new();
+        let mut kept = VecDeque::new();
+        while let Some(entry) = self.parked.pop_front() {
+            if grants.len() < n && entry.released_at <= now {
+                // Park bill: the instance idled from release to now.
+                self.stats.park_cost += self
+                    .pricing
+                    .instance_hourly()
+                    .per_hour_for(now - entry.released_at);
+                // Premium credit: the donor paid the billing floor on a
+                // lifetime this handoff proves was not churn.
+                if self.pricing.billing.is_per_instance() {
+                    let floored = self.pricing.instance_charge(entry.lifetime);
+                    let exact = self.pricing.instance_hourly().per_hour_for(entry.lifetime);
+                    self.stats.min_charge_saved += floored - exact;
+                }
+                if dataset_gb > 0.0 {
+                    self.stats.ingress_gb_saved += dataset_gb;
+                    self.stats.ingress_saved += self.pricing.ingress_charge(dataset_gb);
+                }
+                self.stats.handoffs += 1;
+                grants.push(PoolGrant {
+                    donor_job: entry.donor_job,
+                    usable_at: now + SimDuration::from_secs_f64(self.config.handoff_secs),
+                });
+            } else {
+                kept.push_back(entry);
+            }
+        }
+        self.parked = kept;
+        grants
+    }
+
+    /// Terminates parked instances whose hold window ended before
+    /// `now`, billing their park time to the pool.
+    pub fn expire(&mut self, now: SimTime) {
+        let hold = SimDuration::from_secs_f64(self.config.max_hold_secs);
+        let mut kept = VecDeque::new();
+        while let Some(entry) = self.parked.pop_front() {
+            if entry.released_at + hold < now {
+                self.stats.park_cost += self.pricing.instance_hourly().per_hour_for(hold);
+                self.stats.expirations += 1;
+            } else {
+                kept.push_back(entry);
+            }
+        }
+        self.parked = kept;
+    }
+
+    /// Ends the pool's life at `now`: every remaining parked instance
+    /// is terminated and its park time billed.
+    pub fn drain(&mut self, now: SimTime) {
+        while let Some(entry) = self.parked.pop_front() {
+            let held = now - entry.released_at;
+            self.stats.park_cost += self.pricing.instance_hourly().per_hour_for(held);
+            self.stats.expirations += 1;
+        }
+    }
+}
+
+/// A cloneable handle to a pool shared by many jobs' cluster managers.
+///
+/// The mutex is uncontended in practice — the serve loop is
+/// single-threaded over virtual time — but it keeps `ClusterManager`
+/// `Send` and the handle trivially cloneable.
+#[derive(Debug, Clone)]
+pub struct SharedPool {
+    inner: Arc<Mutex<InstancePool>>,
+}
+
+impl SharedPool {
+    /// Wraps a pool for sharing.
+    pub fn new(pool: InstancePool) -> Self {
+        SharedPool {
+            inner: Arc::new(Mutex::new(pool)),
+        }
+    }
+
+    /// Runs `f` with exclusive access to the pool.
+    pub fn with<R>(&self, f: impl FnOnce(&mut InstancePool) -> R) -> R {
+        let mut guard = self.inner.lock().expect("shared pool poisoned");
+        f(&mut guard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::P3_8XLARGE;
+
+    fn pricing() -> CloudPricing {
+        CloudPricing::on_demand(P3_8XLARGE)
+    }
+
+    fn pool(capacity: usize) -> InstancePool {
+        InstancePool::new(
+            PoolConfig {
+                capacity,
+                max_hold_secs: 120.0,
+                handoff_secs: 2.0,
+            },
+            pricing(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_capacity_pool_is_a_typed_error() {
+        let err = InstancePool::new(
+            PoolConfig {
+                capacity: 0,
+                ..PoolConfig::default()
+            },
+            pricing(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RbError::InvalidConfig(_)), "{err:?}");
+    }
+
+    #[test]
+    fn nan_hold_is_a_typed_error() {
+        let err = PoolConfig {
+            max_hold_secs: f64::NAN,
+            ..PoolConfig::default()
+        }
+        .validate()
+        .unwrap_err();
+        assert!(matches!(err, RbError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn handoff_credits_min_charge_premium_once() {
+        let mut p = pool(4);
+        // 10 s billed lifetime: the donor paid the 60 s floor, so the
+        // premium is 50 s of hourly rate.
+        assert!(p.offer(
+            1,
+            InstanceId::new(0),
+            SimTime::from_secs(100),
+            SimDuration::from_secs(10),
+        ));
+        let grants = p.acquire(SimTime::from_secs(100), 1, 0.0);
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].donor_job, 1);
+        assert_eq!(grants[0].usable_at, SimTime::from_secs(102));
+        let hourly = pricing().instance_hourly();
+        let expected = hourly.per_hour_for(SimDuration::from_secs(60))
+            - hourly.per_hour_for(SimDuration::from_secs(10));
+        assert_eq!(p.stats().min_charge_saved, expected);
+        // Zero park time: released and adopted at the same instant.
+        assert_eq!(p.stats().park_cost, Cost::ZERO);
+    }
+
+    #[test]
+    fn double_release_does_not_double_credit() {
+        // A crafted double barrier: the watchdog's forced barrier and
+        // the regular stage barrier both release instance 3 of job 7.
+        let mut p = pool(4);
+        let life = SimDuration::from_secs(5);
+        assert!(p.offer(7, InstanceId::new(3), SimTime::from_secs(50), life));
+        assert!(!p.offer(7, InstanceId::new(3), SimTime::from_secs(55), life));
+        assert_eq!(p.stats().double_releases, 1);
+        assert_eq!(p.parked_count(), 1);
+        // Even after the one real entry is handed off, a third offer of
+        // the same release is still rejected — the guard is permanent.
+        let grants = p.acquire(SimTime::from_secs(60), 2, 0.0);
+        assert_eq!(grants.len(), 1);
+        assert!(!p.offer(7, InstanceId::new(3), SimTime::from_secs(70), life));
+        let hourly = pricing().instance_hourly();
+        let one_premium = hourly.per_hour_for(SimDuration::from_secs(60))
+            - hourly.per_hour_for(SimDuration::from_secs(5));
+        assert_eq!(p.stats().min_charge_saved, one_premium);
+        // Same instance id from a *different* job is a different
+        // physical release and is accepted.
+        assert!(p.offer(8, InstanceId::new(3), SimTime::from_secs(70), life));
+    }
+
+    #[test]
+    fn full_pool_declines() {
+        let mut p = pool(1);
+        let life = SimDuration::from_secs(30);
+        assert!(p.offer(1, InstanceId::new(0), SimTime::ZERO, life));
+        assert!(!p.offer(1, InstanceId::new(1), SimTime::ZERO, life));
+        assert_eq!(p.stats().rejected_full, 1);
+    }
+
+    #[test]
+    fn long_lifetimes_carry_no_premium() {
+        let mut p = pool(4);
+        assert!(p.offer(
+            1,
+            InstanceId::new(0),
+            SimTime::from_secs(10),
+            SimDuration::from_secs(300),
+        ));
+        p.acquire(SimTime::from_secs(10), 1, 0.0);
+        assert_eq!(p.stats().min_charge_saved, Cost::ZERO);
+        assert_eq!(p.stats().handoffs, 1);
+    }
+
+    #[test]
+    fn acquire_ignores_future_releases() {
+        let mut p = pool(4);
+        let life = SimDuration::from_secs(10);
+        assert!(p.offer(2, InstanceId::new(0), SimTime::from_secs(500), life));
+        // A job whose clock is at t=100 must not adopt capacity that
+        // will only exist at t=500.
+        assert!(p.acquire(SimTime::from_secs(100), 1, 0.0).is_empty());
+        assert_eq!(p.acquire(SimTime::from_secs(500), 1, 0.0).len(), 1);
+    }
+
+    #[test]
+    fn expiry_bills_park_time_and_credits_nothing() {
+        let mut p = pool(4);
+        let life = SimDuration::from_secs(10);
+        assert!(p.offer(1, InstanceId::new(0), SimTime::ZERO, life));
+        // 120 s hold window: gone by t=121.
+        assert!(p.acquire(SimTime::from_secs(121), 1, 0.0).is_empty());
+        let s = p.stats();
+        assert_eq!(s.expirations, 1);
+        assert_eq!(s.min_charge_saved, Cost::ZERO);
+        assert_eq!(
+            s.park_cost,
+            pricing()
+                .instance_hourly()
+                .per_hour_for(SimDuration::from_secs(120))
+        );
+    }
+
+    #[test]
+    fn drain_terminates_everything() {
+        let mut p = pool(4);
+        let life = SimDuration::from_secs(10);
+        p.offer(1, InstanceId::new(0), SimTime::from_secs(100), life);
+        p.offer(1, InstanceId::new(1), SimTime::from_secs(100), life);
+        p.drain(SimTime::from_secs(160));
+        assert_eq!(p.parked_count(), 0);
+        let s = p.stats();
+        assert_eq!(s.expirations, 2);
+        assert_eq!(
+            s.park_cost,
+            pricing()
+                .instance_hourly()
+                .per_hour_for(SimDuration::from_secs(60))
+                * 2
+        );
+    }
+
+    #[test]
+    fn ingress_savings_are_ledgered() {
+        let p_cfg = PoolConfig::default();
+        let mut p =
+            InstancePool::new(p_cfg, pricing().with_data_price(Cost::from_dollars(0.01))).unwrap();
+        p.offer(
+            1,
+            InstanceId::new(0),
+            SimTime::ZERO,
+            SimDuration::from_secs(10),
+        );
+        p.acquire(SimTime::ZERO, 1, 150.0);
+        let s = p.stats();
+        assert_eq!(s.ingress_gb_saved, 150.0);
+        assert_eq!(s.ingress_saved, Cost::from_dollars(1.50));
+        assert!(s.net_saving() > Cost::ZERO);
+    }
+
+    #[test]
+    fn shared_handle_round_trips() {
+        let sp = SharedPool::new(pool(2));
+        sp.with(|p| {
+            p.offer(
+                1,
+                InstanceId::new(0),
+                SimTime::ZERO,
+                SimDuration::from_secs(5),
+            )
+        });
+        assert_eq!(sp.with(|p| p.parked_count()), 1);
+        let cloned = sp.clone();
+        assert_eq!(cloned.with(|p| p.parked_count()), 1);
+    }
+}

@@ -318,6 +318,44 @@ impl SimProvider {
         Ok(out)
     }
 
+    /// Adopts a warm instance handed over from a shared pool: it enters
+    /// the fleet already `Running` at `now` — no provisioning delay, no
+    /// initialization, billing from `now`. The donor paid (and stopped)
+    /// its own bill; adoption opens a fresh lifetime on this meter.
+    ///
+    /// Adoption consumes **zero** draws from the provider's main RNG
+    /// stream: delays are skipped entirely and the spot-interruption
+    /// instant (when the market is pre-emptible) comes from the same
+    /// per-instance forked stream `provision` uses. A run that never
+    /// adopts is therefore bit-identical to one on a provider that has
+    /// no such method. Fault injection and quota do not apply: the
+    /// capacity already exists — it is being transferred, not requested.
+    pub fn adopt_running(&mut self, now: SimTime) -> InstanceId {
+        let id = self.ids.next();
+        self.fleet.insert(id, InstanceState::Running { since: now });
+        self.meter.instance_started(id, now);
+        if self.config.interruption_rate_per_hour > 0.0 {
+            let mut irng = Prng::for_stream(self.interrupt_seed, id.raw());
+            let hours = Distribution::Exponential {
+                rate: self.config.interruption_rate_per_hour,
+            }
+            .sample(&mut irng);
+            self.preempt_at
+                .insert(id, now + SimDuration::from_secs_f64(hours * 3600.0));
+        }
+        if self.recorder.enabled() {
+            self.recorder.instant(
+                now,
+                "cloud",
+                "instance.adopt",
+                Lane::Cloud,
+                vec![("instance", id.raw().into())],
+            );
+            self.recorder.counter_add("cloud", "adopted", 1);
+        }
+        id
+    }
+
     /// Transitions every pending instance whose ready time has arrived to
     /// `Running` and starts its billing. Returns the newly ready ids.
     pub fn poll_ready(&mut self, now: SimTime) -> Vec<InstanceId> {

@@ -9,7 +9,7 @@
 //! [`BillingMeter`](rb_cloud::BillingMeter) is the source of truth for
 //! "real" cost columns.
 
-use rb_cloud::{FaultCounts, FaultPlan, ProviderConfig, SimProvider, UsageRecord};
+use rb_cloud::{FaultCounts, FaultPlan, ProviderConfig, SharedPool, SimProvider, UsageRecord};
 use rb_core::{Cost, InstanceId, NodeId, Prng, RbError, Result, SimDuration, SimTime};
 use rb_profile::CloudProfile;
 use std::collections::BTreeMap;
@@ -118,6 +118,10 @@ pub struct ClusterManager {
     warm_capacity: usize,
     warm_hold: SimDuration,
     warm_attach: SimDuration,
+    /// Cross-job elastic pool (multi-tenant serving): `(pool, job id)`.
+    /// `None` — the default — leaves every code path bit-identical to a
+    /// pool-less manager; the executor's legacy drivers never set it.
+    shared_pool: Option<(SharedPool, u64)>,
 }
 
 impl ClusterManager {
@@ -142,7 +146,60 @@ impl ClusterManager {
             warm_capacity: 0,
             warm_hold: SimDuration::ZERO,
             warm_attach: SimDuration::from_secs(2),
+            shared_pool: None,
         }
+    }
+
+    /// Routes instance churn through a shared cross-job pool: releases
+    /// that would terminate an instance offer it to the pool instead,
+    /// and scale-ups adopt pooled capacity before provisioning fresh.
+    /// `job` tags this manager's offers for the pool's double-release
+    /// guard.
+    pub fn set_shared_pool(&mut self, pool: SharedPool, job: u64) {
+        self.shared_pool = Some((pool, job));
+    }
+
+    /// Offers a just-terminated instance to the shared pool (no-op
+    /// without one). The donor's bill — minimum-charge floor included —
+    /// already stands; the pool credits the premium back only if the
+    /// instance is actually handed to another job.
+    fn offer_to_pool(&self, instance: InstanceId, now: SimTime) {
+        let Some((pool, job)) = &self.shared_pool else {
+            return;
+        };
+        let Some(started) = self.provider.meter().started_at(instance) else {
+            // Cancelled while pending: never billed, nothing to donate.
+            return;
+        };
+        let lifetime = now.max(started) - started;
+        let job = *job;
+        pool.with(|p| {
+            p.offer(job, instance, now, lifetime);
+        });
+    }
+
+    /// Adopts up to `k` warm instances from the shared pool (no-op
+    /// without one). Adopted instances skip provisioning delay, the
+    /// init-latency sample (zero RNG draws), and the dataset ingress —
+    /// they arrive warm. Returns how many were adopted.
+    fn adopt_from_pool(&mut self, k: usize, now: SimTime) -> usize {
+        if k == 0 {
+            return 0;
+        }
+        let Some((pool, _)) = &self.shared_pool else {
+            return 0;
+        };
+        let pool = pool.clone();
+        let dataset_gb = self.cloud.dataset_gb;
+        let grants = pool.with(|p| p.acquire(now, k, dataset_gb));
+        for grant in &grants {
+            let instance = self.provider.adopt_running(now);
+            self.pending.push(PendingNode {
+                instance,
+                usable_at: grant.usable_at,
+            });
+        }
+        grants.len()
     }
 
     /// Installs a recorder on the embedded provider: provision,
@@ -212,6 +269,7 @@ impl ClusterManager {
             });
             k -= 1;
         }
+        k -= self.adopt_from_pool(k, now);
         if k == 0 {
             return Ok(());
         }
@@ -281,6 +339,9 @@ impl ClusterManager {
             remaining -= 1;
             out.acquired += 1;
         }
+        let adopted = self.adopt_from_pool(remaining, now);
+        remaining -= adopted;
+        out.acquired += adopted;
         let mut attempt: u32 = 0;
         let mut t = now;
         while remaining > 0 {
@@ -398,6 +459,7 @@ impl ClusterManager {
                 });
             } else {
                 self.provider.terminate(instance, now)?;
+                self.offer_to_pool(instance, now);
             }
         }
         Ok(())
@@ -412,13 +474,25 @@ impl ClusterManager {
             self.provider
                 .terminate(w.instance, at)
                 .expect("warm instance is running");
+            self.offer_to_pool(w.instance, at);
         }
         // Pending instances may still be mid-provisioning; release the
         // ready ones and let any pending ones be cancelled by marking them
         // ready first (their billing started at hand-over regardless).
         self.provider
             .poll_ready(now + SimDuration::from_hours(24 * 365));
-        self.provider.terminate_all(now.max(self.latest_handover()));
+        let end = now.max(self.latest_handover());
+        if self.shared_pool.is_some() {
+            // Under a shared pool, end-of-job capacity is donated rather
+            // than discarded: another queued job may be about to scale up.
+            for instance in self.provider.running_ids() {
+                self.provider
+                    .terminate(instance, end)
+                    .expect("running instance must terminate cleanly");
+                self.offer_to_pool(instance, end);
+            }
+        }
+        self.provider.terminate_all(end);
         self.ready.clear();
         self.pending.clear();
     }

@@ -72,6 +72,38 @@ impl Default for ExecOptions {
     }
 }
 
+impl ExecOptions {
+    /// Checks the numeric knobs for values that would otherwise corrupt a
+    /// run silently (a NaN sync overhead propagates into every barrier
+    /// timestamp; a zero checkpoint bandwidth divides by zero).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbError::InvalidConfig`] naming the offending knob.
+    pub fn validate(&self) -> Result<()> {
+        for (what, v, needs_positive) in [
+            ("sync_overhead_secs", self.sync_overhead_secs, false),
+            ("checkpoint_bw_gbps", self.checkpoint_bw_gbps, true),
+            ("warm_hold_secs", self.warm_hold_secs, false),
+        ] {
+            if !v.is_finite() || v < 0.0 || (needs_positive && v == 0.0) {
+                return Err(RbError::InvalidConfig(format!(
+                    "exec options: {what} must be finite and {}, got {v}",
+                    if needs_positive {
+                        "positive"
+                    } else {
+                        "non-negative"
+                    }
+                )));
+            }
+        }
+        if let Some(retry) = &self.retry {
+            retry.validate()?;
+        }
+        Ok(())
+    }
+}
+
 /// Everything an online controller can observe at a completed stage
 /// barrier. All survivors are paused and checkpointed at this point, so a
 /// plan change applied here never strands a trial without a checkpoint —
@@ -210,7 +242,7 @@ impl BarrierHook for NoopHook {
 }
 
 /// Executes one experiment specification under one allocation plan.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Executor {
     spec: ExperimentSpec,
     plan: AllocationPlan,
@@ -383,17 +415,126 @@ impl Executor {
         hook: &mut dyn BarrierHook,
         recorder: RecorderHandle,
     ) -> Result<ExecutionReport> {
-        let mut plan = self.plan.clone();
-        let n = self.spec.initial_trials() as usize;
+        let mut core = ExecutorCore::new(self, configs, recorder)?;
+        while !core.is_finished() {
+            let now = core.now();
+            core.step(now, hook)?;
+        }
+        core.finish()
+    }
+
+    /// The experiment specification this executor runs.
+    pub fn spec(&self) -> &ExperimentSpec {
+        &self.spec
+    }
+
+    /// The cloud profile this executor bills against.
+    pub fn cloud(&self) -> &CloudProfile {
+        &self.cloud
+    }
+
+    /// The executor options in force.
+    pub fn options(&self) -> &ExecOptions {
+        &self.options
+    }
+}
+
+/// Where one [`ExecutorCore::step`] call left the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// A stage completed its synchronization barrier; more stages remain.
+    Barrier {
+        /// The 0-based stage that just finished.
+        stage: usize,
+        /// Virtual time at the barrier (after sync overhead).
+        at: SimTime,
+    },
+    /// The final stage's barrier completed; call [`ExecutorCore::finish`]
+    /// to tear down and collect the [`ExecutionReport`].
+    Finished {
+        /// Virtual time at the final barrier.
+        at: SimTime,
+    },
+}
+
+/// The executor's control loop as an explicit, steppable state machine.
+///
+/// One [`ExecutorCore::step`] advances the run by exactly one stage — up
+/// to and including that stage's synchronization barrier (scaling,
+/// placement, training, watchdog handling, ranking and promotion) — and
+/// returns where virtual time landed. [`Executor::run`] and friends are
+/// thin drivers over this (construct, step until [`StepOutcome::Finished`],
+/// [`ExecutorCore::finish`]); a multi-job service interleaves many cores
+/// in one discrete-event loop by always stepping the core whose clock is
+/// furthest behind.
+///
+/// The decomposition is pure code motion: a core driven to completion is
+/// bit-identical to the monolithic loop it replaced — same reports, same
+/// traces, same counters (pinned by `crates/exec/tests/stepper.rs`).
+pub struct ExecutorCore {
+    exec: Executor,
+    plan: AllocationPlan,
+    gpg: u32,
+    cm: ClusterManager,
+    pc: PlacementController,
+    store: CheckpointStore,
+    trials: BTreeMap<TrialId, RunningTrial>,
+    live: Vec<TrialId>,
+    /// Virtual time the run started (admission time under a service;
+    /// [`SimTime::ZERO`] for the legacy single-job drivers).
+    t0: SimTime,
+    now: SimTime,
+    /// The next stage to run; `spec.num_stages()` once the run is done.
+    stage: usize,
+    stages: Vec<StageRecord>,
+    total_migrations: u32,
+    total_preemptions: u32,
+    total_retries: u64,
+    checkpoint_fallbacks: u64,
+    degraded_stages: u32,
+    trace: ExecutionTrace,
+    recorder: RecorderHandle,
+}
+
+impl ExecutorCore {
+    /// Prepares a run starting at virtual time zero (the single-job
+    /// case). See [`ExecutorCore::new_at`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ExecutorCore::new_at`].
+    pub fn new(exec: &Executor, configs: &[Config], recorder: RecorderHandle) -> Result<Self> {
+        Self::new_at(exec, configs, recorder, SimTime::ZERO)
+    }
+
+    /// Prepares a run whose clock starts at `start` — a job admitted into
+    /// a shared service begins when the scheduler dispatches it, not at
+    /// zero. All noise streams derive from the seed exactly as in
+    /// [`Executor::run`], so the same job admitted at a different time
+    /// replays the same training randomness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbError::InvalidConfig`] for malformed options or when
+    /// fewer configurations than initial trials are supplied.
+    pub fn new_at(
+        exec: &Executor,
+        configs: &[Config],
+        recorder: RecorderHandle,
+        start: SimTime,
+    ) -> Result<Self> {
+        exec.options.validate()?;
+        let plan = exec.plan.clone();
+        let n = exec.spec.initial_trials() as usize;
         if configs.len() < n {
             return Err(RbError::InvalidConfig(format!(
                 "spec needs {n} configs, got {}",
                 configs.len()
             )));
         }
-        let opts = &self.options;
-        let gpg = self.cloud.gpus_per_instance().max(1);
-        let mut cm = ClusterManager::new(self.cloud.clone(), opts.seed);
+        let opts = &exec.options;
+        let gpg = exec.cloud.gpus_per_instance().max(1);
+        let mut cm = ClusterManager::new(exec.cloud.clone(), opts.seed);
         cm.set_recorder(recorder.clone());
         if opts.warm_pool > 0 {
             cm = cm.with_warm_pool(
@@ -405,7 +546,7 @@ impl Executor {
         if opts.faults.is_active() {
             cm.set_fault_plan(opts.faults.clone(), opts.seed);
         }
-        let mut pc = PlacementController::new();
+        let pc = PlacementController::new();
         let mut store = CheckpointStore::new().with_retention(opts.checkpoint_retention.max(1));
         if opts.faults.checkpoint_corruption_prob > 0.0 {
             store.set_corruption(
@@ -428,332 +569,460 @@ impl Executor {
                 },
             );
         }
-        let mut live: Vec<TrialId> = trials.keys().copied().collect();
-        let mut now = SimTime::ZERO;
-        let mut stages = Vec::new();
-        let mut total_migrations = 0u32;
-        let mut total_preemptions = 0u32;
-        let mut total_retries = 0u64;
-        let mut checkpoint_fallbacks = 0u64;
-        let mut degraded_stages = 0u32;
-        let mut trace = ExecutionTrace::default();
+        let live: Vec<TrialId> = trials.keys().copied().collect();
+        Ok(ExecutorCore {
+            exec: exec.clone(),
+            plan,
+            gpg,
+            cm,
+            pc,
+            store,
+            trials,
+            live,
+            t0: start,
+            now: start,
+            stage: 0,
+            stages: Vec::new(),
+            total_migrations: 0,
+            total_preemptions: 0,
+            total_retries: 0,
+            checkpoint_fallbacks: 0,
+            degraded_stages: 0,
+            trace: ExecutionTrace::default(),
+            recorder,
+        })
+    }
 
-        for stage in 0..self.spec.num_stages() {
-            let stage_start = now;
-            let (stage_trials, units) = self.spec.get_stage(stage)?;
-            let mut setup = self.scale_and_place(
-                &plan, stage, &live, gpg, &mut cm, &mut pc, &mut now, &mut trace, &recorder,
-            )?;
-            let mut stage_migrations = setup.migrations;
-            total_migrations += setup.migrations;
-            let mut stage_shortfall = setup.capacity_shortfall;
-            total_retries += setup.retries;
+    /// The core's virtual clock: the last completed barrier (or the start
+    /// time before the first step).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
 
-            // --- Training -------------------------------------------------------
-            let train_start = now;
-            let budget = hook.stage_budget_secs(stage);
-            let watchdog_deadline = budget.and_then(|b| {
-                (b.is_finite() && b > 0.0).then(|| train_start + SimDuration::from_secs_f64(b))
-            });
-            let full_units: BTreeMap<TrialId, u64> = live.iter().map(|&t| (t, units)).collect();
-            let mut round = self.train_round(
-                stage,
-                &full_units,
-                &mut setup,
-                &live,
-                &mut trials,
-                &mut cm,
-                &store,
-                &mut trace,
-                &recorder,
-                train_start,
-                false,
-                watchdog_deadline,
-                &mut total_preemptions,
-            )?;
-            let mut stage_end = round.stage_end;
-            total_retries += round.retries;
-            checkpoint_fallbacks += round.fallbacks;
+    /// The next stage [`ExecutorCore::step`] will run (0-based).
+    pub fn stage(&self) -> usize {
+        self.stage
+    }
 
-            // --- Watchdog: forced early barrier on a budget overrun -------------
-            // The stage ran past its virtual-time envelope. Checkpoint
-            // everything at the next unit boundaries (already done inside
-            // the round), let the hook re-plan from the *current* stage
-            // onward, re-scale, and run the residual units.
-            if !round.remaining.is_empty() {
-                let wd_now = stage_end + SimDuration::from_secs_f64(opts.sync_overhead_secs);
-                for &tid in &live {
-                    let rt = trials.get_mut(&tid).expect("live trial exists");
-                    if rt.trial.status() == TrialStatus::Running {
-                        rt.trial.pause()?;
-                        store.save(&rt.trial, &self.task.arch);
-                    }
-                }
-                let max_remaining = round.remaining.values().copied().max().unwrap_or(0);
-                recorder.counter_add("exec", "watchdog_fires", 1);
-                if recorder.enabled() {
-                    recorder.instant(
-                        wd_now,
-                        "exec",
-                        "watchdog.barrier",
-                        Lane::Stage(stage as u32),
-                        vec![
-                            ("stage", (stage as u64).into()),
-                            ("remaining_units", max_remaining.into()),
-                        ],
-                    );
-                }
-                let suffix = {
-                    let snapshot = WatchdogSnapshot {
-                        stage,
-                        num_stages: self.spec.num_stages(),
-                        now: wd_now,
-                        stage_start,
-                        budget_secs: budget.unwrap_or(f64::INFINITY),
-                        units,
-                        max_remaining_units: max_remaining,
-                        unit_obs: unit_obs_vec(&round.unit_obs),
-                        cost_to_date: cm.total_cost(wd_now),
-                        preemptions: total_preemptions,
-                        instances: cm.ready_count(),
-                        instance_seconds: cm.held_instance_seconds(wd_now),
-                        survivors: live.len(),
-                        plan: &plan,
-                    };
-                    hook.at_watchdog(&snapshot)
-                };
-                if let Some(suffix) = suffix {
-                    let remaining_stages = self.spec.num_stages() - stage;
-                    if suffix.len() != remaining_stages {
-                        return Err(RbError::InvalidPlan(format!(
-                            "watchdog hook returned {} stage allocations; \
-                             {remaining_stages} stages remain (current included)",
-                            suffix.len()
-                        )));
-                    }
-                    let mut next = plan.clone();
-                    for (j, &gpus) in suffix.iter().enumerate() {
-                        next.set_gpus(stage + j, gpus);
-                    }
-                    next.validate(&self.spec)?;
-                    plan = next;
-                }
-                now = wd_now;
-                setup = self.scale_and_place(
-                    &plan, stage, &live, gpg, &mut cm, &mut pc, &mut now, &mut trace, &recorder,
-                )?;
-                stage_migrations += setup.migrations;
-                total_migrations += setup.migrations;
-                stage_shortfall = stage_shortfall.max(setup.capacity_shortfall);
-                total_retries += setup.retries;
-                let residual: BTreeMap<TrialId, u64> = live
-                    .iter()
-                    .map(|&t| (t, round.remaining.get(&t).copied().unwrap_or(0)))
-                    .collect();
-                let resumed = self.train_round(
-                    stage,
-                    &residual,
-                    &mut setup,
-                    &live,
-                    &mut trials,
-                    &mut cm,
-                    &store,
-                    &mut trace,
-                    &recorder,
-                    now,
-                    true,
-                    None,
-                    &mut total_preemptions,
-                )?;
-                stage_end = resumed.stage_end;
-                total_retries += resumed.retries;
-                checkpoint_fallbacks += resumed.fallbacks;
-                merge_unit_obs(&mut round.unit_obs, resumed.unit_obs);
-            }
-            // Idle spot nodes reclaimed before the barrier stop billing at
-            // their interruption instant and leave the cluster.
-            for node in setup.cluster.nodes().to_vec() {
-                if cm.preemption_time(node).is_some_and(|t| t <= stage_end) {
-                    let _ = cm.preempt_node(node);
-                    setup.cluster.remove(node);
+    /// Total stages in the specification.
+    pub fn num_stages(&self) -> usize {
+        self.exec.spec.num_stages()
+    }
+
+    /// Whether every stage has run its barrier.
+    pub fn is_finished(&self) -> bool {
+        self.stage >= self.exec.spec.num_stages()
+    }
+
+    /// Compute + data bill accrued so far.
+    pub fn cost_to_date(&self) -> Cost {
+        self.cm.total_cost(self.now)
+    }
+
+    /// Routes this run's instance churn through a shared elastic pool:
+    /// capacity released at barriers is offered to the pool instead of
+    /// terminated outright, and scale-ups adopt pooled capacity before
+    /// provisioning fresh instances. `job` tags this core's releases so
+    /// the pool's double-release guard can tell donors apart.
+    pub fn attach_shared_pool(&mut self, pool: rb_cloud::SharedPool, job: u64) {
+        self.cm.set_shared_pool(pool, job);
+    }
+
+    /// Advances the run to the next stage barrier. `now` lower-bounds the
+    /// clock (a service stepping an idle job forward passes its event
+    /// time; the single-job drivers pass [`ExecutorCore::now`], a no-op).
+    ///
+    /// # Errors
+    ///
+    /// As [`Executor::run_hooked`]; additionally [`RbError::Execution`]
+    /// when stepped past [`StepOutcome::Finished`].
+    pub fn step(&mut self, now: SimTime, hook: &mut dyn BarrierHook) -> Result<StepOutcome> {
+        if self.is_finished() {
+            return Err(RbError::Execution(
+                "executor core stepped past the final stage".into(),
+            ));
+        }
+        self.now = self.now.max(now);
+        let stage = self.stage;
+        let stage_start = self.now;
+        let (stage_trials, units) = self.exec.spec.get_stage(stage)?;
+        let mut setup = self.exec.scale_and_place(
+            &self.plan,
+            stage,
+            &self.live,
+            self.gpg,
+            &mut self.cm,
+            &mut self.pc,
+            &mut self.now,
+            &mut self.trace,
+            &self.recorder,
+        )?;
+        let mut stage_migrations = setup.migrations;
+        self.total_migrations += setup.migrations;
+        let mut stage_shortfall = setup.capacity_shortfall;
+        self.total_retries += setup.retries;
+
+        // --- Training -------------------------------------------------------
+        let train_start = self.now;
+        let budget = hook.stage_budget_secs(stage);
+        let watchdog_deadline = budget.and_then(|b| {
+            (b.is_finite() && b > 0.0).then(|| train_start + SimDuration::from_secs_f64(b))
+        });
+        let full_units: BTreeMap<TrialId, u64> = self.live.iter().map(|&t| (t, units)).collect();
+        let mut round = self.exec.train_round(
+            stage,
+            &full_units,
+            &mut setup,
+            &self.live,
+            &mut self.trials,
+            &mut self.cm,
+            &self.store,
+            &mut self.trace,
+            &self.recorder,
+            train_start,
+            false,
+            watchdog_deadline,
+            &mut self.total_preemptions,
+        )?;
+        let mut stage_end = round.stage_end;
+        self.total_retries += round.retries;
+        self.checkpoint_fallbacks += round.fallbacks;
+
+        // --- Watchdog: forced early barrier on a budget overrun -------------
+        // The stage ran past its virtual-time envelope. Checkpoint
+        // everything at the next unit boundaries (already done inside
+        // the round), let the hook re-plan from the *current* stage
+        // onward, re-scale, and run the residual units.
+        if !round.remaining.is_empty() {
+            let wd_now =
+                stage_end + SimDuration::from_secs_f64(self.exec.options.sync_overhead_secs);
+            for &tid in &self.live {
+                let rt = self.trials.get_mut(&tid).expect("live trial exists");
+                if rt.trial.status() == TrialStatus::Running {
+                    rt.trial.pause()?;
+                    self.store.save(&rt.trial, &self.exec.task.arch);
                 }
             }
-            now = stage_end + SimDuration::from_secs_f64(opts.sync_overhead_secs);
-            emit(
-                &mut trace,
-                &recorder,
-                TraceEvent::Barrier { stage, at: now },
-            );
-            if recorder.enabled() {
-                recorder.gauge(
-                    now,
+            let max_remaining = round.remaining.values().copied().max().unwrap_or(0);
+            self.recorder.counter_add("exec", "watchdog_fires", 1);
+            if self.recorder.enabled() {
+                self.recorder.instant(
+                    wd_now,
                     "exec",
-                    "cost_to_date_usd",
-                    Lane::Cloud,
-                    cm.total_cost(now).as_dollars(),
-                );
-                recorder.gauge(
-                    now,
-                    "exec",
-                    "instances_ready",
-                    Lane::Cloud,
-                    cm.ready_count() as f64,
-                );
-            }
-
-            // --- Synchronization barrier: rank, promote, terminate -------------
-            let results: Vec<(TrialId, f64)> = live
-                .iter()
-                .map(|&t| {
-                    let acc = trials[&t]
-                        .trial
-                        .latest_accuracy()
-                        .expect("trained trials have metrics");
-                    (t, acc)
-                })
-                .collect();
-            let keep = self
-                .spec
-                .get_stage(stage + 1)
-                .map(|(t, _)| t as usize)
-                .unwrap_or(0);
-            let survivors = select_survivors(&results, keep.max(1).min(live.len()));
-            let is_last = stage + 1 == self.spec.num_stages();
-            for &tid in &live {
-                let rt = trials.get_mut(&tid).expect("live trial exists");
-                if is_last || !survivors.contains(&tid) {
-                    // Completed survivors and terminated losers both stop.
-                    if is_last && survivors.contains(&tid) {
-                        rt.trial.complete()?;
-                    } else {
-                        rt.trial.terminate()?;
-                        store.evict(tid);
-                    }
-                } else {
-                    // A watchdog barrier may have left the trial paused
-                    // already (zero residual units); its checkpoint is
-                    // fresh either way.
-                    if rt.trial.status() == TrialStatus::Running {
-                        rt.trial.pause()?;
-                    }
-                    store.save(&rt.trial, &self.task.arch);
-                    pc.confirm(tid);
-                }
-            }
-            stages.push(StageRecord {
-                stage,
-                train_start,
-                sync_end: now,
-                trials: stage_trials,
-                gpus_per_trial: setup.allocations.values().next().copied().unwrap_or(1),
-                instances: setup.needed as u32,
-                migrations: stage_migrations,
-            });
-            if recorder.enabled() {
-                recorder.span(
-                    stage_start,
-                    now,
-                    "exec",
-                    "stage",
+                    "watchdog.barrier",
                     Lane::Stage(stage as u32),
                     vec![
-                        ("trials", stage_trials.into()),
-                        ("instances", (setup.needed as u64).into()),
-                        ("migrations", stage_migrations.into()),
+                        ("stage", (stage as u64).into()),
+                        ("remaining_units", max_remaining.into()),
                     ],
                 );
             }
-            if stage_shortfall > 0 {
-                degraded_stages += 1;
-            }
-            live = survivors;
-
-            // --- Barrier hook: observe, optionally re-plan the suffix ----------
-            // Every survivor is paused with a fresh checkpoint and the
-            // placement confirmed, so a plan splice here is transition-safe:
-            // the next stage's scaling/placement machinery absorbs it.
-            if stage + 1 < self.spec.num_stages() {
-                let snapshot = BarrierSnapshot {
+            let suffix = {
+                let snapshot = WatchdogSnapshot {
                     stage,
-                    num_stages: self.spec.num_stages(),
-                    now,
-                    stage_span: now - stage_start,
-                    cost_to_date: cm.total_cost(now),
-                    preemptions: total_preemptions,
-                    instances: cm.ready_count(),
-                    survivors: live.len(),
-                    gpus_per_trial: setup.allocations.values().next().copied().unwrap_or(1),
+                    num_stages: self.exec.spec.num_stages(),
+                    now: wd_now,
+                    stage_start,
+                    budget_secs: budget.unwrap_or(f64::INFINITY),
+                    units,
+                    max_remaining_units: max_remaining,
                     unit_obs: unit_obs_vec(&round.unit_obs),
-                    instance_seconds: cm.held_instance_seconds(now),
-                    capacity_shortfall: stage_shortfall as u32,
-                    plan: &plan,
+                    cost_to_date: self.cm.total_cost(wd_now),
+                    preemptions: self.total_preemptions,
+                    instances: self.cm.ready_count(),
+                    instance_seconds: self.cm.held_instance_seconds(wd_now),
+                    survivors: self.live.len(),
+                    plan: &self.plan,
                 };
-                if let Some(suffix) = hook.at_barrier(&snapshot) {
-                    let remaining = self.spec.num_stages() - (stage + 1);
-                    if suffix.len() != remaining {
-                        return Err(RbError::InvalidPlan(format!(
-                            "barrier hook returned {} stage allocations; {remaining} stages remain",
-                            suffix.len()
-                        )));
-                    }
-                    let mut next = plan.clone();
-                    for (j, &gpus) in suffix.iter().enumerate() {
-                        next.set_gpus(stage + 1 + j, gpus);
-                    }
-                    next.validate(&self.spec)?;
-                    plan = next;
+                hook.at_watchdog(&snapshot)
+            };
+            if let Some(suffix) = suffix {
+                let remaining_stages = self.exec.spec.num_stages() - stage;
+                if suffix.len() != remaining_stages {
+                    return Err(RbError::InvalidPlan(format!(
+                        "watchdog hook returned {} stage allocations; \
+                         {remaining_stages} stages remain (current included)",
+                        suffix.len()
+                    )));
                 }
+                let mut next = self.plan.clone();
+                for (j, &gpus) in suffix.iter().enumerate() {
+                    next.set_gpus(stage + j, gpus);
+                }
+                next.validate(&self.exec.spec)?;
+                self.plan = next;
+            }
+            self.now = wd_now;
+            setup = self.exec.scale_and_place(
+                &self.plan,
+                stage,
+                &self.live,
+                self.gpg,
+                &mut self.cm,
+                &mut self.pc,
+                &mut self.now,
+                &mut self.trace,
+                &self.recorder,
+            )?;
+            stage_migrations += setup.migrations;
+            self.total_migrations += setup.migrations;
+            stage_shortfall = stage_shortfall.max(setup.capacity_shortfall);
+            self.total_retries += setup.retries;
+            let residual: BTreeMap<TrialId, u64> = self
+                .live
+                .iter()
+                .map(|&t| (t, round.remaining.get(&t).copied().unwrap_or(0)))
+                .collect();
+            let resumed = self.exec.train_round(
+                stage,
+                &residual,
+                &mut setup,
+                &self.live,
+                &mut self.trials,
+                &mut self.cm,
+                &self.store,
+                &mut self.trace,
+                &self.recorder,
+                self.now,
+                true,
+                None,
+                &mut self.total_preemptions,
+            )?;
+            stage_end = resumed.stage_end;
+            self.total_retries += resumed.retries;
+            self.checkpoint_fallbacks += resumed.fallbacks;
+            merge_unit_obs(&mut round.unit_obs, resumed.unit_obs);
+        }
+        // Idle spot nodes reclaimed before the barrier stop billing at
+        // their interruption instant and leave the cluster.
+        for node in setup.cluster.nodes().to_vec() {
+            if self
+                .cm
+                .preemption_time(node)
+                .is_some_and(|t| t <= stage_end)
+            {
+                let _ = self.cm.preempt_node(node);
+                setup.cluster.remove(node);
+            }
+        }
+        self.now = stage_end + SimDuration::from_secs_f64(self.exec.options.sync_overhead_secs);
+        emit(
+            &mut self.trace,
+            &self.recorder,
+            TraceEvent::Barrier {
+                stage,
+                at: self.now,
+            },
+        );
+        if self.recorder.enabled() {
+            self.recorder.gauge(
+                self.now,
+                "exec",
+                "cost_to_date_usd",
+                Lane::Cloud,
+                self.cm.total_cost(self.now).as_dollars(),
+            );
+            self.recorder.gauge(
+                self.now,
+                "exec",
+                "instances_ready",
+                Lane::Cloud,
+                self.cm.ready_count() as f64,
+            );
+        }
+
+        // --- Synchronization barrier: rank, promote, terminate -------------
+        let results: Vec<(TrialId, f64)> = self
+            .live
+            .iter()
+            .map(|&t| {
+                let acc = self.trials[&t]
+                    .trial
+                    .latest_accuracy()
+                    .expect("trained trials have metrics");
+                (t, acc)
+            })
+            .collect();
+        let keep = self
+            .exec
+            .spec
+            .get_stage(stage + 1)
+            .map(|(t, _)| t as usize)
+            .unwrap_or(0);
+        let survivors = select_survivors(&results, keep.max(1).min(self.live.len()));
+        let is_last = stage + 1 == self.exec.spec.num_stages();
+        for &tid in &self.live {
+            let rt = self.trials.get_mut(&tid).expect("live trial exists");
+            if is_last || !survivors.contains(&tid) {
+                // Completed survivors and terminated losers both stop.
+                if is_last && survivors.contains(&tid) {
+                    rt.trial.complete()?;
+                } else {
+                    rt.trial.terminate()?;
+                    self.store.evict(tid);
+                }
+            } else {
+                // A watchdog barrier may have left the trial paused
+                // already (zero residual units); its checkpoint is
+                // fresh either way.
+                if rt.trial.status() == TrialStatus::Running {
+                    rt.trial.pause()?;
+                }
+                self.store.save(&rt.trial, &self.exec.task.arch);
+                self.pc.confirm(tid);
+            }
+        }
+        self.stages.push(StageRecord {
+            stage,
+            train_start,
+            sync_end: self.now,
+            trials: stage_trials,
+            gpus_per_trial: setup.allocations.values().next().copied().unwrap_or(1),
+            instances: setup.needed as u32,
+            migrations: stage_migrations,
+        });
+        if self.recorder.enabled() {
+            self.recorder.span(
+                stage_start,
+                self.now,
+                "exec",
+                "stage",
+                Lane::Stage(stage as u32),
+                vec![
+                    ("trials", stage_trials.into()),
+                    ("instances", (setup.needed as u64).into()),
+                    ("migrations", stage_migrations.into()),
+                ],
+            );
+        }
+        if stage_shortfall > 0 {
+            self.degraded_stages += 1;
+        }
+        self.live = survivors;
+
+        // --- Barrier hook: observe, optionally re-plan the suffix ----------
+        // Every survivor is paused with a fresh checkpoint and the
+        // placement confirmed, so a plan splice here is transition-safe:
+        // the next stage's scaling/placement machinery absorbs it.
+        if stage + 1 < self.exec.spec.num_stages() {
+            let snapshot = BarrierSnapshot {
+                stage,
+                num_stages: self.exec.spec.num_stages(),
+                now: self.now,
+                stage_span: self.now - stage_start,
+                cost_to_date: self.cm.total_cost(self.now),
+                preemptions: self.total_preemptions,
+                instances: self.cm.ready_count(),
+                survivors: self.live.len(),
+                gpus_per_trial: setup.allocations.values().next().copied().unwrap_or(1),
+                unit_obs: unit_obs_vec(&round.unit_obs),
+                instance_seconds: self.cm.held_instance_seconds(self.now),
+                capacity_shortfall: stage_shortfall as u32,
+                plan: &self.plan,
+            };
+            if let Some(suffix) = hook.at_barrier(&snapshot) {
+                let remaining = self.exec.spec.num_stages() - (stage + 1);
+                if suffix.len() != remaining {
+                    return Err(RbError::InvalidPlan(format!(
+                        "barrier hook returned {} stage allocations; {remaining} stages remain",
+                        suffix.len()
+                    )));
+                }
+                let mut next = self.plan.clone();
+                for (j, &gpus) in suffix.iter().enumerate() {
+                    next.set_gpus(stage + 1 + j, gpus);
+                }
+                next.validate(&self.exec.spec)?;
+                self.plan = next;
             }
         }
 
+        self.stage += 1;
+        if self.is_finished() {
+            Ok(StepOutcome::Finished { at: self.now })
+        } else {
+            Ok(StepOutcome::Barrier {
+                stage,
+                at: self.now,
+            })
+        }
+    }
+
+    /// Consumes the core after the final barrier and assembles the
+    /// [`ExecutionReport`]: terminates remaining capacity, settles
+    /// billing, and emits the teardown counters/spans. Byte-identical to
+    /// the teardown the legacy `run` loop performed inline.
+    pub fn finish(mut self) -> Result<ExecutionReport> {
+        if !self.is_finished() {
+            return Err(RbError::Execution(format!(
+                "executor core finished at stage {}/{}",
+                self.stage,
+                self.exec.spec.num_stages()
+            )));
+        }
         // --- Teardown and report ------------------------------------------------
-        let jct = now - SimTime::ZERO;
-        let utilization = cm.utilization(now);
+        let jct = self.now - self.t0;
+        let utilization = self.cm.utilization(self.now);
         let compute_cost;
         let data_cost;
         {
-            cm.terminate_all(now);
-            compute_cost = cm.compute_cost(now);
-            data_cost = cm.data_cost();
+            self.cm.terminate_all(self.now);
+            compute_cost = self.cm.compute_cost(self.now);
+            data_cost = self.cm.data_cost();
         }
-        if recorder.enabled() {
+        if self.recorder.enabled() {
             // The billing meter's spend curve: cumulative compute cost at
             // each instance release, on the cloud lane.
-            for (t, c) in cm.cost_timeline(now) {
-                recorder.gauge(t, "cloud", "spend_usd", Lane::Cloud, c.as_dollars());
+            for (t, c) in self.cm.cost_timeline(self.now) {
+                self.recorder
+                    .gauge(t, "cloud", "spend_usd", Lane::Cloud, c.as_dollars());
             }
-            recorder.span(SimTime::ZERO, now, "exec", "run", Lane::Global, Vec::new());
+            self.recorder
+                .span(self.t0, self.now, "exec", "run", Lane::Global, Vec::new());
         }
-        recorder.counter_add("exec", "migrations", u64::from(total_migrations));
-        recorder.counter_add("exec", "preemptions", u64::from(total_preemptions));
-        recorder.counter_add(
+        self.recorder
+            .counter_add("exec", "migrations", u64::from(self.total_migrations));
+        self.recorder
+            .counter_add("exec", "preemptions", u64::from(self.total_preemptions));
+        self.recorder.counter_add(
             "exec",
             "instances_provisioned",
-            cm.instances_provisioned() as u64,
+            self.cm.instances_provisioned() as u64,
         );
-        let faults_injected = cm.fault_counts().total() + store.corruptions_injected();
+        let faults_injected = self.cm.fault_counts().total() + self.store.corruptions_injected();
         if faults_injected > 0 {
             // Recovery rollup, emitted only when the injector actually
             // fired so calm traces stay byte-stable.
-            recorder.counter_add("exec", "faults_injected", faults_injected);
-            recorder.counter_add("exec", "provision_retries", total_retries);
-            recorder.counter_add("exec", "checkpoint_fallbacks", checkpoint_fallbacks);
-            recorder.counter_add("exec", "degraded_stages", u64::from(degraded_stages));
+            self.recorder
+                .counter_add("exec", "faults_injected", faults_injected);
+            self.recorder
+                .counter_add("exec", "provision_retries", self.total_retries);
+            self.recorder
+                .counter_add("exec", "checkpoint_fallbacks", self.checkpoint_fallbacks);
+            self.recorder
+                .counter_add("exec", "degraded_stages", u64::from(self.degraded_stages));
         }
         #[cfg(debug_assertions)]
-        if let Err(violation) = trace.check_invariants() {
+        if let Err(violation) = self.trace.check_invariants() {
             panic!("execution trace ordering contract violated: {violation}");
         }
-        let best_trial = *live
+        let best_trial = *self
+            .live
             .first()
             .ok_or_else(|| RbError::Execution("no surviving trial at job end".into()))?;
-        let best = &trials[&best_trial];
-        let batch = f64::from(self.physics.scaling.batch_size());
-        let trial_throughput: BTreeMap<TrialId, f64> = trials
+        let best_config = self.trials[&best_trial].trial.config.clone();
+        let best_accuracy = self.trials[&best_trial]
+            .trial
+            .latest_accuracy()
+            .expect("winner has metrics");
+        let batch = f64::from(self.exec.physics.scaling.batch_size());
+        let trial_throughput: BTreeMap<TrialId, f64> = self
+            .trials
             .iter()
             .filter(|(_, rt)| rt.busy_secs > 0.0 && rt.units_done > 0)
             .map(|(&t, rt)| {
-                let samples = rt.units_done as f64 * self.physics.steps_per_iter as f64 * batch;
+                let samples =
+                    rt.units_done as f64 * self.exec.physics.steps_per_iter as f64 * batch;
                 (t, samples / rt.busy_secs)
             })
             .collect();
@@ -762,22 +1031,24 @@ impl Executor {
             compute_cost,
             data_cost,
             best_trial,
-            best_config: best.trial.config.clone(),
-            best_accuracy: best.trial.latest_accuracy().expect("winner has metrics"),
-            stages,
-            migrations: total_migrations,
-            preemptions: total_preemptions,
-            instances_provisioned: cm.instances_provisioned(),
+            best_config,
+            best_accuracy,
+            stages: self.stages,
+            migrations: self.total_migrations,
+            preemptions: self.total_preemptions,
+            instances_provisioned: self.cm.instances_provisioned(),
             utilization,
             trial_throughput,
             faults_injected,
-            provision_retries: total_retries,
-            checkpoint_fallbacks,
-            degraded_stages,
-            trace,
+            provision_retries: self.total_retries,
+            checkpoint_fallbacks: self.checkpoint_fallbacks,
+            degraded_stages: self.degraded_stages,
+            trace: self.trace,
         })
     }
+}
 
+impl Executor {
     /// Scales the cluster to the plan's allocation for `stage` and places
     /// (or migrates) every live trial's workers. One stage normally runs
     /// this once; a stage split by the watchdog runs it again for the

@@ -35,8 +35,8 @@ pub mod scheduler;
 pub use asha::{run_asha, AshaConfig, AshaReport};
 pub use cluster::{ClusterManager, RetryOutcome, RetryPolicy};
 pub use executor::{
-    BarrierHook, BarrierSnapshot, ExecOptions, Executor, NoopHook, UnitObservation,
-    WatchdogSnapshot,
+    BarrierHook, BarrierSnapshot, ExecOptions, Executor, ExecutorCore, NoopHook, StepOutcome,
+    UnitObservation, WatchdogSnapshot,
 };
 pub use report::{render_timeline, ExecutionReport, ExecutionTrace, StageRecord, TraceEvent};
 pub use scheduler::{schedule_stage, StageSchedule};

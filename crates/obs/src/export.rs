@@ -17,6 +17,7 @@
 //! | 2   | nodes        | node id + 1            |
 //! | 3   | control      | 1 ctrl, 2 planner, 3 cloud, 4 global |
 //! | 4   | stages       | stage index + 1        |
+//! | 5   | jobs         | job id + 1             |
 //!
 //! Spans become `ph:"X"` complete events, instants `ph:"i"`, gauges
 //! `ph:"C"` counter tracks. Timestamps are microseconds of virtual
@@ -135,6 +136,7 @@ fn lane_track(lane: &Lane) -> (u64, u64) {
         Lane::Cloud => (3, 3),
         Lane::Global => (3, 4),
         Lane::Stage(s) => (4, u64::from(*s) + 1),
+        Lane::Job(id) => (5, id + 1),
     }
 }
 
@@ -147,6 +149,7 @@ fn lane_thread_name(lane: &Lane) -> String {
         Lane::Cloud => "cloud".to_owned(),
         Lane::Global => "run".to_owned(),
         Lane::Stage(s) => format!("stage {s}"),
+        Lane::Job(id) => format!("job {id}"),
     }
 }
 
@@ -169,7 +172,13 @@ pub fn export_chrome(log: &TraceLog) -> String {
 
     // Process names, then one thread_name per lane actually used
     // (sorted for determinism).
-    for (pid, name) in [(1, "trials"), (2, "nodes"), (3, "control"), (4, "stages")] {
+    for (pid, name) in [
+        (1, "trials"),
+        (2, "nodes"),
+        (3, "control"),
+        (4, "stages"),
+        (5, "jobs"),
+    ] {
         push_metadata(&mut entries, "process_name", pid, None, name);
     }
     if log.dropped_events > 0 {
@@ -307,8 +316,8 @@ mod tests {
         let doc = export_chrome(&sample_log());
         let parsed = parse_json(&doc).expect("chrome export parses");
         let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
-        // 4 process_name + 3 thread_name + 3 events
-        assert_eq!(events.len(), 10);
+        // 5 process_name + 3 thread_name + 3 events
+        assert_eq!(events.len(), 11);
         let span = events
             .iter()
             .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))

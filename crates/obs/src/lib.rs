@@ -25,6 +25,7 @@
 //! randomness, so traces are byte-reproducible from a seed.
 
 pub mod export;
+pub mod job;
 pub mod json;
 pub mod log;
 pub mod memory;
@@ -32,6 +33,7 @@ pub mod recorder;
 pub mod schema;
 pub mod summary;
 
+pub use job::{JobScopedRecorder, JOB_LANE_STRIDE};
 pub use memory::{CounterEntry, HistogramEntry, MemoryRecorder, MetricsRegistry, TraceLog};
 pub use recorder::{Event, EventKind, Lane, NoopRecorder, Recorder, RecorderHandle, Value};
 pub use summary::{CacheStats, RunSummary};

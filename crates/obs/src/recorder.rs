@@ -39,6 +39,10 @@ pub enum Lane {
     Planner,
     /// The cloud provider (`rb-cloud`): provisioning, billing.
     Cloud,
+    /// One tuning job inside a multi-job service (`rb-serve`): its
+    /// admission, dispatch, barriers and completion. Interleaved jobs
+    /// stay separable because each gets its own lane.
+    Job(u64),
 }
 
 impl Lane {
@@ -54,6 +58,7 @@ impl Lane {
             Lane::Controller => "controller".to_owned(),
             Lane::Planner => "planner".to_owned(),
             Lane::Cloud => "cloud".to_owned(),
+            Lane::Job(id) => format!("job:{id}"),
         }
     }
 }
@@ -312,6 +317,7 @@ mod tests {
         assert_eq!(Lane::Stage(2).label(), "stage:2");
         assert_eq!(Lane::Global.label(), "global");
         assert_eq!(Lane::Controller.label(), "controller");
+        assert_eq!(Lane::Job(5).label(), "job:5");
     }
 
     #[test]

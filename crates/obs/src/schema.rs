@@ -6,7 +6,7 @@
 //! * **Event lines** carry `seq` (integer, strictly increasing from 0),
 //!   `t_ms` (non-negative integer virtual time), `scope`/`name`/`lane`
 //!   (non-empty strings, `lane` one of `global|controller|planner|cloud`
-//!   or `node:<n>|trial:<n>|stage:<n>`), `kind` (`instant`, `span`, or
+//!   or `node:<n>|trial:<n>|stage:<n>|job:<n>`), `kind` (`instant`, `span`, or
 //!   `gauge`), and `fields` (object). `span` lines add `end_ms >= t_ms`;
 //!   `gauge` lines add a *finite* numeric or null `value` (non-finite
 //!   readings must be exported as `null`; a numeric literal that
@@ -30,7 +30,7 @@ fn lane_ok(lane: &str) -> bool {
     match lane {
         "global" | "controller" | "planner" | "cloud" => true,
         _ => lane.split_once(':').is_some_and(|(kind, id)| {
-            matches!(kind, "node" | "trial" | "stage")
+            matches!(kind, "node" | "trial" | "stage" | "job")
                 && !id.is_empty()
                 && id.bytes().all(|b| b.is_ascii_digit())
         }),

@@ -64,6 +64,7 @@ pub use rb_placement;
 pub use rb_planner;
 pub use rb_profile;
 pub use rb_scaling;
+pub use rb_serve;
 pub use rb_sim;
 pub use rb_train;
 
@@ -94,6 +95,7 @@ pub mod prelude {
     pub use rb_scaling::{
         AnalyticScaling, IdealScaling, InterpolatedScaling, PlacementQuality, ScalingModel,
     };
+    pub use rb_serve::{JobRequest, ServeOptions, ServeReport, TenantSpec, TuningService};
     pub use rb_sim::{AllocationPlan, Prediction, SimConfig, Simulator};
     pub use rb_train::TaskModel;
 }
@@ -539,6 +541,134 @@ pub fn execute_multi_job(
     })
 }
 
+/// A synthetic multi-tenant workload for [`serve`]: each tenant submits
+/// `jobs_per_tenant` copies of the experiment, arriving round-robin
+/// with seeded exponential inter-arrival gaps. Every job gets its own
+/// derived seed, so trials across jobs draw independent noise while the
+/// whole workload stays reproducible from `seed`.
+#[derive(Debug, Clone)]
+pub struct ServeWorkload {
+    /// The tenants (weights and budgets).
+    pub tenants: Vec<rb_serve::TenantSpec>,
+    /// Jobs each tenant submits.
+    pub jobs_per_tenant: usize,
+    /// Mean gap between consecutive arrivals, in virtual seconds; must
+    /// be finite and positive.
+    pub mean_interarrival_secs: f64,
+    /// Root seed for arrivals and per-job execution noise.
+    pub seed: u64,
+}
+
+/// Builds the [`rb_serve::JobRequest`] list for a [`ServeWorkload`]:
+/// one plan compiled under `deadline` (all jobs share the spec, so they
+/// share the plan), per-job configs sampled from `space`, arrivals from
+/// the workload's seeded Poisson process.
+///
+/// Exposed so callers can inspect or perturb the workload before
+/// running it; [`serve`] is the one-call path.
+///
+/// # Errors
+///
+/// Returns [`rb_core::RbError::InvalidConfig`] for a non-positive mean
+/// inter-arrival gap; propagates planning and executor-construction
+/// errors.
+#[allow(clippy::too_many_arguments)] // Mirrors `execute` plus the service knobs.
+pub fn serve_workload_jobs(
+    workload: &ServeWorkload,
+    spec: &ExperimentSpec,
+    task: &TaskModel,
+    physics: &ModelProfile,
+    cloud: &CloudProfile,
+    space: &SearchSpace,
+    deadline: SimDuration,
+) -> Result<Vec<rb_serve::JobRequest>> {
+    if !workload.mean_interarrival_secs.is_finite() || workload.mean_interarrival_secs <= 0.0 {
+        return Err(rb_core::RbError::InvalidConfig(format!(
+            "serve workload: mean_interarrival_secs must be finite and > 0, got {}",
+            workload.mean_interarrival_secs
+        )));
+    }
+    let outcome = compile_plan(spec, physics, cloud, deadline)?;
+    let total = workload.tenants.len() * workload.jobs_per_tenant;
+    let mut arrivals = Prng::seed_from_u64(workload.seed ^ 0x5E87_E0FF);
+    let gap = rb_core::Distribution::Exponential {
+        rate: 1.0 / workload.mean_interarrival_secs,
+    };
+    let mut at = rb_core::SimTime::ZERO;
+    let mut jobs = Vec::with_capacity(total);
+    for k in 0..total {
+        let tenant = k % workload.tenants.len();
+        let job_seed = workload.seed ^ (k as u64 + 1).wrapping_mul(0x9E37_79B9);
+        let mut rng = Prng::seed_from_u64(job_seed ^ 0x005A_3CE0_u64);
+        let configs = space.sample_n(spec.initial_trials() as usize, &mut rng);
+        let executor = Executor::new(
+            spec.clone(),
+            outcome.plan.clone(),
+            task.clone(),
+            physics.clone(),
+            cloud.clone(),
+        )?
+        .with_options(ExecOptions {
+            seed: job_seed,
+            ..ExecOptions::default()
+        });
+        jobs.push(rb_serve::JobRequest::new(executor, configs, at, tenant));
+        at += SimDuration::from_secs_f64(gap.sample(&mut arrivals));
+    }
+    Ok(jobs)
+}
+
+/// Runs a seeded multi-tenant workload through the tuning service: many
+/// concurrent jobs interleaved in one discrete-event loop, fair-share
+/// scheduled, optionally sharing an elastic instance pool
+/// ([`rb_serve::ServeOptions::pool`]). Per-job results ride inside the
+/// returned [`rb_serve::ServeReport`].
+///
+/// # Errors
+///
+/// Propagates workload-construction ([`serve_workload_jobs`]), service
+/// validation, and execution errors.
+#[allow(clippy::too_many_arguments)] // Mirrors `execute` plus the service knobs.
+pub fn serve(
+    workload: &ServeWorkload,
+    spec: &ExperimentSpec,
+    task: &TaskModel,
+    physics: &ModelProfile,
+    cloud: &CloudProfile,
+    space: &SearchSpace,
+    deadline: SimDuration,
+    options: &rb_serve::ServeOptions,
+) -> Result<rb_serve::ServeReport> {
+    let jobs = serve_workload_jobs(workload, spec, task, physics, cloud, space, deadline)?;
+    rb_serve::TuningService::new(workload.tenants.clone(), options.clone())?.run(jobs)
+}
+
+/// [`serve`] with observability: service admission/dispatch events and
+/// every job's executor trace land in one [`TraceLog`], jobs lane-scoped
+/// so their timelines stay separable (`job:<n>` lanes in the exports).
+///
+/// # Errors
+///
+/// As [`serve`].
+#[allow(clippy::too_many_arguments)] // Mirrors `serve`.
+pub fn serve_observed(
+    workload: &ServeWorkload,
+    spec: &ExperimentSpec,
+    task: &TaskModel,
+    physics: &ModelProfile,
+    cloud: &CloudProfile,
+    space: &SearchSpace,
+    deadline: SimDuration,
+    options: &rb_serve::ServeOptions,
+) -> Result<(rb_serve::ServeReport, TraceLog)> {
+    let jobs = serve_workload_jobs(workload, spec, task, physics, cloud, space, deadline)?;
+    let sink = Arc::new(MemoryRecorder::new());
+    let recorder = RecorderHandle::new(sink.clone());
+    let report = rb_serve::TuningService::new(workload.tenants.clone(), options.clone())?
+        .run_with_recorder(jobs, &recorder)?;
+    Ok((report, sink.finish()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -898,5 +1028,68 @@ mod tests {
             .unwrap();
             assert_eq!(out.policy, policy);
         }
+    }
+
+    #[test]
+    fn serve_runs_a_multi_tenant_workload() {
+        let spec = ShaParams::new(8, 1, 8).generate().unwrap();
+        let task = rb_train::task::resnet50_cifar10();
+        let physics = ModelProfile::exact_for_task(&task, 512, 4);
+        let cloud = CloudProfile::new(CloudPricing::on_demand(P3_8XLARGE));
+        let space = SearchSpace::new()
+            .add("lr", Dim::LogUniform { lo: 1e-3, hi: 1.0 })
+            .build()
+            .unwrap();
+        let workload = ServeWorkload {
+            tenants: vec![
+                rb_serve::TenantSpec::new("research", 2.0),
+                rb_serve::TenantSpec::new("prod", 1.0),
+            ],
+            jobs_per_tenant: 2,
+            mean_interarrival_secs: 600.0,
+            seed: 17,
+        };
+        let options = rb_serve::ServeOptions {
+            max_concurrent: 2,
+            max_queue: 8,
+            pool: Some(rb_cloud::PoolConfig::default()),
+        };
+        let (report, log) = serve_observed(
+            &workload,
+            &spec,
+            &task,
+            &physics,
+            &cloud,
+            &space,
+            SimDuration::from_hours(2),
+            &options,
+        )
+        .unwrap();
+        assert_eq!(report.outcomes.len(), 4);
+        assert!(report.rejected.is_empty());
+        assert!(report.billed_cost > Cost::ZERO);
+        assert!(report.net_cost <= report.billed_cost);
+        assert_eq!(report.tenants.len(), 2);
+        assert_eq!(report.tenants.iter().map(|t| t.completed).sum::<usize>(), 4);
+        // Per-job lanes land in the unified trace, and the export still
+        // validates against the schema.
+        assert_eq!(log.counter("serve", "jobs_completed"), 4);
+        let jsonl = rb_obs::export::export_jsonl(&log);
+        rb_obs::schema::validate_jsonl(&jsonl).expect("serve trace validates");
+        assert!(jsonl.contains("\"lane\":\"job:0\""));
+        assert!(jsonl.contains("job.dispatch"));
+        // Same workload, same seed: byte-identical report.
+        let again = serve(
+            &workload,
+            &spec,
+            &task,
+            &physics,
+            &cloud,
+            &space,
+            SimDuration::from_hours(2),
+            &options,
+        )
+        .unwrap();
+        assert_eq!(report.render(), again.render());
     }
 }

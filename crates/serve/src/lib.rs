@@ -1,0 +1,43 @@
+//! # rb-serve — the multi-tenant tuning service
+//!
+//! Everything below `rb-serve` executes **one** tuning job: a spec, a
+//! plan, an executor, a bill. Real clusters run many — several teams'
+//! sweeps arriving over hours, competing for budget and capacity. This
+//! crate is the service layer that interleaves them:
+//!
+//! * [`TenantSpec`] — a tenant with a fair-share weight and an optional
+//!   spending budget.
+//! * [`JobRequest`] — one tuning job (a prepared
+//!   [`Executor`](rb_exec::Executor) plus sampled configs) arriving at a
+//!   virtual time under a tenant.
+//! * [`TuningService`] — the admission controller + scheduler. It runs
+//!   all jobs in **one** discrete-event loop by exploiting the
+//!   steppable executor: each job is an
+//!   [`ExecutorCore`](rb_exec::ExecutorCore), and the service always
+//!   steps the core whose virtual clock is furthest behind. Queued jobs
+//!   dispatch in fair-share order (lowest spend ÷ weight first);
+//!   arrivals are admitted, queued, or rejected with a typed reason.
+//! * A shared elastic [`InstancePool`](rb_cloud::InstancePool)
+//!   (optional): capacity one job releases at a barrier is handed to
+//!   another job instead of terminated, saving the per-instance
+//!   minimum-charge premium, the provisioning + init latency, and the
+//!   dataset re-ingress. The savings are surfaced in
+//!   [`ServeReport::net_cost`] and the pool's
+//!   [`PoolStats`](rb_cloud::PoolStats).
+//! * [`ServeReport`] — per-job outcomes, per-tenant spend, queue-wait
+//!   distribution, pool economics, and a byte-stable [`ServeReport::render`]
+//!   used by the seeded `ext-serve` verification sweep.
+//!
+//! Determinism carries through: every executor derives its noise from
+//! its own seed, the scheduler breaks every tie by (time, job id), and
+//! the pool hands instances over in release order — so a workload
+//! replayed from the same seed produces the same `ServeReport`
+//! byte-for-byte, regardless of planner thread count.
+
+pub mod report;
+pub mod service;
+pub mod tenant;
+
+pub use report::{JobOutcome, RejectReason, RejectedJob, ServeReport, TenantUsage};
+pub use service::{ServeOptions, TuningService};
+pub use tenant::{JobRequest, TenantSpec};

@@ -1,0 +1,229 @@
+//! The service-level rollup: per-job outcomes, per-tenant usage, queue
+//! economics, and the shared pool's ledger.
+
+use rb_cloud::PoolStats;
+use rb_core::{Cost, SimDuration, SimTime};
+use rb_exec::ExecutionReport;
+use std::fmt::Write as _;
+
+/// Why an arrival was turned away at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The queue was at `max_queue` when the job arrived.
+    QueueFull,
+    /// The tenant's completed spend had reached its budget.
+    BudgetExhausted,
+}
+
+impl RejectReason {
+    /// Stable textual form for traces and the rendered report.
+    pub fn label(self) -> &'static str {
+        match self {
+            RejectReason::QueueFull => "queue_full",
+            RejectReason::BudgetExhausted => "budget_exhausted",
+        }
+    }
+}
+
+/// A job the admission controller rejected.
+#[derive(Debug, Clone)]
+pub struct RejectedJob {
+    /// Submission index of the job.
+    pub job: u64,
+    /// Tenant that submitted it.
+    pub tenant: usize,
+    /// When it arrived.
+    pub arrival: SimTime,
+    /// Why it was rejected.
+    pub reason: RejectReason,
+}
+
+/// One completed job's timeline and bill.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// Submission index of the job.
+    pub job: u64,
+    /// Tenant that submitted it.
+    pub tenant: usize,
+    /// When it arrived.
+    pub arrival: SimTime,
+    /// When the scheduler dispatched it (its executor's t0).
+    pub dispatched: SimTime,
+    /// When its final barrier completed.
+    pub finished: SimTime,
+    /// Time spent queued: `dispatched - arrival`.
+    pub queue_wait: SimDuration,
+    /// The job's own execution report (JCT measured from dispatch).
+    pub report: ExecutionReport,
+}
+
+/// One tenant's aggregate usage over the workload.
+#[derive(Debug, Clone)]
+pub struct TenantUsage {
+    /// Tenant name.
+    pub name: String,
+    /// Fair-share weight.
+    pub weight: f64,
+    /// Admission budget, if any.
+    pub budget: Option<Cost>,
+    /// Jobs that ran to completion.
+    pub completed: usize,
+    /// Jobs rejected at admission.
+    pub rejected: usize,
+    /// Total spend of completed jobs.
+    pub spend: Cost,
+}
+
+/// The outcome of a full multi-tenant workload.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Completed jobs, in completion order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Rejected arrivals, in arrival order.
+    pub rejected: Vec<RejectedJob>,
+    /// Per-tenant usage, in tenant order.
+    pub tenants: Vec<TenantUsage>,
+    /// Shared-pool ledger, when a pool was configured.
+    pub pool: Option<PoolStats>,
+    /// Virtual time of the last completion (zero if nothing ran).
+    pub makespan: SimTime,
+    /// What the meters actually billed: every job's compute + data
+    /// cost, plus the pool's parked-instance cost.
+    pub billed_cost: Cost,
+    /// The bill after the pool's minimum-charge credit: each handoff
+    /// avoids terminating the donor instance, so the donor's
+    /// minimum-charge premium (billed by its per-job meter) is money a
+    /// real shared pool never pays. `billed_cost - min_charge_saved`.
+    /// Without a pool this equals [`ServeReport::billed_cost`].
+    pub net_cost: Cost,
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted: &[SimDuration], p: f64) -> SimDuration {
+    if sorted.is_empty() {
+        return SimDuration::ZERO;
+    }
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+impl ServeReport {
+    fn sorted_waits(&self) -> Vec<SimDuration> {
+        let mut waits: Vec<SimDuration> = self.outcomes.iter().map(|o| o.queue_wait).collect();
+        waits.sort_unstable();
+        waits
+    }
+
+    /// Median queue wait across completed jobs (nearest rank).
+    pub fn queue_wait_p50(&self) -> SimDuration {
+        percentile(&self.sorted_waits(), 0.50)
+    }
+
+    /// 90th-percentile queue wait across completed jobs (nearest rank).
+    pub fn queue_wait_p90(&self) -> SimDuration {
+        percentile(&self.sorted_waits(), 0.90)
+    }
+
+    /// Worst queue wait across completed jobs.
+    pub fn queue_wait_max(&self) -> SimDuration {
+        self.sorted_waits()
+            .last()
+            .copied()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Completed jobs per virtual hour of makespan.
+    pub fn throughput_jobs_per_hour(&self) -> f64 {
+        let hours = self.makespan.as_secs_f64() / 3600.0;
+        if hours <= 0.0 {
+            return 0.0;
+        }
+        self.outcomes.len() as f64 / hours
+    }
+
+    /// Renders the report as a byte-stable text block. The `ext-serve`
+    /// verification sweep diffs this output against a checked-in
+    /// expectation, so the format must stay deterministic: fixed field
+    /// order, fixed precision, no floating-point accumulation beyond
+    /// what the report itself already carries.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "serve: jobs={} rejected={} makespan_s={:.0} throughput_jph={:.3} billed=${:.4} net=${:.4}",
+            self.outcomes.len(),
+            self.rejected.len(),
+            self.makespan.as_secs_f64(),
+            self.throughput_jobs_per_hour(),
+            self.billed_cost.as_dollars(),
+            self.net_cost.as_dollars(),
+        );
+        let _ = writeln!(
+            out,
+            "queue_wait: p50_s={:.1} p90_s={:.1} max_s={:.1}",
+            self.queue_wait_p50().as_secs_f64(),
+            self.queue_wait_p90().as_secs_f64(),
+            self.queue_wait_max().as_secs_f64(),
+        );
+        for t in &self.tenants {
+            let _ = writeln!(
+                out,
+                "tenant {}: weight={} completed={} rejected={} spend=${:.4}",
+                t.name,
+                t.weight,
+                t.completed,
+                t.rejected,
+                t.spend.as_dollars(),
+            );
+        }
+        if let Some(p) = &self.pool {
+            let _ = writeln!(
+                out,
+                "pool: offers={} handoffs={} expirations={} rejected_full={} double_releases={} \
+                 min_saved=${:.4} park=${:.4} ingress_saved_gb={:.1} net_saving=${:.4}",
+                p.offers,
+                p.handoffs,
+                p.expirations,
+                p.rejected_full,
+                p.double_releases,
+                p.min_charge_saved.as_dollars(),
+                p.park_cost.as_dollars(),
+                p.ingress_gb_saved,
+                p.net_saving().as_dollars(),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let waits: Vec<SimDuration> = (1..=10).map(SimDuration::from_secs).collect();
+        assert_eq!(percentile(&waits, 0.50), SimDuration::from_secs(5));
+        assert_eq!(percentile(&waits, 0.90), SimDuration::from_secs(9));
+        assert_eq!(percentile(&waits, 1.0), SimDuration::from_secs(10));
+        assert_eq!(percentile(&[], 0.5), SimDuration::ZERO);
+        let one = [SimDuration::from_secs(7)];
+        assert_eq!(percentile(&one, 0.5), SimDuration::from_secs(7));
+    }
+
+    #[test]
+    fn empty_report_renders_without_panicking() {
+        let r = ServeReport {
+            outcomes: Vec::new(),
+            rejected: Vec::new(),
+            tenants: Vec::new(),
+            pool: None,
+            makespan: SimTime::ZERO,
+            billed_cost: Cost::ZERO,
+            net_cost: Cost::ZERO,
+        };
+        let text = r.render();
+        assert!(text.starts_with("serve: jobs=0 rejected=0"));
+        assert_eq!(r.throughput_jobs_per_hour(), 0.0);
+    }
+}

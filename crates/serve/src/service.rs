@@ -1,0 +1,481 @@
+//! The admission controller and fair-share scheduler.
+//!
+//! ## The discrete-event loop
+//!
+//! Every running job is an [`ExecutorCore`] whose clock advances one
+//! stage per [`ExecutorCore::step`]. The service's loop is a classic
+//! min-time event loop over those clocks:
+//!
+//! 1. **Admit** every pending arrival due at or before the next step
+//!    (rejecting over-queue and over-budget arrivals with a typed
+//!    reason);
+//! 2. **Dispatch** queued jobs into free slots in fair-share order —
+//!    the queued job whose tenant has the lowest spend ÷ weight ratio
+//!    wins; ties break by arrival time, then submission index;
+//! 3. **Step** the running core with the *smallest* virtual clock
+//!    (ties again by submission index), so cross-job event order is a
+//!    deterministic function of the jobs alone.
+//!
+//! Because each executor derives every noise stream from its own seed,
+//! interleaving does not perturb individual runs: a job executed
+//! through the service produces the same training timeline it would
+//! produce alone (shifted to its dispatch time). Only the *shared*
+//! resources — the queue and the optional instance pool — couple jobs,
+//! and both are driven by the deterministic loop order above.
+//!
+//! ## The shared pool
+//!
+//! With [`ServeOptions::pool`] set, the service builds one
+//! [`InstancePool`] (priced from the first job's cloud profile) and
+//! attaches it to every core. Instances a job would terminate at a
+//! barrier are parked; a job that scales up adopts them for a 2 s
+//! handoff instead of a ~30 s provision + init + ingress, and the
+//! donor's minimum-charge premium is credited back at the service
+//! level (see [`crate::ServeReport::net_cost`]). Park time past
+//! `max_hold_secs` is billed to the pool and the instance expires.
+
+use crate::report::{JobOutcome, RejectReason, RejectedJob, ServeReport, TenantUsage};
+use crate::tenant::{JobRequest, TenantSpec};
+use rb_cloud::{InstancePool, PoolConfig, SharedPool};
+use rb_core::{Cost, RbError, Result, SimTime};
+use rb_exec::{ExecutorCore, NoopHook, StepOutcome};
+use rb_obs::{JobScopedRecorder, Lane, Recorder, RecorderHandle};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+/// Service-level knobs.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Jobs allowed to run concurrently (≥ 1).
+    pub max_concurrent: usize,
+    /// Arrivals allowed to wait in the queue; the next arrival past
+    /// this is rejected with [`RejectReason::QueueFull`].
+    pub max_queue: usize,
+    /// Shared elastic instance pool; `None` disables handoffs (every
+    /// job terminates its own capacity, exactly as when run alone).
+    pub pool: Option<PoolConfig>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            max_concurrent: 4,
+            max_queue: 64,
+            pool: None,
+        }
+    }
+}
+
+impl ServeOptions {
+    /// Validates the options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbError::InvalidConfig`] when `max_concurrent` is zero
+    /// (nothing could ever run) or the pool config is malformed (zero
+    /// capacity, non-finite hold). Checked at service construction so a
+    /// bad config fails loudly instead of silently starving every job.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_concurrent == 0 {
+            return Err(RbError::InvalidConfig(
+                "serve: max_concurrent must be >= 1".into(),
+            ));
+        }
+        if let Some(pool) = &self.pool {
+            pool.validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-job bookkeeping that outlives the consumed [`JobRequest`].
+#[derive(Clone, Copy)]
+struct JobMeta {
+    arrival: SimTime,
+    tenant: usize,
+}
+
+/// The multi-tenant tuning service.
+#[derive(Debug, Clone)]
+pub struct TuningService {
+    tenants: Vec<TenantSpec>,
+    options: ServeOptions,
+}
+
+impl TuningService {
+    /// Builds a service over a validated tenant list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbError::InvalidConfig`] when the tenant list is empty,
+    /// any tenant fails [`TenantSpec::validate`] (zero/negative/non-finite
+    /// weight, non-positive budget), or the options fail
+    /// [`ServeOptions::validate`].
+    pub fn new(tenants: Vec<TenantSpec>, options: ServeOptions) -> Result<Self> {
+        if tenants.is_empty() {
+            return Err(RbError::InvalidConfig(
+                "serve: at least one tenant is required".into(),
+            ));
+        }
+        for t in &tenants {
+            t.validate()?;
+        }
+        options.validate()?;
+        Ok(TuningService { tenants, options })
+    }
+
+    /// The tenant list.
+    pub fn tenants(&self) -> &[TenantSpec] {
+        &self.tenants
+    }
+
+    /// The service options.
+    pub fn options(&self) -> &ServeOptions {
+        &self.options
+    }
+
+    /// Runs a workload to completion without observability.
+    ///
+    /// # Errors
+    ///
+    /// As [`TuningService::run_with_recorder`].
+    pub fn run(&self, jobs: Vec<JobRequest>) -> Result<ServeReport> {
+        self.run_with_recorder(jobs, &RecorderHandle::noop())
+    }
+
+    /// Runs a workload to completion, reporting service events and each
+    /// job's executor trace into `recorder` (jobs are lane-scoped via
+    /// [`JobScopedRecorder`] so their timelines stay separable).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbError::InvalidConfig`] when a job names an unknown
+    /// tenant, or propagates the failing executor's error.
+    pub fn run_with_recorder(
+        &self,
+        jobs: Vec<JobRequest>,
+        recorder: &RecorderHandle,
+    ) -> Result<ServeReport> {
+        for (i, job) in jobs.iter().enumerate() {
+            if job.tenant >= self.tenants.len() {
+                return Err(RbError::InvalidConfig(format!(
+                    "serve: job {i} names tenant {} but only {} tenants exist",
+                    job.tenant,
+                    self.tenants.len()
+                )));
+            }
+        }
+
+        // One shared pool for the whole workload, priced from the first
+        // job's cloud profile (pools only make sense across jobs renting
+        // the same instance type; heterogeneous fleets would need one
+        // pool per type).
+        let pool = match (&self.options.pool, jobs.first()) {
+            (Some(cfg), Some(first)) => Some(SharedPool::new(InstancePool::new(
+                cfg.clone(),
+                first.executor.cloud().pricing.clone(),
+            )?)),
+            _ => None,
+        };
+
+        let meta: Vec<JobMeta> = jobs
+            .iter()
+            .map(|j| JobMeta {
+                arrival: j.arrival,
+                tenant: j.tenant,
+            })
+            .collect();
+        let mut requests: Vec<Option<JobRequest>> = jobs.into_iter().map(Some).collect();
+
+        // Arrival order: (arrival time, submission index).
+        let mut pending: VecDeque<usize> = {
+            let mut order: Vec<usize> = (0..requests.len()).collect();
+            order.sort_by_key(|&i| (meta[i].arrival, i));
+            order.into()
+        };
+        let mut queue: Vec<usize> = Vec::new();
+        let mut running: BTreeMap<u64, ExecutorCore> = BTreeMap::new();
+        let mut dispatched_at: Vec<SimTime> = vec![SimTime::ZERO; requests.len()];
+        let mut spend: Vec<Cost> = vec![Cost::ZERO; self.tenants.len()];
+        let mut completed: Vec<usize> = vec![0; self.tenants.len()];
+        let mut rejected_count: Vec<usize> = vec![0; self.tenants.len()];
+        let mut outcomes: Vec<JobOutcome> = Vec::new();
+        let mut rejected: Vec<RejectedJob> = Vec::new();
+        let mut clock = SimTime::ZERO;
+        let mut last_finish = SimTime::ZERO;
+        let mut hook = NoopHook;
+
+        loop {
+            // 1. Admission horizon: the next running step, else (queue
+            // drained and idle) jump the clock to the next arrival.
+            let next_step = running.iter().map(|(id, core)| (core.now(), *id)).min();
+            let horizon = match next_step {
+                Some((t, _)) => Some(t),
+                None if !queue.is_empty() => Some(clock),
+                None => pending.front().map(|&i| meta[i].arrival),
+            };
+            let Some(horizon) = horizon else { break };
+
+            // 2. Admit every arrival due at or before the horizon.
+            while let Some(&idx) = pending.front() {
+                let arrival = meta[idx].arrival;
+                if arrival > horizon {
+                    break;
+                }
+                pending.pop_front();
+                clock = clock.max(arrival);
+                let tenant = meta[idx].tenant;
+                let reason = if queue.len() >= self.options.max_queue {
+                    Some(RejectReason::QueueFull)
+                } else if self.tenants[tenant]
+                    .budget
+                    .is_some_and(|b| spend[tenant] >= b)
+                {
+                    Some(RejectReason::BudgetExhausted)
+                } else {
+                    None
+                };
+                match reason {
+                    Some(reason) => {
+                        rejected_count[tenant] += 1;
+                        recorder.instant(
+                            arrival,
+                            "serve",
+                            "job.reject",
+                            Lane::Job(idx as u64),
+                            vec![("tenant", tenant.into()), ("reason", reason.label().into())],
+                        );
+                        recorder.counter_add("serve", "jobs_rejected", 1);
+                        rejected.push(RejectedJob {
+                            job: idx as u64,
+                            tenant,
+                            arrival,
+                            reason,
+                        });
+                    }
+                    None => {
+                        recorder.instant(
+                            arrival,
+                            "serve",
+                            "job.submit",
+                            Lane::Job(idx as u64),
+                            vec![("tenant", tenant.into())],
+                        );
+                        queue.push(idx);
+                    }
+                }
+            }
+
+            // 3. Dispatch queued jobs into free slots, fair-share first.
+            while running.len() < self.options.max_concurrent && !queue.is_empty() {
+                let pick = self.pick_fair(&queue, &meta, &spend);
+                let idx = queue.remove(pick);
+                let req = requests[idx].take().expect("job dispatched twice");
+                let start = clock.max(req.arrival);
+                let job_id = idx as u64;
+                let wait = start.saturating_since(req.arrival);
+                let scoped: Arc<dyn Recorder> =
+                    Arc::new(JobScopedRecorder::new(recorder.share(), job_id));
+                let mut core = ExecutorCore::new_at(
+                    &req.executor,
+                    &req.configs,
+                    RecorderHandle::new(scoped),
+                    start,
+                )?;
+                if let Some(pool) = &pool {
+                    core.attach_shared_pool(pool.clone(), job_id);
+                }
+                if !wait.is_zero() {
+                    recorder.span(
+                        req.arrival,
+                        start,
+                        "serve",
+                        "job.queued",
+                        Lane::Job(job_id),
+                        vec![("wait_s", wait.as_secs_f64().into())],
+                    );
+                }
+                recorder.instant(
+                    start,
+                    "serve",
+                    "job.dispatch",
+                    Lane::Job(job_id),
+                    vec![
+                        ("tenant", req.tenant.into()),
+                        ("wait_s", wait.as_secs_f64().into()),
+                    ],
+                );
+                recorder.histogram("serve", "queue_wait_s", wait.as_secs_f64());
+                dispatched_at[idx] = start;
+                running.insert(job_id, core);
+            }
+
+            // 4. Step the running core that is furthest behind.
+            let Some((t, id)) = running.iter().map(|(id, core)| (core.now(), *id)).min() else {
+                // Nothing running: if nothing is waiting either, done.
+                if pending.is_empty() && queue.is_empty() {
+                    break;
+                }
+                continue;
+            };
+            clock = clock.max(t);
+            let core = running.get_mut(&id).expect("picked a running core");
+            if let StepOutcome::Finished { at } = core.step(t, &mut hook)? {
+                let core = running.remove(&id).expect("finished core is running");
+                let report = core.finish()?;
+                clock = clock.max(at);
+                last_finish = last_finish.max(at);
+                let idx = id as usize;
+                let tenant = meta[idx].tenant;
+                let dispatched = dispatched_at[idx];
+                spend[tenant] += report.total_cost();
+                completed[tenant] += 1;
+                recorder.instant(
+                    at,
+                    "serve",
+                    "job.done",
+                    Lane::Job(id),
+                    vec![
+                        ("tenant", tenant.into()),
+                        ("cost_usd", report.total_cost().as_dollars().into()),
+                        ("jct_s", report.jct.as_secs_f64().into()),
+                    ],
+                );
+                recorder.counter_add("serve", "jobs_completed", 1);
+                outcomes.push(JobOutcome {
+                    job: id,
+                    tenant,
+                    arrival: meta[idx].arrival,
+                    dispatched,
+                    finished: at,
+                    queue_wait: dispatched.saturating_since(meta[idx].arrival),
+                    report,
+                });
+            }
+        }
+
+        // Wind down the pool: anything still parked terminates now and
+        // bills its park time.
+        let pool_stats = pool.map(|p| {
+            p.with(|pool| {
+                pool.drain(clock);
+                pool.stats()
+            })
+        });
+
+        let job_cost: Cost = outcomes
+            .iter()
+            .fold(Cost::ZERO, |acc, o| acc + o.report.total_cost());
+        let park = pool_stats.as_ref().map_or(Cost::ZERO, |s| s.park_cost);
+        let saved = pool_stats
+            .as_ref()
+            .map_or(Cost::ZERO, |s| s.min_charge_saved);
+        let billed_cost = job_cost + park;
+        let tenants = self
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(i, t)| TenantUsage {
+                name: t.name.clone(),
+                weight: t.weight,
+                budget: t.budget,
+                completed: completed[i],
+                rejected: rejected_count[i],
+                spend: spend[i],
+            })
+            .collect();
+        Ok(ServeReport {
+            outcomes,
+            rejected,
+            tenants,
+            pool: pool_stats,
+            makespan: last_finish,
+            billed_cost,
+            net_cost: billed_cost - saved,
+        })
+    }
+
+    /// The queued job that should dispatch next: lowest tenant
+    /// spend ÷ weight, ties by arrival time, then submission index.
+    /// Returns a position within `queue`.
+    fn pick_fair(&self, queue: &[usize], meta: &[JobMeta], spend: &[Cost]) -> usize {
+        let share = |idx: usize| {
+            let t = meta[idx].tenant;
+            spend[t].as_dollars() / self.tenants[t].weight
+        };
+        let mut best = 0;
+        for pos in 1..queue.len() {
+            let (a, b) = (queue[pos], queue[best]);
+            let ord = share(a)
+                .total_cmp(&share(b))
+                .then(meta[a].arrival.cmp(&meta[b].arrival))
+                .then(a.cmp(&b));
+            if ord.is_lt() {
+                best = pos;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tenant_list_is_a_typed_error() {
+        let err = TuningService::new(Vec::new(), ServeOptions::default()).unwrap_err();
+        assert!(matches!(err, RbError::InvalidConfig(_)), "{err:?}");
+    }
+
+    #[test]
+    fn bad_tenant_weight_is_rejected_at_construction() {
+        let err = TuningService::new(
+            vec![TenantSpec::new("a", 1.0), TenantSpec::new("b", 0.0)],
+            ServeOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RbError::InvalidConfig(_)), "{err:?}");
+    }
+
+    #[test]
+    fn zero_concurrency_is_rejected() {
+        let err = TuningService::new(
+            vec![TenantSpec::new("a", 1.0)],
+            ServeOptions {
+                max_concurrent: 0,
+                ..ServeOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, RbError::InvalidConfig(_)), "{err:?}");
+    }
+
+    #[test]
+    fn zero_capacity_pool_is_rejected() {
+        let err = TuningService::new(
+            vec![TenantSpec::new("a", 1.0)],
+            ServeOptions {
+                pool: Some(PoolConfig {
+                    capacity: 0,
+                    ..PoolConfig::default()
+                }),
+                ..ServeOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, RbError::InvalidConfig(_)), "{err:?}");
+    }
+
+    #[test]
+    fn empty_workload_yields_an_empty_report() {
+        let svc =
+            TuningService::new(vec![TenantSpec::new("a", 1.0)], ServeOptions::default()).unwrap();
+        let report = svc.run(Vec::new()).unwrap();
+        assert!(report.outcomes.is_empty());
+        assert!(report.rejected.is_empty());
+        assert_eq!(report.billed_cost, Cost::ZERO);
+        assert_eq!(report.makespan, SimTime::ZERO);
+        assert_eq!(report.tenants.len(), 1);
+    }
+}

@@ -1,0 +1,123 @@
+//! Tenants and the jobs they submit.
+
+use rb_core::{Cost, RbError, Result, SimTime};
+use rb_exec::Executor;
+use rb_hpo::Config;
+
+/// One tenant of the tuning service.
+///
+/// The scheduler divides capacity by **fair share**: when a slot frees,
+/// the queued job whose tenant has the lowest `spend ÷ weight` ratio
+/// dispatches first. A tenant with weight 2 therefore converges to
+/// twice the spend of a tenant with weight 1 under contention. The
+/// optional budget is an admission bound: once a tenant's completed
+/// spend reaches it, further arrivals are rejected (running jobs are
+/// never killed — the sunk cost of a half-finished sweep exceeds the
+/// marginal cost of letting it finish).
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Display name (also the key in [`crate::TenantUsage`]).
+    pub name: String,
+    /// Fair-share weight; must be finite and strictly positive.
+    pub weight: f64,
+    /// Admission budget: arrivals are rejected once completed spend
+    /// reaches this. `None` means unlimited.
+    pub budget: Option<Cost>,
+}
+
+impl TenantSpec {
+    /// A tenant with the given fair-share weight and no budget.
+    pub fn new(name: impl Into<String>, weight: f64) -> Self {
+        TenantSpec {
+            name: name.into(),
+            weight,
+            budget: None,
+        }
+    }
+
+    /// Caps the tenant's admitted spend.
+    pub fn with_budget(mut self, budget: Cost) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Validates the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbError::InvalidConfig`] for a zero, negative, or
+    /// non-finite weight (a zero-weight tenant would silently starve:
+    /// its share ratio is infinite, so it never wins a dispatch), or a
+    /// non-positive budget.
+    pub fn validate(&self) -> Result<()> {
+        if !self.weight.is_finite() || self.weight <= 0.0 {
+            return Err(RbError::InvalidConfig(format!(
+                "tenant `{}`: weight must be finite and > 0, got {}",
+                self.name, self.weight
+            )));
+        }
+        if let Some(b) = self.budget {
+            if b <= Cost::ZERO {
+                return Err(RbError::InvalidConfig(format!(
+                    "tenant `{}`: budget must be positive, got {b}",
+                    self.name
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One tuning job submitted to the service: a fully prepared executor
+/// (spec + plan + options, seed included), its sampled configurations,
+/// the virtual time it arrives, and the tenant submitting it.
+#[derive(Debug, Clone)]
+pub struct JobRequest {
+    /// The prepared executor (consumed when the job dispatches).
+    pub executor: Executor,
+    /// Hyperparameter configurations for the initial trials.
+    pub configs: Vec<Config>,
+    /// Virtual arrival time.
+    pub arrival: SimTime,
+    /// Index into the service's tenant list.
+    pub tenant: usize,
+}
+
+impl JobRequest {
+    /// Bundles a prepared executor into a service submission.
+    pub fn new(executor: Executor, configs: Vec<Config>, arrival: SimTime, tenant: usize) -> Self {
+        JobRequest {
+            executor,
+            configs,
+            arrival,
+            tenant,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_weight_is_a_typed_error() {
+        for w in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = TenantSpec::new("t", w).validate().unwrap_err();
+            assert!(matches!(err, RbError::InvalidConfig(_)), "{w}: {err:?}");
+        }
+        assert!(TenantSpec::new("t", 0.5).validate().is_ok());
+    }
+
+    #[test]
+    fn non_positive_budget_is_a_typed_error() {
+        let err = TenantSpec::new("t", 1.0)
+            .with_budget(Cost::ZERO)
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, RbError::InvalidConfig(_)), "{err:?}");
+        assert!(TenantSpec::new("t", 1.0)
+            .with_budget(Cost::from_dollars(5.0))
+            .validate()
+            .is_ok());
+    }
+}

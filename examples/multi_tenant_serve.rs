@@ -1,0 +1,64 @@
+//! A multi-tenant tuning service: two teams share one cluster budget,
+//! their jobs interleaved by the fair-share scheduler, with a shared
+//! elastic instance pool handing capacity released at one job's barrier
+//! straight to the next job — and the same workload re-run with the
+//! pool disabled to show what the handoffs are worth.
+//!
+//! Run with: `cargo run --release --example multi_tenant_serve`
+
+use rubberband::prelude::*;
+use rubberband::rb_cloud::catalog::P3_8XLARGE;
+use rubberband::rb_cloud::PoolConfig;
+use rubberband::rb_hpo::{Dim, ShaParams};
+use rubberband::rb_serve;
+use rubberband::rb_train::task::resnet50_cifar10;
+use rubberband::ServeWorkload;
+
+fn main() {
+    // An SHA(n=8, r=1, R=8) sweep per job, ResNet-50 physics, paid
+    // ingress (100 GB dataset at $0.02/GB) so warm handoffs have real
+    // dollar value.
+    let spec = ShaParams::new(8, 1, 8).generate().unwrap();
+    let task = resnet50_cifar10();
+    let physics = ModelProfile::exact_for_task(&task, 512, 4);
+    let cloud = CloudProfile::new(
+        CloudPricing::on_demand(P3_8XLARGE).with_data_price(Cost::from_dollars(0.02)),
+    )
+    .with_provision_delay(SimDuration::from_secs(15))
+    .with_init_latency(SimDuration::from_secs(15))
+    .with_dataset_gb(100.0);
+    let space = SearchSpace::new()
+        .add("lr", Dim::LogUniform { lo: 1e-3, hi: 1.0 })
+        .build()
+        .unwrap();
+
+    // Research gets twice prod's fair share; prod has a hard budget.
+    let workload = ServeWorkload {
+        tenants: vec![
+            rb_serve::TenantSpec::new("research", 2.0),
+            rb_serve::TenantSpec::new("prod", 1.0).with_budget(Cost::from_dollars(500.0)),
+        ],
+        jobs_per_tenant: 3,
+        mean_interarrival_secs: 300.0,
+        seed: 42,
+    };
+    let deadline = SimDuration::from_hours(2);
+
+    for (label, pool) in [
+        ("pool off", None),
+        ("pool on ", Some(PoolConfig::default())),
+    ] {
+        let options = rb_serve::ServeOptions {
+            max_concurrent: 2,
+            max_queue: 16,
+            pool,
+        };
+        let report = rubberband::serve(
+            &workload, &spec, &task, &physics, &cloud, &space, deadline, &options,
+        )
+        .unwrap();
+        println!("=== {label} ===");
+        print!("{}", report.render());
+        println!();
+    }
+}

@@ -43,6 +43,8 @@ cargo test -q --offline
 
 echo "== bench smoke =="
 cargo run -p rb-bench --release --offline --bin bench -- --smoke
+grep -q '"jobs_per_sec"' BENCH_sim.json \
+    || { echo "FAIL: BENCH_sim.json has no serve jobs_per_sec"; exit 1; }
 
 echo "== churn smoke (alloc counter + thread-count determinism) =="
 churn_out=$(cargo run -p rb-bench --release --offline --features alloc-counter --bin bench -- --churn --smoke)
@@ -73,6 +75,21 @@ summary=$(mktemp)
 cargo run -p rb-bench --release --offline --bin repro -- quick ext-chaos \
     | grep '^ext-chaos summary:' > "$summary"
 diff -u scripts/expected_ext_chaos.txt "$summary"
+rm -f "$summary"
+echo "ok"
+
+echo "== ext-serve smoke (seeded; summary must match the expectation) =="
+# Multi-tenant service sweep (tenants x arrival gaps), every cell run
+# pool-off and pool-on at shared seeds. The pinned summary encodes the
+# service-layer contract: the pool is cheaper in every pair
+# (pool_cheaper == pairs) at equal-or-better median queue wait
+# (wait_regressions=0), with no double releases. A drift means the
+# fair-share scheduler, the pool lifecycle, or the billing accounting
+# changed behaviour.
+summary=$(mktemp)
+cargo run -p rb-bench --release --offline --bin repro -- quick ext-serve \
+    | grep '^ext-serve summary:' > "$summary"
+diff -u scripts/expected_ext_serve.txt "$summary"
 rm -f "$summary"
 echo "ok"
 
