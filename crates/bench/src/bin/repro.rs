@@ -6,6 +6,8 @@
 //! repro <artifact>...        # trace fig4 fig9 fig10 fig11 fig12 table1 table2 table3 table4
 //! repro all                  # everything (several minutes in release mode)
 //! repro quick                # reduced sweeps for a fast smoke run
+//! repro replay               # replay repro_out/trace.jsonl, assert bit-equality
+//! repro fleet                # write per-run manifests for the rollup CLI
 //! ```
 
 use rb_bench::csv;
@@ -251,6 +253,76 @@ fn ablations() {
     }
 }
 
+fn replay_artifact() {
+    // Replay closure: rebuild the run from repro_out/trace.jsonl ALONE
+    // (no planner, no simulator), then check bit-equality against a
+    // fresh live run at the trace seed.
+    let path = Path::new("repro_out").join("trace.jsonl");
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            rb_obs::log_error!("repro", "replay: cannot read {}: {e}", path.display());
+            rb_obs::log_error!("repro", "replay: run `repro trace` first");
+            std::process::exit(1);
+        }
+    };
+    let replayed = match rb_replay::replay_jsonl(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            rb_obs::log_error!("repro", "replay: {e}");
+            std::process::exit(1);
+        }
+    };
+    let live = match rb_bench::trace::run_trace(1) {
+        Ok(art) => art,
+        Err(e) => {
+            rb_obs::log_error!("repro", "replay: live reference run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let report_ok = format!("{:?}", replayed.report) == format!("{:?}", live.report);
+    let summary_ok = replayed.summary.render() == live.summary.render();
+    if !report_ok || !summary_ok {
+        rb_obs::log_error!(
+            "repro",
+            "replay: MISMATCH vs live run (report {}, summary {})",
+            if report_ok { "ok" } else { "differs" },
+            if summary_ok { "ok" } else { "differs" }
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "replay: repro_out/trace.jsonl reproduces the live run bit-for-bit \
+         ({} stages, {} trace events; report ok, summary ok)\n",
+        replayed.report.stages.len(),
+        replayed.report.trace.events.len()
+    );
+    // The summary goes last, mirroring `repro trace`: scripts/verify.sh
+    // diffs `run summary:` to end-of-output for both artifacts.
+    print!("{}", replayed.summary.render());
+}
+
+fn fleet_artifact(seed: u64) {
+    match rb_bench::fleet::build_fleet(seed) {
+        Ok(records) => {
+            let dir = Path::new("repro_out").join("fleet");
+            match rb_bench::fleet::write_fleet(&dir, &records) {
+                Ok(n) => {
+                    let sweeps: std::collections::BTreeSet<&str> =
+                        records.iter().map(|r| r.sweep.as_str()).collect();
+                    println!(
+                        "fleet: wrote {n} run manifests across {} sweeps under repro_out/fleet/",
+                        sweeps.len()
+                    );
+                    println!("fleet: aggregate with `rollup repro_out/fleet`");
+                }
+                Err(e) => rb_obs::log_error!("repro", "fleet: writing manifests failed: {e}"),
+            }
+        }
+        Err(e) => rb_obs::log_error!("repro", "fleet failed: {e}"),
+    }
+}
+
 fn trace_artifact() {
     match rb_bench::trace::run_trace(1) {
         Ok(art) => {
@@ -284,7 +356,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: repro [quick] [--csv] <trace|fig4|fig9|fig10|fig11|fig12|table1|table2|table3|table4|ext-spot|ext-budget|ext-asha|ext-instances|ext-adapt|ext-chaos|ext-serve|ablations|all>..."
+            "usage: repro [quick] [--csv] <trace|replay|fleet|fig4|fig9|fig10|fig11|fig12|table1|table2|table3|table4|ext-spot|ext-budget|ext-asha|ext-instances|ext-adapt|ext-chaos|ext-serve|ablations|all>..."
         );
         std::process::exit(2);
     }
@@ -341,6 +413,8 @@ fn main() {
             "ext-serve" => ext_serve(quick),
             "ablations" => ablations(),
             "trace" => trace_artifact(),
+            "replay" => replay_artifact(),
+            "fleet" => fleet_artifact(1),
             other => {
                 eprintln!("unknown artifact `{other}`");
                 std::process::exit(2);

@@ -12,6 +12,7 @@ pub mod common;
 pub mod csv;
 pub mod ext;
 pub mod figures;
+pub mod fleet;
 pub mod serve;
 pub mod tables;
 pub mod trace;

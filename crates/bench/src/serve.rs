@@ -101,6 +101,36 @@ fn serve_jobs(jobs: usize, tenants: usize, gap_secs: u64, seed: u64) -> Result<V
         .collect()
 }
 
+/// One completed service job, flattened for the fleet manifests: the
+/// cell coordinates, the billing tenant, and the job's own meters.
+#[derive(Debug, Clone)]
+pub struct ServeJobRow {
+    /// Number of tenants sharing the service.
+    pub tenants: usize,
+    /// Seconds between consecutive job arrivals.
+    pub gap_secs: u64,
+    /// Whether the shared instance pool was enabled.
+    pub pool: bool,
+    /// The submitting tenant's name (`tenant-{i}`).
+    pub tenant: String,
+    /// Job completion time (from dispatch), virtual milliseconds.
+    pub jct_ms: u64,
+    /// Compute + data cost in micro-dollars.
+    pub cost_micros: i64,
+    /// Queue wait before dispatch, virtual milliseconds.
+    pub queue_wait_ms: u64,
+    /// Spot preemptions the job absorbed.
+    pub preemptions: u32,
+    /// Faults injected into the job.
+    pub faults: u64,
+    /// Provisioning retry rounds.
+    pub retries: u64,
+    /// Checkpoint generation fallbacks.
+    pub fallbacks: u64,
+    /// Stages run on degraded capacity.
+    pub degraded: u32,
+}
+
 /// Runs the sweep: every (tenant count × arrival gap) cell with the
 /// pool off and on, four jobs per cell on a serial service so each
 /// successor can adopt its predecessor's fleet.
@@ -109,7 +139,23 @@ fn serve_jobs(jobs: usize, tenants: usize, gap_secs: u64, seed: u64) -> Result<V
 ///
 /// Propagates service and executor errors.
 pub fn ext_serve(tenant_counts: &[usize], gaps: &[u64], seed: u64) -> Result<Vec<ServeCell>> {
+    ext_serve_with_jobs(tenant_counts, gaps, seed).map(|(cells, _)| cells)
+}
+
+/// [`ext_serve`] also returning one [`ServeJobRow`] per completed job,
+/// in completion order — the per-run records the `repro fleet`
+/// artifact turns into rollup manifests.
+///
+/// # Errors
+///
+/// Propagates service and executor errors.
+pub fn ext_serve_with_jobs(
+    tenant_counts: &[usize],
+    gaps: &[u64],
+    seed: u64,
+) -> Result<(Vec<ServeCell>, Vec<ServeJobRow>)> {
     let mut cells = Vec::new();
+    let mut jobs = Vec::new();
     for &tenants in tenant_counts {
         for &gap in gaps {
             for pool in [false, true] {
@@ -125,6 +171,22 @@ pub fn ext_serve(tenant_counts: &[usize], gaps: &[u64], seed: u64) -> Result<Vec
                 )?;
                 let report = service.run(serve_jobs(4, tenants, gap, seed)?)?;
                 let stats = report.pool.clone().unwrap_or_default();
+                for outcome in &report.outcomes {
+                    jobs.push(ServeJobRow {
+                        tenants,
+                        gap_secs: gap,
+                        pool,
+                        tenant: format!("tenant-{}", outcome.tenant),
+                        jct_ms: outcome.report.jct.as_millis(),
+                        cost_micros: outcome.report.total_cost().as_micros(),
+                        queue_wait_ms: outcome.queue_wait.as_millis(),
+                        preemptions: outcome.report.preemptions,
+                        faults: outcome.report.faults_injected,
+                        retries: outcome.report.provision_retries,
+                        fallbacks: outcome.report.checkpoint_fallbacks,
+                        degraded: outcome.report.degraded_stages,
+                    });
+                }
                 cells.push(ServeCell {
                     tenants,
                     gap_secs: gap,
@@ -145,7 +207,7 @@ pub fn ext_serve(tenant_counts: &[usize], gaps: &[u64], seed: u64) -> Result<Vec
             }
         }
     }
-    Ok(cells)
+    Ok((cells, jobs))
 }
 
 /// Renders the sweep, ending with a machine-checkable summary line.

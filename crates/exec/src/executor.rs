@@ -13,7 +13,7 @@ use crate::report::{ExecutionReport, ExecutionTrace, StageRecord, TraceEvent};
 use rb_cloud::FaultPlan;
 use rb_core::{mix_seed, Cost, Distribution, Prng, RbError, Result, SimDuration, SimTime, TrialId};
 use rb_hpo::{select_survivors, Config, ExperimentSpec};
-use rb_obs::{Lane, RecorderHandle};
+use rb_obs::{Lane, RecorderHandle, SpanTracker, Value};
 use rb_placement::{scatter_placement, ClusterState, PlacementController, PlacementPlan};
 use rb_profile::{CloudProfile, ModelProfile};
 use rb_scaling::PlacementQuality;
@@ -494,6 +494,10 @@ pub struct ExecutorCore {
     degraded_stages: u32,
     trace: ExecutionTrace,
     recorder: RecorderHandle,
+    /// Explicit span ids for the run/stage span pairs (only advanced
+    /// when a recording sink is attached; ids are trace data, not
+    /// execution state).
+    spans: SpanTracker,
 }
 
 impl ExecutorCore {
@@ -570,7 +574,7 @@ impl ExecutorCore {
             );
         }
         let live: Vec<TrialId> = trials.keys().copied().collect();
-        Ok(ExecutorCore {
+        let mut core = ExecutorCore {
             exec: exec.clone(),
             plan,
             gpg,
@@ -590,7 +594,18 @@ impl ExecutorCore {
             degraded_stages: 0,
             trace: ExecutionTrace::default(),
             recorder,
-        })
+            spans: SpanTracker::new(),
+        };
+        if core.recorder.enabled() {
+            // The run span opens the moment the core exists (admission
+            // time under a service) so a streaming sink carries the
+            // start long before the outcome is known; `finish` closes
+            // it with the run's results.
+            let (run, parent) = core.spans.open();
+            core.recorder
+                .span_start(start, "exec", "run", Lane::Global, run, parent, Vec::new());
+        }
+        Ok(core)
     }
 
     /// The core's virtual clock: the last completed barrier (or the start
@@ -645,6 +660,18 @@ impl ExecutorCore {
         self.now = self.now.max(now);
         let stage = self.stage;
         let stage_start = self.now;
+        if self.recorder.enabled() {
+            let (span, parent) = self.spans.open();
+            self.recorder.span_start(
+                stage_start,
+                "exec",
+                "stage",
+                Lane::Stage(stage as u32),
+                span,
+                parent,
+                vec![("stage", (stage as u64).into())],
+            );
+        }
         let (stage_trials, units) = self.exec.spec.get_stage(stage)?;
         let mut setup = self.exec.scale_and_place(
             &self.plan,
@@ -882,18 +909,35 @@ impl ExecutorCore {
             migrations: stage_migrations,
         });
         if self.recorder.enabled() {
-            self.recorder.span(
-                stage_start,
+            // The stage span closes with the full StageRecord payload,
+            // so a replay can rebuild the per-stage timeline from the
+            // trace alone.
+            self.recorder.span_end(
                 self.now,
                 "exec",
                 "stage",
                 Lane::Stage(stage as u32),
+                self.spans.close(),
                 vec![
+                    ("stage", (stage as u64).into()),
+                    ("train_start_ms", train_start.as_millis().into()),
                     ("trials", stage_trials.into()),
+                    (
+                        "gpus_per_trial",
+                        setup
+                            .allocations
+                            .values()
+                            .next()
+                            .copied()
+                            .unwrap_or(1)
+                            .into(),
+                    ),
                     ("instances", (setup.needed as u64).into()),
                     ("migrations", stage_migrations.into()),
                 ],
             );
+            // Stage barriers are the stream's durability points.
+            self.recorder.flush();
         }
         if stage_shortfall > 0 {
             self.degraded_stages += 1;
@@ -970,42 +1014,7 @@ impl ExecutorCore {
             compute_cost = self.cm.compute_cost(self.now);
             data_cost = self.cm.data_cost();
         }
-        if self.recorder.enabled() {
-            // The billing meter's spend curve: cumulative compute cost at
-            // each instance release, on the cloud lane.
-            for (t, c) in self.cm.cost_timeline(self.now) {
-                self.recorder
-                    .gauge(t, "cloud", "spend_usd", Lane::Cloud, c.as_dollars());
-            }
-            self.recorder
-                .span(self.t0, self.now, "exec", "run", Lane::Global, Vec::new());
-        }
-        self.recorder
-            .counter_add("exec", "migrations", u64::from(self.total_migrations));
-        self.recorder
-            .counter_add("exec", "preemptions", u64::from(self.total_preemptions));
-        self.recorder.counter_add(
-            "exec",
-            "instances_provisioned",
-            self.cm.instances_provisioned() as u64,
-        );
         let faults_injected = self.cm.fault_counts().total() + self.store.corruptions_injected();
-        if faults_injected > 0 {
-            // Recovery rollup, emitted only when the injector actually
-            // fired so calm traces stay byte-stable.
-            self.recorder
-                .counter_add("exec", "faults_injected", faults_injected);
-            self.recorder
-                .counter_add("exec", "provision_retries", self.total_retries);
-            self.recorder
-                .counter_add("exec", "checkpoint_fallbacks", self.checkpoint_fallbacks);
-            self.recorder
-                .counter_add("exec", "degraded_stages", u64::from(self.degraded_stages));
-        }
-        #[cfg(debug_assertions)]
-        if let Err(violation) = self.trace.check_invariants() {
-            panic!("execution trace ordering contract violated: {violation}");
-        }
         let best_trial = *self
             .live
             .first()
@@ -1026,6 +1035,90 @@ impl ExecutorCore {
                 (t, samples / rt.busy_secs)
             })
             .collect();
+        if self.recorder.enabled() {
+            // The billing meter's spend curve: cumulative compute cost at
+            // each instance release, on the cloud lane.
+            for (t, c) in self.cm.cost_timeline(self.now) {
+                self.recorder
+                    .gauge(t, "cloud", "spend_usd", Lane::Cloud, c.as_dollars());
+            }
+            // Result-carrying events: everything a replay needs to
+            // rebuild the report that only the executor knows. Costs
+            // travel as integer micros (exact), f64 metrics rely on the
+            // exporter's shortest-roundtrip formatting.
+            for (&t, &sps) in &trial_throughput {
+                self.recorder.instant(
+                    self.now,
+                    "exec",
+                    "trial.throughput",
+                    Lane::Trial(t.raw()),
+                    vec![("sps", sps.into())],
+                );
+            }
+            for (name, value) in best_config.iter() {
+                let mut fields: Vec<(&'static str, Value)> = vec![("param", name.clone().into())];
+                match value {
+                    rb_hpo::ConfigValue::Float(v) => fields.push(("float", (*v).into())),
+                    rb_hpo::ConfigValue::Int(v) => fields.push(("int", (*v).into())),
+                    rb_hpo::ConfigValue::Choice(s) => fields.push(("choice", s.clone().into())),
+                }
+                self.recorder
+                    .instant(self.now, "exec", "run.best_param", Lane::Global, fields);
+            }
+            let mut result: Vec<(&'static str, Value)> = vec![
+                ("compute_cost_micros", compute_cost.as_micros().into()),
+                ("data_cost_micros", data_cost.as_micros().into()),
+                ("best_trial", best_trial.raw().into()),
+                ("best_accuracy", best_accuracy.into()),
+                ("migrations", u64::from(self.total_migrations).into()),
+                ("preemptions", u64::from(self.total_preemptions).into()),
+                (
+                    "instances_provisioned",
+                    (self.cm.instances_provisioned() as u64).into(),
+                ),
+                ("faults_injected", faults_injected.into()),
+                ("provision_retries", self.total_retries.into()),
+                ("checkpoint_fallbacks", self.checkpoint_fallbacks.into()),
+                ("degraded_stages", u64::from(self.degraded_stages).into()),
+            ];
+            if let Some(u) = utilization {
+                result.push(("utilization", u.into()));
+            }
+            self.recorder.span_end(
+                self.now,
+                "exec",
+                "run",
+                Lane::Global,
+                self.spans.close(),
+                result,
+            );
+            self.recorder.flush();
+        }
+        self.recorder
+            .counter_add("exec", "migrations", u64::from(self.total_migrations));
+        self.recorder
+            .counter_add("exec", "preemptions", u64::from(self.total_preemptions));
+        self.recorder.counter_add(
+            "exec",
+            "instances_provisioned",
+            self.cm.instances_provisioned() as u64,
+        );
+        if faults_injected > 0 {
+            // Recovery rollup, emitted only when the injector actually
+            // fired so calm traces stay byte-stable.
+            self.recorder
+                .counter_add("exec", "faults_injected", faults_injected);
+            self.recorder
+                .counter_add("exec", "provision_retries", self.total_retries);
+            self.recorder
+                .counter_add("exec", "checkpoint_fallbacks", self.checkpoint_fallbacks);
+            self.recorder
+                .counter_add("exec", "degraded_stages", u64::from(self.degraded_stages));
+        }
+        #[cfg(debug_assertions)]
+        if let Err(violation) = self.trace.check_invariants() {
+            panic!("execution trace ordering contract violated: {violation}");
+        }
         Ok(ExecutionReport {
             jct,
             compute_cost,
@@ -2279,9 +2372,9 @@ mod tests {
         let log = sink.finish();
         let derived = ExecutionTrace::from_events(&log.events);
         assert_eq!(derived, report.trace);
-        // The bus carries more than the trace: stage spans, gauges, and
-        // the cloud provider's own lifecycle events.
-        assert!(log.events_named("exec", "stage").count() == report.stages.len());
+        // The bus carries more than the trace: stage span pairs, gauges,
+        // and the cloud provider's own lifecycle events.
+        assert!(log.events_named("exec", "stage").count() == 2 * report.stages.len());
         assert!(log.events_named("cloud", "provision").count() > 0);
         // Instance-level preemptions (cloud lane) need not equal the
         // trial-level count (colocated trials each count the same node),

@@ -18,13 +18,15 @@
 //! | 3   | control      | 1 ctrl, 2 planner, 3 cloud, 4 global |
 //! | 4   | stages       | stage index + 1        |
 //! | 5   | jobs         | job id + 1             |
+//! | 6   | brackets     | bracket index + 1      |
 //!
-//! Spans become `ph:"X"` complete events, instants `ph:"i"`, gauges
-//! `ph:"C"` counter tracks. Timestamps are microseconds of virtual
-//! time.
+//! Closed spans become `ph:"X"` complete events, explicit
+//! `span_start`/`span_end` pairs become `ph:"B"`/`ph:"E"` begin/end
+//! events, instants `ph:"i"`, gauges `ph:"C"` counter tracks.
+//! Timestamps are microseconds of virtual time.
 
 use crate::json::{write_json_f64, write_json_str};
-use crate::memory::TraceLog;
+use crate::memory::{CounterEntry, HistogramEntry, TraceLog};
 use crate::recorder::{Event, EventKind, Lane, Value};
 use std::fmt::Write as _;
 
@@ -57,8 +59,10 @@ fn write_fields(out: &mut String, fields: &[(&'static str, Value)]) {
     out.push('}');
 }
 
-/// Renders one event as its JSONL line (no trailing newline).
-fn write_event_line(out: &mut String, seq: usize, event: &Event) {
+/// Renders one event as its JSONL line (no trailing newline). Shared by
+/// the batch exporter and [`crate::streaming::StreamingRecorder`], so
+/// both produce identical bytes for the same event stream.
+pub(crate) fn write_event_line(out: &mut String, seq: usize, event: &Event) {
     let _ = write!(out, "{{\"seq\":{seq},\"t_ms\":{}", event.at.as_millis());
     out.push_str(",\"scope\":");
     write_json_str(out, event.scope);
@@ -75,6 +79,15 @@ fn write_event_line(out: &mut String, seq: usize, event: &Event) {
             out.push_str(",\"kind\":\"gauge\",\"value\":");
             write_json_f64(out, *value);
         }
+        EventKind::SpanStart { span, parent } => {
+            let _ = write!(out, ",\"kind\":\"span_start\",\"span_id\":{}", span.0);
+            if let Some(parent) = parent {
+                let _ = write!(out, ",\"parent_id\":{}", parent.0);
+            }
+        }
+        EventKind::SpanEnd { span } => {
+            let _ = write!(out, ",\"kind\":\"span_end\",\"span_id\":{}", span.0);
+        }
     }
     out.push_str(",\"fields\":");
     write_fields(out, &event.fields);
@@ -90,40 +103,52 @@ pub fn export_jsonl(log: &TraceLog) -> String {
         write_event_line(&mut out, seq, event);
         out.push('\n');
     }
-    for counter in &log.counters {
+    write_metric_lines(&mut out, &log.counters, &log.histograms, log.dropped_events);
+    out
+}
+
+/// Renders the trailing metric lines (counters sorted, then histograms,
+/// then the dropped-events note). Shared by [`export_jsonl`] and the
+/// streaming sink's `finish`, so the metric tail is byte-identical
+/// regardless of which sink produced the stream.
+pub(crate) fn write_metric_lines(
+    out: &mut String,
+    counters: &[CounterEntry],
+    histograms: &[HistogramEntry],
+    dropped_events: u64,
+) {
+    for counter in counters {
         let _ = write!(out, "{{\"metric\":\"counter\",\"scope\":");
-        write_json_str(&mut out, counter.scope);
+        write_json_str(out, counter.scope);
         out.push_str(",\"name\":");
-        write_json_str(&mut out, counter.name);
+        write_json_str(out, counter.name);
         let _ = write!(out, ",\"value\":{}}}", counter.value);
         out.push('\n');
     }
-    for hist in &log.histograms {
+    for hist in histograms {
         out.push_str("{\"metric\":\"histogram\",\"scope\":");
-        write_json_str(&mut out, hist.scope);
+        write_json_str(out, hist.scope);
         out.push_str(",\"name\":");
-        write_json_str(&mut out, hist.name);
+        write_json_str(out, hist.name);
         let _ = write!(out, ",\"count\":{}", hist.count);
         out.push_str(",\"min\":");
-        write_json_f64(&mut out, hist.min);
+        write_json_f64(out, hist.min);
         out.push_str(",\"max\":");
-        write_json_f64(&mut out, hist.max);
+        write_json_f64(out, hist.max);
         out.push_str(",\"p50\":");
-        write_json_f64(&mut out, hist.p50);
+        write_json_f64(out, hist.p50);
         out.push_str(",\"p90\":");
-        write_json_f64(&mut out, hist.p90);
+        write_json_f64(out, hist.p90);
         out.push_str("}\n");
     }
-    if log.dropped_events > 0 {
+    if dropped_events > 0 {
         // A bounded recorder evicted events; note the count as a
         // synthetic counter so readers know the stream is a tail.
         let _ = writeln!(
             out,
-            "{{\"metric\":\"counter\",\"scope\":\"obs\",\"name\":\"dropped_events\",\"value\":{}}}",
-            log.dropped_events
+            "{{\"metric\":\"counter\",\"scope\":\"obs\",\"name\":\"dropped_events\",\"value\":{dropped_events}}}",
         );
     }
-    out
 }
 
 /// (pid, tid) placement of a lane in the Chrome trace.
@@ -137,6 +162,7 @@ fn lane_track(lane: &Lane) -> (u64, u64) {
         Lane::Global => (3, 4),
         Lane::Stage(s) => (4, u64::from(*s) + 1),
         Lane::Job(id) => (5, id + 1),
+        Lane::Bracket(b) => (6, u64::from(*b) + 1),
     }
 }
 
@@ -150,6 +176,7 @@ fn lane_thread_name(lane: &Lane) -> String {
         Lane::Global => "run".to_owned(),
         Lane::Stage(s) => format!("stage {s}"),
         Lane::Job(id) => format!("job {id}"),
+        Lane::Bracket(b) => format!("bracket {b}"),
     }
 }
 
@@ -178,6 +205,7 @@ pub fn export_chrome(log: &TraceLog) -> String {
         (3, "control"),
         (4, "stages"),
         (5, "jobs"),
+        (6, "brackets"),
     ] {
         push_metadata(&mut entries, "process_name", pid, None, name);
     }
@@ -243,6 +271,33 @@ pub fn export_chrome(log: &TraceLog) -> String {
                     event.scope
                 );
                 write_fields(&mut line, &event.fields);
+                line.push('}');
+            }
+            EventKind::SpanStart { span, parent } => {
+                write_json_str(&mut line, &full);
+                let _ = write!(
+                    line,
+                    ",\"cat\":\"{}\",\"ph\":\"B\",\"ts\":{ts_us},\"pid\":{pid},\"tid\":{tid},\"args\":",
+                    event.scope
+                );
+                let mut args = event.fields.clone();
+                args.push(("span_id", Value::U64(span.0)));
+                if let Some(parent) = parent {
+                    args.push(("parent_id", Value::U64(parent.0)));
+                }
+                write_fields(&mut line, &args);
+                line.push('}');
+            }
+            EventKind::SpanEnd { span } => {
+                write_json_str(&mut line, &full);
+                let _ = write!(
+                    line,
+                    ",\"cat\":\"{}\",\"ph\":\"E\",\"ts\":{ts_us},\"pid\":{pid},\"tid\":{tid},\"args\":",
+                    event.scope
+                );
+                let mut args = event.fields.clone();
+                args.push(("span_id", Value::U64(span.0)));
+                write_fields(&mut line, &args);
                 line.push('}');
             }
         }
@@ -316,8 +371,8 @@ mod tests {
         let doc = export_chrome(&sample_log());
         let parsed = parse_json(&doc).expect("chrome export parses");
         let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
-        // 5 process_name + 3 thread_name + 3 events
-        assert_eq!(events.len(), 11);
+        // 6 process_name + 3 thread_name + 3 events
+        assert_eq!(events.len(), 12);
         let span = events
             .iter()
             .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
@@ -364,6 +419,117 @@ mod tests {
         // double as the regression guard).
         assert!(!export_jsonl(&sample_log()).contains("dropped_events"));
         assert!(!export_chrome(&sample_log()).contains("dropped_events"));
+    }
+
+    #[test]
+    fn drops_after_a_snapshot_still_reach_both_exports_consistently() {
+        // Regression: eviction bookkeeping is live state, not snapshot
+        // state. Drops that happen *after* an earlier finish() (e.g. a
+        // mid-run flush for progress reporting) must still be counted
+        // in later exports, and JSONL and Chrome must agree on the
+        // number.
+        let rec = MemoryRecorder::new().with_capacity(2);
+        for i in 0..3u64 {
+            rec.instant(SimTime::from_millis(i), "t", "e", Lane::Global, Vec::new());
+        }
+        let early = rec.finish();
+        assert_eq!(early.dropped_events, 1);
+        // Two more events after the snapshot, both evicting.
+        for i in 3..5u64 {
+            rec.instant(SimTime::from_millis(i), "t", "e", Lane::Global, Vec::new());
+        }
+        let log = rec.finish();
+        assert_eq!(log.dropped_events, 3, "post-snapshot drops accumulate");
+        let jsonl = export_jsonl(&log);
+        let note = jsonl.lines().last().unwrap();
+        assert_eq!(
+            note,
+            "{\"metric\":\"counter\",\"scope\":\"obs\",\"name\":\"dropped_events\",\"value\":3}"
+        );
+        crate::schema::validate_jsonl(&jsonl).expect("tail export validates");
+        let chrome = export_chrome(&log);
+        let parsed = parse_json(&chrome).expect("chrome export parses");
+        let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        let meta = events
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("dropped_events"))
+            .expect("chrome carries the drop note");
+        assert_eq!(
+            meta.get("args").unwrap().get("count").unwrap().as_u64(),
+            Some(3),
+            "JSONL and Chrome agree on dropped_count"
+        );
+    }
+
+    #[test]
+    fn explicit_span_pairs_export_to_both_formats() {
+        use crate::recorder::{SpanId, SpanTracker};
+        let rec = MemoryRecorder::new();
+        let mut spans = SpanTracker::new();
+        let (run, _) = spans.open();
+        rec.span_start(
+            SimTime::ZERO,
+            "exec",
+            "run",
+            Lane::Global,
+            run,
+            None,
+            Vec::new(),
+        );
+        let (stage, parent) = spans.open();
+        rec.span_start(
+            SimTime::from_millis(5),
+            "exec",
+            "stage",
+            Lane::Stage(0),
+            stage,
+            parent,
+            vec![("stage", 0u64.into())],
+        );
+        rec.span_end(
+            SimTime::from_millis(9),
+            "exec",
+            "stage",
+            Lane::Stage(0),
+            spans.close(),
+            Vec::new(),
+        );
+        rec.span_end(
+            SimTime::from_millis(10),
+            "exec",
+            "run",
+            Lane::Global,
+            spans.close(),
+            Vec::new(),
+        );
+        assert_eq!(stage, SpanId(1));
+        let log = rec.finish();
+        let jsonl = export_jsonl(&log);
+        assert!(jsonl.contains("\"kind\":\"span_start\",\"span_id\":1,\"parent_id\":0"));
+        assert!(jsonl.contains("\"kind\":\"span_end\",\"span_id\":1"));
+        crate::schema::validate_jsonl(&jsonl).expect("span pairs validate");
+        let chrome = export_chrome(&log);
+        let parsed = parse_json(&chrome).expect("chrome export parses");
+        let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        let begins: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("B"))
+            .collect();
+        let ends: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("E"))
+            .collect();
+        assert_eq!(begins.len(), 2);
+        assert_eq!(ends.len(), 2);
+        assert_eq!(
+            begins[1]
+                .get("args")
+                .unwrap()
+                .get("parent_id")
+                .unwrap()
+                .as_u64(),
+            Some(0)
+        );
     }
 
     #[test]

@@ -12,10 +12,16 @@
 //!   different rows;
 //! * `Trial(t)` → `Trial(j·stride + t)` and `Node(n)` →
 //!   `Node(j·stride + n)` — disjoint id ranges per job;
-//! * `Stage(s)` → `Stage(j·stride + s)` — likewise;
+//! * `Stage(s)` → `Stage(j·stride + s)` and `Bracket(b)` →
+//!   `Bracket(j·stride + b)` — likewise;
 //! * `Cloud`, `Controller`, `Planner` stay shared: they are genuinely
 //!   global subsystems (the pool handoff events on the cloud lane are
 //!   exactly the cross-job story the trace should show in one place).
+//!
+//! Explicit span ids get the same treatment: each job numbers its spans
+//! from 0 with its own [`crate::recorder::SpanTracker`], so ids are
+//! offset by `j·stride` to stay unique in the shared stream (the JSONL
+//! schema rejects reused span ids).
 //!
 //! Counters and histograms pass through unscoped — they are already
 //! order-insensitive aggregates.
@@ -23,7 +29,7 @@
 //! Like every recorder, this wrapper only *receives* data; it consumes
 //! no randomness and cannot perturb the run it observes.
 
-use crate::recorder::{Event, Lane, Recorder};
+use crate::recorder::{Event, EventKind, Lane, Recorder, SpanId};
 use std::fmt;
 use std::sync::Arc;
 
@@ -67,8 +73,13 @@ impl JobScopedRecorder {
             Lane::Trial(t) => Lane::Trial(base + t),
             Lane::Node(n) => Lane::Node(base + n),
             Lane::Stage(s) => Lane::Stage((base as u32).saturating_add(s)),
+            Lane::Bracket(b) => Lane::Bracket((base as u32).saturating_add(b)),
             shared => shared,
         }
+    }
+
+    fn remap_span(&self, span: SpanId) -> SpanId {
+        SpanId(self.job * self.stride + span.0)
     }
 }
 
@@ -85,6 +96,14 @@ impl Recorder for JobScopedRecorder {
 
     fn record(&self, mut event: Event) {
         event.lane = self.remap(event.lane);
+        match &mut event.kind {
+            EventKind::SpanStart { span, parent } => {
+                *span = self.remap_span(*span);
+                *parent = parent.map(|p| self.remap_span(p));
+            }
+            EventKind::SpanEnd { span } => *span = self.remap_span(*span),
+            _ => {}
+        }
         self.inner.record(event);
     }
 
@@ -94,6 +113,10 @@ impl Recorder for JobScopedRecorder {
 
     fn histogram(&self, scope: &'static str, name: &'static str, value: f64) {
         self.inner.histogram(scope, name, value);
+    }
+
+    fn flush(&self) {
+        self.inner.flush();
     }
 }
 
@@ -127,6 +150,55 @@ mod tests {
                 Lane::Node(302),
                 Lane::Stage(301),
                 Lane::Cloud,
+            ]
+        );
+    }
+
+    #[test]
+    fn span_ids_are_scoped_per_job() {
+        use crate::recorder::SpanTracker;
+        let shared = Arc::new(MemoryRecorder::new());
+        let j0 = JobScopedRecorder::new(shared.clone(), 0).with_stride(100);
+        let j3 = JobScopedRecorder::new(shared.clone(), 3).with_stride(100);
+        for rec in [&j0, &j3] {
+            let mut spans = SpanTracker::new();
+            let (run, _) = spans.open();
+            rec.span_start(
+                SimTime::ZERO,
+                "exec",
+                "run",
+                Lane::Global,
+                run,
+                None,
+                vec![],
+            );
+            let (stage, parent) = spans.open();
+            rec.span_start(
+                SimTime::ZERO,
+                "exec",
+                "stage",
+                Lane::Stage(0),
+                stage,
+                parent,
+                vec![],
+            );
+        }
+        let log = shared.finish();
+        let ids: Vec<_> = log
+            .events
+            .iter()
+            .map(|e| match e.kind {
+                crate::recorder::EventKind::SpanStart { span, parent } => (span, parent),
+                _ => panic!("span starts only"),
+            })
+            .collect();
+        assert_eq!(
+            ids,
+            vec![
+                (SpanId(0), None),
+                (SpanId(1), Some(SpanId(0))),
+                (SpanId(300), None),
+                (SpanId(301), Some(SpanId(300))),
             ]
         );
     }

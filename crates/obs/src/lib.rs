@@ -31,9 +31,13 @@ pub mod log;
 pub mod memory;
 pub mod recorder;
 pub mod schema;
+pub mod streaming;
 pub mod summary;
 
 pub use job::{JobScopedRecorder, JOB_LANE_STRIDE};
 pub use memory::{CounterEntry, HistogramEntry, MemoryRecorder, MetricsRegistry, TraceLog};
-pub use recorder::{Event, EventKind, Lane, NoopRecorder, Recorder, RecorderHandle, Value};
+pub use recorder::{
+    Event, EventKind, Lane, NoopRecorder, Recorder, RecorderHandle, SpanId, SpanTracker, Value,
+};
+pub use streaming::StreamingRecorder;
 pub use summary::{CacheStats, RunSummary};

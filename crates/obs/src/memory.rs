@@ -65,6 +65,39 @@ impl MetricsRegistry {
         let mut hists = self.histograms.lock().expect("metrics lock poisoned");
         hists.entry((scope, name)).or_default().observe(value);
     }
+
+    /// Snapshots every counter and histogram, sorted by `(scope, name)`;
+    /// histogram quantiles are computed here over sorted values
+    /// (nearest-rank, deterministic regardless of observation order).
+    pub fn snapshot(&self) -> (Vec<CounterEntry>, Vec<HistogramEntry>) {
+        let counters = self
+            .counters
+            .lock()
+            .expect("metrics lock poisoned")
+            .iter()
+            .map(|(&(scope, name), &value)| CounterEntry { scope, name, value })
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("metrics lock poisoned")
+            .iter()
+            .map(|(&(scope, name), data)| {
+                let mut sorted = data.values.clone();
+                sorted.sort_by(|a, b| a.partial_cmp(b).expect("histograms hold no NaN"));
+                HistogramEntry {
+                    scope,
+                    name,
+                    count: data.count,
+                    min: data.min,
+                    max: data.max,
+                    p50: quantile(&sorted, 50),
+                    p90: quantile(&sorted, 90),
+                }
+            })
+            .collect();
+        (counters, histograms)
+    }
 }
 
 /// A counter at snapshot time.
@@ -179,34 +212,7 @@ impl MemoryRecorder {
     pub fn finish(&self) -> TraceLog {
         let events = self.events.lock().expect("event lock poisoned").clone();
         let dropped_events = self.dropped_count();
-        let counters = self
-            .metrics
-            .counters
-            .lock()
-            .expect("metrics lock poisoned")
-            .iter()
-            .map(|(&(scope, name), &value)| CounterEntry { scope, name, value })
-            .collect();
-        let histograms = self
-            .metrics
-            .histograms
-            .lock()
-            .expect("metrics lock poisoned")
-            .iter()
-            .map(|(&(scope, name), data)| {
-                let mut sorted = data.values.clone();
-                sorted.sort_by(|a, b| a.partial_cmp(b).expect("histograms hold no NaN"));
-                HistogramEntry {
-                    scope,
-                    name,
-                    count: data.count,
-                    min: data.min,
-                    max: data.max,
-                    p50: quantile(&sorted, 50),
-                    p90: quantile(&sorted, 90),
-                }
-            })
-            .collect();
+        let (counters, histograms) = self.metrics.snapshot();
         TraceLog {
             events,
             counters,

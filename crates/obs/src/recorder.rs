@@ -43,6 +43,10 @@ pub enum Lane {
     /// admission, dispatch, barriers and completion. Interleaved jobs
     /// stay separable because each gets its own lane.
     Job(u64),
+    /// One Hyperband bracket inside a multi-bracket run: the bracket's
+    /// SHA sub-experiment gets its own lane so bracket sets stay
+    /// separable in fleet traces.
+    Bracket(u32),
 }
 
 impl Lane {
@@ -59,7 +63,60 @@ impl Lane {
             Lane::Planner => "planner".to_owned(),
             Lane::Cloud => "cloud".to_owned(),
             Lane::Job(id) => format!("job:{id}"),
+            Lane::Bracket(b) => format!("bracket:{b}"),
         }
+    }
+}
+
+/// Identity of one explicit span: monotonically assigned by a
+/// [`SpanTracker`], unique within a trace. Explicit spans are emitted as
+/// `span_start`/`span_end` *pairs* ([`EventKind::SpanStart`] /
+/// [`EventKind::SpanEnd`]), unlike the closed [`EventKind::Span`] which
+/// is a single retrospective event. Pairs let a streaming sink flush the
+/// start before the outcome is known, and parent links reconstruct the
+/// span tree offline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+/// Assigns [`SpanId`]s monotonically and tracks the open-span stack so
+/// nested spans get parent links. Lives in the instrumented code (one
+/// per deterministic emission path), not in the recorder: ids are part
+/// of the trace contract, so they must not depend on which sink is
+/// attached.
+#[derive(Debug, Default, Clone)]
+pub struct SpanTracker {
+    next: u64,
+    stack: Vec<SpanId>,
+}
+
+impl SpanTracker {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a span: returns its fresh id plus the enclosing open span
+    /// (the parent), and pushes it on the stack.
+    pub fn open(&mut self) -> (SpanId, Option<SpanId>) {
+        let id = SpanId(self.next);
+        self.next += 1;
+        let parent = self.stack.last().copied();
+        self.stack.push(id);
+        (id, parent)
+    }
+
+    /// Closes the innermost open span and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no span is open — an unbalanced close is an
+    /// instrumentation bug, not a data condition.
+    pub fn close(&mut self) -> SpanId {
+        self.stack.pop().expect("span close without open")
+    }
+
+    /// Number of spans currently open.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
     }
 }
 
@@ -124,6 +181,15 @@ pub enum EventKind {
     Span { end: SimTime },
     /// A sampled value on a time series (drift factor, cost-to-date).
     Gauge { value: f64 },
+    /// Opens explicit span `span` (closed later by a matching
+    /// [`EventKind::SpanEnd`] with the same id). `parent` is the
+    /// enclosing open span, if any.
+    SpanStart {
+        span: SpanId,
+        parent: Option<SpanId>,
+    },
+    /// Closes explicit span `span`.
+    SpanEnd { span: SpanId },
 }
 
 /// One structured observation, stamped in virtual time.
@@ -164,6 +230,12 @@ pub trait Recorder: fmt::Debug + Send + Sync {
     /// Non-finite values are dropped.
     fn histogram(&self, scope: &'static str, name: &'static str, value: f64);
 
+    /// A durability point: sinks that buffer into external storage (the
+    /// streaming JSONL sink) push everything written so far through.
+    /// In-memory sinks ignore it. The executor calls this at stage
+    /// barriers and the service at job completions.
+    fn flush(&self) {}
+
     /// Convenience: records an instant event.
     fn instant(
         &self,
@@ -202,6 +274,53 @@ pub trait Recorder: fmt::Debug + Send + Sync {
                 name,
                 lane,
                 kind: EventKind::Span { end },
+                fields,
+            });
+        }
+    }
+
+    /// Convenience: opens explicit span `span` (pair it with a later
+    /// [`Recorder::span_end`] carrying the same id).
+    #[allow(clippy::too_many_arguments)]
+    fn span_start(
+        &self,
+        at: SimTime,
+        scope: &'static str,
+        name: &'static str,
+        lane: Lane,
+        span: SpanId,
+        parent: Option<SpanId>,
+        fields: Vec<(&'static str, Value)>,
+    ) {
+        if self.enabled() {
+            self.record(Event {
+                at,
+                scope,
+                name,
+                lane,
+                kind: EventKind::SpanStart { span, parent },
+                fields,
+            });
+        }
+    }
+
+    /// Convenience: closes explicit span `span`.
+    fn span_end(
+        &self,
+        at: SimTime,
+        scope: &'static str,
+        name: &'static str,
+        lane: Lane,
+        span: SpanId,
+        fields: Vec<(&'static str, Value)>,
+    ) {
+        if self.enabled() {
+            self.record(Event {
+                at,
+                scope,
+                name,
+                lane,
+                kind: EventKind::SpanEnd { span },
                 fields,
             });
         }
@@ -318,6 +437,32 @@ mod tests {
         assert_eq!(Lane::Global.label(), "global");
         assert_eq!(Lane::Controller.label(), "controller");
         assert_eq!(Lane::Job(5).label(), "job:5");
+        assert_eq!(Lane::Bracket(4).label(), "bracket:4");
+    }
+
+    #[test]
+    fn span_tracker_assigns_monotonic_ids_with_parent_links() {
+        let mut t = SpanTracker::new();
+        let (run, run_parent) = t.open();
+        assert_eq!(run, SpanId(0));
+        assert_eq!(run_parent, None);
+        let (stage, stage_parent) = t.open();
+        assert_eq!(stage, SpanId(1));
+        assert_eq!(stage_parent, Some(run));
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.close(), stage);
+        let (next_stage, p) = t.open();
+        assert_eq!(next_stage, SpanId(2), "ids never reused");
+        assert_eq!(p, Some(run));
+        assert_eq!(t.close(), next_stage);
+        assert_eq!(t.close(), run);
+        assert_eq!(t.depth(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "span close without open")]
+    fn unbalanced_close_panics() {
+        SpanTracker::new().close();
     }
 
     #[test]

@@ -6,17 +6,29 @@
 //! * **Event lines** carry `seq` (integer, strictly increasing from 0),
 //!   `t_ms` (non-negative integer virtual time), `scope`/`name`/`lane`
 //!   (non-empty strings, `lane` one of `global|controller|planner|cloud`
-//!   or `node:<n>|trial:<n>|stage:<n>|job:<n>`), `kind` (`instant`, `span`, or
-//!   `gauge`), and `fields` (object). `span` lines add `end_ms >= t_ms`;
-//!   `gauge` lines add a *finite* numeric or null `value` (non-finite
-//!   readings must be exported as `null`; a numeric literal that
-//!   overflows to infinity is rejected).
+//!   or `node:<n>|trial:<n>|stage:<n>|job:<n>|bracket:<n>`), `kind`
+//!   (`instant`, `span`, `gauge`, `span_start`, or `span_end`), and
+//!   `fields` (object). `span` lines add `end_ms >= t_ms`; `gauge`
+//!   lines add a *finite* numeric or null `value` (non-finite readings
+//!   must be exported as `null`; a numeric literal that overflows to
+//!   infinity is rejected).
+//! * **Explicit span pairs** — `span_start` lines carry a fresh,
+//!   never-reused `span_id` (and optionally a `parent_id` naming an
+//!   earlier `span_id`); `span_end` lines carry the `span_id` of an
+//!   open span and must not be stamped earlier than its start
+//!   (non-monotone span timestamps are rejected). A `span_end` whose
+//!   start was never seen is *unpaired* and rejected — unless the
+//!   stream is a bounded-ring tail (a trailing `obs.dropped_events`
+//!   note), where the start may legitimately have been evicted.
+//! * **Service job events** (`job.submit`/`job.queued`/`job.dispatch`/
+//!   `job.reject`/`job.done`) must sit on a `job:<n>` lane.
 //! * **Metric lines** carry `metric` (`counter` or `histogram`) and
 //!   follow all event lines. Counters carry an integer `value`;
 //!   histograms carry `count`/`min`/`max`/`p50`/`p90` (same finite-or-
 //!   null rule).
 
 use crate::json::{parse_json, Json};
+use std::collections::BTreeMap;
 
 /// Counts from a successful validation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,7 +42,7 @@ fn lane_ok(lane: &str) -> bool {
     match lane {
         "global" | "controller" | "planner" | "cloud" => true,
         _ => lane.split_once(':').is_some_and(|(kind, id)| {
-            matches!(kind, "node" | "trial" | "stage" | "job")
+            matches!(kind, "node" | "trial" | "stage" | "job" | "bracket")
                 && !id.is_empty()
                 && id.bytes().all(|b| b.is_ascii_digit())
         }),
@@ -63,7 +75,26 @@ fn require_num_or_null(obj: &Json, key: &str, line_no: usize) -> Result<(), Stri
     }
 }
 
-fn validate_event_line(obj: &Json, line_no: usize, expected_seq: usize) -> Result<(), String> {
+/// Pairing state for explicit `span_start`/`span_end` spans, threaded
+/// through the event lines of one stream.
+#[derive(Debug, Default)]
+struct SpanState {
+    /// `span_id` → start `t_ms` for spans opened and not yet closed.
+    open: BTreeMap<u64, u64>,
+    /// Every `span_id` ever opened (ids must never be reused).
+    seen: std::collections::BTreeSet<u64>,
+    /// `span_end` lines whose start was never seen. Only legal when the
+    /// stream turns out to be a bounded-ring tail (checked at the end,
+    /// once the `dropped_events` note is visible).
+    unpaired_ends: Vec<usize>,
+}
+
+fn validate_event_line(
+    obj: &Json,
+    line_no: usize,
+    expected_seq: usize,
+    spans: &mut SpanState,
+) -> Result<(), String> {
     let seq = require_u64(obj, "seq", line_no)?;
     if seq != expected_seq as u64 {
         return Err(format!(
@@ -72,10 +103,19 @@ fn validate_event_line(obj: &Json, line_no: usize, expected_seq: usize) -> Resul
     }
     let t_ms = require_u64(obj, "t_ms", line_no)?;
     require_str(obj, "scope", line_no)?;
-    require_str(obj, "name", line_no)?;
+    let name = require_str(obj, "name", line_no)?;
     let lane = require_str(obj, "lane", line_no)?;
     if !lane_ok(&lane) {
         return Err(format!("line {line_no}: bad lane `{lane}`"));
+    }
+    if matches!(
+        name.as_str(),
+        "job.submit" | "job.queued" | "job.dispatch" | "job.reject" | "job.done"
+    ) && !lane.starts_with("job:")
+    {
+        return Err(format!(
+            "line {line_no}: service event `{name}` on non-job lane `{lane}`"
+        ));
     }
     if !obj.get("fields").is_some_and(Json::is_obj) {
         return Err(format!("line {line_no}: `fields` must be an object"));
@@ -91,6 +131,41 @@ fn validate_event_line(obj: &Json, line_no: usize, expected_seq: usize) -> Resul
             Ok(())
         }
         "gauge" => require_num_or_null(obj, "value", line_no),
+        "span_start" => {
+            let id = require_u64(obj, "span_id", line_no)?;
+            if !spans.seen.insert(id) {
+                return Err(format!("line {line_no}: span_id {id} reused"));
+            }
+            if let Some(parent) = obj.get("parent_id") {
+                let parent = parent
+                    .as_u64()
+                    .ok_or_else(|| format!("line {line_no}: non-integer `parent_id`"))?;
+                if !spans.seen.contains(&parent) {
+                    return Err(format!(
+                        "line {line_no}: parent_id {parent} names an unknown span"
+                    ));
+                }
+            }
+            spans.open.insert(id, t_ms);
+            Ok(())
+        }
+        "span_end" => {
+            let id = require_u64(obj, "span_id", line_no)?;
+            match spans.open.remove(&id) {
+                Some(start_ms) if t_ms < start_ms => Err(format!(
+                    "line {line_no}: non-monotone span timestamps (span {id} ends at \
+                     {t_ms}ms before its {start_ms}ms start)"
+                )),
+                Some(_) => Ok(()),
+                None if spans.seen.contains(&id) => {
+                    Err(format!("line {line_no}: span_id {id} closed twice"))
+                }
+                None => {
+                    spans.unpaired_ends.push(line_no);
+                    Ok(())
+                }
+            }
+        }
         other => Err(format!("line {line_no}: unknown kind `{other}`")),
     }
 }
@@ -123,6 +198,8 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlStats, String> {
         histograms: 0,
     };
     let mut in_metrics = false;
+    let mut spans = SpanState::default();
+    let mut dropped_noted = false;
     for (idx, line) in text.lines().enumerate() {
         let line_no = idx + 1;
         if line.trim().is_empty() {
@@ -133,6 +210,11 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlStats, String> {
             in_metrics = true;
             if validate_metric_line(&obj, line_no)? {
                 stats.counters += 1;
+                if obj.get("scope").and_then(Json::as_str) == Some("obs")
+                    && obj.get("name").and_then(Json::as_str) == Some("dropped_events")
+                {
+                    dropped_noted = true;
+                }
             } else {
                 stats.histograms += 1;
             }
@@ -140,8 +222,16 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlStats, String> {
             if in_metrics {
                 return Err(format!("line {line_no}: event line after metric lines"));
             }
-            validate_event_line(&obj, line_no, stats.events)?;
+            validate_event_line(&obj, line_no, stats.events, &mut spans)?;
             stats.events += 1;
+        }
+    }
+    // Unpaired span_end lines are only legal in a bounded-ring tail,
+    // where the matching span_start may have been evicted (flagged by
+    // the trailing dropped-events note).
+    if !dropped_noted {
+        if let Some(&line_no) = spans.unpaired_ends.first() {
+            return Err(format!("line {line_no}: unpaired span_end"));
         }
     }
     Ok(stats)
@@ -259,8 +349,117 @@ mod tests {
     fn lane_grammar() {
         assert!(lane_ok("node:12"));
         assert!(lane_ok("global"));
+        assert!(lane_ok("bracket:0"));
         assert!(!lane_ok("node:"));
         assert!(!lane_ok("node:x"));
         assert!(!lane_ok("worker:1"));
+        assert!(!lane_ok("bracket:"));
+    }
+
+    fn span_pair_export() -> String {
+        use crate::recorder::SpanTracker;
+        let rec = MemoryRecorder::new();
+        let mut spans = SpanTracker::new();
+        let (run, _) = spans.open();
+        rec.span_start(
+            SimTime::from_millis(1),
+            "exec",
+            "run",
+            Lane::Global,
+            run,
+            None,
+            Vec::new(),
+        );
+        let (stage, parent) = spans.open();
+        rec.span_start(
+            SimTime::from_millis(2),
+            "exec",
+            "stage",
+            Lane::Stage(0),
+            stage,
+            parent,
+            Vec::new(),
+        );
+        rec.span_end(
+            SimTime::from_millis(5),
+            "exec",
+            "stage",
+            Lane::Stage(0),
+            spans.close(),
+            Vec::new(),
+        );
+        rec.span_end(
+            SimTime::from_millis(6),
+            "exec",
+            "run",
+            Lane::Global,
+            spans.close(),
+            Vec::new(),
+        );
+        export_jsonl(&rec.finish())
+    }
+
+    #[test]
+    fn accepts_explicit_span_pairs() {
+        let stats = validate_jsonl(&span_pair_export()).expect("span pairs validate");
+        assert_eq!(stats.events, 4);
+    }
+
+    #[test]
+    fn rejects_span_pairing_violations() {
+        let good = span_pair_export();
+        // An end whose start was never emitted (and no drop note).
+        let unpaired: String = good
+            .lines()
+            .filter(|l| !(l.contains("span_start") && l.contains("\"span_id\":1")))
+            .collect::<Vec<_>>()
+            .join("\n")
+            .replace("\"seq\":2", "\"seq\":1")
+            .replace("\"seq\":3", "\"seq\":2");
+        assert!(validate_jsonl(&unpaired)
+            .unwrap_err()
+            .contains("unpaired span_end"));
+        // The same tail is legal when the stream is a bounded-ring tail.
+        let tail = format!(
+            "{unpaired}\n{{\"metric\":\"counter\",\"scope\":\"obs\",\"name\":\"dropped_events\",\"value\":1}}"
+        );
+        validate_jsonl(&tail).expect("ring tails may open mid-span");
+        // Reused span id.
+        let reused = good.replace("\"span_id\":1,\"parent_id\":0", "\"span_id\":0");
+        assert!(validate_jsonl(&reused).unwrap_err().contains("reused"));
+        // Non-monotone: the stage span ends before it starts.
+        let bad = good.replace("{\"seq\":2,\"t_ms\":5", "{\"seq\":2,\"t_ms\":1");
+        assert!(validate_jsonl(&bad)
+            .unwrap_err()
+            .contains("non-monotone span timestamps"));
+        // Double close.
+        let double = good.replace(
+            "{\"seq\":3,\"t_ms\":6,\"scope\":\"exec\",\"name\":\"run\",\"lane\":\"global\",\"kind\":\"span_end\",\"span_id\":0",
+            "{\"seq\":3,\"t_ms\":6,\"scope\":\"exec\",\"name\":\"stage\",\"lane\":\"stage:0\",\"kind\":\"span_end\",\"span_id\":1",
+        );
+        assert!(validate_jsonl(&double)
+            .unwrap_err()
+            .contains("closed twice"));
+        // Parent naming an unknown span.
+        let orphan = good.replace("\"parent_id\":0", "\"parent_id\":9");
+        assert!(validate_jsonl(&orphan)
+            .unwrap_err()
+            .contains("unknown span"));
+    }
+
+    #[test]
+    fn service_job_events_must_sit_on_job_lanes() {
+        let rec = MemoryRecorder::new();
+        rec.instant(
+            SimTime::from_millis(1),
+            "serve",
+            "job.dispatch",
+            Lane::Job(2),
+            vec![("tenant", 0u64.into())],
+        );
+        let good = export_jsonl(&rec.finish());
+        validate_jsonl(&good).expect("job event on job lane validates");
+        let bad = good.replace("\"lane\":\"job:2\"", "\"lane\":\"global\"");
+        assert!(validate_jsonl(&bad).unwrap_err().contains("non-job lane"));
     }
 }

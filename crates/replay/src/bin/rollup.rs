@@ -1,0 +1,60 @@
+//! Fleet-analytics rollup CLI.
+//!
+//! ```text
+//! rollup <dir>    # walk <dir> recursively, aggregate every *.json
+//!                 # run manifest, print the fleet report
+//! ```
+//!
+//! Files are visited in sorted path order and the report itself sorts
+//! its inputs, so the output is byte-stable for a given artifact tree
+//! (`scripts/verify.sh` diffs it against `scripts/expected_rollup.txt`).
+
+use rb_replay::rollup::{parse_run_record, render_rollup, RunRecord};
+use std::path::{Path, PathBuf};
+
+/// Collects every `*.json` file under `dir`, depth-first, sorted.
+fn manifest_paths(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<std::io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            manifest_paths(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "json") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [dir] = args.as_slice() else {
+        eprintln!("usage: rollup <fleet-dir>");
+        std::process::exit(2);
+    };
+    let mut paths = Vec::new();
+    if let Err(e) = manifest_paths(Path::new(dir), &mut paths) {
+        eprintln!("rollup: cannot walk `{dir}`: {e}");
+        std::process::exit(1);
+    }
+    let mut records: Vec<RunRecord> = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("rollup: cannot read `{}`: {e}", path.display());
+                std::process::exit(1);
+            }
+        };
+        match parse_run_record(&text) {
+            Ok(r) => records.push(r),
+            Err(e) => {
+                eprintln!("rollup: bad manifest `{}`: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    print!("{}", render_rollup(&records));
+}

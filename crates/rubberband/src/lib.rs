@@ -541,6 +541,134 @@ pub fn execute_multi_job(
     })
 }
 
+/// The outcome of an observed Hyperband multi-job: the report plus one
+/// shared trace where every bracket has its own lane.
+#[derive(Debug, Clone)]
+pub struct MultiJobObservedReport {
+    /// The multi-job report (per-bracket reports, totals, winner).
+    pub multi: MultiJobReport,
+    /// The shared trace: a `bracket` span on [`rb_obs::Lane::Bracket`]
+    /// per bracket, with each bracket's executor events scoped to a
+    /// disjoint job-lane range by [`rb_obs::JobScopedRecorder`].
+    pub log: TraceLog,
+}
+
+/// [`execute_multi_job`] with a recording observability sink. Every
+/// bracket gets its own lane: the facade brackets the bracket's whole
+/// execution in a `bracket` span pair on `Lane::Bracket(i)`, and the
+/// bracket's executor reports through a [`rb_obs::JobScopedRecorder`]
+/// (job `i + 1`) so trial/node/stage lanes and span ids from different
+/// brackets never collide in the shared stream. Execution is
+/// bit-identical to [`execute_multi_job`] — the recorder only ever
+/// receives values.
+///
+/// # Errors
+///
+/// Propagates planning and execution errors.
+#[allow(clippy::too_many_arguments)] // Mirrors `execute_multi_job`.
+pub fn execute_multi_job_observed(
+    brackets: &[ExperimentSpec],
+    task: &TaskModel,
+    physics: &ModelProfile,
+    cloud: &CloudProfile,
+    space: &SearchSpace,
+    deadline: SimDuration,
+    discipline: rb_planner::MultiJobDiscipline,
+    seed: u64,
+) -> Result<MultiJobObservedReport> {
+    use rb_obs::Recorder as _;
+    let sim = Simulator::new(physics.clone(), cloud.clone());
+    let plan = rb_planner::plan_multi_job(
+        &sim,
+        brackets,
+        deadline,
+        discipline,
+        &PlannerConfig::default(),
+    )?;
+    let sink = Arc::new(MemoryRecorder::new());
+    // The facade's own spans use the raw sink (job-0 id range); bracket
+    // executors are scoped to jobs 1..=n, so ids stay disjoint.
+    let mut spans = rb_obs::SpanTracker::new();
+    let mut reports = Vec::with_capacity(brackets.len());
+    let mut total_cost = Cost::ZERO;
+    let mut jct = SimDuration::ZERO;
+    let mut best: Option<(f64, rb_hpo::Config)> = None;
+    for (i, (spec, out)) in brackets.iter().zip(&plan.brackets).enumerate() {
+        let lane = rb_obs::Lane::Bracket(i as u32);
+        let (bracket_span, parent) = spans.open();
+        sink.span_start(
+            rb_core::SimTime::ZERO,
+            "exec",
+            "bracket",
+            lane,
+            bracket_span,
+            parent,
+            vec![
+                ("bracket", (i as u64).into()),
+                ("trials", spec.initial_trials().into()),
+            ],
+        );
+        let scoped = RecorderHandle::new(Arc::new(rb_obs::JobScopedRecorder::new(
+            sink.clone(),
+            i as u64 + 1,
+        )));
+        let bracket_seed = seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9);
+        // Identical config sampling to `execute` so the observed and
+        // open-loop multi-jobs of one seed tune the same trials.
+        let mut rng = Prng::seed_from_u64(bracket_seed ^ 0x005A_3CE0_u64);
+        let configs = space.sample_n(spec.initial_trials() as usize, &mut rng);
+        let report = Executor::new(
+            spec.clone(),
+            out.plan.clone(),
+            task.clone(),
+            physics.clone(),
+            cloud.clone(),
+        )?
+        .with_options(ExecOptions {
+            seed: bracket_seed,
+            ..ExecOptions::default()
+        })
+        .run_observed(&configs, &mut NoopHook, scoped)?;
+        sink.span_end(
+            rb_core::SimTime::ZERO + report.jct,
+            "exec",
+            "bracket",
+            lane,
+            spans.close(),
+            vec![
+                ("bracket", (i as u64).into()),
+                ("jct_ms", report.jct.as_millis().into()),
+                ("cost_micros", report.total_cost().as_micros().into()),
+                ("best_accuracy", report.best_accuracy.into()),
+            ],
+        );
+        total_cost += report.total_cost();
+        jct = match discipline {
+            rb_planner::MultiJobDiscipline::Concurrent => jct.max(report.jct),
+            rb_planner::MultiJobDiscipline::Sequential => jct + report.jct,
+        };
+        if best
+            .as_ref()
+            .map_or(true, |(a, _)| report.best_accuracy > *a)
+        {
+            best = Some((report.best_accuracy, report.best_config.clone()));
+        }
+        reports.push(report);
+    }
+    let (best_accuracy, best_config) = best.expect("at least one bracket");
+    let log = sink.finish();
+    Ok(MultiJobObservedReport {
+        multi: MultiJobReport {
+            reports,
+            total_cost,
+            jct,
+            best_accuracy,
+            best_config,
+        },
+        log,
+    })
+}
+
 /// A synthetic multi-tenant workload for [`serve`]: each tenant submits
 /// `jobs_per_tenant` copies of the experiment, arriving round-robin
 /// with seeded exponential inter-arrival gaps. Every job gets its own

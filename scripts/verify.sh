@@ -106,7 +106,36 @@ diff -u scripts/expected_summary.txt "$trace_dir/summary.txt"
 for f in trace.jsonl trace.chrome.json; do
     [ -s "$trace_dir/repro_out/$f" ] || { echo "FAIL: missing $f" >&2; exit 1; }
 done
+
+echo "== replay determinism (trace.jsonl alone must rebuild the run) =="
+# `repro replay` parses repro_out/trace.jsonl with rb-replay — no
+# planner, no simulator — reconstructs the ExecutionReport + RunSummary,
+# and exits non-zero unless both are bit-identical to a fresh live run.
+# Its summary tail must also match the pinned expectation, closing the
+# loop: live run, streamed trace, and replayed trace all agree.
+(cd "$trace_dir" && cargo run --manifest-path "$repo/Cargo.toml" \
+    -p rb-bench --release --offline --bin repro -- replay) > "$trace_dir/replay.txt"
+grep -q '^replay: .* bit-for-bit' "$trace_dir/replay.txt" \
+    || { echo "FAIL: replay did not report bit-equality" >&2; exit 1; }
+sed -n '/^run summary:/,$p' "$trace_dir/replay.txt" > "$trace_dir/replay_summary.txt"
+diff -u scripts/expected_summary.txt "$trace_dir/replay_summary.txt"
 rm -rf "$trace_dir"
+echo "ok"
+
+echo "== fleet rollup (manifests + byte-stable analytics report) =="
+# `repro fleet` re-runs the quick ext-adapt/ext-chaos/ext-serve sweeps
+# and writes one JSON manifest per run; the rollup CLI aggregates the
+# tree into the fleet report. A drift means a sweep's executed numbers
+# moved or the rollup's formatting/aggregation changed.
+fleet_dir=$(mktemp -d)
+(cd "$fleet_dir" && cargo run --manifest-path "$repo/Cargo.toml" \
+    -p rb-bench --release --offline --bin repro -- fleet) > "$fleet_dir/fleet.txt"
+grep -q '^fleet: wrote' "$fleet_dir/fleet.txt" \
+    || { echo "FAIL: fleet wrote no manifests" >&2; exit 1; }
+cargo run --manifest-path "$repo/Cargo.toml" -p rb-replay --release --offline \
+    --bin rollup -- "$fleet_dir/repro_out/fleet" > "$fleet_dir/rollup.txt"
+diff -u scripts/expected_rollup.txt "$fleet_dir/rollup.txt"
+rm -rf "$fleet_dir"
 echo "ok"
 
 echo "verify: all checks passed"

@@ -1,0 +1,172 @@
+//! Streaming/batch round-trip: a run recorded through the incremental
+//! [`StreamingRecorder`] must produce the *same bytes* as the batch
+//! `export_jsonl` of the same run's [`MemoryRecorder`] log — for a
+//! plain cell, a chaos cell (fault injection + retry + checkpoint
+//! fallback), and a multi-tenant serve cell. This pins the tentpole
+//! contract: streaming changes durability, never content.
+
+use rubberband::prelude::*;
+use rubberband::rb_cloud::catalog::P3_8XLARGE;
+use rubberband::rb_cloud::PoolConfig;
+use rubberband::rb_exec::NoopHook;
+use rubberband::rb_hpo::Dim;
+use rubberband::rb_obs::export::export_jsonl;
+use rubberband::rb_obs::schema::validate_jsonl;
+use rubberband::rb_obs::StreamingRecorder;
+use rubberband::rb_sim::AllocationPlan;
+use std::sync::Arc;
+
+fn search_space() -> SearchSpace {
+    SearchSpace::new()
+        .add("lr", Dim::LogUniform { lo: 1e-3, hi: 1.0 })
+        .build()
+        .unwrap()
+}
+
+fn cloud() -> CloudProfile {
+    CloudProfile::new(CloudPricing::on_demand(P3_8XLARGE))
+        .with_provision_delay(SimDuration::from_secs(15))
+        .with_init_latency(SimDuration::from_secs(15))
+}
+
+fn configs(n: usize, seed: u64) -> Vec<Config> {
+    search_space().sample_n(n, &mut Prng::seed_from_u64(seed))
+}
+
+/// Runs one executor cell into `recorder` and returns the report.
+fn run_cell(options: ExecOptions, recorder: RecorderHandle) -> ExecutionReport {
+    let task = rubberband::rb_train::task::resnet101_cifar10();
+    let physics = ModelProfile::exact_for_task(&task, 1024, 4);
+    let spec = ExperimentSpec::from_stages(&[(8, 1), (4, 2), (2, 4)]).unwrap();
+    Executor::new(
+        spec,
+        AllocationPlan::new(vec![8, 4, 4]),
+        task,
+        physics,
+        cloud(),
+    )
+    .unwrap()
+    .with_options(options)
+    .run_observed(&configs(8, 7), &mut NoopHook, recorder)
+    .unwrap()
+}
+
+/// Records the cell twice — batch, then streaming — and asserts the
+/// exported JSONL is byte-identical and schema-valid.
+fn assert_roundtrip(options: &ExecOptions) {
+    let memory = Arc::new(MemoryRecorder::new());
+    let batch_report = run_cell(options.clone(), RecorderHandle::new(memory.clone()));
+    let batch = export_jsonl(&memory.finish());
+
+    let streaming = Arc::new(StreamingRecorder::in_memory());
+    let stream_report = run_cell(options.clone(), RecorderHandle::new(streaming.clone()));
+    let streamed = Arc::into_inner(streaming)
+        .expect("executor released its handle")
+        .into_jsonl();
+
+    assert_eq!(
+        format!("{batch_report:?}"),
+        format!("{stream_report:?}"),
+        "recorder choice must not influence execution"
+    );
+    assert_eq!(streamed, batch, "streamed JSONL != batch export");
+    validate_jsonl(&streamed).expect("streamed trace validates");
+}
+
+#[test]
+fn plain_cell_streams_byte_identical_to_batch_export() {
+    assert_roundtrip(&ExecOptions {
+        seed: 7,
+        ..ExecOptions::default()
+    });
+}
+
+#[test]
+fn chaos_cell_streams_byte_identical_to_batch_export() {
+    assert_roundtrip(&ExecOptions {
+        seed: 7,
+        faults: FaultPlan {
+            capacity_failure_prob: 0.5,
+            straggler_prob: 0.25,
+            straggler_factor: 40.0,
+            checkpoint_corruption_prob: 0.2,
+            ..FaultPlan::none()
+        },
+        retry: Some(RetryPolicy {
+            max_retries: 12,
+            base_backoff_secs: 5.0,
+            max_backoff_secs: 60.0,
+            request_timeout_secs: 60.0,
+        }),
+        checkpoint_retention: 3,
+        ..ExecOptions::default()
+    });
+}
+
+#[test]
+fn serve_cell_streams_byte_identical_to_batch_export() {
+    let jobs = || -> Vec<JobRequest> {
+        let task = rubberband::rb_train::task::resnet101_cifar10();
+        let physics = ModelProfile::exact_for_task(&task, 1024, 4);
+        let spec = ExperimentSpec::from_stages(&[(4, 1), (2, 2)]).unwrap();
+        (0..3u64)
+            .map(|k| {
+                let executor = Executor::new(
+                    spec.clone(),
+                    AllocationPlan::new(vec![4, 4]),
+                    task.clone(),
+                    physics.clone(),
+                    cloud(),
+                )
+                .unwrap()
+                .with_options(ExecOptions {
+                    seed: 40 + k,
+                    ..ExecOptions::default()
+                });
+                JobRequest::new(
+                    executor,
+                    configs(4, 90 + k),
+                    SimTime::from_secs(k * 60),
+                    k as usize % 2,
+                )
+            })
+            .collect()
+    };
+    let service = || {
+        TuningService::new(
+            vec![
+                TenantSpec::new("tenant-0", 1.0),
+                TenantSpec::new("tenant-1", 1.0),
+            ],
+            ServeOptions {
+                max_concurrent: 1,
+                max_queue: 8,
+                pool: Some(PoolConfig::default()),
+            },
+        )
+        .unwrap()
+    };
+
+    let memory = Arc::new(MemoryRecorder::new());
+    let batch_report = service()
+        .run_with_recorder(jobs(), &RecorderHandle::new(memory.clone()))
+        .unwrap();
+    let batch = export_jsonl(&memory.finish());
+
+    let streaming = Arc::new(StreamingRecorder::in_memory());
+    let stream_report = service()
+        .run_with_recorder(jobs(), &RecorderHandle::new(streaming.clone()))
+        .unwrap();
+    let streamed = Arc::into_inner(streaming)
+        .expect("service released its handle")
+        .into_jsonl();
+
+    assert_eq!(batch_report.outcomes.len(), 3);
+    assert_eq!(
+        format!("{batch_report:?}"),
+        format!("{stream_report:?}"),
+        "recorder choice must not influence the service"
+    );
+    assert_eq!(streamed, batch, "streamed JSONL != batch export");
+    validate_jsonl(&streamed).expect("streamed trace validates");
+}
