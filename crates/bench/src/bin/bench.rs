@@ -404,6 +404,7 @@ fn bench_serve(smoke: bool) -> String {
             max_concurrent: 2,
             max_queue: 16,
             pool: Some(PoolConfig::default()),
+            pool_admission: false,
         },
     )
     .unwrap();

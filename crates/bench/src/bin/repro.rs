@@ -196,6 +196,14 @@ fn ext_serve(quick: bool) {
         Ok(cells) => rb_bench::serve::print_ext_serve(&cells),
         Err(e) => rb_obs::log_error!("repro", "ext-serve failed: {e}"),
     }
+    match rb_bench::serve::ext_serve_contended(tenant_counts, &[0], 1) {
+        Ok(cells) => rb_bench::serve::print_ext_serve_contended(&cells),
+        Err(e) => rb_obs::log_error!("repro", "ext-serve contended failed: {e}"),
+    }
+    match rb_bench::serve::ext_serve_hyperband(1) {
+        Ok(cells) => rb_bench::serve::print_ext_serve_hyperband(&cells),
+        Err(e) => rb_obs::log_error!("repro", "ext-serve hyperband failed: {e}"),
+    }
 }
 
 fn ext_budget(quick: bool) {

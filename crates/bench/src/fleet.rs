@@ -67,6 +67,7 @@ pub fn adapt_record(row: &AdaptRow) -> RunRecord {
         degraded: 0,
         replans: row.replans as u64,
         preemptions: u64::from(row.preemptions),
+        pool_admits: 0,
     }
 }
 
@@ -87,6 +88,7 @@ pub fn chaos_record(row: &ChaosRow) -> Option<RunRecord> {
         degraded: u64::from(row.degraded_stages),
         replans: 0,
         preemptions: u64::from(row.preemptions),
+        pool_admits: 0,
     })
 }
 
@@ -94,10 +96,18 @@ pub fn chaos_record(row: &ChaosRow) -> Option<RunRecord> {
 /// billing tenant and a real admission queue, so its meters are exact
 /// integers end to end.
 pub fn serve_record(row: &ServeJobRow) -> RunRecord {
+    // Serial cells keep their original label; contended cells (more
+    // than one slot) carry the slot count so the rollup separates the
+    // two sub-sweeps' scenarios.
+    let slots = if row.max_concurrent > 1 {
+        format!(" mc{}", row.max_concurrent)
+    } else {
+        String::new()
+    };
     RunRecord {
         sweep: "ext-serve".to_owned(),
         scenario: format!(
-            "t{} gap{} pool-{}",
+            "t{} gap{}{slots} pool-{}",
             row.tenants,
             row.gap_secs,
             if row.pool { "on" } else { "off" }
@@ -112,6 +122,7 @@ pub fn serve_record(row: &ServeJobRow) -> RunRecord {
         degraded: u64::from(row.degraded),
         replans: 0,
         preemptions: u64::from(row.preemptions),
+        pool_admits: u64::from(row.pool_admitted),
     }
 }
 
@@ -137,6 +148,9 @@ pub fn build_fleet(seed: u64) -> Result<Vec<RunRecord>> {
     records.extend(rows.iter().filter_map(chaos_record));
 
     let (_, jobs) = crate::serve::ext_serve_with_jobs(&[2], &[0, 300], seed)?;
+    records.extend(jobs.iter().map(serve_record));
+
+    let (_, jobs) = crate::serve::ext_serve_contended_with_jobs(&[2], &[0], seed)?;
     records.extend(jobs.iter().map(serve_record));
 
     Ok(records)
@@ -197,10 +211,12 @@ mod tests {
             tenants: 2,
             gap_secs: 300,
             pool: true,
+            max_concurrent: 1,
             tenant: "tenant-1".to_owned(),
             jct_ms: 123,
             cost_micros: 456,
             queue_wait_ms: 7,
+            pool_admitted: false,
             preemptions: 0,
             faults: 0,
             retries: 0,
@@ -211,6 +227,18 @@ mod tests {
         assert_eq!(r.scenario, "t2 gap300 pool-on");
         assert_eq!(r.tenant.as_deref(), Some("tenant-1"));
         assert_eq!((r.jct_ms, r.cost_micros, r.queue_wait_ms), (123, 456, 7));
+        assert_eq!(r.pool_admits, 0);
+
+        // Contended cells label their slot count and carry the
+        // pool-admission flag through to the manifest.
+        let contended = ServeJobRow {
+            max_concurrent: 2,
+            pool_admitted: true,
+            ..serve
+        };
+        let r = serve_record(&contended);
+        assert_eq!(r.scenario, "t2 gap300 mc2 pool-on");
+        assert_eq!(r.pool_admits, 1);
     }
 
     #[test]
@@ -248,10 +276,12 @@ mod tests {
                 tenants: 2,
                 gap_secs: 0,
                 pool: false,
+                max_concurrent: 1,
                 tenant: "tenant-0".to_owned(),
                 jct_ms: 10,
                 cost_micros: 20,
                 queue_wait_ms: 0,
+                pool_admitted: false,
                 preemptions: 0,
                 faults: 0,
                 retries: 0,
@@ -262,10 +292,12 @@ mod tests {
                 tenants: 2,
                 gap_secs: 0,
                 pool: true,
+                max_concurrent: 1,
                 tenant: "tenant-1".to_owned(),
                 jct_ms: 30,
                 cost_micros: 40,
                 queue_wait_ms: 5,
+                pool_admitted: false,
                 preemptions: 0,
                 faults: 0,
                 retries: 0,

@@ -8,10 +8,22 @@
 //! provision + init cycle, at the price of park time for instances the
 //! pool holds.
 //!
-//! The sweep ends with a machine-checkable `ext-serve summary:` line
-//! that `scripts/verify.sh` diffs against `scripts/expected_ext_serve.txt`;
-//! a drift means the scheduler, the pool lifecycle, or the billing
-//! accounting changed behaviour.
+//! Three sub-sweeps exercise the service at increasing concurrency:
+//!
+//! * **serial** — `max_concurrent = 1`, the original pairwise
+//!   comparison (each successor adopts its predecessor's whole fleet);
+//! * **contended** — `max_concurrent = 2` with a downscaling plan, so
+//!   two running jobs race for the same parked instances at
+//!   interleaved barriers and pool-aware admission can dispatch queued
+//!   jobs against parked capacity;
+//! * **hyperband** — one tenant's Hyperband bracket set submitted as a
+//!   bracket-tagged job group ([`rubberband::hyperband_group_jobs`]),
+//!   so barrier-released capacity flows between sibling brackets.
+//!
+//! Each sub-sweep ends with a machine-checkable `ext-serve … summary:`
+//! line that `scripts/verify.sh` diffs against
+//! `scripts/expected_ext_serve.txt`; a drift means the scheduler, the
+//! pool lifecycle, or the billing accounting changed behaviour.
 
 use crate::tables::physics_for;
 use rb_cloud::catalog::P3_8XLARGE;
@@ -20,7 +32,7 @@ use rb_core::{Cost, Prng, Result, SimDuration, SimTime};
 use rb_exec::{ExecOptions, Executor};
 use rb_hpo::{Config, Dim, ExperimentSpec, SearchSpace};
 use rb_profile::CloudProfile;
-use rb_serve::{JobRequest, ServeOptions, TenantSpec, TuningService};
+use rb_serve::{JobRequest, ServeOptions, ServeReport, TenantSpec, TuningService};
 use rb_sim::AllocationPlan;
 
 /// One service cell's executed outcome.
@@ -32,6 +44,8 @@ pub struct ServeCell {
     pub gap_secs: u64,
     /// Whether the shared instance pool was enabled.
     pub pool: bool,
+    /// Concurrent job slots the cell ran with.
+    pub max_concurrent: usize,
     /// Jobs completed.
     pub completed: usize,
     /// Jobs rejected at admission.
@@ -48,8 +62,14 @@ pub struct ServeCell {
     pub handoffs: u64,
     /// Parked instances the pool gave up on (0 when disabled).
     pub expirations: u64,
+    /// Instances still parked at the end-of-run drain.
+    pub drained: u64,
     /// Double releases the idempotency guard absorbed (must stay 0).
     pub double_releases: u64,
+    /// Cross-job ownership conflicts the pool rejected (must stay 0).
+    pub conflicts: u64,
+    /// Jobs dispatched early by pool-aware admission.
+    pub pool_admits: u64,
 }
 
 fn serve_cloud() -> CloudProfile {
@@ -69,11 +89,19 @@ fn serve_configs(n: usize, seed: u64) -> Vec<Config> {
     space.sample_n(n, &mut Prng::seed_from_u64(seed))
 }
 
-/// Builds the cell's workload: `jobs` single-plan SHA runs arriving
+/// Builds a cell's workload: `jobs` single-plan SHA runs arriving
 /// `gap_secs` apart, round-robin across tenants. Pool-on and pool-off
 /// cells call this with the same arguments, so the comparison is at
-/// identical seeds.
-fn serve_jobs(jobs: usize, tenants: usize, gap_secs: u64, seed: u64) -> Result<Vec<JobRequest>> {
+/// identical seeds. `gpus_per_stage` sets the allocation shape: the
+/// serial sweep holds a flat fleet, the contended sweep downsizes at
+/// barriers so instances park mid-run.
+fn serve_jobs_with_plan(
+    jobs: usize,
+    tenants: usize,
+    gap_secs: u64,
+    seed: u64,
+    gpus_per_stage: &[u32],
+) -> Result<Vec<JobRequest>> {
     let task = rb_train::task::resnet101_cifar10();
     let physics = physics_for(&task, 1024, 4);
     let spec = ExperimentSpec::from_stages(&[(8, 1), (4, 2), (2, 4), (1, 8)])?;
@@ -82,7 +110,7 @@ fn serve_jobs(jobs: usize, tenants: usize, gap_secs: u64, seed: u64) -> Result<V
             let job_seed = seed ^ ((tenants as u64) << 32) ^ (gap_secs << 16) ^ k as u64;
             let executor = Executor::new(
                 spec.clone(),
-                AllocationPlan::new(vec![8, 8, 8, 8]),
+                AllocationPlan::new(gpus_per_stage.to_vec()),
                 task.clone(),
                 physics.clone(),
                 serve_cloud(),
@@ -101,6 +129,10 @@ fn serve_jobs(jobs: usize, tenants: usize, gap_secs: u64, seed: u64) -> Result<V
         .collect()
 }
 
+fn serve_jobs(jobs: usize, tenants: usize, gap_secs: u64, seed: u64) -> Result<Vec<JobRequest>> {
+    serve_jobs_with_plan(jobs, tenants, gap_secs, seed, &[8, 8, 8, 8])
+}
+
 /// One completed service job, flattened for the fleet manifests: the
 /// cell coordinates, the billing tenant, and the job's own meters.
 #[derive(Debug, Clone)]
@@ -111,6 +143,8 @@ pub struct ServeJobRow {
     pub gap_secs: u64,
     /// Whether the shared instance pool was enabled.
     pub pool: bool,
+    /// Concurrent job slots the cell ran with.
+    pub max_concurrent: usize,
     /// The submitting tenant's name (`tenant-{i}`).
     pub tenant: String,
     /// Job completion time (from dispatch), virtual milliseconds.
@@ -119,6 +153,8 @@ pub struct ServeJobRow {
     pub cost_micros: i64,
     /// Queue wait before dispatch, virtual milliseconds.
     pub queue_wait_ms: u64,
+    /// Whether pool-aware admission dispatched this job early.
+    pub pool_admitted: bool,
     /// Spot preemptions the job absorbed.
     pub preemptions: u32,
     /// Faults injected into the job.
@@ -131,8 +167,60 @@ pub struct ServeJobRow {
     pub degraded: u32,
 }
 
-/// Runs the sweep: every (tenant count × arrival gap) cell with the
-/// pool off and on, four jobs per cell on a serial service so each
+/// Flattens one executed report into its [`ServeCell`] and per-job
+/// [`ServeJobRow`]s (pushed onto `jobs`).
+fn flatten_report(
+    tenants: usize,
+    gap: u64,
+    pool: bool,
+    max_concurrent: usize,
+    report: &ServeReport,
+    jobs: &mut Vec<ServeJobRow>,
+) -> ServeCell {
+    let stats = report.pool.clone().unwrap_or_default();
+    for outcome in &report.outcomes {
+        jobs.push(ServeJobRow {
+            tenants,
+            gap_secs: gap,
+            pool,
+            max_concurrent,
+            tenant: format!("tenant-{}", outcome.tenant),
+            jct_ms: outcome.report.jct.as_millis(),
+            cost_micros: outcome.report.total_cost().as_micros(),
+            queue_wait_ms: outcome.queue_wait.as_millis(),
+            pool_admitted: outcome.pool_admitted,
+            preemptions: outcome.report.preemptions,
+            faults: outcome.report.faults_injected,
+            retries: outcome.report.provision_retries,
+            fallbacks: outcome.report.checkpoint_fallbacks,
+            degraded: outcome.report.degraded_stages,
+        });
+    }
+    ServeCell {
+        tenants,
+        gap_secs: gap,
+        pool,
+        max_concurrent,
+        completed: report.outcomes.len(),
+        rejected: report.rejected.len(),
+        billed: report.billed_cost,
+        net: report.net_cost,
+        p50_wait_secs: report.queue_wait_p50().as_secs_f64(),
+        makespan_secs: report
+            .makespan
+            .saturating_since(SimTime::ZERO)
+            .as_secs_f64(),
+        handoffs: stats.handoffs,
+        expirations: stats.expirations,
+        drained: stats.drained,
+        double_releases: stats.double_releases,
+        conflicts: stats.conflicts,
+        pool_admits: report.pool_admits,
+    }
+}
+
+/// Runs the serial sweep: every (tenant count × arrival gap) cell with
+/// the pool off and on, four jobs per cell on a serial service so each
 /// successor can adopt its predecessor's fleet.
 ///
 /// # Errors
@@ -167,55 +255,210 @@ pub fn ext_serve_with_jobs(
                         max_concurrent: 1,
                         max_queue: 16,
                         pool: pool.then(PoolConfig::default),
+                        pool_admission: false,
                     },
                 )?;
                 let report = service.run(serve_jobs(4, tenants, gap, seed)?)?;
-                let stats = report.pool.clone().unwrap_or_default();
-                for outcome in &report.outcomes {
-                    jobs.push(ServeJobRow {
-                        tenants,
-                        gap_secs: gap,
-                        pool,
-                        tenant: format!("tenant-{}", outcome.tenant),
-                        jct_ms: outcome.report.jct.as_millis(),
-                        cost_micros: outcome.report.total_cost().as_micros(),
-                        queue_wait_ms: outcome.queue_wait.as_millis(),
-                        preemptions: outcome.report.preemptions,
-                        faults: outcome.report.faults_injected,
-                        retries: outcome.report.provision_retries,
-                        fallbacks: outcome.report.checkpoint_fallbacks,
-                        degraded: outcome.report.degraded_stages,
-                    });
-                }
-                cells.push(ServeCell {
-                    tenants,
-                    gap_secs: gap,
-                    pool,
-                    completed: report.outcomes.len(),
-                    rejected: report.rejected.len(),
-                    billed: report.billed_cost,
-                    net: report.net_cost,
-                    p50_wait_secs: report.queue_wait_p50().as_secs_f64(),
-                    makespan_secs: report
-                        .makespan
-                        .saturating_since(SimTime::ZERO)
-                        .as_secs_f64(),
-                    handoffs: stats.handoffs,
-                    expirations: stats.expirations,
-                    double_releases: stats.double_releases,
-                });
+                cells.push(flatten_report(tenants, gap, pool, 1, &report, &mut jobs));
             }
         }
     }
     Ok((cells, jobs))
 }
 
-/// Renders the sweep, ending with a machine-checkable summary line.
+/// Runs the contended sweep: two concurrent slots, six jobs per cell on
+/// a downscaling plan (instances park at every barrier), pool-aware
+/// admission on when the pool is. Two running jobs race for the same
+/// parked instances at interleaved barriers, and queued jobs whose
+/// first stage fits inside parked capacity dispatch past the slot
+/// limit.
+///
+/// # Errors
+///
+/// Propagates service and executor errors.
+pub fn ext_serve_contended(
+    tenant_counts: &[usize],
+    gaps: &[u64],
+    seed: u64,
+) -> Result<Vec<ServeCell>> {
+    ext_serve_contended_with_jobs(tenant_counts, gaps, seed).map(|(cells, _)| cells)
+}
+
+/// [`ext_serve_contended`] also returning the per-job rows for the
+/// fleet manifests.
+///
+/// # Errors
+///
+/// Propagates service and executor errors.
+pub fn ext_serve_contended_with_jobs(
+    tenant_counts: &[usize],
+    gaps: &[u64],
+    seed: u64,
+) -> Result<(Vec<ServeCell>, Vec<ServeJobRow>)> {
+    let mut cells = Vec::new();
+    let mut jobs = Vec::new();
+    for &tenants in tenant_counts {
+        for &gap in gaps {
+            for pool in [false, true] {
+                let service = TuningService::new(
+                    (0..tenants)
+                        .map(|t| TenantSpec::new(format!("tenant-{t}"), 1.0))
+                        .collect(),
+                    ServeOptions {
+                        max_concurrent: 2,
+                        max_queue: 16,
+                        pool: pool.then(PoolConfig::default),
+                        pool_admission: pool,
+                    },
+                )?;
+                // A downscaling plan (16→8→4→4 GPUs over the 8/4/2/1
+                // trial ladder) releases instances at barriers 0 and 1,
+                // so parked capacity exists *while* other jobs run —
+                // the contention the serial sweep's flat fleet never
+                // creates.
+                let report =
+                    service.run(serve_jobs_with_plan(6, tenants, gap, seed, &[16, 8, 4, 4])?)?;
+                cells.push(flatten_report(tenants, gap, pool, 2, &report, &mut jobs));
+            }
+        }
+    }
+    Ok((cells, jobs))
+}
+
+/// Runs the Hyperband job-group pair: one tenant submits the brackets
+/// of `hyperband(r=1, R=4, η=2)` as bracket-tagged jobs, once without
+/// and once with the pool (plus pool-aware admission). Bracket-tagged
+/// jobs share a pool-affinity group, so capacity a bracket releases at
+/// a barrier flows to sibling brackets before expiring.
+///
+/// # Errors
+///
+/// Propagates bracket-generation, planning, service, and executor
+/// errors.
+/// Hyperband shape `(r, R, η)` shared by the sweep runner and its
+/// header line.
+const HYPERBAND_SHAPE: (u64, u64, u32) = (1, 4, 2);
+
+pub fn ext_serve_hyperband(seed: u64) -> Result<Vec<ServeCell>> {
+    let (r, big_r, eta) = HYPERBAND_SHAPE;
+    let task = rb_train::task::resnet101_cifar10();
+    let physics = physics_for(&task, 1024, 4);
+    let space = SearchSpace::new()
+        .add("lr", Dim::LogUniform { lo: 1e-3, hi: 1.0 })
+        .build()?;
+    let mut cells = Vec::new();
+    let mut jobs_sink = Vec::new();
+    for pool in [false, true] {
+        let jobs = rubberband::hyperband_group_jobs(
+            r,
+            big_r,
+            eta,
+            &task,
+            &physics,
+            &serve_cloud(),
+            &space,
+            SimDuration::from_hours(2),
+            0,
+            SimTime::ZERO,
+            seed,
+        )?;
+        let brackets = jobs.len();
+        let service = TuningService::new(
+            vec![TenantSpec::new("hyperband", 1.0)],
+            ServeOptions {
+                max_concurrent: 2,
+                max_queue: 16,
+                pool: pool.then(PoolConfig::default),
+                pool_admission: pool,
+            },
+        )?;
+        let report = service.run(jobs)?;
+        cells.push(flatten_report(1, 0, pool, 2, &report, &mut jobs_sink));
+        debug_assert_eq!(cells.last().map(|c| c.completed), Some(brackets));
+    }
+    Ok(cells)
+}
+
+/// Renders the serial sweep, ending with a machine-checkable summary
+/// line.
 pub fn print_ext_serve(cells: &[ServeCell]) {
     println!("Extension — multi-tenant service with a shared elastic instance pool");
     println!("(4 jobs/cell, serial dispatch, paid ingress; pool pairs share seeds)\n");
+    print_cells(cells);
+    let s = PairSummary::over(cells);
     println!(
-        "{:<8} {:>6} {:>6} {:>5} {:>4} {:>10} {:>10} {:>9} {:>11} {:>9}",
+        "\next-serve summary: cells={} pairs={} pool_cheaper={} \
+         wait_regressions={} handoffs={} \
+         expirations={} double_releases={} saved=${:.4}",
+        cells.len(),
+        s.pairs,
+        s.cheaper,
+        s.wait_regressions,
+        s.handoffs,
+        s.expirations,
+        s.double_releases,
+        s.saved.as_dollars()
+    );
+}
+
+/// Renders the contended sweep, ending with a machine-checkable
+/// summary line.
+pub fn print_ext_serve_contended(cells: &[ServeCell]) {
+    println!("\nExtension — contended pools: 2 slots, downscaling plans, pool admission");
+    println!("(6 jobs/cell; running jobs race for parked instances at barriers)\n");
+    print_cells(cells);
+    let s = PairSummary::over(cells);
+    println!(
+        "\next-serve contended summary: cells={} pairs={} pool_cheaper={} \
+         wait_regressions={} handoffs={} pool_admits={} \
+         conflicts={} double_releases={} saved=${:.4}",
+        cells.len(),
+        s.pairs,
+        s.cheaper,
+        s.wait_regressions,
+        s.handoffs,
+        s.pool_admits,
+        s.conflicts,
+        s.double_releases,
+        s.saved.as_dollars()
+    );
+}
+
+/// Renders the Hyperband job-group pair, ending with a
+/// machine-checkable summary line.
+pub fn print_ext_serve_hyperband(cells: &[ServeCell]) {
+    let (r, big_r, eta) = HYPERBAND_SHAPE;
+    let ladder = rb_hpo::hyperband_brackets(r, big_r, eta)
+        .map(|brackets| {
+            brackets
+                .iter()
+                .map(|(params, _)| params.describe())
+                .collect::<Vec<_>>()
+                .join(" · ")
+        })
+        .unwrap_or_default();
+    println!("\nExtension — Hyperband bracket group through the service");
+    println!("(one tenant, brackets {ladder}, group pool affinity)\n");
+    print_cells(cells);
+    let s = PairSummary::over(cells);
+    println!(
+        "\next-serve hyperband summary: cells={} brackets={} pool_cheaper={} \
+         wait_regressions={} handoffs={} pool_admits={} \
+         conflicts={} saved=${:.4}",
+        cells.len(),
+        cells.first().map_or(0, |c| c.completed),
+        s.cheaper,
+        s.wait_regressions,
+        s.handoffs,
+        s.pool_admits,
+        s.conflicts,
+        s.saved.as_dollars()
+    );
+}
+
+fn print_cells(cells: &[ServeCell]) {
+    println!(
+        "{:<8} {:>6} {:>6} {:>5} {:>4} {:>10} {:>10} {:>9} {:>11} {:>9} {:>7}",
         "tenants",
         "gap_s",
         "pool",
@@ -225,11 +468,12 @@ pub fn print_ext_serve(cells: &[ServeCell]) {
         "net",
         "p50_wait",
         "makespan",
-        "handoffs"
+        "handoffs",
+        "admits"
     );
     for c in cells {
         println!(
-            "{:<8} {:>6} {:>6} {:>5} {:>4} {:>10} {:>10} {:>8.0}s {:>10.0}s {:>9}",
+            "{:<8} {:>6} {:>6} {:>5} {:>4} {:>10} {:>10} {:>8.0}s {:>10.0}s {:>9} {:>7}",
             c.tenants,
             c.gap_secs,
             if c.pool { "on" } else { "off" },
@@ -239,39 +483,57 @@ pub fn print_ext_serve(cells: &[ServeCell]) {
             format!("{}", c.net),
             c.p50_wait_secs,
             c.makespan_secs,
-            c.handoffs
+            c.handoffs,
+            c.pool_admits
         );
     }
+}
 
-    // Pool-off/pool-on pairs are adjacent by construction.
-    let mut pairs = 0u64;
-    let mut cheaper = 0u64;
-    let mut wait_regressions = 0u64;
-    let mut handoffs = 0u64;
-    let mut expirations = 0u64;
-    let mut double_releases = 0u64;
-    let mut saved = Cost::ZERO;
-    for pair in cells.chunks_exact(2) {
-        let (off, on) = (&pair[0], &pair[1]);
-        pairs += 1;
-        if on.billed < off.billed {
-            cheaper += 1;
-            saved += off.billed - on.billed;
+/// Pairwise aggregates over adjacent pool-off/pool-on cells.
+struct PairSummary {
+    pairs: u64,
+    cheaper: u64,
+    wait_regressions: u64,
+    handoffs: u64,
+    expirations: u64,
+    double_releases: u64,
+    conflicts: u64,
+    pool_admits: u64,
+    saved: Cost,
+}
+
+impl PairSummary {
+    fn over(cells: &[ServeCell]) -> PairSummary {
+        let mut s = PairSummary {
+            pairs: 0,
+            cheaper: 0,
+            wait_regressions: 0,
+            handoffs: 0,
+            expirations: 0,
+            double_releases: 0,
+            conflicts: 0,
+            pool_admits: 0,
+            saved: Cost::ZERO,
+        };
+        // Pool-off/pool-on pairs are adjacent by construction.
+        for pair in cells.chunks_exact(2) {
+            let (off, on) = (&pair[0], &pair[1]);
+            s.pairs += 1;
+            if on.billed < off.billed {
+                s.cheaper += 1;
+                s.saved += off.billed - on.billed;
+            }
+            if on.p50_wait_secs > off.p50_wait_secs {
+                s.wait_regressions += 1;
+            }
+            s.handoffs += on.handoffs;
+            s.expirations += on.expirations;
+            s.double_releases += on.double_releases + off.double_releases;
+            s.conflicts += on.conflicts + off.conflicts;
+            s.pool_admits += on.pool_admits + off.pool_admits;
         }
-        if on.p50_wait_secs > off.p50_wait_secs {
-            wait_regressions += 1;
-        }
-        handoffs += on.handoffs;
-        expirations += on.expirations;
-        double_releases += on.double_releases + off.double_releases;
+        s
     }
-    println!(
-        "\next-serve summary: cells={} pairs={pairs} pool_cheaper={cheaper} \
-         wait_regressions={wait_regressions} handoffs={handoffs} \
-         expirations={expirations} double_releases={double_releases} saved=${:.4}",
-        cells.len(),
-        saved.as_dollars()
-    );
 }
 
 #[cfg(test)]
@@ -289,6 +551,7 @@ mod tests {
             assert_eq!(on.completed, 4);
             assert!(on.handoffs > 0, "pool must actually broker handoffs");
             assert_eq!(on.double_releases, 0);
+            assert_eq!(on.conflicts, 0);
             assert!(
                 on.billed < off.billed,
                 "pool-on {} !< pool-off {}",
@@ -301,9 +564,57 @@ mod tests {
     }
 
     #[test]
+    fn contended_pool_wins_every_pair_and_admits_from_the_pool() {
+        let cells = ext_serve_contended(&[2], &[0], 1).unwrap();
+        assert_eq!(cells.len(), 2);
+        for pair in cells.chunks_exact(2) {
+            let (off, on) = (&pair[0], &pair[1]);
+            assert!(!off.pool && on.pool);
+            assert_eq!(off.completed, 6);
+            assert_eq!(on.completed, 6);
+            assert!(on.handoffs > 0, "contended pool must broker handoffs");
+            assert!(
+                on.pool_admits > 0,
+                "pool-aware admission must fire: parked capacity exists while slots are full"
+            );
+            assert_eq!(on.conflicts, 0, "no spurious ownership conflicts");
+            assert_eq!(on.double_releases, 0);
+            assert!(
+                on.billed < off.billed,
+                "pool-on {} !< pool-off {}",
+                on.billed,
+                off.billed
+            );
+            assert!(on.p50_wait_secs <= off.p50_wait_secs);
+        }
+    }
+
+    #[test]
+    fn hyperband_group_pair_prefers_the_pool() {
+        let cells = ext_serve_hyperband(1).unwrap();
+        assert_eq!(cells.len(), 2);
+        let (off, on) = (&cells[0], &cells[1]);
+        assert!(!off.pool && on.pool);
+        assert_eq!(off.completed, on.completed, "same bracket count");
+        assert!(on.completed >= 2, "hyperband(1,4,2) has multiple brackets");
+        assert!(on.handoffs > 0, "group affinity must broker handoffs");
+        assert_eq!(on.conflicts, 0);
+        assert_eq!(on.double_releases, 0);
+        assert!(
+            on.billed <= off.billed,
+            "pool-on {} > pool-off {}",
+            on.billed,
+            off.billed
+        );
+    }
+
+    #[test]
     fn the_sweep_is_deterministic_per_seed() {
         let a = ext_serve(&[2], &[300], 1).unwrap();
         let b = ext_serve(&[2], &[300], 1).unwrap();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let a = ext_serve_contended(&[2], &[0], 1).unwrap();
+        let b = ext_serve_contended(&[2], &[0], 1).unwrap();
         assert_eq!(format!("{a:?}"), format!("{b:?}"));
     }
 }

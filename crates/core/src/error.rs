@@ -36,6 +36,11 @@ pub enum RbError {
     Placement(String),
     /// A runtime invariant was violated during execution.
     Execution(String),
+    /// Two jobs disagreed about the ownership of a shared-pool
+    /// instance: an instance id already parked by one donor was
+    /// offered again by a different job. Accepting it would park one
+    /// physical release twice and double-credit the savings ledger.
+    PoolConflict(String),
     /// Profiling produced insufficient or inconsistent data.
     Profiling(String),
 }
@@ -51,6 +56,7 @@ impl fmt::Display for RbError {
             RbError::Capacity(m) => write!(f, "insufficient capacity: {m}"),
             RbError::Placement(m) => write!(f, "placement error: {m}"),
             RbError::Execution(m) => write!(f, "execution error: {m}"),
+            RbError::PoolConflict(m) => write!(f, "pool ownership conflict: {m}"),
             RbError::Profiling(m) => write!(f, "profiling error: {m}"),
         }
     }

@@ -118,10 +118,19 @@ pub struct ClusterManager {
     warm_capacity: usize,
     warm_hold: SimDuration,
     warm_attach: SimDuration,
-    /// Cross-job elastic pool (multi-tenant serving): `(pool, job id)`.
-    /// `None` — the default — leaves every code path bit-identical to a
-    /// pool-less manager; the executor's legacy drivers never set it.
-    shared_pool: Option<(SharedPool, u64)>,
+    /// Cross-job elastic pool (multi-tenant serving): `(pool, job id,
+    /// job group)`. `None` — the default — leaves every code path
+    /// bit-identical to a pool-less manager; the executor's legacy
+    /// drivers never set it. The group (e.g. one tenant's Hyperband
+    /// bracket set) gives this job affinity for same-group parked
+    /// capacity at acquisition.
+    shared_pool: Option<(SharedPool, u64, Option<u64>)>,
+    /// Physical ids of instances adopted from the shared pool, keyed
+    /// by this provider's local instance id. A later release of an
+    /// adopted instance must be offered under the physical id it
+    /// arrived with, so pool ownership stays traceable across
+    /// handoffs.
+    adopted_physical: BTreeMap<u64, u64>,
 }
 
 impl ClusterManager {
@@ -147,6 +156,7 @@ impl ClusterManager {
             warm_hold: SimDuration::ZERO,
             warm_attach: SimDuration::from_secs(2),
             shared_pool: None,
+            adopted_physical: BTreeMap::new(),
         }
     }
 
@@ -154,17 +164,21 @@ impl ClusterManager {
     /// that would terminate an instance offer it to the pool instead,
     /// and scale-ups adopt pooled capacity before provisioning fresh.
     /// `job` tags this manager's offers for the pool's double-release
-    /// guard.
-    pub fn set_shared_pool(&mut self, pool: SharedPool, job: u64) {
-        self.shared_pool = Some((pool, job));
+    /// guard; `group` (e.g. one tenant's Hyperband bracket set) gives
+    /// the job affinity for same-group parked capacity.
+    pub fn set_shared_pool(&mut self, pool: SharedPool, job: u64, group: Option<u64>) {
+        self.shared_pool = Some((pool, job, group));
     }
 
     /// Offers a just-terminated instance to the shared pool (no-op
     /// without one). The donor's bill — minimum-charge floor included —
     /// already stands; the pool credits the premium back only if the
-    /// instance is actually handed to another job.
+    /// instance is actually handed to another job. A conflicting offer
+    /// (the pool disputes this job's ownership) is dropped here — the
+    /// pool has already counted it and the termination stands either
+    /// way.
     fn offer_to_pool(&self, instance: InstanceId, now: SimTime) {
-        let Some((pool, job)) = &self.shared_pool else {
+        let Some((pool, job, group)) = &self.shared_pool else {
             return;
         };
         let Some(started) = self.provider.meter().started_at(instance) else {
@@ -172,9 +186,14 @@ impl ClusterManager {
             return;
         };
         let lifetime = now.max(started) - started;
-        let job = *job;
+        let (job, group) = (*job, *group);
+        let physical = self
+            .adopted_physical
+            .get(&instance.raw())
+            .copied()
+            .unwrap_or_else(|| rb_cloud::physical_id(job, instance));
         pool.with(|p| {
-            p.offer(job, instance, now, lifetime);
+            let _ = p.offer(job, group, physical, now, lifetime);
         });
     }
 
@@ -186,14 +205,16 @@ impl ClusterManager {
         if k == 0 {
             return 0;
         }
-        let Some((pool, _)) = &self.shared_pool else {
+        let Some((pool, job, group)) = &self.shared_pool else {
             return 0;
         };
+        let (job, group) = (*job, *group);
         let pool = pool.clone();
         let dataset_gb = self.cloud.dataset_gb;
-        let grants = pool.with(|p| p.acquire(now, k, dataset_gb));
+        let grants = pool.with(|p| p.acquire(job, now, k, dataset_gb, group));
         for grant in &grants {
             let instance = self.provider.adopt_running(now);
+            self.adopted_physical.insert(instance.raw(), grant.physical);
             self.pending.push(PendingNode {
                 instance,
                 usable_at: grant.usable_at,

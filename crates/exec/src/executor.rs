@@ -437,6 +437,16 @@ impl Executor {
     pub fn options(&self) -> &ExecOptions {
         &self.options
     }
+
+    /// Instances stage 0 will request when this executor dispatches
+    /// with no capacity live. A service doing pool-aware admission
+    /// compares this against parked pool capacity: when the whole
+    /// first stage can be served warm, the job skips the
+    /// provision + init cycle entirely.
+    pub fn first_stage_instance_demand(&self) -> u32 {
+        self.plan
+            .instances_for_stage(0, &self.spec, self.cloud.gpus_per_instance())
+    }
 }
 
 /// Where one [`ExecutorCore::step`] call left the run.
@@ -638,9 +648,28 @@ impl ExecutorCore {
     /// capacity released at barriers is offered to the pool instead of
     /// terminated outright, and scale-ups adopt pooled capacity before
     /// provisioning fresh instances. `job` tags this core's releases so
-    /// the pool's double-release guard can tell donors apart.
-    pub fn attach_shared_pool(&mut self, pool: rb_cloud::SharedPool, job: u64) {
-        self.cm.set_shared_pool(pool, job);
+    /// the pool's double-release guard can tell donors apart; `group`
+    /// (e.g. one tenant's Hyperband bracket set) gives the job
+    /// affinity for same-group parked capacity at acquisition.
+    pub fn attach_shared_pool(
+        &mut self,
+        pool: rb_cloud::SharedPool,
+        job: u64,
+        group: Option<u64>,
+    ) {
+        self.cm.set_shared_pool(pool, job, group);
+    }
+
+    /// Instances the next stage will ask the cluster for if it started
+    /// now with no capacity live. Pool-aware admission uses this to
+    /// decide whether a queued job's first stage could be served
+    /// entirely from parked capacity (skipping provision + init).
+    pub fn stage_instance_demand(&self) -> u32 {
+        if self.is_finished() {
+            return 0;
+        }
+        self.plan
+            .instances_for_stage(self.stage, &self.exec.spec, self.gpg)
     }
 
     /// Advances the run to the next stage barrier. `now` lower-bounds the

@@ -55,6 +55,22 @@ impl ShaParams {
         self
     }
 
+    /// Stable one-line description in the paper's notation, for tables
+    /// and trace fields: `SHA(n=32, r=1, R=50, eta=3)`, with `/s` for a
+    /// stage-capped Hyperband bracket.
+    pub fn describe(&self) -> String {
+        match self.max_stages {
+            Some(s) => format!(
+                "SHA(n={}, r={}, R={}, eta={})/{}",
+                self.n, self.r, self.big_r, self.eta, s
+            ),
+            None => format!(
+                "SHA(n={}, r={}, R={}, eta={})",
+                self.n, self.r, self.big_r, self.eta
+            ),
+        }
+    }
+
     /// Generates the stage-by-stage [`ExperimentSpec`].
     ///
     /// The ladder is *work-driven*: stage `k` assigns `r·η^k` additional
@@ -179,6 +195,16 @@ pub fn select_survivors(results: &[(TrialId, f64)], keep: usize) -> Vec<TrialId>
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn describe_uses_the_paper_notation() {
+        let params = ShaParams::new(32, 1, 50).with_eta(3);
+        assert_eq!(params.describe(), "SHA(n=32, r=1, R=50, eta=3)");
+        assert_eq!(
+            params.with_max_stages(2).describe(),
+            "SHA(n=32, r=1, R=50, eta=3)/2"
+        );
+    }
 
     #[test]
     fn table3_spec_from_paper_params() {

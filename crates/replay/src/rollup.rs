@@ -46,6 +46,10 @@ pub struct RunRecord {
     pub replans: u64,
     /// Spot preemptions absorbed.
     pub preemptions: u64,
+    /// Whether pool-aware admission dispatched this run early (0 or 1;
+    /// summed per group). Manifests written before the field existed
+    /// parse as 0.
+    pub pool_admits: u64,
 }
 
 impl RunRecord {
@@ -64,7 +68,8 @@ impl RunRecord {
         let _ = write!(
             out,
             ",\"jct_ms\":{},\"cost_micros\":{},\"queue_wait_ms\":{},\"faults\":{},\
-             \"retries\":{},\"fallbacks\":{},\"degraded\":{},\"replans\":{},\"preemptions\":{}}}",
+             \"retries\":{},\"fallbacks\":{},\"degraded\":{},\"replans\":{},\"preemptions\":{},\
+             \"pool_admits\":{}}}",
             self.jct_ms,
             self.cost_micros,
             self.queue_wait_ms,
@@ -73,7 +78,8 @@ impl RunRecord {
             self.fallbacks,
             self.degraded,
             self.replans,
-            self.preemptions
+            self.preemptions,
+            self.pool_admits
         );
         out
     }
@@ -120,6 +126,9 @@ pub fn parse_run_record(text: &str) -> Result<RunRecord, String> {
         degraded: u64_field("degraded")?,
         replans: u64_field("replans")?,
         preemptions: u64_field("preemptions")?,
+        // Absent in manifests written before pool-aware admission
+        // existed; treat those as "never admitted from the pool".
+        pool_admits: doc.get("pool_admits").and_then(Json::as_u64).unwrap_or(0),
     })
 }
 
@@ -166,6 +175,7 @@ struct GroupStats {
     degraded: u64,
     replans: u64,
     preemptions: u64,
+    pool_admits: u64,
 }
 
 impl GroupStats {
@@ -182,6 +192,7 @@ impl GroupStats {
             degraded: 0,
             replans: 0,
             preemptions: 0,
+            pool_admits: 0,
         };
         for r in records {
             g.runs += 1;
@@ -195,6 +206,7 @@ impl GroupStats {
             g.degraded += r.degraded;
             g.replans += r.replans;
             g.preemptions += r.preemptions;
+            g.pool_admits += r.pool_admits;
         }
         g
     }
@@ -219,13 +231,14 @@ impl GroupStats {
         let _ = writeln!(
             out,
             "{indent}recovery     faults {} retries {} fallbacks {} degraded {} \
-             replans {} preemptions {}",
+             replans {} preemptions {} pool_admits {}",
             self.faults,
             self.retries,
             self.fallbacks,
             self.degraded,
             self.replans,
-            self.preemptions
+            self.preemptions,
+            self.pool_admits
         );
     }
 }
@@ -341,6 +354,7 @@ mod tests {
             degraded: 0,
             replans: 2,
             preemptions: 3,
+            pool_admits: 0,
         }
     }
 
@@ -365,6 +379,18 @@ mod tests {
     fn parse_rejects_missing_fields() {
         assert!(parse_run_record("{\"sweep\":\"s\"}").is_err());
         assert!(parse_run_record("nope").is_err());
+    }
+
+    #[test]
+    fn manifests_without_pool_admits_parse_as_zero() {
+        // Fleet manifests written before pool-aware admission existed
+        // lack the field; they must keep parsing (as "never admitted").
+        let mut r = rec("ext-serve", "t2 gap0 pool-on", Some("tenant-0"), 10, 20);
+        r.pool_admits = 3;
+        let old = r.to_json().replace(",\"pool_admits\":3", "");
+        let parsed = parse_run_record(&old).expect("old manifest parses");
+        assert_eq!(parsed.pool_admits, 0);
+        assert_eq!(parse_run_record(&r.to_json()).expect("round trip"), r);
     }
 
     #[test]

@@ -669,6 +669,72 @@ pub fn execute_multi_job_observed(
     })
 }
 
+/// Builds one tenant's Hyperband **job group** for the tuning service:
+/// one bracket-tagged [`rb_serve::JobRequest`] per bracket of
+/// [`rb_hpo::hyperband_brackets`]`(r, R, eta)`, planned together under
+/// the shared deadline ([`rb_planner::plan_multi_job`], concurrent
+/// discipline) and all arriving at `arrival`.
+///
+/// Bracket-tagged jobs get a [`rb_obs::Lane::Bracket`] span each in the
+/// service trace, and under a shared pool the group keeps affinity for
+/// its own barrier-released capacity: instances parked by one bracket
+/// flow to sibling brackets of the same tenant before being offered
+/// cross-tenant. Per-bracket seeds match [`execute_multi_job`]'s, so a
+/// group run through the service tunes the same trials as the
+/// standalone multi-job of the same seed.
+///
+/// # Errors
+///
+/// Propagates bracket-generation, planning, and executor-construction
+/// errors.
+#[allow(clippy::too_many_arguments)] // Mirrors `execute_multi_job` plus the service coordinates.
+pub fn hyperband_group_jobs(
+    r: u64,
+    big_r: u64,
+    eta: u32,
+    task: &TaskModel,
+    physics: &ModelProfile,
+    cloud: &CloudProfile,
+    space: &SearchSpace,
+    deadline: SimDuration,
+    tenant: usize,
+    arrival: rb_core::SimTime,
+    seed: u64,
+) -> Result<Vec<rb_serve::JobRequest>> {
+    let brackets = rb_hpo::hyperband_brackets(r, big_r, eta)?;
+    let specs: Vec<ExperimentSpec> = brackets.into_iter().map(|(_, s)| s).collect();
+    let sim = Simulator::new(physics.clone(), cloud.clone());
+    let plan = rb_planner::plan_multi_job(
+        &sim,
+        &specs,
+        deadline,
+        rb_planner::MultiJobDiscipline::Concurrent,
+        &PlannerConfig::default(),
+    )?;
+    specs
+        .iter()
+        .zip(&plan.brackets)
+        .enumerate()
+        .map(|(i, (spec, out))| {
+            let bracket_seed = seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9);
+            let mut rng = Prng::seed_from_u64(bracket_seed ^ 0x005A_3CE0_u64);
+            let configs = space.sample_n(spec.initial_trials() as usize, &mut rng);
+            let executor = Executor::new(
+                spec.clone(),
+                out.plan.clone(),
+                task.clone(),
+                physics.clone(),
+                cloud.clone(),
+            )?
+            .with_options(ExecOptions {
+                seed: bracket_seed,
+                ..ExecOptions::default()
+            });
+            Ok(rb_serve::JobRequest::new(executor, configs, arrival, tenant).with_bracket(i as u32))
+        })
+        .collect()
+}
+
 /// A synthetic multi-tenant workload for [`serve`]: each tenant submits
 /// `jobs_per_tenant` copies of the experiment, arriving round-robin
 /// with seeded exponential inter-arrival gaps. Every job gets its own
@@ -1181,6 +1247,7 @@ mod tests {
             max_concurrent: 2,
             max_queue: 8,
             pool: Some(rb_cloud::PoolConfig::default()),
+            pool_admission: false,
         };
         let (report, log) = serve_observed(
             &workload,

@@ -53,6 +53,9 @@ pub struct JobOutcome {
     pub finished: SimTime,
     /// Time spent queued: `dispatched - arrival`.
     pub queue_wait: SimDuration,
+    /// Whether pool-aware admission dispatched this job early because
+    /// its first-stage demand fit inside parked pool capacity.
+    pub pool_admitted: bool,
     /// The job's own execution report (JCT measured from dispatch).
     pub report: ExecutionReport,
 }
@@ -72,6 +75,12 @@ pub struct TenantUsage {
     pub rejected: usize,
     /// Total spend of completed jobs.
     pub spend: Cost,
+    /// Median queue wait across this tenant's completed jobs (nearest
+    /// rank; zero when no jobs completed).
+    pub wait_p50: SimDuration,
+    /// 90th-percentile queue wait across this tenant's completed jobs
+    /// (nearest rank; zero when no jobs completed).
+    pub wait_p90: SimDuration,
 }
 
 /// The outcome of a full multi-tenant workload.
@@ -85,6 +94,9 @@ pub struct ServeReport {
     pub tenants: Vec<TenantUsage>,
     /// Shared-pool ledger, when a pool was configured.
     pub pool: Option<PoolStats>,
+    /// Jobs dispatched early by pool-aware admission (their first-stage
+    /// demand fit inside parked capacity, skipping provision + init).
+    pub pool_admits: u64,
     /// Virtual time of the last completion (zero if nothing ran).
     pub makespan: SimTime,
     /// What the meters actually billed: every job's compute + data
@@ -98,8 +110,11 @@ pub struct ServeReport {
     pub net_cost: Cost,
 }
 
-/// Nearest-rank percentile over an ascending-sorted slice.
-fn percentile(sorted: &[SimDuration], p: f64) -> SimDuration {
+/// Nearest-rank percentile over an ascending-sorted slice: the value at
+/// rank `⌈p·n⌉` (1-based), so a 1-sample tenant reports that sample for
+/// every percentile and a 2-sample tenant reports its *first* sample as
+/// the p50 (⌈0.5·2⌉ = 1) and its second as the p90 (⌈0.9·2⌉ = 2).
+pub(crate) fn percentile(sorted: &[SimDuration], p: f64) -> SimDuration {
     if sorted.is_empty() {
         return SimDuration::ZERO;
     }
@@ -150,9 +165,10 @@ impl ServeReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "serve: jobs={} rejected={} makespan_s={:.0} throughput_jph={:.3} billed=${:.4} net=${:.4}",
+            "serve: jobs={} rejected={} pool_admits={} makespan_s={:.0} throughput_jph={:.3} billed=${:.4} net=${:.4}",
             self.outcomes.len(),
             self.rejected.len(),
+            self.pool_admits,
             self.makespan.as_secs_f64(),
             self.throughput_jobs_per_hour(),
             self.billed_cost.as_dollars(),
@@ -168,24 +184,29 @@ impl ServeReport {
         for t in &self.tenants {
             let _ = writeln!(
                 out,
-                "tenant {}: weight={} completed={} rejected={} spend=${:.4}",
+                "tenant {}: weight={} completed={} rejected={} spend=${:.4} wait_p50_s={:.1} wait_p90_s={:.1}",
                 t.name,
                 t.weight,
                 t.completed,
                 t.rejected,
                 t.spend.as_dollars(),
+                t.wait_p50.as_secs_f64(),
+                t.wait_p90.as_secs_f64(),
             );
         }
         if let Some(p) = &self.pool {
             let _ = writeln!(
                 out,
-                "pool: offers={} handoffs={} expirations={} rejected_full={} double_releases={} \
-                 min_saved=${:.4} park=${:.4} ingress_saved_gb={:.1} net_saving=${:.4}",
+                "pool: offers={} handoffs={} expirations={} drained={} rejected_full={} \
+                 double_releases={} conflicts={} min_saved=${:.4} park=${:.4} \
+                 ingress_saved_gb={:.1} net_saving=${:.4}",
                 p.offers,
                 p.handoffs,
                 p.expirations,
+                p.drained,
                 p.rejected_full,
                 p.double_releases,
+                p.conflicts,
                 p.min_charge_saved.as_dollars(),
                 p.park_cost.as_dollars(),
                 p.ingress_gb_saved,
@@ -212,12 +233,84 @@ mod tests {
     }
 
     #[test]
+    fn small_sample_percentiles_match_the_hand_computed_table() {
+        // Nearest rank R = ⌈p·n⌉ (1-based), hand-computed for every
+        // sample count a small tenant can have. The 1- and 2-sample
+        // rows are the audit targets: a 1-sample tenant reports that
+        // sample everywhere; a 2-sample tenant's p50 is its FIRST
+        // sample (⌈1.0⌉ = 1), not an interpolation, and its p90 the
+        // second.
+        #[rustfmt::skip]
+        let table: &[(usize, usize, usize)] = &[
+            // n, p50 rank, p90 rank (1-based)
+            (1, 1, 1),
+            (2, 1, 2),
+            (3, 2, 3),
+            (4, 2, 4),
+            (5, 3, 5),
+            (6, 3, 6),
+            (7, 4, 7),
+            (8, 4, 8),
+        ];
+        for &(n, r50, r90) in table {
+            let waits: Vec<SimDuration> = (1..=n as u64).map(SimDuration::from_secs).collect();
+            assert_eq!(
+                percentile(&waits, 0.50),
+                SimDuration::from_secs(r50 as u64),
+                "p50 of n={n}"
+            );
+            assert_eq!(
+                percentile(&waits, 0.90),
+                SimDuration::from_secs(r90 as u64),
+                "p90 of n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn percentile_property_over_sizes_1_to_8() {
+        // Property check against an index-free reference: the nearest-
+        // rank percentile is the smallest sorted value v such that at
+        // least p·n of the samples are ≤ v. Swept over every size
+        // 1..=8, several p values, and value layouts with ties.
+        fn reference(sorted: &[SimDuration], p: f64) -> SimDuration {
+            let n = sorted.len();
+            let need = (p * n as f64).ceil().max(1.0) as usize;
+            *sorted
+                .iter()
+                .find(|v| sorted.iter().filter(|w| *w <= *v).count() >= need)
+                .expect("non-empty")
+        }
+        for n in 1usize..=8 {
+            for layout in 0u64..3 {
+                let waits: Vec<SimDuration> = (0..n as u64)
+                    .map(|i| match layout {
+                        0 => SimDuration::from_secs(i + 1),           // distinct
+                        1 => SimDuration::from_secs((i / 2) * 7 + 1), // ties
+                        _ => SimDuration::from_secs(i * i + 3),       // skewed
+                    })
+                    .collect();
+                let mut waits = waits;
+                waits.sort_unstable();
+                for p in [0.01, 0.25, 0.50, 0.75, 0.90, 0.99, 1.0] {
+                    assert_eq!(
+                        percentile(&waits, p),
+                        reference(&waits, p),
+                        "n={n} layout={layout} p={p}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn empty_report_renders_without_panicking() {
         let r = ServeReport {
             outcomes: Vec::new(),
             rejected: Vec::new(),
             tenants: Vec::new(),
             pool: None,
+            pool_admits: 0,
             makespan: SimTime::ZERO,
             billed_cost: Cost::ZERO,
             net_cost: Cost::ZERO,

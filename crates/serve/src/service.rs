@@ -33,11 +33,36 @@
 //! donor's minimum-charge premium is credited back at the service
 //! level (see [`crate::ServeReport::net_cost`]). Park time past
 //! `max_hold_secs` is billed to the pool and the instance expires.
+//!
+//! ## Contention
+//!
+//! With `max_concurrent > 1`, two or more running jobs race for the
+//! same parked instances at interleaved barriers. Acquisition order is
+//! still deterministic: when several cores' clocks tie, the service
+//! steps the one whose tenant has the lowest spend ÷ weight fair
+//! share (ties by arrival time, then submission index) — the same
+//! tie-break dispatch uses — so the under-served tenant's job reaches
+//! the pool first. The pool's ledger stays exact under any
+//! interleaving: `offered = adopted + expired + drained (+ parked)`
+//! and `billed = job meters + park` ([`rb_cloud::PoolStats::balances`]
+//! is debug-asserted after the drain).
+//!
+//! ## Pool-aware admission
+//!
+//! With [`ServeOptions::pool_admission`] set, a queued job whose
+//! first-stage instance demand fits entirely inside currently-parked
+//! (eligible, unexpired) pool capacity is dispatched *past*
+//! `max_concurrent`: its whole first stage will be served warm, so the
+//! marginal cost of running it now — against capacity that is
+//! otherwise billing park time toward expiry — beats holding it in
+//! the queue. Each such dispatch emits a `job.admit_from_pool` event
+//! and bumps the `serve.pool_admits` counter
+//! ([`crate::ServeReport::pool_admits`]).
 
-use crate::report::{JobOutcome, RejectReason, RejectedJob, ServeReport, TenantUsage};
+use crate::report::{percentile, JobOutcome, RejectReason, RejectedJob, ServeReport, TenantUsage};
 use crate::tenant::{JobRequest, TenantSpec};
 use rb_cloud::{InstancePool, PoolConfig, SharedPool};
-use rb_core::{Cost, RbError, Result, SimTime};
+use rb_core::{Cost, RbError, Result, SimDuration, SimTime};
 use rb_exec::{ExecutorCore, NoopHook, StepOutcome};
 use rb_obs::{JobScopedRecorder, Lane, Recorder, RecorderHandle};
 use std::collections::{BTreeMap, VecDeque};
@@ -54,6 +79,10 @@ pub struct ServeOptions {
     /// Shared elastic instance pool; `None` disables handoffs (every
     /// job terminates its own capacity, exactly as when run alone).
     pub pool: Option<PoolConfig>,
+    /// Admit a queued job past `max_concurrent` when its first-stage
+    /// instance demand can be served entirely from parked pool
+    /// capacity (skipping provision + init). Requires `pool`.
+    pub pool_admission: bool,
 }
 
 impl Default for ServeOptions {
@@ -62,6 +91,7 @@ impl Default for ServeOptions {
             max_concurrent: 4,
             max_queue: 64,
             pool: None,
+            pool_admission: false,
         }
     }
 }
@@ -84,6 +114,13 @@ impl ServeOptions {
         if let Some(pool) = &self.pool {
             pool.validate()?;
         }
+        if self.pool_admission && self.pool.is_none() {
+            return Err(RbError::InvalidConfig(
+                "serve: pool_admission requires a pool (there is no parked capacity to admit \
+                 against without one)"
+                    .into(),
+            ));
+        }
         Ok(())
     }
 }
@@ -93,6 +130,9 @@ impl ServeOptions {
 struct JobMeta {
     arrival: SimTime,
     tenant: usize,
+    bracket: Option<u32>,
+    /// Stage-0 instance demand, for pool-aware admission.
+    first_stage_demand: u32,
 }
 
 /// The multi-tenant tuning service.
@@ -183,6 +223,8 @@ impl TuningService {
             .map(|j| JobMeta {
                 arrival: j.arrival,
                 tenant: j.tenant,
+                bracket: j.bracket,
+                first_stage_demand: j.executor.first_stage_instance_demand(),
             })
             .collect();
         let mut requests: Vec<Option<JobRequest>> = jobs.into_iter().map(Some).collect();
@@ -196,6 +238,8 @@ impl TuningService {
         let mut queue: Vec<usize> = Vec::new();
         let mut running: BTreeMap<u64, ExecutorCore> = BTreeMap::new();
         let mut dispatched_at: Vec<SimTime> = vec![SimTime::ZERO; requests.len()];
+        let mut pool_admitted: Vec<bool> = vec![false; requests.len()];
+        let mut pool_admits: u64 = 0;
         let mut spend: Vec<Cost> = vec![Cost::ZERO; self.tenants.len()];
         let mut completed: Vec<usize> = vec![0; self.tenants.len()];
         let mut rejected_count: Vec<usize> = vec![0; self.tenants.len()];
@@ -271,47 +315,80 @@ impl TuningService {
                 let pick = self.pick_fair(&queue, &meta, &spend);
                 let idx = queue.remove(pick);
                 let req = requests[idx].take().expect("job dispatched twice");
-                let start = clock.max(req.arrival);
-                let job_id = idx as u64;
-                let wait = start.saturating_since(req.arrival);
-                let scoped: Arc<dyn Recorder> =
-                    Arc::new(JobScopedRecorder::new(recorder.share(), job_id));
-                let mut core = ExecutorCore::new_at(
-                    &req.executor,
-                    &req.configs,
-                    RecorderHandle::new(scoped),
-                    start,
+                self.dispatch_one(
+                    idx,
+                    req,
+                    clock,
+                    recorder,
+                    pool.as_ref(),
+                    None,
+                    &mut dispatched_at,
+                    &mut running,
                 )?;
-                if let Some(pool) = &pool {
-                    core.attach_shared_pool(pool.clone(), job_id);
-                }
-                if !wait.is_zero() {
-                    recorder.span(
-                        req.arrival,
-                        start,
-                        "serve",
-                        "job.queued",
-                        Lane::Job(job_id),
-                        vec![("wait_s", wait.as_secs_f64().into())],
-                    );
-                }
-                recorder.instant(
-                    start,
-                    "serve",
-                    "job.dispatch",
-                    Lane::Job(job_id),
-                    vec![
-                        ("tenant", req.tenant.into()),
-                        ("wait_s", wait.as_secs_f64().into()),
-                    ],
-                );
-                recorder.histogram("serve", "queue_wait_s", wait.as_secs_f64());
-                dispatched_at[idx] = start;
-                running.insert(job_id, core);
             }
 
-            // 4. Step the running core that is furthest behind.
-            let Some((t, id)) = running.iter().map(|(id, core)| (core.now(), *id)).min() else {
+            // 3b. Pool-aware admission: with every slot busy, a queued
+            // job whose entire first stage fits in parked (eligible,
+            // unexpired) pool capacity dispatches anyway — it will run
+            // warm off instances that are otherwise billing park time
+            // toward expiry. Strictly in fair-share order: admission
+            // stops at the first pick that does not fit, so this never
+            // becomes a backfill path around the fair queue.
+            if self.options.pool_admission && !queue.is_empty() {
+                if let Some(pool) = &pool {
+                    let mut eligible = pool.with(|p| p.eligible_count(clock));
+                    while !queue.is_empty() && eligible > 0 {
+                        let pick = self.pick_fair(&queue, &meta, &spend);
+                        let demand = meta[queue[pick]].first_stage_demand as usize;
+                        if demand == 0 || demand > eligible {
+                            break;
+                        }
+                        let idx = queue.remove(pick);
+                        let req = requests[idx].take().expect("job dispatched twice");
+                        self.dispatch_one(
+                            idx,
+                            req,
+                            clock,
+                            recorder,
+                            Some(pool),
+                            Some((eligible, demand as u32)),
+                            &mut dispatched_at,
+                            &mut running,
+                        )?;
+                        pool_admitted[idx] = true;
+                        pool_admits += 1;
+                        eligible -= demand;
+                    }
+                }
+            }
+
+            // 4. Step the running core that is furthest behind. Among
+            // clock ties the fair-share tie-break (spend ÷ weight,
+            // then arrival, then submission index) decides — the same
+            // order dispatch uses — so which contending job reaches
+            // the shared pool first at an interleaved barrier is a
+            // deterministic function of the workload, not of map
+            // iteration order.
+            let mut pick: Option<(SimTime, f64, SimTime, u64)> = None;
+            for (id, core) in &running {
+                let m = &meta[*id as usize];
+                let share = spend[m.tenant].as_dollars() / self.tenants[m.tenant].weight;
+                let key = (core.now(), share, m.arrival, *id);
+                let better = match &pick {
+                    None => true,
+                    Some(best) => key
+                        .0
+                        .cmp(&best.0)
+                        .then_with(|| key.1.total_cmp(&best.1))
+                        .then_with(|| key.2.cmp(&best.2))
+                        .then_with(|| key.3.cmp(&best.3))
+                        .is_lt(),
+                };
+                if better {
+                    pick = Some(key);
+                }
+            }
+            let Some((t, _, _, id)) = pick else {
                 // Nothing running: if nothing is waiting either, done.
                 if pending.is_empty() && queue.is_empty() {
                     break;
@@ -342,6 +419,19 @@ impl TuningService {
                     ],
                 );
                 recorder.counter_add("serve", "jobs_completed", 1);
+                if let Some(b) = meta[idx].bracket {
+                    // Bracket-tagged jobs form one tenant's Hyperband
+                    // job group: give each bracket a lane-scoped span
+                    // so the group reads as parallel lanes in a trace.
+                    recorder.span(
+                        dispatched,
+                        at,
+                        "serve",
+                        "bracket",
+                        Lane::Bracket(b),
+                        vec![("job", idx.into()), ("tenant", tenant.into())],
+                    );
+                }
                 outcomes.push(JobOutcome {
                     job: id,
                     tenant,
@@ -349,17 +439,26 @@ impl TuningService {
                     dispatched,
                     finished: at,
                     queue_wait: dispatched.saturating_since(meta[idx].arrival),
+                    pool_admitted: pool_admitted[idx],
                     report,
                 });
             }
         }
 
         // Wind down the pool: anything still parked terminates now and
-        // bills its park time.
+        // bills its park time. After the drain nothing is parked, so
+        // the ledger must balance exactly: every offer was parked,
+        // rejected, double-released, or conflicted; every park was
+        // handed off, expired, or drained.
         let pool_stats = pool.map(|p| {
             p.with(|pool| {
                 pool.drain(clock);
-                pool.stats()
+                let stats = pool.stats();
+                debug_assert!(
+                    stats.balances(0),
+                    "pool ledger out of balance after drain: {stats:?}"
+                );
+                stats
             })
         });
 
@@ -371,6 +470,13 @@ impl TuningService {
             .as_ref()
             .map_or(Cost::ZERO, |s| s.min_charge_saved);
         let billed_cost = job_cost + park;
+        let mut waits_by_tenant: Vec<Vec<SimDuration>> = vec![Vec::new(); self.tenants.len()];
+        for o in &outcomes {
+            waits_by_tenant[o.tenant].push(o.queue_wait);
+        }
+        for w in &mut waits_by_tenant {
+            w.sort_unstable();
+        }
         let tenants = self
             .tenants
             .iter()
@@ -382,6 +488,8 @@ impl TuningService {
                 completed: completed[i],
                 rejected: rejected_count[i],
                 spend: spend[i],
+                wait_p50: percentile(&waits_by_tenant[i], 0.50),
+                wait_p90: percentile(&waits_by_tenant[i], 0.90),
             })
             .collect();
         Ok(ServeReport {
@@ -389,10 +497,86 @@ impl TuningService {
             rejected,
             tenants,
             pool: pool_stats,
+            pool_admits,
             makespan: last_finish,
             billed_cost,
             net_cost: billed_cost - saved,
         })
+    }
+
+    /// Instantiates one job's executor core at `clock` (or its arrival,
+    /// whichever is later), attaches the shared pool, emits the
+    /// dispatch events, and registers the core as running. Used by both
+    /// the normal slot-fill path and pool-aware admission (`from_pool`
+    /// carries `(eligible parked count, first-stage demand)` for the
+    /// admission event's fields).
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_one(
+        &self,
+        idx: usize,
+        req: JobRequest,
+        clock: SimTime,
+        recorder: &RecorderHandle,
+        pool: Option<&SharedPool>,
+        from_pool: Option<(usize, u32)>,
+        dispatched_at: &mut [SimTime],
+        running: &mut BTreeMap<u64, ExecutorCore>,
+    ) -> Result<()> {
+        let start = clock.max(req.arrival);
+        let job_id = idx as u64;
+        let wait = start.saturating_since(req.arrival);
+        let scoped: Arc<dyn Recorder> = Arc::new(JobScopedRecorder::new(recorder.share(), job_id));
+        let mut core = ExecutorCore::new_at(
+            &req.executor,
+            &req.configs,
+            RecorderHandle::new(scoped),
+            start,
+        )?;
+        if let Some(pool) = pool {
+            // Bracket-tagged jobs share a group keyed by tenant, so
+            // barrier-released capacity prefers siblings of the same
+            // Hyperband run before flowing cross-tenant.
+            let group = req.bracket.map(|_| req.tenant as u64);
+            core.attach_shared_pool(pool.clone(), job_id, group);
+        }
+        if !wait.is_zero() {
+            recorder.span(
+                req.arrival,
+                start,
+                "serve",
+                "job.queued",
+                Lane::Job(job_id),
+                vec![("wait_s", wait.as_secs_f64().into())],
+            );
+        }
+        recorder.instant(
+            start,
+            "serve",
+            "job.dispatch",
+            Lane::Job(job_id),
+            vec![
+                ("tenant", req.tenant.into()),
+                ("wait_s", wait.as_secs_f64().into()),
+            ],
+        );
+        if let Some((eligible, demand)) = from_pool {
+            recorder.instant(
+                start,
+                "serve",
+                "job.admit_from_pool",
+                Lane::Job(job_id),
+                vec![
+                    ("tenant", req.tenant.into()),
+                    ("first_stage_demand", (demand as usize).into()),
+                    ("parked_eligible", eligible.into()),
+                ],
+            );
+            recorder.counter_add("serve", "pool_admits", 1);
+        }
+        recorder.histogram("serve", "queue_wait_s", wait.as_secs_f64());
+        dispatched_at[idx] = start;
+        running.insert(job_id, core);
+        Ok(())
     }
 
     /// The queued job that should dispatch next: lowest tenant

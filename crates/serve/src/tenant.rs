@@ -81,6 +81,13 @@ pub struct JobRequest {
     pub arrival: SimTime,
     /// Index into the service's tenant list.
     pub tenant: usize,
+    /// Hyperband bracket index, for jobs submitted as one tenant's
+    /// bracket set. Bracket-tagged jobs form a *job group*: their
+    /// timelines get a [`rb_obs::Lane::Bracket`] span each, and under
+    /// a shared pool the group has affinity for its own barrier-released
+    /// capacity — it flows between brackets of the same tenant before
+    /// being offered cross-tenant.
+    pub bracket: Option<u32>,
 }
 
 impl JobRequest {
@@ -91,7 +98,15 @@ impl JobRequest {
             configs,
             arrival,
             tenant,
+            bracket: None,
         }
+    }
+
+    /// Tags the job as bracket `bracket` of its tenant's Hyperband job
+    /// group.
+    pub fn with_bracket(mut self, bracket: u32) -> Self {
+        self.bracket = Some(bracket);
+        self
     }
 }
 

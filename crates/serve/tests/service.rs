@@ -68,6 +68,7 @@ fn serial_service(pool: Option<PoolConfig>) -> TuningService {
             max_concurrent: 1,
             max_queue: 16,
             pool,
+            pool_admission: false,
         },
     )
     .unwrap()
@@ -116,6 +117,63 @@ fn shared_pool_saves_cost_at_equal_or_better_queue_wait() {
     // faster, so waits can only improve.
     assert!(on.queue_wait_p50() <= off.queue_wait_p50());
     assert!(on.makespan <= off.makespan);
+}
+
+/// Six jobs on a down-scaling plan racing for two slots: both running
+/// jobs park capacity at their barriers while the queue is non-empty,
+/// so cross-job handoffs and pool-aware admission both fire.
+fn contended_jobs() -> Vec<JobRequest> {
+    (0u64..6)
+        .map(|k| job(&[16, 8, 4, 4], 500 + k, SimTime::ZERO, (k % 2) as usize))
+        .collect()
+}
+
+fn contended_service(pool_admission: bool) -> TuningService {
+    TuningService::new(
+        vec![TenantSpec::new("alpha", 1.0), TenantSpec::new("beta", 1.0)],
+        ServeOptions {
+            max_concurrent: 2,
+            max_queue: 16,
+            pool: Some(PoolConfig::default()),
+            pool_admission,
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn contended_cell_conserves_the_pool_ledger_and_admits_from_it() {
+    let report = contended_service(true).run(contended_jobs()).unwrap();
+    assert_eq!(report.outcomes.len(), 6);
+
+    let stats = report.pool.as_ref().expect("pool stats present");
+    assert!(stats.handoffs > 0, "{stats:?}");
+    assert_eq!(stats.double_releases, 0, "{stats:?}");
+    assert_eq!(stats.conflicts, 0, "{stats:?}");
+    // The pool was drained at wind-down: every offer and every parked
+    // instance is accounted for exactly once.
+    assert!(stats.balances(0), "pool ledger out of balance: {stats:?}");
+
+    // Billing invariant: the service bill is the job meters plus the
+    // park bill — nothing double-counted, nothing dropped.
+    let job_cost: Cost = report
+        .outcomes
+        .iter()
+        .fold(Cost::ZERO, |acc, o| acc + o.report.total_cost());
+    assert_eq!(report.billed_cost, job_cost + stats.park_cost);
+    assert_eq!(report.net_cost, report.billed_cost - stats.min_charge_saved);
+
+    // Pool-aware admission actually fired, and the flags agree with
+    // the counter.
+    assert!(report.pool_admits > 0, "no job was admitted from the pool");
+    let flagged = report.outcomes.iter().filter(|o| o.pool_admitted).count();
+    assert_eq!(flagged as u64, report.pool_admits);
+
+    // Admission must help, not hurt: same cell without it queues jobs
+    // at least as long at the median.
+    let plain = contended_service(false).run(contended_jobs()).unwrap();
+    assert_eq!(plain.pool_admits, 0);
+    assert!(report.queue_wait_p50() <= plain.queue_wait_p50());
 }
 
 #[test]
@@ -173,6 +231,7 @@ fn same_seed_is_byte_identical_and_planner_threads_do_not_leak() {
                 max_concurrent: 2,
                 max_queue: 8,
                 pool: Some(PoolConfig::default()),
+                pool_admission: false,
             },
         )
         .unwrap()
@@ -185,6 +244,34 @@ fn same_seed_is_byte_identical_and_planner_threads_do_not_leak() {
     let c = run(&p1);
     assert_eq!(a, b, "ServeReport must not depend on planner threads");
     assert_eq!(a, c, "ServeReport must be reproducible from the seed");
+
+    // The contended + pool-admission path holds to the same contract:
+    // jobs racing for parked capacity at interleaved barriers, two of
+    // them on the planner's plan so a thread leak there would surface
+    // in the render.
+    let run_contended = |plan: &AllocationPlan| {
+        let mut jobs = contended_jobs();
+        for (k, j) in jobs.iter_mut().take(2).enumerate() {
+            j.executor = Executor::new(
+                spec(),
+                plan.clone(),
+                task.clone(),
+                self::physics(&task),
+                cloud(),
+            )
+            .unwrap()
+            .with_options(ExecOptions {
+                seed: 500 + k as u64,
+                ..ExecOptions::default()
+            });
+        }
+        contended_service(true).run(jobs).unwrap().render()
+    };
+    let a = run_contended(&p1);
+    let b = run_contended(&p4);
+    let c = run_contended(&p1);
+    assert_eq!(a, b, "contended render must not depend on planner threads");
+    assert_eq!(a, c, "contended render must be reproducible from the seed");
 }
 
 #[test]
@@ -216,6 +303,7 @@ fn queue_overflow_rejects_with_a_typed_reason() {
             max_concurrent: 1,
             max_queue: 1,
             pool: None,
+            pool_admission: false,
         },
     )
     .unwrap();

@@ -52,6 +52,7 @@ fn main() {
             max_concurrent: 2,
             max_queue: 16,
             pool,
+            pool_admission: false,
         };
         let report = rubberband::serve(
             &workload, &spec, &task, &physics, &cloud, &space, deadline, &options,

@@ -78,17 +78,21 @@ diff -u scripts/expected_ext_chaos.txt "$summary"
 rm -f "$summary"
 echo "ok"
 
-echo "== ext-serve smoke (seeded; summary must match the expectation) =="
-# Multi-tenant service sweep (tenants x arrival gaps), every cell run
-# pool-off and pool-on at shared seeds. The pinned summary encodes the
+echo "== ext-serve smoke (seeded; summaries must match the expectation) =="
+# Multi-tenant service sweeps: serial (tenants x arrival gaps), the
+# contended sub-sweep (2 slots, downscaling plans, pool-aware
+# admission), and the Hyperband bracket group — every cell run pool-off
+# and pool-on at shared seeds. The pinned summaries encode the
 # service-layer contract: the pool is cheaper in every pair
 # (pool_cheaper == pairs) at equal-or-better median queue wait
-# (wait_regressions=0), with no double releases. A drift means the
-# fair-share scheduler, the pool lifecycle, or the billing accounting
+# (wait_regressions=0), with no double releases or custody conflicts,
+# and the contended cells actually admit queued jobs against parked
+# capacity (pool_admits > 0). A drift means the fair-share scheduler,
+# the pool lifecycle, pool-aware admission, or the billing accounting
 # changed behaviour.
 summary=$(mktemp)
 cargo run -p rb-bench --release --offline --bin repro -- quick ext-serve \
-    | grep '^ext-serve summary:' > "$summary"
+    | grep '^ext-serve' > "$summary"
 diff -u scripts/expected_ext_serve.txt "$summary"
 rm -f "$summary"
 echo "ok"

@@ -142,6 +142,7 @@ fn serve_cell_streams_byte_identical_to_batch_export() {
                 max_concurrent: 1,
                 max_queue: 8,
                 pool: Some(PoolConfig::default()),
+                pool_admission: false,
             },
         )
         .unwrap()
