@@ -184,6 +184,13 @@ fn ext_chaos(_quick: bool) {
         Ok((deadline, rows)) => rb_bench::chaos::print_ext_chaos(deadline, &rows),
         Err(e) => rb_obs::log_error!("repro", "ext-chaos failed: {e}"),
     }
+    // Correlated failure domains ride along: zone outage timing × the
+    // controller's executed switch (0 = auto planner threads; rows are
+    // thread-count invariant).
+    match rb_bench::chaos::ext_chaos_zones(1, 0) {
+        Ok((deadline, rows)) => rb_bench::chaos::print_ext_chaos_zones(deadline, &rows),
+        Err(e) => rb_obs::log_error!("repro", "ext-chaos zones failed: {e}"),
+    }
 }
 
 fn ext_serve(quick: bool) {

@@ -18,11 +18,13 @@
 //! the unhardened one.
 
 use crate::tables::{e2e_cloud, profiled_model, search_space};
-use rb_cloud::FaultPlan;
-use rb_core::{Result, SimDuration};
-use rb_exec::{ExecOptions, RetryPolicy};
+use rb_cloud::{FaultPlan, ZonePlan, ZoneWindow};
+use rb_core::{Prng, Result, SimDuration};
+use rb_ctrl::{AdaptiveController, ControllerConfig, MarketConfig, WatchdogConfig};
+use rb_exec::{ExecOptions, Executor, RetryPolicy};
 use rb_hpo::ShaParams;
 use rb_planner::{plan_rubberband, PlannerConfig};
+use rb_sim::{EngineConfig, Simulator};
 
 /// One named fault scenario for the sweep.
 #[derive(Debug, Clone)]
@@ -91,6 +93,7 @@ impl ChaosScenario {
                     degraded_factor: 1.5,
                     hw_failure_rate_per_hour: 0.2,
                     checkpoint_corruption_prob: 0.2,
+                    zones: ZonePlan::none(),
                 },
             },
         ]
@@ -309,6 +312,221 @@ pub fn print_ext_chaos(deadline: SimDuration, rows: &[ChaosRow]) {
     );
 }
 
+/// One cell of the correlated-failure sub-sweep: the Table 2 workload
+/// executed under a zone outage, either open loop (hardened retry only —
+/// every post-outage scale-up pays dead-zone denial backoff before the
+/// transient retry rotation finds the healthy zone) or with the
+/// controller's *executed* zone switch (the fleet's home zone moves
+/// permanently at the next barrier).
+#[derive(Debug, Clone)]
+pub struct ZoneChaosRow {
+    /// Outage-timing label (`early`, `late`).
+    pub name: &'static str,
+    /// Whether the controller executed switches (vs open loop).
+    pub switch: bool,
+    /// Executed JCT in seconds.
+    pub jct_secs: f64,
+    /// Executed cost in dollars.
+    pub cost: f64,
+    /// Completed within the deadline.
+    pub hit: bool,
+    /// Faults the injector fired (zone denials + outage kills included).
+    pub faults_injected: u64,
+    /// Provisioning retry rounds issued.
+    pub retries: u64,
+    /// Re-plans the controller spliced in (zero open loop).
+    pub replans: usize,
+    /// Drains the controller executed through a market/zone directive.
+    pub executed_switches: usize,
+}
+
+/// Runs the correlated-failure sub-sweep: outage timing × switch on/off
+/// under a two-zone cloud whose zone 0 goes dark mid-run. Both arms use
+/// the same hardened retry policy; only the switch arm is allowed to
+/// move the fleet's home zone. `planner_threads` sets the Monte-Carlo
+/// engine's thread count for *both* the upfront plan and the
+/// controller's re-planner — rows must be byte-identical for every
+/// value (the determinism contract of counter-based sample seeds).
+///
+/// # Errors
+///
+/// Propagates planner, executor, and controller errors.
+pub fn ext_chaos_zones(
+    seed: u64,
+    planner_threads: usize,
+) -> Result<(SimDuration, Vec<ZoneChaosRow>)> {
+    let task = rb_train::task::resnet101_cifar10();
+    let spec = ShaParams::new(32, 1, 50).with_eta(3).generate()?;
+    let model = profiled_model(&task, 1024, 4, 32);
+    let physics = model.clone();
+    let space = search_space();
+    let deadline = SimDuration::from_mins(26);
+    let cloud = e2e_cloud();
+    let engine = EngineConfig {
+        threads: planner_threads,
+        ..EngineConfig::default()
+    };
+    let sim = Simulator::new(model.clone(), cloud.clone()).with_engine(engine);
+    let out = plan_rubberband(
+        &sim,
+        &spec,
+        SimDuration::from_mins(24),
+        &PlannerConfig::default(),
+    )?;
+
+    // Backoff heavy enough that every dead-zone denial round costs real
+    // wall clock: the open loop pays it at every post-outage scale-up,
+    // the executed switch pays it once and leaves.
+    let retry = RetryPolicy {
+        max_retries: 6,
+        base_backoff_secs: 300.0,
+        max_backoff_secs: 600.0,
+        request_timeout_secs: 900.0,
+    };
+    let mut rows = Vec::new();
+    // An early outage leaves stage boundaries for the controller to
+    // observe and exploit; the late outage falls after the last useful
+    // barrier, so the switch arm must stay bit-identical to open loop —
+    // the sub-sweep's no-gratuitous-switching control.
+    for (name, start_secs) in [("early", 240.0), ("late", 600.0)] {
+        let faults = FaultPlan {
+            zones: ZonePlan {
+                zones: 2,
+                outage: Some(ZoneWindow {
+                    zone: 0,
+                    start_secs,
+                    duration_secs: 100_000.0,
+                }),
+                ..ZonePlan::none()
+            },
+            ..FaultPlan::none()
+        };
+        let options = || ExecOptions {
+            seed,
+            faults: faults.clone(),
+            retry: Some(retry.clone()),
+            checkpoint_retention: 3,
+            ..ExecOptions::default()
+        };
+        let open = rubberband::execute_with(
+            &spec,
+            &out.plan,
+            &task,
+            &physics,
+            &cloud,
+            &space,
+            options(),
+        )?;
+        rows.push(ZoneChaosRow {
+            name,
+            switch: false,
+            jct_secs: open.jct.as_secs_f64(),
+            cost: open.total_cost().as_dollars(),
+            hit: open.jct <= deadline,
+            faults_injected: open.faults_injected,
+            retries: open.provision_retries,
+            replans: 0,
+            executed_switches: 0,
+        });
+
+        // Zone recovery in isolation: the advisory market probe is off,
+        // so every executed drain is a ZoneDegraded response.
+        let config = ControllerConfig {
+            watchdog: WatchdogConfig {
+                enabled: false,
+                ..WatchdogConfig::default()
+            },
+            market: MarketConfig {
+                enabled: false,
+                execute: true,
+                ..MarketConfig::default()
+            },
+            ..ControllerConfig::default()
+        };
+        let ctrl_sim = Simulator::new(model.clone(), cloud.clone()).with_engine(engine);
+        let mut controller =
+            AdaptiveController::new(ctrl_sim, spec.clone(), &out.plan, deadline, config)?;
+        // Identical config sampling to `execute_with`: both arms of a
+        // cell tune the same trials.
+        let mut rng = Prng::seed_from_u64(seed ^ 0x005A_3CE0_u64);
+        let configs = space.sample_n(spec.initial_trials() as usize, &mut rng);
+        let switched = Executor::new(
+            spec.clone(),
+            out.plan.clone(),
+            task.clone(),
+            physics.clone(),
+            cloud.clone(),
+        )?
+        .with_options(options())
+        .run_hooked(&configs, &mut controller)?;
+        let log = controller.into_log();
+        rows.push(ZoneChaosRow {
+            name,
+            switch: true,
+            jct_secs: switched.jct.as_secs_f64(),
+            cost: switched.total_cost().as_dollars(),
+            hit: switched.jct <= deadline,
+            faults_injected: switched.faults_injected,
+            retries: switched.provision_retries,
+            replans: log.applied(),
+            executed_switches: log.executed_switches(),
+        });
+    }
+    Ok((deadline, rows))
+}
+
+/// Renders the correlated-failure sub-sweep, ending with a
+/// machine-checkable summary line (counts only — `scripts/verify.sh`
+/// diffs it against a checked-in expectation).
+pub fn print_ext_chaos_zones(deadline: SimDuration, rows: &[ZoneChaosRow]) {
+    println!("\nExtension — correlated failure domains (zone outage × executed switch)");
+    println!(
+        "(two-zone cloud @ {deadline} deadline, zone 0 dark from t onward; both arms \
+         share the hardened retry policy, only `switch on` may move the fleet's \
+         home zone)\n"
+    );
+    println!(
+        "{:>8} {:>6} | {:>10} {:>9} {:>5} {:>6} {:>7} {:>7} {:>8}",
+        "outage", "switch", "JCT", "cost", "hit", "faults", "retries", "replans", "executed"
+    );
+    for r in rows {
+        println!(
+            "{:>8} {:>6} | {:>10} {:>9} {:>5} {:>6} {:>7} {:>7} {:>8}",
+            r.name,
+            if r.switch { "on" } else { "off" },
+            SimDuration::from_secs_f64(r.jct_secs).to_string(),
+            format!("${:.2}", r.cost),
+            if r.hit { "yes" } else { "MISS" },
+            r.faults_injected,
+            r.retries,
+            r.replans,
+            r.executed_switches
+        );
+    }
+    let open_hits = rows.iter().filter(|r| !r.switch && r.hit).count();
+    let switch_hits = rows.iter().filter(|r| r.switch && r.hit).count();
+    let faults: u64 = rows.iter().map(|r| r.faults_injected).sum();
+    let retries: u64 = rows.iter().map(|r| r.retries).sum();
+    let replans: usize = rows.iter().map(|r| r.replans).sum();
+    let executed: usize = rows.iter().map(|r| r.executed_switches).sum();
+    // Cells where the executed switch recovered a deadline the open loop
+    // lost to dead-zone backoff.
+    let recoveries = rows
+        .iter()
+        .filter(|r| r.switch && r.hit)
+        .filter(|r| {
+            rows.iter()
+                .any(|o| !o.switch && !o.hit && o.name == r.name)
+        })
+        .count();
+    println!(
+        "\next-chaos zones summary: cells={} open_hits={open_hits} \
+         switch_hits={switch_hits} faults={faults} retries={retries} \
+         replans={replans} executed_switches={executed} recoveries={recoveries}",
+        rows.len()
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -358,6 +576,63 @@ mod tests {
     }
 
     #[test]
+    fn executed_zone_switch_recovers_deadlines_the_open_loop_loses() {
+        let (deadline, rows) = ext_chaos_zones(1, 0).unwrap();
+        assert_eq!(rows.len(), 4);
+        let cell = |name: &str, switch: bool| {
+            rows.iter()
+                .find(|r| r.name == name && r.switch == switch)
+                .unwrap()
+        };
+        for r in &rows {
+            assert!(r.faults_injected > 0, "{} saw no zone faults", r.name);
+            if !r.switch {
+                assert_eq!(r.executed_switches, 0);
+                assert_eq!(r.replans, 0);
+            }
+        }
+        // The acceptance contrast: the early outage leaves barriers the
+        // controller can exploit — the open loop misses the deadline on
+        // dead-zone backoff, the executed zone switch recovers it.
+        let (early_off, early_on) = (cell("early", false), cell("early", true));
+        assert!(
+            !early_off.hit,
+            "open loop met the deadline through a zone outage (jct {}s)",
+            early_off.jct_secs
+        );
+        assert!(early_on.executed_switches >= 1, "no drain was executed");
+        assert!(early_on.replans >= 1);
+        assert!(
+            early_on.hit,
+            "executed switch missed: jct {}s after {} switches",
+            early_on.jct_secs, early_on.executed_switches
+        );
+        assert!(SimDuration::from_secs_f64(early_on.jct_secs) <= deadline);
+        // The late outage falls after the last useful barrier: the
+        // controller stays silent and the switch arm must be
+        // bit-identical to open loop.
+        let (late_off, late_on) = (cell("late", false), cell("late", true));
+        assert_eq!(late_on.executed_switches, 0);
+        assert_eq!(late_on.jct_secs, late_off.jct_secs);
+        assert_eq!(late_on.cost, late_off.cost);
+    }
+
+    #[test]
+    fn zones_sweep_is_byte_identical_across_planner_threads() {
+        let (_, a) = ext_chaos_zones(1, 1).unwrap();
+        let (_, b) = ext_chaos_zones(1, 2).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.jct_secs, y.jct_secs, "{} switch={}", x.name, x.switch);
+            assert_eq!(x.cost, y.cost);
+            assert_eq!(x.faults_injected, y.faults_injected);
+            assert_eq!(x.retries, y.retries);
+            assert_eq!(x.replans, y.replans);
+            assert_eq!(x.executed_switches, y.executed_switches);
+        }
+    }
+
+    #[test]
     fn sweep_is_deterministic_per_seed() {
         let cell = || {
             ext_chaos(
@@ -371,6 +646,7 @@ mod tests {
                         degraded_factor: 1.5,
                         hw_failure_rate_per_hour: 0.2,
                         checkpoint_corruption_prob: 0.2,
+                        zones: ZonePlan::none(),
                     },
                 }],
                 7,

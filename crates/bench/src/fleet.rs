@@ -14,7 +14,7 @@
 //! given seed, so the rollup is byte-stable.
 
 use crate::adapt::{AdaptRow, DriftScenario};
-use crate::chaos::{ChaosRow, ChaosScenario};
+use crate::chaos::{ChaosRow, ChaosScenario, ZoneChaosRow};
 use crate::serve::ServeJobRow;
 use rb_core::Result;
 use rb_replay::rollup::RunRecord;
@@ -68,6 +68,8 @@ pub fn adapt_record(row: &AdaptRow) -> RunRecord {
         replans: row.replans as u64,
         preemptions: u64::from(row.preemptions),
         pool_admits: 0,
+        // Advisory recommendations: the adapt sweep never executes.
+        market_switches: row.market_switches as u64,
     }
 }
 
@@ -89,7 +91,34 @@ pub fn chaos_record(row: &ChaosRow) -> Option<RunRecord> {
         replans: 0,
         preemptions: u64::from(row.preemptions),
         pool_admits: 0,
+        market_switches: 0,
     })
+}
+
+/// One correlated-failure (zones) cell as a manifest. The two arms are
+/// separate scenarios, so the rollup contrasts open loop against the
+/// executed switch; `market_switches` counts executed fleet drains.
+pub fn zones_record(row: &ZoneChaosRow) -> RunRecord {
+    RunRecord {
+        sweep: "ext-chaos".to_owned(),
+        scenario: format!(
+            "zones-{} switch-{}",
+            row.name,
+            if row.switch { "on" } else { "off" }
+        ),
+        tenant: None,
+        jct_ms: secs_to_ms(row.jct_secs),
+        cost_micros: dollars_to_micros(row.cost),
+        queue_wait_ms: 0,
+        faults: row.faults_injected,
+        retries: row.retries,
+        fallbacks: 0,
+        degraded: 0,
+        replans: row.replans as u64,
+        preemptions: 0,
+        pool_admits: 0,
+        market_switches: row.executed_switches as u64,
+    }
 }
 
 /// One completed ext-serve job as a manifest — the only sweep with a
@@ -123,6 +152,7 @@ pub fn serve_record(row: &ServeJobRow) -> RunRecord {
         replans: 0,
         preemptions: u64::from(row.preemptions),
         pool_admits: u64::from(row.pool_admitted),
+        market_switches: 0,
     }
 }
 
@@ -146,6 +176,9 @@ pub fn build_fleet(seed: u64) -> Result<Vec<RunRecord>> {
 
     let (_, rows) = crate::chaos::ext_chaos(&ChaosScenario::default_sweep(), seed)?;
     records.extend(rows.iter().filter_map(chaos_record));
+
+    let (_, rows) = crate::chaos::ext_chaos_zones(seed, 0)?;
+    records.extend(rows.iter().map(zones_record));
 
     let (_, jobs) = crate::serve::ext_serve_with_jobs(&[2], &[0, 300], seed)?;
     records.extend(jobs.iter().map(serve_record));
@@ -239,6 +272,24 @@ mod tests {
         let r = serve_record(&contended);
         assert_eq!(r.scenario, "t2 gap300 mc2 pool-on");
         assert_eq!(r.pool_admits, 1);
+
+        // Zones cells label the arm and carry executed drains through.
+        let zones = ZoneChaosRow {
+            name: "early",
+            switch: true,
+            jct_secs: 1300.25,
+            cost: 12.5,
+            hit: true,
+            faults_injected: 8,
+            retries: 5,
+            replans: 2,
+            executed_switches: 1,
+        };
+        let r = zones_record(&zones);
+        assert_eq!(r.scenario, "zones-early switch-on");
+        assert_eq!(r.jct_ms, 1_300_250);
+        assert_eq!((r.faults, r.retries, r.replans), (8, 5, 2));
+        assert_eq!(r.market_switches, 1);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! be priced under per-instance and per-function billing, which is exactly
 //! the comparison Fig. 9 and Fig. 11 make.
 
+use crate::catalog::PricingTier;
 use crate::pricing::{BillingModel, CloudPricing};
 use rb_core::{Cost, InstanceId, RbError, Result, SimDuration, SimTime};
 use std::collections::BTreeMap;
@@ -33,6 +34,10 @@ struct Lifetime {
 #[derive(Debug, Clone, Default)]
 pub struct BillingMeter {
     lifetimes: BTreeMap<InstanceId, Lifetime>,
+    /// Lifetimes priced under a tier other than the profile's — a
+    /// mid-run market switch pins everything bought on the old market
+    /// so the flip only reprices *future* capacity.
+    tier_overrides: BTreeMap<InstanceId, PricingTier>,
     usage: Vec<UsageRecord>,
     ingress_gb: f64,
 }
@@ -112,6 +117,47 @@ impl BillingMeter {
         self.lifetimes.get(&id).map(|l| l.started)
     }
 
+    /// Pins `id`'s lifetime to `tier`: it will be priced under that
+    /// tier regardless of the profile passed to [`Self::compute_cost`].
+    pub fn pin_tier(&mut self, id: InstanceId, tier: PricingTier) {
+        self.tier_overrides.insert(id, tier);
+    }
+
+    /// Pins every lifetime recorded so far to `tier` and returns how
+    /// many were pinned. Called at the instant of a market switch: the
+    /// capacity bought up to now was bought on the old market, and only
+    /// instances provisioned after the flip follow the new profile.
+    pub fn pin_existing_lifetimes(&mut self, tier: PricingTier) -> usize {
+        let mut pinned = 0;
+        for id in self.lifetimes.keys() {
+            if !self.tier_overrides.contains_key(id) {
+                self.tier_overrides.insert(*id, tier);
+                pinned += 1;
+            }
+        }
+        pinned
+    }
+
+    /// The tier `id` is pinned to, if any.
+    pub fn pinned_tier(&self, id: InstanceId) -> Option<PricingTier> {
+        self.tier_overrides.get(&id).copied()
+    }
+
+    fn lifetime_charge(
+        &self,
+        id: InstanceId,
+        life: &Lifetime,
+        pricing: &CloudPricing,
+        now: SimTime,
+    ) -> Cost {
+        let dur = pricing.billing.billable(life.stopped.unwrap_or(now) - life.started);
+        let hourly = match self.tier_overrides.get(&id) {
+            Some(&tier) => pricing.instance_type.hourly_price(tier),
+            None => pricing.instance_hourly(),
+        };
+        hourly.per_hour_for(dur)
+    }
+
     /// Total GPU-seconds of recorded function usage.
     pub fn busy_gpu_seconds(&self) -> f64 {
         self.usage
@@ -144,8 +190,8 @@ impl BillingMeter {
         match pricing.billing {
             BillingModel::PerInstance { .. } => self
                 .lifetimes
-                .values()
-                .map(|l| pricing.instance_charge(l.stopped.unwrap_or(now) - l.started))
+                .iter()
+                .map(|(&id, l)| self.lifetime_charge(id, l, pricing, now))
                 .sum(),
             BillingModel::PerFunction => self
                 .usage
@@ -175,10 +221,10 @@ impl BillingMeter {
     pub fn cost_timeline(&self, pricing: &CloudPricing, now: SimTime) -> Vec<(SimTime, Cost)> {
         let mut charges: Vec<(SimTime, Cost)> = self
             .lifetimes
-            .values()
-            .map(|l| {
+            .iter()
+            .map(|(&id, l)| {
                 let end = l.stopped.unwrap_or(now);
-                (end, pricing.instance_charge(end - l.started))
+                (end, self.lifetime_charge(id, l, pricing, now))
             })
             .collect();
         charges.sort_by_key(|&(t, _)| t);
@@ -298,6 +344,30 @@ mod tests {
         let timeline = m.cost_timeline(&pricing(), SimTime::from_secs(5));
         assert_eq!(timeline.len(), 1);
         assert_eq!(timeline[0].1, expected);
+    }
+
+    #[test]
+    fn pinned_lifetimes_keep_their_tier_across_a_market_flip() {
+        let mut m = BillingMeter::new();
+        // One instance bought on-demand, then the run flips to spot.
+        m.instance_started(InstanceId::new(0), SimTime::ZERO);
+        assert_eq!(m.pin_existing_lifetimes(PricingTier::OnDemand), 1);
+        assert_eq!(m.pinned_tier(InstanceId::new(0)), Some(PricingTier::OnDemand));
+        // Re-pinning is a no-op for already-pinned lifetimes.
+        assert_eq!(m.pin_existing_lifetimes(PricingTier::Spot), 0);
+        // A second instance bought after the flip follows the profile.
+        m.instance_started(InstanceId::new(1), SimTime::ZERO);
+        let hour = SimTime::from_secs(3600);
+        m.instance_stopped(InstanceId::new(0), hour).unwrap();
+        m.instance_stopped(InstanceId::new(1), hour).unwrap();
+        let spot = pricing().with_spot();
+        let bill = m.compute_cost(&spot, hour);
+        let expected =
+            P3_8XLARGE.on_demand_hourly + P3_8XLARGE.hourly_price(PricingTier::Spot);
+        assert_eq!(bill, expected);
+        // The timeline's final point agrees with the bill.
+        let timeline = m.cost_timeline(&spot, hour);
+        assert_eq!(timeline.last().unwrap().1, expected);
     }
 
     #[test]

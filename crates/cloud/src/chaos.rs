@@ -29,7 +29,135 @@
 //! * **checkpoint corruption** — consumed by `rb-train`'s checkpoint
 //!   store: a saved generation fails verification on the next read.
 
-use rb_core::{mix_seed, Distribution, InstanceId, Prng, RbError, Result};
+use rb_core::{mix_seed, Distribution, InstanceId, Prng, RbError, Result, SimTime};
+
+/// A window of virtual time during which one zone is degraded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZoneWindow {
+    /// The afflicted zone (must be `< ZonePlan::zones`).
+    pub zone: u32,
+    /// Window start, in virtual seconds since time zero.
+    pub start_secs: f64,
+    /// Window length, in virtual seconds.
+    pub duration_secs: f64,
+}
+
+impl ZoneWindow {
+    /// Whether `at` falls inside the window (start inclusive, end
+    /// exclusive).
+    pub fn contains(&self, at: SimTime) -> bool {
+        let t = at.as_secs_f64();
+        t >= self.start_secs && t < self.start_secs + self.duration_secs
+    }
+
+    /// The window's start as an instant.
+    pub fn start(&self) -> SimTime {
+        SimTime::ZERO + rb_core::SimDuration::from_secs_f64(self.start_secs)
+    }
+
+    /// The window's end as an instant.
+    pub fn end(&self) -> SimTime {
+        SimTime::ZERO + rb_core::SimDuration::from_secs_f64(self.start_secs + self.duration_secs)
+    }
+
+    fn validate(&self, what: &str, zones: u32) -> Result<()> {
+        if self.zone >= zones {
+            return Err(RbError::InvalidConfig(format!(
+                "fault plan: {what} names zone {} but the plan has {} zones",
+                self.zone, zones
+            )));
+        }
+        for (name, v) in [("start_secs", self.start_secs), ("duration_secs", self.duration_secs)] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(RbError::InvalidConfig(format!(
+                    "fault plan: {what}.{name} must be finite and non-negative, got {v}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Correlated failure-domain model: the provider's capacity is divided
+/// into `zones` zones, and the chaos layer can afflict one zone with a
+/// *brownout* (elevated denial probability and inflated hand-over
+/// delays for a window) or an *outage* (every instance in the zone dies
+/// at the window start and new capacity is denied outright until it
+/// closes). [`ZonePlan::none`] disables the domain model entirely: one
+/// zone, no windows, zero extra random draws.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZonePlan {
+    /// Number of failure domains (≥ 1). With 1 zone the domain model
+    /// degenerates to the zone-free provider.
+    pub zones: u32,
+    /// The brownout window, if any.
+    pub brownout: Option<ZoneWindow>,
+    /// Probability that a provisioning request targeting the browned-out
+    /// zone is denied while the window is open.
+    pub brownout_denial_prob: f64,
+    /// Hand-over delay multiplier (≥ 1) for instances provisioned in the
+    /// browned-out zone while the window is open.
+    pub brownout_delay_factor: f64,
+    /// The outage window, if any.
+    pub outage: Option<ZoneWindow>,
+}
+
+impl ZonePlan {
+    /// The empty zone plan: one zone, no correlated events, zero draws.
+    pub fn none() -> Self {
+        ZonePlan {
+            zones: 1,
+            brownout: None,
+            brownout_denial_prob: 0.0,
+            brownout_delay_factor: 1.0,
+            outage: None,
+        }
+    }
+
+    /// Whether any correlated zone event can fire.
+    pub fn is_active(&self) -> bool {
+        self.brownout.is_some() || self.outage.is_some()
+    }
+
+    /// Checks the plan's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbError::InvalidConfig`] naming the first offending
+    /// field.
+    pub fn validate(&self) -> Result<()> {
+        if self.zones == 0 {
+            return Err(RbError::InvalidConfig(
+                "fault plan: zones must be >= 1".to_owned(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.brownout_denial_prob) {
+            return Err(RbError::InvalidConfig(format!(
+                "fault plan: brownout_denial_prob must be a probability in [0, 1], got {}",
+                self.brownout_denial_prob
+            )));
+        }
+        if !self.brownout_delay_factor.is_finite() || self.brownout_delay_factor < 1.0 {
+            return Err(RbError::InvalidConfig(format!(
+                "fault plan: brownout_delay_factor must be finite and >= 1, got {}",
+                self.brownout_delay_factor
+            )));
+        }
+        if let Some(w) = &self.brownout {
+            w.validate("brownout", self.zones)?;
+        }
+        if let Some(w) = &self.outage {
+            w.validate("outage", self.zones)?;
+        }
+        Ok(())
+    }
+}
+
+impl Default for ZonePlan {
+    fn default() -> Self {
+        ZonePlan::none()
+    }
+}
 
 /// Declarative fault model: probabilities and severities for each fault
 /// class. [`FaultPlan::none`] (also `Default`) disables everything.
@@ -55,6 +183,8 @@ pub struct FaultPlan {
     /// storage and fails verification on the next read. Consumed by the
     /// checkpoint store, not the provider.
     pub checkpoint_corruption_prob: f64,
+    /// Correlated failure domains: zone brownout/outage windows.
+    pub zones: ZonePlan,
 }
 
 impl FaultPlan {
@@ -69,6 +199,7 @@ impl FaultPlan {
             degraded_prob: 0.0,
             degraded_factor: 1.0,
             checkpoint_corruption_prob: 0.0,
+            zones: ZonePlan::none(),
         }
     }
 
@@ -79,6 +210,7 @@ impl FaultPlan {
             || self.hw_failure_rate_per_hour > 0.0
             || self.degraded_prob > 0.0
             || self.checkpoint_corruption_prob > 0.0
+            || self.zones.is_active()
     }
 
     /// Checks the plan's parameters: probabilities in `[0, 1]`, factors
@@ -122,6 +254,7 @@ impl FaultPlan {
                 self.hw_failure_rate_per_hour
             )));
         }
+        self.zones.validate()?;
         Ok(())
     }
 }
@@ -166,12 +299,21 @@ pub struct FaultCounts {
     pub hw_failures: u64,
     /// Instances provisioned degraded.
     pub degraded_nodes: u64,
+    /// Provisioning requests denied by a zone brownout or outage.
+    pub zone_denials: u64,
+    /// Running instances killed by a zone outage.
+    pub zone_outage_kills: u64,
 }
 
 impl FaultCounts {
     /// Total faults injected across all classes.
     pub fn total(&self) -> u64 {
-        self.capacity_failures + self.stragglers + self.hw_failures + self.degraded_nodes
+        self.capacity_failures
+            + self.stragglers
+            + self.hw_failures
+            + self.degraded_nodes
+            + self.zone_denials
+            + self.zone_outage_kills
     }
 }
 
@@ -190,7 +332,12 @@ pub struct FaultInjector {
     /// id (a separate family so enabling one fault class never shifts
     /// another's draws).
     hw_seed: u64,
+    /// Per-request zone-brownout denial decisions: stream index = zone
+    /// request counter (its own family, so arming the zone model never
+    /// shifts capacity/node/hw draws).
+    zone_seed: u64,
     requests: u64,
+    zone_requests: u64,
     counts: FaultCounts,
 }
 
@@ -210,7 +357,9 @@ impl FaultInjector {
             capacity_seed: mix_seed(seed, 0xCAFA_C171),
             node_seed: mix_seed(seed, 0x0DE6_4ADE),
             hw_seed: mix_seed(seed, 0x4A4D_FA11),
+            zone_seed: mix_seed(seed, 0x5A0E_FA17),
             requests: 0,
+            zone_requests: 0,
             counts: FaultCounts::default(),
         }
     }
@@ -271,6 +420,62 @@ impl FaultInjector {
         out
     }
 
+    /// Decides whether a provisioning request targeting `zone` at `at`
+    /// is denied by a correlated zone event. Outage denial is
+    /// deterministic (the window is declared, not sampled); brownout
+    /// denial consumes one zone-stream index per call, so a denied
+    /// request and its retry see independent draws. With no zone event
+    /// declared this draws nothing and always returns `false`.
+    pub fn zone_denial(&mut self, zone: u32, at: SimTime) -> bool {
+        if !self.plan.zones.is_active() {
+            return false;
+        }
+        if let Some(w) = &self.plan.zones.outage {
+            if w.zone == zone && w.contains(at) {
+                self.counts.zone_denials += 1;
+                return true;
+            }
+        }
+        let k = self.zone_requests;
+        self.zone_requests += 1;
+        let brownout = self.plan.zones.brownout.as_ref();
+        let prob = self.plan.zones.brownout_denial_prob;
+        if prob <= 0.0 || !brownout.is_some_and(|w| w.zone == zone && w.contains(at)) {
+            return false;
+        }
+        let denied = Prng::for_stream(self.zone_seed, k).next_f64() < prob;
+        if denied {
+            self.counts.zone_denials += 1;
+        }
+        denied
+    }
+
+    /// The hand-over delay multiplier a zone brownout imposes on an
+    /// instance provisioned in `zone` at `at` (1.0 when no brownout
+    /// applies). Deterministic — the window and factor are declared.
+    pub fn zone_delay_factor(&self, zone: u32, at: SimTime) -> f64 {
+        match &self.plan.zones.brownout {
+            Some(w) if w.zone == zone && w.contains(at) => self.plan.zones.brownout_delay_factor,
+            _ => 1.0,
+        }
+    }
+
+    /// The instant at which an instance provisioned in `zone` with
+    /// hand-over at `ready_at` is killed by the declared zone outage,
+    /// if its lifetime intersects the window.
+    pub fn zone_kill_at(&self, zone: u32, ready_at: SimTime) -> Option<SimTime> {
+        let w = self.plan.zones.outage.as_ref()?;
+        if w.zone != zone || ready_at >= w.end() {
+            return None;
+        }
+        Some(w.start().max(ready_at))
+    }
+
+    /// Records that a scheduled zone-outage kill actually struck.
+    pub fn note_zone_kill(&mut self) {
+        self.counts.zone_outage_kills += 1;
+    }
+
     /// Records that a scheduled hardware failure actually struck.
     pub fn note_hw_failure(&mut self) {
         self.counts.hw_failures += 1;
@@ -295,6 +500,25 @@ mod tests {
             degraded_prob: 0.25,
             degraded_factor: 1.8,
             checkpoint_corruption_prob: 0.2,
+            zones: ZonePlan::none(),
+        }
+    }
+
+    fn zoned() -> ZonePlan {
+        ZonePlan {
+            zones: 2,
+            brownout: Some(ZoneWindow {
+                zone: 0,
+                start_secs: 100.0,
+                duration_secs: 200.0,
+            }),
+            brownout_denial_prob: 0.6,
+            brownout_delay_factor: 10.0,
+            outage: Some(ZoneWindow {
+                zone: 0,
+                start_secs: 400.0,
+                duration_secs: 300.0,
+            }),
         }
     }
 
@@ -431,6 +655,139 @@ mod tests {
             assert_eq!(a.slowdown, b.slowdown, "instance {i}");
             assert!(b.fail_after_hours.is_none());
         }
+    }
+
+    #[test]
+    fn inactive_zone_plan_draws_nothing_and_never_denies() {
+        let mut inj = FaultInjector::new(stormy(), 7);
+        for k in 0..50 {
+            assert!(!inj.zone_denial(0, SimTime::from_secs(k)));
+            assert_eq!(inj.zone_delay_factor(0, SimTime::from_secs(k)), 1.0);
+            assert_eq!(inj.zone_kill_at(0, SimTime::from_secs(k)), None);
+        }
+        assert_eq!(inj.counts().zone_denials, 0);
+        assert_eq!(inj.counts().zone_outage_kills, 0);
+    }
+
+    #[test]
+    fn zone_events_only_strike_the_declared_zone_and_window() {
+        let plan = FaultPlan {
+            zones: zoned(),
+            ..FaultPlan::none()
+        };
+        assert!(plan.is_active());
+        let mut inj = FaultInjector::new(plan, 5);
+        // Outage denial is deterministic inside the window, zone 0 only.
+        assert!(inj.zone_denial(0, SimTime::from_secs(450)));
+        assert!(!inj.zone_denial(1, SimTime::from_secs(450)));
+        assert!(!inj.zone_denial(0, SimTime::from_secs(701)));
+        // Brownout delay factor applies in-window, in-zone only.
+        assert_eq!(inj.zone_delay_factor(0, SimTime::from_secs(150)), 10.0);
+        assert_eq!(inj.zone_delay_factor(1, SimTime::from_secs(150)), 1.0);
+        assert_eq!(inj.zone_delay_factor(0, SimTime::from_secs(350)), 1.0);
+        // Outage kills: an instance handed over before the window dies at
+        // its start; one handed over inside dies immediately; one handed
+        // over after it escapes.
+        assert_eq!(
+            inj.zone_kill_at(0, SimTime::from_secs(100)),
+            Some(SimTime::from_secs(400))
+        );
+        assert_eq!(
+            inj.zone_kill_at(0, SimTime::from_secs(500)),
+            Some(SimTime::from_secs(500))
+        );
+        assert_eq!(inj.zone_kill_at(0, SimTime::from_secs(700)), None);
+        assert_eq!(inj.zone_kill_at(1, SimTime::from_secs(100)), None);
+    }
+
+    #[test]
+    fn brownout_denials_are_deterministic_and_roughly_match_probability() {
+        let run = || {
+            let plan = FaultPlan {
+                zones: ZonePlan {
+                    outage: None,
+                    ..zoned()
+                },
+                ..FaultPlan::none()
+            };
+            let mut inj = FaultInjector::new(plan, 13);
+            let denials: Vec<bool> = (0..2000)
+                .map(|_| inj.zone_denial(0, SimTime::from_secs(150)))
+                .collect();
+            (denials, inj.counts().zone_denials)
+        };
+        let (a, denied) = run();
+        let (b, _) = run();
+        assert_eq!(a, b);
+        let frac = denied as f64 / 2000.0;
+        assert!((frac - 0.6).abs() < 0.05, "denial rate {frac}");
+    }
+
+    #[test]
+    fn toggling_zones_does_not_shift_other_families() {
+        // Arming the zone model must not change which requests are
+        // capacity-denied or which instances straggle.
+        let mut plain = FaultInjector::new(stormy(), 11);
+        let mut zoned_inj = FaultInjector::new(
+            FaultPlan {
+                zones: zoned(),
+                ..stormy()
+            },
+            11,
+        );
+        for i in 0..64 {
+            let _ = zoned_inj.zone_denial(0, SimTime::from_secs(i));
+            assert_eq!(plain.capacity_fault(), zoned_inj.capacity_fault(), "req {i}");
+            assert_eq!(
+                plain.instance_faults(InstanceId::new(i)),
+                zoned_inj.instance_faults(InstanceId::new(i)),
+                "instance {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn zone_plan_validation_rejects_garbage() {
+        let bad_zone = ZonePlan {
+            outage: Some(ZoneWindow {
+                zone: 2,
+                start_secs: 0.0,
+                duration_secs: 1.0,
+            }),
+            ..zoned()
+        };
+        assert!(bad_zone.validate().is_err(), "window names missing zone");
+        assert!(
+            ZonePlan {
+                zones: 0,
+                ..zoned()
+            }
+            .validate()
+            .is_err(),
+            "zero zones"
+        );
+        let bad_prob = ZonePlan {
+            brownout_denial_prob: 1.5,
+            ..zoned()
+        };
+        assert!(bad_prob.validate().is_err());
+        let bad_factor = ZonePlan {
+            brownout_delay_factor: 0.5,
+            ..zoned()
+        };
+        assert!(bad_factor.validate().is_err());
+        let bad_window = ZonePlan {
+            outage: Some(ZoneWindow {
+                zone: 0,
+                start_secs: f64::NAN,
+                duration_secs: 1.0,
+            }),
+            ..zoned()
+        };
+        assert!(bad_window.validate().is_err());
+        assert!(zoned().validate().is_ok());
+        assert!(ZonePlan::none().validate().is_ok());
+        assert!(!ZonePlan::none().is_active());
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod provider;
 
 pub use billing::{BillingMeter, UsageRecord};
 pub use catalog::{InstanceType, PricingTier};
-pub use chaos::{FaultCounts, FaultInjector, FaultPlan, InstanceFaults};
+pub use chaos::{FaultCounts, FaultInjector, FaultPlan, InstanceFaults, ZonePlan, ZoneWindow};
 pub use pool::{physical_id, InstancePool, PoolConfig, PoolGrant, PoolStats, SharedPool};
 pub use pricing::{BillingModel, CloudPricing};
 pub use provider::{InstanceState, ProviderConfig, SimProvider};

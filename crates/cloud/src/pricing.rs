@@ -93,6 +93,14 @@ impl CloudPricing {
         self
     }
 
+    /// Switches to an explicit pricing tier (used to price individual
+    /// lifetimes when a mid-run market switch leaves part of the fleet
+    /// on the old tier).
+    pub fn with_tier(mut self, tier: PricingTier) -> Self {
+        self.tier = tier;
+        self
+    }
+
     /// The hourly price of one instance.
     pub fn instance_hourly(&self) -> Cost {
         self.instance_type.hourly_price(self.tier)

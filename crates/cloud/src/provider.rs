@@ -113,6 +113,15 @@ pub struct SimProvider {
     /// Instances whose scheduled reclaim is an injected hardware
     /// failure rather than a spot interruption.
     hw_origin: BTreeSet<InstanceId>,
+    /// The zone new capacity is requested from. Zones are a pure
+    /// labelling of the fleet (placement within one region); they only
+    /// matter when an armed fault plan declares zone-correlated events.
+    home_zone: u32,
+    /// Zone each instance was provisioned (or adopted) into.
+    zones: BTreeMap<InstanceId, u32>,
+    /// Instances whose scheduled reclaim is a zone outage rather than
+    /// a spot interruption or hardware failure.
+    zone_origin: BTreeSet<InstanceId>,
     /// Observability sink (no-op by default). The recorder only
     /// receives lifecycle facts; provisioning randomness and billing
     /// are oblivious to it.
@@ -142,6 +151,9 @@ impl SimProvider {
             faults: None,
             slowdown: BTreeMap::new(),
             hw_origin: BTreeSet::new(),
+            home_zone: 0,
+            zones: BTreeMap::new(),
+            zone_origin: BTreeSet::new(),
             recorder: RecorderHandle::noop(),
         }
     }
@@ -182,6 +194,52 @@ impl SimProvider {
     /// nodes, the plan's `degraded_factor` for injected-degraded ones.
     pub fn node_slowdown(&self, id: InstanceId) -> f64 {
         self.slowdown.get(&id).copied().unwrap_or(1.0)
+    }
+
+    /// The zone future provisioning requests will land in.
+    pub fn home_zone(&self) -> u32 {
+        self.home_zone
+    }
+
+    /// Moves future provisioning requests to `zone` (wrapped into the
+    /// declared zone count). Existing instances keep the zone they were
+    /// created in — moving the home zone is a *placement* decision, not
+    /// a migration.
+    pub fn set_home_zone(&mut self, zone: u32) {
+        self.home_zone = zone % self.num_zones();
+    }
+
+    /// The zone `id` was provisioned into (zone 0 for unknown ids —
+    /// every provider has at least one zone).
+    pub fn instance_zone(&self, id: InstanceId) -> u32 {
+        self.zones.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Number of zones declared by the armed fault plan (1 without an
+    /// injector: an unfaulted region is a single homogeneous domain).
+    pub fn num_zones(&self) -> u32 {
+        self.faults
+            .as_ref()
+            .map(|f| f.plan().zones.zones)
+            .unwrap_or(1)
+            .max(1)
+    }
+
+    /// Changes the spot-interruption rate for *future* provisioning.
+    /// Instances already holding a sampled interruption keep it; this
+    /// is what a mid-run market switch needs — the old fleet drains
+    /// under the old market's rules while new capacity arrives under
+    /// the new market's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not finite and non-negative.
+    pub fn set_interruption_rate(&mut self, rate_per_hour: f64) {
+        assert!(
+            rate_per_hour.is_finite() && rate_per_hour >= 0.0,
+            "interruption rate must be finite and non-negative, got {rate_per_hour}"
+        );
+        self.config.interruption_rate_per_hour = rate_per_hour;
     }
 
     /// The configured instance shape.
@@ -226,6 +284,30 @@ impl SimProvider {
                 )));
             }
         }
+        let zone = self.home_zone;
+        if let Some(inj) = self.faults.as_mut() {
+            if inj.zone_denial(zone, now) {
+                if self.recorder.enabled() {
+                    self.recorder.instant(
+                        now,
+                        "cloud",
+                        "fault.zone_denied",
+                        Lane::Cloud,
+                        vec![("zone", (zone as u64).into()), ("requested", (n as u64).into())],
+                    );
+                    self.recorder.counter_add("cloud", "zone_denied", 1);
+                }
+                return Err(RbError::Capacity(format!(
+                    "zone {zone}: request for {n} instance(s) denied"
+                )));
+            }
+        }
+        // Brownout hand-over inflation is a pure function of (zone,
+        // time) — no draw, so an inactive zone plan changes nothing.
+        let zone_factor = self
+            .faults
+            .as_ref()
+            .map_or(1.0, |inj| inj.zone_delay_factor(zone, now));
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
             let delay =
@@ -235,14 +317,17 @@ impl SimProvider {
                 Some(inj) => inj.instance_faults(id),
                 None => InstanceFaults::healthy(),
             };
-            // Stragglers inflate the sampled delay; healthy instances
-            // keep the exact duration (no f64 round-trip).
-            let ready_at = if fault.delay_factor > 1.0 {
-                now + SimDuration::from_secs_f64(delay.as_secs_f64() * fault.delay_factor)
+            // Stragglers and brownouts inflate the sampled delay;
+            // healthy instances keep the exact duration (no f64
+            // round-trip).
+            let total_factor = fault.delay_factor * zone_factor;
+            let ready_at = if total_factor > 1.0 {
+                now + SimDuration::from_secs_f64(delay.as_secs_f64() * total_factor)
             } else {
                 now + delay
             };
             self.fleet.insert(id, InstanceState::Pending { ready_at });
+            self.zones.insert(id, zone);
             if self.config.interruption_rate_per_hour > 0.0 {
                 // Per-instance forked stream: the draw is a pure function
                 // of (provider seed, instance index), so interruption
@@ -297,6 +382,25 @@ impl SimProvider {
                     self.hw_origin.insert(id);
                 }
             }
+            // A zone outage reclaims every instance alive in the zone
+            // at (or provisioned into) the outage window — the
+            // correlated counterpart of the independent failures
+            // above. Deterministic: no draw, earliest reclaim wins.
+            if let Some(kill_at) = self
+                .faults
+                .as_ref()
+                .and_then(|inj| inj.zone_kill_at(zone, ready_at))
+            {
+                if self
+                    .preempt_at
+                    .get(&id)
+                    .map_or(true, |&other| kill_at < other)
+                {
+                    self.preempt_at.insert(id, kill_at);
+                    self.hw_origin.remove(&id);
+                    self.zone_origin.insert(id);
+                }
+            }
             out.push((id, ready_at));
         }
         if self.recorder.enabled() {
@@ -333,6 +437,7 @@ impl SimProvider {
     pub fn adopt_running(&mut self, now: SimTime) -> InstanceId {
         let id = self.ids.next();
         self.fleet.insert(id, InstanceState::Running { since: now });
+        self.zones.insert(id, self.home_zone);
         self.meter.instance_started(id, now);
         if self.config.interruption_rate_per_hour > 0.0 {
             let mut irng = Prng::for_stream(self.interrupt_seed, id.raw());
@@ -399,6 +504,7 @@ impl SimProvider {
                 self.meter.instance_stopped(id, now)?;
                 self.preempt_at.remove(&id);
                 self.hw_origin.remove(&id);
+                self.zone_origin.remove(&id);
                 if self.recorder.enabled() {
                     self.recorder.instant(
                         now,
@@ -415,6 +521,7 @@ impl SimProvider {
                 *state = InstanceState::Terminated { at: now };
                 self.preempt_at.remove(&id);
                 self.hw_origin.remove(&id);
+                self.zone_origin.remove(&id);
                 if self.recorder.enabled() {
                     self.recorder.instant(
                         now,
@@ -475,16 +582,24 @@ impl SimProvider {
                 self.meter.instance_stopped(id, at)?;
                 self.preempt_at.remove(&id);
                 let hw = self.hw_origin.remove(&id);
+                let zone_kill = self.zone_origin.remove(&id);
                 if hw {
                     if let Some(inj) = self.faults.as_mut() {
                         inj.note_hw_failure();
+                    }
+                }
+                if zone_kill {
+                    if let Some(inj) = self.faults.as_mut() {
+                        inj.note_zone_kill();
                     }
                 }
                 if self.recorder.enabled() {
                     self.recorder.instant(
                         at,
                         "cloud",
-                        if hw {
+                        if zone_kill {
+                            "fault.zone_outage"
+                        } else if hw {
                             "fault.hw_failure"
                         } else {
                             "instance.preempt"
@@ -494,7 +609,13 @@ impl SimProvider {
                     );
                     self.recorder.counter_add(
                         "cloud",
-                        if hw { "hw_failed" } else { "preempted" },
+                        if zone_kill {
+                            "zone_outage_killed"
+                        } else if hw {
+                            "hw_failed"
+                        } else {
+                            "preempted"
+                        },
                         1,
                     );
                 }
@@ -866,6 +987,131 @@ mod tests {
             p.state(id),
             Some(InstanceState::Terminated { .. })
         ));
+    }
+
+    fn two_zone_outage_plan() -> FaultPlan {
+        use crate::chaos::{ZonePlan, ZoneWindow};
+        FaultPlan {
+            zones: ZonePlan {
+                zones: 2,
+                outage: Some(ZoneWindow {
+                    zone: 0,
+                    start_secs: 100.0,
+                    duration_secs: 300.0,
+                }),
+                ..ZonePlan::none()
+            },
+            ..FaultPlan::none()
+        }
+    }
+
+    #[test]
+    fn zone_outage_denies_new_capacity_and_kills_survivors_in_zone() {
+        let mut p = provider(0);
+        p.set_fault_plan(two_zone_outage_plan(), 13);
+        assert_eq!(p.num_zones(), 2);
+        // Provisioned before the outage, but the zone goes dark at
+        // t=100 s: a reclaim is scheduled at the outage start.
+        let (id, ready) = p.provision(1, SimTime::ZERO).unwrap()[0];
+        p.poll_ready(ready);
+        assert_eq!(p.instance_zone(id), 0);
+        assert_eq!(p.preemption_time(id), Some(SimTime::from_secs(100)));
+        // During the window the zone denies all new capacity...
+        let err = p.provision(1, SimTime::from_secs(150)).unwrap_err();
+        assert!(matches!(err, RbError::Capacity(_)), "{err:?}");
+        // ...while the other zone still serves.
+        p.set_home_zone(1);
+        let (id2, _) = p.provision(1, SimTime::from_secs(150)).unwrap()[0];
+        assert_eq!(p.instance_zone(id2), 1);
+        assert_eq!(p.preemption_time(id2), None);
+        // The scheduled kill is attributed to the outage.
+        assert_eq!(p.preempt(id).unwrap(), SimTime::from_secs(100));
+        let c = p.fault_counts();
+        assert_eq!((c.zone_denials, c.zone_outage_kills), (1, 1));
+        // After the window the zone accepts requests again.
+        p.set_home_zone(0);
+        assert!(p.provision(1, SimTime::from_secs(400)).is_ok());
+    }
+
+    #[test]
+    fn zone_brownout_inflates_handover_inside_the_window_only() {
+        use crate::chaos::{ZonePlan, ZoneWindow};
+        let mut p = provider(30);
+        p.set_fault_plan(
+            FaultPlan {
+                zones: ZonePlan {
+                    zones: 2,
+                    brownout: Some(ZoneWindow {
+                        zone: 0,
+                        start_secs: 100.0,
+                        duration_secs: 200.0,
+                    }),
+                    brownout_delay_factor: 5.0,
+                    ..ZonePlan::none()
+                },
+                ..FaultPlan::none()
+            },
+            13,
+        );
+        // Inside the window: 30 s hand-over becomes 150 s.
+        let (_, ready) = p.provision(1, SimTime::from_secs(100)).unwrap()[0];
+        assert_eq!(ready, SimTime::from_secs(250));
+        // Outside the window (and in the other zone) it is untouched.
+        let (_, ready) = p.provision(1, SimTime::from_secs(400)).unwrap()[0];
+        assert_eq!(ready, SimTime::from_secs(430));
+        p.set_home_zone(1);
+        let (_, ready) = p.provision(1, SimTime::from_secs(100)).unwrap()[0];
+        assert_eq!(ready, SimTime::from_secs(130));
+    }
+
+    #[test]
+    fn set_home_zone_wraps_into_declared_zone_count() {
+        let mut p = provider(0);
+        // Without an injector there is a single zone.
+        p.set_home_zone(3);
+        assert_eq!(p.home_zone(), 0);
+        p.set_fault_plan(two_zone_outage_plan(), 13);
+        p.set_home_zone(3);
+        assert_eq!(p.home_zone(), 1);
+    }
+
+    #[test]
+    fn windowless_zone_plan_is_bit_identical_to_zoneless_plan() {
+        use crate::chaos::ZonePlan;
+        // An armed injector whose zone plan declares zones but no
+        // windows must draw exactly what the zoneless plan draws.
+        let mk = |zoned: bool| {
+            let cfg = ProviderConfig {
+                instance_type: P3_8XLARGE.clone(),
+                provision_delay_secs: Distribution::lognormal_from_moments(20.0, 10.0),
+                quota: None,
+                interruption_rate_per_hour: 1.5,
+            };
+            let mut p = SimProvider::new(cfg, 42);
+            let mut plan = FaultPlan {
+                straggler_prob: 0.5,
+                straggler_factor: 4.0,
+                ..FaultPlan::none()
+            };
+            if zoned {
+                plan.zones = ZonePlan {
+                    zones: 4,
+                    ..ZonePlan::none()
+                };
+            }
+            p.set_fault_plan(plan, 42);
+            p
+        };
+        let mut plain = mk(false);
+        let mut zoned = mk(true);
+        assert_eq!(zoned.num_zones(), 4);
+        let ha = plain.provision(6, SimTime::ZERO).unwrap();
+        let hb = zoned.provision(6, SimTime::ZERO).unwrap();
+        assert_eq!(ha, hb);
+        for (id, _) in &ha {
+            assert_eq!(plain.preemption_time(*id), zoned.preemption_time(*id));
+        }
+        assert_eq!(plain.fault_counts(), zoned.fault_counts());
     }
 
     #[test]

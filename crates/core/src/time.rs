@@ -58,6 +58,14 @@ impl SimTime {
     pub fn min(self, other: SimTime) -> SimTime {
         SimTime(self.0.min(other.0))
     }
+
+    /// Returns `self + rhs`, saturating at the representable maximum
+    /// instead of overflowing. Use wherever the duration comes from
+    /// untrusted arithmetic (e.g. exponential backoff with extreme
+    /// user-supplied bounds).
+    pub const fn saturating_add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
 }
 
 impl SimDuration {

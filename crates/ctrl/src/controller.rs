@@ -23,7 +23,10 @@
 use crate::drift::{DriftConfig, DriftMonitor, DriftObservation};
 use rb_cloud::catalog::PricingTier;
 use rb_core::{Cost, Result, SimDuration, SimTime};
-use rb_exec::{BarrierHook, BarrierSnapshot, UnitObservation, WatchdogSnapshot};
+use rb_exec::{
+    BarrierHook, BarrierSnapshot, SwitchDirective, UnitObservation, WatchdogSnapshot,
+};
+use rb_profile::CapacityEvents;
 use rb_hpo::ExperimentSpec;
 use rb_obs::Lane;
 use rb_planner::{plan_residual, PlannerConfig, ResidualOutcome};
@@ -90,10 +93,13 @@ impl Default for RefitConfig {
 /// Every re-plan evaluates the residual under *both* markets — the
 /// executing one and its alternative (spot priced with the observed
 /// interruption rate, or on-demand with none) — and records which market
-/// the Monte-Carlo simulator prefers. The choice is advisory: the
-/// executor keeps its launch market, but the preference is logged in
-/// [`ReplanEvent::market`] and emitted on the bus, so a supervisor (or a
-/// future mid-run market migration) can act on it.
+/// the Monte-Carlo simulator prefers. By default the choice is advisory:
+/// the executor keeps its launch market, but the preference is logged in
+/// [`ReplanEvent::market`] and emitted on the bus, so a supervisor can
+/// act on it. With [`MarketConfig::execute`] the controller acts on it
+/// itself: the preference becomes a [`SwitchDirective`] the executor
+/// drains the fleet through at the same safe point, and a degraded zone
+/// is abandoned for its neighbor the same way.
 #[derive(Debug, Clone)]
 pub struct MarketConfig {
     /// Evaluate the alternative market at every re-plan (default: true).
@@ -102,6 +108,12 @@ pub struct MarketConfig {
     /// running on-demand, in preemptions per instance-hour (default:
     /// 4.0). Once the job runs on spot, the observed rate replaces it.
     pub assumed_spot_rate_per_hour: f64,
+    /// Execute market/zone moves instead of only advising them (default:
+    /// false — the advisory mode of earlier revisions, bit-identical).
+    /// When set, every barrier additionally probes the market even with
+    /// no other trigger, so a cheaper-and-feasible alternative is taken
+    /// as soon as it appears rather than when something else breaks.
+    pub execute: bool,
 }
 
 impl Default for MarketConfig {
@@ -109,6 +121,7 @@ impl Default for MarketConfig {
         MarketConfig {
             enabled: true,
             assumed_spot_rate_per_hour: 4.0,
+            execute: false,
         }
     }
 }
@@ -160,6 +173,16 @@ pub enum ReplanTrigger {
     /// ran on fewer instances than planned. The residual is re-planned
     /// so the remaining stages absorb the lost time.
     CapacityShortfall,
+    /// The stage's provisioning window recorded zone trouble — denials,
+    /// retries, or correlated outage kills on a multi-zone cloud. The
+    /// residual is re-planned with the provisioning model risk-priced
+    /// from the observed window, and in execute mode future capacity is
+    /// moved out of the degraded zone.
+    ZoneDegraded,
+    /// Nothing was wrong, but the periodic market probe (execute mode
+    /// only) found the alternative market feasible and cheaper, so the
+    /// controller re-planned to take it.
+    MarketSwitch,
 }
 
 /// The compute market a residual plan was priced for.
@@ -183,6 +206,13 @@ impl MarketChoice {
         match self {
             MarketChoice::OnDemand => "on_demand",
             MarketChoice::Spot => "spot",
+        }
+    }
+
+    fn tier(self) -> PricingTier {
+        match self {
+            MarketChoice::OnDemand => PricingTier::OnDemand,
+            MarketChoice::Spot => PricingTier::Spot,
         }
     }
 }
@@ -228,9 +258,13 @@ pub struct ReplanEvent {
     pub applied: bool,
     /// The market the Monte-Carlo evaluation preferred for the residual.
     pub market: MarketChoice,
-    /// True when the preferred market differs from the executing one
-    /// (advisory — the executor keeps its launch market).
+    /// True when the preferred market differs from the executing one.
+    /// Advisory unless [`MarketConfig::execute`] is set.
     pub market_switched: bool,
+    /// True when the decision produced a [`SwitchDirective`] the
+    /// executor actually drained the fleet through (execute mode): a
+    /// market flip, a zone move out of a degraded zone, or both.
+    pub market_executed: bool,
 }
 
 /// The full adaptation record of one run.
@@ -248,6 +282,12 @@ impl AdaptationLog {
     /// Re-plans that actually changed the executing plan.
     pub fn applied(&self) -> usize {
         self.events.iter().filter(|e| e.applied).count()
+    }
+
+    /// Decisions that drained the fleet through an executed market/zone
+    /// switch (zero outside execute mode).
+    pub fn executed_switches(&self) -> usize {
+        self.events.iter().filter(|e| e.market_executed).count()
     }
 }
 
@@ -269,6 +309,13 @@ pub struct AdaptiveController {
     /// The `(α, β)` factors currently applied to the planner's model.
     refit: Option<(f64, f64)>,
     refits: Vec<RefitEvent>,
+    /// Cumulative capacity-event tallies at the last decision point;
+    /// diffing against the snapshot's totals yields the per-window
+    /// distribution that risk-prices the residual plan.
+    capacity_seen: CapacityEvents,
+    /// A switch decided at the last callback, held for the executor's
+    /// `pending_switch` poll at the same safe point.
+    pending: Option<SwitchDirective>,
 }
 
 impl AdaptiveController {
@@ -302,6 +349,8 @@ impl AdaptiveController {
             obs: Vec::new(),
             refit: None,
             refits: Vec::new(),
+            capacity_seen: CapacityEvents::default(),
+            pending: None,
         })
     }
 
@@ -368,6 +417,101 @@ impl AdaptiveController {
             .with_engine(*self.sim.engine())
     }
 
+    /// Emits the replan-trigger counter and instant for `trigger`.
+    fn note_trigger(
+        &self,
+        trigger: ReplanTrigger,
+        stage: usize,
+        now: SimTime,
+        recorder: &rb_obs::RecorderHandle,
+    ) {
+        recorder.counter_add("ctrl", "replans_triggered", 1);
+        if recorder.enabled() {
+            recorder.instant(
+                now,
+                "ctrl",
+                "replan.trigger",
+                Lane::Controller,
+                vec![
+                    ("stage", stage.into()),
+                    (
+                        "trigger",
+                        match trigger {
+                            ReplanTrigger::Drift => "drift",
+                            ReplanTrigger::Preemption => "preemption",
+                            ReplanTrigger::Watchdog => "watchdog",
+                            ReplanTrigger::CapacityShortfall => "capacity_shortfall",
+                            ReplanTrigger::ZoneDegraded => "zone_degraded",
+                            ReplanTrigger::MarketSwitch => "market_switch",
+                        }
+                        .into(),
+                    ),
+                    ("drift_factor", self.monitor.drift_factor().into()),
+                ],
+            );
+        }
+    }
+
+    /// In execute mode, converts a decision into the [`SwitchDirective`]
+    /// the executor will poll at this same safe point: the preferred
+    /// market (with its interruption expectation for future capacity)
+    /// and/or the neighbor zone when the home zone degraded. Returns
+    /// whether a directive was armed.
+    fn arm_switch(
+        &mut self,
+        market: MarketChoice,
+        market_switched: bool,
+        zone_move: bool,
+        home_zone: u32,
+        num_zones: u32,
+    ) -> bool {
+        if !self.config.market.execute {
+            return false;
+        }
+        let mut directive = SwitchDirective::default();
+        if market_switched {
+            directive.market = Some(market.tier());
+            directive.interruption_rate_per_hour = Some(match market {
+                MarketChoice::Spot => self.config.market.assumed_spot_rate_per_hour,
+                MarketChoice::OnDemand => 0.0,
+            });
+        }
+        if zone_move && num_zones > 1 {
+            directive.zone = Some((home_zone + 1) % num_zones);
+        }
+        if directive.is_empty() {
+            return false;
+        }
+        if let (Some(tier), Some(rate)) = (directive.market, directive.interruption_rate_per_hour) {
+            // The planning view follows the executed market: without
+            // this, every later barrier would score "current" against
+            // the abandoned tier and re-advise the same switch forever.
+            let recorder = self.sim.recorder().clone();
+            let mut cloud = self.sim.cloud().clone();
+            cloud.pricing = cloud.pricing.with_tier(tier);
+            cloud.spot_interruptions_per_hour = rate;
+            self.sim = self.sibling_sim(cloud).with_recorder(recorder);
+        }
+        self.pending = Some(directive);
+        true
+    }
+
+    /// Diffs the snapshot's cumulative capacity tallies against the last
+    /// decision point, advancing the high-water mark. The returned
+    /// window is what the stage just lived through — the distribution
+    /// [`rb_profile::CloudProfile::risk_from_events`] folds into the
+    /// provisioning model.
+    fn capacity_window(&mut self, total: CapacityEvents) -> CapacityEvents {
+        let seen = self.capacity_seen;
+        self.capacity_seen = total;
+        CapacityEvents {
+            requests: total.requests.saturating_sub(seen.requests),
+            denials: total.denials.saturating_sub(seen.denials),
+            retries: total.retries.saturating_sub(seen.retries),
+            outage_kills: total.outage_kills.saturating_sub(seen.outage_kills),
+        }
+    }
+
     /// Least-squares-refits the planner's scaling model against all
     /// latency observations so far and, when the fit moved by at least
     /// `min_change`, swaps the refit model into the planning simulator.
@@ -430,10 +574,13 @@ impl AdaptiveController {
     /// Plans the residual under the executing market, and — when market
     /// evaluation is enabled — prices the same residual under the
     /// alternative market (spot at the observed/assumed interruption
-    /// rate, or on-demand with none). Returns the authoritative outcome
-    /// (always from the executing market — the executor cannot change
-    /// its billing mid-run) plus the preferred market and whether it
-    /// differs from the executing one.
+    /// rate, or on-demand with none). A non-calm capacity window
+    /// risk-prices *both* markets first: the provisioning-delay model is
+    /// stretched by the observed denial/retry/outage distribution, so
+    /// the planner stops assuming the calibrated steady state mid-storm.
+    /// Returns the authoritative outcome (from the executing market)
+    /// plus the preferred market and whether it differs from the
+    /// executing one.
     fn plan_residual_markets(
         &mut self,
         residual_spec: &ExperimentSpec,
@@ -442,15 +589,52 @@ impl AdaptiveController {
         now: SimTime,
         preemptions: u32,
         instance_seconds: f64,
+        window: &CapacityEvents,
     ) -> Option<(ResidualOutcome, MarketChoice, bool)> {
-        let out = plan_residual(
-            &self.sim,
-            residual_spec,
-            residual_deadline,
-            warm,
-            &self.config.planner,
-        )
-        .ok()?;
+        let risky = window.requests > 0 && !window.is_calm();
+        let base_cloud = self.sim.cloud().risk_from_events(window);
+        if risky {
+            let recorder = self.sim.recorder().clone();
+            if recorder.enabled() {
+                let stretch = if self.sim.cloud().provision_delay.mean() > 0.0 {
+                    base_cloud.provision_delay.mean() / self.sim.cloud().provision_delay.mean()
+                } else {
+                    1.0
+                };
+                recorder.instant(
+                    now,
+                    "ctrl",
+                    "replan.risk_priced",
+                    Lane::Controller,
+                    vec![
+                        ("requests", window.requests.into()),
+                        ("denials", window.denials.into()),
+                        ("retries", window.retries.into()),
+                        ("outage_kills", window.outage_kills.into()),
+                        ("provision_stretch", stretch.into()),
+                    ],
+                );
+            }
+        }
+        let out = if risky {
+            plan_residual(
+                &self.sibling_sim(base_cloud.clone()),
+                residual_spec,
+                residual_deadline,
+                warm,
+                &self.config.planner,
+            )
+            .ok()?
+        } else {
+            plan_residual(
+                &self.sim,
+                residual_spec,
+                residual_deadline,
+                warm,
+                &self.config.planner,
+            )
+            .ok()?
+        };
         let current = MarketChoice::of(self.sim.cloud().pricing.tier);
         if !self.config.market.enabled {
             return Some((out, current, false));
@@ -464,7 +648,7 @@ impl AdaptiveController {
         if current == MarketChoice::Spot && instance_seconds > 0.0 {
             let observed_rate = f64::from(preemptions) / (instance_seconds / 3600.0);
             if observed_rate.is_finite() {
-                let mut cur_cloud = self.sim.cloud().clone();
+                let mut cur_cloud = base_cloud.clone();
                 cur_cloud.spot_interruptions_per_hour = observed_rate;
                 if let Ok(cur) = plan_residual(
                     &self.sibling_sim(cur_cloud),
@@ -479,7 +663,7 @@ impl AdaptiveController {
             }
         }
 
-        let mut alt_cloud = self.sim.cloud().clone();
+        let mut alt_cloud = base_cloud;
         let alt_market = match current {
             MarketChoice::OnDemand => {
                 alt_cloud.pricing = alt_cloud.pricing.with_spot();
@@ -549,40 +733,31 @@ impl BarrierHook for AdaptiveController {
         );
         let fresh_preemptions = snap.preemptions.saturating_sub(self.preemptions_seen);
         self.preemptions_seen = snap.preemptions;
+        let window = self.capacity_window(snap.capacity_events);
 
         let trigger = if snap.capacity_shortfall > 0 {
             // A degraded stage always warrants a fresh residual plan:
             // the deadline envelope was built for the full allocation.
-            ReplanTrigger::CapacityShortfall
+            Some(ReplanTrigger::CapacityShortfall)
+        } else if snap.num_zones > 1 && !window.is_calm() {
+            // Correlated zone trouble outranks preemption noise: a
+            // brownout/outage window degrades *future* provisioning, so
+            // the residual must be risk-priced (and, in execute mode,
+            // moved) even if the completed stage landed on time.
+            Some(ReplanTrigger::ZoneDegraded)
         } else if self.config.drift.replan_on_preemption && fresh_preemptions > 0 {
-            ReplanTrigger::Preemption
+            Some(ReplanTrigger::Preemption)
         } else if self.monitor.drifted() {
-            ReplanTrigger::Drift
+            Some(ReplanTrigger::Drift)
+        } else if self.config.market.enabled && self.config.market.execute {
+            // Execute mode probes the market at every barrier; the
+            // trigger is declared only if the probe actually switches.
+            None
         } else {
             return None;
         };
-        recorder.counter_add("ctrl", "replans_triggered", 1);
-        if recorder.enabled() {
-            recorder.instant(
-                snap.now,
-                "ctrl",
-                "replan.trigger",
-                Lane::Controller,
-                vec![
-                    ("stage", snap.stage.into()),
-                    (
-                        "trigger",
-                        match trigger {
-                            ReplanTrigger::Drift => "drift",
-                            ReplanTrigger::Preemption => "preemption",
-                            ReplanTrigger::Watchdog => "watchdog",
-                            ReplanTrigger::CapacityShortfall => "capacity_shortfall",
-                        }
-                        .into(),
-                    ),
-                    ("drift_factor", self.monitor.drift_factor().into()),
-                ],
-            );
+        if let Some(trigger) = trigger {
+            self.note_trigger(trigger, snap.stage, snap.now, &recorder);
         }
         let drift_at_decision = self.monitor.drift_factor();
 
@@ -594,8 +769,10 @@ impl BarrierHook for AdaptiveController {
         let warm = AllocationPlan::new(old_suffix.clone());
         // Refit before planning so the residual is scored on the best
         // available model; the envelope must track the refit view even if
-        // no new suffix is applied below.
-        if self.try_refit(snap.stage, snap.now) {
+        // no new suffix is applied below. The probe-only path skips the
+        // refit: with nothing wrong, swapping models on every barrier
+        // would churn the envelope for no cause.
+        if trigger.is_some() && self.try_refit(snap.stage, snap.now) {
             if let Ok(qs) = self.sim.stage_quantiles(&residual_spec, &warm) {
                 self.monitor.retarget(next, qs);
             }
@@ -609,7 +786,25 @@ impl BarrierHook for AdaptiveController {
             snap.now,
             snap.preemptions,
             snap.instance_seconds,
+            &window,
         )?;
+        let trigger = match trigger {
+            Some(t) => t,
+            None => {
+                if !market_switched {
+                    return None;
+                }
+                self.note_trigger(ReplanTrigger::MarketSwitch, snap.stage, snap.now, &recorder);
+                ReplanTrigger::MarketSwitch
+            }
+        };
+        let market_executed = self.arm_switch(
+            market,
+            market_switched,
+            trigger == ReplanTrigger::ZoneDegraded,
+            snap.home_zone,
+            snap.num_zones,
+        );
 
         let new_suffix = out.plan.as_slice().to_vec();
         let applied = new_suffix != old_suffix;
@@ -667,6 +862,7 @@ impl BarrierHook for AdaptiveController {
             applied,
             market,
             market_switched,
+            market_executed,
         });
         applied.then_some(new_suffix)
     }
@@ -708,6 +904,7 @@ impl BarrierHook for AdaptiveController {
         // Preemptions absorbed so far are part of this decision; don't
         // re-trigger on them at the next barrier.
         self.preemptions_seen = snap.preemptions;
+        let window = self.capacity_window(snap.capacity_events);
 
         recorder.counter_add("ctrl", "replans_triggered", 1);
         if recorder.enabled() {
@@ -750,12 +947,20 @@ impl BarrierHook for AdaptiveController {
             snap.now,
             snap.preemptions,
             snap.instance_seconds,
+            &window,
         );
         // Whatever happens below, this stage's eventual barrier span
         // includes the checkpoint/re-plan detour and must not be read as
         // drift again.
         self.monitor.invalidate(snap.stage);
         let (out, market, market_switched) = planned?;
+        let market_executed = self.arm_switch(
+            market,
+            market_switched,
+            snap.num_zones > 1 && !window.is_calm(),
+            snap.home_zone,
+            snap.num_zones,
+        );
 
         let new_suffix = out.plan.as_slice().to_vec();
         let applied = new_suffix != old_suffix;
@@ -815,8 +1020,13 @@ impl BarrierHook for AdaptiveController {
             applied,
             market,
             market_switched,
+            market_executed,
         });
         applied.then_some(new_suffix)
+    }
+
+    fn pending_switch(&mut self) -> Option<SwitchDirective> {
+        self.pending.take()
     }
 }
 
@@ -1088,6 +1298,160 @@ mod tests {
             open.jct
         );
         assert_eq!(cut.best_accuracy, open.best_accuracy);
+    }
+
+    #[test]
+    fn zone_outage_executed_switch_beats_the_advisory_controller() {
+        use rb_cloud::{FaultPlan, ZonePlan, ZoneWindow};
+        use rb_exec::RetryPolicy;
+        let task = resnet101_cifar10();
+        // Scale-ups at stages 2 and 3 keep asking the (dead) home zone
+        // for capacity.
+        let plan = AllocationPlan::new(vec![4, 4, 8, 16]);
+        let faults = FaultPlan {
+            zones: ZonePlan {
+                zones: 2,
+                outage: Some(ZoneWindow {
+                    zone: 0,
+                    start_secs: 60.0,
+                    duration_secs: 100_000.0,
+                }),
+                ..ZonePlan::none()
+            },
+            ..FaultPlan::none()
+        };
+        let mk_exec = || {
+            Executor::new(
+                spec(),
+                plan.clone(),
+                task.clone(),
+                physics(&task, 1.0),
+                cloud(),
+            )
+            .unwrap()
+            .with_options(ExecOptions {
+                seed: 11,
+                faults: faults.clone(),
+                retry: Some(RetryPolicy {
+                    max_retries: 6,
+                    base_backoff_secs: 120.0,
+                    max_backoff_secs: 240.0,
+                    request_timeout_secs: 480.0,
+                }),
+                ..ExecOptions::default()
+            })
+        };
+        let deadline = SimDuration::from_secs(27 * 60);
+        let run = |execute: bool| {
+            // Market comparison off: this test isolates the zone
+            // behavior (the probe test below covers market flips).
+            let config = ControllerConfig {
+                watchdog: WatchdogConfig {
+                    enabled: false,
+                    ..WatchdogConfig::default()
+                },
+                market: MarketConfig {
+                    enabled: false,
+                    execute,
+                    ..MarketConfig::default()
+                },
+                ..ControllerConfig::default()
+            };
+            let sim = Simulator::new(physics(&task, 1.0), cloud());
+            let mut ctrl =
+                AdaptiveController::new(sim, spec(), &plan, deadline, config).unwrap();
+            let r = mk_exec().run_hooked(&configs(8, 3), &mut ctrl).unwrap();
+            (r, ctrl.into_log())
+        };
+        let open = mk_exec().run(&configs(8, 3)).unwrap();
+        let (_, advisory_log) = run(false);
+        let (executed, executed_log) = run(true);
+        // Both controllers saw the degraded zone; only execute mode
+        // moved capacity out of it.
+        for log in [&advisory_log, &executed_log] {
+            assert!(
+                log.events
+                    .iter()
+                    .any(|e| e.trigger == ReplanTrigger::ZoneDegraded),
+                "{:?}",
+                log.events
+            );
+        }
+        assert_eq!(advisory_log.executed_switches(), 0);
+        assert!(executed_log.executed_switches() >= 1);
+        // Open loop re-enters the dead home zone at every scale-up and
+        // pays the denial + backoff each time, blowing the deadline; the
+        // executed zone move escapes the zone for good and recovers it.
+        assert!(
+            open.jct > deadline,
+            "open loop was supposed to miss: {} ≤ {deadline}",
+            open.jct
+        );
+        assert!(
+            executed.jct <= deadline,
+            "executed switch missed the deadline: {} > {deadline}",
+            executed.jct
+        );
+        assert_eq!(executed.best_accuracy, open.best_accuracy);
+    }
+
+    #[test]
+    fn market_probe_executes_a_switch_to_cheaper_spot_capacity() {
+        let task = resnet101_cifar10();
+        let plan = AllocationPlan::new(vec![8, 8, 8, 8]);
+        let open = executor(&task, &plan, 1.0).run(&configs(8, 3)).unwrap();
+        // Calm run, generous deadline: nothing triggers except the
+        // execute-mode market probe, which finds spot feasible and far
+        // cheaper and drains the fleet onto it.
+        let config = ControllerConfig {
+            drift: DriftConfig {
+                replan_threshold: 100.0,
+                replan_on_preemption: false,
+                ..DriftConfig::default()
+            },
+            watchdog: WatchdogConfig {
+                enabled: false,
+                ..WatchdogConfig::default()
+            },
+            market: MarketConfig {
+                execute: true,
+                ..MarketConfig::default()
+            },
+            ..ControllerConfig::default()
+        };
+        let mut ctrl = controller(&plan, SimDuration::from_hours(4), config);
+        let switched = executor(&task, &plan, 1.0)
+            .run_hooked(&configs(8, 3), &mut ctrl)
+            .unwrap();
+        let log = ctrl.into_log();
+        let first = log
+            .events
+            .iter()
+            .find(|e| e.market_executed)
+            .expect("the probe never executed a switch");
+        assert_eq!(first.trigger, ReplanTrigger::MarketSwitch);
+        assert_eq!(first.market, MarketChoice::Spot);
+        assert!(first.market_switched);
+        // Once on spot, the probe stops re-advising the same move: the
+        // planning view followed the executed market.
+        assert_eq!(
+            log.events
+                .iter()
+                .filter(|e| e.trigger == ReplanTrigger::MarketSwitch && e.market_executed)
+                .count(),
+            1,
+            "{:?}",
+            log.events
+        );
+        // The residual ran at the spot discount: cheaper than open loop
+        // even after paying the drain + re-provision cycle.
+        assert!(
+            switched.compute_cost < open.compute_cost,
+            "switched {} !< open {}",
+            switched.compute_cost,
+            open.compute_cost
+        );
+        assert_eq!(switched.best_accuracy, open.best_accuracy);
     }
 
     #[test]

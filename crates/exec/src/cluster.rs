@@ -9,9 +9,11 @@
 //! [`BillingMeter`](rb_cloud::BillingMeter) is the source of truth for
 //! "real" cost columns.
 
-use rb_cloud::{FaultCounts, FaultPlan, ProviderConfig, SharedPool, SimProvider, UsageRecord};
+use rb_cloud::{
+    FaultCounts, FaultPlan, PricingTier, ProviderConfig, SharedPool, SimProvider, UsageRecord,
+};
 use rb_core::{Cost, InstanceId, NodeId, Prng, RbError, Result, SimDuration, SimTime};
-use rb_profile::CloudProfile;
+use rb_profile::{CapacityEvents, CloudProfile};
 use std::collections::BTreeMap;
 
 /// How the cluster manager survives a misbehaving provider: capped
@@ -73,6 +75,44 @@ impl RetryPolicy {
     }
 }
 
+/// A mid-run market/zone move for the cluster to execute at a barrier:
+/// every field is optional, so a directive can flip just the pricing
+/// tier, just the interruption expectation, just the home zone, or any
+/// combination. Executed by [`ClusterManager::switch_market`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SwitchDirective {
+    /// Pricing tier for capacity provisioned after the switch (existing
+    /// lifetimes are pinned to the old tier).
+    pub market: Option<PricingTier>,
+    /// Spot-interruption rate for capacity provisioned after the
+    /// switch (instances already holding a sampled interruption keep
+    /// it).
+    pub interruption_rate_per_hour: Option<f64>,
+    /// Zone future provisioning lands in. Setting this forces a full
+    /// drain: capacity cannot be parked across a zone move.
+    pub zone: Option<u32>,
+}
+
+impl SwitchDirective {
+    /// True when the directive changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.market.is_none() && self.interruption_rate_per_hour.is_none() && self.zone.is_none()
+    }
+}
+
+/// What executing a [`SwitchDirective`] did to the fleet.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwitchOutcome {
+    /// Ready nodes terminated (offered to the shared pool when one is
+    /// attached).
+    pub drained: usize,
+    /// Ready nodes parked warm instead of terminated (market-only
+    /// switch where holding is cheaper than re-provisioning).
+    pub parked: usize,
+    /// In-flight provisioning requests cancelled, never billed.
+    pub cancelled: usize,
+}
+
 /// What a resilient node request actually achieved.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RetryOutcome {
@@ -131,6 +171,11 @@ pub struct ClusterManager {
     /// arrived with, so pool ownership stays traceable across
     /// handoffs.
     adopted_physical: BTreeMap<u64, u64>,
+    /// Provisioning requests issued to the provider (both request
+    /// paths), for the observed capacity-event window.
+    provision_requests: u64,
+    /// Cumulative retry rounds across all resilient requests.
+    provision_retries: u64,
 }
 
 impl ClusterManager {
@@ -157,6 +202,8 @@ impl ClusterManager {
             warm_attach: SimDuration::from_secs(2),
             shared_pool: None,
             adopted_physical: BTreeMap::new(),
+            provision_requests: 0,
+            provision_retries: 0,
         }
     }
 
@@ -294,6 +341,7 @@ impl ClusterManager {
         if k == 0 {
             return Ok(());
         }
+        self.provision_requests += 1;
         let handles = self.provider.provision(k, now)?;
         for (instance, ready_at) in handles {
             let init = SimDuration::from_secs_f64(self.cloud.init_latency.sample(&mut self.rng));
@@ -318,6 +366,137 @@ impl ClusterManager {
     /// Faults the provider has injected so far.
     pub fn fault_counts(&self) -> FaultCounts {
         self.provider.fault_counts()
+    }
+
+    /// The observed capacity-event window since the start of the run:
+    /// requests issued, denials (independent + zone-correlated), retry
+    /// rounds spent, and zone-outage kills. Feed to
+    /// [`CloudProfile::risk_from_events`] to price observed capacity
+    /// risk into residual re-plans.
+    pub fn capacity_events(&self) -> CapacityEvents {
+        let c = self.fault_counts();
+        CapacityEvents {
+            requests: self.provision_requests,
+            denials: c.capacity_failures + c.zone_denials,
+            retries: self.provision_retries,
+            outage_kills: c.zone_outage_kills,
+        }
+    }
+
+    /// The zone future provisioning requests land in.
+    pub fn home_zone(&self) -> u32 {
+        self.provider.home_zone()
+    }
+
+    /// Number of failure domains the armed fault plan declares (1
+    /// without zone chaos).
+    pub fn num_zones(&self) -> u32 {
+        self.provider.num_zones()
+    }
+
+    /// Moves future provisioning to `zone` (wrapped into the declared
+    /// zone count). Existing nodes stay where they are.
+    pub fn set_home_zone(&mut self, zone: u32) {
+        self.provider.set_home_zone(zone);
+    }
+
+    /// The zone a ready node's instance lives in (zone 0 for unknown
+    /// nodes).
+    pub fn node_zone(&self, node: NodeId) -> u32 {
+        self.ready
+            .get(&node)
+            .map_or(0, |i| self.provider.instance_zone(*i))
+    }
+
+    /// Executes a mid-run market/zone switch: pins every lifetime
+    /// bought so far to the old pricing tier, applies the directive to
+    /// the profile and provider, and drains the current fleet so the
+    /// next scale-up lands on the new market/zone.
+    ///
+    /// Drain policy: in-flight provisioning requests are cancelled
+    /// (free — billing never started). Ready nodes are *parked warm*
+    /// when the switch is market-only and holding them for the warm
+    /// window costs no more than re-provisioning on the new market
+    /// (`old_hourly × warm_hold ≤ new_hourly × mean_scale_up`);
+    /// otherwise they are terminated — offered to the shared pool when
+    /// one is attached, so pool custody survives the switch. A zone
+    /// move never parks (capacity cannot be parked across domains),
+    /// but a zone-only move keeps ready nodes already in the target
+    /// zone — re-buying capacity that is already where the directive
+    /// wants it would pay a scale-up cycle for nothing.
+    ///
+    /// The caller is responsible for checkpoint safety: pause and save
+    /// before switching (the executor's forced-barrier path does).
+    ///
+    /// # Errors
+    ///
+    /// Propagates provider errors from the drain.
+    pub fn switch_market(
+        &mut self,
+        directive: &SwitchDirective,
+        now: SimTime,
+    ) -> Result<SwitchOutcome> {
+        let mut outcome = SwitchOutcome::default();
+        if directive.is_empty() {
+            return Ok(outcome);
+        }
+        let old_tier = self.cloud.pricing.tier;
+        let old_hourly = self.cloud.pricing.instance_hourly();
+        self.provider.meter_mut().pin_existing_lifetimes(old_tier);
+        if let Some(tier) = directive.market {
+            self.cloud.pricing = self.cloud.pricing.clone().with_tier(tier);
+        }
+        if let Some(rate) = directive.interruption_rate_per_hour {
+            self.cloud.spot_interruptions_per_hour = rate;
+            self.provider.set_interruption_rate(rate);
+        }
+        if let Some(zone) = directive.zone {
+            self.provider.set_home_zone(zone);
+        }
+        // Cancel in-flight requests: they were aimed at the old
+        // market/zone and have not started billing.
+        for p in std::mem::take(&mut self.pending) {
+            if self.provider.meter().started_at(p.instance).is_none() {
+                self.provider.terminate(p.instance, now)?;
+                outcome.cancelled += 1;
+            } else {
+                // Already handed over (e.g. a warm reattach): drain it
+                // like a ready node below.
+                self.provider.terminate(p.instance, now)?;
+                self.offer_to_pool(p.instance, now);
+                outcome.drained += 1;
+            }
+        }
+        let park_ok = directive.zone.is_none()
+            && self.warm_capacity > 0
+            && old_hourly.per_hour_for(self.warm_hold)
+                <= self
+                    .cloud
+                    .pricing
+                    .instance_hourly()
+                    .per_hour_for(SimDuration::from_secs_f64(self.cloud.mean_scale_up_secs()));
+        // A zone-only move keeps nodes that already escaped into the
+        // target zone (a retry round may have provisioned them there):
+        // they are exactly where the directive wants capacity, and
+        // re-buying them would pay a scale-up cycle for nothing.
+        let keep_zone = directive.market.is_none().then_some(directive.zone).flatten();
+        for (node, instance) in std::mem::take(&mut self.ready) {
+            if keep_zone.is_some_and(|z| self.provider.instance_zone(instance) == z) {
+                self.ready.insert(node, instance);
+            } else if park_ok && self.warm.len() < self.warm_capacity {
+                self.warm.push(WarmNode {
+                    node,
+                    instance,
+                    expires_at: now + self.warm_hold,
+                });
+                outcome.parked += 1;
+            } else {
+                self.provider.terminate(instance, now)?;
+                self.offer_to_pool(instance, now);
+                outcome.drained += 1;
+            }
+        }
+        Ok(outcome)
     }
 
     /// The compute slowdown factor of a degraded node (1.0 for healthy
@@ -365,15 +544,28 @@ impl ClusterManager {
         out.acquired += adopted;
         let mut attempt: u32 = 0;
         let mut t = now;
+        // Retries rotate through failure domains: a denial or abandoned
+        // straggler in one zone re-issues the request in the next, so a
+        // zone-correlated event (brownout, outage) cannot starve the
+        // whole retry budget. The rotation is transient — the home zone
+        // is restored on exit; a *persistent* move is the controller's
+        // executed switch, not the retry loop's.
+        let home_zone = self.provider.home_zone();
+        let num_zones = self.provider.num_zones();
         while remaining > 0 {
+            self.provision_requests += 1;
             match self.provider.provision(remaining, t) {
                 Ok(handles) => {
-                    let deadline = t + SimDuration::from_secs_f64(policy.request_timeout_secs);
+                    let deadline =
+                        t.saturating_add(SimDuration::from_secs_f64(policy.request_timeout_secs));
                     let mut kept = 0usize;
                     for (instance, ready_at) in handles {
                         if ready_at > deadline {
                             // Stuck on a straggler: cancel while still
-                            // pending (free) and re-issue below.
+                            // pending (free — billing only ever starts
+                            // at hand-over, so the abandoned node is
+                            // never billed even if its replacement
+                            // succeeds elsewhere) and re-issue below.
                             self.provider.terminate(instance, deadline)?;
                             out.abandoned += 1;
                             continue;
@@ -398,8 +590,9 @@ impl ClusterManager {
                     attempt += 1;
                     out.retries += 1;
                     // Replacements go out the moment the stuck requests
-                    // are abandoned.
+                    // are abandoned — in the next zone over.
                     t = deadline;
+                    self.rotate_zone(num_zones);
                 }
                 Err(RbError::Capacity(_)) => {
                     if attempt >= policy.max_retries {
@@ -407,13 +600,32 @@ impl ClusterManager {
                     }
                     attempt += 1;
                     out.retries += 1;
-                    t += policy.backoff(attempt);
+                    // Saturating: extreme user-supplied backoff bounds
+                    // must stall the clock at the horizon, not overflow
+                    // the millisecond counter.
+                    t = t.saturating_add(policy.backoff(attempt));
+                    self.rotate_zone(num_zones);
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    self.provider.set_home_zone(home_zone);
+                    self.provision_retries += out.retries;
+                    return Err(e);
+                }
             }
         }
+        self.provider.set_home_zone(home_zone);
+        self.provision_retries += out.retries;
         out.shortfall = remaining;
         Ok(out)
+    }
+
+    /// Advances the provider's home zone to the next failure domain
+    /// (no-op in a single-zone region).
+    fn rotate_zone(&mut self, num_zones: u32) {
+        if num_zones > 1 {
+            self.provider
+                .set_home_zone((self.provider.home_zone() + 1) % num_zones);
+        }
     }
 
     /// The instant every currently pending node becomes usable, if any
@@ -859,6 +1071,201 @@ mod tests {
         // Cancelled-while-pending instances never start billing.
         assert_eq!(cm.instances_provisioned(), 0);
         assert_eq!(cm.compute_cost(SimTime::from_secs(7200)), Cost::ZERO);
+    }
+
+    #[test]
+    fn extreme_backoff_bounds_saturate_instead_of_overflowing() {
+        // A pathological policy whose per-retry backoff saturates the
+        // millisecond clock: repeated accumulation must stall at the
+        // horizon, not overflow (this used to panic in debug builds).
+        let mut cm = ClusterManager::new(cloud(), 7);
+        cm.set_fault_plan(
+            FaultPlan {
+                capacity_failure_prob: 1.0,
+                ..FaultPlan::none()
+            },
+            42,
+        );
+        let policy = RetryPolicy {
+            max_retries: 40,
+            base_backoff_secs: 1e15,
+            max_backoff_secs: 1e18,
+            request_timeout_secs: 240.0,
+        };
+        let out = cm
+            .request_nodes_resilient(2, SimTime::ZERO, &policy)
+            .unwrap();
+        assert_eq!(out.shortfall, 2);
+        assert_eq!(out.retries, 40);
+    }
+
+    fn zoned_plan(brownout_factor: f64, outage: bool) -> FaultPlan {
+        use rb_cloud::{ZonePlan, ZoneWindow};
+        let window = ZoneWindow {
+            zone: 0,
+            start_secs: 0.0,
+            duration_secs: 1000.0,
+        };
+        FaultPlan {
+            zones: ZonePlan {
+                zones: 2,
+                brownout: (brownout_factor > 1.0).then_some(window),
+                brownout_delay_factor: brownout_factor.max(1.0),
+                outage: outage.then_some(window),
+                ..ZonePlan::none()
+            },
+            ..FaultPlan::none()
+        }
+    }
+
+    #[test]
+    fn abandoned_node_stays_free_when_the_retry_succeeds_in_another_zone() {
+        let mut cm = ClusterManager::new(cloud(), 7);
+        // Zone 0 brownout inflates the 15 s hand-over to 1500 s — past
+        // the 240 s request timeout — so the first request is abandoned
+        // and the retry rotates into healthy zone 1.
+        cm.set_fault_plan(zoned_plan(100.0, false), 42);
+        let out = cm
+            .request_nodes_resilient(1, SimTime::ZERO, &RetryPolicy::default())
+            .unwrap();
+        assert_eq!(
+            out,
+            RetryOutcome {
+                acquired: 1,
+                retries: 1,
+                abandoned: 1,
+                shortfall: 0,
+            }
+        );
+        // Replacement issued at the 240 s deadline, lands 15+15 s later.
+        assert_eq!(cm.pending_ready_time(), Some(SimTime::from_secs(270)));
+        let nodes = cm.absorb_ready(SimTime::from_secs(270));
+        assert_eq!(cm.node_zone(nodes[0]), 1);
+        // The abandoned node never started billing and is not an
+        // instance start; only the zone-1 replacement is.
+        assert_eq!(cm.instances_provisioned(), 1);
+        // Retry rounds counted exactly once despite abandon + re-issue.
+        assert_eq!(cm.capacity_events().retries, 1);
+        // The transient rotation restored the home zone.
+        assert_eq!(cm.home_zone(), 0);
+        // Bill: only the replacement, from its hand-over at t=255.
+        let end = SimTime::from_secs(255 + 3600);
+        cm.terminate_all(end);
+        let expect =
+            CloudPricing::on_demand(P3_8XLARGE).instance_charge(SimDuration::from_secs(3600));
+        assert_eq!(cm.compute_cost(end), expect);
+    }
+
+    #[test]
+    fn zone_outage_denial_retries_into_the_next_zone() {
+        let mut cm = ClusterManager::new(cloud(), 7);
+        cm.set_fault_plan(zoned_plan(1.0, true), 42);
+        let out = cm
+            .request_nodes_resilient(2, SimTime::ZERO, &RetryPolicy::default())
+            .unwrap();
+        assert_eq!(
+            out,
+            RetryOutcome {
+                acquired: 2,
+                retries: 1,
+                abandoned: 0,
+                shortfall: 0,
+            }
+        );
+        let ev = cm.capacity_events();
+        assert_eq!(ev.requests, 2, "denied request + zone-1 retry");
+        assert_eq!(ev.denials, 1);
+        assert_eq!(ev.retries, 1);
+        assert_eq!(cm.fault_counts().zone_denials, 1);
+        // Retry went out after one 10 s backoff, into zone 1.
+        assert_eq!(cm.pending_ready_time(), Some(SimTime::from_secs(40)));
+        assert_eq!(cm.home_zone(), 0, "transient rotation restored");
+    }
+
+    #[test]
+    fn market_switch_pins_old_lifetimes_and_drains_the_fleet() {
+        let mut spot = cloud();
+        spot.pricing = spot.pricing.with_spot();
+        let mut cm = ClusterManager::new(spot, 7);
+        cm.request_nodes(2, SimTime::ZERO).unwrap();
+        let t = SimTime::from_secs(30);
+        assert_eq!(cm.absorb_ready(t).len(), 2);
+        // One request still in flight when the switch lands.
+        cm.request_nodes(1, SimTime::from_secs(40)).unwrap();
+        let sw = SwitchDirective {
+            market: Some(PricingTier::OnDemand),
+            interruption_rate_per_hour: Some(0.0),
+            zone: None,
+        };
+        let at = SimTime::from_secs(100);
+        let outcome = cm.switch_market(&sw, at).unwrap();
+        assert_eq!(
+            outcome,
+            SwitchOutcome {
+                drained: 2,
+                parked: 0,
+                cancelled: 1,
+            }
+        );
+        assert_eq!(cm.ready_count(), 0);
+        assert_eq!(cm.pending_count(), 0);
+        // New capacity lands on the new market.
+        cm.request_nodes(1, at).unwrap();
+        cm.absorb_ready(SimTime::from_secs(130));
+        let end = SimTime::from_secs(115 + 3600);
+        cm.terminate_all(end);
+        // Old fleet billed at the pinned spot rate 15..100 (85 s);
+        // the new instance on-demand from 115 for an hour.
+        let pr = CloudPricing::on_demand(P3_8XLARGE);
+        let expect = pr.clone().with_spot().instance_charge(SimDuration::from_secs(85)) * 2
+            + pr.instance_charge(SimDuration::from_secs(3600));
+        assert_eq!(cm.compute_cost(end), expect);
+    }
+
+    #[test]
+    fn market_only_switch_parks_when_holding_is_cheaper() {
+        // Cheap spot fleet, short warm hold, expensive on-demand
+        // re-provision: holding the fleet across the switch beats
+        // buying it back, so the drain parks instead of terminating.
+        let mut spot = cloud();
+        spot.pricing = spot.pricing.with_spot();
+        let mut cm = ClusterManager::new(spot, 7).with_warm_pool(
+            2,
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(2),
+        );
+        cm.request_nodes(2, SimTime::ZERO).unwrap();
+        cm.absorb_ready(SimTime::from_secs(30));
+        let sw = SwitchDirective {
+            market: Some(PricingTier::OnDemand),
+            ..SwitchDirective::default()
+        };
+        let outcome = cm.switch_market(&sw, SimTime::from_secs(100)).unwrap();
+        assert_eq!(outcome.parked, 2);
+        assert_eq!(outcome.drained, 0);
+        assert_eq!(cm.warm_count(), 2);
+        // A zone move never parks, no matter the economics.
+        let mut cm2 = ClusterManager::new(cloud(), 7).with_warm_pool(
+            2,
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(2),
+        );
+        cm2.set_fault_plan(zoned_plan(1.0, true), 42);
+        cm2.set_home_zone(1);
+        cm2.request_nodes(2, SimTime::ZERO).unwrap();
+        cm2.absorb_ready(SimTime::from_secs(30));
+        let outcome = cm2
+            .switch_market(
+                &SwitchDirective {
+                    zone: Some(0),
+                    ..SwitchDirective::default()
+                },
+                SimTime::from_secs(2000),
+            )
+            .unwrap();
+        assert_eq!(outcome.parked, 0);
+        assert_eq!(outcome.drained, 2);
+        assert_eq!(cm2.home_zone(), 0);
     }
 
     #[test]

@@ -8,14 +8,14 @@
 //! meter. Noise streams are per-trial, so results are independent of
 //! scheduling order and bit-reproducible from the seed.
 
-use crate::cluster::{ClusterManager, RetryPolicy};
+use crate::cluster::{ClusterManager, RetryPolicy, SwitchDirective};
 use crate::report::{ExecutionReport, ExecutionTrace, StageRecord, TraceEvent};
-use rb_cloud::FaultPlan;
+use rb_cloud::{FaultPlan, PricingTier};
 use rb_core::{mix_seed, Cost, Distribution, Prng, RbError, Result, SimDuration, SimTime, TrialId};
 use rb_hpo::{select_survivors, Config, ExperimentSpec};
 use rb_obs::{Lane, RecorderHandle, SpanTracker, Value};
 use rb_placement::{scatter_placement, ClusterState, PlacementController, PlacementPlan};
-use rb_profile::{CloudProfile, ModelProfile};
+use rb_profile::{CapacityEvents, CloudProfile, ModelProfile};
 use rb_scaling::PlacementQuality;
 use rb_sim::AllocationPlan;
 use rb_train::checkpoint::{CheckpointStore, VerifiedFetch};
@@ -143,6 +143,16 @@ pub struct BarrierSnapshot<'a> {
     /// The stage ran degraded on the reduced allocation; a controller
     /// should treat this as a replan trigger.
     pub capacity_shortfall: u32,
+    /// Provisioning requests, denials, retries, and correlated outage
+    /// kills observed since the run started. A controller that wants a
+    /// *window* diffs against the previous barrier's totals; feeding
+    /// the window to `CloudProfile::risk_from_events` re-prices the
+    /// residual plan against the capacity the run is actually seeing.
+    pub capacity_events: CapacityEvents,
+    /// The provider zone new capacity is currently requested from.
+    pub home_zone: u32,
+    /// Zones the active fault plan declares (1 when zones are off).
+    pub num_zones: u32,
     /// The plan currently in force (full job, all stages).
     pub plan: &'a AllocationPlan,
 }
@@ -194,6 +204,13 @@ pub struct WatchdogSnapshot<'a> {
     pub instance_seconds: f64,
     /// Trials live in the interrupted stage.
     pub survivors: usize,
+    /// Cumulative capacity-fault tallies, as in
+    /// [`BarrierSnapshot::capacity_events`].
+    pub capacity_events: CapacityEvents,
+    /// The provider zone new capacity is currently requested from.
+    pub home_zone: u32,
+    /// Zones the active fault plan declares (1 when zones are off).
+    pub num_zones: u32,
     /// The plan currently in force (full job, all stages).
     pub plan: &'a AllocationPlan,
 }
@@ -227,6 +244,20 @@ pub trait BarrierHook {
     /// `num_stages - stage`, and `suffix[0]` re-allocates the residual
     /// units of the stage that overran.
     fn at_watchdog(&mut self, _snapshot: &WatchdogSnapshot<'_>) -> Option<Vec<u32>> {
+        None
+    }
+
+    /// A market/zone switch for the executor to *execute* at the safe
+    /// point that just completed (a barrier or a watchdog splice). The
+    /// executor drains the fleet through
+    /// [`ClusterManager::switch_market`] — in-flight lifetimes pinned at
+    /// their contracted tier, ready nodes parked or terminated by
+    /// handoff cost — before the next scale-up provisions on the new
+    /// market. Polled after the corresponding re-plan callback, so a
+    /// hook can decide the switch and the suffix together. The default
+    /// never switches; returning `None` (or an empty directive)
+    /// consumes no noise and leaves execution bit-identical.
+    fn pending_switch(&mut self) -> Option<SwitchDirective> {
         None
     }
 }
@@ -788,6 +819,9 @@ impl ExecutorCore {
                     instances: self.cm.ready_count(),
                     instance_seconds: self.cm.held_instance_seconds(wd_now),
                     survivors: self.live.len(),
+                    capacity_events: self.cm.capacity_events(),
+                    home_zone: self.cm.home_zone(),
+                    num_zones: self.cm.num_zones(),
                     plan: &self.plan,
                 };
                 hook.at_watchdog(&snapshot)
@@ -809,6 +843,10 @@ impl ExecutorCore {
                 self.plan = next;
             }
             self.now = wd_now;
+            // Every live trial is paused and checkpointed, so a market
+            // switch drains nothing that cannot restore; the re-scale
+            // below provisions on the new market.
+            self.apply_pending_switch(hook, stage)?;
             setup = self.exec.scale_and_place(
                 &self.plan,
                 stage,
@@ -991,6 +1029,9 @@ impl ExecutorCore {
                 unit_obs: unit_obs_vec(&round.unit_obs),
                 instance_seconds: self.cm.held_instance_seconds(self.now),
                 capacity_shortfall: stage_shortfall as u32,
+                capacity_events: self.cm.capacity_events(),
+                home_zone: self.cm.home_zone(),
+                num_zones: self.cm.num_zones(),
                 plan: &self.plan,
             };
             if let Some(suffix) = hook.at_barrier(&snapshot) {
@@ -1008,6 +1049,10 @@ impl ExecutorCore {
                 next.validate(&self.exec.spec)?;
                 self.plan = next;
             }
+            // The switch executes after the suffix splice so the next
+            // stage's scale-up — which absorbs both — provisions on the
+            // new market in one pass.
+            self.apply_pending_switch(hook, stage)?;
         }
 
         self.stage += 1;
@@ -1019,6 +1064,65 @@ impl ExecutorCore {
                 at: self.now,
             })
         }
+    }
+
+    /// Polls the hook for an executed market/zone switch and drains the
+    /// fleet through [`ClusterManager::switch_market`]. Called only at
+    /// transition-safe points — a completed barrier or a watchdog
+    /// splice — where every survivor holds a fresh checkpoint, so
+    /// terminating the old market's capacity strands nothing. `None`
+    /// and empty directives are no-ops (no draws, no events), keeping
+    /// passive hooks bit-identical.
+    fn apply_pending_switch(&mut self, hook: &mut dyn BarrierHook, stage: usize) -> Result<()> {
+        let Some(directive) = hook.pending_switch() else {
+            return Ok(());
+        };
+        if directive.is_empty() {
+            return Ok(());
+        }
+        let outcome = self.cm.switch_market(&directive, self.now)?;
+        self.recorder.counter_add("exec", "market_switches", 1);
+        if self.recorder.enabled() {
+            let mut args: Vec<(&'static str, Value)> = vec![
+                ("stage", (stage as u64).into()),
+                ("drained", (outcome.drained as u64).into()),
+                ("parked", (outcome.parked as u64).into()),
+                ("cancelled", (outcome.cancelled as u64).into()),
+            ];
+            if let Some(tier) = directive.market {
+                let name = match tier {
+                    PricingTier::OnDemand => "on_demand",
+                    PricingTier::Spot => "spot",
+                };
+                args.push(("market", name.to_string().into()));
+            }
+            if let Some(zone) = directive.zone {
+                args.push(("zone", u64::from(zone).into()));
+            }
+            // The switch is instantaneous in virtual time (draining
+            // happens at the barrier the fleet already reached), so the
+            // span opens and closes at `now`; it exists to carry the
+            // outcome args on the cloud lane.
+            let (span, parent) = self.spans.open();
+            self.recorder.span_start(
+                self.now,
+                "exec",
+                "market.switch",
+                Lane::Cloud,
+                span,
+                parent,
+                args,
+            );
+            self.recorder.span_end(
+                self.now,
+                "exec",
+                "market.switch",
+                Lane::Cloud,
+                self.spans.close(),
+                Vec::new(),
+            );
+        }
+        Ok(())
     }
 
     /// Consumes the core after the final barrier and assembles the
@@ -2609,6 +2713,132 @@ mod tests {
                 "stage {stage}: observed {} vs {expect}",
                 o.mean_secs
             );
+        }
+    }
+
+    /// Arms one market switch after the `switch_after` barrier and
+    /// records the capacity fields every barrier exposes.
+    struct SwitchHook {
+        switch_after: usize,
+        directive: SwitchDirective,
+        armed: bool,
+        issued: bool,
+        capacity: Vec<(CapacityEvents, u32, u32)>,
+    }
+
+    impl BarrierHook for SwitchHook {
+        fn at_barrier(&mut self, s: &BarrierSnapshot<'_>) -> Option<Vec<u32>> {
+            self.capacity
+                .push((s.capacity_events, s.home_zone, s.num_zones));
+            if s.stage == self.switch_after {
+                self.armed = true;
+            }
+            None
+        }
+
+        fn pending_switch(&mut self) -> Option<SwitchDirective> {
+            if self.armed && !self.issued {
+                self.issued = true;
+                return Some(self.directive);
+            }
+            None
+        }
+    }
+
+    #[test]
+    fn empty_switch_directives_are_bit_identical_to_run() {
+        // A hook that keeps answering the pending-switch poll with an
+        // empty directive must not perturb the run: the poll is outside
+        // every noise stream and the empty directive short-circuits.
+        struct EmptySwitch;
+        impl BarrierHook for EmptySwitch {
+            fn at_barrier(&mut self, _: &BarrierSnapshot<'_>) -> Option<Vec<u32>> {
+                None
+            }
+            fn pending_switch(&mut self) -> Option<SwitchDirective> {
+                Some(SwitchDirective::default())
+            }
+        }
+        let task = resnet101_cifar10();
+        let mk = || {
+            Executor::new(
+                small_spec(),
+                AllocationPlan::new(vec![8, 8, 4, 4]),
+                task.clone(),
+                physics(&task, 1024),
+                cloud(),
+            )
+            .unwrap()
+        };
+        let open = mk().run(&configs(8, 1)).unwrap();
+        let polled = mk().run_hooked(&configs(8, 1), &mut EmptySwitch).unwrap();
+        assert_eq!(open.jct, polled.jct);
+        assert_eq!(open.compute_cost, polled.compute_cost);
+        assert_eq!(open.best_trial, polled.best_trial);
+        assert_eq!(open.best_accuracy, polled.best_accuracy);
+    }
+
+    #[test]
+    fn executed_market_switch_redeploys_the_fleet_on_the_new_tier() {
+        // Start on spot, switch to on-demand at the first barrier: the
+        // fleet drains (old lifetimes pinned at the spot price) and the
+        // next stage re-provisions on-demand — a fresh scale-up cycle,
+        // more instances ever provisioned, and a pricier bill than
+        // riding spot the whole way.
+        let task = resnet101_cifar10();
+        let spot_cloud = CloudProfile::new(CloudPricing::on_demand(P3_8XLARGE).with_spot())
+            .with_provision_delay(SimDuration::from_secs(15))
+            .with_init_latency(SimDuration::from_secs(15));
+        let mk = || {
+            Executor::new(
+                small_spec(),
+                AllocationPlan::new(vec![8, 8, 8, 8]),
+                task.clone(),
+                physics(&task, 1024),
+                spot_cloud.clone(),
+            )
+            .unwrap()
+        };
+        let open = mk().run(&configs(8, 1)).unwrap();
+        let mut hook = SwitchHook {
+            switch_after: 0,
+            directive: SwitchDirective {
+                market: Some(PricingTier::OnDemand),
+                interruption_rate_per_hour: Some(0.0),
+                zone: None,
+            },
+            armed: false,
+            issued: false,
+            capacity: Vec::new(),
+        };
+        let switched = mk().run_hooked(&configs(8, 1), &mut hook).unwrap();
+        assert!(hook.issued, "the switch was polled and taken");
+        assert!(
+            switched.instances_provisioned > open.instances_provisioned,
+            "drain + re-provision: {} vs {}",
+            switched.instances_provisioned,
+            open.instances_provisioned
+        );
+        assert!(
+            switched.jct > open.jct,
+            "the new market pays another scale-up cycle"
+        );
+        assert!(
+            switched.compute_cost > open.compute_cost,
+            "on-demand residual beats spot: {} vs {}",
+            switched.compute_cost,
+            open.compute_cost
+        );
+        // Training noise is per-trial and untouched by the move.
+        assert_eq!(switched.best_trial, open.best_trial);
+        assert_eq!(switched.best_accuracy, open.best_accuracy);
+        // Barrier snapshots exposed the capacity telemetry: a calm,
+        // zoneless cloud — requests happened, nothing was denied.
+        assert_eq!(hook.capacity.len(), 3);
+        for (ev, home, zones) in &hook.capacity {
+            assert!(ev.requests > 0);
+            assert!(ev.is_calm());
+            assert_eq!((*home, *zones), (0, 1));
         }
     }
 }

@@ -33,7 +33,7 @@ pub mod report;
 pub mod scheduler;
 
 pub use asha::{run_asha, AshaConfig, AshaReport};
-pub use cluster::{ClusterManager, RetryOutcome, RetryPolicy};
+pub use cluster::{ClusterManager, RetryOutcome, RetryPolicy, SwitchDirective, SwitchOutcome};
 pub use executor::{
     BarrierHook, BarrierSnapshot, ExecOptions, Executor, ExecutorCore, NoopHook, StepOutcome,
     UnitObservation, WatchdogSnapshot,

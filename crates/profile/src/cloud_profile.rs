@@ -3,6 +3,30 @@
 use rb_cloud::CloudPricing;
 use rb_core::{Distribution, RbError, Result, SimDuration};
 
+/// Observed capacity-fault tallies over a recent event window. Collected
+/// by the executor's retry layer and folded back into the provisioning
+/// model by [`CloudProfile::risk_from_events`], so residual re-plans
+/// price the capacity risk the run is *actually seeing* (a degraded
+/// zone, a brownout) rather than the calibrated steady state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CapacityEvents {
+    /// Provisioning requests issued in the window.
+    pub requests: u64,
+    /// Requests denied (capacity or zone faults).
+    pub denials: u64,
+    /// Retry attempts spent recovering from denials.
+    pub retries: u64,
+    /// Instances lost to correlated zone outages.
+    pub outage_kills: u64,
+}
+
+impl CapacityEvents {
+    /// True when the window recorded no capacity trouble at all.
+    pub fn is_calm(&self) -> bool {
+        self.denials == 0 && self.retries == 0 && self.outage_kills == 0
+    }
+}
+
 /// Everything the planner/simulator knows about the target cloud: pricing
 /// plus the two provider-side latency distributions of §4.1 (scaling
 /// latency and instance initialization latency) and the per-instance data
@@ -143,6 +167,32 @@ impl CloudProfile {
         self.provision_delay.mean() + self.init_latency.mean()
     }
 
+    /// Re-prices provisioning risk from an observed event window: the
+    /// provision-delay distribution is stretched by the expected number
+    /// of attempts a request will need under the observed denial rate.
+    ///
+    /// Two estimates are compared and the worse one wins: the *measured*
+    /// expansion `1 + retries/requests` (what recovery actually cost so
+    /// far, including outage re-provisioning) and the *stationary*
+    /// expectation `1/(1 - p)` with
+    /// `p = (denials + outage_kills)/requests` capped at 0.95 (what an
+    /// ongoing denial rate implies for future requests). A calm window
+    /// returns the profile unchanged, so risk pricing is bit-neutral
+    /// when nothing went wrong.
+    pub fn risk_from_events(&self, window: &CapacityEvents) -> CloudProfile {
+        if window.requests == 0 || window.is_calm() {
+            return self.clone();
+        }
+        let req = window.requests as f64;
+        let measured = 1.0 + window.retries as f64 / req;
+        let p = (((window.denials + window.outage_kills) as f64) / req).min(0.95);
+        let stationary = 1.0 / (1.0 - p);
+        let factor = measured.max(stationary);
+        let mut risky = self.clone();
+        risky.provision_delay = self.provision_delay.scaled(factor);
+        risky
+    }
+
     /// GPUs per instance (the allocable unit granularity).
     pub fn gpus_per_instance(&self) -> u32 {
         self.pricing.instance_type.gpus
@@ -208,6 +258,55 @@ mod tests {
         let mut bad_price = good.clone();
         bad_price.pricing.data_price_per_gb = rb_core::Cost::from_dollars(-0.01);
         assert!(bad_price.validate().is_err());
+    }
+
+    #[test]
+    fn risk_from_events_stretches_provision_delay() {
+        let p = CloudProfile::new(CloudPricing::on_demand(P3_8XLARGE))
+            .with_provision_delay(SimDuration::from_secs(30));
+        // Calm window: untouched (bit-neutral for re-planning).
+        let calm = CapacityEvents {
+            requests: 10,
+            ..CapacityEvents::default()
+        };
+        assert!(calm.is_calm());
+        assert_eq!(p.risk_from_events(&calm).provision_delay.mean(), 30.0);
+        assert_eq!(
+            p.risk_from_events(&CapacityEvents::default())
+                .provision_delay
+                .mean(),
+            30.0
+        );
+        // Half the requests denied: stationary expectation doubles the
+        // delay (1/(1-0.5)), beating the measured 1 + 5/10 = 1.5.
+        let rough = CapacityEvents {
+            requests: 10,
+            denials: 5,
+            retries: 5,
+            outage_kills: 0,
+        };
+        let risky = p.risk_from_events(&rough);
+        assert!((risky.provision_delay.mean() - 60.0).abs() < 1e-9);
+        // Heavy measured retries win over a mild denial rate.
+        let churny = CapacityEvents {
+            requests: 10,
+            denials: 1,
+            retries: 30,
+            outage_kills: 0,
+        };
+        assert!((p.risk_from_events(&churny).provision_delay.mean() - 120.0).abs() < 1e-9);
+        // The denial probability is capped, so a fully-denied window
+        // stays finite.
+        let dark = CapacityEvents {
+            requests: 4,
+            denials: 4,
+            retries: 0,
+            outage_kills: 8,
+        };
+        assert!(p.risk_from_events(&dark).provision_delay.mean().is_finite());
+        // Everything else is preserved.
+        assert_eq!(risky.init_latency.mean(), p.init_latency.mean());
+        assert_eq!(risky.pricing, p.pricing);
     }
 
     #[test]

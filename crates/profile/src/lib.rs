@@ -18,6 +18,6 @@ pub mod cloud_profile;
 pub mod model_profile;
 pub mod profiler;
 
-pub use cloud_profile::CloudProfile;
+pub use cloud_profile::{CapacityEvents, CloudProfile};
 pub use model_profile::ModelProfile;
 pub use profiler::{profile_training, ProfileReport, ProfilerConfig};

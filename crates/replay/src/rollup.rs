@@ -50,6 +50,11 @@ pub struct RunRecord {
     /// summed per group). Manifests written before the field existed
     /// parse as 0.
     pub pool_admits: u64,
+    /// Market/zone switch decisions the controller made — advisory
+    /// recommendations in open-advice sweeps, executed fleet drains in
+    /// execute-mode sweeps. Manifests written before the field existed
+    /// parse as 0.
+    pub market_switches: u64,
 }
 
 impl RunRecord {
@@ -69,7 +74,7 @@ impl RunRecord {
             out,
             ",\"jct_ms\":{},\"cost_micros\":{},\"queue_wait_ms\":{},\"faults\":{},\
              \"retries\":{},\"fallbacks\":{},\"degraded\":{},\"replans\":{},\"preemptions\":{},\
-             \"pool_admits\":{}}}",
+             \"pool_admits\":{},\"market_switches\":{}}}",
             self.jct_ms,
             self.cost_micros,
             self.queue_wait_ms,
@@ -79,7 +84,8 @@ impl RunRecord {
             self.degraded,
             self.replans,
             self.preemptions,
-            self.pool_admits
+            self.pool_admits,
+            self.market_switches
         );
         out
     }
@@ -129,6 +135,12 @@ pub fn parse_run_record(text: &str) -> Result<RunRecord, String> {
         // Absent in manifests written before pool-aware admission
         // existed; treat those as "never admitted from the pool".
         pool_admits: doc.get("pool_admits").and_then(Json::as_u64).unwrap_or(0),
+        // Absent in manifests written before market execution existed;
+        // treat those as "no switch decisions".
+        market_switches: doc
+            .get("market_switches")
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
     })
 }
 
@@ -176,6 +188,7 @@ struct GroupStats {
     replans: u64,
     preemptions: u64,
     pool_admits: u64,
+    market_switches: u64,
 }
 
 impl GroupStats {
@@ -193,6 +206,7 @@ impl GroupStats {
             replans: 0,
             preemptions: 0,
             pool_admits: 0,
+            market_switches: 0,
         };
         for r in records {
             g.runs += 1;
@@ -207,6 +221,7 @@ impl GroupStats {
             g.replans += r.replans;
             g.preemptions += r.preemptions;
             g.pool_admits += r.pool_admits;
+            g.market_switches += r.market_switches;
         }
         g
     }
@@ -231,14 +246,15 @@ impl GroupStats {
         let _ = writeln!(
             out,
             "{indent}recovery     faults {} retries {} fallbacks {} degraded {} \
-             replans {} preemptions {} pool_admits {}",
+             replans {} preemptions {} pool_admits {} market_switches {}",
             self.faults,
             self.retries,
             self.fallbacks,
             self.degraded,
             self.replans,
             self.preemptions,
-            self.pool_admits
+            self.pool_admits,
+            self.market_switches
         );
     }
 }
@@ -355,6 +371,7 @@ mod tests {
             replans: 2,
             preemptions: 3,
             pool_admits: 0,
+            market_switches: 0,
         }
     }
 
@@ -390,6 +407,18 @@ mod tests {
         let old = r.to_json().replace(",\"pool_admits\":3", "");
         let parsed = parse_run_record(&old).expect("old manifest parses");
         assert_eq!(parsed.pool_admits, 0);
+        assert_eq!(parse_run_record(&r.to_json()).expect("round trip"), r);
+    }
+
+    #[test]
+    fn manifests_without_market_switches_parse_as_zero() {
+        // Fleet manifests written before market execution existed lack
+        // the field; they must keep parsing (as "no switch decisions").
+        let mut r = rec("ext-chaos", "zones-early switch-on", None, 10, 20);
+        r.market_switches = 2;
+        let old = r.to_json().replace(",\"market_switches\":2", "");
+        let parsed = parse_run_record(&old).expect("old manifest parses");
+        assert_eq!(parsed.market_switches, 0);
         assert_eq!(parse_run_record(&r.to_json()).expect("round trip"), r);
     }
 

@@ -81,7 +81,7 @@ use std::sync::Arc;
 
 /// Commonly used items, re-exported flat.
 pub mod prelude {
-    pub use rb_cloud::{BillingModel, CloudPricing, FaultPlan, PricingTier};
+    pub use rb_cloud::{BillingModel, CloudPricing, FaultPlan, PricingTier, ZonePlan, ZoneWindow};
     pub use rb_core::{Cost, Distribution, Prng, RbError, Result, SimDuration, SimTime};
     pub use rb_ctrl::{
         AdaptationLog, AdaptiveController, ControllerConfig, DriftConfig, MarketChoice,
@@ -1069,6 +1069,122 @@ mod tests {
             rb_obs::export::export_jsonl(&armed.log),
             rb_obs::export::export_jsonl(&plain.log),
             "disabled injector leaves the trace byte-identical"
+        );
+    }
+
+    #[test]
+    fn windowless_zone_plan_is_bit_identical() {
+        // A multi-zone topology with no brownout or outage window is an
+        // inactive injector: open-loop and adaptive runs must match the
+        // zoneless run down to the exported bytes (the cardinal
+        // invariant extended to correlated failure domains).
+        use rb_cloud::{FaultPlan, ZonePlan};
+        use rb_exec::RetryPolicy;
+        let spec = ShaParams::new(8, 1, 8).generate().unwrap();
+        let task = rb_train::task::resnet50_cifar10();
+        let physics = ModelProfile::exact_for_task(&task, 512, 4);
+        let cloud = CloudProfile::new(CloudPricing::on_demand(P3_8XLARGE));
+        let outcome = compile_plan(&spec, &physics, &cloud, SimDuration::from_hours(2)).unwrap();
+        let space = SearchSpace::new()
+            .add("lr", Dim::LogUniform { lo: 1e-3, hi: 1.0 })
+            .build()
+            .unwrap();
+        let zoned = || ExecOptions {
+            seed: 7,
+            faults: FaultPlan {
+                zones: ZonePlan {
+                    zones: 3,
+                    ..ZonePlan::none()
+                },
+                ..FaultPlan::none()
+            },
+            retry: Some(RetryPolicy::default()),
+            ..ExecOptions::default()
+        };
+        let plain = execute_observed(
+            &spec,
+            &outcome.plan,
+            &task,
+            &physics,
+            &cloud,
+            &space,
+            ExecOptions {
+                seed: 7,
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap();
+        let armed = execute_observed(
+            &spec,
+            &outcome.plan,
+            &task,
+            &physics,
+            &cloud,
+            &space,
+            zoned(),
+        )
+        .unwrap();
+        assert_eq!(armed.report.jct, plain.report.jct);
+        assert_eq!(armed.report.compute_cost, plain.report.compute_cost);
+        assert_eq!(armed.report.trace, plain.report.trace);
+        assert_eq!(armed.report.faults_injected, 0);
+        assert_eq!(
+            rb_obs::export::export_jsonl(&armed.log),
+            rb_obs::export::export_jsonl(&plain.log),
+            "windowless zones leave the open-loop trace byte-identical"
+        );
+        // Adaptive, with execute-mode switching armed: the market probe
+        // may well drain the fleet onto cheaper capacity, but the
+        // inactive zone plan must not change a single decision or byte
+        // relative to the zoneless run.
+        let config = ControllerConfig {
+            market: rb_ctrl::MarketConfig {
+                execute: true,
+                ..rb_ctrl::MarketConfig::default()
+            },
+            ..ControllerConfig::default()
+        };
+        let deadline = SimDuration::from_hours(2);
+        let base = execute_adaptive_observed(
+            &spec,
+            &outcome.plan,
+            &task,
+            &physics,
+            &physics,
+            &cloud,
+            &space,
+            deadline,
+            ExecOptions {
+                seed: 7,
+                ..ExecOptions::default()
+            },
+            &config,
+        )
+        .unwrap();
+        let zoned_run = execute_adaptive_observed(
+            &spec,
+            &outcome.plan,
+            &task,
+            &physics,
+            &physics,
+            &cloud,
+            &space,
+            deadline,
+            zoned(),
+            &config,
+        )
+        .unwrap();
+        assert_eq!(zoned_run.report.jct, base.report.jct);
+        assert_eq!(zoned_run.report.compute_cost, base.report.compute_cost);
+        assert_eq!(
+            zoned_run.adaptation.as_ref().unwrap().executed_switches(),
+            base.adaptation.as_ref().unwrap().executed_switches(),
+            "inactive zone plan changed the controller's drain decisions"
+        );
+        assert_eq!(
+            rb_obs::export::export_jsonl(&zoned_run.log),
+            rb_obs::export::export_jsonl(&base.log),
+            "windowless zones leave the adaptive trace byte-identical"
         );
     }
 

@@ -67,13 +67,15 @@ diff -u scripts/expected_ext_adapt.txt "$summary"
 rm -f "$summary"
 echo "ok"
 
-echo "== ext-chaos smoke (seeded; summary must match the expectation) =="
-# Hardened executor vs no-retry baseline under seeded fault injection.
-# The summary line is counts only; a drift means retry/backoff, graceful
-# degradation, or checkpoint fallback behaviour changed.
+echo "== ext-chaos smoke (seeded; summaries must match the expectation) =="
+# Hardened executor vs no-retry baseline under seeded fault injection,
+# plus the correlated-failure sub-sweep (two-zone outage, open loop vs
+# the controller's executed zone switch). The summary lines are counts
+# only; a drift means retry/backoff, graceful degradation, checkpoint
+# fallback, or market/zone switch-execution behaviour changed.
 summary=$(mktemp)
 cargo run -p rb-bench --release --offline --bin repro -- quick ext-chaos \
-    | grep '^ext-chaos summary:' > "$summary"
+    | grep '^ext-chaos' > "$summary"
 diff -u scripts/expected_ext_chaos.txt "$summary"
 rm -f "$summary"
 echo "ok"
